@@ -1,0 +1,47 @@
+// Ablation: cache replacement policy.
+//
+// Scal-Tool's conflict-miss isolation reads the real machine's tag-array
+// behaviour through the hit-rate curves; it should be robust to *which*
+// replacement policy produced them. This bench reruns the T3dheat analysis
+// under true LRU, tree-PLRU and random replacement and compares the
+// fitted parameters and the 1-processor L2Lim share.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace scaltool;
+  const std::size_t s0 = bench::s0_for(bench::spec_for("t3dheat"));
+  const auto procs = default_proc_counts(16);
+
+  Table t("Replacement-policy ablation on t3dheat");
+  t.header({"policy", "pi0", "t2", "tm1", "compulsory", "l2lim_pct@1",
+            "l2lim_pct@16"});
+
+  for (const ReplacementPolicy policy :
+       {ReplacementPolicy::kLru, ReplacementPolicy::kTreePlru,
+        ReplacementPolicy::kRandom}) {
+    MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+    cfg.l1.replacement = policy;
+    cfg.l2.replacement = policy;
+    ExperimentRunner runner(cfg);
+    const ScalToolInputs inputs = runner.collect("t3dheat", s0, procs);
+    const ScalabilityReport report = analyze(inputs);
+    const BottleneckPoint& p1 = report.point(1);
+    const BottleneckPoint& p16 = report.point(16);
+    t.add_row({replacement_policy_name(policy),
+               Table::cell(report.model.pi0, 3),
+               Table::cell(report.model.t2, 2),
+               Table::cell(report.model.tm1, 1),
+               Table::cell(report.miss.compulsory_rate, 4),
+               Table::cell(100.0 * p1.l2lim_cost() / p1.base_cycles, 1),
+               Table::cell(100.0 * p16.l2lim_cost() / p16.base_cycles, 1)});
+  }
+  t.print(std::cout, /*with_csv=*/true);
+  std::cout << "Expected: pi0/t2/tm1 are machine latencies and should be "
+               "policy-invariant; the L2Lim share at 1 processor may shift "
+               "a little (random replacement softens the streaming worst "
+               "case) but the vanishing-by-16 shape must hold for all "
+               "policies.\n";
+  return 0;
+}

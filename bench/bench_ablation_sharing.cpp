@@ -1,0 +1,72 @@
+// Ablation: the Fig. 13 divergence mechanism.
+//
+// Sec. 4.3 attributes the 14% gap between Scal-Tool's MP estimate and the
+// speedshop measurement at 32 processors to "non-synchronization data
+// sharing in the program". Our Swim exposes the sharing as a halo-width
+// knob; sweeping it shows the causal chain: more sharing → larger
+// estimate/measurement divergence (and, as the paper's Sec. 2.4.2 caveat
+// predicts, nt_syn pollution that shifts the estimated split toward
+// synchronization).
+#include <iostream>
+#include <memory>
+
+#include "apps/swim.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace scaltool;
+  ExperimentRunner runner = bench::make_runner();
+  const std::size_t s0 = bench::s0_for(bench::spec_for("swim"));
+  const auto procs = default_proc_counts(32);
+
+  Table t("Sharing ablation on swim: halo width vs validation divergence "
+          "(32 processors)");
+  t.header({"halo_elems", "coh_misses_truth", "nt_syn", "MP_est_M",
+            "MP_meas_M", "diff_pct@32", "diff_pct_ext", "sync_M", "imb_M",
+            "sharing_est_M"});
+
+  for (const std::size_t halo : {0u, 48u, 96u, 192u}) {
+    const ScalToolInputs inputs = runner.collect(
+        [halo] {
+          return std::unique_ptr<Workload>(
+              new Swim(/*boundary_frac=*/0.075, halo));
+        },
+        "swim_halo" + std::to_string(halo), s0, procs);
+    // Published model vs the paper's announced sharing extension.
+    const ScalabilityReport report = analyze(inputs);
+    AnalyzeOptions ext_options;
+    ext_options.model_sharing = true;
+    const ScalabilityReport extended = analyze(inputs, ext_options);
+
+    const ValidationRecord& v = inputs.validation_for(32);
+    auto diff_of = [&](const ScalabilityReport& r) {
+      const BottleneckPoint& p = r.point(32);
+      const double est = p.base_cycles - (p.sync_cost + p.imb_cost);
+      const double meas = v.accumulated_cycles - v.mp_cycles;
+      return 100.0 * (est - meas) / p.base_cycles;
+    };
+    const BottleneckPoint& p = report.point(32);
+    const BottleneckPoint& pe = extended.point(32);
+    t.add_row({Table::cell(halo), Table::cell(v.coherence_misses),
+               Table::cell(p.nt_syn),
+               Table::cell((p.sync_cost + p.imb_cost) / 1e6, 3),
+               Table::cell(v.mp_cycles / 1e6, 3),
+               Table::cell(diff_of(report), 2),
+               Table::cell(diff_of(extended), 2),
+               Table::cell(p.sync_cost / 1e6, 3),
+               Table::cell(p.imb_cost / 1e6, 3),
+               Table::cell(pe.sharing_cost / 1e6, 3)});
+  }
+  t.print(std::cout, /*with_csv=*/true);
+  std::cout << "Expected: coherence misses and nt_syn grow with the halo; "
+               "the published model's divergence at 32 grows with sharing "
+               "while its estimated split shifts from imbalance toward "
+               "synchronization — the paper's stated failure mode. The "
+               "sharing extension (the paper's announced future work, "
+               "diff_pct_ext) prices coherence transactions from the "
+               "intervention/invalidation counters; it improves the "
+               "mid-sharing regime but cannot rescue the extreme case "
+               "where frac_imb has already clamped to zero — evidence for "
+               "why the authors left it as future work.\n";
+  return 0;
+}

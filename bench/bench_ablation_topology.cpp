@@ -1,0 +1,47 @@
+// Ablation: interconnect topology.
+//
+// The model's tm(n) growth is the physical signature of the topology
+// (Sec. 2.3). Swapping the Origin's bristled hypercube for a crossbar,
+// ring or 2-D mesh changes tm(n) and therefore both the application's
+// scaling and the fitted model parameters — grounding the Sec. 2.6
+// "interconnection network" what-if in real topology changes.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace scaltool;
+  const std::size_t s0 = bench::s0_for(bench::spec_for("t3dheat"));
+  const auto procs = default_proc_counts(32);
+
+  Table t("Topology ablation on t3dheat");
+  t.header({"topology", "avg_hops@32", "tm_true@32", "tm_est@32",
+            "speedup@32", "MP_pct@32"});
+
+  for (const TopologyKind kind :
+       {TopologyKind::kCrossbar, TopologyKind::kBristledHypercube,
+        TopologyKind::kMesh2D, TopologyKind::kRing}) {
+    MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+    cfg.network.topology = kind;
+    ExperimentRunner runner(cfg);
+    const ScalToolInputs inputs = runner.collect("t3dheat", s0, procs);
+    const ScalabilityReport report = analyze(inputs);
+
+    MachineConfig cfg32 = cfg;
+    cfg32.num_procs = 32;
+    const HypercubeNetwork net(32, cfg.network);
+    const double speedup = inputs.base_run(1).execution_cycles /
+                           inputs.base_run(32).execution_cycles;
+    const BottleneckPoint& p = report.point(32);
+    t.add_row({topology_name(kind), Table::cell(net.average_hops(), 2),
+               Table::cell(cfg32.tm_ground_truth(), 1),
+               Table::cell(report.model.tm_of(32), 1),
+               Table::cell(speedup, 2),
+               Table::cell(100.0 * p.mp_cost() / p.base_cycles, 1)});
+  }
+  t.print(std::cout, /*with_csv=*/true);
+  std::cout << "Expected: longer-diameter topologies (ring > mesh > "
+               "hypercube > crossbar) raise tm(32) and the synchronization "
+               "wall, lowering the 32-processor speedup.\n";
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 10: validation of the model for Hydro2d.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 10: validation of the model for Hydro2d\n";
+  return scaltool::bench::run_validation_bench("hydro2d");
+}

@@ -1,0 +1,9 @@
+// Figure 11: Swim speedups.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 11: Swim speedups\n";
+  return scaltool::bench::run_speedup_bench("swim");
+}

@@ -1,0 +1,9 @@
+// Figure 12: estimation of the scalability bottlenecks in Swim.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 12: estimation of the scalability bottlenecks in Swim\n";
+  return scaltool::bench::run_breakdown_bench("swim");
+}

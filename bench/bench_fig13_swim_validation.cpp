@@ -1,0 +1,9 @@
+// Figure 13: validation of the model for Swim.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 13: validation of the model for Swim\n";
+  return scaltool::bench::run_validation_bench("swim");
+}

@@ -1,0 +1,28 @@
+// Figures 1/2: the model's execution-time curves — Base, Base−L2Lim,
+// Base−L2Lim−MP — and the CPI breakdown behind them, illustrated on
+// T3dheat exactly as the paper's schematic describes.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace scaltool;
+  const bench::AppAnalysis a = bench::analyze_app("t3dheat", 32);
+
+  Table t("Fig. 1/2: execution-time curves for t3dheat "
+          "(per-processor cycles = accumulated / n)");
+  t.header({"procs", "Base", "Base-L2Lim", "Base-L2Lim-MP",
+            "cpi_base", "cpi_inf", "cpi_inf_inf"});
+  for (const BottleneckPoint& p : a.report.points) {
+    t.add_row({Table::cell(p.n), Table::cell(p.base_cycles / p.n / 1e6, 3),
+               Table::cell(p.cycles_no_l2lim / p.n / 1e6, 3),
+               Table::cell(p.cycles_no_l2lim_no_mp / p.n / 1e6, 3),
+               Table::cell(p.cpi_base, 3), Table::cell(p.cpi_inf, 3),
+               Table::cell(p.cpi_inf_inf, 3)});
+  }
+  t.print(std::cout, /*with_csv=*/true);
+  std::cout << "Shape check (Fig. 1): the L2Lim gap is largest at 1 "
+               "processor and vanishes at high counts; the MP gap is zero "
+               "at 1 processor and grows with the count.\n";
+  return 0;
+}

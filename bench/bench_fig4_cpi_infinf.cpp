@@ -1,0 +1,15 @@
+// Figure 4: cpi_inf_inf(s0, n) — the CPI with neither cache-space limits
+// nor multiprocessor factors — grows with the processor count because
+// tm(n) grows with the machine's physical size.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace scaltool;
+  const bench::AppAnalysis a = bench::analyze_app("t3dheat", 32);
+  cpi_infinf_table(a.report).print(std::cout, /*with_csv=*/true);
+  std::cout << "Shape check: cpi_inf_inf rises monotonically with n, "
+               "driven by tm(n).\n";
+  return 0;
+}

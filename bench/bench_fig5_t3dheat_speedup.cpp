@@ -1,0 +1,9 @@
+// Figure 5: T3dheat speedups.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 5: T3dheat speedups\n";
+  return scaltool::bench::run_speedup_bench("t3dheat");
+}

@@ -1,0 +1,9 @@
+// Figure 6: estimation of the scalability bottlenecks in T3dheat.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 6: estimation of the scalability bottlenecks in T3dheat\n";
+  return scaltool::bench::run_breakdown_bench("t3dheat");
+}

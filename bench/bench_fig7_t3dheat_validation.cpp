@@ -1,0 +1,9 @@
+// Figure 7: validation of the model for T3dheat.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 7: validation of the model for T3dheat\n";
+  return scaltool::bench::run_validation_bench("t3dheat");
+}

@@ -1,0 +1,9 @@
+// Figure 8: Hydro2d speedups.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 8: Hydro2d speedups\n";
+  return scaltool::bench::run_speedup_bench("hydro2d");
+}

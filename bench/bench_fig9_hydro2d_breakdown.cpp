@@ -1,0 +1,9 @@
+// Figure 9: estimation of the scalability bottlenecks in Hydro2d.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  std::cout << "Figure 9: estimation of the scalability bottlenecks in Hydro2d\n";
+  return scaltool::bench::run_breakdown_bench("hydro2d");
+}

@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: cache
+// lookups, directory transactions, the barrier model, least squares, and
+// a full small application run. These guard the simulator's throughput —
+// the property that makes Scal-Tool's whole-matrix collection cheap.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cache/cache.hpp"
+#include "coherence/directory.hpp"
+#include "common.hpp"
+#include "common/rng.hpp"
+#include "math/least_squares.hpp"
+#include "machine/dsm_machine.hpp"
+#include "memory/tlb.hpp"
+#include "sync/barrier_model.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace scaltool;
+
+void BM_CacheHit(benchmark::State& state) {
+  Cache cache(CacheConfig{64_KiB, 4, 64});
+  for (Addr a = 0; a < 32_KiB; a += 64) cache.insert(a, LineState::kShared);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.probe(a));
+    cache.touch(a);
+    a = (a + 64) % 32_KiB;
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissEvict(benchmark::State& state) {
+  Cache cache(CacheConfig{8_KiB, 2, 64});
+  Addr a = 0;
+  for (auto _ : state) {
+    if (cache.probe(a) == LineState::kInvalid)
+      benchmark::DoNotOptimize(cache.insert(a, LineState::kShared));
+    a += 64;  // endless streaming: every access allocates + evicts
+  }
+}
+BENCHMARK(BM_CacheMissEvict);
+
+void BM_DirectoryReadWriteCycle(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  Directory dir(procs);
+  Addr line = 0;
+  for (auto _ : state) {
+    for (int p = 0; p < procs; ++p) dir.read_miss(line, p);
+    dir.write_access(line, 0);
+    dir.evict(line, 0);
+    line += 64;
+  }
+}
+BENCHMARK(BM_DirectoryReadWriteCycle)->Arg(4)->Arg(32);
+
+void BM_BarrierModel(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  Rng rng(42);
+  std::vector<double> arrivals(procs);
+  for (double& a : arrivals) a = rng.next_double() * 1e4;
+  const SyncConfig cfg;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(barrier_cost(arrivals, 130.0, 1.0, cfg));
+}
+BENCHMARK(BM_BarrierModel)->Arg(4)->Arg(32);
+
+void BM_LeastSquaresFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> h2, hm, y;
+  for (int i = 0; i < 8; ++i) {
+    h2.push_back(0.01 + rng.next_double() * 0.02);
+    hm.push_back(0.002 + rng.next_double() * 0.01);
+    y.push_back(h2.back() * 12 + hm.back() * 130);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fit_two_latencies(h2, hm, y));
+}
+BENCHMARK(BM_LeastSquaresFit);
+
+void BM_TlbAccess(benchmark::State& state) {
+  Tlb tlb(64, 1024);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.access(a));
+    a += 512;  // every other access a new page
+  }
+}
+BENCHMARK(BM_TlbAccess);
+
+void BM_TraceReplaySwim(benchmark::State& state) {
+  register_standard_workloads();
+  RecordingWorkload recorder(
+      WorkloadRegistry::instance().create("swim"));
+  DsmMachine rec_machine(MachineConfig::origin2000_scaled(4));
+  WorkloadParams params;
+  params.dataset_bytes = 64_KiB;
+  params.iterations = 2;
+  rec_machine.run(recorder, params);
+  const Trace trace = recorder.trace();
+  for (auto _ : state) {
+    TraceWorkload replay{Trace(trace)};
+    DsmMachine machine(MachineConfig::origin2000_scaled(4));
+    benchmark::DoNotOptimize(machine.run(replay, params).execution_cycles);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(trace.total_ops()));
+}
+BENCHMARK(BM_TraceReplaySwim)->Unit(benchmark::kMillisecond);
+
+void BM_FullRunSwimSmall(benchmark::State& state) {
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  const std::size_t s0 = runner.base_config().l2.size_bytes;  // 1× L2
+  for (auto _ : state) {
+    const RunRecord r = runner.run("swim", s0, 8);
+    benchmark::DoNotOptimize(r.metrics.cpi);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullRunSwimSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace

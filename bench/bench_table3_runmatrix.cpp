@@ -1,0 +1,25 @@
+// Table 3: the runs needed to gather the empirical data for Scal-Tool,
+// both analytically and as actually executed by the runner for T3dheat.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace scaltool;
+  const bench::AppSpec spec = bench::spec_for("t3dheat");
+  const std::size_t s0 = bench::s0_for(spec);
+
+  run_matrix_table(s0, 32).print(std::cout, /*with_csv=*/true);
+
+  // Cross-check against what the runner actually executed.
+  const ScalToolInputs inputs = bench::collect_app("t3dheat", 32);
+  std::cout << "Runner executed: " << inputs.base_runs.size()
+            << " base runs, " << inputs.uni_runs.size()
+            << " uniprocessor runs (sweep + t2/tm calibration), "
+            << inputs.kernels.size() * 2
+            << " kernel runs (amortized across applications).\n";
+  std::cout << "Paper formula for n=6: 2n-1 = 11 application runs; the "
+               "sweep sizes that overflow the L2 double as t2/tm "
+               "triplets.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 4: characteristics of the applications analyzed — measured on the
+// simulator (speedup at 32, balance, data-set size via ssusage, model of
+// parallelism).
+#include <iostream>
+
+#include "common.hpp"
+#include "common/stats.hpp"
+#include "tools/ssusage.hpp"
+#include "trace/registry.hpp"
+
+int main() {
+  using namespace scaltool;
+  ExperimentRunner runner = bench::make_runner();
+
+  Table t("Table 4: characteristics of the applications analyzed "
+          "(measured on the scaled machine)");
+  t.header({"application", "what it does", "speedup@32", "balance",
+            "data set", "model"});
+
+  const struct {
+    const char* name;
+    const char* what;
+  } rows[] = {
+      {"t3dheat", "PDE solver using conjugate gradient"},
+      {"hydro2d", "shallow water simulation"},
+      {"swim", "Navier Stokes / shallow water"},
+  };
+
+  for (const auto& row : rows) {
+    const bench::AppSpec spec = bench::spec_for(row.name);
+    const std::size_t s0 = bench::s0_for(spec);
+    const RunResult r1 = runner.run_full(row.name, s0, 1);
+    const RunResult r32 = runner.run_full(row.name, s0, 32);
+    const double speedup = r1.execution_cycles / r32.execution_cycles;
+    // Balance from the per-processor non-idle cycles at 32 processors.
+    std::vector<double> busy;
+    for (const auto& gt : r32.truth.per_proc)
+      busy.push_back(gt.compute_cycles + gt.mem_stall_cycles);
+    const double imb = imbalance_factor(busy);
+    const auto w = WorkloadRegistry::instance().create(row.name);
+    t.add_row({row.name, row.what, Table::cell(speedup, 1),
+               imb < 0.1 ? "good" : "poor (serial sections)",
+               format_bytes(ssusage(r32).max_bytes),
+               parallelism_model_name(w->parallelism_model())});
+  }
+  t.print(std::cout, /*with_csv=*/false);
+  std::cout << "Paper: t3dheat excellent to 16 then poor; hydro2d ~9@32; "
+               "swim ~24@32.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Section 2.6: latency what-ifs — faster/slower L2 (t2), memory and
+// interconnect (tm), synchronization (t_syn) and issue width (pi0) — each
+// validated against re-running the application on a machine with the
+// modified parameter.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace scaltool;
+
+void check_scenario(const bench::AppAnalysis& a, const WhatIfParams& params,
+                    const MachineConfig& modified, const std::string& label) {
+  const WhatIfResult pred = what_if(a.report, a.inputs, params);
+  ExperimentRunner rerunner(modified);
+
+  Table t("what-if '" + label + "' vs re-run (" + a.inputs.app + ")");
+  t.header({"procs", "pred_Mcycles", "rerun_Mcycles", "err_pct",
+            "pred_speed_ratio"});
+  for (const WhatIfPoint& p : pred.points) {
+    const RunRecord rerun = rerunner.run(a.inputs.app, a.inputs.s0, p.n);
+    const double rr = rerun.metrics.cycles;
+    const double err = rr > 0.0 ? 100.0 * (p.cycles - rr) / rr : 0.0;
+    t.add_row({Table::cell(p.n), Table::cell(p.cycles / 1e6, 3),
+               Table::cell(rr / 1e6, 3), Table::cell(err, 1),
+               Table::cell(p.speed_ratio, 3)});
+  }
+  t.print(std::cout, /*with_csv=*/true);
+}
+
+}  // namespace
+
+int main() {
+  using namespace scaltool;
+  const bench::AppAnalysis a = bench::analyze_app("t3dheat", 16);
+  const MachineConfig base = MachineConfig::origin2000_scaled(1);
+
+  {
+    WhatIfParams p;  // identity self-check: should reproduce Base exactly
+    const WhatIfResult r = what_if(a.report, a.inputs, p);
+    whatif_table(r, "identity (self-check; speedup_vs_base should be 1)")
+        .print(std::cout, /*with_csv=*/true);
+  }
+  {
+    WhatIfParams p;
+    p.t2_scale = 2.0;
+    MachineConfig m = base;
+    m.l2_hit_cycles *= 2.0;
+    check_scenario(a, p, m, "L2 cache 2x slower (t2x2)");
+  }
+  {
+    WhatIfParams p;
+    p.tm_scale = 0.5;
+    MachineConfig m = base;
+    m.mem_cycles *= 0.5;
+    m.network.hop_cycles *= 0.5;
+    m.network.router_cycles *= 0.5;
+    check_scenario(a, p, m, "memory+interconnect 2x faster (tm/2)");
+  }
+  {
+    WhatIfParams p;
+    p.pi0_scale = 0.5;
+    MachineConfig m = base;
+    m.base_cpi *= 0.5;
+    check_scenario(a, p, m, "double issue width (pi0/2)");
+  }
+  return 0;
+}

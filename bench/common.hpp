@@ -1,0 +1,54 @@
+// Shared plumbing for the figure/table regeneration binaries.
+//
+// Every bench binary regenerates exactly one table or figure of the paper:
+// it collects the Table 3 measurement matrix for the relevant application
+// on the scaled Origin 2000, runs the Scal-Tool analysis, and prints the
+// series the figure plots (plus CSV). The data-set sizes keep the paper's
+// ratios to the L2 capacity: T3dheat 40 MB / 4 MB = 10x, Hydro2d
+// 10.3 MB / 4 MB = 2.6x, Swim 16.2 MB / 4 MB = 4x.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool::bench {
+
+struct AppSpec {
+  std::string name;
+  double l2_multiple;   ///< s0 as a multiple of the L2 capacity
+  const char* paper_mb; ///< the paper's data-set size, for the banner
+};
+
+/// Specs for the paper's three applications.
+AppSpec spec_for(const std::string& app);
+
+/// The standard bench machine (scaled Origin 2000) and runner.
+ExperimentRunner make_runner();
+
+/// Base data-set size for an app on the bench machine.
+std::size_t s0_for(const AppSpec& spec);
+
+/// Collects the full measurement matrix for an application; prints a
+/// one-line banner of what ran.
+ScalToolInputs collect_app(const std::string& app, int max_procs = 32);
+
+/// collect + analyze in one call.
+struct AppAnalysis {
+  ScalToolInputs inputs;
+  ScalabilityReport report;
+};
+AppAnalysis analyze_app(const std::string& app, int max_procs = 32);
+
+/// Figure 5/8/11: the measured speedup curve plus shape commentary.
+int run_speedup_bench(const std::string& app);
+
+/// Figure 6/9/12: the bottleneck-breakdown curves plus shape commentary.
+int run_breakdown_bench(const std::string& app);
+
+/// Figure 7/10/13: Scal-Tool MP estimate vs the speedshop measurement.
+int run_validation_bench(const std::string& app);
+
+}  // namespace scaltool::bench

@@ -1,0 +1,64 @@
+// Measurement campaign: the paper's run-and-file workflow, end to end.
+//
+// Table 1 counts runs, processors and *files* because a real campaign is
+// two separate activities: gathering counters on the machine (expensive,
+// needs the processors) and analyzing them at a desk (cheap). This example
+// separates them the same way:
+//
+//   phase 1  collect the Table 3 matrix and save it to one archive file;
+//   phase 2  load the archive — no simulator, no machine — and analyze.
+//
+//   ./measurement_campaign [workload] [archive_path]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "core/scaltool.hpp"
+#include "runner/archive.hpp"
+#include "runner/runner.hpp"
+#include "tools/counter_schedule.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scaltool;
+  const std::string workload = argc > 1 ? argv[1] : "hydro2d";
+  const std::string path =
+      argc > 2 ? argv[2] : "/tmp/scaltool_campaign_" + workload + ".txt";
+
+  // ---- Phase 1: on "the machine" -----------------------------------------
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  const auto s0 = static_cast<std::size_t>(
+      2.6 * static_cast<double>(runner.base_config().l2.size_bytes));
+  int runs = 0;
+  runner.on_run = [&](const std::string& what) {
+    ++runs;
+    std::cout << "  run " << runs << ": " << what << "\n";
+  };
+  std::cout << "Phase 1: gathering the measurement matrix for " << workload
+            << "...\n";
+  const ScalToolInputs inputs =
+      runner.collect(workload, s0, default_proc_counts(16));
+  save_inputs(inputs, path);
+  std::cout << "Saved " << runs << " runs' counters to " << path << "\n";
+  std::cout << "(On a real R10000 each application run would take "
+            << hardware_pass_multiplier(2)
+            << " counter passes to capture all events.)\n\n";
+
+  // ---- Phase 2: at "the desk" ---------------------------------------------
+  std::cout << "Phase 2: loading the archive and analyzing (no machine "
+               "time needed)...\n";
+  const ScalToolInputs loaded = load_inputs(path);
+  const ScalabilityReport report = analyze(loaded);
+  std::cout << model_summary(report) << "\n";
+  breakdown_table(report).print(std::cout);
+  validation_table(report, loaded).print(std::cout);
+
+  // What-ifs also come free once the archive exists.
+  WhatIfParams params;
+  params.l2_scale_k = 2.0;
+  whatif_table(what_if(report, loaded, params),
+               "L2 x2 (computed from the archive alone)")
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: run one application on the simulated DSM machine, read its
+// hardware counters with the perfex emulation, and let Scal-Tool break the
+// cycles into bottlenecks.
+//
+//   ./quickstart [workload] [procs]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+#include "tools/perfex.hpp"
+#include "tools/speedshop.hpp"
+#include "tools/ssusage.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scaltool;
+  const std::string workload = argc > 1 ? argv[1] : "swim";
+  const int max_procs = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  const std::size_t s0 = 4 * runner.base_config().l2.size_bytes;
+
+  std::cout << "== 1. Run " << workload << " on " << max_procs
+            << " simulated processors ==\n";
+  const RunResult run = runner.run_full(workload, s0, max_procs);
+  std::cout << perfex_report(run);
+  std::cout << ssusage_report(run, runner.base_config().l2.size_bytes);
+  std::cout << speedshop_report(run) << "\n";
+
+  std::cout << "== 2. Collect the Scal-Tool measurement matrix ==\n";
+  const auto procs = default_proc_counts(max_procs);
+  const ScalToolInputs inputs = runner.collect(workload, s0, procs);
+  std::cout << "collected " << inputs.base_runs.size() << " base runs, "
+            << inputs.uni_runs.size() << " uniprocessor runs, "
+            << inputs.kernels.size() << " kernel measurements\n\n";
+
+  std::cout << "== 3. Analyze ==\n";
+  const ScalabilityReport report = analyze(inputs);
+  std::cout << model_summary(report) << "\n";
+  speedup_table(inputs).print(std::cout);
+  breakdown_table(report).print(std::cout);
+  validation_table(report, inputs).print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// What-if explorer (Section 2.6): predict machine-parameter changes without
+// re-running the application, then sanity-check the headline prediction.
+//
+//   ./whatif_explorer [workload] [max_procs]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scaltool;
+  const std::string workload = argc > 1 ? argv[1] : "t3dheat";
+  const int max_procs = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+
+  std::cout << "Collecting measurements for " << workload << "...\n";
+  const ScalToolInputs inputs =
+      runner.collect(workload, s0, default_proc_counts(max_procs));
+  const ScalabilityReport report = analyze(inputs);
+  std::cout << model_summary(report) << "\n";
+
+  {
+    WhatIfParams p;  // identity: the model should reproduce the base runs
+    whatif_table(what_if(report, inputs, p), "identity (model self-check)")
+        .print(std::cout);
+  }
+  {
+    WhatIfParams p;
+    p.l2_scale_k = 2.0;
+    whatif_table(what_if(report, inputs, p), "L2 cache x2").print(std::cout);
+  }
+  {
+    WhatIfParams p;
+    p.tm_scale = 0.5;
+    whatif_table(what_if(report, inputs, p),
+                 "memory/interconnect 2x faster (tm/2)")
+        .print(std::cout);
+  }
+  {
+    WhatIfParams p;
+    p.tsyn_scale = 0.25;
+    whatif_table(what_if(report, inputs, p),
+                 "synchronization 4x faster (t_syn/4)")
+        .print(std::cout);
+  }
+  {
+    WhatIfParams p;
+    p.pi0_scale = 0.5;
+    whatif_table(what_if(report, inputs, p), "double-issue core (pi0/2)")
+        .print(std::cout);
+  }
+  return 0;
+}

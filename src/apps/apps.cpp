@@ -1,0 +1,40 @@
+#include "apps/apps.hpp"
+
+#include <memory>
+
+namespace scaltool {
+
+void register_standard_workloads() {
+  WorkloadRegistry& reg = WorkloadRegistry::instance();
+  if (reg.contains("t3dheat")) return;  // already populated
+  reg.register_workload("t3dheat",
+                        [] { return std::unique_ptr<Workload>(new T3dheat); });
+  reg.register_workload("hydro2d",
+                        [] { return std::unique_ptr<Workload>(new Hydro2d); });
+  reg.register_workload("swim",
+                        [] { return std::unique_ptr<Workload>(new Swim); });
+  reg.register_workload("fft",
+                        [] { return std::unique_ptr<Workload>(new Fft); });
+  reg.register_workload("lu",
+                        [] { return std::unique_ptr<Workload>(new Lu); });
+  reg.register_workload("sync_kernel", [] {
+    return std::unique_ptr<Workload>(new SyncKernel);
+  });
+  reg.register_workload("spin_kernel", [] {
+    return std::unique_ptr<Workload>(new SpinKernel);
+  });
+  reg.register_workload("compute_kernel", [] {
+    return std::unique_ptr<Workload>(new ComputeKernel);
+  });
+  reg.register_workload("stream_kernel", [] {
+    return std::unique_ptr<Workload>(new StreamKernel);
+  });
+  reg.register_workload("sharing_kernel", [] {
+    return std::unique_ptr<Workload>(new SharingKernel);
+  });
+  reg.register_workload("lock_kernel", [] {
+    return std::unique_ptr<Workload>(new LockKernel);
+  });
+}
+
+}  // namespace scaltool

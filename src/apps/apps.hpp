@@ -1,0 +1,19 @@
+// Convenience umbrella: all bundled workloads plus registry population.
+#pragma once
+
+#include "apps/fft.hpp"
+#include "apps/hydro2d.hpp"
+#include "apps/kernels.hpp"
+#include "apps/lu.hpp"
+#include "apps/micro.hpp"
+#include "apps/swim.hpp"
+#include "apps/t3dheat.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+
+/// Registers every bundled workload in the process-wide registry.
+/// Idempotent: safe to call more than once.
+void register_standard_workloads();
+
+}  // namespace scaltool

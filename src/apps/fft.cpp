@@ -1,0 +1,79 @@
+#include "apps/fft.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "trace/access_pattern.hpp"
+
+namespace scaltool {
+
+namespace {
+constexpr std::size_t kElem = 8;
+}  // namespace
+
+void Fft::setup(AllocContext& alloc, const WorkloadParams& params,
+                int num_procs) {
+  ST_CHECK(transpose_frac_ >= 0.0 && transpose_frac_ <= 1.0);
+  n_ = std::bit_floor(params.dataset_bytes / kBytesPerPoint);
+  ST_CHECK_MSG(n_ >= static_cast<std::size_t>(num_procs) * 2,
+               "data set too small for " << num_procs << " processors");
+  stages_ = std::countr_zero(n_);
+  iters_ = params.iterations;
+  ST_CHECK(iters_ >= 1);
+  nprocs_ = num_procs;
+  re_ = alloc.allocate(n_ * kElem, "re");
+  im_ = alloc.allocate(n_ * kElem, "im");
+}
+
+int Fft::num_phases() const {
+  // init + per iteration: `stages_` butterfly phases + 1 transpose phase.
+  return 1 + iters_ * (stages_ + 1);
+}
+
+void Fft::run_phase(int phase, ProcContext& ctx) {
+  const ProcId p = ctx.proc();
+  const BlockRange range = block_range(n_, nprocs_, p);
+
+  if (phase == 0) {
+    for (Addr base : {re_, im_})
+      stream_write(ctx, base, range.begin, range.size(), kElem, 1.0);
+    return;
+  }
+
+  const int k = (phase - 1) % (stages_ + 1);
+  if (k < stages_) {
+    // Butterfly stage k: pair (i, i ^ 2^k). Each processor updates its own
+    // block; partners beyond the block edge read remote data (sharing that
+    // grows with the stage distance).
+    const std::size_t stride = std::size_t{1} << k;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const std::size_t partner = i ^ stride;
+      ctx.load(re_ + static_cast<Addr>(i * kElem));
+      ctx.load(im_ + static_cast<Addr>(i * kElem));
+      ctx.load(re_ + static_cast<Addr>(partner * kElem));
+      ctx.load(im_ + static_cast<Addr>(partner * kElem));
+      ctx.compute(10.0);  // complex multiply-add + twiddle
+      ctx.store(re_ + static_cast<Addr>(i * kElem));
+      ctx.store(im_ + static_cast<Addr>(i * kElem));
+    }
+  } else {
+    // Transpose: each processor reads a stripe from every other block —
+    // the all-to-all. The stripe length scales with transpose_frac.
+    ctx.begin_region("transpose");
+    for (int q = 0; q < nprocs_; ++q) {
+      if (q == p) continue;
+      const BlockRange theirs = block_range(n_, nprocs_, q);
+      const auto stripe = static_cast<std::size_t>(
+          transpose_frac_ * static_cast<double>(theirs.size()) /
+          static_cast<double>(nprocs_));
+      for (std::size_t i = 0; i < stripe; ++i) {
+        const std::size_t idx = theirs.begin + i;
+        ctx.load(re_ + static_cast<Addr>(idx * kElem));
+        ctx.compute(1.0);
+      }
+    }
+    ctx.end_region();
+  }
+}
+
+}  // namespace scaltool

@@ -1,0 +1,47 @@
+// FFT: butterfly stages with an all-to-all transpose (beyond the paper's
+// three applications — a workload whose bottleneck is *communication*, the
+// case Scal-Tool's Coh(s0,n) machinery and the sharing extension exist
+// for).
+//
+// Structure per iteration: log2(N) barrier-separated butterfly stages over
+// a block-partitioned array, followed by a transpose phase in which every
+// processor reads one block stripe from every other processor — dense
+// all-to-all coherence traffic that grows with the processor count.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class Fft final : public Workload {
+ public:
+  /// `transpose_frac` sets how much of the array each processor pulls from
+  /// remote blocks during the transpose (1.0 = the full classic
+  /// all-to-all).
+  explicit Fft(double transpose_frac = 0.5)
+      : transpose_frac_(transpose_frac) {}
+
+  std::string name() const override { return "fft"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override;
+  void run_phase(int phase, ProcContext& ctx) override;
+
+  static constexpr std::size_t kBytesPerPoint = 2 * 8;  // re + im
+
+ private:
+  double transpose_frac_;
+  std::size_t n_ = 0;
+  int stages_ = 0;
+  int iters_ = 0;
+  int nprocs_ = 0;
+  Addr re_ = 0, im_ = 0;
+};
+
+}  // namespace scaltool

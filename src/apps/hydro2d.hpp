@@ -1,0 +1,46 @@
+// Hydro2d: shallow-water sweeps with large serial sections (modelled on
+// SPECFP95 Hydro2d of Table 4: MP DOACROSS parallelism, "modest scalability
+// (9 at 32 processors). Large serial sections").
+//
+// Each iteration runs three parallel sweeps and one serial section executed
+// by processor 0 while everyone else spins at the closing barrier — the
+// paper's load-imbalance bottleneck, which Figure 9 shows dominating this
+// application. The serial fraction defaults to ≈8% of the work, which by
+// Amdahl's law caps the 32-processor speedup near 9.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class Hydro2d final : public Workload {
+ public:
+  /// `serial_frac` is the fraction of per-iteration work done serially.
+  explicit Hydro2d(double serial_frac = 0.19) : serial_frac_(serial_frac) {}
+
+  std::string name() const override { return "hydro2d"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override;
+  void run_phase(int phase, ProcContext& ctx) override;
+
+  static constexpr std::size_t kBytesPerPoint = 4 * 8;
+
+ private:
+  static constexpr int kPhasesPerIter = 4;
+
+  double serial_frac_;
+  std::size_t n_ = 0;
+  std::size_t serial_elems_ = 0;
+  int iters_ = 0;
+  int nprocs_ = 0;
+  Addr u_ = 0, v_ = 0, h_ = 0, tmp_ = 0;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,36 @@
+#include "apps/kernels.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+void SyncKernel::setup(AllocContext& alloc, const WorkloadParams& params,
+                       int num_procs) {
+  (void)alloc;
+  (void)params;
+  (void)num_procs;
+  ST_CHECK(barriers_ >= 1);
+}
+
+void SyncKernel::run_phase(int phase, ProcContext& ctx) {
+  (void)phase;
+  // A couple of loop-control instructions between barriers; the barrier
+  // cost itself is charged by the machine when the phase closes.
+  ctx.compute(2.0);
+}
+
+void SpinKernel::setup(AllocContext& alloc, const WorkloadParams& params,
+                       int num_procs) {
+  (void)alloc;
+  (void)params;
+  (void)num_procs;
+  ST_CHECK(phases_ >= 1);
+  ST_CHECK(work_instr_ > 0.0);
+}
+
+void SpinKernel::run_phase(int phase, ProcContext& ctx) {
+  (void)phase;
+  if (ctx.proc() == 0) ctx.compute(work_instr_);
+}
+
+}  // namespace scaltool

@@ -1,0 +1,65 @@
+// Measurement kernels of Section 2.4.2.
+//
+// "We estimate cpi_syn and cpi_imb by running small, synthetic kernels that
+// continuously synchronize and spin in an idle loop, respectively. The
+// hardware event counters tell us the CPI."
+//
+// SyncKernel: processors come in and out of barriers with almost no work in
+// between — no spinning, exactly as the paper prescribes. Its measured CPI
+// is cpi_syn(n), and inverting Eq. 10 on its counters yields the fetchop
+// latency t_syn(n).
+//
+// SpinKernel: one processor computes while the rest spin idle at the
+// barrier; its measured CPI converges to cpi_imb.
+#pragma once
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class SyncKernel final : public Workload {
+ public:
+  explicit SyncKernel(int barriers = 64) : barriers_(barriers) {}
+
+  std::string name() const override { return "sync_kernel"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kPCF;
+  }
+
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override { return barriers_; }
+  void run_phase(int phase, ProcContext& ctx) override;
+
+ private:
+  int barriers_;
+};
+
+class SpinKernel final : public Workload {
+ public:
+  /// `work_instr` is the busy processor's per-phase instruction count; the
+  /// larger it is, the longer the others spin.
+  /// The default work per phase is large enough that spinning dwarfs the
+  /// barrier cost even on 32 processors, so the measured CPI is the spin
+  /// loop's and not the barrier's.
+  explicit SpinKernel(int phases = 8, double work_instr = 60000.0)
+      : phases_(phases), work_instr_(work_instr) {}
+
+  std::string name() const override { return "spin_kernel"; }
+  /// MP: the idle processors wait in wait_for_work — genuine spinning —
+  /// which is exactly the CPI this kernel exists to measure.
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override { return phases_; }
+  void run_phase(int phase, ProcContext& ctx) override;
+
+ private:
+  int phases_;
+  double work_instr_;
+};
+
+}  // namespace scaltool

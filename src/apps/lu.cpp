@@ -1,0 +1,80 @@
+#include "apps/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "trace/access_pattern.hpp"
+
+namespace scaltool {
+
+void Lu::setup(AllocContext& alloc, const WorkloadParams& params,
+               int num_procs) {
+  dim_ = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(params.dataset_bytes / kElem)));
+  ST_CHECK_MSG(dim_ >= static_cast<std::size_t>(num_procs) * 2,
+               "matrix too small for " << num_procs << " processors");
+  // One elimination step per "iteration", spread over the matrix: use
+  // iterations as a multiplier on a base of dim/8 steps so run length
+  // scales the same way as the other applications.
+  steps_ = std::max(1, static_cast<int>(dim_) / 8 * params.iterations / 3);
+  steps_ = std::min<int>(steps_, static_cast<int>(dim_) - 2);
+  nprocs_ = num_procs;
+  a_ = alloc.allocate(dim_ * dim_ * kElem, "A");
+}
+
+int Lu::num_phases() const { return 1 + steps_ * kPhasesPerStep; }
+
+void Lu::run_phase(int phase, ProcContext& ctx) {
+  const ProcId p = ctx.proc();
+
+  if (phase == 0) {
+    // First touch by block rows.
+    const BlockRange rows = block_range(dim_, nprocs_, p);
+    for (std::size_t r = rows.begin; r < rows.end; ++r)
+      stream_write(ctx, a_, index(r, 0), dim_, kElem, 0.5);
+    return;
+  }
+
+  const int step = (phase - 1) / kPhasesPerStep;
+  const int k = (phase - 1) % kPhasesPerStep;
+  // Eliminations progress through the matrix; spread the simulated steps
+  // evenly over the rows so late phases work on a small trailing block.
+  const auto pivot = static_cast<std::size_t>(
+      static_cast<double>(step) / steps_ * (static_cast<double>(dim_) - 2.0));
+  const std::size_t trailing = dim_ - pivot - 1;
+
+  if (k == 0) {
+    // Panel factorization: the pivot row's owner scales the panel alone.
+    const BlockRange rows = block_range(dim_, nprocs_, p);
+    if (pivot >= rows.begin && pivot < rows.end) {
+      ctx.begin_region("panel");
+      for (std::size_t c = pivot; c < dim_; ++c) {
+        ctx.load(a_ + static_cast<Addr>(index(pivot, c) * kElem));
+        ctx.compute(6.0);
+        ctx.store(a_ + static_cast<Addr>(index(pivot, c) * kElem));
+      }
+      ctx.end_region();
+    }
+    return;
+  }
+
+  // Trailing-submatrix update: rows below the pivot, block-partitioned
+  // over the *remaining* rows — the shrinking parallel section.
+  const BlockRange mine = block_range(trailing, nprocs_, p);
+  for (std::size_t i = mine.begin; i < mine.end; ++i) {
+    const std::size_t row = pivot + 1 + i;
+    // Read the pivot row (owned by one processor: read sharing) and update
+    // a strip of our row.
+    const std::size_t strip = std::min<std::size_t>(trailing, 64);
+    for (std::size_t c = 0; c < strip; ++c) {
+      const std::size_t col = pivot + 1 + c;
+      ctx.load(a_ + static_cast<Addr>(index(pivot, col) * kElem));
+      ctx.load(a_ + static_cast<Addr>(index(row, col) * kElem));
+      ctx.compute(2.0);
+      ctx.store(a_ + static_cast<Addr>(index(row, col) * kElem));
+    }
+  }
+}
+
+}  // namespace scaltool

@@ -1,0 +1,43 @@
+// LU: right-looking blocked factorization (beyond the paper's three
+// applications — a workload whose parallelism *shrinks* as it proceeds,
+// the canonical growing-load-imbalance pattern).
+//
+// Iteration k eliminates panel k: the panel owner factors it alone (a
+// serial section that every other processor waits out), then all
+// processors update their share of the trailing submatrix, which shrinks
+// with k — so late iterations leave more and more processors idle.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class Lu final : public Workload {
+ public:
+  std::string name() const override { return "lu"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override;
+  void run_phase(int phase, ProcContext& ctx) override;
+
+ private:
+  static constexpr std::size_t kElem = 8;
+  static constexpr int kPhasesPerStep = 2;  // panel factor + trailing update
+
+  std::size_t dim_ = 0;      ///< matrix is dim_ × dim_ doubles
+  int steps_ = 0;            ///< elimination steps simulated
+  int nprocs_ = 0;
+  Addr a_ = 0;
+
+  std::size_t index(std::size_t row, std::size_t col) const {
+    return row * dim_ + col;
+  }
+};
+
+}  // namespace scaltool

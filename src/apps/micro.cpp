@@ -1,0 +1,55 @@
+#include "apps/micro.hpp"
+
+#include "common/check.hpp"
+#include "trace/access_pattern.hpp"
+
+namespace scaltool {
+
+namespace {
+constexpr std::size_t kElem = 8;
+}  // namespace
+
+void StreamKernel::setup(AllocContext& alloc, const WorkloadParams& params,
+                         int num_procs) {
+  n_ = params.dataset_bytes / kElem;
+  ST_CHECK(n_ >= static_cast<std::size_t>(num_procs));
+  iters_ = params.iterations;
+  nprocs_ = num_procs;
+  a_ = alloc.allocate(n_ * kElem, "a");
+}
+
+void StreamKernel::run_phase(int phase, ProcContext& ctx) {
+  const BlockRange range = block_range(n_, nprocs_, ctx.proc());
+  if (phase == 0) {
+    stream_write(ctx, a_, range.begin, range.size(), kElem, 1.0);
+    return;
+  }
+  stream_read(ctx, a_, range.begin, range.size(), kElem, 2.0);
+}
+
+void SharingKernel::setup(AllocContext& alloc, const WorkloadParams& params,
+                          int num_procs) {
+  n_ = params.dataset_bytes / kElem;
+  ST_CHECK(n_ >= static_cast<std::size_t>(num_procs));
+  iters_ = params.iterations;
+  nprocs_ = num_procs;
+  a_ = alloc.allocate(n_ * kElem, "a");
+}
+
+void SharingKernel::run_phase(int phase, ProcContext& ctx) {
+  const ProcId p = ctx.proc();
+  if (phase == 0) {
+    const BlockRange own = block_range(n_, nprocs_, p);
+    stream_write(ctx, a_, own.begin, own.size(), kElem, 1.0);
+    return;
+  }
+  // Read the left neighbour's block (written last phase), then rewrite our
+  // own — every line of the neighbour block migrates here.
+  const int left = (p + nprocs_ - 1) % nprocs_;
+  const BlockRange theirs = block_range(n_, nprocs_, left);
+  stream_read(ctx, a_, theirs.begin, theirs.size(), kElem, 1.0);
+  const BlockRange own = block_range(n_, nprocs_, p);
+  stream_write(ctx, a_, own.begin, own.size(), kElem, 1.0);
+}
+
+}  // namespace scaltool

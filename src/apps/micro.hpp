@@ -1,0 +1,97 @@
+// Microkernels for calibration, tests and ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+/// Pure compute, no memory: measures the machine's base CPI directly.
+class ComputeKernel final : public Workload {
+ public:
+  explicit ComputeKernel(double instr_per_phase = 10000.0)
+      : instr_(instr_per_phase) {}
+  std::string name() const override { return "compute_kernel"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+  void setup(AllocContext&, const WorkloadParams&, int) override {}
+  int num_phases() const override { return 4; }
+  void run_phase(int, ProcContext& ctx) override { ctx.compute(instr_); }
+
+ private:
+  double instr_;
+};
+
+/// Block-partitioned streaming sweeps over one array sized by
+/// dataset_bytes; repeated `iterations` times. The canonical workload for
+/// exercising capacity behaviour: its L2 hit rate vs data-set size curve
+/// has the exact Fig. 3-(a) shape.
+class StreamKernel final : public Workload {
+ public:
+  std::string name() const override { return "stream_kernel"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override { return 1 + iters_; }
+  void run_phase(int phase, ProcContext& ctx) override;
+
+ private:
+  std::size_t n_ = 0;
+  int iters_ = 0;
+  int nprocs_ = 0;
+  Addr a_ = 0;
+};
+
+/// Producer-consumer sharing stress: in every phase each processor writes a
+/// block and reads the block its left neighbour wrote in the previous
+/// phase, generating dense coherence traffic. Used to validate the
+/// directory and the coherence-miss classification.
+class SharingKernel final : public Workload {
+ public:
+  std::string name() const override { return "sharing_kernel"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override { return 1 + iters_; }
+  void run_phase(int phase, ProcContext& ctx) override;
+
+ private:
+  std::size_t n_ = 0;
+  int iters_ = 0;
+  int nprocs_ = 0;
+  Addr a_ = 0;
+};
+
+/// Lock-contention stress: every processor repeatedly enters the same
+/// critical section. Used to validate the lock timeline and the
+/// synchronization accounting on lock-based (PCF) codes.
+class LockKernel final : public Workload {
+ public:
+  explicit LockKernel(int sections_per_phase = 8, double cs_instr = 200.0)
+      : sections_(sections_per_phase), cs_instr_(cs_instr) {}
+  std::string name() const override { return "lock_kernel"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kPCF;
+  }
+  void setup(AllocContext&, const WorkloadParams&, int) override {}
+  int num_phases() const override { return 4; }
+  void run_phase(int, ProcContext& ctx) override {
+    for (int i = 0; i < sections_; ++i) {
+      ctx.compute(50.0);
+      ctx.critical_section(/*lock_id=*/0, cs_instr_);
+    }
+  }
+
+ private:
+  int sections_;
+  double cs_instr_;
+};
+
+}  // namespace scaltool

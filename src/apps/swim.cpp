@@ -1,0 +1,108 @@
+#include "apps/swim.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/access_pattern.hpp"
+
+namespace scaltool {
+
+namespace {
+constexpr std::size_t kElem = 8;
+}  // namespace
+
+void Swim::setup(AllocContext& alloc, const WorkloadParams& params,
+                 int num_procs) {
+  ST_CHECK(boundary_frac_ >= 0.0 && boundary_frac_ < 0.5);
+  n_ = params.dataset_bytes / kBytesPerPoint;
+  ST_CHECK_MSG(n_ >= static_cast<std::size_t>(num_procs),
+               "data set too small for " << num_procs << " processors");
+  iters_ = params.iterations;
+  ST_CHECK(iters_ >= 1);
+  nprocs_ = num_procs;
+  const double total_work = 3.0 * static_cast<double>(n_);
+  boundary_elems_ = static_cast<std::size_t>(boundary_frac_ * total_work);
+  boundary_elems_ = std::min(boundary_elems_, n_);
+  u_ = alloc.allocate(n_ * kElem, "u");
+  v_ = alloc.allocate(n_ * kElem, "v");
+  p_ = alloc.allocate(n_ * kElem, "p");
+  unew_ = alloc.allocate(n_ * kElem, "unew");
+  vnew_ = alloc.allocate(n_ * kElem, "vnew");
+  pnew_ = alloc.allocate(n_ * kElem, "pnew");
+}
+
+int Swim::num_phases() const { return 1 + iters_ * kPhasesPerIter; }
+
+void Swim::run_phase(int phase, ProcContext& ctx) {
+  const ProcId proc = ctx.proc();
+  const BlockRange range = block_range(n_, nprocs_, proc);
+
+  if (phase == 0) {
+    for (Addr base : {u_, v_, p_, unew_, vnew_, pnew_})
+      stream_write(ctx, base, range.begin, range.size(), kElem, 1.0);
+    return;
+  }
+
+  // Under the row partition each sweep reads whole boundary rows of the
+  // neighbouring processors — lines the neighbours wrote in the previous
+  // sweep. This true sharing is the "non-synchronization data sharing"
+  // that Sec. 4.3 blames for the model/measurement divergence at 32.
+  const auto halo = [&](Addr array) {
+    if (nprocs_ == 1) return;
+    const std::size_t h = std::min(halo_elems_, range.size());
+    for (std::size_t k = 1; k <= h; ++k) {
+      if (range.begin >= k)
+        ctx.load(array + static_cast<Addr>((range.begin - k) * kElem));
+      if (range.end + k <= n_)
+        ctx.load(array + static_cast<Addr>((range.end + k - 1) * kElem));
+      ctx.compute(1.0);
+    }
+  };
+
+  switch ((phase - 1) % kPhasesPerIter) {
+    case 0:
+      halo(p_);
+      stencil3(ctx, p_, unew_, range.begin, range.size(), n_, kElem,
+               /*flops_per_elem=*/10.0);
+      break;
+    case 1:
+      halo(u_);
+      stencil3(ctx, u_, vnew_, range.begin, range.size(), n_, kElem,
+               /*flops_per_elem=*/10.0);
+      break;
+    case 2: {
+      // pnew = stencil(v); then the new fields are copied back in place.
+      halo(v_);
+      stencil3(ctx, v_, pnew_, range.begin, range.size(), n_, kElem,
+                /*flops_per_elem=*/10.0);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        const Addr off = static_cast<Addr>(i * kElem);
+        ctx.load(unew_ + off);
+        ctx.store(u_ + off);
+        ctx.load(vnew_ + off);
+        ctx.store(v_ + off);
+        ctx.load(pnew_ + off);
+        ctx.store(p_ + off);
+        ctx.compute(9.0);
+      }
+      // Periodic-boundary fix-up: a fixed chunk of extra work pinned to
+      // processor 0 — the "modest" imbalance of Sec. 4.3.
+      if (proc == 0 && nprocs_ > 1) {
+        ctx.begin_region("boundary_fixup");
+        const std::size_t span = std::max<std::size_t>(1, range.size());
+        for (std::size_t i = 0; i < boundary_elems_; ++i) {
+          const Addr off = static_cast<Addr>((i % span) * kElem);
+          ctx.load(p_ + off);
+          ctx.compute(10.0);
+          ctx.store(p_ + off);
+        }
+        ctx.end_region();
+      }
+      break;
+    }
+    default:
+      ST_CHECK_MSG(false, "unreachable phase " << phase);
+  }
+}
+
+}  // namespace scaltool

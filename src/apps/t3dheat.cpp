@@ -1,0 +1,115 @@
+#include "apps/t3dheat.hpp"
+
+#include "common/check.hpp"
+#include "trace/access_pattern.hpp"
+
+namespace scaltool {
+
+namespace {
+constexpr std::size_t kElem = 8;     // double
+constexpr std::size_t kLine = 64;    // padding for reduction slots
+}  // namespace
+
+void T3dheat::setup(AllocContext& alloc, const WorkloadParams& params,
+                    int num_procs) {
+  n_ = params.dataset_bytes / kBytesPerPoint;
+  ST_CHECK_MSG(n_ >= static_cast<std::size_t>(num_procs),
+               "data set too small for " << num_procs << " processors");
+  iters_ = params.iterations;
+  ST_CHECK(iters_ >= 1);
+  nprocs_ = num_procs;
+  x_ = alloc.allocate(n_ * kElem, "x");
+  r_ = alloc.allocate(n_ * kElem, "r");
+  p_ = alloc.allocate(n_ * kElem, "p");
+  q_ = alloc.allocate(n_ * kElem, "q");
+  z_ = alloc.allocate(n_ * kElem, "z");
+  partials_ = alloc.allocate(static_cast<std::size_t>(num_procs) * kLine,
+                             "partials");
+  scalars_ = alloc.allocate(kLine, "scalars");
+}
+
+int T3dheat::num_phases() const { return 1 + iters_ * kPhasesPerIter; }
+
+void T3dheat::run_phase(int phase, ProcContext& ctx) {
+  const ProcId p = ctx.proc();
+  const BlockRange range = block_range(n_, nprocs_, p);
+  const Addr partial_slot = partials_ + static_cast<Addr>(p) * kLine;
+
+  if (phase == 0) {
+    // Initialization: each processor first-touches its block of every
+    // vector, placing the pages on its own node (block scheduling +
+    // first-touch, the Origin defaults of Sec. 3).
+    for (Addr base : {x_, r_, p_, q_, z_})
+      stream_write(ctx, base, range.begin, range.size(), kElem,
+                   /*flops_per_elem=*/1.0);
+    return;
+  }
+
+  // Slice `s` of this processor's block (the PCF strips; each ends in a
+  // barrier, so locality stays with the block owner).
+  const auto slice = [&](int s) {
+    BlockRange r;
+    const std::size_t len = range.size();
+    r.begin = range.begin + len * static_cast<std::size_t>(s) / kSlices;
+    r.end = range.begin + len * static_cast<std::size_t>(s + 1) / kSlices;
+    return r;
+  };
+
+  const int k = (phase - 1) % kPhasesPerIter;
+  const auto serial_reduce = [&](Addr out) {
+    if (p != 0) return;
+    for (int i = 0; i < nprocs_; ++i)
+      ctx.load(partials_ + static_cast<Addr>(i) * kLine);
+    ctx.compute(static_cast<double>(nprocs_) + 4.0);
+    ctx.store(out);
+  };
+
+  if (k < kSlices) {
+    // q = A·p — 7-point stencil collapsed to a 3-point line sweep at the
+    // same bytes/flops ratio, in barrier-separated strips.
+    const BlockRange sr = slice(k);
+    ctx.begin_region("spmv");
+    stencil3(ctx, p_, q_, sr.begin, sr.size(), n_, kElem);
+    ctx.end_region();
+  } else if (k == kSlices) {
+    // Partial dot product p·q.
+    dot_partial(ctx, p_, q_, range.begin, range.size(), kElem, partial_slot);
+  } else if (k == kSlices + 1) {
+    // Serial reduction of the partials into alpha.
+    serial_reduce(scalars_);
+  } else if (k < 2 * kSlices + 2) {
+    // x += alpha·p ; r −= alpha·q (fused vector update), in strips.
+    const BlockRange sr = slice(k - (kSlices + 2));
+    ctx.load(scalars_);
+    for (std::size_t i = sr.begin; i < sr.end; ++i) {
+      const Addr off = static_cast<Addr>(i * kElem);
+      ctx.load(p_ + off);
+      ctx.load(x_ + off);
+      ctx.compute(2.0);
+      ctx.store(x_ + off);
+      ctx.load(q_ + off);
+      ctx.load(r_ + off);
+      ctx.compute(2.0);
+      ctx.store(r_ + off);
+    }
+  } else if (k == 2 * kSlices + 2) {
+    // Partial dot product r·r.
+    dot_partial(ctx, r_, r_, range.begin, range.size(), kElem, partial_slot);
+  } else if (k == 2 * kSlices + 3) {
+    // Serial reduction for beta.
+    serial_reduce(scalars_ + kElem);
+  } else {
+    // p = r + beta·p, in strips.
+    const BlockRange sr = slice(k - (2 * kSlices + 4));
+    ctx.load(scalars_ + kElem);
+    for (std::size_t i = sr.begin; i < sr.end; ++i) {
+      const Addr off = static_cast<Addr>(i * kElem);
+      ctx.load(r_ + off);
+      ctx.load(p_ + off);
+      ctx.compute(2.0);
+      ctx.store(p_ + off);
+    }
+  }
+}
+
+}  // namespace scaltool

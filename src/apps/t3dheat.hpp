@@ -1,0 +1,53 @@
+// T3dheat: conjugate-gradient PDE solver (modelled on the LANL code of
+// Table 4: "PDE solver using conjug. gradient", PCF directives with
+// explicit barriers, excellent load balance, data set ≈ 10× the L2).
+//
+// Each CG iteration runs seven barrier-separated phases: the stencil
+// matrix-vector product, two dot products with their serial reductions, and
+// two vector updates. The heavy cross-iteration reuse of the five CG
+// vectors is what makes insufficient caching space nearly double the
+// 1-processor execution time, and the high barrier frequency is what makes
+// synchronization dominate at large processor counts — the two signature
+// behaviours of Figure 6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class T3dheat final : public Workload {
+ public:
+  std::string name() const override { return "t3dheat"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kPCF;
+  }
+
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override;
+  void run_phase(int phase, ProcContext& ctx) override;
+
+  /// Bytes per grid point across the five CG vectors.
+  static constexpr std::size_t kBytesPerPoint = 5 * 8;
+
+ private:
+  /// The PCF source barriers after every parallel loop slice (the code
+  /// runs its sweeps in `istep` strips); each CG iteration therefore
+  /// executes 3 sliced sweeps plus two dot/reduce pairs. The high barrier
+  /// frequency is what makes synchronization the dominant multiprocessor
+  /// cost at scale (Fig. 6).
+  static constexpr int kSlices = 8;
+  static constexpr int kPhasesPerIter = 3 * kSlices + 4;
+
+  std::size_t n_ = 0;  ///< grid points
+  int iters_ = 0;
+  int nprocs_ = 0;
+  Addr x_ = 0, r_ = 0, p_ = 0, q_ = 0, z_ = 0;
+  Addr partials_ = 0;  ///< per-processor line-padded reduction slots
+  Addr scalars_ = 0;   ///< alpha/beta, shared by everyone
+};
+
+}  // namespace scaltool

@@ -1,0 +1,209 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+
+namespace scaltool {
+
+const char* line_state_name(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+const char* replacement_policy_name(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "lru";
+    case ReplacementPolicy::kTreePlru: return "tree-plru";
+    case ReplacementPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+void CacheConfig::validate() const {
+  ST_CHECK_MSG(line_bytes > 0 && std::has_single_bit(
+                   static_cast<unsigned>(line_bytes)),
+               "line size must be a positive power of two");
+  ST_CHECK_MSG(associativity > 0, "associativity must be positive");
+  ST_CHECK_MSG(size_bytes % (static_cast<std::size_t>(line_bytes) *
+                             static_cast<std::size_t>(associativity)) == 0,
+               "cache size must be a multiple of line size × associativity");
+  ST_CHECK_MSG(std::has_single_bit(num_sets()),
+               "number of sets must be a power of two, got " << num_sets());
+  if (replacement == ReplacementPolicy::kTreePlru) {
+    ST_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(associativity)),
+                 "tree-PLRU needs power-of-two associativity");
+    ST_CHECK_MSG(associativity <= 32, "tree-PLRU supports up to 32 ways");
+  }
+}
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), rng_(config.random_seed) {
+  config_.validate();
+  line_bits_ = std::countr_zero(static_cast<unsigned>(config_.line_bytes));
+  line_mask_ = static_cast<Addr>(config_.line_bytes) - 1;
+  ways_.resize(config_.num_sets() * static_cast<std::size_t>(
+                                        config_.associativity));
+  if (config_.replacement == ReplacementPolicy::kTreePlru)
+    plru_.assign(config_.num_sets(), 0);
+}
+
+Cache::Way* Cache::find(Addr line_addr) {
+  const std::size_t base =
+      set_index(line_addr) * static_cast<std::size_t>(config_.associativity);
+  for (int w = 0; w < config_.associativity; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.state != LineState::kInvalid && way.tag == line_addr) return &way;
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(Addr line_addr) const {
+  return const_cast<Cache*>(this)->find(line_addr);
+}
+
+LineState Cache::probe(Addr addr) const {
+  const Way* way = find(line_of(addr));
+  return way ? way->state : LineState::kInvalid;
+}
+
+void Cache::mark_used(std::size_t set, int way) {
+  switch (config_.replacement) {
+    case ReplacementPolicy::kLru:
+      ways_[set * static_cast<std::size_t>(config_.associativity) +
+            static_cast<std::size_t>(way)]
+          .lru = ++tick_;
+      break;
+    case ReplacementPolicy::kTreePlru: {
+      // Walk from the root; flip each internal node to point *away* from
+      // the used way. Nodes are stored heap-style: node 1 is the root,
+      // children of i are 2i and 2i+1; leaves correspond to ways.
+      std::uint32_t& tree = plru_[set];
+      const int levels = std::countr_zero(
+          static_cast<unsigned>(config_.associativity));
+      int node = 1;
+      for (int level = levels - 1; level >= 0; --level) {
+        const int bit = (way >> level) & 1;
+        if (bit)
+          tree |= (1u << node);   // used right subtree → point left (1=left)
+        else
+          tree &= ~(1u << node);  // used left subtree → point right
+        node = node * 2 + bit;
+      }
+      break;
+    }
+    case ReplacementPolicy::kRandom:
+      break;  // stateless
+  }
+}
+
+int Cache::pick_victim_way(std::size_t set) {
+  const std::size_t base =
+      set * static_cast<std::size_t>(config_.associativity);
+  switch (config_.replacement) {
+    case ReplacementPolicy::kLru: {
+      int victim = 0;
+      for (int w = 1; w < config_.associativity; ++w)
+        if (ways_[base + static_cast<std::size_t>(w)].lru <
+            ways_[base + static_cast<std::size_t>(victim)].lru)
+          victim = w;
+      return victim;
+    }
+    case ReplacementPolicy::kTreePlru: {
+      // Follow the pointers: bit set = go left(0 side)? We store 1 = "next
+      // victim on the right was NOT used recently"... Concretely: bit set
+      // means victim is in the *left* subtree after a right-side use, per
+      // mark_used above. Follow: bit set → go left (0), clear → go right.
+      const std::uint32_t tree = plru_[set];
+      const int levels = std::countr_zero(
+          static_cast<unsigned>(config_.associativity));
+      int node = 1;
+      int way = 0;
+      for (int level = 0; level < levels; ++level) {
+        const int go_right = (tree & (1u << node)) ? 0 : 1;
+        way = way * 2 + go_right;
+        node = node * 2 + go_right;
+      }
+      return way;
+    }
+    case ReplacementPolicy::kRandom:
+      return static_cast<int>(
+          rng_.next_below(static_cast<std::uint64_t>(config_.associativity)));
+  }
+  ST_CHECK_MSG(false, "invalid replacement policy");
+}
+
+void Cache::touch(Addr addr) {
+  const Addr line = line_of(addr);
+  Way* way = find(line);
+  ST_CHECK_MSG(way != nullptr, "touch on absent line");
+  const std::size_t set = set_index(line);
+  const int w = static_cast<int>(
+      way - &ways_[set * static_cast<std::size_t>(config_.associativity)]);
+  mark_used(set, w);
+}
+
+void Cache::set_state(Addr addr, LineState s) {
+  ST_CHECK_MSG(s != LineState::kInvalid, "use invalidate() to drop a line");
+  Way* way = find(line_of(addr));
+  ST_CHECK_MSG(way != nullptr, "set_state on absent line");
+  way->state = s;
+}
+
+std::optional<Victim> Cache::insert(Addr addr, LineState s) {
+  ST_CHECK_MSG(s != LineState::kInvalid, "cannot insert an invalid line");
+  const Addr line = line_of(addr);
+  ST_CHECK_MSG(find(line) == nullptr, "insert of already-present line");
+  const std::size_t set = set_index(line);
+  const std::size_t base =
+      set * static_cast<std::size_t>(config_.associativity);
+
+  int slot = -1;
+  for (int w = 0; w < config_.associativity; ++w) {
+    if (ways_[base + static_cast<std::size_t>(w)].state ==
+        LineState::kInvalid) {
+      slot = w;
+      break;
+    }
+  }
+  std::optional<Victim> victim;
+  if (slot < 0) {
+    slot = pick_victim_way(set);
+    Way& victim_way = ways_[base + static_cast<std::size_t>(slot)];
+    victim = Victim{victim_way.tag, victim_way.state};
+  } else {
+    ++occupancy_;
+  }
+  Way& way = ways_[base + static_cast<std::size_t>(slot)];
+  way.tag = line;
+  way.state = s;
+  mark_used(set, slot);
+  return victim;
+}
+
+LineState Cache::invalidate(Addr addr) {
+  Way* way = find(line_of(addr));
+  if (way == nullptr) return LineState::kInvalid;
+  const LineState prior = way->state;
+  way->state = LineState::kInvalid;
+  --occupancy_;
+  return prior;
+}
+
+void Cache::clear() {
+  for (Way& way : ways_) way.state = LineState::kInvalid;
+  plru_.assign(plru_.size(), 0);
+  occupancy_ = 0;
+  tick_ = 0;
+}
+
+void Cache::for_each_line(
+    const std::function<void(Addr, LineState)>& fn) const {
+  for (const Way& way : ways_)
+    if (way.state != LineState::kInvalid) fn(way.tag, way.state);
+}
+
+}  // namespace scaltool

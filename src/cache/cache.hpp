@@ -1,0 +1,124 @@
+// Set-associative cache model with MESI line states and configurable
+// replacement (true LRU, tree-PLRU, pseudo-random).
+//
+// The cache is purely structural: it answers hit/miss, tracks line states
+// and produces victims, while all timing and event counting live in the
+// machine layer. Conflict (capacity+conflict) misses in the paper's sense
+// arise here from real tag-array evictions; compulsory and coherence misses
+// arise from the memory/first-touch and directory layers. The replacement
+// policy is an ablation knob: Scal-Tool's conflict-miss isolation should be
+// robust to it, and bench_ablation_replacement checks that it is.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace scaltool {
+
+/// Cache line coherence state (Illinois / MESI, Papamarcos & Patel [14]).
+enum class LineState : unsigned char { kInvalid, kShared, kExclusive, kModified };
+
+const char* line_state_name(LineState s);
+
+enum class ReplacementPolicy : unsigned char {
+  kLru,       ///< true least-recently-used (default)
+  kTreePlru,  ///< tree pseudo-LRU (requires power-of-two associativity)
+  kRandom,    ///< deterministic pseudo-random victim
+};
+
+const char* replacement_policy_name(ReplacementPolicy p);
+
+struct CacheConfig {
+  std::size_t size_bytes = 64_KiB;
+  int associativity = 4;
+  int line_bytes = 64;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  std::uint64_t random_seed = 0x5eedULL;  ///< for kRandom (deterministic)
+
+  std::size_t num_lines() const {
+    return size_bytes / static_cast<std::size_t>(line_bytes);
+  }
+  std::size_t num_sets() const {
+    return num_lines() / static_cast<std::size_t>(associativity);
+  }
+  /// Validates power-of-two geometry; throws CheckError otherwise.
+  void validate() const;
+};
+
+/// A victim line produced by an insertion.
+struct Victim {
+  Addr line_addr = 0;          ///< line-aligned byte address
+  LineState state = LineState::kInvalid;
+};
+
+/// The cache operates on byte addresses and aligns them internally.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Line-aligned address of `addr`.
+  Addr line_of(Addr addr) const { return addr & ~line_mask_; }
+
+  /// State of the line holding `addr`; kInvalid if absent. Does not touch
+  /// replacement state (a pure probe, like a directory snoop).
+  LineState probe(Addr addr) const;
+
+  /// Marks the line as most-recently used. Precondition: present.
+  void touch(Addr addr);
+
+  /// Changes the state of a present line. Precondition: present.
+  void set_state(Addr addr, LineState s);
+
+  /// Inserts the line in state `s`, evicting a victim chosen by the
+  /// replacement policy if the set is full. Precondition: line not present.
+  std::optional<Victim> insert(Addr addr, LineState s);
+
+  /// Removes the line if present; returns its prior state (kInvalid if it
+  /// was absent).
+  LineState invalidate(Addr addr);
+
+  /// Number of valid lines currently resident.
+  std::size_t occupancy() const { return occupancy_; }
+
+  /// Drops all lines (cold start).
+  void clear();
+
+  /// Visits every valid line (for invariant checks in tests).
+  void for_each_line(
+      const std::function<void(Addr, LineState)>& fn) const;
+
+ private:
+  struct Way {
+    Addr tag = 0;              // full line address (simple and unambiguous)
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;     // larger = more recently used (kLru)
+  };
+
+  std::size_t set_index(Addr line_addr) const {
+    return static_cast<std::size_t>((line_addr >> line_bits_) &
+                                    (config_.num_sets() - 1));
+  }
+  Way* find(Addr line_addr);
+  const Way* find(Addr line_addr) const;
+  void mark_used(std::size_t set, int way);
+  int pick_victim_way(std::size_t set);
+
+  CacheConfig config_;
+  int line_bits_ = 0;
+  Addr line_mask_ = 0;
+  std::vector<Way> ways_;          // num_sets × associativity, row-major
+  std::vector<std::uint32_t> plru_;  // one bit tree per set (kTreePlru)
+  Rng rng_;                        // kRandom victims
+  std::uint64_t tick_ = 0;
+  std::size_t occupancy_ = 0;
+};
+
+}  // namespace scaltool

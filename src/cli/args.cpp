@@ -1,0 +1,107 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+Args::Args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+Args::Args(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void Args::parse(const std::vector<std::string>& tokens) {
+  for (const std::string& tok : tokens) {
+    if (tok.rfind("--", 0) == 0) {
+      const std::string body = tok.substr(2);
+      ST_CHECK_MSG(!body.empty(), "empty option '--'");
+      const auto eq = body.find('=');
+      if (eq == std::string::npos) {
+        options_[body] = "true";  // boolean flag
+      } else {
+        const std::string key = body.substr(0, eq);
+        ST_CHECK_MSG(!key.empty(), "option with empty name: " << tok);
+        options_[key] = body.substr(eq + 1);
+      }
+    } else {
+      positionals_.push_back(tok);
+    }
+  }
+}
+
+std::string Args::positional(std::size_t i,
+                             const std::string& fallback) const {
+  return i < positionals_.size() ? positionals_[i] : fallback;
+}
+
+bool Args::has(const std::string& key) const {
+  queried_[key] = true;
+  return options_.contains(key);
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  std::size_t pos = 0;
+  const int parsed = std::stoi(v, &pos);
+  ST_CHECK_MSG(pos == v.size(), "option --" << key << " is not an integer: "
+                                            << v);
+  return parsed;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  std::size_t pos = 0;
+  const double parsed = std::stod(v, &pos);
+  ST_CHECK_MSG(pos == v.size(), "option --" << key << " is not a number: "
+                                            << v);
+  return parsed;
+}
+
+std::size_t Args::get_size(const std::string& key, std::size_t fallback,
+                           std::size_t l2_bytes) const {
+  const std::string v = get(key, "");
+  return v.empty() ? fallback : parse_size(v, l2_bytes);
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_)
+    if (!queried_.contains(key) || !queried_.at(key)) out.push_back(key);
+  return out;
+}
+
+std::size_t parse_size(const std::string& text, std::size_t l2_bytes) {
+  ST_CHECK_MSG(!text.empty(), "empty size");
+  std::size_t pos = 0;
+  const double value = std::stod(text, &pos);
+  ST_CHECK_MSG(value > 0.0, "size must be positive: " << text);
+  std::string suffix = text.substr(pos);
+  std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (suffix.empty()) return static_cast<std::size_t>(value);
+  if (suffix == "kib" || suffix == "k")
+    return static_cast<std::size_t>(value * 1024.0);
+  if (suffix == "mib" || suffix == "m")
+    return static_cast<std::size_t>(value * 1024.0 * 1024.0);
+  if (suffix == "xl2")
+    return static_cast<std::size_t>(value *
+                                    static_cast<double>(l2_bytes));
+  ST_CHECK_MSG(false, "unknown size suffix in '" << text
+                                                 << "' (use KiB, MiB, xL2)");
+}
+
+}  // namespace scaltool

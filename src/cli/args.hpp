@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for the scaltool CLI.
+//
+// Grammar: positionals and --key=value / --flag options, in any order.
+// Size values accept plain bytes, KiB/MiB suffixes, and "NxL2" (multiples
+// of the configured L2 capacity) — the unit the paper's analysis thinks in.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scaltool {
+
+class Args {
+ public:
+  /// Parses argv[1..). Throws CheckError on malformed options.
+  Args(int argc, const char* const* argv);
+  explicit Args(const std::vector<std::string>& tokens);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  std::string positional(std::size_t i, const std::string& fallback) const;
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Parses a size option: "65536", "64KiB", "4MiB" or "10xL2" (resolved
+  /// against `l2_bytes`).
+  std::size_t get_size(const std::string& key, std::size_t fallback,
+                       std::size_t l2_bytes) const;
+
+  /// Keys that were provided but never queried — catches typos. Call after
+  /// all get()s.
+  std::vector<std::string> unused() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+/// Parses a standalone size string (same grammar as Args::get_size).
+std::size_t parse_size(const std::string& text, std::size_t l2_bytes);
+
+}  // namespace scaltool

@@ -1,0 +1,294 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "apps/apps.hpp"
+#include "cli/args.hpp"
+#include "common/ascii_chart.hpp"
+#include "common/check.hpp"
+#include "core/scaltool.hpp"
+#include "runner/archive.hpp"
+#include "runner/runner.hpp"
+#include "trace/trace_io.hpp"
+#include "tools/perfex.hpp"
+#include "tools/region_report.hpp"
+#include "tools/speedshop.hpp"
+#include "tools/ssusage.hpp"
+
+namespace scaltool::cli {
+
+namespace {
+
+MachineConfig machine_from(const Args& args) {
+  MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+  const std::string topo = args.get("topology", "hypercube");
+  if (topo == "hypercube") {
+    cfg.network.topology = TopologyKind::kBristledHypercube;
+  } else if (topo == "crossbar") {
+    cfg.network.topology = TopologyKind::kCrossbar;
+  } else if (topo == "ring") {
+    cfg.network.topology = TopologyKind::kRing;
+  } else if (topo == "mesh2d") {
+    cfg.network.topology = TopologyKind::kMesh2D;
+  } else {
+    ST_CHECK_MSG(false, "unknown --topology=" << topo);
+  }
+  cfg.l2.size_bytes =
+      args.get_size("l2-size", cfg.l2.size_bytes, cfg.l2.size_bytes);
+  if (args.has("msi")) cfg.exclusive_state = false;
+  cfg.tlb_entries = args.get_int("tlb", cfg.tlb_entries);
+  cfg.validate();
+  return cfg;
+}
+
+ExperimentRunner runner_from(const Args& args) {
+  register_standard_workloads();
+  ExperimentRunner runner(machine_from(args));
+  runner.iterations = args.get_int("iters", runner.iterations);
+  return runner;
+}
+
+bool is_archive(const std::string& target) {
+  std::ifstream is(target);
+  if (!is.good()) return false;
+  std::string head;
+  std::getline(is, head);
+  return head.rfind("scaltool-inputs", 0) == 0;
+}
+
+/// The analyze/whatif commands accept either a saved archive or an app
+/// name (collected on the fly).
+ScalToolInputs inputs_from(const Args& args, const std::string& target,
+                           const ExperimentRunner& runner) {
+  if (is_archive(target)) return load_inputs(target);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 32);
+  return runner.collect(target, s0, default_proc_counts(max_procs));
+}
+
+void warn_unused(const Args& args, std::ostream& os) {
+  for (const std::string& key : args.unused())
+    os << "warning: unrecognized option --" << key << "\n";
+}
+
+void chart_curves(const ScalabilityReport& report, std::ostream& os) {
+  std::vector<std::pair<double, double>> base, no_l2, no_mp;
+  for (const BottleneckPoint& p : report.points) {
+    base.emplace_back(p.n, p.base_cycles / 1e6);
+    no_l2.emplace_back(p.n, p.cycles_no_l2lim / 1e6);
+    no_mp.emplace_back(p.n, p.cycles_no_l2lim_no_mp / 1e6);
+  }
+  AsciiChart chart(56, 14);
+  chart.add_series('B', "Base (Mcycles)", std::move(base));
+  chart.add_series('o', "Base - L2Lim", std::move(no_l2));
+  chart.add_series('.', "Base - L2Lim - MP", std::move(no_mp));
+  os << chart.render();
+}
+
+int cmd_list(std::ostream& os) {
+  register_standard_workloads();
+  os << "bundled workloads:\n";
+  for (const std::string& name : WorkloadRegistry::instance().names())
+    os << "  " << name << "\n";
+  return 0;
+}
+
+int cmd_run(const Args& args, std::ostream& os) {
+  const std::string app = args.positional(1, "");
+  ST_CHECK_MSG(!app.empty(), "usage: scaltool run <app> [--procs=N ...]");
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 4 * l2, l2);
+  const int procs = args.get_int("procs", 8);
+  const bool per_proc = args.has("per-proc");
+  warn_unused(args, os);
+
+  const RunResult result = runner.run_full(app, s0, procs);
+  os << perfex_report(result, per_proc);
+  os << ssusage_report(result, l2);
+  os << speedshop_report(result);
+  if (!result.regions.empty()) region_table(result).print(os);
+  return 0;
+}
+
+int cmd_collect(const Args& args, std::ostream& os) {
+  const std::string app = args.positional(1, "");
+  const std::string out = args.get("out", "");
+  ST_CHECK_MSG(!app.empty() && !out.empty(),
+               "usage: scaltool collect <app> --out=FILE");
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 32);
+  warn_unused(args, os);
+
+  const ScalToolInputs inputs =
+      runner.collect(app, s0, default_proc_counts(max_procs));
+  save_inputs(inputs, out);
+  os << "collected " << inputs.base_runs.size() << " base runs, "
+     << inputs.uni_runs.size() << " uniprocessor runs and "
+     << inputs.kernels.size() << " kernel pairs for " << app << " (s0 = "
+     << format_bytes(s0) << ") into " << out << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& os) {
+  const std::string target = args.positional(1, "");
+  ST_CHECK_MSG(!target.empty(),
+               "usage: scaltool analyze <app|archive> [--sharing]");
+  const ExperimentRunner runner = runner_from(args);
+  AnalyzeOptions options;
+  options.model_sharing = args.has("sharing");
+  const bool chart = args.has("chart");
+  const ScalToolInputs inputs = inputs_from(args, target, runner);
+  warn_unused(args, os);
+
+  const ScalabilityReport report = analyze(inputs, options);
+  os << model_summary(report) << "\n";
+  speedup_table(inputs).print(os);
+  breakdown_table(report).print(os);
+  if (chart) chart_curves(report, os);
+  if (!inputs.validation.empty()) validation_table(report, inputs).print(os);
+  return 0;
+}
+
+int cmd_whatif(const Args& args, std::ostream& os) {
+  const std::string target = args.positional(1, "");
+  ST_CHECK_MSG(!target.empty(),
+               "usage: scaltool whatif <app|archive> --l2x=K ...");
+  const ExperimentRunner runner = runner_from(args);
+  WhatIfParams params;
+  params.l2_scale_k = args.get_double("l2x", 1.0);
+  params.tm_scale = args.get_double("tm-scale", 1.0);
+  params.t2_scale = args.get_double("t2-scale", 1.0);
+  params.tsyn_scale = args.get_double("tsyn-scale", 1.0);
+  params.pi0_scale = args.get_double("pi0-scale", 1.0);
+  const ScalToolInputs inputs = inputs_from(args, target, runner);
+  warn_unused(args, os);
+
+  const ScalabilityReport report = analyze(inputs);
+  if (params.is_identity())
+    os << "note: no parameter changed; showing the identity scenario "
+          "(pass --l2x, --tm-scale, --t2-scale, --tsyn-scale or "
+          "--pi0-scale)\n";
+  whatif_table(what_if(report, inputs, params), "CLI scenario").print(os);
+  return 0;
+}
+
+int cmd_region(const Args& args, std::ostream& os) {
+  const std::string app = args.positional(1, "");
+  const std::string region = args.positional(2, "");
+  ST_CHECK_MSG(!app.empty() && !region.empty(),
+               "usage: scaltool region <app> <region>");
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 16);
+  warn_unused(args, os);
+
+  const ScalToolInputs inputs =
+      runner.collect_region(app, region, s0, default_proc_counts(max_procs));
+  const ScalabilityReport report = analyze(inputs);
+  os << model_summary(report) << "\n";
+  breakdown_table(report).print(os);
+  return 0;
+}
+
+int cmd_record(const Args& args, std::ostream& os) {
+  const std::string app = args.positional(1, "");
+  const std::string out = args.get("out", "");
+  ST_CHECK_MSG(!app.empty() && !out.empty(),
+               "usage: scaltool record <app> --out=FILE");
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 4 * l2, l2);
+  const int procs = args.get_int("procs", 8);
+  warn_unused(args, os);
+
+  RecordingWorkload recorder(WorkloadRegistry::instance().create(app));
+  runner.run_full(recorder, s0, procs);
+  const Trace trace = recorder.trace();
+  save_trace(trace, out);
+  os << "recorded " << trace.total_ops() << " operations of " << app
+     << " (s = " << format_bytes(s0) << ", p = " << procs << ") into "
+     << out << "\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args, std::ostream& os) {
+  const std::string path = args.positional(1, "");
+  ST_CHECK_MSG(!path.empty(),
+               "usage: scaltool replay <tracefile> [machine overrides]");
+  const ExperimentRunner runner = runner_from(args);
+  warn_unused(args, os);
+
+  Trace trace = load_trace(path);
+  const std::size_t bytes = trace.dataset_bytes;
+  const int procs = trace.num_procs;
+  TraceWorkload replay(std::move(trace));
+  const RunResult result = runner.run_full(replay, bytes, procs);
+  os << perfex_report(result);
+  os << speedshop_report(result);
+  return 0;
+}
+
+}  // namespace
+
+void print_help(std::ostream& os) {
+  os << "scaltool — pinpoint and quantify DSM scalability bottlenecks\n"
+        "\n"
+        "usage: scaltool <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                         bundled workloads\n"
+        "  run <app>                    one run: perfex/speedshop/ssusage\n"
+        "      [--procs=N --size=S --iters=I --per-proc]\n"
+        "  collect <app> --out=FILE     gather the measurement matrix\n"
+        "      [--size=S --max-procs=N --iters=I]\n"
+        "  analyze <app|archive>        full bottleneck report\n"
+        "      [--size=S --max-procs=N --sharing --chart]\n"
+        "  whatif <app|archive>         Sec. 2.6 predictions\n"
+        "      [--l2x=K --tm-scale=F --t2-scale=F --tsyn-scale=F\n"
+        "       --pi0-scale=F]\n"
+        "  region <app> <region>        segment-level analysis\n"
+        "  record <app> --out=FILE      capture an address trace\n"
+        "      [--procs=N --size=S --iters=I]\n"
+        "  replay <tracefile>           trace-driven run (honours the\n"
+        "                               machine overrides below)\n"
+        "\n"
+        "machine overrides (all commands):\n"
+        "  --topology=hypercube|crossbar|ring|mesh2d\n"
+        "  --l2-size=S   --msi   --tlb=ENTRIES\n"
+        "\n"
+        "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n";
+}
+
+int run_command(const std::vector<std::string>& argv, std::ostream& os) {
+  try {
+    const Args args(argv);
+    const std::string command = args.positional(0, "help");
+    if (command == "help" || args.has("help")) {
+      print_help(os);
+      return 0;
+    }
+    if (command == "list") return cmd_list(os);
+    if (command == "run") return cmd_run(args, os);
+    if (command == "collect") return cmd_collect(args, os);
+    if (command == "analyze") return cmd_analyze(args, os);
+    if (command == "whatif") return cmd_whatif(args, os);
+    if (command == "region") return cmd_region(args, os);
+    if (command == "record") return cmd_record(args, os);
+    if (command == "replay") return cmd_replay(args, os);
+    os << "unknown command: " << command << "\n\n";
+    print_help(os);
+    return 2;
+  } catch (const CheckError& e) {
+    os << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace scaltool::cli

@@ -1,0 +1,40 @@
+// The scaltool command-line interface.
+//
+// Subcommands mirror a real performance-engineering workflow:
+//
+//   scaltool list                              bundled workloads
+//   scaltool run <app> [--procs --size --iters --per-proc]
+//                                              one run: perfex + speedshop +
+//                                              ssusage + regions
+//   scaltool collect <app> --out=FILE [--size --max-procs --iters]
+//                                              gather the Table 3 matrix
+//                                              into one archive file
+//   scaltool analyze <app|archive> [--size --max-procs --sharing --chart]
+//                                              full Scal-Tool report
+//   scaltool whatif <app|archive> [--l2x --tm-scale --t2-scale
+//                                  --tsyn-scale --pi0-scale]
+//                                              Sec. 2.6 predictions
+//   scaltool region <app> <region> [--size --max-procs]
+//                                              segment-level analysis
+//
+// Every command takes machine overrides: --machine-procs is per-run;
+// --topology=<hypercube|crossbar|ring|mesh2d>, --l2-size=SIZE,
+// --msi (plain-MSI protocol), --tlb=ENTRIES.
+//
+// All functions write to the given stream and return a process exit code,
+// which keeps them unit-testable; main() is a thin wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scaltool::cli {
+
+/// Dispatches a full command line (argv style, without the program name).
+int run_command(const std::vector<std::string>& args, std::ostream& os);
+
+/// Prints usage.
+void print_help(std::ostream& os);
+
+}  // namespace scaltool::cli

@@ -1,0 +1,12 @@
+// Entry point of the scaltool CLI (see cli.hpp for the command set).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return scaltool::cli::run_command(args, std::cout);
+}

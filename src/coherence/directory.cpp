@@ -1,0 +1,107 @@
+#include "coherence/directory.hpp"
+
+#include <bit>
+
+namespace scaltool {
+
+Directory::Directory(int num_procs, bool grant_exclusive_on_read)
+    : num_procs_(num_procs),
+      grant_exclusive_on_read_(grant_exclusive_on_read) {
+  ST_CHECK(num_procs >= 1);
+  ST_CHECK_MSG(num_procs <= 64, "bit-vector directory supports up to 64 "
+                                "processors, got " << num_procs);
+}
+
+DirReadResult Directory::read_miss(Addr line, ProcId p) {
+  ST_DCHECK(p >= 0 && p < num_procs_);
+  DirReadResult result;
+  auto [it, inserted] = entries_.try_emplace(line);
+  DirEntry& e = it->second;
+  result.compulsory = inserted;
+  ST_CHECK_MSG((e.sharers & bit(p)) == 0,
+               "read miss from a processor the directory believes is a "
+               "sharer (line 0x" << std::hex << line << ")");
+  switch (e.state) {
+    case DirEntry::State::kUncached:
+      if (grant_exclusive_on_read_) {
+        result.grant_exclusive = true;
+        e.state = DirEntry::State::kExclusive;
+        e.owner = p;
+      } else {
+        e.state = DirEntry::State::kShared;
+      }
+      break;
+    case DirEntry::State::kShared:
+      e.sharers |= bit(p);
+      return result;  // sharers already includes p; nothing else changes
+    case DirEntry::State::kExclusive:
+      // Dirty (or exclusive-clean) copy at the owner: intervene, then both
+      // caches keep the line Shared.
+      result.intervention = true;
+      result.owner = e.owner;
+      e.state = DirEntry::State::kShared;
+      e.owner = -1;
+      break;
+  }
+  e.sharers |= bit(p);
+  return result;
+}
+
+DirWriteResult Directory::write_access(Addr line, ProcId p) {
+  ST_DCHECK(p >= 0 && p < num_procs_);
+  DirWriteResult result;
+  auto [it, inserted] = entries_.try_emplace(line);
+  DirEntry& e = it->second;
+  result.compulsory = inserted;
+  switch (e.state) {
+    case DirEntry::State::kUncached:
+      break;
+    case DirEntry::State::kShared:
+      result.invalidate = e.sharers & ~bit(p);
+      break;
+    case DirEntry::State::kExclusive:
+      if (e.owner != p) {
+        result.intervention = true;
+        result.owner = e.owner;
+        result.invalidate = bit(e.owner);
+      }
+      break;
+  }
+  e.state = DirEntry::State::kExclusive;
+  e.owner = p;
+  e.sharers = bit(p);
+  return result;
+}
+
+void Directory::evict(Addr line, ProcId p) {
+  const auto it = entries_.find(line);
+  ST_CHECK_MSG(it != entries_.end(), "eviction of a line the directory never "
+                                     "saw");
+  DirEntry& e = it->second;
+  ST_CHECK_MSG((e.sharers & bit(p)) != 0,
+               "eviction from a non-sharer (line 0x" << std::hex << line
+                                                     << ")");
+  e.sharers &= ~bit(p);
+  if (e.sharers == 0) {
+    e.state = DirEntry::State::kUncached;
+    e.owner = -1;
+  } else if (e.state == DirEntry::State::kExclusive) {
+    // Owner left; remaining copies (none possible under MESI, but keep the
+    // invariant airtight) degrade to Shared.
+    e.state = DirEntry::State::kShared;
+    e.owner = -1;
+  } else if (std::popcount(e.sharers) >= 1) {
+    e.state = DirEntry::State::kShared;
+  }
+}
+
+const DirEntry* Directory::find(Addr line) const {
+  const auto it = entries_.find(line);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool Directory::ever_cached(Addr line) const {
+  return entries_.contains(line);
+}
+
+}  // namespace scaltool

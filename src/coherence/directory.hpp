@@ -1,0 +1,98 @@
+// Full-map bit-vector directory implementing an Illinois/MESI invalidation
+// protocol (the Origin 2000's scheme, Sec. 3: "directory-based scheme using
+// bit vectors").
+//
+// The directory is the global arbiter of line ownership: processor caches
+// ask it on every L2 miss and on every store to a Shared line (upgrade).
+// It returns which coherence actions the machine must apply — invalidate
+// sharers, intervene at a dirty owner — and classifies the miss as
+// compulsory (first-ever caching of the line), which the model layer's
+// compulsory/coherence/conflict decomposition is later validated against.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace scaltool {
+
+/// Directory-side state of one memory line.
+struct DirEntry {
+  enum class State : unsigned char {
+    kUncached,    ///< no cache holds the line
+    kShared,      ///< one or more caches hold it clean
+    kExclusive,   ///< exactly one cache holds it (E or M)
+  };
+  State state = State::kUncached;
+  std::uint64_t sharers = 0;  ///< bit p set ⇔ processor p's cache holds it
+  ProcId owner = -1;          ///< valid when state == kExclusive
+};
+
+/// Outcome of a directory read request (L2 read miss).
+struct DirReadResult {
+  bool compulsory = false;        ///< line never cached before anywhere
+  bool intervention = false;      ///< dirty copy must be fetched from owner
+  ProcId owner = -1;              ///< owner serving the intervention
+  bool grant_exclusive = false;   ///< requester may install in E (no sharers)
+};
+
+/// Outcome of a directory write request (L2 write miss or S→M upgrade).
+struct DirWriteResult {
+  bool compulsory = false;
+  bool intervention = false;      ///< dirty copy fetched from previous owner
+  ProcId owner = -1;
+  std::uint64_t invalidate = 0;   ///< caches (excluding requester) to kill
+};
+
+class Directory {
+ public:
+  /// `grant_exclusive_on_read` selects Illinois/MESI behaviour (a sole
+  /// reader gets the line Exclusive, so its first store is silent) versus
+  /// plain MSI (readers always get Shared; every first store pays an
+  /// upgrade). The E state is the Illinois protocol's whole point [14];
+  /// the MSI mode exists for the protocol ablation bench.
+  explicit Directory(int num_procs, bool grant_exclusive_on_read = true);
+
+  int num_procs() const { return num_procs_; }
+  bool grants_exclusive() const { return grant_exclusive_on_read_; }
+
+  /// Processor `p` read-misses on `line`. Updates the sharer set and
+  /// returns the actions to apply. After this call the entry includes `p`.
+  DirReadResult read_miss(Addr line, ProcId p);
+
+  /// Processor `p` writes `line` (miss or upgrade). After this call `p`
+  /// is the exclusive owner.
+  DirWriteResult write_access(Addr line, ProcId p);
+
+  /// Processor `p` silently dropped the line (clean eviction) or wrote it
+  /// back (dirty eviction). Removes p from the sharer set.
+  void evict(Addr line, ProcId p);
+
+  /// Entry lookup for invariant checks; nullptr if the line was never
+  /// referenced.
+  const DirEntry* find(Addr line) const;
+
+  /// True iff the line has ever been cached by anyone (compulsory-miss
+  /// tracking survives evictions).
+  bool ever_cached(Addr line) const;
+
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Visits all entries (tests).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [line, e] : entries_) fn(line, e);
+  }
+
+ private:
+  static std::uint64_t bit(ProcId p) { return std::uint64_t{1} << p; }
+
+  int num_procs_;
+  bool grant_exclusive_on_read_;
+  std::unordered_map<Addr, DirEntry> entries_;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,108 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  ST_CHECK_MSG(width >= 8 && height >= 3, "chart area too small");
+}
+
+AsciiChart& AsciiChart::add_series(
+    char symbol, std::string label,
+    std::vector<std::pair<double, double>> points) {
+  ST_CHECK_MSG(!points.empty(), "empty series: " << label);
+  series_.push_back({symbol, std::move(label), std::move(points)});
+  return *this;
+}
+
+AsciiChart& AsciiChart::y_range(double lo, double hi) {
+  ST_CHECK(hi > lo);
+  fixed_y_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+  return *this;
+}
+
+std::string AsciiChart::render() const {
+  ST_CHECK_MSG(!series_.empty(), "no series to render");
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = fixed_y_ ? y_lo_ : std::numeric_limits<double>::infinity();
+  double y_hi = fixed_y_ ? y_hi_ : -std::numeric_limits<double>::infinity();
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      if (!fixed_y_) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  if (!fixed_y_) {
+    if (y_lo >= 0.0) y_lo = 0.0;  // zero-anchor non-negative data
+    if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_),
+                                            ' '));
+  auto col_of = [&](double x) {
+    const double t = (x - x_lo) / (x_hi - x_lo);
+    return std::clamp(static_cast<int>(std::lround(t * (width_ - 1))), 0,
+                      width_ - 1);
+  };
+  auto row_of = [&](double y) {
+    const double t = (y - y_lo) / (y_hi - y_lo);
+    const int from_bottom =
+        std::clamp(static_cast<int>(std::lround(t * (height_ - 1))), 0,
+                   height_ - 1);
+    return height_ - 1 - from_bottom;
+  };
+  for (const Series& s : series_)
+    for (const auto& [x, y] : s.points)
+      grid[static_cast<std::size_t>(row_of(y))]
+          [static_cast<std::size_t>(col_of(x))] = s.symbol;
+
+  std::ostringstream os;
+  auto y_label = [&](int row) {
+    const double t =
+        static_cast<double>(height_ - 1 - row) / (height_ - 1);
+    return y_lo + t * (y_hi - y_lo);
+  };
+  for (int row = 0; row < height_; ++row) {
+    os << std::setw(10) << std::fixed << std::setprecision(2)
+       << y_label(row) << " |" << grid[static_cast<std::size_t>(row)]
+       << "\n";
+  }
+  os << std::string(10, ' ') << " +" << std::string(
+            static_cast<std::size_t>(width_), '-')
+     << "\n";
+  std::ostringstream xbar;
+  xbar << x_lo;
+  std::string xline(static_cast<std::size_t>(width_), ' ');
+  const std::string hi_label = [&] {
+    std::ostringstream h;
+    h << x_hi;
+    return h.str();
+  }();
+  const std::string lo_label = xbar.str();
+  xline.replace(0, lo_label.size(), lo_label);
+  if (hi_label.size() < xline.size())
+    xline.replace(xline.size() - hi_label.size(), hi_label.size(), hi_label);
+  os << std::string(12, ' ') << xline << "\n";
+  for (const Series& s : series_)
+    os << "  " << s.symbol << " = " << s.label << "\n";
+  return os.str();
+}
+
+}  // namespace scaltool

@@ -1,0 +1,46 @@
+// Terminal line charts for the figure data.
+//
+// The paper's results are figures; a text-only environment still deserves
+// a visual: AsciiChart maps (x, y) series onto a character grid with y-axis
+// labels, one plot symbol per series. The examples use it to draw the
+// Fig. 6-style bottleneck curves directly in the terminal.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scaltool {
+
+class AsciiChart {
+ public:
+  /// `width`/`height` are the plot-area dimensions in characters.
+  AsciiChart(int width, int height);
+
+  /// Adds a series plotted with `symbol`. Points need not be sorted.
+  AsciiChart& add_series(char symbol, std::string label,
+                         std::vector<std::pair<double, double>> points);
+
+  /// Fixes the y range (default: auto from the data, zero-anchored when
+  /// all values are non-negative).
+  AsciiChart& y_range(double lo, double hi);
+
+  /// Renders the grid with y-axis labels, an x-axis line with min/max
+  /// labels, and a legend.
+  std::string render() const;
+
+ private:
+  struct Series {
+    char symbol;
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  int width_;
+  int height_;
+  bool fixed_y_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+  std::vector<Series> series_;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,52 @@
+// Lightweight contract checking (Core Guidelines I.6/E.12 style).
+//
+// ST_CHECK is always on and throws scaltool::CheckError so tests can assert
+// on contract violations; ST_DCHECK compiles away in NDEBUG builds and
+// guards hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+namespace scaltool {
+
+/// Thrown when a runtime contract (precondition/invariant) is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace scaltool
+
+#define ST_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::scaltool::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define ST_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream st_check_os_;                                     \
+      st_check_os_ << msg;                                                 \
+      ::scaltool::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                       st_check_os_.str());                \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define ST_DCHECK(expr) ((void)0)
+#else
+#define ST_DCHECK(expr) ST_CHECK(expr)
+#endif

@@ -1,0 +1,39 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scaltool {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  ST_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    ST_CHECK_MSG(x > 0.0, "geomean requires positive values, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double rel_diff(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  if (scale == 0.0) return 0.0;
+  return std::abs(a - b) / scale;
+}
+
+double imbalance_factor(std::span<const double> per_proc) {
+  if (per_proc.empty()) return 0.0;
+  const double avg = mean(per_proc);
+  if (avg == 0.0) return 0.0;
+  const double mx = *std::max_element(per_proc.begin(), per_proc.end());
+  return mx / avg - 1.0;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,62 @@
+// Small statistics helpers used by counters aggregation, model diagnostics
+// and the benchmark harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Coefficient of variation used by the load-balance diagnostics
+  /// (stddev / mean); 0 when the mean is 0.
+  double cov() const { return mean_ != 0.0 ? stddev() / mean_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; all values must be positive.
+double geomean(std::span<const double> xs);
+
+/// Relative difference |a-b| / max(|a|,|b|); 0 when both are 0.
+double rel_diff(double a, double b);
+
+/// Load-imbalance factor of per-processor quantities: max/mean − 1.
+/// 0 means perfectly balanced. Empty input yields 0.
+double imbalance_factor(std::span<const double> per_proc);
+
+}  // namespace scaltool

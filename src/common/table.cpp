@@ -1,0 +1,95 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+Table& Table::header(std::vector<std::string> cols) {
+  ST_CHECK_MSG(rows_.empty(), "header must be set before rows");
+  ST_CHECK(!cols.empty());
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  ST_CHECK_MSG(cells.size() == header_.size(),
+               "row has " << cells.size() << " cells, header has "
+                          << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::cell(long long v) { return std::to_string(v); }
+std::string Table::cell(unsigned long long v) { return std::to_string(v); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      ST_CHECK_MSG(row[c].find(',') == std::string::npos,
+                   "CSV cell contains a comma: " << row[c]);
+      os << (c ? "," : "") << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, bool with_csv) const {
+  os << "== " << title_ << " ==\n" << to_text();
+  if (with_csv) os << "-- csv --\n" << to_csv();
+  os << "\n";
+}
+
+std::string format_bytes(std::size_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1024u * 1024u) {
+    os << b / (1024.0 * 1024.0) << " MiB";
+  } else if (bytes >= 1024u) {
+    os << b / 1024.0 << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace scaltool

@@ -1,0 +1,58 @@
+// Plain-text table and CSV rendering.
+//
+// Every bench binary regenerates one of the paper's tables or figure data
+// series; this renderer produces aligned human-readable tables plus an
+// optional CSV block that downstream plotting scripts can consume.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scaltool {
+
+/// Column-aligned table with a title, header row and string cells.
+/// Numeric convenience overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any add_row.
+  Table& header(std::vector<std::string> cols);
+
+  /// Appends a row; the cell count must match the header.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Number formatting used by `cell()`.
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(long long v);
+  static std::string cell(unsigned long long v);
+  static std::string cell(int v) { return cell(static_cast<long long>(v)); }
+  static std::string cell(std::size_t v) {
+    return cell(static_cast<unsigned long long>(v));
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Renders the aligned table.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas is needed for
+  /// our numeric content; cells containing commas are rejected).
+  std::string to_csv() const;
+
+  /// Prints to stream: title, aligned table, then a CSV block for plotting.
+  void print(std::ostream& os, bool with_csv = false) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count using KiB/MiB units (e.g. "64.0 KiB").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace scaltool

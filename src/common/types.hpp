@@ -1,0 +1,34 @@
+// Fundamental scalar types shared across the Scal-Tool libraries.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace scaltool {
+
+/// Byte address in the simulated (virtual = physical) address space.
+using Addr = std::uint64_t;
+
+/// Monotonic counter value (instructions, misses, events...).
+using Count = std::uint64_t;
+
+/// Cycle time. Kept as double so sub-cycle CPI contributions (a 4-issue
+/// R10000 retires multiple instructions per cycle) accumulate exactly the
+/// way the paper's CPI algebra treats them.
+using Cycles = double;
+
+/// Identifier of a simulated processor (0-based).
+using ProcId = int;
+
+/// Identifier of a node (memory home) in the DSM machine. On a bristled
+/// hypercube two processors share one node/router.
+using NodeId = int;
+
+inline constexpr std::size_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024;
+}
+inline constexpr std::size_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024 * 1024;
+}
+
+}  // namespace scaltool

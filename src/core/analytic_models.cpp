@@ -1,0 +1,93 @@
+#include "core/analytic_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/least_squares.hpp"
+
+namespace scaltool {
+
+double AmdahlFit::predict_time(int n) const {
+  ST_CHECK(n >= 1);
+  return t1 * (serial_fraction + (1.0 - serial_fraction) / n);
+}
+
+double AmdahlFit::predict_speedup(int n) const {
+  return t1 / predict_time(n);
+}
+
+AmdahlFit fit_amdahl(const ScalToolInputs& inputs) {
+  inputs.validate();
+  AmdahlFit fit;
+  fit.t1 = inputs.base_runs.front().execution_cycles;
+  ST_CHECK(fit.t1 > 0.0);
+
+  // 1/S(n) = f·(1 − 1/n) + 1/n  →  y − 1/n = f·(1 − 1/n): one-predictor,
+  // no-intercept least squares.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (const RunRecord& r : inputs.base_runs) {
+    if (r.num_procs == 1) continue;
+    const double inv_n = 1.0 / r.num_procs;
+    const double inv_s = r.execution_cycles / fit.t1;
+    rows.push_back({1.0 - inv_n});
+    y.push_back(inv_s - inv_n);
+  }
+  ST_CHECK_MSG(!rows.empty(), "need multiprocessor runs to fit Amdahl");
+  const LsqFit lsq = least_squares(rows, y);
+  fit.serial_fraction = std::clamp(lsq.coef[0], 0.0, 1.0);
+  fit.r2 = lsq.r2;
+  return fit;
+}
+
+double ContentionModel::predict_time(int n) const {
+  ST_CHECK(n >= 1);
+  const double compute = t1 * (1.0 - mem_share) / n;
+  // Memories scale with the machine, but hot-spotting grows the effective
+  // utilization gently with the client count; the M/M/1 waiting factor
+  // (1−ρ1)/(1−ρn) inflates the memory component.
+  const double rho_n =
+      std::min(0.90, utilization1 * (1.0 + 0.10 * (n - 1)));
+  const double memory =
+      t1 * mem_share / n * (1.0 - utilization1) / (1.0 - rho_n);
+  return compute + memory;
+}
+
+double ContentionModel::predict_speedup(int n) const {
+  return t1 / predict_time(n);
+}
+
+ContentionModel fit_contention(const ScalToolInputs& inputs,
+                               double pi0_estimate) {
+  inputs.validate();
+  ContentionModel model;
+  const RunRecord& uni = inputs.base_runs.front();
+  model.t1 = uni.execution_cycles;
+  // Memory share of the uniprocessor time from the CPI split: everything
+  // above pi0 is hierarchy stalls.
+  const double cpi = uni.metrics.cpi;
+  model.mem_share = std::clamp((cpi - pi0_estimate) / cpi, 0.0, 0.95);
+  // A single client keeps one memory busy for the stall share of its time.
+  model.utilization1 = std::clamp(model.mem_share * 0.5, 0.0, 0.9);
+  return model;
+}
+
+std::vector<BaselineComparison> compare_baselines(
+    const ScalToolInputs& inputs, double pi0_estimate) {
+  const AmdahlFit amdahl = fit_amdahl(inputs);
+  const ContentionModel contention = fit_contention(inputs, pi0_estimate);
+  const double t1 = inputs.base_runs.front().execution_cycles;
+  std::vector<BaselineComparison> out;
+  for (const RunRecord& r : inputs.base_runs) {
+    BaselineComparison c;
+    c.n = r.num_procs;
+    c.measured = t1 / r.execution_cycles;
+    c.amdahl = amdahl.predict_speedup(c.n);
+    c.contention = contention.predict_speedup(c.n);
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace scaltool

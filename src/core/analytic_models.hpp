@@ -1,0 +1,71 @@
+// Mathematical scalability models — the related-work baseline.
+//
+// Section 5 contrasts Scal-Tool with mathematical models (load imbalance
+// [5], speedup/efficiency trade-offs [4], shared-memory contention [6]):
+// "while they are fast, they use simplified models, often with assumptions
+// that restrict their accuracy". We implement the two classics so the
+// claim is testable on our own data:
+//
+//  - Amdahl/serial-fraction model: T(n) = T1·(f + (1−f)/n), with f fitted
+//    from the measured executions by least squares;
+//  - an M/M/1-style memory-contention model: each processor's memory
+//    requests queue at the home memories, so effective memory latency
+//    grows as 1/(1−ρ) with utilization ρ ∝ n·(request rate)/(service
+//    capacity).
+//
+// The comparison bench shows where they hold (Hydro2d's serial sections
+// are almost pure Amdahl) and where they break (T3dheat's superlinear
+// cache regime and synchronization wall violate both models' assumptions)
+// — the paper's argument for empirical models, reproduced.
+#pragma once
+
+#include <vector>
+
+#include "core/inputs.hpp"
+
+namespace scaltool {
+
+/// Serial-fraction (Amdahl) fit over measured execution times.
+struct AmdahlFit {
+  double serial_fraction = 0.0;  ///< fitted f ∈ [0, 1]
+  double t1 = 0.0;               ///< measured 1-processor time
+  double r2 = 0.0;               ///< fit quality over 1/speedup
+
+  /// Predicted execution time at n processors.
+  double predict_time(int n) const;
+  double predict_speedup(int n) const;
+};
+
+/// Fits f by least squares on 1/S(n) = f + (1−f)/n using the base runs.
+AmdahlFit fit_amdahl(const ScalToolInputs& inputs);
+
+/// M/M/1 memory-contention model (Frank et al. style [6]).
+struct ContentionModel {
+  double t1 = 0.0;            ///< 1-processor time
+  double mem_share = 0.0;     ///< fraction of T1 that is memory service
+  double utilization1 = 0.0;  ///< memory utilization at n = 1
+
+  /// Predicted time: compute scales 1/n; each memory's utilization stays
+  /// ρ(n) = ρ1 (requests and memories both scale with n) but the *queueing*
+  /// seen by a request grows with the burstiness of n clients; we use the
+  /// standard 1/(1−ρ·(n−1)/n · σ) waiting-time inflation with σ = 1.
+  double predict_time(int n) const;
+  double predict_speedup(int n) const;
+};
+
+/// Builds the contention model from the uniprocessor base run's counters
+/// (memory share from hm·tm-style accounting via the measured CPI split).
+ContentionModel fit_contention(const ScalToolInputs& inputs,
+                               double pi0_estimate);
+
+/// Convenience: model-vs-measured speedups per processor count.
+struct BaselineComparison {
+  int n = 0;
+  double measured = 0.0;
+  double amdahl = 0.0;
+  double contention = 0.0;
+};
+std::vector<BaselineComparison> compare_baselines(
+    const ScalToolInputs& inputs, double pi0_estimate);
+
+}  // namespace scaltool

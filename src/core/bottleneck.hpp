@@ -1,0 +1,104 @@
+// Bottleneck isolation: the curves of Figures 1/2/6/9/12 and the
+// synchronization / load-imbalance split (Section 2.4.2).
+//
+// For every processor count n the analysis produces accumulated-cycle
+// estimates:
+//   Base                 = cpi(s0,n)·inst                      (measured)
+//   Base − L2Lim         = cpi_inf(s0,n)·inst                  (curve b)
+//   Base − L2Lim − MP    = cpi_inf_inf(s0,n)·(1−fs−fi)·inst    (curve c)
+// where cpi_inf uses L2hitr_inf (infinite L2), cpi_inf_inf additionally
+// uses the s0/n-adjusted uniprocessor L1 hit rate and memory-instruction
+// fraction plus L2hitr_inf_inf, and the multiprocessor area splits as
+//   sync cost = cpi_syn·fs·inst   with  fs from Eq. 10
+//                (cost_syn = nt_syn·(pi0 + t_syn), t_syn inverted from the
+//                 synchronization kernel's own counters), and
+//   imb  cost = cpi_imb·fi·inst   with  fi the Eq. 9 residual.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cpi_model.hpp"
+#include "core/inputs.hpp"
+#include "core/miss_decomp.hpp"
+
+namespace scaltool {
+
+/// Estimates at one processor count.
+struct BottleneckPoint {
+  int n = 0;
+  double instructions = 0.0;      ///< measured aggregate graduated instr.
+
+  // Accumulated-cycle curves.
+  double base_cycles = 0.0;           ///< measured
+  double cycles_no_l2lim = 0.0;       ///< Base − L2Lim
+  double cycles_no_l2lim_no_mp = 0.0; ///< Base − L2Lim − MP
+
+  // The multiprocessor area and its split.
+  double sync_cost = 0.0;
+  double imb_cost = 0.0;
+  /// Estimated cycles on coherence (sharing) misses — populated only when
+  /// AnalyzeOptions::model_sharing is set (the paper's future-work
+  /// extension); otherwise these cycles fold into the Eq. 9 residual.
+  double sharing_cost = 0.0;
+  double mp_cost() const { return sync_cost + imb_cost + sharing_cost; }
+
+  // Intermediate quantities (for reports, what-if and tests).
+  double frac_syn = 0.0;
+  double frac_imb = 0.0;
+  double cpi_base = 0.0;
+  double cpi_inf = 0.0;
+  double cpi_inf_inf = 0.0;
+  double cpi_syn = 0.0;
+  double cpi_imb = 0.0;
+  double tsyn = 0.0;
+  double nt_syn = 0.0;
+
+  // Derived curve values used by the figures.
+  double base_minus_l2lim_minus_sync() const {
+    return cycles_no_l2lim - sync_cost;
+  }
+  double base_minus_l2lim_minus_imb() const {
+    return cycles_no_l2lim - imb_cost;
+  }
+  double base_minus_l2lim_minus_mp() const {
+    return cycles_no_l2lim - mp_cost();
+  }
+  /// L2Lim effect in cycles (Base minus curve b).
+  double l2lim_cost() const { return base_cycles - cycles_no_l2lim; }
+};
+
+/// Full Scal-Tool output for one application.
+struct ScalabilityReport {
+  std::string app;
+  std::size_t s0 = 0;
+  CpiModel model;
+  MissDecomposition miss;
+  std::vector<BottleneckPoint> points;  ///< ascending n
+  std::vector<std::string> notes;
+
+  const BottleneckPoint& point(int n) const;
+};
+
+struct AnalyzeOptions {
+  CpiModelOptions cpi;
+
+  /// The paper's announced extension ("work in progress includes extending
+  /// Scal-Tool to incorporate the effect of true and false sharing"):
+  /// price the coherence misses separately — sharing CPI = Coh(s0,n) ·
+  /// (1−L1hitr) · m · t_mem — and remove it from the Eq. 9 residual, so
+  /// data sharing stops masquerading as load imbalance. Off by default to
+  /// match the published model.
+  bool model_sharing = false;
+};
+
+/// Runs the complete pipeline: CPI model, miss decomposition, bottleneck
+/// isolation per processor count.
+ScalabilityReport analyze(const ScalToolInputs& inputs,
+                          const AnalyzeOptions& options = {});
+
+/// t_syn inverted from the synchronization kernel's counters: the kernel's
+/// non-pi0 cycles are all fetchop stalls, spread over its nt_syn events.
+double estimate_tsyn(const RunRecord& sync_kernel, double pi0);
+
+}  // namespace scaltool

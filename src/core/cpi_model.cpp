@@ -1,0 +1,122 @@
+#include "core/cpi_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "math/least_squares.hpp"
+
+namespace scaltool {
+
+namespace {
+bool d_has_misses(const DerivedMetrics& d) { return d.hm > 0.0; }
+}  // namespace
+
+double CpiModel::tm_of(int n) const {
+  const auto it = tm.find(n);
+  ST_CHECK_MSG(it != tm.end(), "no tm estimate for " << n << " processors");
+  return it->second;
+}
+
+double CpiModel::cpi_from_hit_rates(double l1_hitr, double l2_hitr,
+                                    double mem_frac, double tm_n) const {
+  // Eq. 8: cpi = pi0 + (1−L1hitr)·m·(tm + (t2−tm)·L2hitr).
+  return pi0 +
+         (1.0 - l1_hitr) * mem_frac * (tm_n + (t2 - tm_n) * l2_hitr);
+}
+
+CpiModel estimate_cpi_model(const ScalToolInputs& inputs,
+                            const CpiModelOptions& options) {
+  inputs.validate();
+  CpiModel model;
+
+  // --- pi0 anchor (Lubeck) -------------------------------------------------
+  const RunRecord& anchor = inputs.smallest_uni_run();
+  model.pi0_initial = anchor.metrics.cpi;
+  if (anchor.dataset_bytes > inputs.l2_bytes) {
+    std::ostringstream os;
+    os << "pi0 anchor data set (" << anchor.dataset_bytes
+       << " B) does not fit the L2; pi0 may be biased high";
+    model.notes.push_back(os.str());
+  }
+
+  // --- t2/tm triplets (Eq. 3) ----------------------------------------------
+  std::vector<double> h2s, hms, cpis;
+  for (const RunRecord& r : inputs.uni_runs) {
+    if (static_cast<double>(r.dataset_bytes) <=
+        options.overflow_factor * static_cast<double>(inputs.l2_bytes))
+      continue;
+    h2s.push_back(r.metrics.h2);
+    hms.push_back(r.metrics.hm);
+    cpis.push_back(r.metrics.cpi);
+  }
+  ST_CHECK_MSG(h2s.size() >= 2,
+               "need at least two uniprocessor triplets overflowing "
+                   << options.overflow_factor << "x the L2; got "
+                   << h2s.size());
+  if (h2s.size() < 3)
+    model.notes.push_back(
+        "only two L2-overflowing triplets; t2/tm fit has no redundancy");
+
+  // --- iterate Eq. 2 <-> Eq. 3 to a fixed point -----------------------------
+  double pi0 = model.pi0_initial;
+  for (int iter = 0; iter < options.max_refine_iterations; ++iter) {
+    std::vector<double> y(cpis.size());
+    for (std::size_t i = 0; i < cpis.size(); ++i) y[i] = cpis[i] - pi0;
+    const LsqFit fit = fit_two_latencies(h2s, hms, y);
+    model.t2 = fit.coef[0];
+    model.tm1 = fit.coef[1];
+    model.fit_r2 = fit.r2;
+    model.refine_iterations = iter + 1;
+    // Eq. 2: remove the compulsory-miss cycles present at the anchor.
+    const double pi0_next = model.pi0_initial -
+                            anchor.metrics.h2 * model.t2 -
+                            anchor.metrics.hm * model.tm1;
+    if (std::abs(pi0_next - pi0) <= options.convergence_tol * (1.0 + pi0)) {
+      pi0 = pi0_next;
+      break;
+    }
+    pi0 = pi0_next;
+  }
+  ST_CHECK_MSG(pi0 > 0.0, "pi0 estimate collapsed to " << pi0);
+  model.pi0 = pi0;
+  if (model.t2 < 0.0) {
+    model.notes.push_back("fitted t2 was negative; clamped to 0");
+    model.t2 = 0.0;
+  }
+  if (model.tm1 <= model.t2)
+    model.notes.push_back(
+        "fitted tm(1) does not exceed t2 — triplets may not overflow the L2");
+
+  // --- tm(n) from the base runs (end of Sec. 2.3) ---------------------------
+  // Eq. 1 backs tm(n) out of the whole-program CPI, so at processor counts
+  // where the data set becomes cache-resident (hm → 0) or where spin
+  // instructions dilute the CPI below pi0, the raw estimate degenerates
+  // (huge or even negative). Physically the memory latency of a larger
+  // machine cannot be below that of a smaller one, so we enforce a
+  // monotone non-decreasing floor starting at tm(1).
+  double floor_tm = model.tm1;
+  for (const RunRecord& r : inputs.base_runs) {
+    double tm_n = floor_tm;
+    if (d_has_misses(r.metrics)) {
+      tm_n = (r.metrics.cpi - model.pi0 - r.metrics.h2 * model.t2) /
+             r.metrics.hm;
+    } else {
+      std::ostringstream os;
+      os << "no L2 misses at n=" << r.num_procs << "; tm(n) carried forward";
+      model.notes.push_back(os.str());
+    }
+    if (tm_n < floor_tm) {
+      std::ostringstream os;
+      os << "raw tm(" << r.num_procs << ") = " << tm_n
+         << " below the monotone floor " << floor_tm << "; floored";
+      model.notes.push_back(os.str());
+      tm_n = floor_tm;
+    }
+    model.tm[r.num_procs] = tm_n;
+    floor_tm = tm_n;
+  }
+  return model;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,56 @@
+// CPI-breakdown parameter estimation (Sections 2.2 and 2.3).
+//
+//     cpi = pi0 + h2·t2 + hm·tm(n)                      (Eq. 1)
+//
+//  - pi0 is anchored at the uniprocessor run whose data set fits in the L1
+//    (Lubeck's method) and then *unbiased* by subtracting the t2/tm cycles
+//    of the compulsory misses present even there (Eq. 2).
+//  - t2 and tm(1) come from a no-intercept least-squares fit over the
+//    uniprocessor triplets (cpi, h2, hm) whose data sets overflow the L2
+//    (Eq. 3; the paper warns that triplets must overflow the L2 for tm to
+//    be stable).
+//  - Because Eq. 2 needs t2/tm and Eq. 3 needs pi0, the two are iterated to
+//    a fixed point; the paper performs one round, we iterate until the pi0
+//    update falls below a tolerance (usually 2-3 rounds).
+//  - tm(n) is then backed out of Eq. 1 for every base run (s0, n).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/inputs.hpp"
+
+namespace scaltool {
+
+struct CpiModelOptions {
+  /// A triplet participates in the t2/tm fit only when its data set exceeds
+  /// `overflow_factor` × L2 capacity.
+  double overflow_factor = 2.0;
+  int max_refine_iterations = 8;
+  double convergence_tol = 1e-9;
+};
+
+/// Fitted CPI-breakdown parameters.
+struct CpiModel {
+  double pi0_initial = 0.0;  ///< Lubeck anchor (biased by compulsory misses)
+  double pi0 = 0.0;          ///< unbiased estimate (Eq. 2)
+  double t2 = 0.0;           ///< L1-miss/L2-hit latency
+  double tm1 = 0.0;          ///< memory latency on one processor
+  std::map<int, double> tm;  ///< tm(n) per base-run processor count
+  double fit_r2 = 0.0;       ///< diagnostics of the Eq. 3 regression
+  int refine_iterations = 0;
+  std::vector<std::string> notes;  ///< fit warnings (few triplets, clamps)
+
+  double tm_of(int n) const;
+
+  /// Eq. 8: cpi(s,n) for given hit rates and memory-instruction fraction.
+  double cpi_from_hit_rates(double l1_hitr, double l2_hitr, double mem_frac,
+                            double tm_n) const;
+};
+
+/// Estimates the model from the Table 3 measurement matrix.
+CpiModel estimate_cpi_model(const ScalToolInputs& inputs,
+                            const CpiModelOptions& options = {});
+
+}  // namespace scaltool

@@ -1,0 +1,58 @@
+#include "core/inputs.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+const RunRecord& ScalToolInputs::base_run(int n) const {
+  for (const RunRecord& r : base_runs)
+    if (r.num_procs == n) return r;
+  ST_CHECK_MSG(false, "no base run with " << n << " processors");
+}
+
+const KernelMeasurement& ScalToolInputs::kernel(int n) const {
+  for (const KernelMeasurement& k : kernels)
+    if (k.num_procs == n) return k;
+  ST_CHECK_MSG(false, "no kernel measurement for " << n << " processors");
+}
+
+const ValidationRecord& ScalToolInputs::validation_for(int n) const {
+  for (const ValidationRecord& v : validation)
+    if (v.num_procs == n) return v;
+  ST_CHECK_MSG(false, "no validation record for " << n << " processors");
+}
+
+const RunRecord& ScalToolInputs::smallest_uni_run() const {
+  ST_CHECK(!uni_runs.empty());
+  const auto it = std::min_element(
+      uni_runs.begin(), uni_runs.end(),
+      [](const RunRecord& a, const RunRecord& b) {
+        return a.dataset_bytes < b.dataset_bytes;
+      });
+  return *it;
+}
+
+void ScalToolInputs::validate() const {
+  ST_CHECK_MSG(!base_runs.empty(), "no base runs");
+  ST_CHECK_MSG(!uni_runs.empty(), "no uniprocessor runs");
+  ST_CHECK_MSG(s0 > 0, "base data-set size is zero");
+  ST_CHECK_MSG(l2_bytes > 0, "L2 capacity is zero");
+  ST_CHECK_MSG(base_runs.front().num_procs == 1,
+               "base runs must start at one processor");
+  for (std::size_t i = 1; i < base_runs.size(); ++i)
+    ST_CHECK_MSG(base_runs[i].num_procs > base_runs[i - 1].num_procs,
+                 "base runs must have strictly ascending processor counts");
+  for (const RunRecord& r : base_runs) {
+    ST_CHECK_MSG(r.dataset_bytes == s0, "base run at wrong data-set size");
+    ST_CHECK(r.metrics.instructions > 0.0);
+    if (r.num_procs > 1) kernel(r.num_procs);  // throws if absent
+  }
+  for (const RunRecord& r : uni_runs) {
+    ST_CHECK_MSG(r.num_procs == 1, "uni run with more than one processor");
+    ST_CHECK(r.metrics.instructions > 0.0);
+  }
+}
+
+}  // namespace scaltool

@@ -1,0 +1,77 @@
+// Scal-Tool model inputs: the measurement matrix of Table 3.
+//
+// Scal-Tool needs, for an application with base data-set size s0:
+//   - one run at (s0, n) for each processor count n = 1, 2, 4, ... (base
+//     runs);
+//   - uniprocessor runs at fractional sizes (s0/2, s0/4, ...), which double
+//     as the least-squares triplets for t2/tm wherever the size overflows
+//     the L2 (Sec. 2.3/2.5);
+//   - per machine size, the synchronization and spin kernels (Sec. 2.4.2).
+//
+// A RunRecord is strictly what hardware event counters provide. Ground-
+// truth fields used by the *validation* layer ride along in
+// ValidationRecord, kept separate so the model physically cannot read them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "counters/counter_set.hpp"
+
+namespace scaltool {
+
+/// Event-counter measurements of one run — the model's only food.
+struct RunRecord {
+  std::string workload;
+  std::size_t dataset_bytes = 0;
+  int num_procs = 0;
+  DerivedMetrics metrics;         ///< cpi, h2, hm, hit rates, mem_frac, ...
+  double execution_cycles = 0.0;  ///< slowest processor (the `time` output)
+};
+
+/// Kernel measurements at one machine size (Sec. 2.4.2).
+struct KernelMeasurement {
+  int num_procs = 0;
+  RunRecord sync_kernel;  ///< barriers back-to-back: yields cpi_syn, t_syn
+  RunRecord spin_kernel;  ///< idle loop: yields cpi_imb
+};
+
+/// Ground truth for validation (speedshop / simulator attribution).
+struct ValidationRecord {
+  int num_procs = 0;
+  double accumulated_cycles = 0.0;
+  double mp_cycles = 0.0;          ///< speedshop barrier + wait cycles
+  double sync_cycles = 0.0;
+  double spin_cycles = 0.0;
+  double compulsory_misses = 0.0;  ///< true L2 miss classification
+  double coherence_misses = 0.0;
+  double conflict_misses = 0.0;
+};
+
+/// The complete input set for one application.
+struct ScalToolInputs {
+  std::string app;
+  std::size_t s0 = 0;
+  std::size_t l2_bytes = 0;  ///< machine L2 capacity (known to the user)
+
+  std::vector<RunRecord> base_runs;  ///< (s0, n), ascending n; includes n=1
+  std::vector<RunRecord> uni_runs;   ///< (s, 1), descending s; includes s0
+  std::vector<KernelMeasurement> kernels;  ///< one per base-run n (n > 1)
+
+  /// Validation side-band, parallel to base_runs. Never consumed by the
+  /// model — only by the validation/figure layer.
+  std::vector<ValidationRecord> validation;
+
+  const RunRecord& base_run(int n) const;
+  const KernelMeasurement& kernel(int n) const;
+  const ValidationRecord& validation_for(int n) const;
+
+  /// Uniprocessor run with the smallest data-set size (the pi0 anchor).
+  const RunRecord& smallest_uni_run() const;
+
+  /// Sanity-checks ordering, coverage and positivity; throws CheckError.
+  void validate() const;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,76 @@
+#include "core/miss_decomp.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+namespace {
+
+LinearInterpolator curve_from_uni_runs(
+    const std::vector<RunRecord>& uni_runs,
+    double (*extract)(const DerivedMetrics&)) {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(uni_runs.size());
+  for (const RunRecord& r : uni_runs)
+    points.emplace_back(static_cast<double>(r.dataset_bytes),
+                        extract(r.metrics));
+  return LinearInterpolator(std::move(points));
+}
+
+}  // namespace
+
+double MissDecomposition::compulsory_rate_at(double s) const {
+  if (s >= smax_bytes) return compulsory_rate;
+  return std::clamp(1.0 - uni_l2_hitr(s), compulsory_rate, 1.0);
+}
+
+double MissDecomposition::coh_of(int n) const {
+  const auto it = coh.find(n);
+  ST_CHECK_MSG(it != coh.end(), "no coherence estimate for n=" << n);
+  return it->second;
+}
+
+double MissDecomposition::l2hitr_inf_of(int n) const {
+  const auto it = l2hitr_inf.find(n);
+  ST_CHECK_MSG(it != l2hitr_inf.end(), "no L2hitr_inf estimate for n=" << n);
+  return it->second;
+}
+
+MissDecomposition decompose_misses(const ScalToolInputs& inputs) {
+  inputs.validate();
+  MissDecomposition d{
+      0.0,
+      0.0,
+      curve_from_uni_runs(inputs.uni_runs,
+                          [](const DerivedMetrics& m) { return m.l2_hitr; }),
+      curve_from_uni_runs(inputs.uni_runs,
+                          [](const DerivedMetrics& m) { return m.l1_hitr; }),
+      curve_from_uni_runs(inputs.uni_runs,
+                          [](const DerivedMetrics& m) { return m.mem_frac; }),
+      {},
+      {},
+      {}};
+
+  // Fig. 3-(a): the sweep's maximum hit rate marks the point where only
+  // compulsory misses remain.
+  d.smax_bytes = d.uni_l2_hitr.argmax_y();
+  d.compulsory_rate = std::clamp(1.0 - d.uni_l2_hitr.max_y(), 0.0, 1.0);
+
+  const double s0 = static_cast<double>(inputs.s0);
+  for (const RunRecord& r : inputs.base_runs) {
+    const int n = r.num_procs;
+    const double measured = r.metrics.l2_hitr;
+    d.l2hitr_meas[n] = measured;
+    // Eq. 11, with interpolation when s0/n is not an exact sweep point.
+    const double uni_equiv = d.uni_l2_hitr(s0 / n);
+    const double coh = std::max(0.0, uni_equiv - measured);
+    d.coh[n] = coh;
+    d.l2hitr_inf[n] =
+        std::clamp(1.0 - d.compulsory_rate_at(s0 / n) - coh, 0.0, 1.0);
+  }
+  return d;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,139 @@
+#include "core/report_text.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+std::string model_summary(const ScalabilityReport& report) {
+  std::ostringstream os;
+  os << "Scal-Tool model for " << report.app << " (s0 = "
+     << format_bytes(report.s0) << ")\n"
+     << "  pi0 (initial / unbiased): " << Table::cell(report.model.pi0_initial)
+     << " / " << Table::cell(report.model.pi0) << "\n"
+     << "  t2:  " << Table::cell(report.model.t2) << " cycles\n"
+     << "  tm(1): " << Table::cell(report.model.tm1)
+     << " cycles (fit R^2 = " << Table::cell(report.model.fit_r2, 4)
+     << ", " << report.model.refine_iterations << " refinement rounds)\n"
+     << "  compulsory L2 miss rate: "
+     << Table::cell(report.miss.compulsory_rate, 4) << " (s_max = "
+     << format_bytes(static_cast<std::size_t>(report.miss.smax_bytes))
+     << ")\n  tm(n):";
+  for (const auto& [n, tm] : report.model.tm)
+    os << "  n=" << n << ": " << Table::cell(tm, 1);
+  os << "\n";
+  if (!report.notes.empty()) {
+    os << "  notes:\n";
+    for (const std::string& note : report.notes) os << "   - " << note << "\n";
+  }
+  return os.str();
+}
+
+Table breakdown_table(const ScalabilityReport& report) {
+  Table t("Bottleneck breakdown for " + report.app +
+          " (accumulated Mcycles, all processors)");
+  t.header({"procs", "Base", "Base-L2Lim", "Base-L2Lim-Sync",
+            "Base-L2Lim-Imb", "Base-L2Lim-MP", "frac_syn", "frac_imb"});
+  for (const BottleneckPoint& p : report.points) {
+    constexpr double M = 1e6;
+    t.add_row({Table::cell(p.n), Table::cell(p.base_cycles / M, 3),
+               Table::cell(p.cycles_no_l2lim / M, 3),
+               Table::cell(p.base_minus_l2lim_minus_sync() / M, 3),
+               Table::cell(p.base_minus_l2lim_minus_imb() / M, 3),
+               Table::cell(p.base_minus_l2lim_minus_mp() / M, 3),
+               Table::cell(p.frac_syn, 4), Table::cell(p.frac_imb, 4)});
+  }
+  return t;
+}
+
+Table speedup_table(const ScalToolInputs& inputs) {
+  Table t("Speedups for " + inputs.app);
+  t.header({"procs", "exec_Mcycles", "speedup"});
+  const double t1 = inputs.base_runs.front().execution_cycles;
+  for (const RunRecord& r : inputs.base_runs) {
+    t.add_row({Table::cell(r.num_procs),
+               Table::cell(r.execution_cycles / 1e6, 3),
+               Table::cell(t1 / r.execution_cycles, 2)});
+  }
+  return t;
+}
+
+Table validation_table(const ScalabilityReport& report,
+                       const ScalToolInputs& inputs) {
+  Table t("Validation for " + report.app +
+          ": Scal-Tool MP estimate vs speedshop (accumulated Mcycles)");
+  t.header({"procs", "MP_est", "MP_measured", "Base-MP_est",
+            "Base-MP_measured", "diff_pct_of_base"});
+  for (const BottleneckPoint& p : report.points) {
+    const ValidationRecord& v = inputs.validation_for(p.n);
+    constexpr double M = 1e6;
+    // speedshop samples barrier + wait-for-work routines: compare against
+    // the estimated sync + imbalance (the sharing extension, when active,
+    // prices coherence stalls separately — they are user time, not MP
+    // routines).
+    const double mp_est = p.sync_cost + p.imb_cost;
+    const double est_curve = p.base_cycles - mp_est;
+    const double meas_curve = v.accumulated_cycles - v.mp_cycles;
+    const double diff_pct =
+        p.base_cycles > 0.0
+            ? 100.0 * (est_curve - meas_curve) / p.base_cycles
+            : 0.0;
+    t.add_row({Table::cell(p.n), Table::cell(mp_est / M, 3),
+               Table::cell(v.mp_cycles / M, 3), Table::cell(est_curve / M, 3),
+               Table::cell(meas_curve / M, 3), Table::cell(diff_pct, 2)});
+  }
+  return t;
+}
+
+Table hitrate_sweep_table(const ScalToolInputs& inputs,
+                          const ScalabilityReport& report) {
+  Table t("Fig. 3-(a): uniprocessor L2 hit rate vs data-set size for " +
+          inputs.app + " (compulsory rate = " +
+          Table::cell(report.miss.compulsory_rate, 4) + ")");
+  t.header({"dataset", "L2_hit_rate", "L1_hit_rate", "mem_frac"});
+  for (const RunRecord& r : inputs.uni_runs) {
+    t.add_row({format_bytes(r.dataset_bytes),
+               Table::cell(r.metrics.l2_hitr, 4),
+               Table::cell(r.metrics.l1_hitr, 4),
+               Table::cell(r.metrics.mem_frac, 4)});
+  }
+  return t;
+}
+
+Table hitrate_vs_procs_table(const ScalabilityReport& report) {
+  Table t("Fig. 3-(b): L2hitr_inf(s0,n) vs measured L2hitr(s0,n) for " +
+          report.app);
+  t.header({"procs", "L2hitr_inf", "L2hitr_measured", "Coh"});
+  for (const BottleneckPoint& p : report.points) {
+    t.add_row({Table::cell(p.n),
+               Table::cell(report.miss.l2hitr_inf_of(p.n), 4),
+               Table::cell(report.miss.l2hitr_meas.at(p.n), 4),
+               Table::cell(p.n == 1 ? 0.0 : report.miss.coh_of(p.n), 4)});
+  }
+  return t;
+}
+
+Table cpi_infinf_table(const ScalabilityReport& report) {
+  Table t("Fig. 4: cpi_inf_inf(s0,n) for " + report.app);
+  t.header({"procs", "cpi_inf_inf", "tm(n)"});
+  for (const BottleneckPoint& p : report.points) {
+    t.add_row({Table::cell(p.n), Table::cell(p.cpi_inf_inf, 4),
+               Table::cell(report.model.tm_of(p.n), 1)});
+  }
+  return t;
+}
+
+Table whatif_table(const WhatIfResult& result, const std::string& label) {
+  Table t("What-if: " + label);
+  t.header({"procs", "pred_Mcycles", "pred_cpi", "pred_l2_missrate",
+            "speedup_vs_base"});
+  for (const WhatIfPoint& p : result.points) {
+    t.add_row({Table::cell(p.n), Table::cell(p.cycles / 1e6, 3),
+               Table::cell(p.cpi, 4), Table::cell(p.l2_miss_rate, 4),
+               Table::cell(p.speed_ratio, 3)});
+  }
+  return t;
+}
+
+}  // namespace scaltool

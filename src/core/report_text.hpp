@@ -1,0 +1,41 @@
+// Text rendering of Scal-Tool analyses: the figures of Section 4 as
+// aligned tables (plus CSV for plotting).
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+#include "core/bottleneck.hpp"
+#include "core/inputs.hpp"
+#include "core/whatif.hpp"
+
+namespace scaltool {
+
+/// Fitted-parameter summary (pi0, t2, tm(n), compulsory rate, ...).
+std::string model_summary(const ScalabilityReport& report);
+
+/// Figure 6/9/12 data: accumulated cycles for Base, Base−L2Lim,
+/// Base−L2Lim−Sync, Base−L2Lim−Imb, Base−L2Lim−MP per processor count.
+Table breakdown_table(const ScalabilityReport& report);
+
+/// Figure 5/8/11 data: measured speedups per processor count.
+Table speedup_table(const ScalToolInputs& inputs);
+
+/// Figure 7/10/13 data: estimated vs speedshop-measured MP cost, and the
+/// Base−MP curve difference as a fraction of accumulated cycles.
+Table validation_table(const ScalabilityReport& report,
+                       const ScalToolInputs& inputs);
+
+/// Figure 3 data: (a) the uniprocessor L2 hit-rate sweep; (b) the
+/// estimated L2hitr_inf(s0,n) vs the measured multiprocessor hit rate.
+Table hitrate_sweep_table(const ScalToolInputs& inputs,
+                          const ScalabilityReport& report);
+Table hitrate_vs_procs_table(const ScalabilityReport& report);
+
+/// Figure 4 data: cpi_inf_inf(s0, n) per processor count.
+Table cpi_infinf_table(const ScalabilityReport& report);
+
+/// What-if comparison table.
+Table whatif_table(const WhatIfResult& result, const std::string& label);
+
+}  // namespace scaltool

@@ -1,0 +1,89 @@
+#include "core/resources.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+namespace {
+long long pow2(int k) { return 1LL << k; }
+}  // namespace
+
+ResourceCost time_tool_cost(int n) {
+  ST_CHECK(n >= 1);
+  // One run per processor count 2^0 .. 2^(n-1); sum of counts = 2^n − 1.
+  return {"time", n, pow2(n) - 1, n};
+}
+
+ResourceCost speedshop_cost(int n) {
+  ST_CHECK(n >= 1);
+  return {"speedshop", n, pow2(n) - 1, n};
+}
+
+ResourceCost existing_tools_cost(int n) {
+  ResourceCost total = time_tool_cost(n);
+  total += speedshop_cost(n);
+  total.tool = "existing tools (time + speedshop)";
+  return total;
+}
+
+ResourceCost scal_tool_cost(int n) {
+  ST_CHECK(n >= 1);
+  // Base runs: one per processor count (2^n − 1 processors). Uniprocessor
+  // sweep: n − 1 extra runs at s0/2 .. s0/2^(n−1), one processor each.
+  return {"Scal-Tool", 2LL * n - 1, pow2(n) + n - 2, 2LL * n - 1};
+}
+
+Table resource_table(int n) {
+  Table t("Table 1: resources for sync+imbalance costs at 1..2^" +
+          std::to_string(n - 1) + " processors");
+  t.header({"tool", "runs", "processors", "files"});
+  for (const ResourceCost& c :
+       {time_tool_cost(n), speedshop_cost(n), existing_tools_cost(n),
+        scal_tool_cost(n)}) {
+    t.add_row({c.tool, Table::cell(c.runs), Table::cell(c.processors),
+               Table::cell(c.files)});
+  }
+  return t;
+}
+
+std::vector<RunMatrixEntry> run_matrix(std::size_t s0, int max_procs) {
+  ST_CHECK(max_procs >= 1);
+  std::vector<RunMatrixEntry> entries;
+  for (int p = 1; p <= max_procs; p *= 2)
+    entries.push_back({s0, p});
+  std::size_t s = s0 / 2;
+  for (int p = 2; p <= max_procs; p *= 2, s /= 2)
+    entries.push_back({s, 1});
+  return entries;
+}
+
+Table run_matrix_table(std::size_t s0, int max_procs) {
+  Table t("Table 3: runs needed to gather the Scal-Tool data (s0 = " +
+          format_bytes(s0) + ")");
+  std::vector<std::string> header{"data set size"};
+  for (int p = 1; p <= max_procs; p *= 2)
+    header.push_back("p=" + std::to_string(p));
+  t.header(header);
+
+  const std::vector<RunMatrixEntry> entries = run_matrix(s0, max_procs);
+  int rows = 1;
+  for (int p = 1; p < max_procs; p *= 2) ++rows;
+  std::size_t s = s0;
+  for (int row = 0; row < rows; ++row, s /= 2) {
+    std::vector<std::string> cells{format_bytes(s)};
+    for (int p = 1; p <= max_procs; p *= 2) {
+      const bool needed =
+          std::any_of(entries.begin(), entries.end(),
+                      [&](const RunMatrixEntry& e) {
+                        return e.dataset_bytes == s && e.num_procs == p;
+                      });
+      cells.push_back(needed ? "x" : "");
+    }
+    t.add_row(cells);
+  }
+  return t;
+}
+
+}  // namespace scaltool

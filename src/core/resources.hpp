@@ -1,0 +1,59 @@
+// Resource-requirement accounting (Tables 1 and 3, Section 2.5).
+//
+// The paper's headline cost argument: to obtain synchronization and load-
+// imbalance costs for processor counts 1, 2, 4, ..., 2^(n−1),
+//  - the existing-tools workflow runs `time` once and speedshop once per
+//    processor count: 2n runs, 2·(2^n − 1) processors, 2n output files;
+//  - Scal-Tool runs the application once per processor count at the base
+//    size plus n−1 extra uniprocessor runs at fractional sizes:
+//    2n − 1 runs, 2^n + n − 2 processors, 2n − 1 files.
+// For n = 6 (up to 32 processors) Scal-Tool needs about half the
+// processors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace scaltool {
+
+/// One tool row of Table 1.
+struct ResourceCost {
+  std::string tool;
+  long long runs = 0;
+  long long processors = 0;
+  long long files = 0;
+
+  ResourceCost& operator+=(const ResourceCost& other) {
+    runs += other.runs;
+    processors += other.processors;
+    files += other.files;
+    return *this;
+  }
+};
+
+/// Costs for the processor series 1, 2, 4, ..., 2^(n−1).
+ResourceCost time_tool_cost(int n);
+ResourceCost speedshop_cost(int n);
+ResourceCost existing_tools_cost(int n);  ///< time + speedshop
+ResourceCost scal_tool_cost(int n);
+
+/// Table 1 for a given n.
+Table resource_table(int n);
+
+/// One (data-set size, processor count) cell of Table 3.
+struct RunMatrixEntry {
+  std::size_t dataset_bytes = 0;
+  int num_procs = 0;
+};
+
+/// The Table 3 run matrix for base size s0 and the 2^k processor series up
+/// to max_procs: base-size runs at each count plus the uniprocessor sweep.
+std::vector<RunMatrixEntry> run_matrix(std::size_t s0, int max_procs);
+
+/// Table 3 rendering (x marks required runs).
+Table run_matrix_table(std::size_t s0, int max_procs);
+
+}  // namespace scaltool

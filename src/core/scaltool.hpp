@@ -1,0 +1,24 @@
+// Umbrella header: the Scal-Tool public API.
+//
+// Typical use:
+//
+//   #include "core/scaltool.hpp"
+//   #include "runner/runner.hpp"
+//
+//   scaltool::ExperimentRunner runner(
+//       scaltool::MachineConfig::origin2000_scaled(1));
+//   const auto procs = scaltool::default_proc_counts(32);
+//   const auto inputs = runner.collect("t3dheat", 640_KiB, procs);
+//   const auto report = scaltool::analyze(inputs);
+//   std::cout << scaltool::model_summary(report);
+//   scaltool::breakdown_table(report).print(std::cout);
+#pragma once
+
+#include "core/analytic_models.hpp"
+#include "core/bottleneck.hpp"
+#include "core/cpi_model.hpp"
+#include "core/inputs.hpp"
+#include "core/miss_decomp.hpp"
+#include "core/report_text.hpp"
+#include "core/resources.hpp"
+#include "core/whatif.hpp"

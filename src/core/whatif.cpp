@@ -1,0 +1,91 @@
+#include "core/whatif.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+const WhatIfPoint& WhatIfResult::point(int n) const {
+  for (const WhatIfPoint& p : points)
+    if (p.n == n) return p;
+  ST_CHECK_MSG(false, "no what-if point for n=" << n);
+}
+
+WhatIfResult what_if(const ScalabilityReport& report,
+                     const ScalToolInputs& inputs,
+                     const WhatIfParams& params) {
+  ST_CHECK(params.t2_scale > 0.0);
+  ST_CHECK(params.tm_scale > 0.0);
+  ST_CHECK(params.tsyn_scale > 0.0);
+  ST_CHECK(params.pi0_scale > 0.0);
+  ST_CHECK_MSG(params.l2_scale_k >= 1.0,
+               "L2 what-if supports growing the cache (k >= 1)");
+
+  WhatIfResult result;
+  result.params = params;
+  const CpiModel& model = report.model;
+  const MissDecomposition& miss = report.miss;
+  const double s0 = static_cast<double>(inputs.s0);
+
+  for (const RunRecord& run : inputs.base_runs) {
+    const int n = run.num_procs;
+    const DerivedMetrics& d = run.metrics;
+    const BottleneckPoint& base_pt = report.point(n);
+
+    WhatIfPoint pt;
+    pt.n = n;
+
+    const double pi0 = model.pi0 * params.pi0_scale;
+    const double t2 = model.t2 * params.t2_scale;
+    const double tm_n = model.tm_of(n) * params.tm_scale;
+
+    // L2 miss rate under a k× larger cache (Sec. 2.6): the coherence and
+    // compulsory components depend only on the sharing pattern and the
+    // data set — not the cache size — while the conflict component behaves
+    // as if the per-processor data set shrank by k, read off the sweep
+    // curve (minus that point's own compulsory weight, so the droop region
+    // of Fig. 3-(a) is not mistaken for conflicts).
+    double l2_hitr = d.l2_hitr;
+    if (params.l2_scale_k > 1.0) {
+      const double coh = n == 1 ? 0.0 : miss.coh_of(n);
+      const double compulsory = miss.compulsory_rate_at(s0 / n);
+      const double shrunk = s0 / (static_cast<double>(n) * params.l2_scale_k);
+      const double conflict = std::max(
+          0.0, (1.0 - miss.uni_l2_hitr(shrunk)) -
+                   miss.compulsory_rate_at(shrunk));
+      l2_hitr = std::clamp(1.0 - coh - compulsory - conflict, 0.0, 1.0);
+    }
+    pt.l2_miss_rate = 1.0 - l2_hitr;
+
+    // Eq. 8 with the modified parameters and measured L1/mix behaviour.
+    double cpi = pi0 + (1.0 - d.l1_hitr) * d.mem_frac *
+                           (tm_n + (t2 - tm_n) * l2_hitr);
+    double cycles = cpi * d.instructions;
+
+    // Synchronization adjustments ride on top of Eq. 8 (the fetchop stalls
+    // are not cache events): re-price the Eq. 10 cost under the new t_syn
+    // and/or primitive.
+    if (n > 1 && (params.tsyn_scale != 1.0 || params.new_cpi_syn ||
+                  params.pi0_scale != 1.0)) {
+      const double old_cost = base_pt.nt_syn * (model.pi0 + base_pt.tsyn);
+      double new_cost =
+          base_pt.nt_syn * (pi0 + base_pt.tsyn * params.tsyn_scale);
+      if (params.new_cpi_syn) {
+        // A new primitive replaces the whole synchronization component.
+        new_cost = *params.new_cpi_syn * base_pt.frac_syn * d.instructions;
+      }
+      cycles += new_cost - old_cost;
+      cycles = std::max(cycles, 0.0);
+    }
+
+    pt.cpi = d.instructions > 0.0 ? cycles / d.instructions : 0.0;
+    pt.cycles = cycles;
+    pt.speed_ratio = cycles > 0.0 ? base_pt.base_cycles / cycles : 0.0;
+    result.points.push_back(pt);
+  }
+  return result;
+}
+
+}  // namespace scaltool

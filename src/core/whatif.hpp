@@ -1,0 +1,62 @@
+// What-if analysis (Section 2.6): predict the impact of machine-parameter
+// changes *without re-running the application*, by re-evaluating the model
+// equations with modified parameters.
+//
+// Supported experiments, exactly the paper's list:
+//  - faster/slower L2 cache, interconnect, synchronization: scale t2, tm,
+//    t_syn;
+//  - wider/narrower issue: scale pi0;
+//  - L2 caches k× larger: the miss rate splits into a coherence component
+//    (unchanged, it depends only on n) and a uniprocessor component
+//    approximated by 1 − L2hitr(s0/k, 1) read off the sweep curve
+//    (Eq. 11 and the "increasing the L2 by k is like shrinking the data
+//    set by k" assumption);
+//  - a new synchronization primitive: substitute its kernel-measured
+//    cpi_syn.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.hpp"
+
+namespace scaltool {
+
+struct WhatIfParams {
+  double t2_scale = 1.0;
+  double tm_scale = 1.0;
+  double tsyn_scale = 1.0;
+  double pi0_scale = 1.0;
+  /// L2 capacity multiplier k (≥ measured). 1 = unchanged.
+  double l2_scale_k = 1.0;
+  /// Replacement synchronization primitive: overrides cpi_syn(n) when set.
+  std::optional<double> new_cpi_syn;
+
+  bool is_identity() const {
+    return t2_scale == 1.0 && tm_scale == 1.0 && tsyn_scale == 1.0 &&
+           pi0_scale == 1.0 && l2_scale_k == 1.0 && !new_cpi_syn;
+  }
+};
+
+/// Predicted totals at one processor count under the modified parameters.
+struct WhatIfPoint {
+  int n = 0;
+  double cycles = 0.0;           ///< predicted accumulated cycles (Base')
+  double l2_miss_rate = 0.0;     ///< predicted local L2 miss rate
+  double cpi = 0.0;
+  double speed_ratio = 0.0;      ///< original Base / predicted (>1 = faster)
+};
+
+struct WhatIfResult {
+  WhatIfParams params;
+  std::vector<WhatIfPoint> points;
+  const WhatIfPoint& point(int n) const;
+};
+
+/// Evaluates the what-if scenario against an existing analysis. `inputs`
+/// supplies the measured per-n metrics the equations need.
+WhatIfResult what_if(const ScalabilityReport& report,
+                     const ScalToolInputs& inputs, const WhatIfParams& params);
+
+}  // namespace scaltool

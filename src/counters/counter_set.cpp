@@ -1,0 +1,62 @@
+#include "counters/counter_set.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace scaltool {
+
+CounterSet CounterSnapshot::aggregate() const {
+  CounterSet sum;
+  for (const auto& cs : per_proc_) sum += cs;
+  return sum;
+}
+
+std::vector<double> CounterSnapshot::per_proc_values(EventId id) const {
+  std::vector<double> out;
+  out.reserve(per_proc_.size());
+  for (const auto& cs : per_proc_) out.push_back(cs.get(id));
+  return out;
+}
+
+double CounterSnapshot::execution_time() const {
+  double mx = 0.0;
+  for (const auto& cs : per_proc_) mx = std::max(mx, cs.get(EventId::kCycles));
+  return mx;
+}
+
+DerivedMetrics CounterSnapshot::derived() const {
+  const CounterSet agg = aggregate();
+  DerivedMetrics d;
+  d.cycles = agg.get(EventId::kCycles);
+  d.instructions = agg.get(EventId::kGraduatedInstructions);
+  d.store_to_shared = agg.get(EventId::kStoreToShared);
+  d.interventions = agg.get(EventId::kInterventionsReceived);
+  d.invalidations = agg.get(EventId::kInvalidationsReceived);
+  const double loads = agg.get(EventId::kGraduatedLoads);
+  const double stores = agg.get(EventId::kGraduatedStores);
+  const double mem = loads + stores;
+  const double l1m = agg.get(EventId::kL1DMisses);
+  const double l2m = agg.get(EventId::kL2Misses);
+  ST_CHECK_MSG(d.instructions > 0.0, "snapshot has no graduated instructions");
+  d.cpi = d.cycles / d.instructions;
+  d.h2 = (l1m - l2m) / d.instructions;
+  d.hm = l2m / d.instructions;
+  d.mem_frac = mem / d.instructions;
+  d.l1_hitr = mem > 0.0 ? 1.0 - l1m / mem : 1.0;
+  d.l2_hitr = l1m > 0.0 ? 1.0 - l2m / l1m : 1.0;
+  return d;
+}
+
+std::string CounterSnapshot::to_string() const {
+  const CounterSet agg = aggregate();
+  std::ostringstream os;
+  os << "counters (" << per_proc_.size() << " procs, aggregate):\n";
+  for (EventId id : all_events()) {
+    os << "  " << std::left << std::setw(20) << event_name(id) << " "
+       << std::fixed << std::setprecision(0) << agg.get(id) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scaltool

@@ -1,0 +1,96 @@
+// Per-processor counter storage and run-level snapshots with the derived
+// metrics of the paper's CPI algebra.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "counters/events.hpp"
+
+namespace scaltool {
+
+/// One processor's event counters. Values are doubles: cycle counts carry
+/// sub-cycle CPI contributions, and event counts stay exact up to 2^53.
+class CounterSet {
+ public:
+  double get(EventId id) const { return values_[index(id)]; }
+  void add(EventId id, double v) {
+    ST_DCHECK(v >= 0.0);
+    values_[index(id)] += v;
+  }
+  void set(EventId id, double v) { values_[index(id)] = v; }
+
+  /// Element-wise sum, used to aggregate processors.
+  CounterSet& operator+=(const CounterSet& other) {
+    for (std::size_t i = 0; i < kNumEvents; ++i) values_[i] += other.values_[i];
+    return *this;
+  }
+
+  void reset() { values_.fill(0.0); }
+
+ private:
+  static std::size_t index(EventId id) {
+    const auto i = static_cast<std::size_t>(id);
+    ST_DCHECK(i < kNumEvents);
+    return i;
+  }
+  std::array<double, kNumEvents> values_{};
+};
+
+/// The per-run metrics Scal-Tool's equations consume (Sec. 2.1 / Eq. 6-7):
+///   cpi       — cycles per graduated instruction
+///   h2        — (L1D misses − L2 misses) / instructions
+///   hm        — L2 misses / instructions
+///   l1_hitr   — 1 − L1D misses / (loads+stores)
+///   l2_hitr   — local L2 hit rate: 1 − L2 misses / L1D misses
+///   mem_frac  — m(s,n) = (loads+stores) / instructions
+struct DerivedMetrics {
+  double cpi = 0.0;
+  double h2 = 0.0;
+  double hm = 0.0;
+  double l1_hitr = 1.0;
+  double l2_hitr = 1.0;
+  double mem_frac = 0.0;
+  double instructions = 0.0;   ///< total graduated instructions
+  double cycles = 0.0;         ///< accumulated cycles over all processors
+  double store_to_shared = 0.0;
+  /// Coherence-transaction counts (the R10000 exposes external
+  /// interventions and invalidations as events 12/13); the sharing
+  /// extension of the model reads them.
+  double interventions = 0.0;
+  double invalidations = 0.0;
+};
+
+/// Counters of a complete run: one CounterSet per processor plus helpers.
+class CounterSnapshot {
+ public:
+  CounterSnapshot() = default;
+  explicit CounterSnapshot(int num_procs) : per_proc_(num_procs) {}
+
+  int num_procs() const { return static_cast<int>(per_proc_.size()); }
+  CounterSet& proc(int p) { return per_proc_.at(p); }
+  const CounterSet& proc(int p) const { return per_proc_.at(p); }
+
+  /// Sum over all processors.
+  CounterSet aggregate() const;
+
+  /// Accumulated-cycles view of a single event (per processor).
+  std::vector<double> per_proc_values(EventId id) const;
+
+  /// Execution time = cycle count of the slowest processor. With busy-wait
+  /// spinning all processors finish together, so this ≈ aggregate cycles / n.
+  double execution_time() const;
+
+  /// Derived metrics over the aggregate counters.
+  DerivedMetrics derived() const;
+
+  /// Human-readable dump (perfex-style), one line per event.
+  std::string to_string() const;
+
+ private:
+  std::vector<CounterSet> per_proc_;
+};
+
+}  // namespace scaltool

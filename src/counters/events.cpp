@@ -1,0 +1,36 @@
+#include "counters/events.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+std::string_view event_name(EventId id) {
+  switch (id) {
+    case EventId::kCycles: return "cycles";
+    case EventId::kGraduatedInstructions: return "grad_instr";
+    case EventId::kGraduatedLoads: return "grad_loads";
+    case EventId::kGraduatedStores: return "grad_stores";
+    case EventId::kL1DMisses: return "l1d_misses";
+    case EventId::kL2Misses: return "l2_misses";
+    case EventId::kStoreToShared: return "store_to_shared";
+    case EventId::kInvalidationsReceived: return "invalidations_recv";
+    case EventId::kInterventionsReceived: return "interventions_recv";
+    case EventId::kL2Writebacks: return "l2_writebacks";
+    case EventId::kTlbMisses: return "tlb_misses";
+    case EventId::kBarriers: return "barriers";
+    case EventId::kLockAcquires: return "lock_acquires";
+    case EventId::kRemoteMemAccesses: return "remote_mem_accesses";
+    case EventId::kLocalMemAccesses: return "local_mem_accesses";
+    case EventId::kCount: break;
+  }
+  ST_CHECK_MSG(false, "invalid EventId");
+}
+
+std::array<EventId, kNumEvents> all_events() {
+  std::array<EventId, kNumEvents> ids{};
+  for (std::size_t i = 0; i < kNumEvents; ++i)
+    ids[i] = static_cast<EventId>(i);
+  return ids;
+}
+
+}  // namespace scaltool

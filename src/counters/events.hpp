@@ -1,0 +1,45 @@
+// Hardware event-counter identifiers.
+//
+// The paper's inputs are the MIPS R10000 performance counters exposed by
+// SGI's perfex (Zagha et al. [25]): cycles, graduated instructions,
+// graduated loads/stores, primary/secondary data-cache misses, and "store to
+// a line already in shared state" (the nt_syn counter of Sec. 2.4.2). Our
+// simulated processors maintain the same set; everything the Scal-Tool model
+// consumes flows through these counters and nothing else.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace scaltool {
+
+enum class EventId : int {
+  kCycles = 0,                ///< processor cycles (busy incl. spinning)
+  kGraduatedInstructions,     ///< committed instructions
+  kGraduatedLoads,            ///< committed loads
+  kGraduatedStores,           ///< committed stores
+  kL1DMisses,                 ///< primary data-cache misses
+  kL2Misses,                  ///< secondary cache misses (data)
+  kStoreToShared,             ///< stores hitting a line held in Shared state
+  kInvalidationsReceived,     ///< external invalidations applied to caches
+  kInterventionsReceived,     ///< dirty-data interventions served
+  kL2Writebacks,              ///< dirty L2 lines written back to memory
+  kTlbMisses,                 ///< data-TLB misses (when the TLB is enabled)
+  kBarriers,                  ///< barrier episodes participated in
+  kLockAcquires,              ///< lock acquisitions
+  kRemoteMemAccesses,         ///< L2 misses homed on a remote node
+  kLocalMemAccesses,          ///< L2 misses homed on the local node
+  kCount                      // sentinel
+};
+
+inline constexpr std::size_t kNumEvents =
+    static_cast<std::size_t>(EventId::kCount);
+
+/// Short stable name for reports and CSV headers.
+std::string_view event_name(EventId id);
+
+/// All event ids, for iteration.
+std::array<EventId, kNumEvents> all_events();
+
+}  // namespace scaltool

@@ -1,0 +1,424 @@
+#include "machine/dsm_machine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sync/barrier_model.hpp"
+
+namespace scaltool {
+
+// ---------------------------------------------------------------------------
+// ProcContext implementation
+// ---------------------------------------------------------------------------
+
+class DsmMachine::Ctx final : public ProcContext {
+ public:
+  Ctx(DsmMachine& m, ProcId p) : m_(m), p_(p) {}
+
+  ProcId proc() const override { return p_; }
+  int num_procs() const override { return m_.config_.num_procs; }
+
+  void load(Addr addr) override { m_.access(p_, addr, /*is_store=*/false); }
+  void store(Addr addr) override { m_.access(p_, addr, /*is_store=*/true); }
+
+  void compute(double count) override {
+    ST_DCHECK(count >= 0.0);
+    if (count == 0.0) return;
+    m_.count_instr(p_, count, CycleKind::kCompute);
+    m_.charge(p_, count * m_.config_.base_cpi, CycleKind::kCompute);
+  }
+
+  void critical_section(int lock_id, double instr) override {
+    m_.run_critical_section(p_, lock_id, instr);
+  }
+
+  void begin_region(const std::string& name) override {
+    ST_CHECK_MSG(m_.active_region_[p_].empty(),
+                 "nested regions are not supported (active: "
+                     << m_.active_region_[p_] << ")");
+    ST_CHECK(!name.empty());
+    m_.active_region_[p_] = name;
+    if (!m_.regions_.contains(name))
+      m_.regions_.emplace(name, CounterSnapshot(m_.config_.num_procs));
+  }
+
+  void end_region() override {
+    ST_CHECK_MSG(!m_.active_region_[p_].empty(), "end_region without begin");
+    m_.active_region_[p_].clear();
+  }
+
+ private:
+  DsmMachine& m_;
+  ProcId p_;
+};
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+DsmMachine::DsmMachine(const MachineConfig& config)
+    : config_(config), network_(config.num_procs, config.network) {
+  config_.validate();
+}
+
+DsmMachine::~DsmMachine() = default;
+
+void DsmMachine::reset() {
+  const int n = config_.num_procs;
+  memory_ = std::make_unique<MemorySystem>(network_.num_nodes(),
+                                           config_.memory);
+  directory_ = std::make_unique<Directory>(n, config_.exclusive_state);
+  l1_.clear();
+  l2_.clear();
+  tlb_.clear();
+  l1_.reserve(n);
+  l2_.reserve(n);
+  for (int p = 0; p < n; ++p) {
+    l1_.emplace_back(config_.l1);
+    l2_.emplace_back(config_.l2);
+    if (config_.tlb_entries > 0)
+      tlb_.emplace_back(config_.tlb_entries, config_.memory.page_bytes);
+  }
+  invalidated_lines_.assign(n, {});
+  clock_.assign(n, 0.0);
+  counters_ = CounterSnapshot(n);
+  truth_ = GroundTruth{};
+  truth_.per_proc.resize(n);
+  truth_.tm = config_.tm_ground_truth();
+  truth_.tsyn = config_.tsyn_ground_truth();
+  truth_.base_cpi = config_.base_cpi;
+  truth_.t2 = config_.l2_hit_cycles;
+  regions_.clear();
+  active_region_.assign(n, {});
+  locks_.clear();
+}
+
+Addr DsmMachine::allocate(std::size_t bytes, std::string label) {
+  ST_CHECK_MSG(in_setup_, "allocate is only valid during Workload::setup");
+  return memory_->allocate(bytes, std::move(label));
+}
+
+void DsmMachine::validate_coherence() const {
+  ST_CHECK_MSG(directory_ != nullptr, "no run has been started yet");
+  const int n = config_.num_procs;
+  // Cache-side view: inclusion and directory membership.
+  for (ProcId p = 0; p < n; ++p) {
+    const Cache& l1 = l1_[static_cast<std::size_t>(p)];
+    const Cache& l2 = l2_[static_cast<std::size_t>(p)];
+    l1.for_each_line([&](Addr line, LineState s1) {
+      const LineState s2 = l2.probe(line);
+      ST_CHECK_MSG(s2 != LineState::kInvalid,
+                   "inclusion violated: L1 line 0x" << std::hex << line
+                                                    << " absent from L2");
+      if (s1 == LineState::kModified)
+        ST_CHECK_MSG(s2 == LineState::kModified,
+                     "L1 Modified but L2 not Modified");
+      if (s1 == LineState::kExclusive)
+        ST_CHECK_MSG(s2 != LineState::kShared,
+                     "L1 Exclusive but L2 merely Shared");
+    });
+    l2.for_each_line([&](Addr line, LineState s2) {
+      const DirEntry* e = directory_->find(line);
+      ST_CHECK_MSG(e != nullptr, "cached line unknown to the directory");
+      ST_CHECK_MSG((e->sharers >> p) & 1,
+                   "directory does not list proc " << p << " for a line it "
+                                                      "caches");
+      if (s2 == LineState::kModified || s2 == LineState::kExclusive) {
+        ST_CHECK_MSG(e->state == DirEntry::State::kExclusive &&
+                         e->owner == p,
+                     "cache holds M/E but directory disagrees");
+      }
+    });
+  }
+  // Directory-side view: every sharer bit is backed by a cached line, and
+  // exclusive entries have exactly one sharer.
+  directory_->for_each([&](Addr line, const DirEntry& e) {
+    for (ProcId p = 0; p < n; ++p) {
+      if (((e.sharers >> p) & 1) == 0) continue;
+      ST_CHECK_MSG(l2_[static_cast<std::size_t>(p)].probe(line) !=
+                       LineState::kInvalid,
+                   "directory lists a sharer whose cache lacks the line");
+    }
+    if (e.state == DirEntry::State::kExclusive)
+      ST_CHECK_MSG(std::popcount(e.sharers) == 1,
+                   "exclusive entry with sharer count != 1");
+    if (e.state == DirEntry::State::kUncached)
+      ST_CHECK_MSG(e.sharers == 0, "uncached entry with sharers");
+  });
+}
+
+RunResult DsmMachine::run(Workload& workload, const WorkloadParams& params) {
+  reset();
+  in_setup_ = true;
+  workload.setup(*this, params, config_.num_procs);
+  in_setup_ = false;
+
+  simulate_phases(workload);
+
+  RunResult result;
+  result.workload = workload.name();
+  result.dataset_bytes = params.dataset_bytes;
+  result.num_procs = config_.num_procs;
+  result.counters = counters_;
+  result.truth = truth_;
+  result.regions = regions_;
+  result.bytes_allocated = memory_->bytes_allocated();
+  result.execution_cycles = counters_.execution_time();
+  result.accumulated_cycles =
+      counters_.aggregate().get(EventId::kCycles);
+  return result;
+}
+
+void DsmMachine::simulate_phases(Workload& workload) {
+  const int phases = workload.num_phases();
+  ST_CHECK_MSG(phases > 0, "workload has no phases");
+  const bool pcf = workload.parallelism_model() == ParallelismModel::kPCF;
+  for (int phase = 0; phase < phases; ++phase) {
+    for (ProcId p = 0; p < config_.num_procs; ++p) {
+      Ctx ctx(*this, p);
+      workload.run_phase(phase, ctx);
+      ST_CHECK_MSG(active_region_[p].empty(),
+                   "phase ended inside region " << active_region_[p]);
+    }
+    close_phase_with_barrier(pcf);
+  }
+}
+
+void DsmMachine::close_phase_with_barrier(bool wait_is_sync) {
+  const int n = config_.num_procs;
+  const BarrierOutcome outcome = barrier_cost(
+      clock_, truth_.tsyn, config_.base_cpi, config_.sync, wait_is_sync);
+  for (ProcId p = 0; p < n; ++p) {
+    const BarrierProcCost& c = outcome.per_proc[p];
+    count_instr(p, c.sync_instr, CycleKind::kSync);
+    count_instr(p, c.spin_instr, CycleKind::kSpin);
+    charge(p, c.sync_cycles, CycleKind::kSync);
+    charge(p, c.spin_cycles, CycleKind::kSpin);
+    bump(p, EventId::kStoreToShared, c.stores_to_shared);
+    bump(p, EventId::kBarriers);
+    ST_DCHECK(std::abs(clock_[p] - outcome.exit_cycle) <
+              1e-9 * (1.0 + outcome.exit_cycle));
+    clock_[p] = outcome.exit_cycle;  // absorb rounding
+  }
+}
+
+void DsmMachine::run_critical_section(ProcId p, int lock_id, double instr) {
+  ST_CHECK(instr >= 0.0);
+  auto [it, inserted] = locks_.try_emplace(
+      lock_id, LockTimeline(truth_.tsyn, config_.base_cpi, config_.sync));
+  const LockEpisode ep = it->second.acquire(clock_[p],
+                                            instr * config_.base_cpi);
+  count_instr(p, ep.sync_instr, CycleKind::kSync);
+  count_instr(p, ep.spin_instr, CycleKind::kSpin);
+  count_instr(p, instr, CycleKind::kCompute);
+  charge(p, ep.spin_cycles, CycleKind::kSpin);
+  charge(p, ep.sync_cycles, CycleKind::kSync);
+  charge(p, instr * config_.base_cpi, CycleKind::kCompute);
+  bump(p, EventId::kLockAcquires);
+  bump(p, EventId::kStoreToShared, ep.stores_to_shared);
+  ST_DCHECK(std::abs(clock_[p] - ep.release_cycle) <
+            1e-9 * (1.0 + ep.release_cycle));
+  clock_[p] = ep.release_cycle;
+}
+
+// ---------------------------------------------------------------------------
+// Per-access engine
+// ---------------------------------------------------------------------------
+
+void DsmMachine::access(ProcId p, Addr addr, bool is_store) {
+  bump(p, is_store ? EventId::kGraduatedStores : EventId::kGraduatedLoads);
+  count_instr(p, 1.0, CycleKind::kCompute);
+  charge(p, config_.base_cpi, CycleKind::kCompute);
+
+  // Address translation (modelled only when configured; see MachineConfig).
+  if (!tlb_.empty() && !tlb_[static_cast<std::size_t>(p)].access(addr)) {
+    bump(p, EventId::kTlbMisses);
+    charge(p, config_.tlb_miss_cycles, CycleKind::kMemStall);
+  }
+
+  Cache& l1 = l1_[static_cast<std::size_t>(p)];
+  Cache& l2 = l2_[static_cast<std::size_t>(p)];
+  const Addr line = l2.line_of(addr);
+
+  // L1 lookup.
+  const LineState s1 = l1.probe(addr);
+  if (s1 != LineState::kInvalid) {
+    if (is_store) {
+      if (s1 == LineState::kShared) {
+        upgrade_shared_line(p, line);
+        l1.set_state(addr, LineState::kModified);
+      } else if (s1 == LineState::kExclusive) {
+        l1.set_state(addr, LineState::kModified);
+        l2.set_state(addr, LineState::kModified);
+      }
+    }
+    l1.touch(addr);
+    return;
+  }
+  bump(p, EventId::kL1DMisses);
+
+  // L2 lookup.
+  const LineState s2 = l2.probe(addr);
+  if (s2 != LineState::kInvalid) {
+    charge(p, config_.l2_hit_cycles, CycleKind::kMemStall);
+    LineState grant = s2;
+    if (is_store) {
+      if (s2 == LineState::kShared) {
+        upgrade_shared_line(p, line);
+      } else if (s2 == LineState::kExclusive) {
+        l2.set_state(addr, LineState::kModified);
+      }
+      grant = LineState::kModified;
+    }
+    l2.touch(addr);
+    install_l1(p, line, grant);
+    return;
+  }
+
+  bump(p, EventId::kL2Misses);
+  serve_l2_miss(p, line, is_store);
+}
+
+void DsmMachine::serve_l2_miss(ProcId p, Addr line, bool is_store) {
+  Cache& l2 = l2_[static_cast<std::size_t>(p)];
+  const NodeId me = node_of(p);
+  const NodeId home = memory_->home_of(line, me);
+  bump(p, home == me ? EventId::kLocalMemAccesses
+                     : EventId::kRemoteMemAccesses);
+
+  double latency = config_.mem_cycles + network_.latency_cycles(me, home);
+  bool compulsory = false;
+  LineState install = LineState::kShared;
+
+  if (is_store) {
+    const DirWriteResult r = directory_->write_access(line, p);
+    compulsory = r.compulsory;
+    if (r.intervention) {
+      latency += config_.intervention_extra;
+      bump(r.owner, EventId::kInterventionsReceived);
+    }
+    if (r.invalidate != 0) apply_invalidations(line, r.invalidate);
+    install = LineState::kModified;
+  } else {
+    const DirReadResult r = directory_->read_miss(line, p);
+    compulsory = r.compulsory;
+    if (r.intervention) {
+      latency += config_.intervention_extra;
+      bump(r.owner, EventId::kInterventionsReceived);
+      // The dirty owner degrades to Shared and writes the line back.
+      Cache& owner_l2 = l2_[static_cast<std::size_t>(r.owner)];
+      Cache& owner_l1 = l1_[static_cast<std::size_t>(r.owner)];
+      if (owner_l2.probe(line) == LineState::kModified)
+        bump(r.owner, EventId::kL2Writebacks);
+      if (owner_l2.probe(line) != LineState::kInvalid)
+        owner_l2.set_state(line, LineState::kShared);
+      if (owner_l1.probe(line) != LineState::kInvalid)
+        owner_l1.set_state(line, LineState::kShared);
+    }
+    install = r.grant_exclusive ? LineState::kExclusive : LineState::kShared;
+  }
+
+  // Ground-truth miss classification.
+  ProcGroundTruth& gt = truth_.per_proc[static_cast<std::size_t>(p)];
+  auto& invalidated = invalidated_lines_[static_cast<std::size_t>(p)];
+  if (compulsory) {
+    gt.compulsory_misses += 1.0;
+  } else if (invalidated.erase(line) > 0) {
+    gt.coherence_misses += 1.0;
+  } else {
+    gt.conflict_misses += 1.0;
+  }
+
+  charge(p, latency, CycleKind::kMemStall);
+
+  if (const auto victim = l2.insert(line, install))
+    handle_l2_eviction(p, *victim);
+  install_l1(p, line, install);
+}
+
+void DsmMachine::upgrade_shared_line(ProcId p, Addr line) {
+  const DirWriteResult r = directory_->write_access(line, p);
+  ST_CHECK_MSG(!r.compulsory && !r.intervention,
+               "upgrade on a line the directory does not consider shared");
+  if (r.invalidate != 0) apply_invalidations(line, r.invalidate);
+  bump(p, EventId::kStoreToShared);
+  charge(p, config_.upgrade_cycles, CycleKind::kMemStall);
+  Cache& l2 = l2_[static_cast<std::size_t>(p)];
+  ST_DCHECK(l2.probe(line) == LineState::kShared);
+  l2.set_state(line, LineState::kModified);
+}
+
+void DsmMachine::apply_invalidations(Addr line, std::uint64_t mask) {
+  for (ProcId q = 0; q < config_.num_procs; ++q) {
+    if ((mask & (std::uint64_t{1} << q)) == 0) continue;
+    Cache& l1 = l1_[static_cast<std::size_t>(q)];
+    Cache& l2 = l2_[static_cast<std::size_t>(q)];
+    const LineState prior = l2.invalidate(line);
+    ST_CHECK_MSG(prior != LineState::kInvalid,
+                 "directory believed a non-caching processor was a sharer");
+    if (prior == LineState::kModified) bump(q, EventId::kL2Writebacks);
+    l1.invalidate(line);
+    bump(q, EventId::kInvalidationsReceived);
+    invalidated_lines_[static_cast<std::size_t>(q)].insert(line);
+  }
+}
+
+void DsmMachine::handle_l2_eviction(ProcId p, const Victim& victim) {
+  directory_->evict(victim.line_addr, p);
+  if (victim.state == LineState::kModified)
+    bump(p, EventId::kL2Writebacks);
+  // Hierarchical inclusion: the L1 copy (if any) must go too.
+  l1_[static_cast<std::size_t>(p)].invalidate(victim.line_addr);
+}
+
+void DsmMachine::install_l1(ProcId p, Addr line, LineState state) {
+  Cache& l1 = l1_[static_cast<std::size_t>(p)];
+  // L1 victims are silently dropped: the L2 holds every L1 line (inclusion)
+  // with a state at least as permissive, so no data or directory action is
+  // needed.
+  l1.insert(line, state);
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------------
+
+void DsmMachine::charge(ProcId p, double cycles, CycleKind kind) {
+  ST_DCHECK(cycles >= 0.0);
+  if (cycles == 0.0) return;
+  clock_[static_cast<std::size_t>(p)] += cycles;
+  counters_.proc(p).add(EventId::kCycles, cycles);
+  if (!active_region_[static_cast<std::size_t>(p)].empty())
+    regions_.at(active_region_[static_cast<std::size_t>(p)])
+        .proc(p)
+        .add(EventId::kCycles, cycles);
+  ProcGroundTruth& gt = truth_.per_proc[static_cast<std::size_t>(p)];
+  switch (kind) {
+    case CycleKind::kCompute: gt.compute_cycles += cycles; break;
+    case CycleKind::kMemStall: gt.mem_stall_cycles += cycles; break;
+    case CycleKind::kSync: gt.sync_cycles += cycles; break;
+    case CycleKind::kSpin: gt.spin_cycles += cycles; break;
+  }
+}
+
+void DsmMachine::count_instr(ProcId p, double instr, CycleKind kind) {
+  ST_DCHECK(instr >= 0.0);
+  if (instr == 0.0) return;
+  bump(p, EventId::kGraduatedInstructions, instr);
+  ProcGroundTruth& gt = truth_.per_proc[static_cast<std::size_t>(p)];
+  switch (kind) {
+    case CycleKind::kCompute: gt.compute_instr += instr; break;
+    case CycleKind::kMemStall: gt.compute_instr += instr; break;
+    case CycleKind::kSync: gt.sync_instr += instr; break;
+    case CycleKind::kSpin: gt.spin_instr += instr; break;
+  }
+}
+
+void DsmMachine::bump(ProcId p, EventId ev, double v) {
+  counters_.proc(p).add(ev, v);
+  if (!active_region_[static_cast<std::size_t>(p)].empty())
+    regions_.at(active_region_[static_cast<std::size_t>(p)]).proc(p).add(ev, v);
+}
+
+}  // namespace scaltool

@@ -1,0 +1,102 @@
+// The DSM multiprocessor simulator.
+//
+// DsmMachine executes a phased Workload on `n` simulated processors with
+// private L1/L2 caches, a full-map directory, a bristled-hypercube
+// interconnect, first-touch memory and fetchop synchronization, producing
+// R10000-style event counters plus ground-truth attribution. Execution is
+// deterministic and single-threaded: within a phase processors are
+// simulated one after another from a common start cycle (the paper's
+// applications are data-race-free barrier codes, so intra-phase
+// interleaving does not affect their coherence traffic), and the barrier
+// model closes each phase.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "coherence/directory.hpp"
+#include "machine/machine_config.hpp"
+#include "machine/run_result.hpp"
+#include "memory/memory_system.hpp"
+#include "memory/tlb.hpp"
+#include "network/hypercube.hpp"
+#include "sync/lock_model.hpp"
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class DsmMachine : public AllocContext {
+ public:
+  explicit DsmMachine(const MachineConfig& config);
+  ~DsmMachine() override;
+
+  DsmMachine(const DsmMachine&) = delete;
+  DsmMachine& operator=(const DsmMachine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+
+  /// Runs the workload to completion and returns its counters and ground
+  /// truth. All machine state (caches, directory, memory placement) is
+  /// reset first, so a machine can be reused across runs.
+  RunResult run(Workload& workload, const WorkloadParams& params);
+
+  // AllocContext (valid during Workload::setup).
+  Addr allocate(std::size_t bytes, std::string label) override;
+
+  /// Verifies global coherence invariants after (or during) a run:
+  /// hierarchical inclusion (every L1 line is in the same processor's L2
+  /// with a state at least as permissive), the directory's sharer vectors
+  /// exactly match cache contents, and single-writer (an M/E line lives in
+  /// exactly one cache). Throws CheckError on any violation. O(cache size);
+  /// meant for tests and debugging, not the hot path.
+  void validate_coherence() const;
+
+ private:
+  class Ctx;  // ProcContext implementation
+  friend class Ctx;
+
+  void reset();
+  void simulate_phases(Workload& workload);
+  void close_phase_with_barrier(bool wait_is_sync);
+  void run_critical_section(ProcId p, int lock_id, double instr);
+
+  // --- per-access engine -------------------------------------------------
+  void access(ProcId p, Addr addr, bool is_store);
+  void serve_l2_miss(ProcId p, Addr line, bool is_store);
+  void upgrade_shared_line(ProcId p, Addr line);
+  void apply_invalidations(Addr line, std::uint64_t mask);
+  void handle_l2_eviction(ProcId p, const Victim& victim);
+  void install_l1(ProcId p, Addr line, LineState state);
+
+  // --- accounting ---------------------------------------------------------
+  enum class CycleKind { kCompute, kMemStall, kSync, kSpin };
+  void charge(ProcId p, double cycles, CycleKind kind);
+  void count_instr(ProcId p, double instr, CycleKind kind);
+  void bump(ProcId p, EventId ev, double v = 1.0);
+  NodeId node_of(ProcId p) const { return network_.node_of_proc(p); }
+
+  MachineConfig config_;
+  HypercubeNetwork network_;
+
+  // Per-run state.
+  std::unique_ptr<MemorySystem> memory_;
+  std::unique_ptr<Directory> directory_;
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  std::vector<Tlb> tlb_;  // empty when TLB modelling is disabled
+  std::vector<std::unordered_set<Addr>> invalidated_lines_;  // for coherence
+                                                             // classification
+  std::vector<double> clock_;           // current cycle per processor
+  CounterSnapshot counters_;
+  GroundTruth truth_;
+  std::map<std::string, CounterSnapshot> regions_;
+  std::vector<std::string> active_region_;  // per proc; empty = none
+  std::map<int, LockTimeline> locks_;
+  bool in_setup_ = false;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,79 @@
+// Ground-truth attribution kept by the simulator alongside the
+// architectural event counters.
+//
+// The Scal-Tool model must never read these — it sees only what an R10000
+// exposes. Ground truth exists to play the role the SGI tools play in the
+// paper's Section 4: speedshop PC-sampling (cycles in barrier and
+// wait-for-work routines) validates the estimated MP cost, and the miss
+// classification validates the compulsory/coherence/conflict decomposition.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+/// One processor's ground-truth breakdown.
+struct ProcGroundTruth {
+  // Cycle attribution (sums to the processor's total cycles).
+  double compute_cycles = 0.0;    ///< graduated work at base CPI
+  double mem_stall_cycles = 0.0;  ///< L2-hit and memory penalties
+  double sync_cycles = 0.0;       ///< barrier/lock work incl. fetchops
+  double spin_cycles = 0.0;       ///< idle waiting (imbalance)
+
+  // Instruction attribution (sums to graduated instructions).
+  double compute_instr = 0.0;
+  double sync_instr = 0.0;
+  double spin_instr = 0.0;
+
+  // True classification of this processor's L2 misses.
+  double compulsory_misses = 0.0;
+  double coherence_misses = 0.0;
+  double conflict_misses = 0.0;   ///< capacity+conflict, the paper's usage
+
+  double total_cycles() const {
+    return compute_cycles + mem_stall_cycles + sync_cycles + spin_cycles;
+  }
+  double total_instr() const {
+    return compute_instr + sync_instr + spin_instr;
+  }
+};
+
+/// Whole-run ground truth.
+struct GroundTruth {
+  std::vector<ProcGroundTruth> per_proc;
+
+  /// Machine-parameter ground truth the model's estimates are tested
+  /// against in the validation suite.
+  double tm = 0.0;
+  double tsyn = 0.0;
+  double base_cpi = 0.0;
+  double t2 = 0.0;
+
+  ProcGroundTruth aggregate() const {
+    ProcGroundTruth sum;
+    for (const auto& p : per_proc) {
+      sum.compute_cycles += p.compute_cycles;
+      sum.mem_stall_cycles += p.mem_stall_cycles;
+      sum.sync_cycles += p.sync_cycles;
+      sum.spin_cycles += p.spin_cycles;
+      sum.compute_instr += p.compute_instr;
+      sum.sync_instr += p.sync_instr;
+      sum.spin_instr += p.spin_instr;
+      sum.compulsory_misses += p.compulsory_misses;
+      sum.coherence_misses += p.coherence_misses;
+      sum.conflict_misses += p.conflict_misses;
+    }
+    return sum;
+  }
+
+  /// Accumulated multiprocessor cost (speedshop's barrier + wait-for-work
+  /// cycles, the quantity compared in Figs. 7/10/13).
+  double mp_cycles() const {
+    const ProcGroundTruth a = aggregate();
+    return a.sync_cycles + a.spin_cycles;
+  }
+};
+
+}  // namespace scaltool

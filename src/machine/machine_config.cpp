@@ -1,0 +1,58 @@
+#include "machine/machine_config.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+void MachineConfig::validate() const {
+  ST_CHECK_MSG(num_procs >= 1 && num_procs <= 64,
+               "num_procs must be in [1, 64], got " << num_procs);
+  l1.validate();
+  l2.validate();
+  ST_CHECK_MSG(l1.line_bytes == l2.line_bytes,
+               "L1 and L2 must share a line size (hierarchical inclusion)");
+  ST_CHECK_MSG(l1.size_bytes <= l2.size_bytes, "L1 larger than L2");
+  ST_CHECK(base_cpi > 0.0);
+  ST_CHECK(l2_hit_cycles >= 0.0);
+  ST_CHECK(mem_cycles > 0.0);
+  ST_CHECK(intervention_extra >= 0.0);
+  ST_CHECK(upgrade_cycles >= 0.0);
+  ST_CHECK(sync.spin_cpi > 0.0);
+  ST_CHECK(tlb_entries >= 0);
+  ST_CHECK(tlb_miss_cycles >= 0.0);
+}
+
+MachineConfig MachineConfig::origin2000_scaled(int n) {
+  MachineConfig cfg;
+  cfg.num_procs = n;
+  cfg.validate();
+  return cfg;
+}
+
+double MachineConfig::tm_ground_truth() const {
+  const HypercubeNetwork net(num_procs, network);
+  const int nodes = net.num_nodes();
+  if (nodes == 1) return mem_cycles;
+  // Pages spread uniformly over nodes (first-touch on block-scheduled data
+  // approaches this once the machine is loaded): 1/nodes of accesses are
+  // local, the rest pay the average network round trip.
+  double remote_lat = 0.0;
+  long long pairs = 0;
+  for (NodeId a = 0; a < nodes; ++a)
+    for (NodeId b = 0; b < nodes; ++b) {
+      if (a == b) continue;
+      remote_lat += net.latency_cycles(a, b);
+      ++pairs;
+    }
+  remote_lat /= static_cast<double>(pairs);
+  const double remote_frac =
+      static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+  return mem_cycles + remote_frac * remote_lat;
+}
+
+double MachineConfig::tsyn_ground_truth() const {
+  // The sync variable lives on one node; requesters are spread across all.
+  return tm_ground_truth();
+}
+
+}  // namespace scaltool

@@ -1,0 +1,80 @@
+// Configuration of the simulated DSM machine.
+//
+// The default is a *scaled* SGI Origin 2000 (Sec. 3): two R10000-class
+// processors per node on a bristled hypercube, private two-level caches,
+// full-map directory coherence, first-touch page placement, fetchop
+// synchronization. Capacities are scaled down 64× (8 KiB L1D / 64 KiB L2
+// vs the Origin's 32 KiB / 4 MiB) so that whole experiment matrices run in
+// seconds; applications scale their data sets by the same factor, keeping
+// every ratio the paper's analysis depends on (data-set size vs L2, L1 vs
+// L2) intact.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "memory/memory_system.hpp"
+#include "network/hypercube.hpp"
+#include "sync/sync_config.hpp"
+
+namespace scaltool {
+
+struct MachineConfig {
+  int num_procs = 1;
+
+  CacheConfig l1{8_KiB, 2, 64};
+  CacheConfig l2{64_KiB, 4, 64};
+
+  NetworkConfig network{};
+  MemoryConfig memory{};
+  SyncConfig sync{};
+
+  /// Data-TLB entries per processor (fully associative, LRU). 0 disables
+  /// TLB modelling (the default: the Scal-Tool model neglects TLB misses
+  /// just as the paper neglects instruction misses, so the calibrated
+  /// defaults leave it off; enable it to study the perfex "TLB misses"
+  /// event the paper's Sec. 5 mentions).
+  int tlb_entries = 0;
+
+  /// Extra cycles per TLB miss (software refill on the R10000).
+  double tlb_miss_cycles = 40.0;
+
+  /// Illinois/MESI (true, the Origin's protocol) vs plain MSI (false):
+  /// with MSI a sole reader never gets the Exclusive state, so every
+  /// read-then-write pattern pays an ownership upgrade.
+  bool exclusive_state = true;
+
+  /// Compute CPI of graduated instructions absent cache misses — the
+  /// machine-side ground truth of the model's pi0. The R10000 is 4-issue;
+  /// real codes sustain around one instruction per cycle.
+  double base_cpi = 1.0;
+
+  /// Extra cycles for an L1 miss that hits in the L2 — ground truth of t2.
+  double l2_hit_cycles = 12.0;
+
+  /// Base memory access cost (local node, no network) — with the network
+  /// component this grounds tm(n).
+  double mem_cycles = 70.0;
+
+  /// Extra cycles when an L2 miss must be served by a dirty remote cache
+  /// (three-hop intervention).
+  double intervention_extra = 40.0;
+
+  /// Cycles for a Shared→Modified upgrade (ownership request round trip;
+  /// no data transfer).
+  double upgrade_cycles = 30.0;
+
+  /// Validates the configuration; throws CheckError on inconsistencies.
+  void validate() const;
+
+  /// The scaled Origin 2000 with `n` processors.
+  static MachineConfig origin2000_scaled(int n);
+
+  /// Ground-truth average memory latency (local/remote mix over all node
+  /// pairs) — what the model's tm(n) estimates.
+  double tm_ground_truth() const;
+
+  /// Ground-truth fetchop latency: a full memory access to the sync
+  /// variable's home (Sec. 2.4.2) — what the model's t_syn estimates.
+  double tsyn_ground_truth() const;
+};
+
+}  // namespace scaltool

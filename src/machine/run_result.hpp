@@ -1,0 +1,37 @@
+// The product of one simulated run.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "counters/counter_set.hpp"
+#include "machine/ground_truth.hpp"
+
+namespace scaltool {
+
+/// Everything a run yields. `counters` is the perfex view (all the model
+/// may use); `truth` is the simulator's own attribution (validation only).
+struct RunResult {
+  std::string workload;
+  std::size_t dataset_bytes = 0;
+  int num_procs = 0;
+
+  CounterSnapshot counters;
+  GroundTruth truth;
+
+  /// Per-region counters for segment-level analysis (Sec. 2.1: the plots
+  /// "can be obtained ... for a segment of the application").
+  std::map<std::string, CounterSnapshot> regions;
+
+  /// Total simulated bytes allocated — ssusage's "maximum pages in memory".
+  std::size_t bytes_allocated = 0;
+
+  /// Execution time in cycles (slowest processor).
+  double execution_cycles = 0.0;
+
+  /// Accumulated cycles over all processors (the y-axis of Figs. 6/9/12).
+  double accumulated_cycles = 0.0;
+};
+
+}  // namespace scaltool

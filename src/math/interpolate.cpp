@@ -1,0 +1,58 @@
+#include "math/interpolate.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+LinearInterpolator::LinearInterpolator(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  ST_CHECK_MSG(!points_.empty(), "interpolator needs at least one point");
+  std::sort(points_.begin(), points_.end());
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    ST_CHECK_MSG(points_[i].first > points_[i - 1].first,
+                 "duplicate x value " << points_[i].first);
+}
+
+double LinearInterpolator::operator()(double x) const {
+  ST_CHECK_MSG(!points_.empty(), "evaluating an empty interpolator");
+  if (x <= points_.front().first) return points_.front().second;
+  if (x >= points_.back().first) return points_.back().second;
+  // First point with x_i >= x; the invariant above guarantees i >= 1.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), x,
+      [](const std::pair<double, double>& p, double v) { return p.first < v; });
+  const auto& [x1, y1] = *it;
+  const auto& [x0, y0] = *(it - 1);
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double LinearInterpolator::min_x() const {
+  ST_CHECK(!points_.empty());
+  return points_.front().first;
+}
+double LinearInterpolator::max_x() const {
+  ST_CHECK(!points_.empty());
+  return points_.back().first;
+}
+
+double LinearInterpolator::argmax_y() const {
+  ST_CHECK(!points_.empty());
+  const auto it = std::max_element(
+      points_.begin(), points_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return it->first;
+}
+
+double LinearInterpolator::max_y() const {
+  ST_CHECK(!points_.empty());
+  const auto it = std::max_element(
+      points_.begin(), points_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return it->second;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,46 @@
+// Piecewise-linear interpolation over (x, y) sample points.
+//
+// Section 2.4.1: "If an application does not allow the slicing of the data
+// set to the right size, we interpolate between the results of two
+// acceptable data set sizes." The uniprocessor sweep measures L2 hit rates
+// at data-set sizes s0/2^k; the coherence estimator needs L2hitr(s0/n, 1)
+// for arbitrary n, so it interpolates on this curve. The what-if L2-scaling
+// analysis (Sec. 2.6) interpolates the same curve at s0/k.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace scaltool {
+
+/// A function sampled at strictly increasing x positions, evaluated by
+/// linear interpolation and clamped extrapolation beyond the sampled range
+/// (hit-rate curves flatten outside the measured span, so clamping is the
+/// conservative choice).
+class LinearInterpolator {
+ public:
+  /// An empty interpolator; evaluating it is a contract violation. Exists
+  /// so result structs can be default-constructed and filled in.
+  LinearInterpolator() = default;
+
+  /// Points need not arrive sorted; they are sorted by x. Duplicate x
+  /// values are rejected; at least one point is required.
+  explicit LinearInterpolator(std::vector<std::pair<double, double>> points);
+
+  double operator()(double x) const;
+
+  std::size_t size() const { return points_.size(); }
+  double min_x() const;
+  double max_x() const;
+
+  /// Returns the x of the maximum y (ties resolved to the smallest x).
+  /// Used to locate s_max in Fig. 3-(a), the point where only compulsory
+  /// misses remain.
+  double argmax_y() const;
+  double max_y() const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace scaltool

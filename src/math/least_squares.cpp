@@ -1,0 +1,109 @@
+#include "math/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n) {
+  ST_CHECK(a.size() == n * n);
+  ST_CHECK(b.size() == n);
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    ST_CHECK_MSG(best > 1e-12, "singular system in solve_linear (col " << col
+                                                                       << ")");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri * n + c] * x[c];
+    x[ri] = acc / a[ri * n + ri];
+  }
+  return x;
+}
+
+LsqFit least_squares(const std::vector<std::vector<double>>& rows,
+                     std::span<const double> y) {
+  ST_CHECK(!rows.empty());
+  const std::size_t m = rows.size();
+  const std::size_t k = rows.front().size();
+  ST_CHECK_MSG(k >= 1, "need at least one predictor");
+  ST_CHECK_MSG(m >= k, "need at least as many observations (" << m
+                       << ") as predictors (" << k << ")");
+  ST_CHECK(y.size() == m);
+  for (const auto& row : rows) ST_CHECK(row.size() == k);
+
+  // Normal equations: (XᵀX) coef = Xᵀy.
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += rows[i][a] * y[i];
+      for (std::size_t b = 0; b < k; ++b) xtx[a * k + b] += rows[i][a] * rows[i][b];
+    }
+  }
+  LsqFit fit;
+  fit.coef = solve_linear(std::move(xtx), std::move(xty), k);
+
+  // Diagnostics. For no-intercept fits, R² is computed against the zero
+  // model (sum of squares of y), the standard convention.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  fit.residuals.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double yhat = 0.0;
+    for (std::size_t a = 0; a < k; ++a) yhat += rows[i][a] * fit.coef[a];
+    const double r = y[i] - yhat;
+    fit.residuals[i] = r;
+    ss_res += r * r;
+    ss_tot += y[i] * y[i];
+    fit.max_abs_residual = std::max(fit.max_abs_residual, std::abs(r));
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LsqFit fit_two_latencies(std::span<const double> h2, std::span<const double> hm,
+                         std::span<const double> y) {
+  ST_CHECK(h2.size() == hm.size());
+  ST_CHECK(h2.size() == y.size());
+  std::vector<std::vector<double>> rows;
+  rows.reserve(h2.size());
+  for (std::size_t i = 0; i < h2.size(); ++i)
+    rows.push_back({h2[i], hm[i]});
+  return least_squares(rows, y);
+}
+
+LsqFit fit_line(std::span<const double> x, std::span<const double> y) {
+  ST_CHECK(x.size() == y.size());
+  std::vector<std::vector<double>> rows;
+  rows.reserve(x.size());
+  for (double xi : x) rows.push_back({1.0, xi});
+  return least_squares(rows, y);
+}
+
+}  // namespace scaltool

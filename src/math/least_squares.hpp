@@ -1,0 +1,49 @@
+// Ordinary least squares, the numerical heart of the Scal-Tool model.
+//
+// Section 2.3 of the paper fits the two unknown latencies (t2, tm) from
+// event-counter triplets (cpi, h2, hm) measured at several data-set sizes:
+//
+//     cpi_i − pi0 = h2_i · t2 + hm_i · tm          (Eq. 3)
+//
+// i.e. a linear regression *without intercept*. The same machinery fits the
+// fetchop latency t_syn from the synchronization kernel. We implement a
+// small dense OLS via normal equations with partial-pivot Gaussian
+// elimination — ample for the ≤4 predictors the model ever uses — plus
+// residual diagnostics (R², max |residual|) so callers can detect bad fits
+// (e.g. triplets that do not overflow the L2, which the paper warns about).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace scaltool {
+
+/// Result of a least-squares fit.
+struct LsqFit {
+  std::vector<double> coef;   ///< fitted coefficients, one per predictor
+  double r2 = 0.0;            ///< coefficient of determination (vs. zero model
+                              ///< for no-intercept fits)
+  double max_abs_residual = 0.0;
+  std::vector<double> residuals;  ///< y_i − yhat_i, in input order
+};
+
+/// Solves the dense linear system A x = b (n×n) by Gaussian elimination with
+/// partial pivoting. A is row-major. Throws CheckError on a singular matrix.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n);
+
+/// No-intercept ordinary least squares: y ≈ X · coef.
+/// `rows[i]` holds the predictors of observation i; all rows must have the
+/// same size k ≥ 1, and there must be at least k observations.
+LsqFit least_squares(const std::vector<std::vector<double>>& rows,
+                     std::span<const double> y);
+
+/// Convenience for the model's two-predictor fit (Eq. 3):
+/// y ≈ h2·t2 + hm·tm. Returns {t2, tm} in `coef`.
+LsqFit fit_two_latencies(std::span<const double> h2, std::span<const double> hm,
+                         std::span<const double> y);
+
+/// Simple 1-predictor fit with intercept: y ≈ a + b·x. coef = {a, b}.
+LsqFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace scaltool

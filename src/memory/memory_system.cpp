@@ -1,0 +1,64 @@
+#include "memory/memory_system.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+MemorySystem::MemorySystem(int num_nodes, const MemoryConfig& config)
+    : num_nodes_(num_nodes), config_(config) {
+  ST_CHECK(num_nodes >= 1);
+  ST_CHECK_MSG(config_.page_bytes > 0 &&
+                   std::has_single_bit(config_.page_bytes),
+               "page size must be a power of two");
+  ST_CHECK_MSG(config_.alloc_skew_bytes % 8 == 0,
+               "allocation skew must keep 8-byte element alignment");
+}
+
+Addr MemorySystem::allocate(std::size_t bytes, std::string label) {
+  ST_CHECK_MSG(bytes > 0, "zero-byte allocation: " << label);
+  const Addr base = next_;
+  const auto page = static_cast<Addr>(config_.page_bytes);
+  const Addr span = (static_cast<Addr>(bytes) + page - 1) / page * page;
+  // The skew staggers the next array's set mapping (see MemoryConfig).
+  next_ += span + static_cast<Addr>(config_.alloc_skew_bytes);
+  allocations_.push_back({std::move(label), base, bytes});
+  return base;
+}
+
+NodeId MemorySystem::home_of(Addr addr, NodeId toucher) {
+  ST_DCHECK(toucher >= 0 && toucher < num_nodes_);
+  const Addr page = page_of(addr);
+  const auto it = page_home_.find(page);
+  if (it != page_home_.end()) return it->second;
+  NodeId home = 0;
+  switch (config_.policy) {
+    case PlacementPolicy::kFirstTouch:
+      home = toucher;
+      break;
+    case PlacementPolicy::kRoundRobin:
+      home = rr_next_;
+      rr_next_ = (rr_next_ + 1) % num_nodes_;
+      break;
+    case PlacementPolicy::kFixedNode0:
+      home = 0;
+      break;
+  }
+  page_home_.emplace(page, home);
+  return home;
+}
+
+NodeId MemorySystem::home_if_assigned(Addr addr) const {
+  const auto it = page_home_.find(page_of(addr));
+  return it == page_home_.end() ? -1 : it->second;
+}
+
+std::vector<std::size_t> MemorySystem::pages_per_node() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_nodes_), 0);
+  for (const auto& [page, node] : page_home_)
+    ++counts[static_cast<std::size_t>(node)];
+  return counts;
+}
+
+}  // namespace scaltool

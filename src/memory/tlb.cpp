@@ -1,0 +1,46 @@
+#include "memory/tlb.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace scaltool {
+
+Tlb::Tlb(int entries, std::size_t page_bytes) : entries_(entries) {
+  ST_CHECK_MSG(entries >= 1, "TLB needs at least one entry");
+  ST_CHECK_MSG(page_bytes > 0 && std::has_single_bit(page_bytes),
+               "page size must be a power of two");
+  page_bits_ = std::countr_zero(page_bytes);
+  slots_.reserve(static_cast<std::size_t>(entries));
+}
+
+bool Tlb::access(Addr addr) {
+  const Addr page = page_of(addr);
+  for (Slot& slot : slots_) {
+    if (slot.page == page) {
+      slot.tick = ++tick_;
+      return true;
+    }
+  }
+  if (static_cast<int>(slots_.size()) < entries_) {
+    slots_.push_back({page, ++tick_});
+  } else {
+    auto lru = std::min_element(
+        slots_.begin(), slots_.end(),
+        [](const Slot& a, const Slot& b) { return a.tick < b.tick; });
+    *lru = {page, ++tick_};
+  }
+  return false;
+}
+
+bool Tlb::present(Addr addr) const {
+  const Addr page = page_of(addr);
+  return std::any_of(slots_.begin(), slots_.end(),
+                     [&](const Slot& s) { return s.page == page; });
+}
+
+void Tlb::clear() {
+  slots_.clear();
+  tick_ = 0;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,49 @@
+// Data-TLB model: fully associative, true-LRU, over page numbers.
+//
+// perfex exposes TLB misses (the paper's Sec. 5 names them among the
+// low-level outputs programmers struggle to relate to bottlenecks); the
+// machine can model them so that studies of the counter are possible. The
+// Scal-Tool model itself neglects TLB misses, mirroring the paper's
+// treatment of instruction misses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace scaltool {
+
+class Tlb {
+ public:
+  /// `entries` ≥ 1; `page_bytes` must be a power of two.
+  Tlb(int entries, std::size_t page_bytes);
+
+  /// Translates the address: returns true on a hit. A miss installs the
+  /// page, evicting the least recently used entry when full.
+  bool access(Addr addr);
+
+  /// True iff the page is currently mapped (pure probe).
+  bool present(Addr addr) const;
+
+  std::size_t occupancy() const { return slots_.size(); }
+  int capacity() const { return entries_; }
+
+  void clear();
+
+ private:
+  struct Slot {
+    Addr page;
+    std::uint64_t tick;
+  };
+
+  Addr page_of(Addr addr) const { return addr >> page_bits_; }
+
+  int entries_;
+  int page_bits_;
+  std::uint64_t tick_ = 0;
+  std::vector<Slot> slots_;  // linear scan: TLBs are tiny
+};
+
+}  // namespace scaltool

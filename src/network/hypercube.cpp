@@ -1,0 +1,94 @@
+#include "network/hypercube.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+namespace {
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kBristledHypercube: return "bristled-hypercube";
+    case TopologyKind::kCrossbar: return "crossbar";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh2D: return "mesh2d";
+  }
+  return "?";
+}
+
+HypercubeNetwork::HypercubeNetwork(int num_procs, const NetworkConfig& config)
+    : num_procs_(num_procs), config_(config) {
+  ST_CHECK_MSG(num_procs >= 1, "need at least one processor");
+  ST_CHECK(config.procs_per_node >= 1);
+  ST_CHECK(config.nodes_per_router >= 1);
+  num_nodes_ = ceil_div(num_procs_, config_.procs_per_node);
+  num_routers_ = ceil_div(num_nodes_, config_.nodes_per_router);
+  dimension_ = std::bit_width(static_cast<unsigned>(num_routers_ - 1));
+  // Near-square mesh: columns = ceil(sqrt(R)).
+  mesh_cols_ = std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(
+             static_cast<double>(num_routers_)))));
+}
+
+NodeId HypercubeNetwork::node_of_proc(ProcId p) const {
+  ST_DCHECK(p >= 0 && p < num_procs_);
+  return p / config_.procs_per_node;
+}
+
+int HypercubeNetwork::router_of_node(NodeId n) const {
+  ST_DCHECK(n >= 0 && n < num_nodes_);
+  return n / config_.nodes_per_router;
+}
+
+int HypercubeNetwork::router_hops(int ra, int rb) const {
+  if (ra == rb) return 0;
+  switch (config_.topology) {
+    case TopologyKind::kBristledHypercube:
+      return std::popcount(static_cast<unsigned>(ra) ^
+                           static_cast<unsigned>(rb));
+    case TopologyKind::kCrossbar:
+      return 1;
+    case TopologyKind::kRing: {
+      const int d = std::abs(ra - rb);
+      return std::min(d, num_routers_ - d);
+    }
+    case TopologyKind::kMesh2D: {
+      const int ax = ra % mesh_cols_, ay = ra / mesh_cols_;
+      const int bx = rb % mesh_cols_, by = rb / mesh_cols_;
+      return std::abs(ax - bx) + std::abs(ay - by);
+    }
+  }
+  ST_CHECK_MSG(false, "invalid topology");
+}
+
+int HypercubeNetwork::hops(NodeId a, NodeId b) const {
+  return router_hops(router_of_node(a), router_of_node(b));
+}
+
+double HypercubeNetwork::latency_cycles(NodeId from, NodeId to) const {
+  if (from == to) return 0.0;
+  return config_.router_cycles + config_.hop_cycles * hops(from, to);
+}
+
+double HypercubeNetwork::average_hops() const {
+  if (num_nodes_ <= 1) return 0.0;
+  long long total = 0;
+  long long pairs = 0;
+  for (NodeId a = 0; a < num_nodes_; ++a) {
+    for (NodeId b = 0; b < num_nodes_; ++b) {
+      if (a == b) continue;
+      total += hops(a, b);
+      ++pairs;
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+}  // namespace scaltool

@@ -1,0 +1,82 @@
+// Interconnect model: bristled hypercube (SGI Origin 2000 style) plus the
+// alternative topologies the what-if machinery can explore.
+//
+// The Origin connects two processors per node and two nodes per router;
+// routers form a hypercube. The property the Scal-Tool model depends on is
+// that the average memory latency tm(n) *grows with the processor count*
+// because larger machines have longer wire paths (Sec. 2.3: "with more
+// processors, the physical dimensions of the machine are larger and,
+// therefore, accesses to main memory take longer"). This module provides
+// hop counts and the distance-dependent component of memory latency.
+//
+// Alternative router arrangements (crossbar, ring, 2-D mesh) let the
+// what-if experiments of Sec. 2.6 ("interconnection network" latency)
+// be grounded in an actual topology change instead of a bare tm scale.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace scaltool {
+
+/// Router arrangement. Hop counts between routers follow the topology;
+/// node/processor bristling is identical across all of them.
+enum class TopologyKind {
+  kBristledHypercube,  ///< Origin 2000 (default)
+  kCrossbar,           ///< single switch: one hop between any two routers
+  kRing,               ///< bidirectional ring
+  kMesh2D,             ///< near-square 2-D mesh, dimension-ordered routing
+};
+
+const char* topology_name(TopologyKind kind);
+
+struct NetworkConfig {
+  TopologyKind topology = TopologyKind::kBristledHypercube;
+  int procs_per_node = 2;     ///< "bristle" factor at the node
+  int nodes_per_router = 2;   ///< nodes hanging off one router
+  double hop_cycles = 16.0;   ///< per-router-hop latency (one way ×2 folded)
+  double router_cycles = 8.0; ///< fixed cost of entering the network at all
+                              ///< (crossing to another node, even same router)
+};
+
+/// Static topology for a machine with `num_procs` processors.
+class HypercubeNetwork {
+ public:
+  HypercubeNetwork(int num_procs, const NetworkConfig& config);
+
+  int num_procs() const { return num_procs_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_routers() const { return num_routers_; }
+  /// Hypercube dimension (0 for a single router); for non-hypercube
+  /// topologies this is the equivalent log2 router count, kept for reports.
+  int dimension() const { return dimension_; }
+
+  NodeId node_of_proc(ProcId p) const;
+  int router_of_node(NodeId n) const;
+
+  /// Router-to-router hop count under the configured topology.
+  int hops(NodeId a, NodeId b) const;
+
+  /// Round-trip network latency in cycles for a request from node `from`
+  /// serviced at node `to`. Zero when from == to (local memory).
+  double latency_cycles(NodeId from, NodeId to) const;
+
+  /// Average one-way hop count over all ordered node pairs, the quantity
+  /// that makes tm(n) monotone in n.
+  double average_hops() const;
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  int router_hops(int ra, int rb) const;
+
+  int num_procs_;
+  int num_nodes_;
+  int num_routers_;
+  int dimension_;
+  int mesh_cols_ = 1;  // for kMesh2D
+  NetworkConfig config_;
+};
+
+}  // namespace scaltool

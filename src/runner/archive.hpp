@@ -1,0 +1,29 @@
+// Persistence for the Scal-Tool measurement matrix.
+//
+// The paper counts "output files" as a first-class cost (Table 1: one file
+// per run, 2n−1 in total). This module is that file layer: a measurement
+// campaign saves its ScalToolInputs to a single plain-text archive and the
+// analysis can be re-run later — or on another machine — without touching
+// the simulator. Bench binaries also use it to avoid recollecting.
+//
+// Format: line-oriented, '|'-separated records with a versioned header.
+// Only the counter-derived quantities the model consumes are stored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/inputs.hpp"
+
+namespace scaltool {
+
+/// Serializes the inputs. Throws CheckError on I/O failure.
+void save_inputs(const ScalToolInputs& inputs, const std::string& path);
+void write_inputs(const ScalToolInputs& inputs, std::ostream& os);
+
+/// Deserializes; validates the result. Throws CheckError on malformed
+/// content, version mismatch or I/O failure.
+ScalToolInputs load_inputs(const std::string& path);
+ScalToolInputs read_inputs(std::istream& is);
+
+}  // namespace scaltool

@@ -1,0 +1,98 @@
+// Experiment runner: executes the Table 3 measurement matrix on the
+// simulated machine and packages the counters into ScalToolInputs.
+//
+// This layer plays the role of the scripts a performance engineer would
+// write around perfex on a real Origin: run the application at the base
+// size for each processor count, run the uniprocessor data-set sweep, run
+// the two kernels per machine size, and keep one "file" (RunRecord) per
+// run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/inputs.hpp"
+#include "machine/dsm_machine.hpp"
+#include "machine/machine_config.hpp"
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+/// Strips a RunResult down to the event-counter record.
+RunRecord make_record(const RunResult& result);
+
+/// Extracts the validation side-band of a run.
+ValidationRecord make_validation(const RunResult& result);
+
+class ExperimentRunner {
+ public:
+  /// `base_config.num_procs` is ignored; each run sets its own count.
+  explicit ExperimentRunner(const MachineConfig& base_config);
+
+  const MachineConfig& base_config() const { return base_; }
+
+  /// Machine configuration for an n-processor run.
+  MachineConfig config_for(int num_procs) const;
+
+  /// Runs `workload` once and returns the full result (counters + truth).
+  RunResult run_full(Workload& workload, std::size_t dataset_bytes,
+                     int num_procs) const;
+
+  /// Registry-based convenience overload.
+  RunResult run_full(const std::string& workload, std::size_t dataset_bytes,
+                     int num_procs) const;
+
+  RunRecord run(const std::string& workload, std::size_t dataset_bytes,
+                int num_procs) const;
+
+  /// Collects the complete Scal-Tool input matrix for an application:
+  ///   - base runs at (s0, n) for every n in `proc_counts`;
+  ///   - the uniprocessor sweep s0, s0/2, ... down to a size below half the
+  ///     L1 (the pi0 anchor), adding extra L2-overflowing calibration sizes
+  ///     when the sweep provides fewer than three t2/tm triplets;
+  ///   - sync and spin kernels per processor count;
+  ///   - the validation side-band from the same base runs.
+  ScalToolInputs collect(const std::string& workload, std::size_t s0,
+                         std::span<const int> proc_counts) const;
+
+  /// Same, for workloads that are not (or not only) in the registry —
+  /// e.g. ablations over constructor parameters. `factory` must yield a
+  /// fresh instance per call; `label` names the app in reports.
+  ScalToolInputs collect(
+      const std::function<std::unique_ptr<Workload>()>& factory,
+      const std::string& label, std::size_t s0,
+      std::span<const int> proc_counts) const;
+
+  /// Segment-level matrix (Sec. 2.1: the plots "can be obtained ... for a
+  /// segment of the application"): identical campaign, but every record is
+  /// built from the named region's counters instead of the whole run.
+  /// Regions end at phase boundaries, so they carry no barrier cost — the
+  /// segment analysis isolates the region's caching behaviour. No
+  /// validation side-band is produced (speedshop samples whole routines).
+  ScalToolInputs collect_region(const std::string& workload,
+                                const std::string& region, std::size_t s0,
+                                std::span<const int> proc_counts) const;
+
+  /// Default experiment parameters shared by figures and tests.
+  WorkloadParams params_for(std::size_t dataset_bytes) const;
+
+  /// Number of iterations per run. The paper's applications iterate many
+  /// times (Hydro2d ran 100), amortizing compulsory misses; six keeps that
+  /// property while whole measurement matrices still run in seconds.
+  int iterations = 12;
+
+  /// Progress callback (bench binaries print dots); may be empty.
+  std::function<void(const std::string&)> on_run;
+
+ private:
+  MachineConfig base_;
+};
+
+/// The paper's processor-count series 1, 2, 4, ..., 32 (n = 6).
+std::vector<int> default_proc_counts(int max_procs = 32);
+
+}  // namespace scaltool

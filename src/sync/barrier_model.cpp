@@ -1,0 +1,94 @@
+#include "sync/barrier_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+BarrierOutcome barrier_cost(std::span<const double> arrivals, double t_syn,
+                            double base_cpi, const SyncConfig& config,
+                            bool wait_is_sync) {
+  ST_CHECK(!arrivals.empty());
+  ST_CHECK(t_syn >= 0.0);
+  ST_CHECK(base_cpi > 0.0);
+
+  BarrierOutcome out;
+  const std::size_t n = arrivals.size();
+  out.per_proc.resize(n);
+
+  if (n == 1) {
+    out.exit_cycle = arrivals[0];
+    return out;
+  }
+
+  // Each processor runs its barrier instructions on arrival, then issues
+  // the counter fetchop. The counter's home serves one fetchop at a time
+  // (occupancy = a fraction of the round trip); requests queue in arrival
+  // order.
+  const double instr_cycles = config.barrier_instr * base_cpi;
+  const double occupancy = config.fetchop_occupancy_factor * t_syn;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return arrivals[a] < arrivals[b];
+                   });
+
+  std::vector<double> queue_wait(n, 0.0);
+  std::vector<double> done(n, 0.0);
+  double server_free = 0.0;
+  double last_done = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t p = order[k];
+    const double request = arrivals[p] + instr_cycles;
+    const double start = std::max(request, server_free);
+    queue_wait[p] = start - request;
+    done[p] = start + t_syn;
+    server_free = start + occupancy;
+    last_done = std::max(last_done, done[p]);
+  }
+  // The last increment flips the release flag; every spinner re-fetches it
+  // (second fetchop round trip).
+  out.exit_cycle = last_done + t_syn;
+
+  // Waiting on the contended counter/lock is a test&set retry loop: each
+  // retry is one store instruction that takes a full round trip and ticks
+  // the store-to-shared counter (nt_syn). This is the mechanism that makes
+  // Eq. 10 — nt_syn·(pi0 + t_syn) — price barrier contention correctly.
+  const double retry_interval =
+      std::max(1.0, config.store_retry_interval_factor * t_syn);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    BarrierProcCost& c = out.per_proc[p];
+    const double queue_retries = queue_wait[p] / retry_interval;
+    c.sync_instr = config.barrier_instr + queue_retries;
+    c.sync_cycles = instr_cycles + queue_wait[p] + 2.0 * t_syn;
+    c.fetchops = config.barrier_fetchops;
+    c.stores_to_shared = config.barrier_fetchops + queue_retries;
+
+    const double busy_until =
+        arrivals[p] + instr_cycles + queue_wait[p] + 2.0 * t_syn;
+    const double wait = out.exit_cycle - busy_until;
+    ST_DCHECK(wait >= -1e-9 * (1.0 + out.exit_cycle));
+    const double wait_cycles = std::max(0.0, wait);
+    if (wait_is_sync) {
+      // PCF: mp_barrier polls mp_lock_try for the release — more retry
+      // stores, all inside the barrier routine (synchronization).
+      const double wait_retries = wait_cycles / retry_interval;
+      c.sync_cycles += wait_cycles;
+      c.sync_instr += wait_retries;
+      c.stores_to_shared += wait_retries;
+    } else {
+      // MP: wait_for_work spins on loads — load-imbalance spinning that
+      // neither stores to shared lines nor samples in barrier routines.
+      c.spin_cycles = wait_cycles;
+      c.spin_instr = wait_cycles / config.spin_cpi;
+    }
+  }
+  return out;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,59 @@
+// Central-counter barrier cost model with fetchop serialization.
+//
+// Given the cycle at which each processor reaches a barrier, this computes
+// per-processor synchronization work and spinning, plus the common exit
+// time. The barrier is the Origin's fetchop style (Sec. 2.4.2): each
+// arriver atomically increments a counter at its home memory; increments
+// *serialize* there (the home services one fetchop at a time), which makes
+// the per-processor barrier cost grow with the processor count — the
+// mechanism behind T3dheat's synchronization wall in Figure 6. The last
+// arriver's increment triggers the release flag, which every spinner
+// re-fetches (the second fetchop).
+//
+// Attribution follows the paper's speedshop taxonomy, which depends on the
+// model of parallelism (Sec. 4.1 lists the routines):
+//   - under PCF (explicit barrier directives) every in-barrier cycle —
+//     instructions, fetchops, queue wait AND waiting for later arrivers —
+//     samples inside mp_barrier/mp_lock_try, i.e. *synchronization*;
+//   - under MP (DOACROSS) the wait for stragglers happens in
+//     mp_slave_wait_for_work / mp_master_wait_for_slaves, i.e. *load
+//     imbalance spinning*; only the barrier work proper is synchronization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sync/sync_config.hpp"
+
+namespace scaltool {
+
+/// Per-processor cost breakdown of one barrier episode.
+struct BarrierProcCost {
+  double sync_cycles = 0.0;   ///< fetchops + queue wait + instructions
+  double sync_instr = 0.0;
+  double spin_cycles = 0.0;   ///< waiting for the last arriver
+  double spin_instr = 0.0;
+  double fetchops = 0.0;      ///< memory round trips on the counter line
+  double stores_to_shared = 0.0;  ///< nt_syn contribution
+};
+
+struct BarrierOutcome {
+  double exit_cycle = 0.0;               ///< all processors resume here
+  std::vector<BarrierProcCost> per_proc; ///< indexed by processor
+};
+
+/// Computes the barrier outcome.
+///   arrivals       — cycle at which each processor arrives
+///   t_syn          — fetchop round-trip latency at this machine size
+///   base_cpi       — CPI of the straight-line barrier instructions
+///   wait_is_sync   — true for PCF codes (all in-barrier time is
+///                    mp_barrier = sync), false for MP DOACROSS codes
+///                    (straggler wait is wait-for-work = spin)
+/// A single-processor "barrier" is free: with one participant the runtime
+/// takes the fast path and the paper's model assumes multiprocessor
+/// effects are exactly zero for 1-processor runs.
+BarrierOutcome barrier_cost(std::span<const double> arrivals, double t_syn,
+                            double base_cpi, const SyncConfig& config,
+                            bool wait_is_sync = false);
+
+}  // namespace scaltool

@@ -1,0 +1,27 @@
+#include "sync/lock_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+LockEpisode LockTimeline::acquire(double arrival, double critical_cycles) {
+  ST_CHECK(arrival >= 0.0);
+  ST_CHECK(critical_cycles >= 0.0);
+  LockEpisode ep;
+  const double overhead =
+      config_.lock_fetchops * t_syn_ + config_.lock_instr * base_cpi_;
+  const double wait = std::max(0.0, busy_until_ - arrival);
+  ep.spin_cycles = wait;
+  ep.spin_instr = wait / config_.spin_cpi;
+  ep.sync_cycles = overhead;
+  ep.sync_instr = config_.lock_instr;
+  ep.stores_to_shared = config_.lock_fetchops;
+  ep.grant_cycle = arrival + wait + overhead;
+  ep.release_cycle = ep.grant_cycle + critical_cycles;
+  busy_until_ = ep.release_cycle;
+  return ep;
+}
+
+}  // namespace scaltool

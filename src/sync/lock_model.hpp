@@ -1,0 +1,49 @@
+// Ticket-lock contention timeline.
+//
+// PCF codes (T3dheat's model of parallelism) use critical sections; the MP
+// runtime's barrier implementation also takes a lock (mp_lock_try in the
+// speedshop profiles of Sec. 4). The timeline serializes critical sections
+// on one lock: an acquire at cycle `a` is granted at max(a, lock free time)
+// plus a fetchop round trip, and the holder keeps the lock for the critical
+// section length. Waiting time is spin (the processor polls the ticket).
+#pragma once
+
+#include "sync/sync_config.hpp"
+
+namespace scaltool {
+
+/// Result of one acquire/release episode.
+struct LockEpisode {
+  double grant_cycle = 0.0;    ///< when the critical section starts
+  double release_cycle = 0.0;  ///< when the lock frees again
+  double sync_cycles = 0.0;    ///< fetchop + lock instructions
+  double sync_instr = 0.0;
+  double spin_cycles = 0.0;    ///< contention wait
+  double spin_instr = 0.0;
+  double stores_to_shared = 0.0;
+};
+
+class LockTimeline {
+ public:
+  LockTimeline(double t_syn, double base_cpi, const SyncConfig& config)
+      : t_syn_(t_syn), base_cpi_(base_cpi), config_(config) {}
+
+  /// Acquires at `arrival`, holds for `critical_cycles`, releases.
+  /// Successive calls may arrive out of order in simulated time; grants are
+  /// first-come-first-served in *call* order against the busy-until clock,
+  /// which matches the phase-sequential execution of the simulator.
+  LockEpisode acquire(double arrival, double critical_cycles);
+
+  /// Cycle until which the lock is held.
+  double busy_until() const { return busy_until_; }
+
+  void reset() { busy_until_ = 0.0; }
+
+ private:
+  double t_syn_;
+  double base_cpi_;
+  SyncConfig config_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace scaltool

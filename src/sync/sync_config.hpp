@@ -1,0 +1,50 @@
+// Synchronization cost parameters.
+//
+// The Origin 2000 implements synchronization with the fetchop facility for
+// atomic operations (Sec. 2.4.2, [17]): "every acquire to a synchronization
+// variable involves one full memory access". The fetchop latency t_syn is
+// therefore a memory round trip to the (usually remote) home of the sync
+// variable; it grows with the machine size exactly like tm(n). The barrier
+// and spin parameters below define the synthetic barrier/spin code whose
+// CPIs the model measures with its kernels (cpi_syn(n), cpi_imb).
+#pragma once
+
+namespace scaltool {
+
+struct SyncConfig {
+  /// Instructions executed per processor per barrier episode (increment
+  /// code, flag check, bookkeeping) — the "extra instructions" of Table 2.
+  double barrier_instr = 24.0;
+
+  /// Fetchop-style accesses (full memory round trips) per processor per
+  /// barrier: one counter increment, one release-flag re-fetch.
+  double barrier_fetchops = 2.0;
+
+  /// How long the counter's home memory is busy per fetchop, as a fraction
+  /// of the requester-observed round trip. Serialized increments make the
+  /// barrier cost grow roughly linearly with the processor count, as on
+  /// real central-counter barriers.
+  double fetchop_occupancy_factor = 1.2;
+
+  /// While queued on the contended counter/lock the runtime retries a
+  /// test&set-style store about once per round trip; every retry hits a
+  /// line in Shared state and ticks the R10000 store-to-shared counter
+  /// (the paper's nt_syn, [25]). This is what lets Eq. 10 price the whole
+  /// contention, not just the two successful fetchops.
+  double store_retry_interval_factor = 1.0;
+
+  /// Instructions per iteration of the idle spin loop.
+  double spin_loop_instr = 4.0;
+
+  /// CPI of the spin loop — the cpi_imb the spin kernel measures. Idle
+  /// loops issue fast out of the L1, so this sits below the compute CPI.
+  double spin_cpi = 0.75;
+
+  /// Instructions per lock acquire/release pair.
+  double lock_instr = 12.0;
+
+  /// Fetchops per lock acquire (ticket fetch + release store).
+  double lock_fetchops = 2.0;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,87 @@
+#include "tools/counter_schedule.hpp"
+
+#include <set>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+CounterSchedule schedule_events(std::span<const EventId> needed,
+                                int counters_per_run) {
+  ST_CHECK_MSG(counters_per_run >= 1, "need at least one hardware counter");
+  ST_CHECK_MSG(!needed.empty(), "no events requested");
+  std::set<EventId> seen;
+  CounterSchedule schedule;
+  schedule.counters_per_run = counters_per_run;
+  for (EventId ev : needed) {
+    ST_CHECK_MSG(seen.insert(ev).second,
+                 "duplicate event in request: " << event_name(ev));
+    if (schedule.passes.empty() ||
+        static_cast<int>(schedule.passes.back().size()) >= counters_per_run)
+      schedule.passes.emplace_back();
+    schedule.passes.back().push_back(ev);
+  }
+  return schedule;
+}
+
+std::vector<EventId> scal_tool_event_set() {
+  return {EventId::kCycles,          EventId::kGraduatedInstructions,
+          EventId::kGraduatedLoads,  EventId::kGraduatedStores,
+          EventId::kL1DMisses,       EventId::kL2Misses,
+          EventId::kStoreToShared};
+}
+
+int hardware_pass_multiplier(int counters_per_run) {
+  const auto events = scal_tool_event_set();
+  return schedule_events(events, counters_per_run).num_passes();
+}
+
+CounterSnapshot run_pass(const CounterSnapshot& full,
+                         std::span<const EventId> pass_events) {
+  CounterSnapshot pass(full.num_procs());
+  for (int p = 0; p < full.num_procs(); ++p)
+    for (EventId ev : pass_events)
+      pass.proc(p).set(ev, full.proc(p).get(ev));
+  return pass;
+}
+
+CounterSnapshot merge_passes(const std::vector<CounterSnapshot>& passes,
+                             const CounterSchedule& schedule) {
+  ST_CHECK_MSG(passes.size() == schedule.passes.size(),
+               "have " << passes.size() << " snapshots for "
+                       << schedule.passes.size() << " scheduled passes");
+  ST_CHECK(!passes.empty());
+  const int procs = passes.front().num_procs();
+  CounterSnapshot merged(procs);
+  std::set<EventId> seen;
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    ST_CHECK_MSG(passes[i].num_procs() == procs,
+                 "pass " << i << " has a different processor count");
+    for (EventId ev : schedule.passes[i]) {
+      ST_CHECK_MSG(seen.insert(ev).second,
+                   "event scheduled twice: " << event_name(ev));
+      for (int p = 0; p < procs; ++p)
+        merged.proc(p).set(ev, passes[i].proc(p).get(ev));
+    }
+  }
+  return merged;
+}
+
+Table schedule_table(const CounterSchedule& schedule) {
+  Table t("Counter schedule (" +
+          std::to_string(schedule.counters_per_run) +
+          " hardware counters per pass)");
+  t.header({"pass", "events"});
+  for (std::size_t i = 0; i < schedule.passes.size(); ++i) {
+    std::string events;
+    for (EventId ev : schedule.passes[i]) {
+      if (!events.empty()) events += " + ";
+      events += std::string(event_name(ev));
+    }
+    t.add_row({Table::cell(i + 1), events});
+  }
+  return t;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,61 @@
+// Hardware counter scheduling for two-counter processors.
+//
+// The MIPS R10000 "has two hardware event counters that can record up to
+// 32 events" (Sec. 3): only two of the 32 event types count concurrently.
+// A measurement needing more events must either repeat the run with
+// different counter selections or time-multiplex within one run. This
+// module plans those selections and quantifies the real-hardware cost of
+// the Scal-Tool matrix — the practical footnote behind Table 1's run
+// accounting (on a simulator all counters are free; on the Origin they are
+// not).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/table.hpp"
+#include "counters/counter_set.hpp"
+#include "counters/events.hpp"
+
+namespace scaltool {
+
+/// A plan assigning events to hardware passes.
+struct CounterSchedule {
+  int counters_per_run = 2;
+  std::vector<std::vector<EventId>> passes;  ///< events per pass
+
+  int num_passes() const { return static_cast<int>(passes.size()); }
+};
+
+/// Packs `needed` events into passes of at most `counters_per_run` each.
+/// Order is preserved; duplicates are rejected.
+CounterSchedule schedule_events(std::span<const EventId> needed,
+                                int counters_per_run = 2);
+
+/// The event set one Scal-Tool run must record (Sec. 2.1 + 2.4.2): cycles,
+/// graduated instructions, loads, stores, L1D misses, L2 misses and
+/// stores-to-shared.
+std::vector<EventId> scal_tool_event_set();
+
+/// Real-hardware run multiplier: how many passes of each application run a
+/// 2-counter machine needs to gather the whole event set (4 on the
+/// R10000), versus 1 on a machine with enough counters.
+int hardware_pass_multiplier(int counters_per_run = 2);
+
+/// Renders the schedule (one row per pass).
+Table schedule_table(const CounterSchedule& schedule);
+
+/// Emulates one hardware pass: a snapshot containing only the pass's
+/// events (every other counter reads zero), as a 2-counter perfex run
+/// would produce.
+CounterSnapshot run_pass(const CounterSnapshot& full,
+                         std::span<const EventId> pass_events);
+
+/// Merges per-pass snapshots back into a full snapshot — the
+/// post-processing step of a real multi-pass campaign. Passes must not
+/// overlap in events and must agree on the processor count.
+CounterSnapshot merge_passes(
+    const std::vector<CounterSnapshot>& passes,
+    const CounterSchedule& schedule);
+
+}  // namespace scaltool

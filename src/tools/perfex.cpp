@@ -1,0 +1,27 @@
+#include "tools/perfex.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace scaltool {
+
+std::string perfex_report(const RunResult& run, bool per_proc) {
+  std::ostringstream os;
+  os << "perfex: " << run.workload << " (s=" << run.dataset_bytes
+     << " bytes, p=" << run.num_procs << ")\n";
+  os << run.counters.to_string();
+  if (per_proc) {
+    for (int p = 0; p < run.num_procs; ++p) {
+      os << "  -- proc " << p << " --\n";
+      for (EventId id : all_events()) {
+        const double v = run.counters.proc(p).get(id);
+        if (v == 0.0) continue;
+        os << "    " << std::left << std::setw(20) << event_name(id) << " "
+           << std::fixed << std::setprecision(0) << v << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace scaltool

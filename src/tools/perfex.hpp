@@ -1,0 +1,19 @@
+// perfex emulation: raw hardware event-counter dumps.
+//
+// SGI's perfex "can record up to 32 hardware events" and prints their raw
+// values [18]. This is the *existing tool* whose output the paper calls
+// "too low level" — programmers cannot relate raw miss counts to
+// scalability bottlenecks. We provide it both for fidelity and because
+// Scal-Tool's inputs are exactly perfex outputs.
+#pragma once
+
+#include <string>
+
+#include "machine/run_result.hpp"
+
+namespace scaltool {
+
+/// Aggregate (and optionally per-processor) counter dump for a run.
+std::string perfex_report(const RunResult& run, bool per_proc = false);
+
+}  // namespace scaltool

@@ -1,0 +1,36 @@
+#include "tools/region_report.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+Table region_table(const RunResult& run) {
+  Table t("Per-region profile: " + run.workload + " (p=" +
+          Table::cell(run.num_procs) + ")");
+  t.header({"region", "Mcycles", "pct_of_run", "cpi", "l1_hitr", "l2_hitr"});
+  const double total = run.accumulated_cycles;
+  for (const auto& [name, counters] : run.regions) {
+    const DerivedMetrics d = counters.derived();
+    t.add_row({name, Table::cell(d.cycles / 1e6, 3),
+               Table::cell(total > 0 ? 100.0 * d.cycles / total : 0.0, 1),
+               Table::cell(d.cpi, 3), Table::cell(d.l1_hitr, 4),
+               Table::cell(d.l2_hitr, 4)});
+  }
+  return t;
+}
+
+DerivedMetrics region_metrics(const RunResult& run, const std::string& name) {
+  const auto it = run.regions.find(name);
+  ST_CHECK_MSG(it != run.regions.end(), "no region named " << name);
+  return it->second.derived();
+}
+
+double region_cycle_fraction(const RunResult& run, const std::string& name) {
+  const auto it = run.regions.find(name);
+  ST_CHECK_MSG(it != run.regions.end(), "no region named " << name);
+  if (run.accumulated_cycles <= 0.0) return 0.0;
+  return it->second.aggregate().get(EventId::kCycles) /
+         run.accumulated_cycles;
+}
+
+}  // namespace scaltool

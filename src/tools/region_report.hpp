@@ -1,0 +1,28 @@
+// Per-segment analysis support.
+//
+// Sec. 2.1: the Scal-Tool plots "can be obtained for the overall
+// application or for a segment of the application that is considered
+// particularly important". Workloads mark segments with
+// ProcContext::begin_region/end_region; this module renders the per-region
+// counters and extracts region-level metrics the model equations can
+// consume (a region's cpi/h2/hm behave exactly like a whole program's).
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+#include "counters/counter_set.hpp"
+#include "machine/run_result.hpp"
+
+namespace scaltool {
+
+/// Per-region share of the run: cycles, instructions, CPI and miss rates.
+Table region_table(const RunResult& run);
+
+/// Derived metrics of one named region (throws if absent or empty).
+DerivedMetrics region_metrics(const RunResult& run, const std::string& name);
+
+/// Fraction of the run's accumulated cycles spent in the region.
+double region_cycle_fraction(const RunResult& run, const std::string& name);
+
+}  // namespace scaltool

@@ -1,0 +1,76 @@
+#include "tools/speedshop.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace scaltool {
+
+SpeedshopProfile speedshop_profile(const RunResult& run) {
+  SpeedshopProfile prof;
+  const ProcGroundTruth agg = run.truth.aggregate();
+  prof.user_cycles = agg.compute_cycles + agg.mem_stall_cycles;
+  prof.barrier_cycles = agg.sync_cycles;
+  prof.wait_cycles = agg.spin_cycles;
+  prof.total_cycles = prof.user_cycles + prof.barrier_cycles +
+                      prof.wait_cycles;
+  return prof;
+}
+
+SpeedshopProfile speedshop_profile_sampled(const RunResult& run,
+                                           double sample_period,
+                                           std::uint64_t seed) {
+  ST_CHECK_MSG(sample_period > 0.0, "sample period must be positive");
+  const SpeedshopProfile exact = speedshop_profile(run);
+  const auto samples =
+      static_cast<std::uint64_t>(exact.total_cycles / sample_period);
+  if (samples == 0) return SpeedshopProfile{};
+
+  // Each sample lands in a bucket with probability proportional to its
+  // exact cycle share (multinomial draw).
+  Rng rng(seed);
+  const double p_user = exact.user_cycles / exact.total_cycles;
+  const double p_barrier = exact.barrier_cycles / exact.total_cycles;
+  std::uint64_t user = 0, barrier = 0, wait = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const double x = rng.next_double();
+    if (x < p_user) {
+      ++user;
+    } else if (x < p_user + p_barrier) {
+      ++barrier;
+    } else {
+      ++wait;
+    }
+  }
+  SpeedshopProfile sampled;
+  sampled.user_cycles = static_cast<double>(user) * sample_period;
+  sampled.barrier_cycles = static_cast<double>(barrier) * sample_period;
+  sampled.wait_cycles = static_cast<double>(wait) * sample_period;
+  sampled.total_cycles =
+      sampled.user_cycles + sampled.barrier_cycles + sampled.wait_cycles;
+  return sampled;
+}
+
+std::string speedshop_report(const RunResult& run) {
+  const SpeedshopProfile prof = speedshop_profile(run);
+  std::ostringstream os;
+  os << "speedshop (PC sampling): " << run.workload << " p="
+     << run.num_procs << "\n";
+  auto line = [&](const char* fn, double cycles) {
+    os << "  " << std::left << std::setw(28) << fn << std::right
+       << std::setw(14) << std::fixed << std::setprecision(0) << cycles
+       << "  (" << std::setprecision(1)
+       << (prof.total_cycles > 0 ? 100.0 * cycles / prof.total_cycles : 0.0)
+       << "%)\n";
+  };
+  line("__application__", prof.user_cycles);
+  line("mp_barrier/mp_lock_try", prof.barrier_cycles);
+  line("mp_slave_wait_for_work", prof.wait_cycles);
+  line("TOTAL", prof.total_cycles);
+  return os.str();
+}
+
+}  // namespace scaltool

@@ -1,0 +1,48 @@
+// speedshop emulation: PC-sampling cycle profiles.
+//
+// SGI's speedshop attributes cycles to routines; the paper uses it to
+// measure the cycles in barrier functions (mp_barrier, mp_lock_try) and
+// load-imbalance functions (mp_slave_wait_for_work,
+// mp_master_wait_for_slaves), and compares that measured MP cost against
+// Scal-Tool's estimate (Figs. 7/10/13). Our profile reads the simulator's
+// ground-truth attribution — the moral equivalent of sampling the real
+// machine — and is used *only* for validation, never as a model input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/run_result.hpp"
+
+namespace scaltool {
+
+struct SpeedshopProfile {
+  double total_cycles = 0.0;      ///< accumulated over all processors
+  double user_cycles = 0.0;       ///< application compute + memory stalls
+  double barrier_cycles = 0.0;    ///< mp_barrier / mp_lock_try
+  double wait_cycles = 0.0;       ///< mp_slave_wait_for_work etc.
+
+  /// The measured multiprocessor cost (Sync+Imb of the figures).
+  double mp_cycles() const { return barrier_cycles + wait_cycles; }
+  double mp_fraction() const {
+    return total_cycles > 0.0 ? mp_cycles() / total_cycles : 0.0;
+  }
+};
+
+SpeedshopProfile speedshop_profile(const RunResult& run);
+
+/// PC-*sampled* profile: real speedshop interrupts the program every
+/// `sample_period` cycles and attributes one sample to whatever routine is
+/// running; the result carries sampling noise. We emulate that by drawing
+/// the same number of samples from the exact attribution with a
+/// deterministic RNG — so the paper's "measured" curves can be studied
+/// with realistic measurement error, and the exact profile is the
+/// period→0 limit.
+SpeedshopProfile speedshop_profile_sampled(const RunResult& run,
+                                           double sample_period,
+                                           std::uint64_t seed = 1);
+
+/// Routine-style text report.
+std::string speedshop_report(const RunResult& run);
+
+}  // namespace scaltool

@@ -1,0 +1,23 @@
+#include "tools/ssusage.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace scaltool {
+
+SsusageReport ssusage(const RunResult& run) {
+  return SsusageReport{run.bytes_allocated};
+}
+
+std::string ssusage_report(const RunResult& run, std::size_t l2_bytes) {
+  const SsusageReport rep = ssusage(run);
+  std::ostringstream os;
+  os << "ssusage: " << run.workload << " max data size "
+     << format_bytes(rep.max_bytes) << "; with " << format_bytes(l2_bytes)
+     << " L2 caches, aggregate capacity covers the data set at "
+     << rep.procs_to_fit(l2_bytes) << " processors\n";
+  return os.str();
+}
+
+}  // namespace scaltool

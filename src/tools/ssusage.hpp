@@ -1,0 +1,30 @@
+// ssusage emulation: maximum resident data size.
+//
+// The paper validates the L2Lim predictions by dividing the ssusage-
+// measured data-set size by the aggregate L2 capacity: "if the
+// per-processor working sets are balanced and disjoint, there will be
+// enough caching space with [size/L2] processors" (Sec. 4.1).
+#pragma once
+
+#include <string>
+
+#include "machine/run_result.hpp"
+
+namespace scaltool {
+
+struct SsusageReport {
+  std::size_t max_bytes = 0;
+
+  /// Processor count at which the aggregate L2 capacity covers the data
+  /// set — the paper's back-of-envelope check on where L2Lim vanishes.
+  int procs_to_fit(std::size_t l2_bytes) const {
+    if (l2_bytes == 0) return 0;
+    return static_cast<int>((max_bytes + l2_bytes - 1) / l2_bytes);
+  }
+};
+
+SsusageReport ssusage(const RunResult& run);
+
+std::string ssusage_report(const RunResult& run, std::size_t l2_bytes);
+
+}  // namespace scaltool

@@ -1,0 +1,78 @@
+#include "trace/access_pattern.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+BlockRange block_range(std::size_t total, int nprocs, int p) {
+  ST_CHECK(nprocs >= 1);
+  ST_CHECK(p >= 0 && p < nprocs);
+  const std::size_t n = static_cast<std::size_t>(nprocs);
+  const std::size_t pi = static_cast<std::size_t>(p);
+  const std::size_t base = total / n;
+  const std::size_t rem = total % n;
+  BlockRange r;
+  r.begin = pi * base + std::min(pi, rem);
+  r.end = r.begin + base + (pi < rem ? 1 : 0);
+  return r;
+}
+
+void stream_read(ProcContext& ctx, Addr base, std::size_t begin,
+                 std::size_t count, std::size_t elem_bytes,
+                 double flops_per_elem) {
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    ctx.load(base + static_cast<Addr>(i * elem_bytes));
+    if (flops_per_elem > 0.0) ctx.compute(flops_per_elem);
+  }
+}
+
+void stream_write(ProcContext& ctx, Addr base, std::size_t begin,
+                  std::size_t count, std::size_t elem_bytes,
+                  double flops_per_elem, bool rmw) {
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    const Addr a = base + static_cast<Addr>(i * elem_bytes);
+    if (rmw) ctx.load(a);
+    if (flops_per_elem > 0.0) ctx.compute(flops_per_elem);
+    ctx.store(a);
+  }
+}
+
+void axpy(ProcContext& ctx, Addr x, Addr y, std::size_t begin,
+          std::size_t count, std::size_t elem_bytes) {
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    const Addr off = static_cast<Addr>(i * elem_bytes);
+    ctx.load(x + off);
+    ctx.load(y + off);
+    ctx.compute(2.0);
+    ctx.store(y + off);
+  }
+}
+
+void dot_partial(ProcContext& ctx, Addr x, Addr y, std::size_t begin,
+                 std::size_t count, std::size_t elem_bytes,
+                 Addr partial_slot) {
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    const Addr off = static_cast<Addr>(i * elem_bytes);
+    ctx.load(x + off);
+    ctx.load(y + off);
+    ctx.compute(2.0);
+  }
+  ctx.store(partial_slot);
+}
+
+void stencil3(ProcContext& ctx, Addr in, Addr out, std::size_t begin,
+              std::size_t count, std::size_t total, std::size_t elem_bytes,
+              double flops_per_elem) {
+  ST_CHECK(begin + count <= total);
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    const std::size_t lo = i == 0 ? 0 : i - 1;
+    const std::size_t hi = i + 1 == total ? i : i + 1;
+    ctx.load(in + static_cast<Addr>(lo * elem_bytes));
+    ctx.load(in + static_cast<Addr>(i * elem_bytes));
+    ctx.load(in + static_cast<Addr>(hi * elem_bytes));
+    ctx.compute(flops_per_elem);
+    ctx.store(out + static_cast<Addr>(i * elem_bytes));
+  }
+}
+
+}  // namespace scaltool

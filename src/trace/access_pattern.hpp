@@ -1,0 +1,54 @@
+// Access-pattern helpers shared by the synthetic applications.
+//
+// These express the common loop shapes of the paper's scientific codes —
+// block-scheduled sweeps over arrays ("block scheduling to schedule
+// iterations", Sec. 3), stencil reads with neighbour offsets, and
+// reductions — in terms of ProcContext loads/stores.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+/// Element range [begin, end) of processor `p` under block scheduling of
+/// `total` iterations across `nprocs` processors (first-touch friendly).
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+BlockRange block_range(std::size_t total, int nprocs, int p);
+
+/// Streaming read of `count` elements of `elem_bytes` starting at `base`,
+/// charging `flops_per_elem` compute instructions per element.
+void stream_read(ProcContext& ctx, Addr base, std::size_t begin,
+                 std::size_t count, std::size_t elem_bytes,
+                 double flops_per_elem);
+
+/// Streaming write (read-modify-write when `rmw` is true).
+void stream_write(ProcContext& ctx, Addr base, std::size_t begin,
+                  std::size_t count, std::size_t elem_bytes,
+                  double flops_per_elem, bool rmw = false);
+
+/// y[i] = a*x[i] + y[i] over the range: 2 loads, 1 store, 2 flops per elem.
+void axpy(ProcContext& ctx, Addr x, Addr y, std::size_t begin,
+          std::size_t count, std::size_t elem_bytes);
+
+/// Local partial dot product over the range: 2 loads + 2 flops per element,
+/// one store of the partial at `partial_slot`.
+void dot_partial(ProcContext& ctx, Addr x, Addr y, std::size_t begin,
+                 std::size_t count, std::size_t elem_bytes,
+                 Addr partial_slot);
+
+/// 1-D 3-point stencil: out[i] = f(in[i-1], in[i], in[i+1]) over the range,
+/// clamped at the array ends ([0, total)). 3 loads, 1 store,
+/// `flops_per_elem` compute instructions (default 4).
+void stencil3(ProcContext& ctx, Addr in, Addr out, std::size_t begin,
+              std::size_t count, std::size_t total, std::size_t elem_bytes,
+              double flops_per_elem = 4.0);
+
+}  // namespace scaltool

@@ -1,0 +1,38 @@
+#include "trace/registry.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::register_workload(const std::string& name,
+                                         Factory factory) {
+  ST_CHECK_MSG(!factories_.contains(name),
+               "workload already registered: " << name);
+  ST_CHECK(factory != nullptr);
+  factories_.emplace(name, std::move(factory));
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  ST_CHECK_MSG(it != factories_.end(), "unknown workload: " << name);
+  return it->second();
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,35 @@
+// Name → factory registry for workloads, so examples and bench binaries can
+// select applications by name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+class WorkloadRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Workload>()>;
+
+  /// The process-wide registry instance.
+  static WorkloadRegistry& instance();
+
+  /// Registers a factory; re-registration under the same name is an error.
+  void register_workload(const std::string& name, Factory factory);
+
+  /// Creates a fresh workload instance; throws CheckError for unknown names.
+  std::unique_ptr<Workload> create(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,315 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+std::size_t Trace::total_ops() const {
+  std::size_t total = 0;
+  for (const auto& chunk : ops) total += chunk.size();
+  return total;
+}
+
+void Trace::validate() const {
+  ST_CHECK_MSG(num_procs >= 1, "trace has no processors");
+  ST_CHECK_MSG(num_phases >= 1, "trace has no phases");
+  ST_CHECK_MSG(ops.size() == static_cast<std::size_t>(num_phases) *
+                                 static_cast<std::size_t>(num_procs),
+               "trace has " << ops.size() << " chunks, expected "
+                            << num_phases * num_procs);
+  for (const auto& chunk : ops) {
+    int region_depth = 0;
+    for (const TraceOp& op : chunk) {
+      if (op.kind == TraceOp::Kind::kRegionBegin) ++region_depth;
+      if (op.kind == TraceOp::Kind::kRegionEnd) --region_depth;
+      ST_CHECK_MSG(region_depth >= 0 && region_depth <= 1,
+                   "malformed region nesting in trace");
+    }
+    ST_CHECK_MSG(region_depth == 0, "trace chunk ends inside a region");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+class RecordingWorkload::RecordingCtx final : public ProcContext {
+ public:
+  RecordingCtx(ProcContext& inner, std::vector<TraceOp>& out)
+      : inner_(inner), out_(out) {}
+
+  ProcId proc() const override { return inner_.proc(); }
+  int num_procs() const override { return inner_.num_procs(); }
+
+  void load(Addr addr) override {
+    out_.push_back({TraceOp::Kind::kLoad, addr, 0.0, 0, {}});
+    inner_.load(addr);
+  }
+  void store(Addr addr) override {
+    out_.push_back({TraceOp::Kind::kStore, addr, 0.0, 0, {}});
+    inner_.store(addr);
+  }
+  void compute(double count) override {
+    out_.push_back({TraceOp::Kind::kCompute, 0, count, 0, {}});
+    inner_.compute(count);
+  }
+  void critical_section(int lock_id, double instr) override {
+    out_.push_back({TraceOp::Kind::kCritical, 0, instr, lock_id, {}});
+    inner_.critical_section(lock_id, instr);
+  }
+  void begin_region(const std::string& name) override {
+    out_.push_back({TraceOp::Kind::kRegionBegin, 0, 0.0, 0, name});
+    inner_.begin_region(name);
+  }
+  void end_region() override {
+    out_.push_back({TraceOp::Kind::kRegionEnd, 0, 0.0, 0, {}});
+    inner_.end_region();
+  }
+
+ private:
+  ProcContext& inner_;
+  std::vector<TraceOp>& out_;
+};
+
+namespace {
+
+/// AllocContext shim that records allocation sizes and bases.
+class RecordingAlloc final : public AllocContext {
+ public:
+  RecordingAlloc(AllocContext& inner, std::vector<TraceAlloc>& out)
+      : inner_(inner), out_(out) {}
+  Addr allocate(std::size_t bytes, std::string label) override {
+    const Addr base = inner_.allocate(bytes, label);
+    out_.push_back({bytes, base, std::move(label)});
+    return base;
+  }
+
+ private:
+  AllocContext& inner_;
+  std::vector<TraceAlloc>& out_;
+};
+
+}  // namespace
+
+RecordingWorkload::RecordingWorkload(std::unique_ptr<Workload> inner)
+    : inner_(std::move(inner)) {
+  ST_CHECK(inner_ != nullptr);
+}
+
+std::string RecordingWorkload::name() const {
+  return inner_->name() + ":recording";
+}
+
+ParallelismModel RecordingWorkload::parallelism_model() const {
+  return inner_->parallelism_model();
+}
+
+void RecordingWorkload::setup(AllocContext& alloc,
+                              const WorkloadParams& params, int num_procs) {
+  trace_ = Trace{};
+  trace_.workload = inner_->name();
+  trace_.model = inner_->parallelism_model();
+  trace_.dataset_bytes = params.dataset_bytes;
+  trace_.num_procs = num_procs;
+  RecordingAlloc rec_alloc(alloc, trace_.allocations);
+  inner_->setup(rec_alloc, params, num_procs);
+  trace_.num_phases = inner_->num_phases();
+  trace_.ops.assign(static_cast<std::size_t>(trace_.num_phases) *
+                        static_cast<std::size_t>(num_procs),
+                    {});
+}
+
+int RecordingWorkload::num_phases() const { return inner_->num_phases(); }
+
+void RecordingWorkload::run_phase(int phase, ProcContext& ctx) {
+  auto& chunk = trace_.ops[static_cast<std::size_t>(phase) *
+                               static_cast<std::size_t>(trace_.num_procs) +
+                           static_cast<std::size_t>(ctx.proc())];
+  RecordingCtx recorder(ctx, chunk);
+  inner_->run_phase(phase, recorder);
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+TraceWorkload::TraceWorkload(Trace trace) : trace_(std::move(trace)) {
+  trace_.validate();
+}
+
+void TraceWorkload::setup(AllocContext& alloc, const WorkloadParams& params,
+                          int num_procs) {
+  ST_CHECK_MSG(num_procs == trace_.num_procs,
+               "trace was recorded on " << trace_.num_procs
+                                        << " processors, machine has "
+                                        << num_procs);
+  ST_CHECK_MSG(params.dataset_bytes == trace_.dataset_bytes,
+               "trace was recorded at " << trace_.dataset_bytes
+                                        << " bytes, run requests "
+                                        << params.dataset_bytes);
+  for (const TraceAlloc& a : trace_.allocations) {
+    const Addr base = alloc.allocate(a.bytes, a.label + ":replay");
+    ST_CHECK_MSG(base == a.base,
+                 "replay allocator layout differs (got 0x"
+                     << std::hex << base << ", trace has 0x" << a.base
+                     << "); use the memory configuration the trace was "
+                        "recorded with");
+  }
+}
+
+void TraceWorkload::run_phase(int phase, ProcContext& ctx) {
+  const auto& chunk =
+      trace_.ops[static_cast<std::size_t>(phase) *
+                     static_cast<std::size_t>(trace_.num_procs) +
+                 static_cast<std::size_t>(ctx.proc())];
+  for (const TraceOp& op : chunk) {
+    switch (op.kind) {
+      case TraceOp::Kind::kLoad: ctx.load(op.addr); break;
+      case TraceOp::Kind::kStore: ctx.store(op.addr); break;
+      case TraceOp::Kind::kCompute: ctx.compute(op.value); break;
+      case TraceOp::Kind::kCritical:
+        ctx.critical_section(op.lock_id, op.value);
+        break;
+      case TraceOp::Kind::kRegionBegin: ctx.begin_region(op.name); break;
+      case TraceOp::Kind::kRegionEnd: ctx.end_region(); break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+void write_trace(const Trace& trace, std::ostream& os) {
+  trace.validate();
+  os << "scaltool-trace|1|" << trace.workload << '|'
+     << parallelism_model_name(trace.model) << '|' << trace.dataset_bytes
+     << '|' << trace.num_procs << '|' << trace.num_phases << '\n';
+  for (const TraceAlloc& a : trace.allocations)
+    os << "A " << a.bytes << ' ' << a.base << ' ' << a.label << '\n';
+  for (std::size_t chunk = 0; chunk < trace.ops.size(); ++chunk) {
+    os << "P " << chunk << ' ' << trace.ops[chunk].size() << '\n';
+    for (const TraceOp& op : trace.ops[chunk]) {
+      switch (op.kind) {
+        case TraceOp::Kind::kLoad: os << "L " << op.addr << '\n'; break;
+        case TraceOp::Kind::kStore: os << "S " << op.addr << '\n'; break;
+        case TraceOp::Kind::kCompute:
+          os << "C " << op.value << '\n';
+          break;
+        case TraceOp::Kind::kCritical:
+          os << "X " << op.lock_id << ' ' << op.value << '\n';
+          break;
+        case TraceOp::Kind::kRegionBegin:
+          os << "RB " << op.name << '\n';
+          break;
+        case TraceOp::Kind::kRegionEnd: os << "RE\n"; break;
+      }
+    }
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  ST_CHECK_MSG(static_cast<bool>(std::getline(is, line)), "empty trace");
+  Trace trace;
+  {
+    std::istringstream header(line);
+    std::string field;
+    auto next = [&] {
+      ST_CHECK_MSG(static_cast<bool>(std::getline(header, field, '|')),
+                   "truncated trace header");
+      return field;
+    };
+    ST_CHECK_MSG(next() == "scaltool-trace", "not a scaltool trace");
+    ST_CHECK_MSG(next() == "1", "unsupported trace version");
+    trace.workload = next();
+    const std::string model = next();
+    if (model == "MP") {
+      trace.model = ParallelismModel::kMP;
+    } else if (model == "PCF") {
+      trace.model = ParallelismModel::kPCF;
+    } else {
+      ST_CHECK_MSG(false, "unknown parallelism model: " << model);
+    }
+    trace.dataset_bytes = std::stoull(next());
+    trace.num_procs = std::stoi(next());
+    trace.num_phases = std::stoi(next());
+  }
+  trace.ops.assign(static_cast<std::size_t>(trace.num_phases) *
+                       static_cast<std::size_t>(trace.num_procs),
+                   {});
+  std::vector<TraceOp>* chunk = nullptr;
+  std::size_t remaining = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "A") {
+      TraceAlloc a;
+      ls >> a.bytes >> a.base;
+      std::getline(ls, a.label);
+      if (!a.label.empty() && a.label.front() == ' ')
+        a.label.erase(a.label.begin());
+      trace.allocations.push_back(a);
+      continue;
+    }
+    if (tag == "P") {
+      ST_CHECK_MSG(remaining == 0, "new chunk before the previous finished");
+      std::size_t index = 0;
+      ls >> index >> remaining;
+      ST_CHECK_MSG(index < trace.ops.size(), "chunk index out of range");
+      chunk = &trace.ops[index];
+      chunk->reserve(remaining);
+      continue;
+    }
+    ST_CHECK_MSG(chunk != nullptr && remaining > 0,
+                 "op outside any chunk: " << line);
+    TraceOp op;
+    if (tag == "L" || tag == "S") {
+      op.kind = tag == "L" ? TraceOp::Kind::kLoad : TraceOp::Kind::kStore;
+      ls >> op.addr;
+    } else if (tag == "C") {
+      op.kind = TraceOp::Kind::kCompute;
+      ls >> op.value;
+    } else if (tag == "X") {
+      op.kind = TraceOp::Kind::kCritical;
+      ls >> op.lock_id >> op.value;
+    } else if (tag == "RB") {
+      op.kind = TraceOp::Kind::kRegionBegin;
+      ls >> op.name;
+    } else if (tag == "RE") {
+      op.kind = TraceOp::Kind::kRegionEnd;
+    } else {
+      ST_CHECK_MSG(false, "unknown trace op tag: " << tag);
+    }
+    chunk->push_back(op);
+    --remaining;
+  }
+  ST_CHECK_MSG(remaining == 0, "trace ends mid-chunk");
+  trace.validate();
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  ST_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_trace(trace, os);
+  os.flush();
+  ST_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path);
+  ST_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_trace(is);
+}
+
+}  // namespace scaltool

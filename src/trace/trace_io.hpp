@@ -1,0 +1,119 @@
+// Address-trace record and replay.
+//
+// The paper's related work contrasts execution-driven simulation with
+// trace-driven front ends like MINT [23]. This module provides both
+// directions for our simulator:
+//
+//   - RecordingWorkload wraps any Workload and captures the exact stream
+//     of ProcContext operations (loads, stores, compute, critical
+//     sections, regions) each processor issues in each phase;
+//   - TraceWorkload replays a captured trace as a Workload, with no
+//     application logic — on the same machine configuration it reproduces
+//     the original run's counters bit for bit (asserted in tests);
+//   - save_trace/load_trace persist traces as plain text, so traces from
+//     external tools can be imported by writing the same format.
+//
+// A trace is specific to the (data-set size, processor count) it was
+// recorded at; replay validates both.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+/// One recorded ProcContext operation.
+struct TraceOp {
+  enum class Kind : unsigned char {
+    kLoad,
+    kStore,
+    kCompute,
+    kCritical,
+    kRegionBegin,
+    kRegionEnd,
+  };
+  Kind kind = Kind::kLoad;
+  Addr addr = 0;        ///< kLoad/kStore
+  double value = 0.0;   ///< kCompute: count; kCritical: instructions
+  int lock_id = 0;      ///< kCritical
+  std::string name;     ///< kRegionBegin
+};
+
+/// One recorded allocation: size plus the base address the deterministic
+/// allocator produced (replay verifies it gets the same layout).
+struct TraceAlloc {
+  std::size_t bytes = 0;
+  Addr base = 0;
+  std::string label;
+};
+
+/// A complete captured run.
+struct Trace {
+  std::string workload;  ///< name of the recorded workload
+  ParallelismModel model = ParallelismModel::kMP;
+  std::size_t dataset_bytes = 0;
+  int num_procs = 0;
+  int num_phases = 0;
+  std::vector<TraceAlloc> allocations;
+  /// ops[phase * num_procs + proc]
+  std::vector<std::vector<TraceOp>> ops;
+
+  std::size_t total_ops() const;
+  /// Structural sanity (dimensions, region nesting); throws CheckError.
+  void validate() const;
+};
+
+/// Wraps a workload and captures everything it does. Run it once through
+/// DsmMachine::run, then take the trace.
+class RecordingWorkload final : public Workload {
+ public:
+  explicit RecordingWorkload(std::unique_ptr<Workload> inner);
+
+  std::string name() const override;
+  ParallelismModel parallelism_model() const override;
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override;
+  void run_phase(int phase, ProcContext& ctx) override;
+
+  /// The captured trace (valid after a completed run).
+  const Trace& trace() const { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+
+ private:
+  class RecordingCtx;
+  std::unique_ptr<Workload> inner_;
+  Trace trace_;
+};
+
+/// Replays a trace. The machine must be configured with the trace's
+/// processor count, and the run's WorkloadParams::dataset_bytes must match
+/// the recorded size (checked in setup).
+class TraceWorkload final : public Workload {
+ public:
+  explicit TraceWorkload(Trace trace);
+
+  std::string name() const override { return trace_.workload + ":replay"; }
+  ParallelismModel parallelism_model() const override {
+    return trace_.model;
+  }
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int num_procs) override;
+  int num_phases() const override { return trace_.num_phases; }
+  void run_phase(int phase, ProcContext& ctx) override;
+
+ private:
+  Trace trace_;
+};
+
+void write_trace(const Trace& trace, std::ostream& os);
+Trace read_trace(std::istream& is);
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+}  // namespace scaltool

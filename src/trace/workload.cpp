@@ -1,0 +1,13 @@
+#include "trace/workload.hpp"
+
+namespace scaltool {
+
+const char* parallelism_model_name(ParallelismModel m) {
+  switch (m) {
+    case ParallelismModel::kMP: return "MP";
+    case ParallelismModel::kPCF: return "PCF";
+  }
+  return "?";
+}
+
+}  // namespace scaltool

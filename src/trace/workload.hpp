@@ -1,0 +1,91 @@
+// Workload abstraction: phased shared-memory programs.
+//
+// The paper's applications follow the MP / PCF models of parallelism
+// (Sec. 3): parallel loops and sections separated by explicit or implicit
+// barriers. A Workload is therefore a sequence of *phases*; in each phase
+// every processor executes its slice (loads, stores, compute) through a
+// ProcContext, and an implicit barrier closes the phase. Serial sections
+// are phases where only one processor does work — the others spin at the
+// barrier, which is exactly how the paper's load imbalance manifests.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace scaltool {
+
+/// Run-shaping parameters. `dataset_bytes` is the paper's data-set size s;
+/// the model sweeps it (s0, s0/2, s0/4, ...) while apps size their arrays
+/// from it. `iterations` scales run length without changing the footprint.
+struct WorkloadParams {
+  std::size_t dataset_bytes = 256_KiB;
+  int iterations = 3;
+};
+
+/// Allocation interface handed to Workload::setup.
+class AllocContext {
+ public:
+  virtual ~AllocContext() = default;
+  /// Allocates a named array in the simulated address space.
+  virtual Addr allocate(std::size_t bytes, std::string label) = 0;
+};
+
+/// Per-processor execution interface for one phase. All costs (cache
+/// behaviour, coherence, latency) are charged by the implementation.
+class ProcContext {
+ public:
+  virtual ~ProcContext() = default;
+
+  virtual ProcId proc() const = 0;
+  virtual int num_procs() const = 0;
+
+  /// One graduated load/store of the word at `addr`.
+  virtual void load(Addr addr) = 0;
+  virtual void store(Addr addr) = 0;
+
+  /// `count` non-memory graduated instructions (ALU/FP/branch).
+  virtual void compute(double count) = 0;
+
+  /// A lock-protected critical section executing `instr` instructions.
+  /// Contention against other processors' sections on the same lock is
+  /// serialized by the machine. `lock_id` distinguishes independent locks.
+  virtual void critical_section(int lock_id, double instr) = 0;
+
+  /// Marks region boundaries for per-segment analysis ("these plots can be
+  /// obtained ... for a segment of the application", Sec. 2.1).
+  virtual void begin_region(const std::string& name) = 0;
+  virtual void end_region() = 0;
+};
+
+/// Parallelism model of the source program (Table 4).
+enum class ParallelismModel { kMP, kPCF };
+
+const char* parallelism_model_name(ParallelismModel m);
+
+/// A phased shared-memory application.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual ParallelismModel parallelism_model() const = 0;
+
+  /// Allocates arrays and fixes the phase schedule for these parameters.
+  /// Called exactly once before any run_phase.
+  virtual void setup(AllocContext& alloc, const WorkloadParams& params,
+                     int num_procs) = 0;
+
+  /// Total number of phases (including initialization phases). An implicit
+  /// barrier follows every phase.
+  virtual int num_phases() const = 0;
+
+  /// Executes processor `ctx.proc()`'s share of `phase`.
+  virtual void run_phase(int phase, ProcContext& ctx) = 0;
+};
+
+using WorkloadFactory = std::unique_ptr<Workload> (*)();
+
+}  // namespace scaltool

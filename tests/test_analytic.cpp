@@ -1,0 +1,133 @@
+// Tests: the mathematical-model baselines (Amdahl, M/M/1 contention).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/analytic_models.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+/// Synthetic inputs with exact Amdahl timing at serial fraction `f`.
+ScalToolInputs amdahl_inputs(double f) {
+  ScalToolInputs inputs;
+  inputs.app = "synthetic";
+  inputs.s0 = 1_MiB;
+  inputs.l2_bytes = 64_KiB;
+  const double t1 = 1e6;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    RunRecord r;
+    r.workload = "synthetic";
+    r.dataset_bytes = inputs.s0;
+    r.num_procs = n;
+    r.execution_cycles = t1 * (f + (1.0 - f) / n);
+    r.metrics.instructions = 1e6;
+    r.metrics.cycles = r.execution_cycles * n;
+    r.metrics.cpi = r.metrics.cycles / r.metrics.instructions;
+    inputs.base_runs.push_back(r);
+  }
+  RunRecord uni = inputs.base_runs.front();
+  inputs.uni_runs.push_back(uni);
+  uni.dataset_bytes = inputs.s0 / 2;
+  inputs.uni_runs.push_back(uni);
+  // Minimal kernel records so the input matrix validates.
+  for (int n : {2, 4, 8, 16, 32}) {
+    KernelMeasurement km;
+    km.num_procs = n;
+    km.sync_kernel.num_procs = n;
+    km.sync_kernel.metrics.instructions = 1000;
+    km.sync_kernel.metrics.cycles = 5000;
+    km.sync_kernel.metrics.cpi = 5.0;
+    km.sync_kernel.metrics.store_to_shared = 50;
+    km.spin_kernel = km.sync_kernel;
+    inputs.kernels.push_back(km);
+  }
+  return inputs;
+}
+
+TEST(Amdahl, RecoversExactSerialFraction) {
+  for (const double f : {0.0, 0.02, 0.085, 0.25}) {
+    const AmdahlFit fit = fit_amdahl(amdahl_inputs(f));
+    EXPECT_NEAR(fit.serial_fraction, f, 1e-9) << "f=" << f;
+    EXPECT_GT(fit.r2, 0.999);
+    // Predictions reproduce the inputs.
+    EXPECT_NEAR(fit.predict_speedup(32),
+                1.0 / (f + (1.0 - f) / 32.0), 1e-9);
+  }
+}
+
+TEST(Amdahl, PredictTimeMonotonicallyDecreases) {
+  const AmdahlFit fit = fit_amdahl(amdahl_inputs(0.1));
+  double prev = fit.predict_time(1);
+  for (int n = 2; n <= 64; n *= 2) {
+    EXPECT_LT(fit.predict_time(n), prev);
+    prev = fit.predict_time(n);
+  }
+  // ... but saturates at the serial time.
+  EXPECT_GT(fit.predict_time(1 << 20), 0.0999 * fit.t1);
+}
+
+TEST(Amdahl, FractionClampedToUnitInterval) {
+  // Superlinear measurements would fit a negative f; the fit clamps.
+  ScalToolInputs inputs = amdahl_inputs(0.0);
+  inputs.base_runs[3].execution_cycles /= 4.0;  // superlinear at n=8
+  const AmdahlFit fit = fit_amdahl(inputs);
+  EXPECT_GE(fit.serial_fraction, 0.0);
+  EXPECT_LE(fit.serial_fraction, 1.0);
+}
+
+TEST(Contention, SaneAndBounded) {
+  ContentionModel model;
+  model.t1 = 1e6;
+  model.mem_share = 0.5;
+  model.utilization1 = 0.25;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const double s = model.predict_speedup(n);
+    EXPECT_GE(s, 1.0) << "n=" << n;        // adding processors never hurts
+                                           // below the saturation knee...
+    EXPECT_LE(s, static_cast<double>(n));  // ...and is never superlinear
+  }
+  EXPECT_NEAR(model.predict_speedup(1), 1.0, 1e-9);
+  // Queueing saturation is allowed to flatten or even dip the curve (the
+  // classic thrashing knee), but not below the uniprocessor.
+}
+
+TEST(Contention, MoreMemoryBoundMeansWorseScaling) {
+  ContentionModel light, heavy;
+  light.t1 = heavy.t1 = 1e6;
+  light.mem_share = 0.1;
+  light.utilization1 = 0.05;
+  heavy.mem_share = 0.7;
+  heavy.utilization1 = 0.35;
+  EXPECT_GT(light.predict_speedup(32), heavy.predict_speedup(32));
+}
+
+TEST(Baselines, AmdahlBreaksOnT3dheat) {
+  // The paper's thesis in one assertion: the serial-fraction model misses
+  // t3dheat's measured speedup by a large factor somewhere on the curve,
+  // while the empirical model's curves (tested elsewhere) track it.
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 4;
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, default_proc_counts(32));
+  const ScalabilityReport report = analyze(inputs);
+  double worst = 0.0;
+  for (const BaselineComparison& c :
+       compare_baselines(inputs, report.model.pi0)) {
+    worst = std::max(worst,
+                     std::abs(c.amdahl - c.measured) / c.measured);
+  }
+  EXPECT_GT(worst, 0.30);  // ≥30% wrong somewhere
+}
+
+TEST(Baselines, RequireMultiprocessorRuns) {
+  ScalToolInputs inputs = amdahl_inputs(0.1);
+  inputs.base_runs.resize(1);
+  inputs.validation.clear();
+  EXPECT_THROW(fit_amdahl(inputs), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,122 @@
+// Unit tests: measurement-matrix archives (save/load round trip).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/scaltool.hpp"
+#include "runner/archive.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+ScalToolInputs sample_inputs() {
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const std::vector<int> procs{1, 2, 4};
+  return runner.collect("t3dheat", s0, procs);
+}
+
+TEST(Archive, StreamRoundTripPreservesEverything) {
+  const ScalToolInputs original = sample_inputs();
+  std::stringstream buffer;
+  write_inputs(original, buffer);
+  const ScalToolInputs loaded = read_inputs(buffer);
+
+  EXPECT_EQ(loaded.app, original.app);
+  EXPECT_EQ(loaded.s0, original.s0);
+  EXPECT_EQ(loaded.l2_bytes, original.l2_bytes);
+  ASSERT_EQ(loaded.base_runs.size(), original.base_runs.size());
+  ASSERT_EQ(loaded.uni_runs.size(), original.uni_runs.size());
+  ASSERT_EQ(loaded.kernels.size(), original.kernels.size());
+  ASSERT_EQ(loaded.validation.size(), original.validation.size());
+
+  for (std::size_t i = 0; i < original.base_runs.size(); ++i) {
+    const RunRecord& a = original.base_runs[i];
+    const RunRecord& b = loaded.base_runs[i];
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.dataset_bytes, b.dataset_bytes);
+    EXPECT_EQ(a.num_procs, b.num_procs);
+    EXPECT_DOUBLE_EQ(a.metrics.cpi, b.metrics.cpi);
+    EXPECT_DOUBLE_EQ(a.metrics.h2, b.metrics.h2);
+    EXPECT_DOUBLE_EQ(a.metrics.hm, b.metrics.hm);
+    EXPECT_DOUBLE_EQ(a.metrics.store_to_shared, b.metrics.store_to_shared);
+    EXPECT_DOUBLE_EQ(a.execution_cycles, b.execution_cycles);
+  }
+  for (std::size_t i = 0; i < original.validation.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original.validation[i].mp_cycles,
+                     loaded.validation[i].mp_cycles);
+    EXPECT_DOUBLE_EQ(original.validation[i].coherence_misses,
+                     loaded.validation[i].coherence_misses);
+  }
+}
+
+TEST(Archive, AnalysisOfLoadedInputsMatchesOriginal) {
+  const ScalToolInputs original = sample_inputs();
+  std::stringstream buffer;
+  write_inputs(original, buffer);
+  const ScalToolInputs loaded = read_inputs(buffer);
+
+  const ScalabilityReport a = analyze(original);
+  const ScalabilityReport b = analyze(loaded);
+  EXPECT_DOUBLE_EQ(a.model.pi0, b.model.pi0);
+  EXPECT_DOUBLE_EQ(a.model.t2, b.model.t2);
+  EXPECT_DOUBLE_EQ(a.model.tm1, b.model.tm1);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].base_cycles, b.points[i].base_cycles);
+    EXPECT_DOUBLE_EQ(a.points[i].sync_cost, b.points[i].sync_cost);
+    EXPECT_DOUBLE_EQ(a.points[i].imb_cost, b.points[i].imb_cost);
+  }
+}
+
+TEST(Archive, FileRoundTrip) {
+  const ScalToolInputs original = sample_inputs();
+  const std::string path = "/tmp/scaltool_archive_test.txt";
+  save_inputs(original, path);
+  const ScalToolInputs loaded = load_inputs(path);
+  EXPECT_EQ(loaded.app, original.app);
+  EXPECT_EQ(loaded.base_runs.size(), original.base_runs.size());
+  std::remove(path.c_str());
+}
+
+TEST(Archive, RejectsGarbage) {
+  {
+    std::stringstream empty;
+    EXPECT_THROW(read_inputs(empty), CheckError);
+  }
+  {
+    std::stringstream wrong("not-an-archive|1|x|1|1\n");
+    EXPECT_THROW(read_inputs(wrong), CheckError);
+  }
+  {
+    std::stringstream bad_version("scaltool-inputs|99|x|1|1\n");
+    EXPECT_THROW(read_inputs(bad_version), CheckError);
+  }
+  {
+    // Valid header but a truncated record.
+    std::stringstream truncated(
+        "scaltool-inputs|1|app|1024|512\nBASE|app|1024\n");
+    EXPECT_THROW(read_inputs(truncated), CheckError);
+  }
+  EXPECT_THROW(load_inputs("/nonexistent/path/archive.txt"), CheckError);
+}
+
+TEST(Archive, RejectsDanglingKernelRecords) {
+  const ScalToolInputs original = sample_inputs();
+  std::stringstream buffer;
+  write_inputs(original, buffer);
+  std::string text = buffer.str();
+  // Drop the last SPINK line to orphan its SYNCK partner.
+  const auto pos = text.rfind("SPINK");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = text.find('\n', pos);
+  text.erase(pos, end - pos + 1);
+  std::stringstream corrupted(text);
+  EXPECT_THROW(read_inputs(corrupted), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,188 @@
+// Unit + property tests: set-associative MESI cache.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace scaltool {
+namespace {
+
+CacheConfig tiny() { return CacheConfig{1024, 2, 64}; }  // 8 sets × 2 ways
+
+TEST(CacheConfig, GeometryMath) {
+  const CacheConfig cfg = tiny();
+  EXPECT_EQ(cfg.num_lines(), 16u);
+  EXPECT_EQ(cfg.num_sets(), 8u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CacheConfig, RejectsBadGeometry) {
+  CacheConfig cfg = tiny();
+  cfg.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = tiny();
+  cfg.associativity = 3;  // 1024/(64·3) not integral
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = tiny();
+  cfg.size_bytes = 1024 + 512;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny());
+  EXPECT_EQ(c.probe(0x100), LineState::kInvalid);
+  EXPECT_FALSE(c.insert(0x100, LineState::kShared).has_value());
+  EXPECT_EQ(c.probe(0x100), LineState::kShared);
+  EXPECT_EQ(c.probe(0x13F), LineState::kShared);  // same 64B line
+  EXPECT_EQ(c.probe(0x140), LineState::kInvalid); // next line
+}
+
+TEST(Cache, LineAlignment) {
+  Cache c(tiny());
+  EXPECT_EQ(c.line_of(0x1000), 0x1000u);
+  EXPECT_EQ(c.line_of(0x103F), 0x1000u);
+  EXPECT_EQ(c.line_of(0x1040), 0x1040u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(tiny());  // 8 sets → set stride is 8·64 = 512 bytes
+  const Addr a = 0x0, b = 0x200, d = 0x400;  // all map to set 0
+  c.insert(a, LineState::kShared);
+  c.insert(b, LineState::kShared);
+  c.touch(a);  // b is now LRU
+  const auto victim = c.insert(d, LineState::kShared);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, b);
+  EXPECT_EQ(c.probe(a), LineState::kShared);
+  EXPECT_EQ(c.probe(b), LineState::kInvalid);
+  EXPECT_EQ(c.probe(d), LineState::kShared);
+}
+
+TEST(Cache, VictimCarriesState) {
+  Cache c(tiny());
+  c.insert(0x0, LineState::kModified);
+  c.insert(0x200, LineState::kShared);
+  const auto victim = c.insert(0x400, LineState::kExclusive);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->state, LineState::kModified);
+}
+
+TEST(Cache, InvalidateReturnsPriorState) {
+  Cache c(tiny());
+  c.insert(0x0, LineState::kModified);
+  EXPECT_EQ(c.invalidate(0x0), LineState::kModified);
+  EXPECT_EQ(c.invalidate(0x0), LineState::kInvalid);
+  EXPECT_EQ(c.probe(0x0), LineState::kInvalid);
+}
+
+TEST(Cache, SetStateTransitions) {
+  Cache c(tiny());
+  c.insert(0x0, LineState::kExclusive);
+  c.set_state(0x0, LineState::kModified);
+  EXPECT_EQ(c.probe(0x0), LineState::kModified);
+  EXPECT_THROW(c.set_state(0x0, LineState::kInvalid), CheckError);
+  EXPECT_THROW(c.set_state(0x999, LineState::kShared), CheckError);
+}
+
+TEST(Cache, ContractViolations) {
+  Cache c(tiny());
+  c.insert(0x0, LineState::kShared);
+  EXPECT_THROW(c.insert(0x0, LineState::kShared), CheckError);  // present
+  EXPECT_THROW(c.insert(0x40, LineState::kInvalid), CheckError);
+  EXPECT_THROW(c.touch(0x80), CheckError);  // absent
+}
+
+TEST(Cache, OccupancyAndClear) {
+  Cache c(tiny());
+  c.insert(0x0, LineState::kShared);
+  c.insert(0x40, LineState::kShared);
+  EXPECT_EQ(c.occupancy(), 2u);
+  c.invalidate(0x0);
+  EXPECT_EQ(c.occupancy(), 1u);
+  c.clear();
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_EQ(c.probe(0x40), LineState::kInvalid);
+}
+
+TEST(Cache, ForEachLineVisitsAllValid) {
+  Cache c(tiny());
+  c.insert(0x0, LineState::kShared);
+  c.insert(0x40, LineState::kModified);
+  c.insert(0x80, LineState::kExclusive);
+  c.invalidate(0x40);
+  std::set<Addr> seen;
+  c.for_each_line([&](Addr line, LineState) { seen.insert(line); });
+  EXPECT_EQ(seen, (std::set<Addr>{0x0, 0x80}));
+}
+
+TEST(Cache, FullCacheHoldsExactlyCapacityDistinctLines) {
+  Cache c(tiny());
+  for (Addr line = 0; line < 64 * 64; line += 64)
+    c.insert(line, LineState::kShared);
+  EXPECT_EQ(c.occupancy(), tiny().num_lines());
+}
+
+// Property: under a random workload the cache never exceeds capacity, a
+// line is never duplicated, and a working set that fits always hits after
+// the first touch.
+class CacheRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheRandomTest, InvariantsUnderRandomTraffic) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337);
+  Cache c(tiny());
+  std::set<Addr> resident;
+  for (int i = 0; i < 5000; ++i) {
+    const Addr line = rng.next_below(256) * 64;
+    switch (rng.next_below(3)) {
+      case 0:
+        if (c.probe(line) == LineState::kInvalid) {
+          const auto victim = c.insert(line, LineState::kShared);
+          resident.insert(line);
+          if (victim) resident.erase(victim->line_addr);
+        } else {
+          c.touch(line);
+        }
+        break;
+      case 1:
+        if (c.probe(line) != LineState::kInvalid) {
+          c.invalidate(line);
+          resident.erase(line);
+        }
+        break;
+      case 2:
+        if (c.probe(line) != LineState::kInvalid)
+          c.set_state(line, LineState::kModified);
+        break;
+    }
+    ASSERT_LE(c.occupancy(), tiny().num_lines());
+    ASSERT_EQ(c.occupancy(), resident.size());
+  }
+  // Cross-check the tag array against our mirror.
+  std::set<Addr> tags;
+  c.for_each_line([&](Addr line, LineState) {
+    EXPECT_TRUE(tags.insert(line).second) << "duplicate line in tag array";
+  });
+  EXPECT_EQ(tags, resident);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheRandomTest, ::testing::Range(1, 11));
+
+TEST(Cache, SmallWorkingSetAlwaysHitsAfterWarmup) {
+  Cache c(tiny());
+  std::vector<Addr> lines;
+  for (Addr line = 0; line < 1024; line += 64) lines.push_back(line);
+  for (Addr line : lines)
+    if (c.probe(line) == LineState::kInvalid) c.insert(line, LineState::kShared);
+  for (int sweep = 0; sweep < 4; ++sweep)
+    for (Addr line : lines) {
+      EXPECT_NE(c.probe(line), LineState::kInvalid);
+      c.touch(line);
+    }
+}
+
+}  // namespace
+}  // namespace scaltool

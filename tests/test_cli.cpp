@@ -1,0 +1,187 @@
+// Unit tests: argument parsing and the scaltool CLI commands.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace scaltool {
+namespace {
+
+// ---- Args --------------------------------------------------------------
+
+TEST(Args, PositionalsAndOptionsMix) {
+  const Args args({"analyze", "swim", "--max-procs=8", "--sharing",
+                   "extra"});
+  EXPECT_EQ(args.positional(0, ""), "analyze");
+  EXPECT_EQ(args.positional(1, ""), "swim");
+  EXPECT_EQ(args.positional(2, ""), "extra");
+  EXPECT_EQ(args.positional(3, "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("max-procs", 32), 8);
+  EXPECT_TRUE(args.has("sharing"));
+  EXPECT_FALSE(args.has("nope"));
+}
+
+TEST(Args, TypedAccessorsValidate) {
+  const Args args({"--n=12", "--f=2.5", "--bad=xyz"});
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_THROW(args.get_int("bad", 0), std::exception);
+}
+
+TEST(Args, UnusedTracksUnqueriedOptions) {
+  const Args args({"--used=1", "--typo=2"});
+  (void)args.get("used", "");
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, RejectsMalformedOptions) {
+  EXPECT_THROW(Args({"--"}), CheckError);
+  EXPECT_THROW(Args({"--=value"}), CheckError);
+}
+
+TEST(ParseSize, AllGrammars) {
+  EXPECT_EQ(parse_size("65536", 64_KiB), 65536u);
+  EXPECT_EQ(parse_size("64KiB", 64_KiB), 64_KiB);
+  EXPECT_EQ(parse_size("64k", 64_KiB), 64_KiB);
+  EXPECT_EQ(parse_size("2MiB", 64_KiB), 2_MiB);
+  EXPECT_EQ(parse_size("10xL2", 64_KiB), 640_KiB);
+  EXPECT_EQ(parse_size("2.5xL2", 64_KiB), 160_KiB);
+  EXPECT_THROW(parse_size("10parsecs", 64_KiB), CheckError);
+  EXPECT_THROW(parse_size("", 64_KiB), CheckError);
+  EXPECT_THROW(parse_size("-5KiB", 64_KiB), CheckError);
+}
+
+// ---- CLI commands -------------------------------------------------------
+
+int run_cli(const std::vector<std::string>& args, std::string* out) {
+  std::ostringstream os;
+  const int rc = cli::run_command(args, os);
+  *out = os.str();
+  return rc;
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  std::string out;
+  EXPECT_EQ(run_cli({"help"}, &out), 0);
+  EXPECT_NE(out.find("usage: scaltool"), std::string::npos);
+  EXPECT_EQ(run_cli({}, &out), 0);  // no args → help
+  EXPECT_EQ(run_cli({"frobnicate"}, &out), 2);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListShowsBundledApps) {
+  std::string out;
+  EXPECT_EQ(run_cli({"list"}, &out), 0);
+  for (const char* app : {"t3dheat", "hydro2d", "swim", "fft", "lu"})
+    EXPECT_NE(out.find(app), std::string::npos) << app;
+}
+
+TEST(Cli, RunPrintsAllThreeToolReports) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "swim", "--procs=2", "--size=1xL2",
+                     "--iters=2"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("perfex: swim"), std::string::npos);
+  EXPECT_NE(out.find("speedshop"), std::string::npos);
+  EXPECT_NE(out.find("ssusage"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsMissingApp) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run"}, &out), 1);
+  EXPECT_NE(out.find("usage: scaltool run"), std::string::npos);
+}
+
+TEST(Cli, CollectThenAnalyzeArchiveRoundTrip) {
+  const std::string path = "/tmp/scaltool_cli_test_archive.txt";
+  std::string out;
+  EXPECT_EQ(run_cli({"collect", "swim", "--out=" + path, "--size=2xL2",
+                     "--max-procs=4", "--iters=2"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("collected"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"analyze", path}, &out), 0);
+  EXPECT_NE(out.find("Scal-Tool model for swim"), std::string::npos);
+  EXPECT_NE(out.find("Bottleneck breakdown"), std::string::npos);
+  EXPECT_NE(out.find("Validation"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"whatif", path, "--l2x=2"}, &out), 0);
+  EXPECT_NE(out.find("What-if"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, AnalyzeOnTheFlyWithChartAndSharing) {
+  std::string out;
+  EXPECT_EQ(run_cli({"analyze", "swim", "--size=2xL2", "--max-procs=4",
+                     "--iters=2", "--sharing", "--chart"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("Base - L2Lim - MP"), std::string::npos);  // chart
+}
+
+TEST(Cli, WhatifWithoutChangesWarns) {
+  std::string out;
+  EXPECT_EQ(run_cli({"whatif", "swim", "--size=2xL2", "--max-procs=2",
+                     "--iters=2"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("no parameter changed"), std::string::npos);
+}
+
+TEST(Cli, RegionCommand) {
+  std::string out;
+  EXPECT_EQ(run_cli({"region", "t3dheat", "spmv", "--size=4xL2",
+                     "--max-procs=2", "--iters=2"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("t3dheat:spmv"), std::string::npos);
+}
+
+TEST(Cli, MachineOverrides) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "swim", "--procs=2", "--size=1xL2",
+                     "--iters=2", "--topology=ring", "--msi", "--tlb=16"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("tlb_misses"), std::string::npos);
+  EXPECT_EQ(run_cli({"run", "swim", "--topology=moebius"}, &out), 1);
+  EXPECT_NE(out.find("unknown --topology"), std::string::npos);
+}
+
+TEST(Cli, RecordThenReplayRoundTrip) {
+  const std::string path = "/tmp/scaltool_cli_trace.txt";
+  std::string out;
+  EXPECT_EQ(run_cli({"record", "swim", "--out=" + path, "--procs=2",
+                     "--size=1xL2", "--iters=2"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("recorded"), std::string::npos);
+  EXPECT_EQ(run_cli({"replay", path}, &out), 0);
+  EXPECT_NE(out.find("perfex: swim:replay"), std::string::npos);
+  // Replay on an overridden machine still works (trace-driven what-if).
+  EXPECT_EQ(run_cli({"replay", path, "--l2-size=128KiB"}, &out), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, WarnsOnUnknownOption) {
+  std::string out;
+  EXPECT_EQ(run_cli({"run", "swim", "--procs=2", "--size=1xL2",
+                     "--iters=2", "--spelling-mistake=1"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("unrecognized option --spelling-mistake"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,147 @@
+// Unit tests: common utilities (checks, RNG, stats, tables).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(Check, ThrowsOnViolationWithLocation) {
+  try {
+    ST_CHECK_MSG(1 == 2, "custom message " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { EXPECT_NO_THROW(ST_CHECK(2 + 2 == 4)); }
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, MeanAndGeomean) {
+  const std::vector<double> xs{2.0, 8.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(geomean(xs), 4.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geomean(xs), CheckError);
+}
+
+TEST(Stats, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(rel_diff(2.0, 1.0), 0.5);
+}
+
+TEST(Stats, ImbalanceFactor) {
+  const std::vector<double> balanced{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(imbalance_factor(balanced), 0.0);
+  const std::vector<double> skewed{1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance_factor(skewed), 1.0);  // max 4 / mean 2 − 1
+}
+
+TEST(Table, AlignsAndCountsRows) {
+  Table t("demo");
+  t.header({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| a   | bbbb |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("demo");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("demo");
+  t.header({"x", "y"});
+  t.add_row({Table::cell(1), Table::cell(2.5, 1)});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2.5\n");
+}
+
+TEST(Table, CsvRejectsEmbeddedComma) {
+  Table t("demo");
+  t.header({"x"});
+  t.add_row({"a,b"});
+  EXPECT_THROW(t.to_csv(), CheckError);
+}
+
+TEST(Table, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(64_KiB), "64.0 KiB");
+  EXPECT_EQ(format_bytes(4_MiB), "4.0 MiB");
+}
+
+}  // namespace
+}  // namespace scaltool

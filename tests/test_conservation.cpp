@@ -1,0 +1,127 @@
+// Cross-cutting property tests over EVERY bundled workload: accounting
+// conservation laws, coherence invariants, determinism, and perfex/
+// ground-truth consistency. Any new workload added to the registry is
+// automatically covered.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/apps.hpp"
+#include "machine/dsm_machine.hpp"
+#include "tools/speedshop.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+namespace {
+
+struct Case {
+  std::string app;
+  int procs;
+};
+
+std::vector<Case> all_cases() {
+  register_standard_workloads();
+  std::vector<Case> cases;
+  for (const std::string& app : WorkloadRegistry::instance().names())
+    for (int procs : {1, 3, 8, 32})
+      cases.push_back({app, procs});
+  return cases;
+}
+
+RunResult run_case(const Case& c, DsmMachine** machine_out = nullptr) {
+  static DsmMachine* machine = nullptr;  // recreated per call below
+  delete machine;
+  machine = new DsmMachine(MachineConfig::origin2000_scaled(c.procs));
+  if (machine_out) *machine_out = machine;
+  const auto w = WorkloadRegistry::instance().create(c.app);
+  WorkloadParams params;
+  params.dataset_bytes = 128_KiB;
+  params.iterations = 2;
+  return machine->run(*w, params);
+}
+
+class ConservationTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ConservationTest, CyclesAndInstructionsConserve) {
+  const RunResult r = run_case(GetParam());
+  const int n = r.num_procs;
+  for (int p = 0; p < n; ++p) {
+    const ProcGroundTruth& gt = r.truth.per_proc[p];
+    const double cycles = r.counters.proc(p).get(EventId::kCycles);
+    const double instr =
+        r.counters.proc(p).get(EventId::kGraduatedInstructions);
+    // Ground-truth attribution partitions the architectural counters.
+    ASSERT_NEAR(gt.total_cycles(), cycles, 1e-6 * (1.0 + cycles));
+    ASSERT_NEAR(gt.total_instr(), instr, 1e-6 * (1.0 + instr));
+    // Nothing is negative.
+    ASSERT_GE(gt.compute_cycles, 0.0);
+    ASSERT_GE(gt.mem_stall_cycles, 0.0);
+    ASSERT_GE(gt.sync_cycles, 0.0);
+    ASSERT_GE(gt.spin_cycles, 0.0);
+  }
+  // All processors exit the final barrier together.
+  const auto cycles = r.counters.per_proc_values(EventId::kCycles);
+  for (double c : cycles) ASSERT_DOUBLE_EQ(c, cycles[0]);
+}
+
+TEST_P(ConservationTest, MissHierarchyIsConsistent) {
+  const RunResult r = run_case(GetParam());
+  const CounterSet agg = r.counters.aggregate();
+  const double mem = agg.get(EventId::kGraduatedLoads) +
+                     agg.get(EventId::kGraduatedStores);
+  const double l1m = agg.get(EventId::kL1DMisses);
+  const double l2m = agg.get(EventId::kL2Misses);
+  ASSERT_LE(l2m, l1m + 1e-9);  // inclusion: every L2 miss missed L1
+  ASSERT_LE(l1m, mem + 1e-9);
+  // True classification partitions the L2 misses exactly.
+  const ProcGroundTruth gt = r.truth.aggregate();
+  ASSERT_NEAR(gt.compulsory_misses + gt.coherence_misses +
+                  gt.conflict_misses,
+              l2m, 1e-9);
+  // Local + remote memory accesses = L2 misses.
+  ASSERT_NEAR(agg.get(EventId::kLocalMemAccesses) +
+                  agg.get(EventId::kRemoteMemAccesses),
+              l2m, 1e-9);
+}
+
+TEST_P(ConservationTest, CoherenceInvariantsHold) {
+  DsmMachine* machine = nullptr;
+  run_case(GetParam(), &machine);
+  ASSERT_NE(machine, nullptr);
+  machine->validate_coherence();
+}
+
+TEST_P(ConservationTest, RunsAreDeterministic) {
+  const RunResult a = run_case(GetParam());
+  const RunResult b = run_case(GetParam());
+  for (EventId ev : all_events())
+    ASSERT_DOUBLE_EQ(a.counters.aggregate().get(ev),
+                     b.counters.aggregate().get(ev))
+        << event_name(ev);
+  ASSERT_DOUBLE_EQ(a.execution_cycles, b.execution_cycles);
+}
+
+TEST_P(ConservationTest, SpeedshopPartitionsTheRun) {
+  const RunResult r = run_case(GetParam());
+  const SpeedshopProfile prof = speedshop_profile(r);
+  ASSERT_NEAR(prof.total_cycles, r.accumulated_cycles,
+              1e-6 * (1.0 + r.accumulated_cycles));
+  if (r.num_procs == 1) {
+    // Barriers are free on one processor; only explicit lock acquires may
+    // leave synchronization time (an uncontended atomic still costs a
+    // memory round trip), and there is nobody to wait for.
+    ASSERT_DOUBLE_EQ(prof.wait_cycles, 0.0);
+    if (r.counters.aggregate().get(EventId::kLockAcquires) == 0.0) {
+      ASSERT_DOUBLE_EQ(prof.mp_cycles(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ConservationTest, ::testing::ValuesIn(all_cases()),
+    [](const auto& info) {
+      return info.param.app + "_p" + std::to_string(info.param.procs);
+    });
+
+}  // namespace
+}  // namespace scaltool

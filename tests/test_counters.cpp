@@ -1,0 +1,119 @@
+// Unit tests: event counters and derived metrics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/check.hpp"
+#include "counters/counter_set.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(Events, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (EventId id : all_events()) {
+    const std::string_view name = event_name(id);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), kNumEvents);
+}
+
+TEST(CounterSet, AddAndGet) {
+  CounterSet cs;
+  EXPECT_DOUBLE_EQ(cs.get(EventId::kCycles), 0.0);
+  cs.add(EventId::kCycles, 10.5);
+  cs.add(EventId::kCycles, 2.0);
+  EXPECT_DOUBLE_EQ(cs.get(EventId::kCycles), 12.5);
+  cs.set(EventId::kCycles, 1.0);
+  EXPECT_DOUBLE_EQ(cs.get(EventId::kCycles), 1.0);
+  cs.reset();
+  EXPECT_DOUBLE_EQ(cs.get(EventId::kCycles), 0.0);
+}
+
+TEST(CounterSet, PlusEqualsIsElementwise) {
+  CounterSet a, b;
+  a.add(EventId::kGraduatedLoads, 3);
+  b.add(EventId::kGraduatedLoads, 4);
+  b.add(EventId::kL2Misses, 1);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get(EventId::kGraduatedLoads), 7.0);
+  EXPECT_DOUBLE_EQ(a.get(EventId::kL2Misses), 1.0);
+}
+
+CounterSnapshot two_proc_snapshot() {
+  CounterSnapshot snap(2);
+  // proc 0: 100 instr, 150 cycles, 40 loads, 10 stores, 5 L1D misses,
+  // 2 L2 misses.
+  snap.proc(0).add(EventId::kGraduatedInstructions, 100);
+  snap.proc(0).add(EventId::kCycles, 150);
+  snap.proc(0).add(EventId::kGraduatedLoads, 40);
+  snap.proc(0).add(EventId::kGraduatedStores, 10);
+  snap.proc(0).add(EventId::kL1DMisses, 5);
+  snap.proc(0).add(EventId::kL2Misses, 2);
+  // proc 1: 100 instr, 250 cycles, 30 loads, 20 stores, 15 L1D, 8 L2.
+  snap.proc(1).add(EventId::kGraduatedInstructions, 100);
+  snap.proc(1).add(EventId::kCycles, 250);
+  snap.proc(1).add(EventId::kGraduatedLoads, 30);
+  snap.proc(1).add(EventId::kGraduatedStores, 20);
+  snap.proc(1).add(EventId::kL1DMisses, 15);
+  snap.proc(1).add(EventId::kL2Misses, 8);
+  return snap;
+}
+
+TEST(CounterSnapshot, AggregateSums) {
+  const CounterSnapshot snap = two_proc_snapshot();
+  const CounterSet agg = snap.aggregate();
+  EXPECT_DOUBLE_EQ(agg.get(EventId::kGraduatedInstructions), 200.0);
+  EXPECT_DOUBLE_EQ(agg.get(EventId::kCycles), 400.0);
+  EXPECT_DOUBLE_EQ(agg.get(EventId::kL1DMisses), 20.0);
+}
+
+TEST(CounterSnapshot, ExecutionTimeIsSlowestProc) {
+  EXPECT_DOUBLE_EQ(two_proc_snapshot().execution_time(), 250.0);
+}
+
+TEST(CounterSnapshot, DerivedMetricsMatchTheCpiAlgebra) {
+  const DerivedMetrics d = two_proc_snapshot().derived();
+  EXPECT_DOUBLE_EQ(d.cpi, 2.0);              // 400 / 200
+  EXPECT_DOUBLE_EQ(d.hm, 10.0 / 200.0);      // L2 misses / instr
+  EXPECT_DOUBLE_EQ(d.h2, 10.0 / 200.0);      // (20 − 10) / 200
+  EXPECT_DOUBLE_EQ(d.mem_frac, 100.0 / 200.0);
+  EXPECT_DOUBLE_EQ(d.l1_hitr, 1.0 - 20.0 / 100.0);
+  EXPECT_DOUBLE_EQ(d.l2_hitr, 1.0 - 10.0 / 20.0);
+  EXPECT_DOUBLE_EQ(d.instructions, 200.0);
+  EXPECT_DOUBLE_EQ(d.cycles, 400.0);
+}
+
+TEST(CounterSnapshot, DerivedRequiresInstructions) {
+  CounterSnapshot snap(1);
+  EXPECT_THROW(snap.derived(), CheckError);
+}
+
+TEST(CounterSnapshot, PerProcValues) {
+  const auto cycles = two_proc_snapshot().per_proc_values(EventId::kCycles);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_DOUBLE_EQ(cycles[0], 150.0);
+  EXPECT_DOUBLE_EQ(cycles[1], 250.0);
+}
+
+TEST(CounterSnapshot, ToStringMentionsEveryEvent) {
+  const std::string text = two_proc_snapshot().to_string();
+  for (EventId id : all_events())
+    EXPECT_NE(text.find(event_name(id)), std::string::npos)
+        << event_name(id);
+}
+
+TEST(CounterSnapshot, EdgeRatesWithoutMemoryInstructions) {
+  CounterSnapshot snap(1);
+  snap.proc(0).add(EventId::kGraduatedInstructions, 50);
+  snap.proc(0).add(EventId::kCycles, 60);
+  const DerivedMetrics d = snap.derived();
+  EXPECT_DOUBLE_EQ(d.l1_hitr, 1.0);
+  EXPECT_DOUBLE_EQ(d.l2_hitr, 1.0);
+  EXPECT_DOUBLE_EQ(d.mem_frac, 0.0);
+}
+
+}  // namespace
+}  // namespace scaltool

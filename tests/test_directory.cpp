@@ -1,0 +1,193 @@
+// Unit + property tests: full-map bit-vector directory (Illinois/MESI).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <set>
+
+#include "coherence/directory.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace scaltool {
+namespace {
+
+constexpr Addr kLine = 0x1000;
+
+TEST(Directory, FirstReadIsCompulsoryAndExclusive) {
+  Directory dir(4);
+  const DirReadResult r = dir.read_miss(kLine, 0);
+  EXPECT_TRUE(r.compulsory);
+  EXPECT_TRUE(r.grant_exclusive);
+  EXPECT_FALSE(r.intervention);
+  const DirEntry* e = dir.find(kLine);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirEntry::State::kExclusive);
+  EXPECT_EQ(e->owner, 0);
+}
+
+TEST(Directory, SecondReaderTriggersInterventionAndSharing) {
+  Directory dir(4);
+  dir.read_miss(kLine, 0);
+  const DirReadResult r = dir.read_miss(kLine, 1);
+  EXPECT_FALSE(r.compulsory);
+  EXPECT_TRUE(r.intervention);
+  EXPECT_EQ(r.owner, 0);
+  EXPECT_FALSE(r.grant_exclusive);
+  const DirEntry* e = dir.find(kLine);
+  EXPECT_EQ(e->state, DirEntry::State::kShared);
+  EXPECT_EQ(e->sharers, 0b11u);
+}
+
+TEST(Directory, ThirdReaderJoinsQuietly) {
+  Directory dir(4);
+  dir.read_miss(kLine, 0);
+  dir.read_miss(kLine, 1);
+  const DirReadResult r = dir.read_miss(kLine, 2);
+  EXPECT_FALSE(r.intervention);
+  EXPECT_EQ(dir.find(kLine)->sharers, 0b111u);
+}
+
+TEST(Directory, WriteToSharedInvalidatesOthers) {
+  Directory dir(4);
+  dir.read_miss(kLine, 0);
+  dir.read_miss(kLine, 1);
+  dir.read_miss(kLine, 2);
+  const DirWriteResult w = dir.write_access(kLine, 1);
+  EXPECT_FALSE(w.compulsory);
+  EXPECT_FALSE(w.intervention);
+  EXPECT_EQ(w.invalidate, 0b101u);  // procs 0 and 2
+  const DirEntry* e = dir.find(kLine);
+  EXPECT_EQ(e->state, DirEntry::State::kExclusive);
+  EXPECT_EQ(e->owner, 1);
+  EXPECT_EQ(e->sharers, 0b010u);
+}
+
+TEST(Directory, WriteMissOnForeignExclusiveIntervenes) {
+  Directory dir(4);
+  dir.write_access(kLine, 0);
+  const DirWriteResult w = dir.write_access(kLine, 3);
+  EXPECT_TRUE(w.intervention);
+  EXPECT_EQ(w.owner, 0);
+  EXPECT_EQ(w.invalidate, 0b0001u);
+  EXPECT_EQ(dir.find(kLine)->owner, 3);
+}
+
+TEST(Directory, WriteByOwnerIsSilent) {
+  Directory dir(4);
+  dir.write_access(kLine, 2);
+  const DirWriteResult w = dir.write_access(kLine, 2);
+  EXPECT_FALSE(w.intervention);
+  EXPECT_EQ(w.invalidate, 0u);
+}
+
+TEST(Directory, FirstWriteIsCompulsory) {
+  Directory dir(4);
+  const DirWriteResult w = dir.write_access(kLine, 0);
+  EXPECT_TRUE(w.compulsory);
+  EXPECT_EQ(w.invalidate, 0u);
+}
+
+TEST(Directory, EvictionsDrainToUncached) {
+  Directory dir(4);
+  dir.read_miss(kLine, 0);
+  dir.read_miss(kLine, 1);
+  dir.evict(kLine, 0);
+  EXPECT_EQ(dir.find(kLine)->state, DirEntry::State::kShared);
+  dir.evict(kLine, 1);
+  EXPECT_EQ(dir.find(kLine)->state, DirEntry::State::kUncached);
+  EXPECT_EQ(dir.find(kLine)->sharers, 0u);
+}
+
+TEST(Directory, EverCachedSurvivesEviction) {
+  Directory dir(2);
+  EXPECT_FALSE(dir.ever_cached(kLine));
+  dir.read_miss(kLine, 0);
+  dir.evict(kLine, 0);
+  EXPECT_TRUE(dir.ever_cached(kLine));
+  // A re-read is not compulsory.
+  EXPECT_FALSE(dir.read_miss(kLine, 0).compulsory);
+}
+
+TEST(Directory, ContractViolations) {
+  Directory dir(2);
+  dir.read_miss(kLine, 0);
+  EXPECT_THROW(dir.read_miss(kLine, 0), CheckError);  // already a sharer
+  EXPECT_THROW(dir.evict(kLine, 1), CheckError);      // not a sharer
+  EXPECT_THROW(dir.evict(0x9999, 0), CheckError);     // unknown line
+  EXPECT_THROW(Directory(65), CheckError);            // bit vector limit
+  EXPECT_THROW(Directory(0), CheckError);
+}
+
+// Property: replaying a random trace of read/write/evict events against a
+// reference map, the directory's sharer sets and states always match, and
+// exclusive entries always have exactly one sharer (MESI single-writer).
+class DirectoryRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectoryRandomTest, MatchesReferenceModel) {
+  const int procs = 8;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 99991);
+  Directory dir(procs);
+  // Reference: per line, set of holders and a dirty/exclusive owner.
+  struct Ref {
+    std::set<int> holders;
+    int owner = -1;  // −1 = shared/uncached
+  };
+  std::map<Addr, Ref> ref;
+
+  for (int step = 0; step < 4000; ++step) {
+    const Addr line = rng.next_below(32) * 64;
+    const int p = static_cast<int>(rng.next_below(procs));
+    Ref& r = ref[line];
+    switch (rng.next_below(3)) {
+      case 0:  // read
+        if (!r.holders.contains(p)) {
+          dir.read_miss(line, p);
+          const bool was_empty = r.holders.empty();
+          r.holders.insert(p);
+          r.owner = was_empty ? p : -1;  // E grant only when alone
+        }
+        break;
+      case 1: {  // write
+        const DirWriteResult w = dir.write_access(line, p);
+        for (int q = 0; q < procs; ++q)
+          if (w.invalidate & (1ull << q)) r.holders.erase(q);
+        r.holders.insert(p);
+        // Everyone else must be gone.
+        ASSERT_EQ(r.holders.size(), 1u);
+        r.owner = p;
+        break;
+      }
+      case 2:  // evict
+        if (r.holders.contains(p)) {
+          dir.evict(line, p);
+          r.holders.erase(p);
+          if (r.owner == p) r.owner = -1;
+        }
+        break;
+    }
+    // Cross-check.
+    const DirEntry* e = dir.find(line);
+    if (e == nullptr) {
+      // The line was never actually referenced (e.g. an evict/read of a
+      // non-held line fell through).
+      ASSERT_TRUE(r.holders.empty());
+      continue;
+    }
+    std::uint64_t mask = 0;
+    for (int q : r.holders) mask |= 1ull << q;
+    ASSERT_EQ(e->sharers, mask) << "line 0x" << std::hex << line;
+    if (e->state == DirEntry::State::kExclusive) {
+      ASSERT_EQ(std::popcount(e->sharers), 1);
+      ASSERT_TRUE(r.holders.contains(e->owner));
+    }
+    if (r.holders.empty()) {
+      ASSERT_EQ(e->state, DirEntry::State::kUncached);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryRandomTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,72 @@
+// Golden-format tests: the exact rendering of tables and reports on fixed
+// synthetic data. These pin the output contract that downstream scripts
+// (CSV consumers, the EXPERIMENTS.md tables) depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ascii_chart.hpp"
+#include "common/table.hpp"
+#include "core/resources.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(Golden, TableText) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.add_row({"alpha", Table::cell(1.5, 2)});
+  t.add_row({"beta", Table::cell(42)});
+  EXPECT_EQ(t.to_text(),
+            "| name  | value |\n"
+            "|-------|-------|\n"
+            "| alpha | 1.50  |\n"
+            "| beta  | 42    |\n");
+}
+
+TEST(Golden, TableCsv) {
+  Table t("demo");
+  t.header({"n", "speedup"});
+  t.add_row({Table::cell(1), Table::cell(1.0, 2)});
+  t.add_row({Table::cell(32), Table::cell(15.94, 2)});
+  EXPECT_EQ(t.to_csv(), "n,speedup\n1,1.00\n32,15.94\n");
+}
+
+TEST(Golden, NumberFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::cell(0.0, 1), "0.0");
+  EXPECT_EQ(Table::cell(-1.5, 1), "-1.5");
+  EXPECT_EQ(Table::cell(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(Table::cell(static_cast<std::size_t>(1234)), "1234");
+}
+
+TEST(Golden, ResourceTableForPaperExample) {
+  // The exact Table 1 content for n = 6 — the paper's headline numbers.
+  const std::string csv = resource_table(6).to_csv();
+  EXPECT_EQ(csv,
+            "tool,runs,processors,files\n"
+            "time,6,63,6\n"
+            "speedshop,6,63,6\n"
+            "existing tools (time + speedshop),12,126,12\n"
+            "Scal-Tool,11,68,11\n");
+}
+
+TEST(Golden, AsciiChartLayout) {
+  AsciiChart chart(10, 3);
+  chart.add_series('x', "series", {{0, 0}, {1, 10}});
+  chart.y_range(0, 10);
+  const std::string out = chart.render();
+  // Top row holds the max point at the right edge; bottom the min at the
+  // left edge.
+  EXPECT_EQ(out,
+            "     10.00 |         x\n"
+            "      5.00 |          \n"
+            "      0.00 |x         \n"
+            "           +----------\n"
+            "            0        1\n"
+            "  x = series\n");
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,163 @@
+// Unit + property tests: least squares and interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "math/interpolate.hpp"
+#include "math/least_squares.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(SolveLinear, TwoByTwo) {
+  // 2x + y = 5 ; x − y = 1  →  x = 2, y = 1.
+  const auto x = solve_linear({2, 1, 1, -1}, {5, 1}, 2);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear({0, 1, 1, 0}, {3, 4}, 2);
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RejectsSingular) {
+  EXPECT_THROW(solve_linear({1, 2, 2, 4}, {1, 2}, 2), CheckError);
+}
+
+TEST(LeastSquares, ExactRecoveryNoNoise) {
+  // y = 3·a + 7·b.
+  std::vector<std::vector<double>> rows{{1, 0}, {0, 1}, {1, 1}, {2, 3}};
+  std::vector<double> y{3, 7, 10, 27};
+  const LsqFit fit = least_squares(rows, y);
+  EXPECT_NEAR(fit.coef[0], 3.0, 1e-10);
+  EXPECT_NEAR(fit.coef[1], 7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_LT(fit.max_abs_residual, 1e-9);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  std::vector<std::vector<double>> rows{{1, 2}};
+  std::vector<double> y{1};
+  EXPECT_THROW(least_squares(rows, y), CheckError);
+}
+
+TEST(FitTwoLatencies, RecoversPlantedT2Tm) {
+  // Model triplets like Sec. 2.3: cpi − pi0 = h2·t2 + hm·tm.
+  const double t2 = 12.0, tm = 130.0;
+  std::vector<double> h2{0.02, 0.015, 0.03, 0.01};
+  std::vector<double> hm{0.005, 0.009, 0.002, 0.011};
+  std::vector<double> y(h2.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = h2[i] * t2 + hm[i] * tm;
+  const LsqFit fit = fit_two_latencies(h2, hm, y);
+  EXPECT_NEAR(fit.coef[0], t2, 1e-8);
+  EXPECT_NEAR(fit.coef[1], tm, 1e-8);
+}
+
+// Property sweep: random planted coefficients with small noise are
+// recovered within a tolerance scaled to the noise.
+class LsqRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsqRecoveryTest, RecoversUnderNoise) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double t2 = 2.0 + rng.next_double() * 30.0;
+  const double tm = 50.0 + rng.next_double() * 300.0;
+  std::vector<double> h2, hm, y;
+  for (int i = 0; i < 8; ++i) {
+    const double a = 0.005 + rng.next_double() * 0.03;
+    const double b = 0.001 + rng.next_double() * 0.02;
+    const double noise = (rng.next_double() - 0.5) * 1e-4;
+    h2.push_back(a);
+    hm.push_back(b);
+    y.push_back(a * t2 + b * tm + noise);
+  }
+  const LsqFit fit = fit_two_latencies(h2, hm, y);
+  EXPECT_NEAR(fit.coef[0], t2, 0.4);
+  EXPECT_NEAR(fit.coef[1], tm, 1.5);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsqRecoveryTest,
+                         ::testing::Range(1, 21));
+
+TEST(FitLine, InterceptAndSlope) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{5, 7, 9, 11};  // y = 5 + 2x
+  const LsqFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.coef[0], 5.0, 1e-10);
+  EXPECT_NEAR(fit.coef[1], 2.0, 1e-10);
+}
+
+TEST(Interpolator, ExactAtSamplePoints) {
+  LinearInterpolator f({{1, 10}, {2, 20}, {4, 40}});
+  EXPECT_DOUBLE_EQ(f(1), 10);
+  EXPECT_DOUBLE_EQ(f(2), 20);
+  EXPECT_DOUBLE_EQ(f(4), 40);
+}
+
+TEST(Interpolator, LinearBetweenPoints) {
+  LinearInterpolator f({{0, 0}, {10, 100}});
+  EXPECT_DOUBLE_EQ(f(2.5), 25.0);
+  EXPECT_DOUBLE_EQ(f(7.5), 75.0);
+}
+
+TEST(Interpolator, ClampsOutsideRange) {
+  LinearInterpolator f({{1, 5}, {3, 9}});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 9.0);
+}
+
+TEST(Interpolator, SortsUnorderedInput) {
+  LinearInterpolator f({{3, 30}, {1, 10}, {2, 20}});
+  EXPECT_DOUBLE_EQ(f(1.5), 15.0);
+}
+
+TEST(Interpolator, RejectsDuplicateX) {
+  EXPECT_THROW(LinearInterpolator({{1, 1}, {1, 2}}), CheckError);
+  using Points = std::vector<std::pair<double, double>>;
+  EXPECT_THROW(LinearInterpolator(Points{}), CheckError);
+  EXPECT_THROW(LinearInterpolator().max_y(), CheckError);  // default = empty
+}
+
+TEST(Interpolator, ArgmaxAndMax) {
+  LinearInterpolator f({{1, 5}, {2, 9}, {3, 7}});
+  EXPECT_DOUBLE_EQ(f.argmax_y(), 2.0);
+  EXPECT_DOUBLE_EQ(f.max_y(), 9.0);
+  EXPECT_DOUBLE_EQ(f.min_x(), 1.0);
+  EXPECT_DOUBLE_EQ(f.max_x(), 3.0);
+}
+
+// Property: interpolation of a monotone sample set stays within the sample
+// envelope for any query.
+class InterpEnvelopeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterpEnvelopeTest, StaysWithinEnvelope) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  std::vector<std::pair<double, double>> pts;
+  double x = 0.0;
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 12; ++i) {
+    x += 0.1 + rng.next_double();
+    const double y = rng.next_double() * 100.0;
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+    pts.emplace_back(x, y);
+  }
+  LinearInterpolator f(pts);
+  for (int q = 0; q < 100; ++q) {
+    const double xq = rng.next_double() * (x + 2.0) - 1.0;
+    const double yq = f(xq);
+    EXPECT_GE(yq, lo - 1e-9);
+    EXPECT_LE(yq, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpEnvelopeTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,162 @@
+// Unit tests: memory allocation and page placement.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "memory/memory_system.hpp"
+#include "memory/tlb.hpp"
+
+namespace scaltool {
+namespace {
+
+MemoryConfig cfg(PlacementPolicy policy = PlacementPolicy::kFirstTouch) {
+  MemoryConfig c;
+  c.page_bytes = 1024;
+  c.policy = policy;
+  c.alloc_skew_bytes = 0;  // exact geometry for the alignment tests below
+  return c;
+}
+
+TEST(Memory, AllocationsArePageAlignedAndDisjoint) {
+  MemorySystem mem(4, cfg());
+  const Addr a = mem.allocate(100, "a");
+  const Addr b = mem.allocate(3000, "b");
+  EXPECT_EQ(a % 1024, 0u);
+  EXPECT_EQ(b % 1024, 0u);
+  EXPECT_GE(b, a + 1024);          // a's page is not reused
+  EXPECT_EQ(b - a, 1024u);         // 100 B rounds to one page
+  EXPECT_EQ(mem.bytes_allocated(), 1024u + 3072u);
+}
+
+TEST(Memory, RejectsZeroByteAllocation) {
+  MemorySystem mem(1, cfg());
+  EXPECT_THROW(mem.allocate(0, "zero"), CheckError);
+}
+
+TEST(Memory, FirstTouchPinsPageToToucher) {
+  MemorySystem mem(4, cfg());
+  const Addr a = mem.allocate(4096, "a");
+  EXPECT_EQ(mem.home_if_assigned(a), -1);
+  EXPECT_EQ(mem.home_of(a, 2), 2);
+  EXPECT_EQ(mem.home_of(a, 3), 2);  // sticky after first touch
+  EXPECT_EQ(mem.home_if_assigned(a), 2);
+  // A different page is independent.
+  EXPECT_EQ(mem.home_of(a + 1024, 3), 3);
+}
+
+TEST(Memory, SameLineSamePage) {
+  MemorySystem mem(4, cfg());
+  const Addr a = mem.allocate(4096, "a");
+  mem.home_of(a + 5, 1);
+  EXPECT_EQ(mem.home_of(a + 1023, 0), 1);  // same 1 KiB page
+}
+
+TEST(Memory, RoundRobinStripesPages) {
+  MemorySystem mem(3, cfg(PlacementPolicy::kRoundRobin));
+  const Addr a = mem.allocate(4 * 1024, "a");
+  EXPECT_EQ(mem.home_of(a + 0 * 1024, 2), 0);
+  EXPECT_EQ(mem.home_of(a + 1 * 1024, 2), 1);
+  EXPECT_EQ(mem.home_of(a + 2 * 1024, 2), 2);
+  EXPECT_EQ(mem.home_of(a + 3 * 1024, 2), 0);
+}
+
+TEST(Memory, FixedNode0PutsEverythingOnNode0) {
+  MemorySystem mem(4, cfg(PlacementPolicy::kFixedNode0));
+  const Addr a = mem.allocate(8 * 1024, "a");
+  for (int page = 0; page < 8; ++page)
+    EXPECT_EQ(mem.home_of(a + static_cast<Addr>(page) * 1024, 3), 0);
+}
+
+TEST(Memory, PagesPerNodeCountsPlacements) {
+  MemorySystem mem(2, cfg());
+  const Addr a = mem.allocate(4 * 1024, "a");
+  mem.home_of(a + 0 * 1024, 0);
+  mem.home_of(a + 1 * 1024, 0);
+  mem.home_of(a + 2 * 1024, 1);
+  const auto counts = mem.pages_per_node();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(Memory, AllocationLabelsRecorded) {
+  MemorySystem mem(1, cfg());
+  mem.allocate(100, "u");
+  mem.allocate(100, "v");
+  ASSERT_EQ(mem.allocations().size(), 2u);
+  EXPECT_EQ(mem.allocations()[0].label, "u");
+  EXPECT_EQ(mem.allocations()[1].label, "v");
+  EXPECT_EQ(mem.allocations()[1].bytes, 100u);
+}
+
+TEST(Memory, AllocationSkewStaggersSetMapping) {
+  MemoryConfig skewed = cfg();
+  skewed.alloc_skew_bytes = 192;
+  MemorySystem mem(1, skewed);
+  const Addr a = mem.allocate(1024, "a");
+  const Addr b = mem.allocate(1024, "b");
+  const Addr c = mem.allocate(1024, "c");
+  // Equal-sized arrays no longer share a set alignment...
+  EXPECT_EQ(b - a, 1024u + 192u);
+  EXPECT_EQ(c - b, 1024u + 192u);
+  // ...but element alignment is preserved.
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_EQ(c % 8, 0u);
+}
+
+TEST(Memory, RejectsMisalignedSkew) {
+  MemoryConfig bad = cfg();
+  bad.alloc_skew_bytes = 13;
+  EXPECT_THROW(MemorySystem(1, bad), CheckError);
+}
+
+TEST(Memory, RejectsNonPowerOfTwoPage) {
+  MemoryConfig bad;
+  bad.page_bytes = 1000;
+  EXPECT_THROW(MemorySystem(1, bad), CheckError);
+}
+
+TEST(Tlb, HitAfterInstall) {
+  Tlb tlb(4, 1024);
+  EXPECT_FALSE(tlb.access(0x1000));  // cold
+  EXPECT_TRUE(tlb.access(0x1000));   // same page
+  EXPECT_TRUE(tlb.access(0x13FF));   // still the same 1 KiB page
+  EXPECT_FALSE(tlb.access(0x1400));  // next page
+  EXPECT_EQ(tlb.occupancy(), 2u);
+}
+
+TEST(Tlb, LruEvictionWhenFull) {
+  Tlb tlb(2, 1024);
+  tlb.access(0 * 1024);
+  tlb.access(1 * 1024);
+  tlb.access(0 * 1024);          // page 0 is now MRU
+  EXPECT_FALSE(tlb.access(2 * 1024));  // evicts page 1
+  EXPECT_TRUE(tlb.present(0 * 1024));
+  EXPECT_FALSE(tlb.present(1 * 1024));
+  EXPECT_TRUE(tlb.present(2 * 1024));
+}
+
+TEST(Tlb, ClearEmpties) {
+  Tlb tlb(4, 1024);
+  tlb.access(0);
+  tlb.clear();
+  EXPECT_EQ(tlb.occupancy(), 0u);
+  EXPECT_FALSE(tlb.present(0));
+}
+
+TEST(Tlb, WorkingSetWithinCapacityNeverMissesAgain) {
+  Tlb tlb(8, 1024);
+  for (int sweep = 0; sweep < 5; ++sweep)
+    for (Addr page = 0; page < 8; ++page) {
+      const bool hit = tlb.access(page * 1024);
+      if (sweep > 0) {
+        EXPECT_TRUE(hit) << "page " << page;
+      }
+    }
+}
+
+TEST(Tlb, RejectsBadConfig) {
+  EXPECT_THROW(Tlb(0, 1024), CheckError);
+  EXPECT_THROW(Tlb(4, 1000), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool

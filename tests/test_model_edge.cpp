@@ -1,0 +1,136 @@
+// Edge-case and robustness tests for the model core: degenerate input
+// matrices, clamping behaviour, and diagnostics content.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+ExperimentRunner make_runner(int iterations = 3) {
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = iterations;
+  return runner;
+}
+
+TEST(ModelEdge, SingleProcessorMatrixStillAnalyzes) {
+  // A campaign with only the uniprocessor point: the model fits pi0/t2/tm
+  // and produces one point with zero MP cost.
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const std::vector<int> procs{1};
+  const ScalToolInputs inputs = runner.collect("t3dheat", s0, procs);
+  const ScalabilityReport report = analyze(inputs);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.points[0].mp_cost(), 0.0);
+  EXPECT_GT(report.model.pi0, 0.0);
+}
+
+TEST(ModelEdge, NonPowerOfTwoProcessorCounts) {
+  // Nothing in the pipeline requires powers of two; Coh(s0,n)
+  // interpolates the uniprocessor curve at s0/3, s0/5 etc.
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const std::vector<int> procs{1, 3, 5, 12};
+  const ScalToolInputs inputs = runner.collect("swim", s0, procs);
+  const ScalabilityReport report = analyze(inputs);
+  ASSERT_EQ(report.points.size(), 4u);
+  for (const BottleneckPoint& p : report.points) {
+    EXPECT_GE(p.frac_syn, 0.0);
+    EXPECT_LE(p.frac_syn + p.frac_imb, 1.0 + 1e-9);
+    EXPECT_GE(p.cycles_no_l2lim_no_mp, 0.0);
+  }
+}
+
+TEST(ModelEdge, AnchorAboveL2ProducesDiagnosticNote) {
+  // If the smallest sweep point does not fit the L2, the pi0 anchor is
+  // biased and the model must say so.
+  ExperimentRunner runner = make_runner();
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  ScalToolInputs inputs = runner.collect("t3dheat", 10 * l2,
+                                         std::vector<int>{1});
+  // Drop every sweep point that fits the L2.
+  std::erase_if(inputs.uni_runs, [&](const RunRecord& r) {
+    return r.dataset_bytes <= 2 * l2 && r.dataset_bytes != inputs.s0;
+  });
+  const CpiModel model = estimate_cpi_model(inputs);
+  const bool noted = std::any_of(
+      model.notes.begin(), model.notes.end(), [](const std::string& n) {
+        return n.find("pi0 anchor") != std::string::npos;
+      });
+  EXPECT_TRUE(noted);
+}
+
+TEST(ModelEdge, OverflowFactorIsConfigurable) {
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, std::vector<int>{1, 2});
+  CpiModelOptions strict;
+  strict.overflow_factor = 4.0;  // fewer triplets qualify
+  const CpiModel loose = estimate_cpi_model(inputs);
+  const CpiModel tight = estimate_cpi_model(inputs, strict);
+  // Both still land on the same machine, within fit noise.
+  EXPECT_NEAR(loose.tm1, tight.tm1, 0.15 * loose.tm1);
+  // Demanding overflow beyond the largest size must fail loudly.
+  CpiModelOptions impossible;
+  impossible.overflow_factor = 100.0;
+  EXPECT_THROW(estimate_cpi_model(inputs, impossible), CheckError);
+}
+
+TEST(ModelEdge, ClampNotesAreReported) {
+  // Force a clamp: feed the analysis a kernel whose cpi_imb equals the
+  // computed cpi_inf_inf so Eq. 9 becomes unidentifiable.
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, std::vector<int>{1, 4});
+  // First compute the genuine report to learn cpi_inf_inf(4).
+  const ScalabilityReport genuine = analyze(inputs);
+  const double target = genuine.point(4).cpi_inf_inf;
+  for (KernelMeasurement& k : inputs.kernels) {
+    DerivedMetrics& d = k.spin_kernel.metrics;
+    d.cycles = target * d.instructions;
+    d.cpi = target;
+  }
+  const ScalabilityReport degenerate = analyze(inputs);
+  const bool noted = std::any_of(
+      degenerate.notes.begin(), degenerate.notes.end(),
+      [](const std::string& n) {
+        return n.find("unidentifiable") != std::string::npos;
+      });
+  EXPECT_TRUE(noted);
+  EXPECT_DOUBLE_EQ(degenerate.point(4).frac_imb, 0.0);
+}
+
+TEST(ModelEdge, TsynRequiresStoreToSharedEvents) {
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, std::vector<int>{1, 2});
+  inputs.kernels.front().sync_kernel.metrics.store_to_shared = 0.0;
+  EXPECT_THROW(analyze(inputs), CheckError);
+}
+
+TEST(ModelEdge, ReportNotesPropagateFromModel) {
+  // The hydro2d matrix floors tm(n); the note must surface in the report.
+  const ExperimentRunner runner = make_runner(6);
+  const auto l2 = static_cast<double>(runner.base_config().l2.size_bytes);
+  const auto s0 = static_cast<std::size_t>(2.6 * l2) / 1_KiB * 1_KiB;
+  const ScalToolInputs inputs =
+      runner.collect("hydro2d", s0, default_proc_counts(8));
+  const ScalabilityReport report = analyze(inputs);
+  const bool floored = std::any_of(
+      report.notes.begin(), report.notes.end(), [](const std::string& n) {
+        return n.find("monotone floor") != std::string::npos;
+      });
+  EXPECT_TRUE(floored);
+}
+
+}  // namespace
+}  // namespace scaltool

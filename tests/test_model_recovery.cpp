@@ -1,0 +1,102 @@
+// Property tests: the Scal-Tool model recovers *planted* machine
+// parameters from counters alone, across a grid of machine configurations.
+//
+// This is the reproduction's strongest claim in executable form: change
+// the machine's true t2, memory latency, or compute CPI, hand the model
+// nothing but event-counter values, and the fitted pi0 / t2 / tm(1) land
+// on the planted values.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+struct PlantedMachine {
+  const char* label;
+  double base_cpi;
+  double l2_hit_cycles;
+  double mem_cycles;
+};
+
+class RecoveryTest : public ::testing::TestWithParam<PlantedMachine> {};
+
+ScalabilityReport fit_on(const MachineConfig& cfg) {
+  ExperimentRunner runner(cfg);
+  runner.iterations = 6;
+  const std::size_t s0 = 10 * cfg.l2.size_bytes;
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, default_proc_counts(8));
+  return analyze(inputs);
+}
+
+TEST_P(RecoveryTest, RecoversPlantedParameters) {
+  const PlantedMachine& p = GetParam();
+  MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+  cfg.base_cpi = p.base_cpi;
+  cfg.l2_hit_cycles = p.l2_hit_cycles;
+  cfg.mem_cycles = p.mem_cycles;
+  const ScalabilityReport report = fit_on(cfg);
+
+  EXPECT_NEAR(report.model.pi0, p.base_cpi, 0.06 * p.base_cpi);
+  EXPECT_NEAR(report.model.t2, p.l2_hit_cycles, 0.35 * p.l2_hit_cycles);
+  // tm(1) on a single node is exactly mem_cycles.
+  EXPECT_NEAR(report.model.tm1, p.mem_cycles, 0.12 * p.mem_cycles);
+  EXPECT_GT(report.model.fit_r2, 0.97);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachineGrid, RecoveryTest,
+    ::testing::Values(
+        PlantedMachine{"origin_like", 1.0, 12.0, 70.0},
+        PlantedMachine{"wide_issue", 0.5, 12.0, 70.0},
+        PlantedMachine{"narrow_issue", 2.0, 12.0, 70.0},
+        PlantedMachine{"fast_l2", 1.0, 4.0, 70.0},
+        PlantedMachine{"slow_l2", 1.0, 30.0, 70.0},
+        PlantedMachine{"fast_memory", 1.0, 12.0, 40.0},
+        PlantedMachine{"slow_memory", 1.0, 12.0, 160.0},
+        PlantedMachine{"slow_everything", 1.5, 24.0, 140.0}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// t_syn recovery: the kernel-calibrated estimate must track the machine's
+// true fetchop latency across memory speeds.
+class TsynRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TsynRecoveryTest, TracksGroundTruthFetchopLatency) {
+  MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+  cfg.mem_cycles = GetParam();
+  ExperimentRunner runner(cfg);
+  runner.iterations = 4;
+  const std::size_t s0 = 10 * cfg.l2.size_bytes;
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, default_proc_counts(8));
+  const ScalabilityReport report = analyze(inputs);
+  MachineConfig cfg8 = cfg;
+  cfg8.num_procs = 8;
+  const double truth = cfg8.tsyn_ground_truth();
+  EXPECT_NEAR(report.point(8).tsyn, truth, 0.15 * truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemorySpeeds, TsynRecoveryTest,
+                         ::testing::Values(40.0, 70.0, 140.0));
+
+// The recovered parameters must be workload-independent: fit them on one
+// application and predict another's uniprocessor CPI via Eq. 8.
+TEST(CrossWorkloadRecovery, T3dheatModelPredictsSwimUniprocessorCpi) {
+  const MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+  const ScalabilityReport fitted = fit_on(cfg);
+
+  ExperimentRunner runner(cfg);
+  runner.iterations = 6;
+  const RunRecord swim = runner.run("swim", 4 * cfg.l2.size_bytes, 1);
+  const DerivedMetrics& d = swim.metrics;
+  const double predicted = fitted.model.cpi_from_hit_rates(
+      d.l1_hitr, d.l2_hitr, d.mem_frac, fitted.model.tm1);
+  EXPECT_NEAR(predicted, d.cpi, 0.08 * d.cpi);
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,91 @@
+// Unit tests: bristled hypercube topology and latency model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "machine/machine_config.hpp"
+#include "network/hypercube.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(Hypercube, SingleProcessorIsOneNodeZeroDim) {
+  HypercubeNetwork net(1, {});
+  EXPECT_EQ(net.num_nodes(), 1);
+  EXPECT_EQ(net.num_routers(), 1);
+  EXPECT_EQ(net.dimension(), 0);
+  EXPECT_EQ(net.node_of_proc(0), 0);
+  EXPECT_DOUBLE_EQ(net.average_hops(), 0.0);
+}
+
+TEST(Hypercube, BristlingTwoProcsPerNode) {
+  HypercubeNetwork net(8, {});
+  EXPECT_EQ(net.num_nodes(), 4);
+  EXPECT_EQ(net.num_routers(), 2);
+  EXPECT_EQ(net.dimension(), 1);
+  EXPECT_EQ(net.node_of_proc(0), 0);
+  EXPECT_EQ(net.node_of_proc(1), 0);
+  EXPECT_EQ(net.node_of_proc(2), 1);
+  EXPECT_EQ(net.node_of_proc(7), 3);
+}
+
+TEST(Hypercube, ThirtyTwoProcessorsMatchesOriginGeometry) {
+  HypercubeNetwork net(32, {});
+  EXPECT_EQ(net.num_nodes(), 16);
+  EXPECT_EQ(net.num_routers(), 8);
+  EXPECT_EQ(net.dimension(), 3);
+}
+
+TEST(Hypercube, HopsAreHammingDistanceOfRouters) {
+  HypercubeNetwork net(32, {});
+  // Nodes 0,1 share router 0; nodes 14,15 share router 7 (0b111).
+  EXPECT_EQ(net.hops(0, 1), 0);
+  EXPECT_EQ(net.hops(0, 2), 1);   // router 0 → router 1
+  EXPECT_EQ(net.hops(0, 14), 3);  // router 0 → router 7
+  EXPECT_EQ(net.hops(14, 0), 3);  // symmetric
+}
+
+TEST(Hypercube, LatencyZeroLocallyAndMonotoneInHops) {
+  NetworkConfig cfg;
+  HypercubeNetwork net(32, cfg);
+  EXPECT_DOUBLE_EQ(net.latency_cycles(3, 3), 0.0);
+  const double same_router = net.latency_cycles(0, 1);
+  const double one_hop = net.latency_cycles(0, 2);
+  const double three_hops = net.latency_cycles(0, 14);
+  EXPECT_DOUBLE_EQ(same_router, cfg.router_cycles);
+  EXPECT_DOUBLE_EQ(one_hop, cfg.router_cycles + cfg.hop_cycles);
+  EXPECT_DOUBLE_EQ(three_hops, cfg.router_cycles + 3 * cfg.hop_cycles);
+}
+
+TEST(Hypercube, AverageHopsGrowsWithMachineSize) {
+  double prev = -1.0;
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    HypercubeNetwork net(n, {});
+    const double avg = net.average_hops();
+    EXPECT_GE(avg, prev);
+    prev = avg;
+  }
+  // dimension-3 hypercube: average Hamming distance = 3/2 over distinct
+  // routers is diluted by same-router node pairs; just pin the endpoints.
+  HypercubeNetwork big(64, {});
+  EXPECT_GT(big.average_hops(), 1.0);
+}
+
+TEST(Hypercube, RejectsNonPositiveProcs) {
+  EXPECT_THROW(HypercubeNetwork(0, {}), CheckError);
+}
+
+TEST(MachineConfigLatency, TmGroundTruthGrowsWithProcs) {
+  double prev = 0.0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    MachineConfig cfg = MachineConfig::origin2000_scaled(n);
+    const double tm = cfg.tm_ground_truth();
+    EXPECT_GE(tm, prev);
+    prev = tm;
+    if (n == 1) {
+      EXPECT_DOUBLE_EQ(tm, cfg.mem_cycles);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scaltool

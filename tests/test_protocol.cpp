@@ -1,0 +1,140 @@
+// Unit + integration tests: Illinois/MESI vs MSI protocol option, and the
+// machine's global coherence-invariant checker.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "coherence/directory.hpp"
+#include "common/check.hpp"
+#include "machine/dsm_machine.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(Protocol, MsiDirectoryNeverGrantsExclusive) {
+  Directory dir(4, /*grant_exclusive_on_read=*/false);
+  const DirReadResult r = dir.read_miss(0x1000, 0);
+  EXPECT_TRUE(r.compulsory);
+  EXPECT_FALSE(r.grant_exclusive);
+  EXPECT_EQ(dir.find(0x1000)->state, DirEntry::State::kShared);
+  // A subsequent write by the same processor is an upgrade, not silent.
+  const DirWriteResult w = dir.write_access(0x1000, 0);
+  EXPECT_FALSE(w.intervention);
+  EXPECT_EQ(w.invalidate, 0u);
+  EXPECT_EQ(dir.find(0x1000)->state, DirEntry::State::kExclusive);
+}
+
+// Read a private array cold, then write it — the pattern the Illinois
+// protocol's E state exists for [14].
+class ReadThenWrite final : public Workload {
+ public:
+  std::string name() const override { return "read_then_write"; }
+  ParallelismModel parallelism_model() const override {
+    return ParallelismModel::kMP;
+  }
+  void setup(AllocContext& alloc, const WorkloadParams& params,
+             int) override {
+    lines_ = params.dataset_bytes / 64;
+    base_ = alloc.allocate(params.dataset_bytes, "a");
+  }
+  int num_phases() const override { return 2; }
+  void run_phase(int phase, ProcContext& ctx) override {
+    if (ctx.proc() != 0) return;
+    for (std::size_t i = 0; i < lines_; ++i) {
+      const Addr a = base_ + static_cast<Addr>(i) * 64;
+      if (phase == 0)
+        ctx.load(a);   // cold read: E under MESI, S under MSI
+      else
+        ctx.store(a);  // silent under MESI, upgrade under MSI
+    }
+  }
+
+ private:
+  std::size_t lines_ = 0;
+  Addr base_ = 0;
+};
+
+TEST(Protocol, MesiSavesUpgradesOnPrivateData) {
+  auto run = [](bool mesi) {
+    MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+    cfg.exclusive_state = mesi;
+    DsmMachine machine(cfg);
+    ReadThenWrite w;
+    WorkloadParams params;
+    params.dataset_bytes = 32_KiB;  // 512 lines, fits the L2
+    return machine.run(w, params);
+  };
+  const RunResult mesi = run(true);
+  const RunResult msi = run(false);
+  const double mesi_up =
+      mesi.counters.aggregate().get(EventId::kStoreToShared);
+  const double msi_up = msi.counters.aggregate().get(EventId::kStoreToShared);
+  EXPECT_DOUBLE_EQ(mesi_up, 0.0);    // E→M silently
+  EXPECT_DOUBLE_EQ(msi_up, 512.0);   // one upgrade per line
+  // The upgrades cost real cycles.
+  EXPECT_GT(msi.execution_cycles, mesi.execution_cycles);
+}
+
+TEST(Protocol, BothProtocolsKeepCoherenceInvariants) {
+  register_standard_workloads();
+  for (const bool mesi : {true, false}) {
+    MachineConfig cfg = MachineConfig::origin2000_scaled(8);
+    cfg.exclusive_state = mesi;
+    DsmMachine machine(cfg);
+    const auto w = WorkloadRegistry::instance().create("sharing_kernel");
+    WorkloadParams params;
+    params.dataset_bytes = 64_KiB;
+    params.iterations = 3;
+    machine.run(*w, params);
+    EXPECT_NO_THROW(machine.validate_coherence()) << "mesi=" << mesi;
+  }
+}
+
+// The coherence validator must hold after every bundled workload, every
+// processor count, and both protocols — this is the simulator's deepest
+// correctness net.
+struct ValidateCase {
+  const char* app;
+  int procs;
+};
+
+class CoherenceInvariantTest
+    : public ::testing::TestWithParam<ValidateCase> {};
+
+TEST_P(CoherenceInvariantTest, HoldsAfterFullRun) {
+  register_standard_workloads();
+  const ValidateCase& c = GetParam();
+  MachineConfig cfg = MachineConfig::origin2000_scaled(c.procs);
+  DsmMachine machine(cfg);
+  const auto w = WorkloadRegistry::instance().create(c.app);
+  WorkloadParams params;
+  params.dataset_bytes = 128_KiB;
+  params.iterations = 2;
+  machine.run(*w, params);
+  machine.validate_coherence();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndSizes, CoherenceInvariantTest,
+    ::testing::Values(ValidateCase{"t3dheat", 1}, ValidateCase{"t3dheat", 8},
+                      ValidateCase{"t3dheat", 32},
+                      ValidateCase{"hydro2d", 4},
+                      ValidateCase{"hydro2d", 16}, ValidateCase{"swim", 2},
+                      ValidateCase{"swim", 32},
+                      ValidateCase{"sharing_kernel", 8},
+                      ValidateCase{"stream_kernel", 16}),
+    [](const auto& info) {
+      return std::string(info.param.app) + "_p" +
+             std::to_string(info.param.procs);
+    });
+
+TEST(Protocol, ValidatorRejectsUnstartedMachine) {
+  DsmMachine machine(MachineConfig::origin2000_scaled(2));
+  EXPECT_THROW(machine.validate_coherence(), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,198 @@
+// Unit tests: ASCII charts, counter scheduling, and per-region reports.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/apps.hpp"
+#include "common/ascii_chart.hpp"
+#include "common/check.hpp"
+#include "machine/dsm_machine.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+#include "tools/counter_schedule.hpp"
+#include "tools/region_report.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+namespace {
+
+// ---- AsciiChart -------------------------------------------------------------
+
+TEST(AsciiChart, RendersSymbolsAndLegend) {
+  AsciiChart chart(20, 6);
+  chart.add_series('B', "Base", {{1, 10}, {2, 20}, {4, 40}});
+  chart.add_series('m', "Minus", {{1, 5}, {2, 10}, {4, 20}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('B'), std::string::npos);
+  EXPECT_NE(out.find('m'), std::string::npos);
+  EXPECT_NE(out.find("B = Base"), std::string::npos);
+  EXPECT_NE(out.find("m = Minus"), std::string::npos);
+}
+
+TEST(AsciiChart, HigherValuesPlotHigher) {
+  AsciiChart chart(20, 10);
+  chart.add_series('L', "low", {{1, 1}, {10, 1}});
+  chart.add_series('H', "high", {{1, 9}, {10, 9}});
+  const std::string out = chart.render();
+  EXPECT_LT(out.find('H'), out.find('L'));  // high row rendered first
+}
+
+TEST(AsciiChart, FixedRangeClampsPoints) {
+  AsciiChart chart(20, 5);
+  chart.y_range(0, 10);
+  chart.add_series('x', "spiky", {{0, -100}, {1, 100}});
+  EXPECT_NO_THROW(chart.render());
+}
+
+TEST(AsciiChart, RejectsDegenerateInput) {
+  EXPECT_THROW(AsciiChart(2, 2), CheckError);
+  AsciiChart chart(20, 5);
+  EXPECT_THROW(chart.render(), CheckError);  // no series
+  EXPECT_THROW(chart.add_series('a', "empty", {}), CheckError);
+  EXPECT_THROW(chart.y_range(5, 5), CheckError);
+}
+
+// ---- Counter scheduling ------------------------------------------------------
+
+TEST(CounterSchedule, PacksTwoPerPass) {
+  const auto events = scal_tool_event_set();
+  const CounterSchedule schedule = schedule_events(events, 2);
+  EXPECT_EQ(schedule.num_passes(), 4);  // ceil(7/2)
+  std::size_t total = 0;
+  for (const auto& pass : schedule.passes) {
+    EXPECT_LE(pass.size(), 2u);
+    total += pass.size();
+  }
+  EXPECT_EQ(total, events.size());
+}
+
+TEST(CounterSchedule, SinglePassWithEnoughCounters) {
+  const auto events = scal_tool_event_set();
+  EXPECT_EQ(schedule_events(events, 32).num_passes(), 1);
+  EXPECT_EQ(schedule_events(events, 1).num_passes(),
+            static_cast<int>(events.size()));
+}
+
+TEST(CounterSchedule, HardwarePassMultiplier) {
+  EXPECT_EQ(hardware_pass_multiplier(2), 4);   // the R10000 case
+  EXPECT_EQ(hardware_pass_multiplier(7), 1);
+}
+
+TEST(CounterSchedule, RejectsDuplicatesAndEmpty) {
+  std::vector<EventId> dup{EventId::kCycles, EventId::kCycles};
+  EXPECT_THROW(schedule_events(dup, 2), CheckError);
+  EXPECT_THROW(schedule_events({}, 2), CheckError);
+  std::vector<EventId> one{EventId::kCycles};
+  EXPECT_THROW(schedule_events(one, 0), CheckError);
+}
+
+TEST(CounterSchedule, TableListsEveryEvent) {
+  const auto events = scal_tool_event_set();
+  const Table t = schedule_table(schedule_events(events, 2));
+  const std::string text = t.to_text();
+  for (EventId ev : events)
+    EXPECT_NE(text.find(std::string(event_name(ev))), std::string::npos);
+}
+
+// ---- Region reports ----------------------------------------------------------
+
+RunResult hydro_run() {
+  register_standard_workloads();
+  const auto w = WorkloadRegistry::instance().create("hydro2d");
+  DsmMachine machine(MachineConfig::origin2000_scaled(4));
+  WorkloadParams params;
+  params.dataset_bytes = 166_KiB;
+  params.iterations = 2;
+  return machine.run(*w, params);
+}
+
+TEST(RegionReport, SerialSectionIsProfiled) {
+  const RunResult run = hydro_run();
+  ASSERT_TRUE(run.regions.contains("serial_section"));
+  const DerivedMetrics d = region_metrics(run, "serial_section");
+  EXPECT_GT(d.instructions, 0.0);
+  EXPECT_GT(d.cpi, 0.0);
+  const double frac = region_cycle_fraction(run, "serial_section");
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(RegionReport, TableContainsRegions) {
+  const RunResult run = hydro_run();
+  const std::string text = region_table(run).to_text();
+  EXPECT_NE(text.find("serial_section"), std::string::npos);
+}
+
+TEST(RegionReport, SegmentLevelScalToolAnalysis) {
+  // Sec. 2.1 end to end: analyze only t3dheat's SpMV segment. The segment
+  // carries no barriers, so its breakdown is pure caching behaviour: a big
+  // L2Lim share at 1 processor that vanishes at 8.
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 4;
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const ScalToolInputs inputs =
+      runner.collect_region("t3dheat", "spmv", s0, default_proc_counts(8));
+  EXPECT_EQ(inputs.app, "t3dheat:spmv");
+  const ScalabilityReport report = analyze(inputs);
+  EXPECT_NEAR(report.model.pi0, 1.0, 0.1);  // machine parameters still fit
+  const BottleneckPoint& p1 = report.point(1);
+  EXPECT_GT(p1.l2lim_cost() / p1.base_cycles, 0.25);
+  const BottleneckPoint& p8 = report.point(8);
+  EXPECT_LT(p8.l2lim_cost() / p8.base_cycles, 0.15);
+  // No stores-to-shared inside the segment → no synchronization cost.
+  EXPECT_LT(p8.frac_syn, 0.01);
+}
+
+TEST(RegionReport, CollectRegionRejectsUnknownRegion) {
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  const std::size_t s0 = 4 * runner.base_config().l2.size_bytes;
+  EXPECT_THROW(
+      runner.collect_region("t3dheat", "no_such_region", s0,
+                            default_proc_counts(2)),
+      CheckError);
+}
+
+TEST(CounterSchedule, PassesMergeBackToFullSnapshot) {
+  // Emulate a two-counter campaign: split a real run's counters into
+  // passes, then merge — the merged snapshot must reproduce the original
+  // derived metrics exactly.
+  register_standard_workloads();
+  DsmMachine machine(MachineConfig::origin2000_scaled(4));
+  const auto w = WorkloadRegistry::instance().create("swim");
+  WorkloadParams params;
+  params.dataset_bytes = 128_KiB;
+  params.iterations = 2;
+  const RunResult run = machine.run(*w, params);
+
+  const auto events = scal_tool_event_set();
+  const CounterSchedule schedule = schedule_events(events, 2);
+  std::vector<CounterSnapshot> passes;
+  for (const auto& pass_events : schedule.passes)
+    passes.push_back(run_pass(run.counters, pass_events));
+  const CounterSnapshot merged = merge_passes(passes, schedule);
+
+  const DerivedMetrics a = run.counters.derived();
+  const DerivedMetrics b = merged.derived();
+  EXPECT_DOUBLE_EQ(a.cpi, b.cpi);
+  EXPECT_DOUBLE_EQ(a.h2, b.h2);
+  EXPECT_DOUBLE_EQ(a.hm, b.hm);
+  EXPECT_DOUBLE_EQ(a.store_to_shared, b.store_to_shared);
+}
+
+TEST(CounterSchedule, MergeRejectsMismatchedPasses) {
+  const auto events = scal_tool_event_set();
+  const CounterSchedule schedule = schedule_events(events, 2);
+  std::vector<CounterSnapshot> passes(schedule.passes.size() - 1,
+                                      CounterSnapshot(2));
+  EXPECT_THROW(merge_passes(passes, schedule), CheckError);
+}
+
+TEST(RegionReport, UnknownRegionThrows) {
+  const RunResult run = hydro_run();
+  EXPECT_THROW(region_metrics(run, "nope"), CheckError);
+  EXPECT_THROW(region_cycle_fraction(run, "nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -1,0 +1,98 @@
+// Unit tests: Table 1 / Table 3 resource accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "core/resources.hpp"
+
+namespace scaltool {
+namespace {
+
+TEST(Resources, PaperFormulasForN6) {
+  // The paper's example: n = 6 (1..32 processors).
+  const ResourceCost t = time_tool_cost(6);
+  EXPECT_EQ(t.runs, 6);
+  EXPECT_EQ(t.processors, 63);  // 2^6 − 1
+  EXPECT_EQ(t.files, 6);
+
+  const ResourceCost s = speedshop_cost(6);
+  EXPECT_EQ(s.runs, 6);
+  EXPECT_EQ(s.processors, 63);
+
+  const ResourceCost existing = existing_tools_cost(6);
+  EXPECT_EQ(existing.runs, 12);        // 2n
+  EXPECT_EQ(existing.processors, 126); // 2^(n+1) − 2
+  EXPECT_EQ(existing.files, 12);
+
+  const ResourceCost ours = scal_tool_cost(6);
+  EXPECT_EQ(ours.runs, 11);        // 2n − 1
+  EXPECT_EQ(ours.processors, 68);  // 2^n + n − 2
+  EXPECT_EQ(ours.files, 11);
+}
+
+TEST(Resources, PaperHeadlineAboutHalfTheProcessors) {
+  const double ratio =
+      static_cast<double>(scal_tool_cost(6).processors) /
+      static_cast<double>(existing_tools_cost(6).processors);
+  EXPECT_NEAR(ratio, 0.54, 0.02);  // "only about 50% of the processors"
+}
+
+TEST(Resources, GeneralN) {
+  for (int n = 1; n <= 10; ++n) {
+    EXPECT_EQ(existing_tools_cost(n).runs, 2 * n);
+    EXPECT_EQ(scal_tool_cost(n).runs, 2 * n - 1);
+    EXPECT_EQ(scal_tool_cost(n).processors, (1LL << n) + n - 2);
+    // Scal-Tool always needs strictly fewer runs and, for n ≥ 2, fewer
+    // processors.
+    EXPECT_LT(scal_tool_cost(n).runs, existing_tools_cost(n).runs);
+    if (n >= 2) {
+      EXPECT_LT(scal_tool_cost(n).processors,
+                existing_tools_cost(n).processors);
+    }
+  }
+}
+
+TEST(Resources, RejectsNonPositiveN) {
+  EXPECT_THROW(time_tool_cost(0), CheckError);
+  EXPECT_THROW(scal_tool_cost(-1), CheckError);
+}
+
+TEST(Resources, Table1HasFourRows) {
+  const Table t = resource_table(6);
+  EXPECT_EQ(t.num_rows(), 4u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("Scal-Tool"), std::string::npos);
+  EXPECT_NE(text.find("speedshop"), std::string::npos);
+}
+
+TEST(Resources, RunMatrixMatchesTable3) {
+  // s0 = 64 KiB, up to 8 processors: base runs (64,1),(64,2),(64,4),(64,8)
+  // plus uniprocessor runs at 32, 16, 8 KiB → 2n − 1 = 7 runs.
+  const auto entries = run_matrix(64_KiB, 8);
+  EXPECT_EQ(entries.size(), 7u);
+  auto has = [&](std::size_t s, int p) {
+    return std::any_of(entries.begin(), entries.end(),
+                       [&](const RunMatrixEntry& e) {
+                         return e.dataset_bytes == s && e.num_procs == p;
+                       });
+  };
+  EXPECT_TRUE(has(64_KiB, 1));
+  EXPECT_TRUE(has(64_KiB, 8));
+  EXPECT_TRUE(has(32_KiB, 1));
+  EXPECT_TRUE(has(8_KiB, 1));
+  EXPECT_FALSE(has(32_KiB, 2));
+  EXPECT_FALSE(has(4_KiB, 1));
+}
+
+TEST(Resources, RunMatrixTableRenders) {
+  const Table t = run_matrix_table(64_KiB, 8);
+  EXPECT_EQ(t.num_rows(), 4u);  // sizes 64, 32, 16, 8 KiB
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("p=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scaltool

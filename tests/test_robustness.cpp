@@ -1,0 +1,141 @@
+// Robustness tests: corrupted persistence inputs and report rendering
+// content. The archive/trace readers parse attacker-ish input (files from
+// other machines, other versions, truncated copies); they must reject
+// garbage with CheckError — never crash, hang or silently accept.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "apps/apps.hpp"
+#include "common/rng.hpp"
+#include "machine/dsm_machine.hpp"
+#include "core/scaltool.hpp"
+#include "runner/archive.hpp"
+#include "runner/runner.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace_io.hpp"
+
+namespace scaltool {
+namespace {
+
+ScalToolInputs small_inputs() {
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  return runner.collect("t3dheat", s0, std::vector<int>{1, 2});
+}
+
+// Property: randomly mutating one byte of a valid archive either still
+// parses to *valid* inputs or throws CheckError/std::exception — never
+// crashes and never yields a structure that fails validate().
+class ArchiveFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchiveFuzzTest, SingleByteMutationsAreHandled) {
+  static const std::string pristine = [] {
+    std::ostringstream os;
+    write_inputs(small_inputs(), os);
+    return os.str();
+  }();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = pristine;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] = static_cast<char>(rng.next_below(256));
+    std::istringstream is(mutated);
+    try {
+      const ScalToolInputs parsed = read_inputs(is);
+      // If it parsed, it must be internally consistent.
+      ASSERT_NO_THROW(parsed.validate());
+    } catch (const std::exception&) {
+      // Rejection is the expected outcome for most mutations.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveFuzzTest, ::testing::Range(1, 9));
+
+class TraceFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceFuzzTest, SingleByteMutationsAreHandled) {
+  static const std::string pristine = [] {
+    register_standard_workloads();
+    RecordingWorkload recorder(
+        WorkloadRegistry::instance().create("swim"));
+    DsmMachine machine(MachineConfig::origin2000_scaled(2));
+    WorkloadParams params;
+    params.dataset_bytes = 32_KiB;
+    params.iterations = 1;
+    machine.run(recorder, params);
+    std::ostringstream os;
+    write_trace(recorder.trace(), os);
+    return os.str();
+  }();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11400714819323198485ULL);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string mutated = pristine;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] = static_cast<char>(rng.next_below(256));
+    std::istringstream is(mutated);
+    try {
+      const Trace parsed = read_trace(is);
+      ASSERT_NO_THROW(parsed.validate());
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzzTest, ::testing::Range(1, 9));
+
+// ---- Report rendering content -------------------------------------------
+
+TEST(ReportContent, BreakdownTableMatchesReportStruct) {
+  const ScalToolInputs inputs = small_inputs();
+  const ScalabilityReport report = analyze(inputs);
+  const Table t = breakdown_table(report);
+  EXPECT_EQ(t.num_rows(), report.points.size());
+  const std::string csv = t.to_csv();
+  // Spot-check the n=2 row against the struct, to 3 decimals.
+  const BottleneckPoint& p = report.point(2);
+  std::ostringstream expect;
+  expect << "2," << Table::cell(p.base_cycles / 1e6, 3) << ","
+         << Table::cell(p.cycles_no_l2lim / 1e6, 3);
+  EXPECT_NE(csv.find(expect.str()), std::string::npos) << csv;
+}
+
+TEST(ReportContent, SpeedupTableFirstRowIsUnity) {
+  const ScalToolInputs inputs = small_inputs();
+  const std::string csv = speedup_table(inputs).to_csv();
+  EXPECT_NE(csv.find("1,"), std::string::npos);
+  EXPECT_NE(csv.find(",1.00\n"), std::string::npos);
+}
+
+TEST(ReportContent, ValidationTableHasOneRowPerPoint) {
+  const ScalToolInputs inputs = small_inputs();
+  const ScalabilityReport report = analyze(inputs);
+  EXPECT_EQ(validation_table(report, inputs).num_rows(),
+            report.points.size());
+}
+
+TEST(ReportContent, ModelSummaryNamesEveryParameter) {
+  const ScalToolInputs inputs = small_inputs();
+  const ScalabilityReport report = analyze(inputs);
+  const std::string text = model_summary(report);
+  for (const char* needle :
+       {"pi0", "t2:", "tm(1):", "compulsory", "tm(n):"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(ReportContent, WhatIfTableReflectsParams) {
+  const ScalToolInputs inputs = small_inputs();
+  const ScalabilityReport report = analyze(inputs);
+  WhatIfParams params;
+  params.tm_scale = 0.5;
+  const Table t = whatif_table(what_if(report, inputs, params), "demo");
+  EXPECT_EQ(t.num_rows(), report.points.size());
+  EXPECT_NE(t.title().find("demo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scaltool

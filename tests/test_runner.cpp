@@ -1,0 +1,141 @@
+// Unit tests: the experiment runner and the Table 3 collection matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+ExperimentRunner make_runner() {
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  return runner;
+}
+
+TEST(Runner, DefaultProcCounts) {
+  EXPECT_EQ(default_proc_counts(32),
+            (std::vector<int>{1, 2, 4, 8, 16, 32}));
+  EXPECT_EQ(default_proc_counts(1), (std::vector<int>{1}));
+  EXPECT_EQ(default_proc_counts(5), (std::vector<int>{1, 2, 4}));
+}
+
+TEST(Runner, RunProducesConsistentRecord) {
+  const ExperimentRunner runner = make_runner();
+  const RunRecord rec = runner.run("swim", 128_KiB, 4);
+  EXPECT_EQ(rec.workload, "swim");
+  EXPECT_EQ(rec.dataset_bytes, 128_KiB);
+  EXPECT_EQ(rec.num_procs, 4);
+  EXPECT_GT(rec.metrics.instructions, 0.0);
+  EXPECT_GT(rec.execution_cycles, 0.0);
+  EXPECT_GT(rec.metrics.cpi, 0.0);
+}
+
+TEST(Runner, MakeValidationCarriesGroundTruth) {
+  const ExperimentRunner runner = make_runner();
+  const RunResult result = runner.run_full("swim", 128_KiB, 4);
+  const ValidationRecord v = make_validation(result);
+  EXPECT_EQ(v.num_procs, 4);
+  EXPECT_GT(v.accumulated_cycles, 0.0);
+  EXPECT_GT(v.mp_cycles, 0.0);
+  EXPECT_NEAR(v.mp_cycles, v.sync_cycles + v.spin_cycles, 1e-9);
+  EXPECT_GT(v.compulsory_misses, 0.0);
+}
+
+TEST(Runner, CollectBuildsTheTable3Matrix) {
+  const ExperimentRunner runner = make_runner();
+  const std::vector<int> procs{1, 2, 4, 8};
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const ScalToolInputs inputs = runner.collect("t3dheat", s0, procs);
+  EXPECT_NO_THROW(inputs.validate());
+
+  // Base runs at every processor count, at s0.
+  ASSERT_EQ(inputs.base_runs.size(), procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    EXPECT_EQ(inputs.base_runs[i].num_procs, procs[i]);
+    EXPECT_EQ(inputs.base_runs[i].dataset_bytes, s0);
+  }
+
+  // Uniprocessor sweep: descending sizes, down into the L1.
+  EXPECT_GE(inputs.uni_runs.size(), 4u);
+  EXPECT_EQ(inputs.uni_runs.front().dataset_bytes, s0);
+  EXPECT_LE(inputs.uni_runs.back().dataset_bytes,
+            runner.base_config().l1.size_bytes);
+  for (std::size_t i = 1; i < inputs.uni_runs.size(); ++i)
+    EXPECT_LT(inputs.uni_runs[i].dataset_bytes,
+              inputs.uni_runs[i - 1].dataset_bytes);
+
+  // At least three sweep points overflow 2× the L2 (t2/tm triplets).
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const auto overflowing = std::count_if(
+      inputs.uni_runs.begin(), inputs.uni_runs.end(),
+      [&](const RunRecord& r) { return r.dataset_bytes > 2 * l2; });
+  EXPECT_GE(overflowing, 3);
+
+  // Kernels for every n > 1.
+  ASSERT_EQ(inputs.kernels.size(), procs.size() - 1);
+  for (const KernelMeasurement& k : inputs.kernels) {
+    EXPECT_GT(k.sync_kernel.metrics.store_to_shared, 0.0);
+    EXPECT_GT(k.spin_kernel.metrics.instructions, 0.0);
+  }
+
+  // Validation side-band parallels the base runs.
+  ASSERT_EQ(inputs.validation.size(), procs.size());
+}
+
+TEST(Runner, CollectAddsCalibrationForSmallS0) {
+  // Hydro2d-style s0 = 2.6× L2: the halving sweep alone gives only one
+  // overflowing point, so calibration sizes must appear.
+  const ExperimentRunner runner = make_runner();
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const auto s0 = static_cast<std::size_t>(2.6 * static_cast<double>(l2));
+  const std::vector<int> procs{1, 2, 4};
+  const ScalToolInputs inputs = runner.collect("hydro2d", s0, procs);
+  const auto overflowing = std::count_if(
+      inputs.uni_runs.begin(), inputs.uni_runs.end(),
+      [&](const RunRecord& r) { return r.dataset_bytes > 2 * l2; });
+  EXPECT_GE(overflowing, 3);
+}
+
+TEST(Runner, CollectRequiresUniprocessorFirst) {
+  const ExperimentRunner runner = make_runner();
+  const std::vector<int> procs{2, 4};
+  EXPECT_THROW(runner.collect("swim", 128_KiB, procs), CheckError);
+}
+
+TEST(Runner, OnRunCallbackFires) {
+  ExperimentRunner runner = make_runner();
+  int calls = 0;
+  runner.on_run = [&](const std::string&) { ++calls; };
+  runner.run("swim", 64_KiB, 2);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Runner, ConfigForOverridesProcsOnly) {
+  const ExperimentRunner runner = make_runner();
+  const MachineConfig cfg = runner.config_for(16);
+  EXPECT_EQ(cfg.num_procs, 16);
+  EXPECT_EQ(cfg.l2.size_bytes, runner.base_config().l2.size_bytes);
+}
+
+TEST(Inputs, AccessorsAndValidation) {
+  const ExperimentRunner runner = make_runner();
+  const std::vector<int> procs{1, 2};
+  const std::size_t s0 = 4 * runner.base_config().l2.size_bytes;
+  ScalToolInputs inputs = runner.collect("swim", s0, procs);
+  EXPECT_EQ(inputs.base_run(2).num_procs, 2);
+  EXPECT_THROW(inputs.base_run(16), CheckError);
+  EXPECT_EQ(inputs.kernel(2).num_procs, 2);
+  EXPECT_THROW(inputs.kernel(4), CheckError);
+  EXPECT_EQ(inputs.validation_for(1).num_procs, 1);
+  EXPECT_LT(inputs.smallest_uni_run().dataset_bytes, s0);
+
+  // Corrupt the matrix → validation trips.
+  inputs.base_runs.front().num_procs = 3;
+  EXPECT_THROW(inputs.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool

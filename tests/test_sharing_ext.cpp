@@ -1,0 +1,109 @@
+// Tests: the sharing extension (the paper's announced future work) —
+// coherence-transaction pricing and nt_syn de-pollution.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/swim.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+ScalToolInputs swim_inputs(std::size_t halo) {
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 4;
+  const std::size_t s0 = 4 * runner.base_config().l2.size_bytes;
+  return runner.collect(
+      [halo] {
+        return std::unique_ptr<Workload>(new Swim(0.075, halo));
+      },
+      "swim", s0, default_proc_counts(16));
+}
+
+TEST(SharingExtension, OffByDefault) {
+  const ScalToolInputs inputs = swim_inputs(64);
+  const ScalabilityReport report = analyze(inputs);
+  for (const BottleneckPoint& p : report.points)
+    EXPECT_DOUBLE_EQ(p.sharing_cost, 0.0) << "n=" << p.n;
+}
+
+TEST(SharingExtension, PricesCoherenceTransactions) {
+  const ScalToolInputs light = swim_inputs(0);
+  const ScalToolInputs heavy = swim_inputs(128);
+  AnalyzeOptions opt;
+  opt.model_sharing = true;
+  const ScalabilityReport light_r = analyze(light, opt);
+  const ScalabilityReport heavy_r = analyze(heavy, opt);
+
+  // Sharing cost is non-negative and grows with the halo width.
+  for (const BottleneckPoint& p : heavy_r.points) {
+    EXPECT_GE(p.sharing_cost, 0.0);
+    if (p.n >= 8) {
+      EXPECT_GT(p.sharing_cost, light_r.point(p.n).sharing_cost)
+          << "n=" << p.n;
+    }
+  }
+}
+
+TEST(SharingExtension, DepollutesNtSyn) {
+  // With heavy sharing, the extension's synchronization estimate must be
+  // below the published model's (which reads the upgrade-polluted nt_syn
+  // as synchronization).
+  const ScalToolInputs inputs = swim_inputs(128);
+  const ScalabilityReport published = analyze(inputs);
+  AnalyzeOptions opt;
+  opt.model_sharing = true;
+  const ScalabilityReport extended = analyze(inputs, opt);
+  const BottleneckPoint& pub = published.point(16);
+  const BottleneckPoint& ext = extended.point(16);
+  EXPECT_LT(ext.sync_cost, pub.sync_cost);
+  EXPECT_GT(ext.sharing_cost, 0.0);
+}
+
+TEST(SharingExtension, MpCostIncludesSharing) {
+  const ScalToolInputs inputs = swim_inputs(64);
+  AnalyzeOptions opt;
+  opt.model_sharing = true;
+  const ScalabilityReport report = analyze(inputs, opt);
+  const BottleneckPoint& p = report.point(16);
+  EXPECT_NEAR(p.mp_cost(), p.sync_cost + p.imb_cost + p.sharing_cost,
+              1e-9);
+}
+
+TEST(SharingExtension, ExtendedEq9IdentityHolds) {
+  // When frac_imb is not clamped: b = c + sync + imb + sharing.
+  const ScalToolInputs inputs = swim_inputs(64);
+  AnalyzeOptions opt;
+  opt.model_sharing = true;
+  const ScalabilityReport report = analyze(inputs, opt);
+  for (const BottleneckPoint& p : report.points) {
+    if (p.n == 1 || p.frac_imb == 0.0) continue;  // clamped cases excluded
+    const double rhs = p.cycles_no_l2lim_no_mp + p.sync_cost + p.imb_cost +
+                       p.sharing_cost;
+    EXPECT_NEAR(p.cycles_no_l2lim, rhs, 0.02 * p.cycles_no_l2lim)
+        << "n=" << p.n;
+  }
+}
+
+TEST(SharingExtension, NoSharingMeansNoChange) {
+  // On a sharing-free application (t3dheat has almost none) the extension
+  // must not move the headline results.
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 4;
+  const std::size_t s0 = 10 * runner.base_config().l2.size_bytes;
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", s0, default_proc_counts(8));
+  const ScalabilityReport published = analyze(inputs);
+  AnalyzeOptions opt;
+  opt.model_sharing = true;
+  const ScalabilityReport extended = analyze(inputs, opt);
+  const BottleneckPoint& pub = published.point(8);
+  const BottleneckPoint& ext = extended.point(8);
+  EXPECT_LT(ext.sharing_cost, 0.10 * pub.base_cycles);
+  EXPECT_NEAR(ext.sync_cost, pub.sync_cost, 0.25 * pub.sync_cost);
+}
+
+}  // namespace
+}  // namespace scaltool

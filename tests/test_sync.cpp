@@ -1,0 +1,186 @@
+// Unit + property tests: barrier serialization model and lock timeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sync/barrier_model.hpp"
+#include "sync/lock_model.hpp"
+
+namespace scaltool {
+namespace {
+
+constexpr double kTsyn = 100.0;
+constexpr double kCpi = 1.0;
+
+SyncConfig cfg() { return SyncConfig{}; }
+
+TEST(Barrier, SingleProcessorIsFree) {
+  const std::vector<double> arrivals{1234.0};
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+  EXPECT_DOUBLE_EQ(out.exit_cycle, 1234.0);
+  EXPECT_DOUBLE_EQ(out.per_proc[0].sync_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(out.per_proc[0].spin_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(out.per_proc[0].stores_to_shared, 0.0);
+}
+
+TEST(Barrier, ConservationPerProcessor) {
+  // arrival + sync + spin == exit for every processor.
+  const std::vector<double> arrivals{0.0, 500.0, 2000.0, 100.0};
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+  for (std::size_t p = 0; p < arrivals.size(); ++p) {
+    const BarrierProcCost& c = out.per_proc[p];
+    EXPECT_NEAR(arrivals[p] + c.sync_cycles + c.spin_cycles, out.exit_cycle,
+                1e-9 * out.exit_cycle)
+        << "proc " << p;
+  }
+}
+
+TEST(Barrier, LastArriverDoesNotSpin) {
+  const std::vector<double> arrivals{0.0, 0.0, 10000.0};
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+  EXPECT_DOUBLE_EQ(out.per_proc[2].spin_cycles, 0.0);
+  EXPECT_GT(out.per_proc[0].spin_cycles, 0.0);
+  EXPECT_GT(out.per_proc[1].spin_cycles, 0.0);
+}
+
+TEST(Barrier, EarlyArriversSpinForStragglers) {
+  const std::vector<double> arrivals{0.0, 5000.0};
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+  // Proc 0 spins at least the arrival gap minus its own barrier work.
+  EXPECT_GT(out.per_proc[0].spin_cycles, 4000.0);
+  EXPECT_GT(out.per_proc[0].spin_instr, 0.0);
+  EXPECT_DOUBLE_EQ(out.per_proc[0].spin_instr * cfg().spin_cpi,
+                   out.per_proc[0].spin_cycles);
+}
+
+TEST(Barrier, SerializationGrowsSyncCostWithProcs) {
+  // Simultaneous arrivals: the queue wait grows with participant count.
+  double prev_avg = 0.0;
+  for (int n : {2, 4, 8, 16, 32}) {
+    const std::vector<double> arrivals(n, 0.0);
+    const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+    double sum = 0.0;
+    for (const auto& c : out.per_proc) sum += c.sync_cycles;
+    const double avg = sum / n;
+    EXPECT_GT(avg, prev_avg);
+    prev_avg = avg;
+  }
+}
+
+TEST(Barrier, ExitAfterLastIncrementPlusRelease) {
+  const std::vector<double> arrivals{0.0, 0.0};
+  const SyncConfig c = cfg();
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, c);
+  // Two simultaneous arrivals: first served at instr_cycles, second queues
+  // behind the occupancy; exit = second's completion + release round trip.
+  const double instr = c.barrier_instr * kCpi;
+  const double expected_exit =
+      instr + c.fetchop_occupancy_factor * kTsyn + kTsyn + kTsyn;
+  EXPECT_NEAR(out.exit_cycle, expected_exit, 1e-9);
+}
+
+TEST(Barrier, StoresToSharedCountFetchopsPlusRetries) {
+  const std::vector<double> arrivals{0.0, 1.0, 2.0};
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+  // The first-served processor never queues: exactly the two fetchops.
+  EXPECT_DOUBLE_EQ(out.per_proc[0].stores_to_shared,
+                   cfg().barrier_fetchops);
+  // Later arrivals queue behind the counter and keep retrying.
+  EXPECT_GT(out.per_proc[1].stores_to_shared, cfg().barrier_fetchops);
+  EXPECT_GT(out.per_proc[2].stores_to_shared,
+            out.per_proc[1].stores_to_shared);
+}
+
+TEST(Barrier, PcfWaitIsSyncAndKeepsTicking) {
+  const std::vector<double> arrivals{0.0, 5000.0};
+  const BarrierOutcome mp =
+      barrier_cost(arrivals, kTsyn, kCpi, cfg(), /*wait_is_sync=*/false);
+  const BarrierOutcome pcf =
+      barrier_cost(arrivals, kTsyn, kCpi, cfg(), /*wait_is_sync=*/true);
+  EXPECT_DOUBLE_EQ(mp.exit_cycle, pcf.exit_cycle);  // timing is identical
+  // Under MP the early arriver spins; under PCF the same wait is sync and
+  // generates store-to-shared retries.
+  EXPECT_GT(mp.per_proc[0].spin_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(pcf.per_proc[0].spin_cycles, 0.0);
+  EXPECT_GT(pcf.per_proc[0].sync_cycles, mp.per_proc[0].sync_cycles);
+  EXPECT_GT(pcf.per_proc[0].stores_to_shared,
+            mp.per_proc[0].stores_to_shared);
+  // Conservation still holds per processor in both modes.
+  for (const BarrierOutcome* out : {&mp, &pcf})
+    for (std::size_t p = 0; p < 2; ++p)
+      EXPECT_NEAR(arrivals[p] + out->per_proc[p].sync_cycles +
+                      out->per_proc[p].spin_cycles,
+                  out->exit_cycle, 1e-9 * out->exit_cycle);
+}
+
+TEST(Barrier, RejectsBadInputs) {
+  EXPECT_THROW(barrier_cost({}, kTsyn, kCpi, cfg()), CheckError);
+  const std::vector<double> arrivals{0.0};
+  EXPECT_THROW(barrier_cost(arrivals, -1.0, kCpi, cfg()), CheckError);
+  EXPECT_THROW(barrier_cost(arrivals, kTsyn, 0.0, cfg()), CheckError);
+}
+
+// Property: for random arrival patterns, exit is at least every arrival,
+// spins are non-negative, and the per-processor conservation law holds.
+class BarrierRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierRandomTest, InvariantsUnderRandomArrivals) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 4242);
+  const int n = 1 + static_cast<int>(rng.next_below(32));
+  std::vector<double> arrivals(n);
+  for (double& a : arrivals) a = rng.next_double() * 1e5;
+  const BarrierOutcome out = barrier_cost(arrivals, kTsyn, kCpi, cfg());
+  for (int p = 0; p < n; ++p) {
+    const BarrierProcCost& c = out.per_proc[p];
+    ASSERT_GE(c.spin_cycles, 0.0);
+    ASSERT_GE(c.sync_cycles, 0.0);
+    ASSERT_GE(out.exit_cycle + 1e-9, arrivals[p]);
+    ASSERT_NEAR(arrivals[p] + c.sync_cycles + c.spin_cycles, out.exit_cycle,
+                1e-9 * (1.0 + out.exit_cycle));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarrierRandomTest, ::testing::Range(1, 21));
+
+TEST(Lock, UncontendedAcquireCostsOverheadOnly) {
+  LockTimeline lock(kTsyn, kCpi, cfg());
+  const LockEpisode ep = lock.acquire(1000.0, 50.0);
+  EXPECT_DOUBLE_EQ(ep.spin_cycles, 0.0);
+  const double overhead =
+      cfg().lock_fetchops * kTsyn + cfg().lock_instr * kCpi;
+  EXPECT_DOUBLE_EQ(ep.sync_cycles, overhead);
+  EXPECT_DOUBLE_EQ(ep.grant_cycle, 1000.0 + overhead);
+  EXPECT_DOUBLE_EQ(ep.release_cycle, ep.grant_cycle + 50.0);
+}
+
+TEST(Lock, ContendedAcquireWaits) {
+  LockTimeline lock(kTsyn, kCpi, cfg());
+  const LockEpisode first = lock.acquire(0.0, 500.0);
+  const LockEpisode second = lock.acquire(10.0, 500.0);
+  EXPECT_DOUBLE_EQ(second.spin_cycles, first.release_cycle - 10.0);
+  EXPECT_GE(second.grant_cycle, first.release_cycle);
+}
+
+TEST(Lock, SerializesManyContenders) {
+  LockTimeline lock(kTsyn, kCpi, cfg());
+  double last_release = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const LockEpisode ep = lock.acquire(0.0, 100.0);
+    EXPECT_GE(ep.grant_cycle, last_release);
+    last_release = ep.release_cycle;
+  }
+  EXPECT_DOUBLE_EQ(lock.busy_until(), last_release);
+}
+
+TEST(Lock, ResetClearsTimeline) {
+  LockTimeline lock(kTsyn, kCpi, cfg());
+  lock.acquire(0.0, 1e6);
+  lock.reset();
+  const LockEpisode ep = lock.acquire(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ep.spin_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace scaltool

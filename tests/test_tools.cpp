@@ -1,0 +1,130 @@
+// Unit tests: the perfex / speedshop / ssusage emulations.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "machine/dsm_machine.hpp"
+#include "common/check.hpp"
+#include "tools/perfex.hpp"
+#include "tools/speedshop.hpp"
+#include "tools/ssusage.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+namespace {
+
+RunResult sample_run(int procs) {
+  register_standard_workloads();
+  const auto w = WorkloadRegistry::instance().create("swim");
+  DsmMachine machine(MachineConfig::origin2000_scaled(procs));
+  WorkloadParams params;
+  params.dataset_bytes = 128_KiB;
+  params.iterations = 2;
+  return machine.run(*w, params);
+}
+
+TEST(Perfex, ReportContainsEventsAndHeader) {
+  const RunResult run = sample_run(4);
+  const std::string text = perfex_report(run);
+  EXPECT_NE(text.find("perfex: swim"), std::string::npos);
+  EXPECT_NE(text.find("grad_instr"), std::string::npos);
+  EXPECT_NE(text.find("l2_misses"), std::string::npos);
+  EXPECT_EQ(text.find("-- proc"), std::string::npos);
+}
+
+TEST(Perfex, PerProcDumpsEachProcessor) {
+  const RunResult run = sample_run(2);
+  const std::string text = perfex_report(run, /*per_proc=*/true);
+  EXPECT_NE(text.find("-- proc 0 --"), std::string::npos);
+  EXPECT_NE(text.find("-- proc 1 --"), std::string::npos);
+}
+
+TEST(Speedshop, ProfilePartitionsAllCycles) {
+  const RunResult run = sample_run(8);
+  const SpeedshopProfile prof = speedshop_profile(run);
+  EXPECT_NEAR(prof.total_cycles, run.accumulated_cycles,
+              1e-6 * run.accumulated_cycles);
+  EXPECT_GT(prof.user_cycles, 0.0);
+  EXPECT_GT(prof.barrier_cycles, 0.0);
+  EXPECT_GE(prof.wait_cycles, 0.0);
+  EXPECT_NEAR(prof.user_cycles + prof.mp_cycles(), prof.total_cycles,
+              1e-6 * prof.total_cycles);
+}
+
+TEST(Speedshop, UniprocessorHasNoMpCycles) {
+  const RunResult run = sample_run(1);
+  const SpeedshopProfile prof = speedshop_profile(run);
+  EXPECT_DOUBLE_EQ(prof.mp_cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.mp_fraction(), 0.0);
+}
+
+TEST(Speedshop, ReportNamesTheIrixRoutines) {
+  const std::string text = speedshop_report(sample_run(4));
+  EXPECT_NE(text.find("mp_barrier"), std::string::npos);
+  EXPECT_NE(text.find("mp_slave_wait_for_work"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(Speedshop, SampledProfileConvergesToExact) {
+  const RunResult run = sample_run(8);
+  const SpeedshopProfile exact = speedshop_profile(run);
+  // Fine sampling: within 2% of the exact MP fraction.
+  const SpeedshopProfile fine =
+      speedshop_profile_sampled(run, /*sample_period=*/200.0);
+  EXPECT_NEAR(fine.mp_fraction(), exact.mp_fraction(), 0.02);
+  // Coarse sampling is noisier but still in the neighbourhood.
+  const SpeedshopProfile coarse =
+      speedshop_profile_sampled(run, /*sample_period=*/10000.0);
+  EXPECT_NEAR(coarse.mp_fraction(), exact.mp_fraction(), 0.12);
+  // Total sampled time ≈ total exact time (quantized to the period).
+  EXPECT_NEAR(fine.total_cycles, exact.total_cycles,
+              0.01 * exact.total_cycles + 200.0);
+}
+
+TEST(Speedshop, SampledProfileDeterministicPerSeed) {
+  const RunResult run = sample_run(4);
+  const SpeedshopProfile a = speedshop_profile_sampled(run, 1000.0, 7);
+  const SpeedshopProfile b = speedshop_profile_sampled(run, 1000.0, 7);
+  const SpeedshopProfile c = speedshop_profile_sampled(run, 1000.0, 8);
+  EXPECT_DOUBLE_EQ(a.barrier_cycles, b.barrier_cycles);
+  EXPECT_DOUBLE_EQ(a.wait_cycles, b.wait_cycles);
+  // A different seed draws different samples (overwhelmingly likely).
+  EXPECT_NE(a.user_cycles, c.user_cycles);
+}
+
+TEST(Speedshop, SampledRejectsBadPeriodAndHandlesTinyRuns) {
+  const RunResult run = sample_run(2);
+  EXPECT_THROW(speedshop_profile_sampled(run, 0.0), CheckError);
+  // A period longer than the run yields an empty profile, not a crash.
+  const SpeedshopProfile empty =
+      speedshop_profile_sampled(run, 1e15);
+  EXPECT_DOUBLE_EQ(empty.total_cycles, 0.0);
+}
+
+TEST(Ssusage, ReportsAllocatedBytes) {
+  const RunResult run = sample_run(2);
+  const SsusageReport rep = ssusage(run);
+  // Swim allocates 6 arrays sized from the data set (page-rounded, plus
+  // the allocator's anti-aliasing skew between arrays).
+  EXPECT_GE(rep.max_bytes, 128_KiB);
+  EXPECT_LE(rep.max_bytes, 160_KiB);
+}
+
+TEST(Ssusage, ProcsToFitMatchesThePaperArithmetic) {
+  // The paper's check: 40 MB data / 4 MB L2 → enough caching at 10 procs.
+  SsusageReport rep;
+  rep.max_bytes = 40_MiB;
+  EXPECT_EQ(rep.procs_to_fit(4_MiB), 10);
+  rep.max_bytes = 10_MiB + 300_KiB;  // Hydro2d's 10.3 MB → 2-3 procs
+  EXPECT_EQ(rep.procs_to_fit(4_MiB), 3);
+  EXPECT_EQ(rep.procs_to_fit(0), 0);
+}
+
+TEST(Ssusage, ReportTextIsReadable) {
+  const RunResult run = sample_run(2);
+  const std::string text = ssusage_report(run, 64_KiB);
+  EXPECT_NE(text.find("ssusage: swim"), std::string::npos);
+  EXPECT_NE(text.find("processors"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scaltool

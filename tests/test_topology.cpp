@@ -1,0 +1,130 @@
+// Unit + property tests: the alternative interconnect topologies.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "network/hypercube.hpp"
+
+namespace scaltool {
+namespace {
+
+NetworkConfig with(TopologyKind kind) {
+  NetworkConfig cfg;
+  cfg.topology = kind;
+  return cfg;
+}
+
+constexpr TopologyKind kAll[] = {
+    TopologyKind::kBristledHypercube, TopologyKind::kCrossbar,
+    TopologyKind::kRing, TopologyKind::kMesh2D};
+
+TEST(Topology, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (TopologyKind k : kAll) names.insert(topology_name(k));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Topology, CrossbarIsOneHopEverywhere) {
+  HypercubeNetwork net(32, with(TopologyKind::kCrossbar));
+  // Same router (nodes 0,1) → 0 hops; any other pair → exactly 1.
+  EXPECT_EQ(net.hops(0, 1), 0);
+  for (NodeId b = 2; b < net.num_nodes(); ++b)
+    EXPECT_EQ(net.hops(0, b), 1) << b;
+}
+
+TEST(Topology, RingDistanceWrapsAround) {
+  HypercubeNetwork net(32, with(TopologyKind::kRing));  // 8 routers
+  ASSERT_EQ(net.num_routers(), 8);
+  // Nodes 0 and 14 are routers 0 and 7: one hop the short way round.
+  EXPECT_EQ(net.hops(0, 14), 1);
+  // Routers 0 and 4 are diametrically opposite: 4 hops.
+  EXPECT_EQ(net.hops(0, 8), 4);
+}
+
+TEST(Topology, MeshUsesManhattanDistance) {
+  HypercubeNetwork net(32, with(TopologyKind::kMesh2D));  // 8 routers, 3 cols
+  // Router grid: 3 columns → router 0 at (0,0), router 7 at (1,2).
+  EXPECT_EQ(net.hops(0, 14), 1 + 2);  // node14 → router7
+  EXPECT_EQ(net.hops(0, 2), 1);       // node2 → router1 at (1,0)
+}
+
+class TopologyPropertyTest
+    : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TopologyPropertyTest, MetricAxioms) {
+  for (int procs : {1, 2, 8, 17, 32, 64}) {
+    HypercubeNetwork net(procs, with(GetParam()));
+    const int nodes = net.num_nodes();
+    for (NodeId a = 0; a < nodes; ++a) {
+      EXPECT_EQ(net.hops(a, a), 0);
+      for (NodeId b = 0; b < nodes; ++b) {
+        EXPECT_EQ(net.hops(a, b), net.hops(b, a));  // symmetry
+        EXPECT_GE(net.hops(a, b), 0);
+        if (net.router_of_node(a) != net.router_of_node(b)) {
+          EXPECT_GE(net.hops(a, b), 1);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TopologyPropertyTest, AverageHopsMonotoneInMachineSize) {
+  double prev = -1.0;
+  for (int procs : {2, 4, 8, 16, 32, 64}) {
+    HypercubeNetwork net(procs, with(GetParam()));
+    const double avg = net.average_hops();
+    EXPECT_GE(avg + 1e-12, prev) << "procs=" << procs;
+    prev = avg;
+  }
+}
+
+TEST_P(TopologyPropertyTest, LatencyZeroOnlyLocally) {
+  HypercubeNetwork net(16, with(GetParam()));
+  for (NodeId a = 0; a < net.num_nodes(); ++a)
+    for (NodeId b = 0; b < net.num_nodes(); ++b) {
+      if (a == b)
+        EXPECT_EQ(net.latency_cycles(a, b), 0.0);
+      else
+        EXPECT_GT(net.latency_cycles(a, b), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyPropertyTest,
+                         ::testing::ValuesIn(kAll),
+                         [](const auto& info) {
+                           std::string name = topology_name(info.param);
+                           for (char& ch : name)
+                             if (ch == '-') ch = '_';
+                           return name;
+                         });
+
+TEST(Topology, DiameterOrdering) {
+  // For the same machine size, ring diameter ≥ mesh ≥ hypercube ≥ crossbar.
+  const int procs = 64;
+  const double ring =
+      HypercubeNetwork(procs, with(TopologyKind::kRing)).average_hops();
+  const double mesh =
+      HypercubeNetwork(procs, with(TopologyKind::kMesh2D)).average_hops();
+  const double cube = HypercubeNetwork(
+                          procs, with(TopologyKind::kBristledHypercube))
+                          .average_hops();
+  const double xbar =
+      HypercubeNetwork(procs, with(TopologyKind::kCrossbar)).average_hops();
+  EXPECT_GE(ring, mesh);
+  EXPECT_GE(mesh, cube);
+  EXPECT_GE(cube, xbar);
+}
+
+TEST(Topology, MachineTmReflectsTopology) {
+  MachineConfig ring_cfg = MachineConfig::origin2000_scaled(32);
+  ring_cfg.network.topology = TopologyKind::kRing;
+  MachineConfig xbar_cfg = MachineConfig::origin2000_scaled(32);
+  xbar_cfg.network.topology = TopologyKind::kCrossbar;
+  EXPECT_GT(ring_cfg.tm_ground_truth(), xbar_cfg.tm_ground_truth());
+}
+
+}  // namespace
+}  // namespace scaltool

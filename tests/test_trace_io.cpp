@@ -1,0 +1,152 @@
+// Tests: trace record/replay — the trace-driven front end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "common/check.hpp"
+#include "machine/dsm_machine.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace_io.hpp"
+
+namespace scaltool {
+namespace {
+
+MachineConfig machine_cfg(int procs) {
+  return MachineConfig::origin2000_scaled(procs);
+}
+
+WorkloadParams params_of(std::size_t bytes) {
+  WorkloadParams p;
+  p.dataset_bytes = bytes;
+  p.iterations = 2;
+  return p;
+}
+
+struct Recorded {
+  RunResult original;
+  Trace trace;
+};
+
+Recorded record(const std::string& app, std::size_t bytes, int procs) {
+  register_standard_workloads();
+  RecordingWorkload recorder(WorkloadRegistry::instance().create(app));
+  DsmMachine machine(machine_cfg(procs));
+  Recorded out{machine.run(recorder, params_of(bytes)),
+               recorder.take_trace()};
+  return out;
+}
+
+void expect_same_counters(const RunResult& a, const RunResult& b) {
+  for (EventId ev : all_events()) {
+    SCOPED_TRACE(event_name(ev));
+    EXPECT_DOUBLE_EQ(a.counters.aggregate().get(ev),
+                     b.counters.aggregate().get(ev));
+  }
+  EXPECT_DOUBLE_EQ(a.execution_cycles, b.execution_cycles);
+}
+
+TEST(TraceIo, RecordingIsTransparent) {
+  // A recorded run must behave exactly like an unrecorded one.
+  register_standard_workloads();
+  const auto plain_w = WorkloadRegistry::instance().create("swim");
+  DsmMachine plain_machine(machine_cfg(4));
+  const RunResult plain = plain_machine.run(*plain_w, params_of(128_KiB));
+
+  const Recorded rec = record("swim", 128_KiB, 4);
+  expect_same_counters(plain, rec.original);
+  EXPECT_GT(rec.trace.total_ops(), 1000u);
+  EXPECT_EQ(rec.trace.num_procs, 4);
+  EXPECT_EQ(rec.trace.workload, "swim");
+}
+
+TEST(TraceIo, ReplayReproducesCountersExactly) {
+  Recorded rec = record("swim", 128_KiB, 4);
+  TraceWorkload replay(std::move(rec.trace));
+  DsmMachine machine(machine_cfg(4));
+  const RunResult replayed = machine.run(replay, params_of(128_KiB));
+  expect_same_counters(rec.original, replayed);
+  // Regions replay too.
+  EXPECT_EQ(replayed.regions.size(), rec.original.regions.size());
+}
+
+TEST(TraceIo, ReplayOnDifferentMachineShowsArchitecturalDelta) {
+  // The point of trace-driven simulation: one capture, many machines.
+  Recorded rec = record("t3dheat", 320_KiB, 4);
+  MachineConfig big = machine_cfg(4);
+  big.l2.size_bytes *= 4;
+  TraceWorkload replay(std::move(rec.trace));
+  DsmMachine machine(big);
+  const RunResult on_big = machine.run(replay, params_of(320_KiB));
+  EXPECT_LT(on_big.counters.aggregate().get(EventId::kL2Misses),
+            rec.original.counters.aggregate().get(EventId::kL2Misses));
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Recorded rec = record("hydro2d", 64_KiB, 2);
+  const std::string path = "/tmp/scaltool_trace_test.txt";
+  save_trace(rec.trace, path);
+  Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.total_ops(), rec.trace.total_ops());
+  EXPECT_EQ(loaded.workload, "hydro2d");
+  EXPECT_EQ(loaded.model, ParallelismModel::kMP);
+
+  // Replaying the loaded trace matches the original run.
+  TraceWorkload replay(std::move(loaded));
+  DsmMachine machine(machine_cfg(2));
+  const RunResult replayed = machine.run(replay, params_of(64_KiB));
+  expect_same_counters(rec.original, replayed);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayRejectsMismatchedMachineOrSize) {
+  Recorded rec = record("swim", 64_KiB, 2);
+  {
+    TraceWorkload replay(Trace(rec.trace));
+    DsmMachine machine(machine_cfg(4));  // wrong processor count
+    EXPECT_THROW(machine.run(replay, params_of(64_KiB)), CheckError);
+  }
+  {
+    TraceWorkload replay(Trace(rec.trace));
+    DsmMachine machine(machine_cfg(2));
+    EXPECT_THROW(machine.run(replay, params_of(128_KiB)), CheckError);
+  }
+}
+
+TEST(TraceIo, RejectsCorruptStreams) {
+  {
+    std::stringstream empty;
+    EXPECT_THROW(read_trace(empty), CheckError);
+  }
+  {
+    std::stringstream garbage("not-a-trace|1|x|MP|1|1|1\n");
+    EXPECT_THROW(read_trace(garbage), CheckError);
+  }
+  {
+    std::stringstream truncated(
+        "scaltool-trace|1|x|MP|1024|1|1\nP 0 2\nL 4096\n");
+    EXPECT_THROW(read_trace(truncated), CheckError);  // ends mid-chunk
+  }
+  {
+    std::stringstream stray(
+        "scaltool-trace|1|x|MP|1024|1|1\nL 4096\n");
+    EXPECT_THROW(read_trace(stray), CheckError);  // op before any chunk
+  }
+}
+
+TEST(TraceIo, ValidateCatchesBadStructure) {
+  Trace t;
+  t.workload = "x";
+  t.num_procs = 2;
+  t.num_phases = 1;
+  t.ops.resize(1);  // should be 2 chunks
+  EXPECT_THROW(t.validate(), CheckError);
+  t.ops.resize(2);
+  t.ops[0].push_back({TraceOp::Kind::kRegionEnd, 0, 0, 0, {}});
+  EXPECT_THROW(t.validate(), CheckError);  // region end without begin
+}
+
+}  // namespace
+}  // namespace scaltool

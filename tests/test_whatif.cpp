@@ -1,0 +1,153 @@
+// What-if analysis tests (Section 2.6): identity reproduces the measured
+// runs, parameter changes move predictions in the right direction, and the
+// L2-scaling estimate tracks an actual re-run on a bigger cache.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/scaltool.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+class WhatIfTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = new ExperimentRunner(MachineConfig::origin2000_scaled(1));
+    runner_->iterations = 3;
+    const std::size_t l2 = runner_->base_config().l2.size_bytes;
+    inputs_ = new ScalToolInputs(
+        runner_->collect("t3dheat", 10 * l2, default_proc_counts(8)));
+    report_ = new ScalabilityReport(analyze(*inputs_));
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    delete inputs_;
+    delete report_;
+    runner_ = nullptr;
+    inputs_ = nullptr;
+    report_ = nullptr;
+  }
+
+  static const ExperimentRunner& runner() { return *runner_; }
+  static const ScalToolInputs& inputs() { return *inputs_; }
+  static const ScalabilityReport& report() { return *report_; }
+
+ private:
+  static ExperimentRunner* runner_;
+  static ScalToolInputs* inputs_;
+  static ScalabilityReport* report_;
+};
+
+ExperimentRunner* WhatIfTest::runner_ = nullptr;
+ScalToolInputs* WhatIfTest::inputs_ = nullptr;
+ScalabilityReport* WhatIfTest::report_ = nullptr;
+
+TEST_F(WhatIfTest, IdentityReproducesBaseCycles) {
+  const WhatIfParams params;
+  ASSERT_TRUE(params.is_identity());
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  for (const WhatIfPoint& p : r.points) {
+    const BottleneckPoint& base = report().point(p.n);
+    // tm(n) was backed out of Eq. 1 at exactly this point, so the identity
+    // scenario must reproduce the measured cycles almost exactly.
+    EXPECT_NEAR(p.cycles, base.base_cycles, 0.01 * base.base_cycles)
+        << "n=" << p.n;
+    EXPECT_NEAR(p.speed_ratio, 1.0, 0.01);
+  }
+}
+
+TEST_F(WhatIfTest, FasterMemoryPredictsSpeedup) {
+  WhatIfParams params;
+  params.tm_scale = 0.5;
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  for (const WhatIfPoint& p : r.points)
+    EXPECT_GT(p.speed_ratio, 1.0) << "n=" << p.n;
+}
+
+TEST_F(WhatIfTest, SlowerL2PredictsSlowdown) {
+  WhatIfParams params;
+  params.t2_scale = 3.0;
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  for (const WhatIfPoint& p : r.points)
+    EXPECT_LT(p.speed_ratio, 1.0) << "n=" << p.n;
+}
+
+TEST_F(WhatIfTest, WiderIssuePredictsSpeedup) {
+  WhatIfParams params;
+  params.pi0_scale = 0.5;
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  for (const WhatIfPoint& p : r.points)
+    EXPECT_GT(p.speed_ratio, 1.0);
+}
+
+TEST_F(WhatIfTest, FasterSyncHelpsOnlyMultiprocessorRuns) {
+  WhatIfParams params;
+  params.tsyn_scale = 0.25;
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  EXPECT_NEAR(r.point(1).speed_ratio, 1.0, 1e-6);
+  EXPECT_GT(r.point(8).speed_ratio, 1.0);
+}
+
+TEST_F(WhatIfTest, BiggerL2ReducesPredictedMissRate) {
+  WhatIfParams params;
+  params.l2_scale_k = 4.0;
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  // The paper calls this "a rough estimate": the uniprocessor component is
+  // read off the sweep curve at s0/(n·k), whose compulsory weighting can
+  // differ from the base run's, so allow a small absolute slack.
+  for (const WhatIfPoint& p : r.points) {
+    const double measured_missrate =
+        1.0 - report().miss.l2hitr_meas.at(p.n);
+    EXPECT_LE(p.l2_miss_rate, measured_missrate + 0.07) << "n=" << p.n;
+  }
+  // At n=1 conflict misses dominate and the prediction must show a large
+  // reduction.
+  EXPECT_LT(r.point(1).l2_miss_rate,
+            0.8 * (1.0 - report().miss.l2hitr_meas.at(1)));
+}
+
+TEST_F(WhatIfTest, L2ScalingTracksActualRerun) {
+  WhatIfParams params;
+  params.l2_scale_k = 2.0;
+  const WhatIfResult pred = what_if(report(), inputs(), params);
+
+  MachineConfig big = runner().base_config();
+  big.l2.size_bytes *= 2;
+  ExperimentRunner big_runner(big);
+  big_runner.iterations = 3;
+
+  // The paper calls this a rough estimate; require the right direction and
+  // the right ballpark at the uniprocessor point where conflicts dominate.
+  const RunRecord rerun = big_runner.run("t3dheat", inputs().s0, 1);
+  const double pred_cycles = pred.point(1).cycles;
+  const double base_cycles = report().point(1).base_cycles;
+  EXPECT_LT(rerun.metrics.cycles, base_cycles);  // bigger cache helps
+  EXPECT_LT(pred_cycles, base_cycles);           // model agrees in direction
+  EXPECT_NEAR(pred_cycles, rerun.metrics.cycles,
+              0.35 * rerun.metrics.cycles);      // and in magnitude
+}
+
+TEST_F(WhatIfTest, NewSyncPrimitiveReplacesSyncCost) {
+  WhatIfParams params;
+  params.new_cpi_syn = report().point(8).cpi_syn * 0.25;
+  const WhatIfResult r = what_if(report(), inputs(), params);
+  EXPECT_GT(r.point(8).speed_ratio, 1.0);
+}
+
+TEST_F(WhatIfTest, RejectsInvalidParameters) {
+  WhatIfParams params;
+  params.l2_scale_k = 0.5;
+  EXPECT_THROW(what_if(report(), inputs(), params), CheckError);
+  params = {};
+  params.tm_scale = 0.0;
+  EXPECT_THROW(what_if(report(), inputs(), params), CheckError);
+}
+
+TEST_F(WhatIfTest, PointAccessorThrowsOnUnknownN) {
+  const WhatIfResult r = what_if(report(), inputs(), WhatIfParams{});
+  EXPECT_THROW(r.point(64), CheckError);
+}
+
+}  // namespace
+}  // namespace scaltool
