@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_barrier"
+  "../bench/bench_ablation_barrier.pdb"
+  "CMakeFiles/bench_ablation_barrier.dir/bench_ablation_barrier.cpp.o"
+  "CMakeFiles/bench_ablation_barrier.dir/bench_ablation_barrier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_protocol"
+  "../bench/bench_ablation_protocol.pdb"
+  "CMakeFiles/bench_ablation_protocol.dir/bench_ablation_protocol.cpp.o"
+  "CMakeFiles/bench_ablation_protocol.dir/bench_ablation_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

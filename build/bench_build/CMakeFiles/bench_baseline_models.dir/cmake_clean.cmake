@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_models"
+  "../bench/bench_baseline_models.pdb"
+  "CMakeFiles/bench_baseline_models.dir/bench_baseline_models.cpp.o"
+  "CMakeFiles/bench_baseline_models.dir/bench_baseline_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_beyond_paper"
+  "../bench/bench_beyond_paper.pdb"
+  "CMakeFiles/bench_beyond_paper.dir/bench_beyond_paper.cpp.o"
+  "CMakeFiles/bench_beyond_paper.dir/bench_beyond_paper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beyond_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

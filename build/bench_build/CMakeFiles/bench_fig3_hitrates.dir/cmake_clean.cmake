@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_hitrates"
+  "../bench/bench_fig3_hitrates.pdb"
+  "CMakeFiles/bench_fig3_hitrates.dir/bench_fig3_hitrates.cpp.o"
+  "CMakeFiles/bench_fig3_hitrates.dir/bench_fig3_hitrates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_cpi_infinf"
+  "../bench/bench_fig4_cpi_infinf.pdb"
+  "CMakeFiles/bench_fig4_cpi_infinf.dir/bench_fig4_cpi_infinf.cpp.o"
+  "CMakeFiles/bench_fig4_cpi_infinf.dir/bench_fig4_cpi_infinf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cpi_infinf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

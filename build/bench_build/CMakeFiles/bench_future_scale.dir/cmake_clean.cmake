@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_future_scale"
+  "../bench/bench_future_scale.pdb"
+  "CMakeFiles/bench_future_scale.dir/bench_future_scale.cpp.o"
+  "CMakeFiles/bench_future_scale.dir/bench_future_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_taxonomy"
+  "../bench/bench_table2_taxonomy.pdb"
+  "CMakeFiles/bench_table2_taxonomy.dir/bench_table2_taxonomy.cpp.o"
+  "CMakeFiles/bench_table2_taxonomy.dir/bench_table2_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

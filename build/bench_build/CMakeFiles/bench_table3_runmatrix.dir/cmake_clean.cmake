@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_runmatrix"
+  "../bench/bench_table3_runmatrix.pdb"
+  "CMakeFiles/bench_table3_runmatrix.dir/bench_table3_runmatrix.cpp.o"
+  "CMakeFiles/bench_table3_runmatrix.dir/bench_table3_runmatrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_runmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

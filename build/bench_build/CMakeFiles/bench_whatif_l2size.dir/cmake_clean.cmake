@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_l2size"
+  "../bench/bench_whatif_l2size.pdb"
+  "CMakeFiles/bench_whatif_l2size.dir/bench_whatif_l2size.cpp.o"
+  "CMakeFiles/bench_whatif_l2size.dir/bench_whatif_l2size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_l2size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

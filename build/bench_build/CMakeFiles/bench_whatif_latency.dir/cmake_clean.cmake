@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_whatif_latency"
+  "../bench/bench_whatif_latency.pdb"
+  "CMakeFiles/bench_whatif_latency.dir/bench_whatif_latency.cpp.o"
+  "CMakeFiles/bench_whatif_latency.dir/bench_whatif_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("counters")
+subdirs("cache")
+subdirs("coherence")
+subdirs("network")
+subdirs("memory")
+subdirs("sync")
+subdirs("machine")
+subdirs("trace")
+subdirs("apps")
+subdirs("tools")
+subdirs("runner")
+subdirs("core")
+subdirs("cli")

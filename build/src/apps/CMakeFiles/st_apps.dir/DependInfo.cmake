@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cpp" "src/apps/CMakeFiles/st_apps.dir/apps.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/apps.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/st_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/hydro2d.cpp" "src/apps/CMakeFiles/st_apps.dir/hydro2d.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/hydro2d.cpp.o.d"
+  "/root/repo/src/apps/kernels.cpp" "src/apps/CMakeFiles/st_apps.dir/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/kernels.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/st_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/micro.cpp" "src/apps/CMakeFiles/st_apps.dir/micro.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/micro.cpp.o.d"
+  "/root/repo/src/apps/swim.cpp" "src/apps/CMakeFiles/st_apps.dir/swim.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/swim.cpp.o.d"
+  "/root/repo/src/apps/t3dheat.cpp" "src/apps/CMakeFiles/st_apps.dir/t3dheat.cpp.o" "gcc" "src/apps/CMakeFiles/st_apps.dir/t3dheat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/st_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_apps.dir/apps.cpp.o"
+  "CMakeFiles/st_apps.dir/apps.cpp.o.d"
+  "CMakeFiles/st_apps.dir/fft.cpp.o"
+  "CMakeFiles/st_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/st_apps.dir/hydro2d.cpp.o"
+  "CMakeFiles/st_apps.dir/hydro2d.cpp.o.d"
+  "CMakeFiles/st_apps.dir/kernels.cpp.o"
+  "CMakeFiles/st_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/st_apps.dir/lu.cpp.o"
+  "CMakeFiles/st_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/st_apps.dir/micro.cpp.o"
+  "CMakeFiles/st_apps.dir/micro.cpp.o.d"
+  "CMakeFiles/st_apps.dir/swim.cpp.o"
+  "CMakeFiles/st_apps.dir/swim.cpp.o.d"
+  "CMakeFiles/st_apps.dir/t3dheat.cpp.o"
+  "CMakeFiles/st_apps.dir/t3dheat.cpp.o.d"
+  "libst_apps.a"
+  "libst_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

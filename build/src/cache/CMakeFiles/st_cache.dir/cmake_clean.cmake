@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_cache.dir/cache.cpp.o"
+  "CMakeFiles/st_cache.dir/cache.cpp.o.d"
+  "libst_cache.a"
+  "libst_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

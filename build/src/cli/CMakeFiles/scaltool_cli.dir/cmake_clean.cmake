@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaltool_cli.dir/main.cpp.o"
+  "CMakeFiles/scaltool_cli.dir/main.cpp.o.d"
+  "scaltool"
+  "scaltool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaltool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

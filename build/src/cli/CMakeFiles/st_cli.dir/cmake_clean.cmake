@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_cli.dir/args.cpp.o"
+  "CMakeFiles/st_cli.dir/args.cpp.o.d"
+  "CMakeFiles/st_cli.dir/cli.cpp.o"
+  "CMakeFiles/st_cli.dir/cli.cpp.o.d"
+  "libst_cli.a"
+  "libst_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_coherence.dir/directory.cpp.o"
+  "CMakeFiles/st_coherence.dir/directory.cpp.o.d"
+  "libst_coherence.a"
+  "libst_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

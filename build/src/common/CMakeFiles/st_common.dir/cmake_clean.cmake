@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_common.dir/ascii_chart.cpp.o"
+  "CMakeFiles/st_common.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/st_common.dir/stats.cpp.o"
+  "CMakeFiles/st_common.dir/stats.cpp.o.d"
+  "CMakeFiles/st_common.dir/table.cpp.o"
+  "CMakeFiles/st_common.dir/table.cpp.o.d"
+  "libst_common.a"
+  "libst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic_models.cpp" "src/core/CMakeFiles/st_scaltool.dir/analytic_models.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/analytic_models.cpp.o.d"
+  "/root/repo/src/core/bottleneck.cpp" "src/core/CMakeFiles/st_scaltool.dir/bottleneck.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/core/cpi_model.cpp" "src/core/CMakeFiles/st_scaltool.dir/cpi_model.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/cpi_model.cpp.o.d"
+  "/root/repo/src/core/inputs.cpp" "src/core/CMakeFiles/st_scaltool.dir/inputs.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/inputs.cpp.o.d"
+  "/root/repo/src/core/miss_decomp.cpp" "src/core/CMakeFiles/st_scaltool.dir/miss_decomp.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/miss_decomp.cpp.o.d"
+  "/root/repo/src/core/report_text.cpp" "src/core/CMakeFiles/st_scaltool.dir/report_text.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/report_text.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/st_scaltool.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/resources.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/core/CMakeFiles/st_scaltool.dir/whatif.cpp.o" "gcc" "src/core/CMakeFiles/st_scaltool.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/counters/CMakeFiles/st_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/st_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_scaltool.dir/analytic_models.cpp.o"
+  "CMakeFiles/st_scaltool.dir/analytic_models.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/bottleneck.cpp.o"
+  "CMakeFiles/st_scaltool.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/cpi_model.cpp.o"
+  "CMakeFiles/st_scaltool.dir/cpi_model.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/inputs.cpp.o"
+  "CMakeFiles/st_scaltool.dir/inputs.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/miss_decomp.cpp.o"
+  "CMakeFiles/st_scaltool.dir/miss_decomp.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/report_text.cpp.o"
+  "CMakeFiles/st_scaltool.dir/report_text.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/resources.cpp.o"
+  "CMakeFiles/st_scaltool.dir/resources.cpp.o.d"
+  "CMakeFiles/st_scaltool.dir/whatif.cpp.o"
+  "CMakeFiles/st_scaltool.dir/whatif.cpp.o.d"
+  "libst_scaltool.a"
+  "libst_scaltool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_scaltool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

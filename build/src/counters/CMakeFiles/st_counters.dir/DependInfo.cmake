@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/counter_set.cpp" "src/counters/CMakeFiles/st_counters.dir/counter_set.cpp.o" "gcc" "src/counters/CMakeFiles/st_counters.dir/counter_set.cpp.o.d"
+  "/root/repo/src/counters/events.cpp" "src/counters/CMakeFiles/st_counters.dir/events.cpp.o" "gcc" "src/counters/CMakeFiles/st_counters.dir/events.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

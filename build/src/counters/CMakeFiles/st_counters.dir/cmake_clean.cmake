@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_counters.dir/counter_set.cpp.o"
+  "CMakeFiles/st_counters.dir/counter_set.cpp.o.d"
+  "CMakeFiles/st_counters.dir/events.cpp.o"
+  "CMakeFiles/st_counters.dir/events.cpp.o.d"
+  "libst_counters.a"
+  "libst_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_machine.dir/dsm_machine.cpp.o"
+  "CMakeFiles/st_machine.dir/dsm_machine.cpp.o.d"
+  "CMakeFiles/st_machine.dir/machine_config.cpp.o"
+  "CMakeFiles/st_machine.dir/machine_config.cpp.o.d"
+  "libst_machine.a"
+  "libst_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_math.dir/interpolate.cpp.o"
+  "CMakeFiles/st_math.dir/interpolate.cpp.o.d"
+  "CMakeFiles/st_math.dir/least_squares.cpp.o"
+  "CMakeFiles/st_math.dir/least_squares.cpp.o.d"
+  "libst_math.a"
+  "libst_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

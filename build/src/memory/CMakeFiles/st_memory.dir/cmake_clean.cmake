@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_memory.dir/memory_system.cpp.o"
+  "CMakeFiles/st_memory.dir/memory_system.cpp.o.d"
+  "CMakeFiles/st_memory.dir/tlb.cpp.o"
+  "CMakeFiles/st_memory.dir/tlb.cpp.o.d"
+  "libst_memory.a"
+  "libst_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

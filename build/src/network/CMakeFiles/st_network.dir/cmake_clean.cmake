@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_network.dir/hypercube.cpp.o"
+  "CMakeFiles/st_network.dir/hypercube.cpp.o.d"
+  "libst_network.a"
+  "libst_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

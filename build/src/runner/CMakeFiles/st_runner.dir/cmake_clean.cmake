@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_runner.dir/archive.cpp.o"
+  "CMakeFiles/st_runner.dir/archive.cpp.o.d"
+  "CMakeFiles/st_runner.dir/runner.cpp.o"
+  "CMakeFiles/st_runner.dir/runner.cpp.o.d"
+  "libst_runner.a"
+  "libst_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sync.dir/barrier_model.cpp.o"
+  "CMakeFiles/st_sync.dir/barrier_model.cpp.o.d"
+  "CMakeFiles/st_sync.dir/lock_model.cpp.o"
+  "CMakeFiles/st_sync.dir/lock_model.cpp.o.d"
+  "libst_sync.a"
+  "libst_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/counter_schedule.cpp" "src/tools/CMakeFiles/st_tools.dir/counter_schedule.cpp.o" "gcc" "src/tools/CMakeFiles/st_tools.dir/counter_schedule.cpp.o.d"
+  "/root/repo/src/tools/perfex.cpp" "src/tools/CMakeFiles/st_tools.dir/perfex.cpp.o" "gcc" "src/tools/CMakeFiles/st_tools.dir/perfex.cpp.o.d"
+  "/root/repo/src/tools/region_report.cpp" "src/tools/CMakeFiles/st_tools.dir/region_report.cpp.o" "gcc" "src/tools/CMakeFiles/st_tools.dir/region_report.cpp.o.d"
+  "/root/repo/src/tools/speedshop.cpp" "src/tools/CMakeFiles/st_tools.dir/speedshop.cpp.o" "gcc" "src/tools/CMakeFiles/st_tools.dir/speedshop.cpp.o.d"
+  "/root/repo/src/tools/ssusage.cpp" "src/tools/CMakeFiles/st_tools.dir/ssusage.cpp.o" "gcc" "src/tools/CMakeFiles/st_tools.dir/ssusage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/st_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/st_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/st_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/st_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/st_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/st_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/st_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/st_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

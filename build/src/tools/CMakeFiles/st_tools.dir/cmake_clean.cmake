@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_tools.dir/counter_schedule.cpp.o"
+  "CMakeFiles/st_tools.dir/counter_schedule.cpp.o.d"
+  "CMakeFiles/st_tools.dir/perfex.cpp.o"
+  "CMakeFiles/st_tools.dir/perfex.cpp.o.d"
+  "CMakeFiles/st_tools.dir/region_report.cpp.o"
+  "CMakeFiles/st_tools.dir/region_report.cpp.o.d"
+  "CMakeFiles/st_tools.dir/speedshop.cpp.o"
+  "CMakeFiles/st_tools.dir/speedshop.cpp.o.d"
+  "CMakeFiles/st_tools.dir/ssusage.cpp.o"
+  "CMakeFiles/st_tools.dir/ssusage.cpp.o.d"
+  "libst_tools.a"
+  "libst_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

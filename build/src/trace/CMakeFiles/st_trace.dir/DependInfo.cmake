@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/access_pattern.cpp" "src/trace/CMakeFiles/st_trace.dir/access_pattern.cpp.o" "gcc" "src/trace/CMakeFiles/st_trace.dir/access_pattern.cpp.o.d"
+  "/root/repo/src/trace/registry.cpp" "src/trace/CMakeFiles/st_trace.dir/registry.cpp.o" "gcc" "src/trace/CMakeFiles/st_trace.dir/registry.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/st_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/st_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/st_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/st_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

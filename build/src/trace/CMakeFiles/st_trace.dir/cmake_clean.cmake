@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_trace.dir/access_pattern.cpp.o"
+  "CMakeFiles/st_trace.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/st_trace.dir/registry.cpp.o"
+  "CMakeFiles/st_trace.dir/registry.cpp.o.d"
+  "CMakeFiles/st_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/st_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/st_trace.dir/workload.cpp.o"
+  "CMakeFiles/st_trace.dir/workload.cpp.o.d"
+  "libst_trace.a"
+  "libst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_edge.dir/test_model_edge.cpp.o"
+  "CMakeFiles/test_model_edge.dir/test_model_edge.cpp.o.d"
+  "test_model_edge"
+  "test_model_edge.pdb"
+  "test_model_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_recovery.dir/test_model_recovery.cpp.o"
+  "CMakeFiles/test_model_recovery.dir/test_model_recovery.cpp.o.d"
+  "test_model_recovery"
+  "test_model_recovery.pdb"
+  "test_model_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_replacement.cpp" "tests/CMakeFiles/test_replacement.dir/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/test_replacement.dir/test_replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/st_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/st_scaltool.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/st_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/st_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/st_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/st_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/st_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/st_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/st_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/st_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/st_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/st_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/st_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/st_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reporting.dir/test_reporting.cpp.o"
+  "CMakeFiles/test_reporting.dir/test_reporting.cpp.o.d"
+  "test_reporting"
+  "test_reporting.pdb"
+  "test_reporting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharing_ext.dir/test_sharing_ext.cpp.o"
+  "CMakeFiles/test_sharing_ext.dir/test_sharing_ext.cpp.o.d"
+  "test_sharing_ext"
+  "test_sharing_ext.pdb"
+  "test_sharing_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharing_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
