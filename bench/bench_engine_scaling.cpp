@@ -1,0 +1,78 @@
+// Campaign-engine scaling: wall time of the Table 3 collection for swim at
+// --jobs 1/2/4/8 (no cache, so every point really runs), then a cold/warm
+// pass against a persistent run cache to show the warm pass performs zero
+// simulator runs. Emits one JSON line per measurement for dashboards next
+// to the human-readable tables.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "common/table.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
+
+namespace scaltool::bench {
+namespace {
+
+constexpr int kMaxProcs = 8;
+constexpr const char* kCachePath = "/tmp/scaltool_bench_engine_cache.txt";
+
+int run() {
+  const AppSpec spec = spec_for("swim");
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = s0_for(spec);
+  const std::vector<int> procs = default_proc_counts(kMaxProcs);
+  std::cout << "# engine scaling: swim, s0 = " << format_bytes(s0)
+            << ", procs 1.." << kMaxProcs << "\n";
+
+  Table scaling("Engine scaling (swim Table 3 matrix, cold cache)");
+  scaling.header({"jobs", "wall_s", "speedup_vs_1", "jobs_run", "util_%"});
+  double wall_1 = 0.0;
+  for (const int jobs : {1, 2, 4, 8}) {
+    CampaignOptions options;
+    options.jobs = jobs;
+    EngineStats stats;
+    (void)run_matrix_parallel(runner, spec.name, s0, procs, options, &stats);
+    if (jobs == 1) wall_1 = stats.wall_seconds;
+    const double speedup =
+        stats.wall_seconds > 0.0 ? wall_1 / stats.wall_seconds : 0.0;
+    scaling.add_row({Table::cell(jobs), Table::cell(stats.wall_seconds),
+                     Table::cell(speedup), Table::cell(stats.jobs_run),
+                     Table::cell(100.0 * stats.utilization())});
+    std::cout << "{\"bench\":\"engine_scaling\",\"app\":\"swim\",\"jobs\":"
+              << jobs << ",\"wall_s\":" << stats.wall_seconds
+              << ",\"speedup_vs_1\":" << speedup
+              << ",\"jobs_run\":" << stats.jobs_run << "}\n";
+  }
+  scaling.print(std::cout, /*with_csv=*/true);
+
+  // Cold vs warm persistent cache: the warm pass must run nothing.
+  std::remove(kCachePath);
+  Table cache("Persistent run cache (4 workers)");
+  cache.header({"pass", "hit_%", "jobs_run", "jobs_cached", "wall_s"});
+  for (const std::string pass : {"cold", "warm"}) {
+    CampaignOptions options;
+    options.jobs = 4;
+    options.cache_path = kCachePath;
+    EngineStats stats;
+    (void)run_matrix_parallel(runner, spec.name, s0, procs, options, &stats);
+    cache.add_row({pass,
+                   Table::cell(100.0 * stats.cache_hit_rate()),
+                   Table::cell(stats.jobs_run), Table::cell(stats.jobs_cached),
+                   Table::cell(stats.wall_seconds)});
+    std::cout << "{\"bench\":\"engine_cache\",\"pass\":\"" << pass
+              << "\",\"hit_rate\":" << stats.cache_hit_rate()
+              << ",\"jobs_run\":" << stats.jobs_run
+              << ",\"jobs_cached\":" << stats.jobs_cached << "}\n";
+  }
+  cache.print(std::cout, /*with_csv=*/true);
+  std::remove(kCachePath);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scaltool::bench
+
+int main() { return scaltool::bench::run(); }

@@ -1,12 +1,17 @@
 #include "common.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "apps/apps.hpp"
 #include "common/ascii_chart.hpp"
 #include "common/check.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
 
 namespace scaltool::bench {
 
@@ -30,6 +35,20 @@ std::size_t s0_for(const AppSpec& spec) {
   return bytes / 1_KiB * 1_KiB;
 }
 
+int bench_jobs() {
+  if (const char* env = std::getenv("SCALTOOL_BENCH_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, 8);
+}
+
+std::string bench_cache_path() {
+  if (const char* env = std::getenv("SCALTOOL_BENCH_CACHE")) return env;
+  return "scaltool-bench-cache.txt";
+}
+
 ScalToolInputs collect_app(const std::string& app, int max_procs) {
   const AppSpec spec = spec_for(app);
   ExperimentRunner runner = make_runner();
@@ -38,7 +57,14 @@ ScalToolInputs collect_app(const std::string& app, int max_procs) {
             << spec.l2_multiple << "x the scaled L2; the paper used "
             << spec.paper_mb << " against a 4 MB L2), procs 1.."
             << max_procs << "\n";
-  return runner.collect(app, s0, default_proc_counts(max_procs));
+  CampaignOptions options;
+  options.jobs = bench_jobs();
+  options.cache_path = bench_cache_path();
+  EngineStats stats;
+  ScalToolInputs inputs = run_matrix_parallel(
+      runner, app, s0, default_proc_counts(max_procs), options, &stats);
+  std::cout << "# " << engine_stats_line(stats) << "\n";
+  return inputs;
 }
 
 AppAnalysis analyze_app(const std::string& app, int max_procs) {

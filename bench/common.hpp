@@ -31,8 +31,18 @@ ExperimentRunner make_runner();
 /// Base data-set size for an app on the bench machine.
 std::size_t s0_for(const AppSpec& spec);
 
-/// Collects the full measurement matrix for an application; prints a
-/// one-line banner of what ran.
+/// Worker count for bench collection: $SCALTOOL_BENCH_JOBS, defaulting to
+/// the hardware concurrency clamped to [1, 8].
+int bench_jobs();
+
+/// Persistent run-cache file for bench collection: $SCALTOOL_BENCH_CACHE,
+/// defaulting to "scaltool-bench-cache.txt" in the working directory.
+/// Set it to the empty string to disable the cache.
+std::string bench_cache_path();
+
+/// Collects the full measurement matrix for an application through the
+/// campaign engine (parallel workers + persistent run cache); prints a
+/// one-line banner of what ran plus the engine stats.
 ScalToolInputs collect_app(const std::string& app, int max_procs = 32);
 
 /// collect + analyze in one call.

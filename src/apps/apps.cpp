@@ -1,10 +1,18 @@
 #include "apps/apps.hpp"
 
 #include <memory>
+#include <mutex>
 
 namespace scaltool {
 
-void register_standard_workloads() {
+namespace {
+
+// call_once so concurrent campaign jobs can race into the first
+// registration safely; the contains() guard additionally tolerates a test
+// that registered one of the names by hand before us.
+std::once_flag standard_workloads_once;
+
+void do_register_standard_workloads() {
   WorkloadRegistry& reg = WorkloadRegistry::instance();
   if (reg.contains("t3dheat")) return;  // already populated
   reg.register_workload("t3dheat",
@@ -35,6 +43,12 @@ void register_standard_workloads() {
   reg.register_workload("lock_kernel", [] {
     return std::unique_ptr<Workload>(new LockKernel);
   });
+}
+
+}  // namespace
+
+void register_standard_workloads() {
+  std::call_once(standard_workloads_once, do_register_standard_workloads);
 }
 
 }  // namespace scaltool

@@ -9,6 +9,7 @@
 #include "common/ascii_chart.hpp"
 #include "common/check.hpp"
 #include "core/scaltool.hpp"
+#include "engine/campaign.hpp"
 #include "runner/archive.hpp"
 #include "runner/runner.hpp"
 #include "trace/trace_io.hpp"
@@ -58,15 +59,51 @@ bool is_archive(const std::string& target) {
   return head.rfind("scaltool-inputs", 0) == 0;
 }
 
+/// Campaign-engine options shared by collect/analyze/whatif. --jobs=1
+/// without --cache keeps the original serial path (and output) untouched.
+CampaignOptions engine_from(const Args& args) {
+  CampaignOptions options;
+  options.jobs = args.get_int("jobs", 1);
+  ST_CHECK_MSG(options.jobs >= 1, "--jobs must be at least 1");
+  options.cache_path = args.get("cache", "");
+  return options;
+}
+
+bool engine_engaged(const CampaignOptions& options) {
+  return options.jobs > 1 || !options.cache_path.empty();
+}
+
+/// Collects the matrix, through the campaign engine when --jobs/--cache
+/// ask for it; the engine path prints its metrics so claims like "a warm
+/// run performed zero simulator runs" are visible.
+ScalToolInputs collect_matrix(const Args& args,
+                              const ExperimentRunner& runner,
+                              const std::string& app, std::size_t s0,
+                              int max_procs, std::ostream& os) {
+  const CampaignOptions options = engine_from(args);
+  const std::vector<int> counts = default_proc_counts(max_procs);
+  if (!engine_engaged(options)) return runner.collect(app, s0, counts);
+  EngineStats stats;
+  ScalToolInputs inputs =
+      run_matrix_parallel(runner, app, s0, counts, options, &stats);
+  os << engine_stats_line(stats) << "\n";
+  engine_stats_table(stats).print(os);
+  return inputs;
+}
+
 /// The analyze/whatif commands accept either a saved archive or an app
 /// name (collected on the fly).
 ScalToolInputs inputs_from(const Args& args, const std::string& target,
-                           const ExperimentRunner& runner) {
-  if (is_archive(target)) return load_inputs(target);
+                           const ExperimentRunner& runner,
+                           std::ostream& os) {
+  if (is_archive(target)) {
+    (void)engine_from(args);  // marks --jobs/--cache as consumed
+    return load_inputs(target);
+  }
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 32);
-  return runner.collect(target, s0, default_proc_counts(max_procs));
+  return collect_matrix(args, runner, target, s0, max_procs, os);
 }
 
 void warn_unused(const Args& args, std::ostream& os) {
@@ -123,10 +160,9 @@ int cmd_collect(const Args& args, std::ostream& os) {
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 32);
-  warn_unused(args, os);
-
   const ScalToolInputs inputs =
-      runner.collect(app, s0, default_proc_counts(max_procs));
+      collect_matrix(args, runner, app, s0, max_procs, os);
+  warn_unused(args, os);
   save_inputs(inputs, out);
   os << "collected " << inputs.base_runs.size() << " base runs, "
      << inputs.uni_runs.size() << " uniprocessor runs and "
@@ -143,7 +179,7 @@ int cmd_analyze(const Args& args, std::ostream& os) {
   AnalyzeOptions options;
   options.model_sharing = args.has("sharing");
   const bool chart = args.has("chart");
-  const ScalToolInputs inputs = inputs_from(args, target, runner);
+  const ScalToolInputs inputs = inputs_from(args, target, runner, os);
   warn_unused(args, os);
 
   const ScalabilityReport report = analyze(inputs, options);
@@ -166,7 +202,7 @@ int cmd_whatif(const Args& args, std::ostream& os) {
   params.t2_scale = args.get_double("t2-scale", 1.0);
   params.tsyn_scale = args.get_double("tsyn-scale", 1.0);
   params.pi0_scale = args.get_double("pi0-scale", 1.0);
-  const ScalToolInputs inputs = inputs_from(args, target, runner);
+  const ScalToolInputs inputs = inputs_from(args, target, runner, os);
   warn_unused(args, os);
 
   const ScalabilityReport report = analyze(inputs);
@@ -247,12 +283,13 @@ void print_help(std::ostream& os) {
         "  run <app>                    one run: perfex/speedshop/ssusage\n"
         "      [--procs=N --size=S --iters=I --per-proc]\n"
         "  collect <app> --out=FILE     gather the measurement matrix\n"
-        "      [--size=S --max-procs=N --iters=I]\n"
+        "      [--size=S --max-procs=N --iters=I --jobs=N --cache=FILE]\n"
         "  analyze <app|archive>        full bottleneck report\n"
-        "      [--size=S --max-procs=N --sharing --chart]\n"
+        "      [--size=S --max-procs=N --sharing --chart --jobs=N\n"
+        "       --cache=FILE]\n"
         "  whatif <app|archive>         Sec. 2.6 predictions\n"
         "      [--l2x=K --tm-scale=F --t2-scale=F --tsyn-scale=F\n"
-        "       --pi0-scale=F]\n"
+        "       --pi0-scale=F --jobs=N --cache=FILE]\n"
         "  region <app> <region>        segment-level analysis\n"
         "  record <app> --out=FILE      capture an address trace\n"
         "      [--procs=N --size=S --iters=I]\n"
@@ -262,6 +299,13 @@ void print_help(std::ostream& os) {
         "machine overrides (all commands):\n"
         "  --topology=hypercube|crossbar|ring|mesh2d\n"
         "  --l2-size=S   --msi   --tlb=ENTRIES\n"
+        "\n"
+        "campaign engine (collect/analyze/whatif):\n"
+        "  --jobs=N      run the measurement matrix on N worker threads\n"
+        "                (default 1 = serial; results are bit-identical)\n"
+        "  --cache=FILE  memoize runs in a persistent cache; a warm rerun\n"
+        "                performs zero simulator runs (see the printed\n"
+        "                engine stats)\n"
         "\n"
         "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n";
 }

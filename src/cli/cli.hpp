@@ -6,13 +6,15 @@
 //   scaltool run <app> [--procs --size --iters --per-proc]
 //                                              one run: perfex + speedshop +
 //                                              ssusage + regions
-//   scaltool collect <app> --out=FILE [--size --max-procs --iters]
+//   scaltool collect <app> --out=FILE [--size --max-procs --iters
+//                                      --jobs --cache]
 //                                              gather the Table 3 matrix
 //                                              into one archive file
-//   scaltool analyze <app|archive> [--size --max-procs --sharing --chart]
+//   scaltool analyze <app|archive> [--size --max-procs --sharing --chart
+//                                   --jobs --cache]
 //                                              full Scal-Tool report
 //   scaltool whatif <app|archive> [--l2x --tm-scale --t2-scale
-//                                  --tsyn-scale --pi0-scale]
+//                                  --tsyn-scale --pi0-scale --jobs --cache]
 //                                              Sec. 2.6 predictions
 //   scaltool region <app> <region> [--size --max-procs]
 //                                              segment-level analysis

@@ -1,0 +1,135 @@
+#include "engine/campaign.hpp"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "apps/apps.hpp"
+#include "common/check.hpp"
+#include "engine/thread_pool.hpp"
+#include "machine/dsm_machine.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(const ExperimentRunner& runner,
+                               CampaignOptions options)
+    : runner_(runner),
+      options_(std::move(options)),
+      cache_(options_.cache_path) {
+  ST_CHECK_MSG(options_.jobs >= 1, "the engine needs at least one worker");
+}
+
+ScalToolInputs CampaignEngine::collect(const std::string& workload,
+                                       std::size_t s0,
+                                       std::span<const int> proc_counts) {
+  const MatrixPlan plan = runner_.plan_matrix(workload, s0, proc_counts);
+  const std::vector<JobOutcome> outcomes = execute(plan);
+  return assemble_matrix(plan, outcomes);
+}
+
+JobOutcome CampaignEngine::execute_job(const RunSpec& spec,
+                                       std::uint64_t key) const {
+  const auto workload = WorkloadRegistry::instance().create(spec.workload);
+  MachineConfig cfg = runner_.config_for(spec.num_procs);
+  // Independent per-job RNG streams, stable across execution orders (only
+  // the kRandom replacement policy consumes them).
+  cfg.l1.random_seed = derive_seed(cfg.l1.random_seed, key);
+  cfg.l2.random_seed = derive_seed(cfg.l2.random_seed + 1, key);
+  DsmMachine machine(cfg);
+  const RunResult result =
+      machine.run(*workload, runner_.params_for(spec.dataset_bytes));
+  JobOutcome out;
+  out.record = make_record(result);
+  out.validation = make_validation(result);
+  return out;
+}
+
+std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
+  register_standard_workloads();
+  stats_ = EngineStats{};
+  stats_.workers = options_.jobs;
+  stats_.jobs_total = plan.jobs.size();
+  stats_.cache_entries_loaded = cache_.loaded_entries();
+  stats_.cache_entries_corrupt = cache_.corrupt_entries();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<JobOutcome> outcomes(plan.jobs.size());
+  std::mutex mu;  // guards stats counters and the on_run callback
+  std::exception_ptr first_error;
+
+  const auto run_one = [&](std::size_t i) {
+    const RunSpec& spec = plan.jobs[i];
+    const std::uint64_t key =
+        job_key_hash(spec, runner_.base_config(), runner_.iterations);
+    if (std::optional<JobOutcome> hit = cache_.find(key, spec)) {
+      outcomes[i] = std::move(*hit);
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats_.jobs_cached;
+      return;
+    }
+    if (options_.on_run) {
+      std::ostringstream os;
+      os << spec.workload << " s=" << spec.dataset_bytes
+         << " p=" << spec.num_procs;
+      std::lock_guard<std::mutex> lock(mu);
+      options_.on_run(os.str());
+    }
+    const auto job_t0 = std::chrono::steady_clock::now();
+    JobOutcome out = execute_job(spec, key);
+    const double took = seconds_since(job_t0);
+    cache_.insert(key, spec, out);
+    outcomes[i] = std::move(out);
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats_.jobs_run;
+    stats_.busy_seconds += took;
+  };
+
+  {
+    ThreadPool pool(options_.jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(plan.jobs.size());
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i)
+      futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+    for (std::future<void>& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats_.jobs_failed;
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  stats_.wall_seconds = seconds_since(t0);
+  cache_.save();
+  if (first_error) std::rethrow_exception(first_error);
+  return outcomes;
+}
+
+ScalToolInputs run_matrix_parallel(const ExperimentRunner& runner,
+                                   const std::string& workload,
+                                   std::size_t s0,
+                                   std::span<const int> proc_counts,
+                                   const CampaignOptions& options,
+                                   EngineStats* stats_out) {
+  CampaignEngine engine(runner, options);
+  ScalToolInputs inputs = engine.collect(workload, s0, proc_counts);
+  if (stats_out) *stats_out = engine.stats();
+  return inputs;
+}
+
+}  // namespace scaltool

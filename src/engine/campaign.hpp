@@ -1,0 +1,75 @@
+// The campaign engine: parallel, memoized execution of measurement
+// matrices.
+//
+// A Scal-Tool campaign (Table 3) is a matrix of independent simulator
+// runs; ExperimentRunner::collect executes it strictly serially. The
+// engine instead asks the runner for a MatrixPlan — the deduplicated job
+// DAG, where e.g. the (s0, 1) point shared by the base series and the
+// uniprocessor sweep is a single job — executes the jobs on a fixed-size
+// worker pool, memoizes every outcome in a persistent RunCache, and joins
+// the results with assemble_matrix.
+//
+// Determinism: each job derives its RNG seeds from its content key
+// (derive_seed), so counters are bit-identical whatever the worker count
+// or completion order; tests assert --jobs=8 == serial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/engine_stats.hpp"
+#include "engine/run_cache.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+
+struct CampaignOptions {
+  /// Worker threads; 1 keeps today's serial behaviour (the CLI default).
+  int jobs = 1;
+  /// Persistent run-cache file; empty means memoize in memory only.
+  std::string cache_path;
+  /// Progress callback (one line per simulator run); invoked serialized.
+  std::function<void(const std::string&)> on_run;
+};
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(const ExperimentRunner& runner,
+                          CampaignOptions options = {});
+
+  /// Collects the Table 3 matrix exactly like ExperimentRunner::collect,
+  /// but scheduled on the pool and served from the cache where possible.
+  ScalToolInputs collect(const std::string& workload, std::size_t s0,
+                         std::span<const int> proc_counts);
+
+  /// Executes an explicit plan; outcomes are parallel to plan.jobs. If any
+  /// job failed, finishes the rest, then rethrows the first error.
+  std::vector<JobOutcome> execute(const MatrixPlan& plan);
+
+  const ExperimentRunner& runner() const { return runner_; }
+  RunCache& cache() { return cache_; }
+
+  /// Metrics of the most recent collect()/execute() call.
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  JobOutcome execute_job(const RunSpec& spec, std::uint64_t key) const;
+
+  ExperimentRunner runner_;  // by value: the engine outlives CLI temporaries
+  CampaignOptions options_;
+  RunCache cache_;
+  EngineStats stats_;
+};
+
+/// One-call parallel counterpart of ExperimentRunner::collect.
+ScalToolInputs run_matrix_parallel(const ExperimentRunner& runner,
+                                   const std::string& workload,
+                                   std::size_t s0,
+                                   std::span<const int> proc_counts,
+                                   const CampaignOptions& options = {},
+                                   EngineStats* stats_out = nullptr);
+
+}  // namespace scaltool

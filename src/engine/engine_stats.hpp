@@ -1,0 +1,40 @@
+// Per-campaign execution metrics.
+//
+// The engine reports what the scheduler actually did — how many jobs ran
+// on the simulator, how many the run cache served, how well the workers
+// were utilized — so a user can verify claims like "a warm analyze
+// performs zero simulator runs" directly from the CLI output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace scaltool {
+
+struct EngineStats {
+  int workers = 1;
+  std::size_t jobs_total = 0;
+  std::size_t jobs_run = 0;     ///< executed on the simulator
+  std::size_t jobs_cached = 0;  ///< served from the run cache
+  std::size_t jobs_failed = 0;
+  double wall_seconds = 0.0;  ///< whole campaign, plan to join
+  double busy_seconds = 0.0;  ///< summed per-job execution time
+  std::size_t cache_entries_loaded = 0;   ///< from the cache file, at open
+  std::size_t cache_entries_corrupt = 0;  ///< skipped as corrupt, at open
+
+  /// busy / (wall x workers), clamped to [0, 1].
+  double utilization() const;
+
+  /// jobs_cached / jobs_total (0 when the campaign was empty).
+  double cache_hit_rate() const;
+};
+
+/// One-row summary table (common/table rendering).
+Table engine_stats_table(const EngineStats& stats);
+
+/// Compact banner line: "engine: 17 jobs (4 run, 13 cached, 0 failed) ...".
+std::string engine_stats_line(const EngineStats& stats);
+
+}  // namespace scaltool

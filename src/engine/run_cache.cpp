@@ -1,0 +1,190 @@
+#include "engine/run_cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "runner/archive.hpp"
+
+namespace scaltool {
+
+namespace {
+
+constexpr const char* kMagic = "scaltool-runcache";
+constexpr int kVersion = 1;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void describe_cache_level(std::ostream& os, const CacheConfig& c) {
+  os << c.size_bytes << '|' << c.associativity << '|' << c.line_bytes << '|'
+     << static_cast<int>(c.replacement) << '|' << c.random_seed << '|';
+}
+
+}  // namespace
+
+std::uint64_t job_key_hash(const RunSpec& spec, const MachineConfig& cfg,
+                           int iterations) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << spec.workload << '|' << spec.dataset_bytes << '|' << spec.num_procs
+     << '|' << iterations << '|';
+  describe_cache_level(os, cfg.l1);
+  describe_cache_level(os, cfg.l2);
+  os << static_cast<int>(cfg.network.topology) << '|'
+     << cfg.network.procs_per_node << '|' << cfg.network.nodes_per_router
+     << '|' << cfg.network.hop_cycles << '|' << cfg.network.router_cycles
+     << '|';
+  os << cfg.memory.page_bytes << '|' << static_cast<int>(cfg.memory.policy)
+     << '|' << cfg.memory.alloc_skew_bytes << '|';
+  os << cfg.sync.barrier_instr << '|' << cfg.sync.barrier_fetchops << '|'
+     << cfg.sync.fetchop_occupancy_factor << '|'
+     << cfg.sync.store_retry_interval_factor << '|'
+     << cfg.sync.spin_loop_instr << '|' << cfg.sync.spin_cpi << '|'
+     << cfg.sync.lock_instr << '|' << cfg.sync.lock_fetchops << '|';
+  os << cfg.tlb_entries << '|' << cfg.tlb_miss_cycles << '|'
+     << cfg.exclusive_state << '|' << cfg.base_cpi << '|'
+     << cfg.l2_hit_cycles << '|' << cfg.mem_cycles << '|'
+     << cfg.intervention_extra << '|' << cfg.upgrade_cycles;
+  return fnv1a(os.str());
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t key_hash) {
+  // One splitmix64 step over the combination: well spread, stable across
+  // execution orders, never colliding streams for distinct jobs.
+  std::uint64_t z = base_seed ^ (key_hash + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RunCache::RunCache(std::string path) : path_(std::move(path)) { load(); }
+
+std::size_t RunCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t RunCache::loaded_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loaded_;
+}
+
+std::size_t RunCache::corrupt_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_;
+}
+
+std::optional<JobOutcome> RunCache::find(std::uint64_t key,
+                                         const RunSpec& spec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& e = it->second;
+  if (e.spec.workload != spec.workload ||
+      e.spec.dataset_bytes != spec.dataset_bytes ||
+      e.spec.num_procs != spec.num_procs)
+    return std::nullopt;  // hash collision or stale descriptor
+  if (spec.want_validation && !e.has_validation) return std::nullopt;
+  return e.outcome;
+}
+
+void RunCache::insert(std::uint64_t key, const RunSpec& spec,
+                      const JobOutcome& outcome, bool has_validation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = Entry{spec, outcome, has_validation};
+}
+
+void RunCache::load() {
+  if (path_.empty()) return;
+  std::ifstream is(path_);
+  if (!is.good()) return;  // no cache yet: start cold
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  if (lines.empty()) return;
+
+  {
+    const auto header = split_record(lines.front());
+    if (header.size() != 2 || header[0] != kMagic ||
+        header[1] != std::to_string(kVersion)) {
+      corrupt_ = 1;  // unknown file: ignore wholesale, campaign re-runs
+      return;
+    }
+  }
+
+  std::size_t i = 1;
+  while (i < lines.size()) {
+    const auto fields = split_record(lines[i]);
+    if (fields.empty() || fields[0] != "ENTRY") {
+      ++i;  // stray debris between entries; the next ENTRY resynchronizes
+      continue;
+    }
+    try {
+      ST_CHECK_MSG(fields.size() == 6, "ENTRY with " << fields.size()
+                                                     << " fields");
+      Entry e;
+      const std::uint64_t key = std::stoull(fields[1], nullptr, 16);
+      e.spec.workload = fields[2];
+      e.spec.dataset_bytes = static_cast<std::size_t>(std::stoull(fields[3]));
+      e.spec.num_procs = std::stoi(fields[4]);
+      e.has_validation = fields[5] == "1";
+
+      ST_CHECK_MSG(i + 1 < lines.size(), "ENTRY without a RUN record");
+      const auto run_fields = split_record(lines[i + 1]);
+      ST_CHECK_MSG(!run_fields.empty() && run_fields[0] == "RUN",
+                   "ENTRY not followed by a RUN record");
+      e.outcome.record = parse_run_record(run_fields);
+      std::size_t consumed = 2;
+      if (e.has_validation) {
+        ST_CHECK_MSG(i + 2 < lines.size(), "ENTRY without its VALID record");
+        const auto valid_fields = split_record(lines[i + 2]);
+        ST_CHECK_MSG(!valid_fields.empty() && valid_fields[0] == "VALID",
+                     "ENTRY not followed by its VALID record");
+        e.outcome.validation = parse_validation_record(valid_fields);
+        consumed = 3;
+      }
+      entries_[key] = std::move(e);
+      ++loaded_;
+      i += consumed;
+    } catch (const std::exception&) {
+      ++corrupt_;  // skip this entry; the campaign re-runs the job
+      ++i;
+    }
+  }
+}
+
+void RunCache::save() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return;
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp);
+    ST_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    os << kMagic << '|' << kVersion << '\n';
+    for (const auto& [key, e] : entries_) {
+      os << "ENTRY|" << std::hex << key << std::dec << '|'
+         << e.spec.workload << '|' << e.spec.dataset_bytes << '|'
+         << e.spec.num_procs << '|' << (e.has_validation ? 1 : 0) << '\n';
+      write_run_record(os, "RUN", e.outcome.record);
+      if (e.has_validation)
+        write_validation_record(os, e.outcome.validation);
+    }
+    os.flush();
+    ST_CHECK_MSG(os.good(), "write to " << tmp << " failed");
+  }
+  ST_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
+               "cannot move " << tmp << " into place at " << path_);
+}
+
+}  // namespace scaltool

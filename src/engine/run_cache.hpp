@@ -1,0 +1,85 @@
+// Persistent memoization of measurement runs.
+//
+// Every job of a campaign is a pure function of (workload name, data-set
+// size, processor count, machine configuration, iteration count): the
+// simulator is deterministic. The cache keys each job by a content hash of
+// exactly those ingredients and stores its counter record plus the
+// validation side-band, so re-collecting an identical matrix — a warm
+// `analyze`, a figure bench rerun — performs zero simulator runs.
+//
+// Persistence reuses the runner/archive record format: a versioned header
+// followed by ENTRY / RUN / VALID line groups. Loading is tolerant at
+// entry granularity: a truncated, garbled or stale entry is skipped (and
+// counted) so the campaign simply re-runs that one job instead of
+// aborting; a file with the wrong magic or version is ignored wholesale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "machine/machine_config.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+
+/// Content hash identifying one run. `config.num_procs` is ignored (the
+/// spec carries the per-run count); everything else that can change a
+/// counter value participates.
+std::uint64_t job_key_hash(const RunSpec& spec, const MachineConfig& config,
+                           int iterations);
+
+/// Per-job RNG seed: a splitmix64 mix of the configured base seed and the
+/// job key, so every job owns an independent stream whose value does not
+/// depend on worker count or completion order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t key_hash);
+
+class RunCache {
+ public:
+  /// In-memory only.
+  RunCache() = default;
+
+  /// Archive-backed: loads `path` if it exists (tolerantly), and save()
+  /// rewrites it. An empty path degrades to in-memory only.
+  explicit RunCache(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  std::size_t size() const;
+  /// Entries successfully loaded from disk at construction.
+  std::size_t loaded_entries() const;
+  /// Corrupt entries (or an unreadable whole file) skipped at load.
+  std::size_t corrupt_entries() const;
+
+  /// Cache lookup. Misses when the key is absent, when the stored
+  /// descriptor disagrees with `spec` (hash collision or stale entry), or
+  /// when `spec.want_validation` and the entry has no side-band.
+  std::optional<JobOutcome> find(std::uint64_t key, const RunSpec& spec) const;
+
+  /// Inserts or overwrites. `has_validation` marks the side-band as real.
+  void insert(std::uint64_t key, const RunSpec& spec,
+              const JobOutcome& outcome, bool has_validation = true);
+
+  /// Rewrites the backing file (no-op without a path). Writes a temp file
+  /// first so a crash never leaves a half-written cache behind.
+  void save() const;
+
+ private:
+  struct Entry {
+    RunSpec spec;  ///< descriptor, for collision checks and debugging
+    JobOutcome outcome;
+    bool has_validation = false;
+  };
+
+  void load();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::size_t loaded_ = 0;
+  std::size_t corrupt_ = 0;
+};
+
+}  // namespace scaltool

@@ -1,0 +1,56 @@
+#include "engine/thread_pool.hpp"
+
+#include <utility>
+
+namespace scaltool {
+
+ThreadPool::ThreadPool(int num_threads, std::size_t max_queued) {
+  ST_CHECK_MSG(num_threads >= 1, "a thread pool needs at least one worker");
+  max_queued_ = max_queued == 0
+                    ? 2 * static_cast<std::size_t>(num_threads)
+                    : max_queued;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  queue_changed_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> call) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_changed_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < max_queued_;
+    });
+    ST_CHECK_MSG(!shutting_down_, "submit on a shutting-down thread pool");
+    queue_.push_back(std::move(call));
+  }
+  // One condition variable serves workers and blocked producers alike, so
+  // every transition broadcasts.
+  queue_changed_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> call;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_changed_.wait(lock,
+                          [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      call = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_changed_.notify_all();
+    call();
+  }
+}
+
+}  // namespace scaltool

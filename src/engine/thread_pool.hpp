@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// The campaign engine schedules its measurement jobs here: submit()
+// enqueues a callable and returns a std::future carrying its result or
+// exception; submission blocks while the queue is full (backpressure
+// instead of unbounded memory); destruction drains the queue and joins
+// every worker (graceful shutdown). ScALPEL's point that an evaluation
+// harness must itself be lightweight is taken literally — this is a
+// std-only pool, no scheduler dependencies.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (>= 1) workers. `max_queued` bounds the backlog
+  /// of tasks not yet picked up; 0 means 2 x num_threads.
+  explicit ThreadPool(int num_threads, std::size_t max_queued = 0);
+
+  /// Graceful shutdown: every task already submitted still runs.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`; blocks while the queue is full. The returned future
+  /// yields fn's result — or rethrows whatever fn threw.
+  template <typename Fn>
+  std::future<std::invoke_result_t<std::decay_t<Fn>>> submit(Fn&& fn) {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    // shared_ptr because std::function requires copyable callables.
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> call);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable queue_changed_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t max_queued_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scaltool

@@ -14,7 +14,53 @@ namespace {
 constexpr const char* kMagic = "scaltool-inputs";
 constexpr int kVersion = 2;
 
-void write_record(std::ostream& os, const char* tag, const RunRecord& r) {
+double to_double(const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;  // unified CheckError below
+  }
+  ST_CHECK_MSG(pos == s.size(), "malformed number in archive: " << s);
+  return v;
+}
+
+std::size_t to_size(const std::string& s) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  ST_CHECK_MSG(pos == s.size(), "malformed count in archive: " << s);
+  return static_cast<std::size_t>(v);
+}
+
+int to_int(const std::string& s) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  ST_CHECK_MSG(pos == s.size(), "malformed integer in archive: " << s);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::string> split_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, '|')) fields.push_back(field);
+  return fields;
+}
+
+void write_run_record(std::ostream& os, const char* tag, const RunRecord& r) {
   const DerivedMetrics& d = r.metrics;
   os << tag << '|' << r.workload << '|' << r.dataset_bytes << '|'
      << r.num_procs << '|' << std::setprecision(17) << d.cpi << '|' << d.h2
@@ -24,28 +70,13 @@ void write_record(std::ostream& os, const char* tag, const RunRecord& r) {
      << d.invalidations << '|' << r.execution_cycles << '\n';
 }
 
-std::vector<std::string> split(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, '|')) fields.push_back(field);
-  return fields;
-}
-
-double to_double(const std::string& s) {
-  std::size_t pos = 0;
-  const double v = std::stod(s, &pos);
-  ST_CHECK_MSG(pos == s.size(), "malformed number in archive: " << s);
-  return v;
-}
-
-RunRecord parse_record(const std::vector<std::string>& f) {
+RunRecord parse_run_record(const std::vector<std::string>& f) {
   ST_CHECK_MSG(f.size() == 16, "record with " << f.size()
                                               << " fields, expected 16");
   RunRecord r;
   r.workload = f[1];
-  r.dataset_bytes = static_cast<std::size_t>(std::stoull(f[2]));
-  r.num_procs = std::stoi(f[3]);
+  r.dataset_bytes = to_size(f[2]);
+  r.num_procs = to_int(f[3]);
   r.metrics.cpi = to_double(f[4]);
   r.metrics.h2 = to_double(f[5]);
   r.metrics.hm = to_double(f[6]);
@@ -61,24 +92,41 @@ RunRecord parse_record(const std::vector<std::string>& f) {
   return r;
 }
 
-}  // namespace
+void write_validation_record(std::ostream& os, const ValidationRecord& v) {
+  os << "VALID|" << v.num_procs << '|' << std::setprecision(17)
+     << v.accumulated_cycles << '|' << v.mp_cycles << '|' << v.sync_cycles
+     << '|' << v.spin_cycles << '|' << v.compulsory_misses << '|'
+     << v.coherence_misses << '|' << v.conflict_misses << '\n';
+}
+
+ValidationRecord parse_validation_record(
+    const std::vector<std::string>& fields) {
+  ST_CHECK_MSG(fields.size() == 9,
+               "VALID record with " << fields.size() << " fields");
+  ValidationRecord v;
+  v.num_procs = to_int(fields[1]);
+  v.accumulated_cycles = to_double(fields[2]);
+  v.mp_cycles = to_double(fields[3]);
+  v.sync_cycles = to_double(fields[4]);
+  v.spin_cycles = to_double(fields[5]);
+  v.compulsory_misses = to_double(fields[6]);
+  v.coherence_misses = to_double(fields[7]);
+  v.conflict_misses = to_double(fields[8]);
+  return v;
+}
 
 void write_inputs(const ScalToolInputs& inputs, std::ostream& os) {
   inputs.validate();
   os << kMagic << '|' << kVersion << '|' << inputs.app << '|' << inputs.s0
      << '|' << inputs.l2_bytes << '\n';
-  for (const RunRecord& r : inputs.base_runs) write_record(os, "BASE", r);
-  for (const RunRecord& r : inputs.uni_runs) write_record(os, "UNI", r);
+  for (const RunRecord& r : inputs.base_runs) write_run_record(os, "BASE", r);
+  for (const RunRecord& r : inputs.uni_runs) write_run_record(os, "UNI", r);
   for (const KernelMeasurement& k : inputs.kernels) {
-    write_record(os, "SYNCK", k.sync_kernel);
-    write_record(os, "SPINK", k.spin_kernel);
+    write_run_record(os, "SYNCK", k.sync_kernel);
+    write_run_record(os, "SPINK", k.spin_kernel);
   }
-  for (const ValidationRecord& v : inputs.validation) {
-    os << "VALID|" << v.num_procs << '|' << std::setprecision(17)
-       << v.accumulated_cycles << '|' << v.mp_cycles << '|' << v.sync_cycles
-       << '|' << v.spin_cycles << '|' << v.compulsory_misses << '|'
-       << v.coherence_misses << '|' << v.conflict_misses << '\n';
-  }
+  for (const ValidationRecord& v : inputs.validation)
+    write_validation_record(os, v);
 }
 
 void save_inputs(const ScalToolInputs& inputs, const std::string& path) {
@@ -92,53 +140,42 @@ void save_inputs(const ScalToolInputs& inputs, const std::string& path) {
 ScalToolInputs read_inputs(std::istream& is) {
   std::string line;
   ST_CHECK_MSG(static_cast<bool>(std::getline(is, line)), "empty archive");
-  const auto header = split(line);
+  const auto header = split_record(line);
   ST_CHECK_MSG(header.size() == 5 && header[0] == kMagic,
                "not a scaltool-inputs archive");
-  ST_CHECK_MSG(std::stoi(header[1]) == kVersion,
+  ST_CHECK_MSG(to_int(header[1]) == kVersion,
                "unsupported archive version " << header[1]);
   ScalToolInputs inputs;
   inputs.app = header[2];
-  inputs.s0 = static_cast<std::size_t>(std::stoull(header[3]));
-  inputs.l2_bytes = static_cast<std::size_t>(std::stoull(header[4]));
+  inputs.s0 = to_size(header[3]);
+  inputs.l2_bytes = to_size(header[4]);
 
   KernelMeasurement pending_kernel;
   bool have_sync = false;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
-    const auto fields = split(line);
+    const auto fields = split_record(line);
     ST_CHECK_MSG(!fields.empty(), "blank record");
     const std::string& tag = fields[0];
     if (tag == "BASE") {
-      inputs.base_runs.push_back(parse_record(fields));
+      inputs.base_runs.push_back(parse_run_record(fields));
     } else if (tag == "UNI") {
-      inputs.uni_runs.push_back(parse_record(fields));
+      inputs.uni_runs.push_back(parse_run_record(fields));
     } else if (tag == "SYNCK") {
       ST_CHECK_MSG(!have_sync, "two sync-kernel records without a spin "
                                "kernel between them");
-      pending_kernel.sync_kernel = parse_record(fields);
+      pending_kernel.sync_kernel = parse_run_record(fields);
       pending_kernel.num_procs = pending_kernel.sync_kernel.num_procs;
       have_sync = true;
     } else if (tag == "SPINK") {
       ST_CHECK_MSG(have_sync, "spin-kernel record without a sync kernel");
-      pending_kernel.spin_kernel = parse_record(fields);
+      pending_kernel.spin_kernel = parse_run_record(fields);
       ST_CHECK(pending_kernel.spin_kernel.num_procs ==
                pending_kernel.num_procs);
       inputs.kernels.push_back(pending_kernel);
       have_sync = false;
     } else if (tag == "VALID") {
-      ST_CHECK_MSG(fields.size() == 9, "VALID record with "
-                                           << fields.size() << " fields");
-      ValidationRecord v;
-      v.num_procs = std::stoi(fields[1]);
-      v.accumulated_cycles = to_double(fields[2]);
-      v.mp_cycles = to_double(fields[3]);
-      v.sync_cycles = to_double(fields[4]);
-      v.spin_cycles = to_double(fields[5]);
-      v.compulsory_misses = to_double(fields[6]);
-      v.coherence_misses = to_double(fields[7]);
-      v.conflict_misses = to_double(fields[8]);
-      inputs.validation.push_back(v);
+      inputs.validation.push_back(parse_validation_record(fields));
     } else {
       ST_CHECK_MSG(false, "unknown record tag: " << tag);
     }

@@ -12,6 +12,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/inputs.hpp"
 
@@ -20,6 +21,22 @@ namespace scaltool {
 /// Serializes the inputs. Throws CheckError on I/O failure.
 void save_inputs(const ScalToolInputs& inputs, const std::string& path);
 void write_inputs(const ScalToolInputs& inputs, std::ostream& os);
+
+// Record-level pieces of the archive format, shared with the campaign
+// engine's persistent run cache (src/engine/run_cache) so every tool that
+// stores counter records speaks the same dialect.
+
+/// Splits one '|'-separated archive line into its fields.
+std::vector<std::string> split_record(const std::string& line);
+
+/// Writes/parses one counter record line ("TAG|workload|...", 16 fields).
+void write_run_record(std::ostream& os, const char* tag, const RunRecord& r);
+RunRecord parse_run_record(const std::vector<std::string>& fields);
+
+/// Writes/parses one validation side-band line ("VALID|...", 9 fields).
+void write_validation_record(std::ostream& os, const ValidationRecord& v);
+ValidationRecord parse_validation_record(
+    const std::vector<std::string>& fields);
 
 /// Deserializes; validates the result. Throws CheckError on malformed
 /// content, version mismatch or I/O failure.

@@ -1,7 +1,9 @@
 #include "runner/runner.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <tuple>
 
 #include "apps/apps.hpp"
 #include "apps/kernels.hpp"
@@ -79,6 +81,101 @@ RunRecord ExperimentRunner::run(const std::string& workload,
                                 std::size_t dataset_bytes,
                                 int num_procs) const {
   return make_record(run_full(workload, dataset_bytes, num_procs));
+}
+
+MatrixPlan ExperimentRunner::plan_matrix(
+    const std::string& workload, std::size_t s0,
+    std::span<const int> proc_counts) const {
+  ST_CHECK(!proc_counts.empty());
+  ST_CHECK_MSG(proc_counts.front() == 1,
+               "the measurement matrix must include a 1-processor run");
+
+  MatrixPlan plan;
+  plan.app = workload;
+  plan.s0 = s0;
+  plan.l2_bytes = base_.l2.size_bytes;
+
+  std::map<std::tuple<std::string, std::size_t, int>, std::size_t> index;
+  const auto add_job = [&](const std::string& w, std::size_t bytes, int n,
+                           bool want_validation) {
+    const auto key = std::make_tuple(w, bytes, n);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, plan.jobs.size()).first;
+      plan.jobs.push_back({w, bytes, n, want_validation});
+    }
+    plan.jobs[it->second].want_validation |= want_validation;
+    return it->second;
+  };
+
+  for (int n : proc_counts)
+    plan.base_jobs.push_back(add_job(workload, s0, n, true));
+
+  // Uniprocessor sweep — the same halving-plus-calibration schedule as
+  // collect(); the s0 point dedupes onto the 1-processor base run.
+  plan.uni_jobs.push_back(add_job(workload, s0, 1, false));
+  const std::size_t floor_bytes = base_.l1.size_bytes / 2;
+  std::size_t s = s0 / 2;
+  int overflow_points = s0 > 2 * base_.l2.size_bytes ? 1 : 0;
+  while (s >= std::max<std::size_t>(floor_bytes / 2, 1_KiB)) {
+    plan.uni_jobs.push_back(add_job(workload, s, 1, false));
+    if (s > 2 * base_.l2.size_bytes) ++overflow_points;
+    if (s < floor_bytes) break;
+    s /= 2;
+  }
+  const std::size_t l2 = base_.l2.size_bytes;
+  for (const std::size_t mult_x4 : {10u, 16u, 24u, 32u}) {
+    if (overflow_points >= 3) break;
+    const std::size_t cal = l2 * mult_x4 / 4;
+    const bool have = std::any_of(
+        plan.uni_jobs.begin(), plan.uni_jobs.end(), [&](std::size_t j) {
+          return plan.jobs[j].dataset_bytes == cal;
+        });
+    if (have || cal <= 2 * l2) continue;
+    plan.uni_jobs.push_back(add_job(workload, cal, 1, false));
+    ++overflow_points;
+  }
+  std::sort(plan.uni_jobs.begin(), plan.uni_jobs.end(),
+            [&](std::size_t a, std::size_t b) {
+              return plan.jobs[a].dataset_bytes > plan.jobs[b].dataset_bytes;
+            });
+
+  for (int n : proc_counts) {
+    if (n == 1) continue;
+    MatrixPlan::KernelJobs kj;
+    kj.num_procs = n;
+    kj.sync_job = add_job("sync_kernel", 1_KiB, n, false);
+    kj.spin_job = add_job("spin_kernel", 1_KiB, n, false);
+    plan.kernel_jobs.push_back(kj);
+  }
+  return plan;
+}
+
+ScalToolInputs assemble_matrix(const MatrixPlan& plan,
+                               std::span<const JobOutcome> outcomes) {
+  ST_CHECK_MSG(outcomes.size() == plan.jobs.size(),
+               "outcomes do not match the plan: " << outcomes.size()
+                                                  << " vs "
+                                                  << plan.jobs.size());
+  ScalToolInputs inputs;
+  inputs.app = plan.app;
+  inputs.s0 = plan.s0;
+  inputs.l2_bytes = plan.l2_bytes;
+  for (std::size_t j : plan.base_jobs) {
+    inputs.base_runs.push_back(outcomes[j].record);
+    inputs.validation.push_back(outcomes[j].validation);
+  }
+  for (std::size_t j : plan.uni_jobs)
+    inputs.uni_runs.push_back(outcomes[j].record);
+  for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs) {
+    KernelMeasurement km;
+    km.num_procs = kj.num_procs;
+    km.sync_kernel = outcomes[kj.sync_job].record;
+    km.spin_kernel = outcomes[kj.spin_job].record;
+    inputs.kernels.push_back(km);
+  }
+  inputs.validate();
+  return inputs;
 }
 
 ScalToolInputs ExperimentRunner::collect(

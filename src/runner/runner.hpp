@@ -28,6 +28,48 @@ RunRecord make_record(const RunResult& result);
 /// Extracts the validation side-band of a run.
 ValidationRecord make_validation(const RunResult& result);
 
+/// One independent simulator run of the measurement matrix — the unit of
+/// work the campaign engine (src/engine) schedules, caches and joins.
+struct RunSpec {
+  std::string workload;          ///< registry name
+  std::size_t dataset_bytes = 0;
+  int num_procs = 0;
+  bool want_validation = false;  ///< base runs carry the validation side-band
+};
+
+/// Everything one run produces that any part of the matrix may need.
+struct JobOutcome {
+  RunRecord record;
+  ValidationRecord validation;  ///< meaningful iff the run produced one
+};
+
+/// The Table 3 measurement matrix as a deduplicated list of independent
+/// jobs plus the join indices that rebuild ScalToolInputs from their
+/// outcomes. Shared jobs appear once: the (s0, 1) base run doubles as the
+/// first uniprocessor sweep point, exactly as a real campaign reuses the
+/// same output file.
+struct MatrixPlan {
+  std::string app;
+  std::size_t s0 = 0;
+  std::size_t l2_bytes = 0;
+
+  std::vector<RunSpec> jobs;  ///< deduplicated, deterministic order
+
+  std::vector<std::size_t> base_jobs;  ///< per proc count, ascending n
+  std::vector<std::size_t> uni_jobs;   ///< descending data-set size
+
+  struct KernelJobs {
+    int num_procs = 0;
+    std::size_t sync_job = 0;
+    std::size_t spin_job = 0;
+  };
+  std::vector<KernelJobs> kernel_jobs;  ///< one pair per n > 1
+};
+
+/// Joins per-job outcomes (parallel to `plan.jobs`) into validated inputs.
+ScalToolInputs assemble_matrix(const MatrixPlan& plan,
+                               std::span<const JobOutcome> outcomes);
+
 class ExperimentRunner {
  public:
   /// `base_config.num_procs` is ignored; each run sets its own count.
@@ -57,6 +99,13 @@ class ExperimentRunner {
   ///   - sync and spin kernels per processor count;
   ///   - the validation side-band from the same base runs.
   ScalToolInputs collect(const std::string& workload, std::size_t s0,
+                         std::span<const int> proc_counts) const;
+
+  /// Plans the same matrix as `collect` without running anything: the job
+  /// list is fully determined by (s0, proc_counts, cache geometry). The
+  /// campaign engine executes plans in parallel; `collect` is equivalent to
+  /// executing the plan serially and assembling the outcomes.
+  MatrixPlan plan_matrix(const std::string& workload, std::size_t s0,
                          std::span<const int> proc_counts) const;
 
   /// Same, for workloads that are not (or not only) in the registry —

@@ -1,5 +1,7 @@
 #include "trace/registry.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace scaltool {
@@ -11,24 +13,35 @@ WorkloadRegistry& WorkloadRegistry::instance() {
 
 void WorkloadRegistry::register_workload(const std::string& name,
                                          Factory factory) {
+  ST_CHECK(factory != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
   ST_CHECK_MSG(!factories_.contains(name),
                "workload already registered: " << name);
-  ST_CHECK(factory != nullptr);
   factories_.emplace(name, std::move(factory));
+}
+
+WorkloadRegistry::Factory WorkloadRegistry::factory(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = factories_.find(name);
+  ST_CHECK_MSG(it != factories_.end(), "unknown workload: " << name);
+  return it->second;
 }
 
 std::unique_ptr<Workload> WorkloadRegistry::create(
     const std::string& name) const {
-  const auto it = factories_.find(name);
-  ST_CHECK_MSG(it != factories_.end(), "unknown workload: " << name);
-  return it->second();
+  // The factory runs outside the lock: creating a workload may be slow and
+  // must not serialize concurrent jobs.
+  return factory(name)();
 }
 
 bool WorkloadRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return factories_.contains(name);
 }
 
 std::vector<std::string> WorkloadRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);

@@ -1,10 +1,16 @@
 // Name → factory registry for workloads, so examples and bench binaries can
 // select applications by name.
+//
+// The registry is shared process-wide state and the campaign engine
+// resolves workloads from concurrent jobs, so every member is guarded by a
+// mutex; lookups hand out factory copies (shared ownership of the callable)
+// and invoke them outside the lock.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,10 +31,15 @@ class WorkloadRegistry {
   /// Creates a fresh workload instance; throws CheckError for unknown names.
   std::unique_ptr<Workload> create(const std::string& name) const;
 
+  /// Copy of the named factory (throws for unknown names). The copy owns
+  /// its state, so callers may hold and invoke it without the registry lock.
+  Factory factory(const std::string& name) const;
+
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Factory> factories_;
 };
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -102,6 +103,59 @@ TEST(Archive, RejectsGarbage) {
     EXPECT_THROW(read_inputs(truncated), CheckError);
   }
   EXPECT_THROW(load_inputs("/nonexistent/path/archive.txt"), CheckError);
+}
+
+TEST(Archive, RejectsUnknownRecordTag) {
+  const ScalToolInputs original = sample_inputs();
+  std::stringstream buffer;
+  write_inputs(original, buffer);
+  std::string text = buffer.str();
+  // Turn the first BASE record into an unrecognized tag.
+  const auto pos = text.find("\nBASE|");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos + 1, 4, "BOGO");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(read_inputs(corrupted), CheckError);
+}
+
+TEST(Archive, RejectsMalformedNumberInRecord) {
+  const ScalToolInputs original = sample_inputs();
+  std::stringstream buffer;
+  write_inputs(original, buffer);
+  std::string text = buffer.str();
+  // Garble the cpi field of the first BASE record (field 4: tag, workload,
+  // data-set size, procs, cpi).
+  const auto base = text.find("\nBASE|");
+  ASSERT_NE(base, std::string::npos);
+  std::size_t field = base + 1;
+  for (int skip = 0; skip < 4; ++skip) {
+    field = text.find('|', field + 1);
+    ASSERT_NE(field, std::string::npos);
+  }
+  text.replace(field + 1, 1, "x");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(read_inputs(corrupted), CheckError);
+}
+
+TEST(Archive, TruncatedFileRaises) {
+  const ScalToolInputs original = sample_inputs();
+  const std::string path = "/tmp/scaltool_archive_trunc_test.txt";
+  save_inputs(original, path);
+  // Chop the file in the middle of its last VALID record.
+  std::string text;
+  {
+    std::stringstream buffer;
+    write_inputs(original, buffer);
+    text = buffer.str();
+  }
+  const auto pos = text.rfind("VALID|");
+  ASSERT_NE(pos, std::string::npos);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, pos + 8);
+  }
+  EXPECT_THROW(load_inputs(path), CheckError);
+  std::remove(path.c_str());
 }
 
 TEST(Archive, RejectsDanglingKernelRecords) {

@@ -1,0 +1,474 @@
+// Unit tests: campaign engine — thread pool, persistent run cache, and
+// parallel collection being bit-identical to the serial runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
+#include "engine/run_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "runner/runner.hpp"
+#include "trace/registry.hpp"
+
+namespace scaltool {
+namespace {
+
+ExperimentRunner test_runner() {
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  return runner;
+}
+
+const std::vector<int> kProcs{1, 2, 4};
+
+std::size_t test_s0(const ExperimentRunner& runner) {
+  return 10 * runner.base_config().l2.size_bytes;
+}
+
+void expect_records_eq(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.dataset_bytes, b.dataset_bytes);
+  EXPECT_EQ(a.num_procs, b.num_procs);
+  EXPECT_DOUBLE_EQ(a.metrics.cpi, b.metrics.cpi);
+  EXPECT_DOUBLE_EQ(a.metrics.h2, b.metrics.h2);
+  EXPECT_DOUBLE_EQ(a.metrics.hm, b.metrics.hm);
+  EXPECT_DOUBLE_EQ(a.metrics.store_to_shared, b.metrics.store_to_shared);
+  EXPECT_DOUBLE_EQ(a.execution_cycles, b.execution_cycles);
+}
+
+void expect_inputs_eq(const ScalToolInputs& a, const ScalToolInputs& b) {
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.s0, b.s0);
+  EXPECT_EQ(a.l2_bytes, b.l2_bytes);
+  ASSERT_EQ(a.base_runs.size(), b.base_runs.size());
+  ASSERT_EQ(a.uni_runs.size(), b.uni_runs.size());
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  ASSERT_EQ(a.validation.size(), b.validation.size());
+  for (std::size_t i = 0; i < a.base_runs.size(); ++i)
+    expect_records_eq(a.base_runs[i], b.base_runs[i]);
+  for (std::size_t i = 0; i < a.uni_runs.size(); ++i)
+    expect_records_eq(a.uni_runs[i], b.uni_runs[i]);
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    EXPECT_EQ(a.kernels[i].num_procs, b.kernels[i].num_procs);
+    expect_records_eq(a.kernels[i].sync_kernel, b.kernels[i].sync_kernel);
+    expect_records_eq(a.kernels[i].spin_kernel, b.kernels[i].spin_kernel);
+  }
+  for (std::size_t i = 0; i < a.validation.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.validation[i].accumulated_cycles,
+                     b.validation[i].accumulated_cycles);
+    EXPECT_DOUBLE_EQ(a.validation[i].mp_cycles, b.validation[i].mp_cycles);
+    EXPECT_DOUBLE_EQ(a.validation[i].sync_cycles,
+                     b.validation[i].sync_cycles);
+    EXPECT_DOUBLE_EQ(a.validation[i].conflict_misses,
+                     b.validation[i].conflict_misses);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+// ---- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPool, ReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("job exploded"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesEverything) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2, /*max_queued=*/1);  // heavy backpressure
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i)
+      futures.push_back(pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++done;
+      }));
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, RunsTasksConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  // Each task waits to see the other one in flight; only a pool with two
+  // live workers can finish this before the timeout.
+  const auto rendezvous = [&in_flight] {
+    ++in_flight;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (in_flight.load() < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+    return in_flight.load();
+  };
+  auto a = pool.submit(rendezvous);
+  auto b = pool.submit(rendezvous);
+  EXPECT_GE(a.get(), 2);
+  EXPECT_GE(b.get(), 2);
+}
+
+TEST(ThreadPool, GracefulShutdownRunsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i)
+      (void)pool.submit([&done] { ++done; });
+    // Destructor must drain the backlog, not drop it.
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+// ---- derive_seed -------------------------------------------------------
+
+TEST(DeriveSeed, DeterministicAndSpread) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(1, 3));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 2));
+}
+
+TEST(JobKeyHash, SensitiveToEveryIngredient) {
+  const ExperimentRunner runner = test_runner();
+  const MachineConfig& cfg = runner.base_config();
+  const RunSpec spec{"swim", 1_MiB, 4, false};
+  const std::uint64_t base = job_key_hash(spec, cfg, 2);
+  EXPECT_EQ(base, job_key_hash(spec, cfg, 2));
+  RunSpec other = spec;
+  other.num_procs = 8;
+  EXPECT_NE(base, job_key_hash(other, cfg, 2));
+  other = spec;
+  other.dataset_bytes = 2_MiB;
+  EXPECT_NE(base, job_key_hash(other, cfg, 2));
+  EXPECT_NE(base, job_key_hash(spec, cfg, 3));
+  MachineConfig changed = cfg;
+  changed.l2.size_bytes *= 2;
+  EXPECT_NE(base, job_key_hash(spec, changed, 2));
+  // num_procs on the config is explicitly excluded: the spec carries it.
+  changed = cfg;
+  changed.num_procs = 16;
+  EXPECT_EQ(base, job_key_hash(spec, changed, 2));
+}
+
+// ---- RunCache ----------------------------------------------------------
+
+RunSpec cache_spec() { return {"swim", 1_MiB, 4, false}; }
+
+JobOutcome cache_outcome() {
+  JobOutcome out;
+  out.record.workload = "swim";
+  out.record.dataset_bytes = 1_MiB;
+  out.record.num_procs = 4;
+  out.record.metrics.cpi = 1.5;
+  out.record.metrics.h2 = 0.75;
+  out.record.metrics.hm = 0.25;
+  out.record.execution_cycles = 123456.0;
+  out.validation.num_procs = 4;
+  out.validation.mp_cycles = 42.0;
+  return out;
+}
+
+TEST(RunCache, FileRoundTrip) {
+  const std::string path = "/tmp/scaltool_runcache_test.txt";
+  std::remove(path.c_str());
+  {
+    RunCache cache(path);
+    cache.insert(0xabcdULL, cache_spec(), cache_outcome());
+    cache.save();
+  }
+  RunCache cache(path);
+  EXPECT_EQ(cache.loaded_entries(), 1u);
+  EXPECT_EQ(cache.corrupt_entries(), 0u);
+  const auto hit = cache.find(0xabcdULL, cache_spec());
+  ASSERT_TRUE(hit.has_value());
+  expect_records_eq(hit->record, cache_outcome().record);
+  EXPECT_DOUBLE_EQ(hit->validation.mp_cycles, 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(RunCache, MissesOnDescriptorMismatch) {
+  RunCache cache;
+  cache.insert(1, cache_spec(), cache_outcome());
+  RunSpec other = cache_spec();
+  other.dataset_bytes *= 2;  // same key, different descriptor: collision
+  EXPECT_FALSE(cache.find(1, other).has_value());
+  EXPECT_TRUE(cache.find(1, cache_spec()).has_value());
+  EXPECT_FALSE(cache.find(2, cache_spec()).has_value());
+}
+
+TEST(RunCache, ValidationGating) {
+  RunCache cache;
+  cache.insert(1, cache_spec(), cache_outcome(), /*has_validation=*/false);
+  RunSpec wants = cache_spec();
+  wants.want_validation = true;
+  EXPECT_FALSE(cache.find(1, wants).has_value());
+  EXPECT_TRUE(cache.find(1, cache_spec()).has_value());
+}
+
+TEST(RunCache, WrongVersionIgnoredWholesale) {
+  const std::string path = "/tmp/scaltool_runcache_badver_test.txt";
+  {
+    std::ofstream os(path);
+    os << "scaltool-runcache|99\nENTRY|1|swim|1048576|4|0\n";
+  }
+  RunCache cache(path);
+  EXPECT_EQ(cache.loaded_entries(), 0u);
+  EXPECT_EQ(cache.corrupt_entries(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RunCache, CorruptEntrySkippedOthersSurvive) {
+  const std::string path = "/tmp/scaltool_runcache_corrupt_test.txt";
+  std::remove(path.c_str());
+  {
+    RunCache cache(path);
+    cache.insert(1, cache_spec(), cache_outcome());
+    RunSpec second = cache_spec();
+    second.num_procs = 8;
+    JobOutcome out = cache_outcome();
+    out.record.num_procs = 8;
+    cache.insert(2, second, out);
+    cache.save();
+  }
+  // Garble the first ENTRY's data-set field.
+  std::string text = slurp(path);
+  const auto pos = text.find("ENTRY|");
+  ASSERT_NE(pos, std::string::npos);
+  const auto f2 = text.find('|', text.find('|', pos + 6) + 1);
+  ASSERT_NE(f2, std::string::npos);
+  text.replace(f2 + 1, 1, "x");
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << text;
+  }
+  RunCache cache(path);
+  EXPECT_EQ(cache.loaded_entries(), 1u);
+  EXPECT_GE(cache.corrupt_entries(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(RunCache, TruncatedFileKeepsIntactPrefix) {
+  const std::string path = "/tmp/scaltool_runcache_trunc_test.txt";
+  std::remove(path.c_str());
+  {
+    RunCache cache(path);
+    cache.insert(1, cache_spec(), cache_outcome());
+    cache.save();
+  }
+  std::string text = slurp(path);
+  {
+    // Chop inside the final VALID record.
+    std::ofstream os(path, std::ios::trunc);
+    os << text.substr(0, text.size() - 20);
+  }
+  RunCache cache(path);
+  EXPECT_EQ(cache.loaded_entries(), 0u);
+  EXPECT_GE(cache.corrupt_entries(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---- Plan / engine equivalence -----------------------------------------
+
+TEST(MatrixPlan, DedupesTheSharedBaseAndSweepPoint) {
+  const ExperimentRunner runner = test_runner();
+  const MatrixPlan plan =
+      runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+  int s0_uni_jobs = 0;
+  for (const RunSpec& spec : plan.jobs)
+    if (spec.workload == "t3dheat" && spec.dataset_bytes == plan.s0 &&
+        spec.num_procs == 1)
+      ++s0_uni_jobs;
+  EXPECT_EQ(s0_uni_jobs, 1);  // shared by base series and sweep
+  ASSERT_FALSE(plan.base_jobs.empty());
+  ASSERT_FALSE(plan.uni_jobs.empty());
+  EXPECT_EQ(plan.base_jobs.front(), plan.uni_jobs.front());
+  EXPECT_TRUE(plan.jobs[plan.base_jobs.front()].want_validation);
+}
+
+TEST(CampaignEngine, SerialCollectMatchesLegacyRunner) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  const ScalToolInputs legacy = runner.collect("t3dheat", s0, kProcs);
+  CampaignOptions options;
+  options.jobs = 1;
+  const ScalToolInputs engine =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, options);
+  expect_inputs_eq(legacy, engine);
+}
+
+TEST(CampaignEngine, EightWorkersMatchSerial) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions wide;
+  wide.jobs = 8;
+  EngineStats stats;
+  const ScalToolInputs a =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, serial);
+  const ScalToolInputs b =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, wide, &stats);
+  expect_inputs_eq(a, b);
+  EXPECT_EQ(stats.workers, 8);
+  EXPECT_EQ(stats.jobs_total, stats.jobs_run);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(CampaignEngine, WarmCachePerformsZeroRuns) {
+  const std::string path = "/tmp/scaltool_engine_warm_test.txt";
+  std::remove(path.c_str());
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  CampaignOptions options;
+  options.jobs = 4;
+  options.cache_path = path;
+
+  EngineStats cold;
+  const ScalToolInputs first =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, options, &cold);
+  EXPECT_EQ(cold.jobs_cached, 0u);
+  EXPECT_EQ(cold.jobs_run, cold.jobs_total);
+
+  EngineStats warm;
+  const ScalToolInputs second =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, options, &warm);
+  EXPECT_EQ(warm.jobs_run, 0u);
+  EXPECT_EQ(warm.jobs_cached, warm.jobs_total);
+  EXPECT_DOUBLE_EQ(warm.cache_hit_rate(), 1.0);
+  expect_inputs_eq(first, second);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignEngine, CorruptCacheEntryJustReRuns) {
+  const std::string path = "/tmp/scaltool_engine_corrupt_test.txt";
+  std::remove(path.c_str());
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  CampaignOptions options;
+  options.jobs = 2;
+  options.cache_path = path;
+  const ScalToolInputs first =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, options);
+
+  // Garble one ENTRY descriptor on disk.
+  std::string text = slurp(path);
+  const auto pos = text.find("ENTRY|");
+  ASSERT_NE(pos, std::string::npos);
+  const auto f2 = text.find('|', text.find('|', pos + 6) + 1);
+  text.replace(f2 + 1, 1, "x");
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << text;
+  }
+
+  EngineStats stats;
+  const ScalToolInputs second =
+      run_matrix_parallel(runner, "t3dheat", s0, kProcs, options, &stats);
+  EXPECT_GE(stats.cache_entries_corrupt, 1u);
+  EXPECT_EQ(stats.jobs_run, 1u);  // exactly the corrupted job
+  EXPECT_EQ(stats.jobs_cached, stats.jobs_total - 1);
+  expect_inputs_eq(first, second);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignEngine, FailedJobRethrowsAfterFinishing) {
+  const ExperimentRunner runner = test_runner();
+  CampaignEngine engine(runner, {});
+  MatrixPlan plan = runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+  plan.jobs.push_back({"no_such_workload", 1_KiB, 1, false});
+  EXPECT_THROW(engine.execute(plan), CheckError);
+  EXPECT_EQ(engine.stats().jobs_failed, 1u);
+}
+
+// ---- CLI integration ---------------------------------------------------
+
+TEST(EngineCli, ParallelCollectIsByteIdenticalToSerial) {
+  const std::string serial_path = "/tmp/scaltool_engine_cli_serial.txt";
+  const std::string parallel_path = "/tmp/scaltool_engine_cli_parallel.txt";
+  std::ostringstream os;
+  ASSERT_EQ(cli::run_command({"collect", "swim", "--size=10xL2",
+                              "--max-procs=4", "--iters=2", "--jobs=1",
+                              "--out=" + serial_path},
+                             os),
+            0);
+  ASSERT_EQ(cli::run_command({"collect", "swim", "--size=10xL2",
+                              "--max-procs=4", "--iters=2", "--jobs=8",
+                              "--out=" + parallel_path},
+                             os),
+            0);
+  const std::string serial = slurp(serial_path);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, slurp(parallel_path));
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
+}
+
+TEST(EngineCli, WarmCachedAnalyzeReportsZeroRuns) {
+  const std::string path = "/tmp/scaltool_engine_cli_cache.txt";
+  std::remove(path.c_str());
+  const std::vector<std::string> cmd{"analyze",   "swim",
+                                     "--size=10xL2", "--max-procs=2",
+                                     "--iters=2", "--jobs=2",
+                                     "--cache=" + path};
+  std::ostringstream cold;
+  ASSERT_EQ(cli::run_command(cmd, cold), 0);
+  EXPECT_NE(cold.str().find("engine:"), std::string::npos);
+  EXPECT_EQ(cold.str().find("(0 run"), std::string::npos);
+
+  std::ostringstream warm;
+  ASSERT_EQ(cli::run_command(cmd, warm), 0);
+  EXPECT_NE(warm.str().find("(0 run"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- Registry thread-safety --------------------------------------------
+
+TEST(Registry, ConcurrentCreateIsSafe) {
+  register_standard_workloads();
+  std::atomic<int> created{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&created] {
+      for (int i = 0; i < 20; ++i) {
+        const auto w = WorkloadRegistry::instance().create(
+            i % 2 == 0 ? "swim" : "t3dheat");
+        if (w != nullptr) ++created;
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(created.load(), 8 * 20);
+  EXPECT_TRUE(WorkloadRegistry::instance().contains("sync_kernel"));
+}
+
+}  // namespace
+}  // namespace scaltool
