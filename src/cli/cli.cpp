@@ -66,44 +66,60 @@ CampaignOptions engine_from(const Args& args) {
   options.jobs = args.get_int("jobs", 1);
   ST_CHECK_MSG(options.jobs >= 1, "--jobs must be at least 1");
   options.cache_path = args.get("cache", "");
+  options.retries = args.get_int("retries", 0);
+  options.backoff_ms = args.get_int("backoff-ms", 0);
+  options.keep_going = args.has("keep-going");
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) options.faults = FaultPlan::parse(faults);
   return options;
 }
 
 bool engine_engaged(const CampaignOptions& options) {
-  return options.jobs > 1 || !options.cache_path.empty();
+  return options.jobs > 1 || !options.cache_path.empty() ||
+         options.retries > 0 || options.keep_going ||
+         options.faults.enabled();
 }
 
-/// Collects the matrix, through the campaign engine when --jobs/--cache
-/// ask for it; the engine path prints its metrics so claims like "a warm
-/// run performed zero simulator runs" are visible.
+/// Collects the matrix, through the campaign engine when --jobs/--cache/
+/// --retries/--keep-going/--faults ask for it; the engine path prints its
+/// metrics plus the retry/quarantine journal, and reports via `degraded`
+/// whether the result was assembled from a partial matrix (exit code 3).
 ScalToolInputs collect_matrix(const Args& args,
                               const ExperimentRunner& runner,
                               const std::string& app, std::size_t s0,
-                              int max_procs, std::ostream& os) {
+                              int max_procs, std::ostream& os,
+                              bool* degraded = nullptr) {
   const CampaignOptions options = engine_from(args);
   const std::vector<int> counts = default_proc_counts(max_procs);
   if (!engine_engaged(options)) return runner.collect(app, s0, counts);
-  EngineStats stats;
-  ScalToolInputs inputs =
-      run_matrix_parallel(runner, app, s0, counts, options, &stats);
-  os << engine_stats_line(stats) << "\n";
-  engine_stats_table(stats).print(os);
+  CampaignEngine engine(runner, options);
+  ScalToolInputs inputs = engine.collect(app, s0, counts);
+  os << engine_stats_line(engine.stats()) << "\n";
+  engine_stats_table(engine.stats()).print(os);
+  for (const std::string& event : engine.events())
+    os << "event: " << event << "\n";
+  for (const std::string& note : inputs.notes)
+    os << "degraded: " << note << "\n";
+  if (degraded && !inputs.notes.empty()) *degraded = true;
   return inputs;
 }
 
 /// The analyze/whatif commands accept either a saved archive or an app
-/// name (collected on the fly).
+/// name (collected on the fly). An archive that carries degradation notes
+/// (it was assembled from a faulty campaign) marks the run degraded too.
 ScalToolInputs inputs_from(const Args& args, const std::string& target,
-                           const ExperimentRunner& runner,
-                           std::ostream& os) {
+                           const ExperimentRunner& runner, std::ostream& os,
+                           bool* degraded = nullptr) {
   if (is_archive(target)) {
-    (void)engine_from(args);  // marks --jobs/--cache as consumed
-    return load_inputs(target);
+    (void)engine_from(args);  // marks the engine options as consumed
+    ScalToolInputs inputs = load_inputs(target);
+    if (degraded && !inputs.notes.empty()) *degraded = true;
+    return inputs;
   }
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 32);
-  return collect_matrix(args, runner, target, s0, max_procs, os);
+  return collect_matrix(args, runner, target, s0, max_procs, os, degraded);
 }
 
 void warn_unused(const Args& args, std::ostream& os) {
@@ -160,15 +176,16 @@ int cmd_collect(const Args& args, std::ostream& os) {
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 32);
+  bool degraded = false;
   const ScalToolInputs inputs =
-      collect_matrix(args, runner, app, s0, max_procs, os);
+      collect_matrix(args, runner, app, s0, max_procs, os, &degraded);
   warn_unused(args, os);
   save_inputs(inputs, out);
   os << "collected " << inputs.base_runs.size() << " base runs, "
      << inputs.uni_runs.size() << " uniprocessor runs and "
      << inputs.kernels.size() << " kernel pairs for " << app << " (s0 = "
      << format_bytes(s0) << ") into " << out << "\n";
-  return 0;
+  return degraded ? 3 : 0;
 }
 
 int cmd_analyze(const Args& args, std::ostream& os) {
@@ -178,17 +195,21 @@ int cmd_analyze(const Args& args, std::ostream& os) {
   const ExperimentRunner runner = runner_from(args);
   AnalyzeOptions options;
   options.model_sharing = args.has("sharing");
+  options.cpi.robust = args.has("robust-fit");
   const bool chart = args.has("chart");
-  const ScalToolInputs inputs = inputs_from(args, target, runner, os);
+  bool degraded = false;
+  const ScalToolInputs inputs = inputs_from(args, target, runner, os,
+                                            &degraded);
   warn_unused(args, os);
 
   const ScalabilityReport report = analyze(inputs, options);
+  if (!report.model.fit_rejected.empty()) degraded = true;
   os << model_summary(report) << "\n";
   speedup_table(inputs).print(os);
   breakdown_table(report).print(os);
   if (chart) chart_curves(report, os);
   if (!inputs.validation.empty()) validation_table(report, inputs).print(os);
-  return 0;
+  return degraded ? 3 : 0;
 }
 
 int cmd_whatif(const Args& args, std::ostream& os) {
@@ -202,16 +223,21 @@ int cmd_whatif(const Args& args, std::ostream& os) {
   params.t2_scale = args.get_double("t2-scale", 1.0);
   params.tsyn_scale = args.get_double("tsyn-scale", 1.0);
   params.pi0_scale = args.get_double("pi0-scale", 1.0);
-  const ScalToolInputs inputs = inputs_from(args, target, runner, os);
+  AnalyzeOptions options;
+  options.cpi.robust = args.has("robust-fit");
+  bool degraded = false;
+  const ScalToolInputs inputs = inputs_from(args, target, runner, os,
+                                            &degraded);
   warn_unused(args, os);
 
-  const ScalabilityReport report = analyze(inputs);
+  const ScalabilityReport report = analyze(inputs, options);
+  if (!report.model.fit_rejected.empty()) degraded = true;
   if (params.is_identity())
     os << "note: no parameter changed; showing the identity scenario "
           "(pass --l2x, --tm-scale, --t2-scale, --tsyn-scale or "
           "--pi0-scale)\n";
   whatif_table(what_if(report, inputs, params), "CLI scenario").print(os);
-  return 0;
+  return degraded ? 3 : 0;
 }
 
 int cmd_region(const Args& args, std::ostream& os) {
@@ -283,13 +309,15 @@ void print_help(std::ostream& os) {
         "  run <app>                    one run: perfex/speedshop/ssusage\n"
         "      [--procs=N --size=S --iters=I --per-proc]\n"
         "  collect <app> --out=FILE     gather the measurement matrix\n"
-        "      [--size=S --max-procs=N --iters=I --jobs=N --cache=FILE]\n"
+        "      [--size=S --max-procs=N --iters=I --jobs=N --cache=FILE\n"
+        "       --retries=N --backoff-ms=M --keep-going --faults=SPEC]\n"
         "  analyze <app|archive>        full bottleneck report\n"
-        "      [--size=S --max-procs=N --sharing --chart --jobs=N\n"
-        "       --cache=FILE]\n"
+        "      [--size=S --max-procs=N --sharing --chart --robust-fit\n"
+        "       --jobs=N --cache=FILE --retries=N --keep-going\n"
+        "       --faults=SPEC]\n"
         "  whatif <app|archive>         Sec. 2.6 predictions\n"
         "      [--l2x=K --tm-scale=F --t2-scale=F --tsyn-scale=F\n"
-        "       --pi0-scale=F --jobs=N --cache=FILE]\n"
+        "       --pi0-scale=F --robust-fit --jobs=N --cache=FILE]\n"
         "  region <app> <region>        segment-level analysis\n"
         "  record <app> --out=FILE      capture an address trace\n"
         "      [--procs=N --size=S --iters=I]\n"
@@ -306,6 +334,33 @@ void print_help(std::ostream& os) {
         "  --cache=FILE  memoize runs in a persistent cache; a warm rerun\n"
         "                performs zero simulator runs (see the printed\n"
         "                engine stats)\n"
+        "\n"
+        "resilience (collect/analyze/whatif):\n"
+        "  --retries=N      retry a failed run up to N extra times with\n"
+        "                   deterministic exponential backoff\n"
+        "  --backoff-ms=M   base backoff delay (the k-th retry waits\n"
+        "                   M << (k-1) ms; default 0 = no delay)\n"
+        "  --keep-going     quarantine runs that fail every attempt and\n"
+        "                   finish the matrix; missing uniprocessor points\n"
+        "                   are interpolated, missing kernels borrowed from\n"
+        "                   the nearest machine size, and every repair is\n"
+        "                   listed in the report\n"
+        "  --robust-fit     median-aggregate replicate triplets and reject\n"
+        "                   residual outliers in the t2/tm fit\n"
+        "  --faults=SPEC    seeded fault injection for drills, e.g.\n"
+        "                   --faults=seed=7,transient=0.2,perturb=0.05\n"
+        "                   (keys: seed, transient, permanent, stall,\n"
+        "                   stall-ms, perturb, perturb-mag, drop,\n"
+        "                   cache-corrupt, target, target-procs,\n"
+        "                   target-bytes)\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  hard failure (unrecoverable run, bad arguments, I/O error)\n"
+        "  2  unknown command\n"
+        "  3  completed, but degraded: the result was assembled from a\n"
+        "     partial matrix (quarantined runs, interpolated points,\n"
+        "     substituted kernels) or the robust fit rejected outliers\n"
         "\n"
         "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n";
 }

@@ -30,7 +30,11 @@ ScalabilityReport analyze(const ScalToolInputs& inputs,
   report.s0 = inputs.s0;
   report.model = estimate_cpi_model(inputs, options.cpi);
   report.miss = decompose_misses(inputs);
-  report.notes = report.model.notes;
+  // Collection provenance first (quarantines, interpolated runs), then the
+  // model's own fit warnings — the report lists every degradation.
+  report.notes = inputs.notes;
+  report.notes.insert(report.notes.end(), report.model.notes.begin(),
+                      report.model.notes.end());
 
   const CpiModel& model = report.model;
   const MissDecomposition& miss = report.miss;

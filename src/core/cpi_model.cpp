@@ -41,14 +41,41 @@ CpiModel estimate_cpi_model(const ScalToolInputs& inputs,
   }
 
   // --- t2/tm triplets (Eq. 3) ----------------------------------------------
+  // Replicate runs at the same data-set size (a robust campaign may measure
+  // each size several times) are aggregated by the per-field median, which
+  // a single perturbed counter read cannot move.
   std::vector<double> h2s, hms, cpis;
-  for (const RunRecord& r : inputs.uni_runs) {
-    if (static_cast<double>(r.dataset_bytes) <=
-        options.overflow_factor * static_cast<double>(inputs.l2_bytes))
-      continue;
-    h2s.push_back(r.metrics.h2);
-    hms.push_back(r.metrics.hm);
-    cpis.push_back(r.metrics.cpi);
+  std::vector<std::size_t> triplet_bytes;  // parallel, for diagnostics
+  for (std::size_t i = 0; i < inputs.uni_runs.size();) {
+    const RunRecord& r = inputs.uni_runs[i];
+    std::size_t j = i + 1;
+    while (j < inputs.uni_runs.size() &&
+           inputs.uni_runs[j].dataset_bytes == r.dataset_bytes)
+      ++j;
+    if (static_cast<double>(r.dataset_bytes) >
+        options.overflow_factor * static_cast<double>(inputs.l2_bytes)) {
+      if (j - i == 1) {
+        h2s.push_back(r.metrics.h2);
+        hms.push_back(r.metrics.hm);
+        cpis.push_back(r.metrics.cpi);
+      } else {
+        std::vector<double> rep_h2, rep_hm, rep_cpi;
+        for (std::size_t rep = i; rep < j; ++rep) {
+          rep_h2.push_back(inputs.uni_runs[rep].metrics.h2);
+          rep_hm.push_back(inputs.uni_runs[rep].metrics.hm);
+          rep_cpi.push_back(inputs.uni_runs[rep].metrics.cpi);
+        }
+        h2s.push_back(median(std::move(rep_h2)));
+        hms.push_back(median(std::move(rep_hm)));
+        cpis.push_back(median(std::move(rep_cpi)));
+        std::ostringstream os;
+        os << "aggregated " << j - i << " replicate triplets at s="
+           << r.dataset_bytes << " by median";
+        model.notes.push_back(os.str());
+      }
+      triplet_bytes.push_back(r.dataset_bytes);
+    }
+    i = j;
   }
   ST_CHECK_MSG(h2s.size() >= 2,
                "need at least two uniprocessor triplets overflowing "
@@ -60,13 +87,27 @@ CpiModel estimate_cpi_model(const ScalToolInputs& inputs,
 
   // --- iterate Eq. 2 <-> Eq. 3 to a fixed point -----------------------------
   double pi0 = model.pi0_initial;
+  std::vector<std::size_t> rejected;
   for (int iter = 0; iter < options.max_refine_iterations; ++iter) {
     std::vector<double> y(cpis.size());
     for (std::size_t i = 0; i < cpis.size(); ++i) y[i] = cpis[i] - pi0;
-    const LsqFit fit = fit_two_latencies(h2s, hms, y);
-    model.t2 = fit.coef[0];
-    model.tm1 = fit.coef[1];
-    model.fit_r2 = fit.r2;
+    if (options.robust) {
+      std::vector<std::vector<double>> rows;
+      rows.reserve(h2s.size());
+      for (std::size_t i = 0; i < h2s.size(); ++i)
+        rows.push_back({h2s[i], hms[i]});
+      const RobustLsqFit rf =
+          robust_least_squares(rows, y, options.robust_fit);
+      model.t2 = rf.fit.coef[0];
+      model.tm1 = rf.fit.coef[1];
+      model.fit_r2 = rf.fit.r2;
+      rejected = rf.rejected;  // the final iteration's verdict stands
+    } else {
+      const LsqFit fit = fit_two_latencies(h2s, hms, y);
+      model.t2 = fit.coef[0];
+      model.tm1 = fit.coef[1];
+      model.fit_r2 = fit.r2;
+    }
     model.refine_iterations = iter + 1;
     // Eq. 2: remove the compulsory-miss cycles present at the anchor.
     const double pi0_next = model.pi0_initial -
@@ -77,6 +118,13 @@ CpiModel estimate_cpi_model(const ScalToolInputs& inputs,
       break;
     }
     pi0 = pi0_next;
+  }
+  for (std::size_t idx : rejected) {
+    model.fit_rejected.push_back(triplet_bytes[idx]);
+    std::ostringstream os;
+    os << "t2/tm fit rejected triplet at s=" << triplet_bytes[idx]
+       << " as a residual outlier";
+    model.notes.push_back(os.str());
   }
   ST_CHECK_MSG(pi0 > 0.0, "pi0 estimate collapsed to " << pi0);
   model.pi0 = pi0;

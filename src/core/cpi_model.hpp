@@ -15,11 +15,13 @@
 //  - tm(n) is then backed out of Eq. 1 for every base run (s0, n).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/inputs.hpp"
+#include "math/least_squares.hpp"
 
 namespace scaltool {
 
@@ -29,6 +31,11 @@ struct CpiModelOptions {
   double overflow_factor = 2.0;
   int max_refine_iterations = 8;
   double convergence_tol = 1e-9;
+  /// Robust Eq. 3 fit: aggregate replicate triplets (same data-set size) by
+  /// median and reject residual outliers before trusting t2/tm. Off by
+  /// default — the clean path stays bit-identical to the plain fit.
+  bool robust = false;
+  RobustFitOptions robust_fit;
 };
 
 /// Fitted CPI-breakdown parameters.
@@ -40,6 +47,9 @@ struct CpiModel {
   std::map<int, double> tm;  ///< tm(n) per base-run processor count
   double fit_r2 = 0.0;       ///< diagnostics of the Eq. 3 regression
   int refine_iterations = 0;
+  /// Data-set sizes of triplets the robust fit rejected as outliers
+  /// (empty unless CpiModelOptions::robust found any).
+  std::vector<std::size_t> fit_rejected;
   std::vector<std::string> notes;  ///< fit warnings (few triplets, clamps)
 
   double tm_of(int n) const;

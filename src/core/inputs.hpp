@@ -63,6 +63,11 @@ struct ScalToolInputs {
   /// model — only by the validation/figure layer.
   std::vector<ValidationRecord> validation;
 
+  /// Provenance / degradation diagnostics (e.g. "uni run interpolated",
+  /// "job quarantined"). Carried into ScalabilityReport::notes by analyze()
+  /// and persisted as NOTE records so a degraded archive says so.
+  std::vector<std::string> notes;
+
   const RunRecord& base_run(int n) const;
   const KernelMeasurement& kernel(int n) const;
   const ValidationRecord& validation_for(int n) const;

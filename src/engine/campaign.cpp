@@ -1,10 +1,12 @@
 #include "engine/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <future>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "apps/apps.hpp"
@@ -22,6 +24,13 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+std::string describe_spec(const RunSpec& spec) {
+  std::ostringstream os;
+  os << spec.workload << " s=" << spec.dataset_bytes
+     << " p=" << spec.num_procs;
+  return os.str();
+}
+
 }  // namespace
 
 CampaignEngine::CampaignEngine(const ExperimentRunner& runner,
@@ -30,6 +39,10 @@ CampaignEngine::CampaignEngine(const ExperimentRunner& runner,
       options_(std::move(options)),
       cache_(options_.cache_path) {
   ST_CHECK_MSG(options_.jobs >= 1, "the engine needs at least one worker");
+  ST_CHECK_MSG(options_.retries >= 0, "--retries must be >= 0");
+  ST_CHECK_MSG(options_.backoff_ms >= 0, "--backoff-ms must be >= 0");
+  if (options_.faults.enabled())
+    injector_ = std::make_unique<FaultInjector>(options_.faults);
 }
 
 ScalToolInputs CampaignEngine::collect(const std::string& workload,
@@ -37,7 +50,21 @@ ScalToolInputs CampaignEngine::collect(const std::string& workload,
                                        std::span<const int> proc_counts) {
   const MatrixPlan plan = runner_.plan_matrix(workload, s0, proc_counts);
   const std::vector<JobOutcome> outcomes = execute(plan);
-  return assemble_matrix(plan, outcomes);
+  if (quarantined_.empty()) return assemble_matrix(plan, outcomes);
+
+  std::vector<bool> available(plan.jobs.size(), true);
+  std::vector<std::string> quarantine_notes;
+  for (const QuarantinedJob& q : quarantined_) {
+    available[q.job] = false;
+    std::ostringstream os;
+    os << "quarantined after " << q.attempts << " attempts: "
+       << describe_spec(q.spec) << " — " << q.error;
+    quarantine_notes.push_back(os.str());
+  }
+  ScalToolInputs inputs = assemble_matrix_partial(plan, outcomes, available);
+  inputs.notes.insert(inputs.notes.begin(), quarantine_notes.begin(),
+                      quarantine_notes.end());
+  return inputs;
 }
 
 JobOutcome CampaignEngine::execute_job(const RunSpec& spec,
@@ -64,12 +91,21 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   stats_.jobs_total = plan.jobs.size();
   stats_.cache_entries_loaded = cache_.loaded_entries();
   stats_.cache_entries_corrupt = cache_.corrupt_entries();
+  stats_.cache_recovery_events = cache_.corrupt_entries();
+  quarantined_.clear();
+  events_.clear();
   const auto t0 = std::chrono::steady_clock::now();
 
   std::vector<JobOutcome> outcomes(plan.jobs.size());
-  std::mutex mu;  // guards stats counters and the on_run callback
+  std::mutex mu;  // guards stats counters, the event log and on_run
   std::exception_ptr first_error;
 
+  const auto log_event = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    events_.push_back(line);
+  };
+
+  const int max_attempts = options_.retries + 1;
   const auto run_one = [&](std::size_t i) {
     const RunSpec& spec = plan.jobs[i];
     const std::uint64_t key =
@@ -80,21 +116,72 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
       ++stats_.jobs_cached;
       return;
     }
-    if (options_.on_run) {
-      std::ostringstream os;
-      os << spec.workload << " s=" << spec.dataset_bytes
-         << " p=" << spec.num_procs;
-      std::lock_guard<std::mutex> lock(mu);
-      options_.on_run(os.str());
+    const bool faultable = injector_ && injector_->applies_to(spec);
+    std::string last_error;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats_.attempts;
+        if (attempt > 0) ++stats_.retries;
+        if (options_.on_run) {
+          std::ostringstream os;
+          os << describe_spec(spec);
+          if (attempt > 0) os << " (attempt " << attempt + 1 << ")";
+          options_.on_run(os.str());
+        }
+      }
+      const auto job_t0 = std::chrono::steady_clock::now();
+      try {
+        if (faultable) {
+          if (const int ms = injector_->stall_ms(key, attempt))
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+          ST_CHECK_MSG(!injector_->permanent_fault(key),
+                       "injected permanent fault");
+          ST_CHECK_MSG(!injector_->transient_fault(key, attempt),
+                       "injected transient fault");
+        }
+        JobOutcome out = execute_job(spec, key);
+        if (faultable) {
+          const std::string injected = injector_->perturb(key, out);
+          if (!injected.empty())
+            log_event(describe_spec(spec) + ": " + injected);
+        }
+        const double took = seconds_since(job_t0);
+        cache_.insert(key, spec, out);
+        outcomes[i] = std::move(out);
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats_.jobs_run;
+        stats_.busy_seconds += took;
+        return;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+        std::ostringstream os;
+        os << describe_spec(spec) << ": attempt " << attempt + 1 << "/"
+           << max_attempts << " failed — " << last_error;
+        log_event(os.str());
+        if (attempt + 1 < max_attempts && options_.backoff_ms > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              options_.backoff_ms << attempt));
+      }
     }
-    const auto job_t0 = std::chrono::steady_clock::now();
-    JobOutcome out = execute_job(spec, key);
-    const double took = seconds_since(job_t0);
-    cache_.insert(key, spec, out);
-    outcomes[i] = std::move(out);
-    std::lock_guard<std::mutex> lock(mu);
-    ++stats_.jobs_run;
-    stats_.busy_seconds += took;
+    // All attempts exhausted.
+    if (options_.keep_going) {
+      std::ostringstream os;
+      os << describe_spec(spec) << ": quarantined after " << max_attempts
+         << (max_attempts == 1 ? " attempt" : " attempts") << " — "
+         << last_error;
+      log_event(os.str());
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats_.jobs_quarantined;
+      quarantined_.push_back({i, spec, max_attempts, last_error});
+      return;
+    }
+    ST_CHECK_MSG(false, describe_spec(spec) << " failed after "
+                                            << max_attempts
+                                            << (max_attempts == 1
+                                                    ? " attempt: "
+                                                    : " attempts: ")
+                                            << last_error);
   };
 
   {
@@ -115,8 +202,20 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   }
 
   stats_.wall_seconds = seconds_since(t0);
+  if (injector_) stats_.faults_injected = injector_->counts().total();
   cache_.save();
+  // Disk-rot injection happens after the save so the *next* campaign — or
+  // the warm pass of this one — exercises the loader's recovery path.
+  if (injector_ && !options_.cache_path.empty())
+    injector_->corrupt_cache_file(options_.cache_path);
   if (first_error) std::rethrow_exception(first_error);
+  // Keep quarantined jobs sorted by plan index: worker completion order is
+  // nondeterministic, the journal should not be.
+  std::sort(quarantined_.begin(), quarantined_.end(),
+            [](const QuarantinedJob& a, const QuarantinedJob& b) {
+              return a.job < b.job;
+            });
+  std::sort(events_.begin(), events_.end());
   return outcomes;
 }
 

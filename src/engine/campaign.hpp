@@ -1,5 +1,5 @@
-// The campaign engine: parallel, memoized execution of measurement
-// matrices.
+// The campaign engine: parallel, memoized, fault-tolerant execution of
+// measurement matrices.
 //
 // A Scal-Tool campaign (Table 3) is a matrix of independent simulator
 // runs; ExperimentRunner::collect executes it strictly serially. The
@@ -9,18 +9,28 @@
 // worker pool, memoizes every outcome in a persistent RunCache, and joins
 // the results with assemble_matrix.
 //
+// Collection is where real campaigns break (dead perfex runs, dropped
+// counter groups, rotten archive copies), so the engine carries a failure
+// model: per-job bounded retry with deterministic exponential backoff, a
+// keep-going mode that quarantines permanently failing jobs and completes
+// the rest of the matrix (joined by assemble_matrix_partial's graceful
+// degradation), and a seeded FaultInjector to make all of it testable.
+//
 // Determinism: each job derives its RNG seeds from its content key
-// (derive_seed), so counters are bit-identical whatever the worker count
-// or completion order; tests assert --jobs=8 == serial.
+// (derive_seed), and every fault decision is pure in (plan seed, key,
+// attempt), so counters are bit-identical whatever the worker count or
+// completion order; tests assert --jobs=8 == serial even under faults.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "engine/engine_stats.hpp"
+#include "engine/fault_injector.hpp"
 #include "engine/run_cache.hpp"
 #include "runner/runner.hpp"
 
@@ -31,8 +41,28 @@ struct CampaignOptions {
   int jobs = 1;
   /// Persistent run-cache file; empty means memoize in memory only.
   std::string cache_path;
+  /// Extra attempts after a job's first failed one (0 = fail fast).
+  int retries = 0;
+  /// Base of the deterministic exponential backoff between attempts: the
+  /// k-th retry of a job waits backoff_ms << (k−1) milliseconds.
+  int backoff_ms = 0;
+  /// Quarantine jobs that fail every attempt and finish the rest of the
+  /// matrix instead of aborting; collect() then assembles a degraded (but
+  /// honest) input set via assemble_matrix_partial.
+  bool keep_going = false;
+  /// Seeded fault injection; an all-zero plan (the default) is off and
+  /// leaves the fault-free path untouched.
+  FaultPlan faults;
   /// Progress callback (one line per simulator run); invoked serialized.
   std::function<void(const std::string&)> on_run;
+};
+
+/// One job the engine gave up on (after all retries).
+struct QuarantinedJob {
+  std::size_t job = 0;  ///< index into MatrixPlan::jobs
+  RunSpec spec;
+  int attempts = 0;
+  std::string error;  ///< the final attempt's failure
 };
 
 class CampaignEngine {
@@ -42,11 +72,16 @@ class CampaignEngine {
 
   /// Collects the Table 3 matrix exactly like ExperimentRunner::collect,
   /// but scheduled on the pool and served from the cache where possible.
+  /// Under keep-going, quarantined jobs degrade the assembly (see
+  /// assemble_matrix_partial); the result's notes record every repair.
   ScalToolInputs collect(const std::string& workload, std::size_t s0,
                          std::span<const int> proc_counts);
 
-  /// Executes an explicit plan; outcomes are parallel to plan.jobs. If any
-  /// job failed, finishes the rest, then rethrows the first error.
+  /// Executes an explicit plan; outcomes are parallel to plan.jobs. A
+  /// failed job is retried per the options; if it still fails, keep-going
+  /// quarantines it (its outcome slot stays default-constructed, see
+  /// quarantined()), otherwise the engine finishes the remaining jobs and
+  /// rethrows the first error.
   std::vector<JobOutcome> execute(const MatrixPlan& plan);
 
   const ExperimentRunner& runner() const { return runner_; }
@@ -55,13 +90,26 @@ class CampaignEngine {
   /// Metrics of the most recent collect()/execute() call.
   const EngineStats& stats() const { return stats_; }
 
+  /// Jobs the most recent execute() quarantined (empty without keep-going).
+  const std::vector<QuarantinedJob>& quarantined() const {
+    return quarantined_;
+  }
+
+  /// Human-readable event journal of the most recent execute(): one line
+  /// per retry, quarantine and injected counter corruption, so a report
+  /// can list exactly what degraded.
+  const std::vector<std::string>& events() const { return events_; }
+
  private:
   JobOutcome execute_job(const RunSpec& spec, std::uint64_t key) const;
 
   ExperimentRunner runner_;  // by value: the engine outlives CLI temporaries
   CampaignOptions options_;
   RunCache cache_;
+  std::unique_ptr<FaultInjector> injector_;  // null when faults are off
   EngineStats stats_;
+  std::vector<QuarantinedJob> quarantined_;
+  std::vector<std::string> events_;
 };
 
 /// One-call parallel counterpart of ExperimentRunner::collect.

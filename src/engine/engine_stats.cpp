@@ -16,28 +16,42 @@ double EngineStats::cache_hit_rate() const {
   return static_cast<double>(jobs_cached) / static_cast<double>(jobs_total);
 }
 
+double EngineStats::completed_fraction() const {
+  if (jobs_total == 0) return 1.0;
+  return static_cast<double>(jobs_total - jobs_quarantined) /
+         static_cast<double>(jobs_total);
+}
+
 Table engine_stats_table(const EngineStats& s) {
   Table table("Campaign engine");
-  table.header({"jobs", "run", "cached", "failed", "workers", "wall_s",
-                "busy_s", "util_%", "hit_%", "cache_loaded",
-                "cache_corrupt"});
+  table.header({"jobs", "run", "cached", "failed", "quarantined", "attempts",
+                "retries", "faults", "workers", "wall_s", "busy_s", "util_%",
+                "hit_%", "cache_loaded", "cache_corrupt", "cache_recovered"});
   table.add_row({Table::cell(s.jobs_total), Table::cell(s.jobs_run),
                  Table::cell(s.jobs_cached), Table::cell(s.jobs_failed),
+                 Table::cell(s.jobs_quarantined), Table::cell(s.attempts),
+                 Table::cell(s.retries), Table::cell(s.faults_injected),
                  Table::cell(s.workers), Table::cell(s.wall_seconds, 3),
                  Table::cell(s.busy_seconds, 3),
                  Table::cell(100.0 * s.utilization(), 1),
                  Table::cell(100.0 * s.cache_hit_rate(), 1),
                  Table::cell(s.cache_entries_loaded),
-                 Table::cell(s.cache_entries_corrupt)});
+                 Table::cell(s.cache_entries_corrupt),
+                 Table::cell(s.cache_recovery_events)});
   return table;
 }
 
 std::string engine_stats_line(const EngineStats& s) {
   std::ostringstream os;
   os << "engine: " << s.jobs_total << " jobs (" << s.jobs_run << " run, "
-     << s.jobs_cached << " cached, " << s.jobs_failed << " failed) on "
-     << s.workers << (s.workers == 1 ? " worker" : " workers") << ", wall "
-     << std::fixed << std::setprecision(3) << s.wall_seconds
+     << s.jobs_cached << " cached, " << s.jobs_failed << " failed";
+  if (s.jobs_quarantined > 0) os << ", " << s.jobs_quarantined
+                                 << " quarantined";
+  os << ") on " << s.workers << (s.workers == 1 ? " worker" : " workers");
+  if (s.retries > 0) os << ", " << s.retries << " retries";
+  if (s.faults_injected > 0) os << ", " << s.faults_injected
+                                << " faults injected";
+  os << ", wall " << std::fixed << std::setprecision(3) << s.wall_seconds
      << " s, utilization " << std::setprecision(0)
      << 100.0 * s.utilization() << "%";
   return os.str();

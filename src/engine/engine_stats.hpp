@@ -19,16 +19,27 @@ struct EngineStats {
   std::size_t jobs_run = 0;     ///< executed on the simulator
   std::size_t jobs_cached = 0;  ///< served from the run cache
   std::size_t jobs_failed = 0;
+  std::size_t jobs_quarantined = 0;  ///< permanently failing, kept-going past
+  std::size_t attempts = 0;          ///< simulator attempts, incl. retries
+  std::size_t retries = 0;           ///< attempts beyond each job's first
+  std::size_t faults_injected = 0;   ///< by the fault injector, all kinds
   double wall_seconds = 0.0;  ///< whole campaign, plan to join
   double busy_seconds = 0.0;  ///< summed per-job execution time
   std::size_t cache_entries_loaded = 0;   ///< from the cache file, at open
   std::size_t cache_entries_corrupt = 0;  ///< skipped as corrupt, at open
+  /// Corrupt or truncated cache entries the campaign recovered from by
+  /// re-running the job instead of aborting.
+  std::size_t cache_recovery_events = 0;
 
   /// busy / (wall x workers), clamped to [0, 1].
   double utilization() const;
 
   /// jobs_cached / jobs_total (0 when the campaign was empty).
   double cache_hit_rate() const;
+
+  /// (jobs_total − quarantined) / jobs_total: how much of the matrix
+  /// actually completed (1 when the campaign was empty — nothing missing).
+  double completed_fraction() const;
 };
 
 /// One-row summary table (common/table rendering).

@@ -1,0 +1,225 @@
+#include "engine/fault_injector.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "runner/archive.hpp"
+
+namespace scaltool {
+
+namespace {
+
+// Kind tags keep the per-(key, attempt) draws of different fault kinds
+// independent of each other.
+constexpr std::uint64_t kTagTransient = 0x7472616e7369ULL;  // "transi"
+constexpr std::uint64_t kTagPermanent = 0x7065726d616eULL;  // "perman"
+constexpr std::uint64_t kTagStall = 0x7374616c6cULL;        // "stall"
+constexpr std::uint64_t kTagPerturb = 0x70657274ULL;        // "pert"
+constexpr std::uint64_t kTagDrop = 0x64726f70ULL;           // "drop"
+constexpr std::uint64_t kTagCorrupt = 0x636f7272ULL;        // "corr"
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double rate_field(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  ST_CHECK_MSG(pos == value.size() && v >= 0.0 && v <= 1.0,
+               "fault plan: " << key << "=" << value
+                              << " is not a rate in [0, 1]");
+  return v;
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return transient_rate > 0.0 || permanent_rate > 0.0 || stall_rate > 0.0 ||
+         perturb_rate > 0.0 || drop_rate > 0.0 || cache_corrupt_rate > 0.0;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    ST_CHECK_MSG(eq != std::string::npos && eq > 0,
+                 "fault plan: expected key=value, got \"" << item << "\"");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = std::stoull(value);
+    } else if (key == "transient") {
+      plan.transient_rate = rate_field(key, value);
+    } else if (key == "permanent") {
+      plan.permanent_rate = rate_field(key, value);
+    } else if (key == "stall") {
+      plan.stall_rate = rate_field(key, value);
+    } else if (key == "stall-ms") {
+      plan.stall_ms = std::stoi(value);
+      ST_CHECK_MSG(plan.stall_ms >= 0, "fault plan: stall-ms must be >= 0");
+    } else if (key == "perturb") {
+      plan.perturb_rate = rate_field(key, value);
+    } else if (key == "perturb-mag") {
+      plan.perturb_magnitude = rate_field(key, value);
+    } else if (key == "drop") {
+      plan.drop_rate = rate_field(key, value);
+    } else if (key == "cache-corrupt") {
+      plan.cache_corrupt_rate = rate_field(key, value);
+    } else if (key == "target") {
+      plan.target = value;
+    } else if (key == "target-procs") {
+      plan.target_procs = std::stoi(value);
+    } else if (key == "target-bytes") {
+      plan.target_bytes = static_cast<std::size_t>(std::stoull(value));
+    } else {
+      ST_CHECK_MSG(false, "fault plan: unknown key \"" << key
+                          << "\" (see scaltool --help)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (transient_rate > 0.0) os << " transient=" << transient_rate;
+  if (permanent_rate > 0.0) os << " permanent=" << permanent_rate;
+  if (stall_rate > 0.0)
+    os << " stall=" << stall_rate << " (" << stall_ms << " ms)";
+  if (perturb_rate > 0.0)
+    os << " perturb=" << perturb_rate << " (mag " << perturb_magnitude << ")";
+  if (drop_rate > 0.0) os << " drop=" << drop_rate;
+  if (cache_corrupt_rate > 0.0) os << " cache-corrupt=" << cache_corrupt_rate;
+  if (!target.empty()) os << " target=" << target;
+  if (target_procs > 0) os << " target-procs=" << target_procs;
+  if (target_bytes > 0) os << " target-bytes=" << target_bytes;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::applies_to(const RunSpec& spec) const {
+  if (!plan_.target.empty() &&
+      spec.workload.find(plan_.target) == std::string::npos)
+    return false;
+  if (plan_.target_procs > 0 && spec.num_procs != plan_.target_procs)
+    return false;
+  if (plan_.target_bytes > 0 && spec.dataset_bytes != plan_.target_bytes)
+    return false;
+  return true;
+}
+
+double FaultInjector::draw(std::uint64_t key, int attempt,
+                           std::uint64_t tag) const {
+  std::uint64_t z = mix64(plan_.seed ^ tag);
+  z = mix64(z ^ key);
+  z = mix64(z ^ static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::permanent_fault(std::uint64_t key) const {
+  if (plan_.permanent_rate <= 0.0) return false;
+  const bool hit = draw(key, 0, kTagPermanent) < plan_.permanent_rate;
+  if (hit) ++permanent_;
+  return hit;
+}
+
+bool FaultInjector::transient_fault(std::uint64_t key, int attempt) const {
+  if (plan_.transient_rate <= 0.0) return false;
+  const bool hit = draw(key, attempt, kTagTransient) < plan_.transient_rate;
+  if (hit) ++transient_;
+  return hit;
+}
+
+int FaultInjector::stall_ms(std::uint64_t key, int attempt) const {
+  if (plan_.stall_rate <= 0.0 || plan_.stall_ms <= 0) return 0;
+  if (draw(key, attempt, kTagStall) >= plan_.stall_rate) return 0;
+  ++stalls_;
+  return plan_.stall_ms;
+}
+
+std::string FaultInjector::perturb(std::uint64_t key,
+                                   JobOutcome& outcome) const {
+  std::ostringstream what;
+  if (plan_.perturb_rate > 0.0 &&
+      draw(key, 0, kTagPerturb) < plan_.perturb_rate) {
+    // A noisy reading scales the cycle count (and the quantities derived
+    // from it) by 1 + eps, eps uniform in [-mag, +mag].
+    const double eps = (2.0 * draw(key, 1, kTagPerturb) - 1.0) *
+                       plan_.perturb_magnitude;
+    DerivedMetrics& d = outcome.record.metrics;
+    d.cpi *= 1.0 + eps;
+    d.cycles *= 1.0 + eps;
+    outcome.record.execution_cycles *= 1.0 + eps;
+    ++perturbed_;
+    what << "counters perturbed by " << 100.0 * eps << "%";
+  }
+  if (plan_.drop_rate > 0.0 && draw(key, 0, kTagDrop) < plan_.drop_rate) {
+    // A multiplexed counter group is lost: the cache-hierarchy events of
+    // this run read zero, as a real dropped perfex group would.
+    DerivedMetrics& d = outcome.record.metrics;
+    d.h2 = 0.0;
+    d.hm = 0.0;
+    ++dropped_;
+    if (what.tellp() > 0) what << "; ";
+    what << "cache-event counter group dropped";
+  }
+  return what.str();
+}
+
+std::size_t FaultInjector::corrupt_cache_file(const std::string& path) const {
+  if (plan_.cache_corrupt_rate <= 0.0) return 0;
+  std::vector<std::string> lines;
+  {
+    std::ifstream is(path);
+    if (!is.good()) return 0;
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  std::size_t corrupted = 0;
+  std::uint64_t entry_index = 0;
+  for (std::string& line : lines) {
+    if (line.rfind("ENTRY|", 0) != 0) continue;
+    ++entry_index;
+    if (draw(entry_index, 0, kTagCorrupt) >= plan_.cache_corrupt_rate)
+      continue;
+    // Garble a byte inside the entry's payload (past the tag) so the
+    // loader's per-entry tolerance is what gets exercised.
+    const std::size_t pos =
+        6 + static_cast<std::size_t>(draw(entry_index, 1, kTagCorrupt) *
+                                     static_cast<double>(line.size() - 6));
+    line[std::min(pos, line.size() - 1)] = '#';
+    ++corrupted;
+  }
+  if (corrupted > 0) {
+    std::ofstream os(path, std::ios::trunc);
+    ST_CHECK_MSG(os.good(), "cannot rewrite " << path << " for corruption");
+    for (const std::string& line : lines) os << line << '\n';
+  }
+  return corrupted;
+}
+
+FaultCounts FaultInjector::counts() const {
+  FaultCounts c;
+  c.transient = transient_.load();
+  c.permanent = permanent_.load();
+  c.stalls = stalls_.load();
+  c.perturbed = perturbed_.load();
+  c.dropped = dropped_.load();
+  return c;
+}
+
+}  // namespace scaltool

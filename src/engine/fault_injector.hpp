@@ -1,0 +1,123 @@
+// Deterministic, seeded fault injection for measurement campaigns.
+//
+// Scal-Tool's inputs come from fragile real-world collection: perfex runs
+// die, multiplexed counters drop events, archives get truncated in flight
+// (PAPER.md Sec. 2.2/3.1). This module makes those failures reproducible
+// so the rest of the stack can be *tested* against them: a FaultPlan says
+// how often jobs fail (transiently or permanently), stall, or return
+// perturbed/dropped counter values, and how often saved run-cache entries
+// rot on disk.
+//
+// Every decision is a pure function of (plan seed, job content key,
+// attempt, fault kind) — no global RNG, no ordering dependence — so a
+// faulty campaign is bit-reproducible whatever the worker count, and a
+// test can predict exactly which jobs will fail by querying the injector
+// with the same keys the engine uses.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace scaltool {
+
+/// Declarative fault specification, parseable from the CLI
+/// (`--faults=seed=42,transient=0.2,perturb=0.05`). All rates are
+/// probabilities in [0, 1]; an all-zero plan injects nothing and leaves
+/// the engine on its exact fault-free path.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double transient_rate = 0.0;  ///< per attempt: fails, may pass on retry
+  double permanent_rate = 0.0;  ///< per job: every attempt fails
+  double stall_rate = 0.0;      ///< per attempt: sleeps before running
+  int stall_ms = 5;             ///< stall duration when injected
+
+  double perturb_rate = 0.0;       ///< per job: noisy counter readings
+  double perturb_magnitude = 0.02; ///< relative perturbation bound
+  double drop_rate = 0.0;          ///< per job: a counter group is lost
+
+  double cache_corrupt_rate = 0.0; ///< per saved run-cache entry
+
+  /// Optional targeting, for reproducing a specific dead run: faults apply
+  /// only to jobs whose workload name contains `target` (empty = all) and
+  /// whose processor count / data-set size match (0 = any).
+  std::string target;
+  int target_procs = 0;
+  std::size_t target_bytes = 0;
+
+  /// True when any fault kind has a nonzero rate.
+  bool enabled() const;
+
+  /// Parses "key=value,key=value" with keys seed, transient, permanent,
+  /// stall, stall-ms, perturb, perturb-mag, drop, cache-corrupt, target,
+  /// target-procs, target-bytes. Throws CheckError on unknown keys or
+  /// out-of-range rates.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Compact human-readable rendering of the nonzero knobs.
+  std::string describe() const;
+};
+
+/// What the injector decided for one kind of fault (tallied per campaign).
+struct FaultCounts {
+  std::size_t transient = 0;
+  std::size_t permanent = 0;
+  std::size_t stalls = 0;
+  std::size_t perturbed = 0;
+  std::size_t dropped = 0;
+
+  std::size_t total() const {
+    return transient + permanent + stalls + perturbed + dropped;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Target filter: does the plan apply to this job at all?
+  bool applies_to(const RunSpec& spec) const;
+
+  /// Per-job decision: this job fails on every attempt.
+  bool permanent_fault(std::uint64_t key) const;
+
+  /// Per-attempt decision (attempt is 0-based): this attempt fails but a
+  /// retry may succeed. Tallies the injected fault.
+  bool transient_fault(std::uint64_t key, int attempt) const;
+
+  /// Per-attempt stall in milliseconds (0 = none). Tallies when nonzero.
+  int stall_ms(std::uint64_t key, int attempt) const;
+
+  /// Applies counter perturbation and/or drop to a completed outcome, in
+  /// place. Returns a description of what was injected ("" = untouched).
+  /// Deterministic per key: re-running the job reproduces the same noisy
+  /// reading, like re-reading the same flaky archive.
+  std::string perturb(std::uint64_t key, JobOutcome& outcome) const;
+
+  /// Deterministically corrupts ENTRY records of a saved run-cache file
+  /// (flips bytes inside the per-entry payload), simulating disk rot or a
+  /// bad copy between machines. Returns the number of entries corrupted.
+  std::size_t corrupt_cache_file(const std::string& path) const;
+
+  /// Faults injected so far (monotone over the injector's lifetime).
+  FaultCounts counts() const;
+
+ private:
+  /// Uniform [0,1) draw, pure in (seed, key, attempt, kind tag).
+  double draw(std::uint64_t key, int attempt, std::uint64_t tag) const;
+
+  FaultPlan plan_;
+  mutable std::atomic<std::size_t> transient_{0};
+  mutable std::atomic<std::size_t> permanent_{0};
+  mutable std::atomic<std::size_t> stalls_{0};
+  mutable std::atomic<std::size_t> perturbed_{0};
+  mutable std::atomic<std::size_t> dropped_{0};
+};
+
+}  // namespace scaltool

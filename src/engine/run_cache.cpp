@@ -1,5 +1,7 @@
 #include "engine/run_cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -167,24 +169,33 @@ void RunCache::load() {
 void RunCache::save() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (path_.empty()) return;
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream os(tmp);
-    ST_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
-    os << kMagic << '|' << kVersion << '\n';
-    for (const auto& [key, e] : entries_) {
-      os << "ENTRY|" << std::hex << key << std::dec << '|'
-         << e.spec.workload << '|' << e.spec.dataset_bytes << '|'
-         << e.spec.num_procs << '|' << (e.has_validation ? 1 : 0) << '\n';
-      write_run_record(os, "RUN", e.outcome.record);
-      if (e.has_validation)
-        write_validation_record(os, e.outcome.validation);
+  // The temp name is unique per process so concurrent campaigns sharing a
+  // cache file never interleave writes into the same temp; whichever
+  // rename() lands last wins atomically, and a crash mid-write leaves the
+  // published file untouched.
+  const std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      std::ofstream os(tmp);
+      ST_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+      os << kMagic << '|' << kVersion << '\n';
+      for (const auto& [key, e] : entries_) {
+        os << "ENTRY|" << std::hex << key << std::dec << '|'
+           << e.spec.workload << '|' << e.spec.dataset_bytes << '|'
+           << e.spec.num_procs << '|' << (e.has_validation ? 1 : 0) << '\n';
+        write_run_record(os, "RUN", e.outcome.record);
+        if (e.has_validation)
+          write_validation_record(os, e.outcome.validation);
+      }
+      os.flush();
+      ST_CHECK_MSG(os.good(), "write to " << tmp << " failed");
     }
-    os.flush();
-    ST_CHECK_MSG(os.good(), "write to " << tmp << " failed");
+    ST_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
+                 "cannot move " << tmp << " into place at " << path_);
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave temp debris behind
+    throw;
   }
-  ST_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
-               "cannot move " << tmp << " into place at " << path_);
 }
 
 }  // namespace scaltool

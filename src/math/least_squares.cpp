@@ -57,6 +57,17 @@ LsqFit least_squares(const std::vector<std::vector<double>>& rows,
   ST_CHECK(y.size() == m);
   for (const auto& row : rows) ST_CHECK(row.size() == k);
 
+  // A dead counter group shows up as an identically-zero predictor column;
+  // name it rather than letting the solver report an anonymous singularity.
+  for (std::size_t a = 0; a < k; ++a) {
+    bool all_zero = true;
+    for (std::size_t i = 0; i < m && all_zero; ++i)
+      all_zero = rows[i][a] == 0.0;
+    ST_CHECK_MSG(!all_zero, "predictor column " << a
+                 << " is identically zero across all " << m
+                 << " observations (dead or dropped counter?)");
+  }
+
   // Normal equations: (XᵀX) coef = Xᵀy.
   std::vector<double> xtx(k * k, 0.0);
   std::vector<double> xty(k, 0.0);
@@ -64,6 +75,36 @@ LsqFit least_squares(const std::vector<std::vector<double>>& rows,
     for (std::size_t a = 0; a < k; ++a) {
       xty[a] += rows[i][a] * y[i];
       for (std::size_t b = 0; b < k; ++b) xtx[a * k + b] += rows[i][a] * rows[i][b];
+    }
+  }
+  // Collinearity check on a scratch copy of XᵀX: find the first column
+  // whose pivot collapses and name it, so a degenerate fit (e.g. h2 ∝ hm
+  // after a fault zeroed part of a counter group) is a diagnosable error.
+  {
+    std::vector<double> scratch = xtx;
+    for (std::size_t col = 0; col < k; ++col) {
+      std::size_t pivot = col;
+      double best = std::abs(scratch[col * k + col]);
+      for (std::size_t r = col + 1; r < k; ++r) {
+        const double v = std::abs(scratch[r * k + col]);
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      ST_CHECK_MSG(best > 1e-12,
+                   "predictor column " << col
+                   << " is collinear with the preceding columns; the fit is "
+                      "degenerate");
+      if (pivot != col)
+        for (std::size_t c = 0; c < k; ++c)
+          std::swap(scratch[pivot * k + c], scratch[col * k + c]);
+      for (std::size_t r = col + 1; r < k; ++r) {
+        const double f = scratch[r * k + col] / scratch[col * k + col];
+        if (f == 0.0) continue;
+        for (std::size_t c = col; c < k; ++c)
+          scratch[r * k + c] -= f * scratch[col * k + c];
+      }
     }
   }
   LsqFit fit;
@@ -104,6 +145,81 @@ LsqFit fit_line(std::span<const double> x, std::span<const double> y) {
   rows.reserve(x.size());
   for (double xi : x) rows.push_back({1.0, xi});
   return least_squares(rows, y);
+}
+
+double median(std::vector<double> values) {
+  ST_CHECK_MSG(!values.empty(), "median of an empty sample");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+RobustLsqFit robust_least_squares(
+    const std::vector<std::vector<double>>& rows, std::span<const double> y,
+    const RobustFitOptions& options) {
+  ST_CHECK(!rows.empty());
+  ST_CHECK(rows.size() == y.size());
+  ST_CHECK_MSG(options.outlier_threshold > 0.0,
+               "outlier_threshold must be positive");
+  const std::size_t k = rows.front().size();
+  const std::size_t floor_points =
+      std::max(options.min_points, k + 1);
+
+  // Surviving original indices; rejection only ever shrinks this set.
+  std::vector<std::size_t> kept(rows.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) kept[i] = i;
+
+  RobustLsqFit out;
+  for (int round = 0;; ++round) {
+    std::vector<std::vector<double>> sub_rows;
+    std::vector<double> sub_y;
+    sub_rows.reserve(kept.size());
+    sub_y.reserve(kept.size());
+    for (std::size_t i : kept) {
+      sub_rows.push_back(rows[i]);
+      sub_y.push_back(y[i]);
+    }
+    out.fit = least_squares(sub_rows, sub_y);
+    if (round >= options.max_rounds || kept.size() <= floor_points) break;
+
+    // Robust scale: 1.4826 · median(|r|) is a consistent estimator of the
+    // residual standard deviation under normal noise.
+    std::vector<double> abs_res(out.fit.residuals.size());
+    for (std::size_t i = 0; i < abs_res.size(); ++i)
+      abs_res[i] = std::abs(out.fit.residuals[i]);
+    const double scale = 1.4826 * median(abs_res);
+    if (scale <= 0.0) break;  // at least half the points fit exactly
+
+    // Reject the worst offenders, never dropping below the floor.
+    std::vector<std::pair<double, std::size_t>> offenders;  // (|r|, kept idx)
+    for (std::size_t i = 0; i < abs_res.size(); ++i)
+      if (abs_res[i] > options.outlier_threshold * scale)
+        offenders.push_back({abs_res[i], i});
+    if (offenders.empty()) break;
+    std::sort(offenders.begin(), offenders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const std::size_t budget = kept.size() - floor_points;
+    if (offenders.size() > budget) offenders.resize(budget);
+    if (offenders.empty()) break;
+
+    std::vector<bool> drop(kept.size(), false);
+    for (const auto& [r, i] : offenders) {
+      out.rejected.push_back(kept[i]);
+      drop[i] = true;
+    }
+    std::vector<std::size_t> next;
+    next.reserve(kept.size() - offenders.size());
+    for (std::size_t i = 0; i < kept.size(); ++i)
+      if (!drop[i]) next.push_back(kept[i]);
+    kept = std::move(next);
+    ++out.rounds;
+  }
+  std::sort(out.rejected.begin(), out.rejected.end());
+  return out;
 }
 
 }  // namespace scaltool

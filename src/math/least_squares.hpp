@@ -46,4 +46,37 @@ LsqFit fit_two_latencies(std::span<const double> h2, std::span<const double> hm,
 /// Simple 1-predictor fit with intercept: y ≈ a + b·x. coef = {a, b}.
 LsqFit fit_line(std::span<const double> x, std::span<const double> y);
 
+/// Median of a sample (the average of the two central order statistics for
+/// even sizes). Throws CheckError on an empty sample.
+double median(std::vector<double> values);
+
+/// Knobs of the robust (outlier-rejecting) fit.
+struct RobustFitOptions {
+  /// A point is rejected when |residual| exceeds this many robust standard
+  /// deviations (1.4826 · MAD) of the current residual distribution.
+  double outlier_threshold = 3.0;
+  /// Maximum reject-and-refit rounds.
+  int max_rounds = 4;
+  /// Never reject below this many surviving points (at least k+1 is always
+  /// kept so the refit stays overdetermined).
+  std::size_t min_points = 0;
+};
+
+/// Result of robust_least_squares: the final fit on the surviving points
+/// plus the rejection journal.
+struct RobustLsqFit {
+  LsqFit fit;                        ///< over the surviving observations
+  std::vector<std::size_t> rejected; ///< original indices, ascending
+  int rounds = 0;                    ///< refit rounds that rejected something
+};
+
+/// Iteratively reweighted-by-exclusion least squares: fits, rejects points
+/// whose residual is an outlier under the MAD criterion, and refits, until
+/// nothing is rejected or the round/point floors are hit. A counter fault
+/// that perturbs one triplet shows up as exactly that kind of outlier
+/// (Sec. 2.3's fit is otherwise at the mercy of a single bad run).
+RobustLsqFit robust_least_squares(const std::vector<std::vector<double>>& rows,
+                                  std::span<const double> y,
+                                  const RobustFitOptions& options = {});
+
 }  // namespace scaltool

@@ -127,6 +127,17 @@ void write_inputs(const ScalToolInputs& inputs, std::ostream& os) {
   }
   for (const ValidationRecord& v : inputs.validation)
     write_validation_record(os, v);
+  // Degradation provenance travels with the data: an archive assembled from
+  // a faulty campaign says so. Written only when present, so fault-free
+  // archives stay byte-identical to version-2 files without notes.
+  for (const std::string& note : inputs.notes) {
+    std::string clean = note;
+    for (char& c : clean) {
+      if (c == '|') c = '/';   // '|' is the field separator
+      if (c == '\n') c = ' ';  // records are line-oriented
+    }
+    os << "NOTE|" << clean << '\n';
+  }
 }
 
 void save_inputs(const ScalToolInputs& inputs, const std::string& path) {
@@ -176,6 +187,8 @@ ScalToolInputs read_inputs(std::istream& is) {
       have_sync = false;
     } else if (tag == "VALID") {
       inputs.validation.push_back(parse_validation_record(fields));
+    } else if (tag == "NOTE") {
+      inputs.notes.push_back(line.size() > 5 ? line.substr(5) : "");
     } else {
       ST_CHECK_MSG(false, "unknown record tag: " << tag);
     }

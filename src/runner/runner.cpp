@@ -1,6 +1,7 @@
 #include "runner/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -175,6 +176,178 @@ ScalToolInputs assemble_matrix(const MatrixPlan& plan,
     inputs.kernels.push_back(km);
   }
   inputs.validate();
+  return inputs;
+}
+
+namespace {
+
+/// Rebuilds a lost uniprocessor sweep record by interpolating every
+/// counter-derived quantity between its surviving neighbours, linearly in
+/// log2 of the data-set size (hit-rate curves are near-linear there —
+/// Sec. 2.4.1 interpolates exactly this curve for s0/n).
+RunRecord interpolate_uni_record(const RunSpec& spec, const RunRecord& lo,
+                                 const RunRecord& hi) {
+  const double x = std::log2(static_cast<double>(spec.dataset_bytes));
+  const double xa = std::log2(static_cast<double>(lo.dataset_bytes));
+  const double xb = std::log2(static_cast<double>(hi.dataset_bytes));
+  const double t = (x - xa) / (xb - xa);
+  const auto lerp = [t](double a, double b) { return a + t * (b - a); };
+  // Instruction counts grow with the data set, so interpolate them in
+  // log space to respect the geometric sweep schedule.
+  const auto geo = [&lerp](double a, double b) {
+    return std::exp2(lerp(std::log2(a), std::log2(b)));
+  };
+  RunRecord r;
+  r.workload = spec.workload;
+  r.dataset_bytes = spec.dataset_bytes;
+  r.num_procs = 1;
+  r.metrics.cpi = lerp(lo.metrics.cpi, hi.metrics.cpi);
+  r.metrics.h2 = lerp(lo.metrics.h2, hi.metrics.h2);
+  r.metrics.hm = lerp(lo.metrics.hm, hi.metrics.hm);
+  r.metrics.l1_hitr = lerp(lo.metrics.l1_hitr, hi.metrics.l1_hitr);
+  r.metrics.l2_hitr = lerp(lo.metrics.l2_hitr, hi.metrics.l2_hitr);
+  r.metrics.mem_frac = lerp(lo.metrics.mem_frac, hi.metrics.mem_frac);
+  r.metrics.instructions = geo(lo.metrics.instructions,
+                               hi.metrics.instructions);
+  r.metrics.cycles = r.metrics.cpi * r.metrics.instructions;
+  r.metrics.store_to_shared = geo(std::max(lo.metrics.store_to_shared, 1.0),
+                                  std::max(hi.metrics.store_to_shared, 1.0));
+  r.execution_cycles = r.metrics.cycles;  // one processor: exec == aggregate
+  return r;
+}
+
+}  // namespace
+
+ScalToolInputs assemble_matrix_partial(const MatrixPlan& plan,
+                                       std::span<const JobOutcome> outcomes,
+                                       const std::vector<bool>& available,
+                                       DegradedAssembly* degraded_out) {
+  ST_CHECK_MSG(outcomes.size() == plan.jobs.size(),
+               "outcomes do not match the plan: " << outcomes.size()
+                                                  << " vs "
+                                                  << plan.jobs.size());
+  ST_CHECK_MSG(available.size() == plan.jobs.size(),
+               "availability mask does not match the plan");
+  DegradedAssembly deg;
+
+  ScalToolInputs inputs;
+  inputs.app = plan.app;
+  inputs.s0 = plan.s0;
+  inputs.l2_bytes = plan.l2_bytes;
+
+  // Base runs carry the quantity under study; fabricating one would make
+  // the whole report fiction, so a lost base run is a hard error with a
+  // message precise enough to rerun it by hand.
+  for (std::size_t j : plan.base_jobs) {
+    const RunSpec& spec = plan.jobs[j];
+    ST_CHECK_MSG(available[j],
+                 "base run (" << spec.workload << ", s=" << spec.dataset_bytes
+                              << ", n=" << spec.num_procs
+                              << ") is unrecoverable; the matrix cannot be "
+                                 "assembled without it — rerun that job");
+    inputs.base_runs.push_back(outcomes[j].record);
+    inputs.validation.push_back(outcomes[j].validation);
+  }
+
+  // The smallest sweep point anchors pi0 (Lubeck's method); there is
+  // nothing below it to interpolate from.
+  ST_CHECK(!plan.uni_jobs.empty());
+  {
+    const std::size_t anchor = plan.uni_jobs.back();
+    const RunSpec& spec = plan.jobs[anchor];
+    ST_CHECK_MSG(available[anchor],
+                 "pi0 anchor run (" << spec.workload << ", s="
+                                    << spec.dataset_bytes
+                                    << ", n=1) is unrecoverable; the model "
+                                       "cannot be anchored without it");
+  }
+
+  // Interior sweep points interpolate between surviving neighbours
+  // (uni_jobs is sorted by descending data-set size; both ends are
+  // guaranteed available by the checks above).
+  for (std::size_t p = 0; p < plan.uni_jobs.size(); ++p) {
+    const std::size_t j = plan.uni_jobs[p];
+    if (available[j]) {
+      inputs.uni_runs.push_back(outcomes[j].record);
+      continue;
+    }
+    // Both ends of the sweep are guaranteed available (s0 is a base run,
+    // the smallest point is the anchor), so these scans terminate.
+    std::size_t lo = p - 1;
+    while (!available[plan.uni_jobs[lo]]) --lo;
+    std::size_t hi = p + 1;
+    while (!available[plan.uni_jobs[hi]]) ++hi;
+    const RunSpec& spec = plan.jobs[j];
+    inputs.uni_runs.push_back(interpolate_uni_record(
+        spec, outcomes[plan.uni_jobs[lo]].record,
+        outcomes[plan.uni_jobs[hi]].record));
+    ++deg.interpolated_runs;
+    std::ostringstream os;
+    os << "uni run (" << spec.workload << ", s=" << spec.dataset_bytes
+       << ") interpolated between s="
+       << plan.jobs[plan.uni_jobs[lo]].dataset_bytes << " and s="
+       << plan.jobs[plan.uni_jobs[hi]].dataset_bytes;
+    deg.notes.push_back(os.str());
+  }
+
+  // Kernel records substitute across machine sizes: the kernels measure
+  // per-size CPIs that vary slowly with n, so the nearest surviving size
+  // (in log2 distance) is the least-wrong stand-in.
+  const auto nearest_kernel = [&](const char* which,
+                                  std::size_t MatrixPlan::KernelJobs::*job,
+                                  int n) -> const RunRecord* {
+    const RunRecord* best = nullptr;
+    double best_dist = 0.0;
+    for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs) {
+      if (!available[kj.*job]) continue;
+      const double dist = std::abs(std::log2(static_cast<double>(n)) -
+                                   std::log2(static_cast<double>(kj.num_procs)));
+      if (best == nullptr || dist < best_dist) {
+        best = &outcomes[kj.*job].record;
+        best_dist = dist;
+      }
+    }
+    ST_CHECK_MSG(best != nullptr, "no " << which
+                                        << " kernel run survived at any "
+                                           "machine size; the MP split "
+                                           "cannot be estimated");
+    return best;
+  };
+  for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs) {
+    KernelMeasurement km;
+    km.num_procs = kj.num_procs;
+    if (available[kj.sync_job]) {
+      km.sync_kernel = outcomes[kj.sync_job].record;
+    } else {
+      km.sync_kernel =
+          *nearest_kernel("sync", &MatrixPlan::KernelJobs::sync_job,
+                          kj.num_procs);
+      ++deg.substituted_kernels;
+      std::ostringstream os;
+      os << "sync kernel at n=" << kj.num_procs << " substituted from n="
+         << km.sync_kernel.num_procs;
+      deg.notes.push_back(os.str());
+      km.sync_kernel.num_procs = kj.num_procs;
+    }
+    if (available[kj.spin_job]) {
+      km.spin_kernel = outcomes[kj.spin_job].record;
+    } else {
+      km.spin_kernel =
+          *nearest_kernel("spin", &MatrixPlan::KernelJobs::spin_job,
+                          kj.num_procs);
+      ++deg.substituted_kernels;
+      std::ostringstream os;
+      os << "spin kernel at n=" << kj.num_procs << " substituted from n="
+         << km.spin_kernel.num_procs;
+      deg.notes.push_back(os.str());
+      km.spin_kernel.num_procs = kj.num_procs;
+    }
+    inputs.kernels.push_back(km);
+  }
+
+  inputs.notes = deg.notes;
+  inputs.validate();
+  if (degraded_out) *degraded_out = std::move(deg);
   return inputs;
 }
 

@@ -70,6 +70,32 @@ struct MatrixPlan {
 ScalToolInputs assemble_matrix(const MatrixPlan& plan,
                                std::span<const JobOutcome> outcomes);
 
+/// How a partial assembly degraded, and what it did about it.
+struct DegradedAssembly {
+  std::size_t interpolated_runs = 0;   ///< uni sweep points rebuilt
+  std::size_t substituted_kernels = 0; ///< kernel records borrowed across n
+  std::vector<std::string> notes;      ///< one line per repair
+  bool degraded() const {
+    return interpolated_runs > 0 || substituted_kernels > 0;
+  }
+};
+
+/// Joins a *partial* outcome set: `available[j]` says whether outcomes[j]
+/// is real (a quarantined or lost job is unavailable). Degradation rules:
+///   - a missing base run (s0, n) is unrecoverable — the matrix exists to
+///     measure exactly that point — so it throws CheckError naming the run;
+///   - the smallest uniprocessor run anchors pi0 (Lubeck's method) and is
+///     likewise unrecoverable;
+///   - any other missing uniprocessor sweep point is interpolated between
+///     its surviving neighbours (Sec. 2.4.1 interpolates this very curve);
+///   - a missing kernel record is substituted from the nearest machine
+///     size that still has one.
+/// Every repair is reported in `degraded` and in the result's notes.
+ScalToolInputs assemble_matrix_partial(const MatrixPlan& plan,
+                                       std::span<const JobOutcome> outcomes,
+                                       const std::vector<bool>& available,
+                                       DegradedAssembly* degraded = nullptr);
+
 class ExperimentRunner {
  public:
   /// `base_config.num_procs` is ignored; each run sets its own count.

@@ -1,0 +1,612 @@
+// Fault-injection and resilience tests: the seeded injector itself, the
+// engine's retry/quarantine machinery, graceful assembly of partial
+// matrices, and the end-to-end acceptance drill — a campaign under 20%
+// transient faults plus counter perturbation whose analysis stays within
+// a few percent of the fault-free truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "core/scaltool.hpp"
+#include "engine/campaign.hpp"
+#include "engine/fault_injector.hpp"
+#include "engine/run_cache.hpp"
+#include "runner/archive.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool {
+namespace {
+
+ExperimentRunner test_runner() {
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  return runner;
+}
+
+const std::vector<int> kProcs{1, 2, 4};
+
+std::size_t test_s0(const ExperimentRunner& runner) {
+  return 10 * runner.base_config().l2.size_bytes;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+void expect_records_eq(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.dataset_bytes, b.dataset_bytes);
+  EXPECT_EQ(a.num_procs, b.num_procs);
+  EXPECT_DOUBLE_EQ(a.metrics.cpi, b.metrics.cpi);
+  EXPECT_DOUBLE_EQ(a.metrics.h2, b.metrics.h2);
+  EXPECT_DOUBLE_EQ(a.metrics.hm, b.metrics.hm);
+  EXPECT_DOUBLE_EQ(a.execution_cycles, b.execution_cycles);
+}
+
+void expect_inputs_eq(const ScalToolInputs& a, const ScalToolInputs& b) {
+  ASSERT_EQ(a.base_runs.size(), b.base_runs.size());
+  ASSERT_EQ(a.uni_runs.size(), b.uni_runs.size());
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  for (std::size_t i = 0; i < a.base_runs.size(); ++i)
+    expect_records_eq(a.base_runs[i], b.base_runs[i]);
+  for (std::size_t i = 0; i < a.uni_runs.size(); ++i)
+    expect_records_eq(a.uni_runs[i], b.uni_runs[i]);
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    expect_records_eq(a.kernels[i].sync_kernel, b.kernels[i].sync_kernel);
+    expect_records_eq(a.kernels[i].spin_kernel, b.kernels[i].spin_kernel);
+  }
+}
+
+// ---- FaultPlan parsing ---------------------------------------------------
+
+TEST(FaultPlan, DefaultIsDisabled) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(FaultPlan::parse("").enabled());
+  EXPECT_FALSE(FaultPlan::parse("seed=99").enabled());
+}
+
+TEST(FaultPlan, ParsesEveryKey) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=7,transient=0.2,permanent=0.05,stall=0.1,stall-ms=3,"
+      "perturb=0.5,perturb-mag=0.01,drop=0.25,cache-corrupt=0.75,"
+      "target=spin,target-procs=4,target-bytes=1024");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.transient_rate, 0.2);
+  EXPECT_DOUBLE_EQ(plan.permanent_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan.stall_rate, 0.1);
+  EXPECT_EQ(plan.stall_ms, 3);
+  EXPECT_DOUBLE_EQ(plan.perturb_rate, 0.5);
+  EXPECT_DOUBLE_EQ(plan.perturb_magnitude, 0.01);
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.cache_corrupt_rate, 0.75);
+  EXPECT_EQ(plan.target, "spin");
+  EXPECT_EQ(plan.target_procs, 4);
+  EXPECT_EQ(plan.target_bytes, 1024u);
+  EXPECT_NE(plan.describe().find("transient=0.2"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsGarbage) {
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("transient=1.5"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("transient=-0.1"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("transient=abc"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("noequals"), CheckError);
+}
+
+TEST(FaultInjector, DecisionsArePureInTheirInputs) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.transient_rate = 0.5;
+  plan.permanent_rate = 0.3;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    EXPECT_EQ(a.permanent_fault(key), b.permanent_fault(key));
+    for (int attempt = 0; attempt < 4; ++attempt)
+      EXPECT_EQ(a.transient_fault(key, attempt),
+                b.transient_fault(key, attempt));
+  }
+  // A different seed must make different decisions somewhere.
+  plan.seed = 12;
+  const FaultInjector c(plan);
+  bool any_diff = false;
+  for (std::uint64_t key = 1; key <= 64 && !any_diff; ++key)
+    any_diff = a.permanent_fault(key) != c.permanent_fault(key);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, TargetFilterMatches) {
+  FaultPlan plan;
+  plan.permanent_rate = 1.0;
+  plan.target = "spin";
+  plan.target_procs = 4;
+  const FaultInjector inj(plan);
+  EXPECT_TRUE(inj.applies_to({"spin_kernel", 1_KiB, 4, false}));
+  EXPECT_FALSE(inj.applies_to({"spin_kernel", 1_KiB, 2, false}));
+  EXPECT_FALSE(inj.applies_to({"sync_kernel", 1_KiB, 4, false}));
+}
+
+// ---- Retry accounting against an oracle ----------------------------------
+
+// The engine's decisions must match a fresh injector queried with the same
+// keys: the test recomputes every job's fate independently and compares
+// the attempt/retry/quarantine tallies exactly.
+TEST(FaultyEngine, RetryAccountingMatchesInjectorOracle) {
+  const ExperimentRunner runner = test_runner();
+  const MatrixPlan plan = runner.plan_matrix("t3dheat", test_s0(runner),
+                                             kProcs);
+  FaultPlan faults;
+  faults.seed = 9;
+  faults.transient_rate = 0.5;
+  CampaignOptions options;
+  options.jobs = 4;
+  options.retries = 6;
+  options.keep_going = true;
+  options.faults = faults;
+  CampaignEngine engine(runner, options);
+  (void)engine.execute(plan);
+
+  const FaultInjector oracle(faults);
+  std::size_t exp_attempts = 0, exp_retries = 0, exp_quarantined = 0;
+  for (const RunSpec& spec : plan.jobs) {
+    const std::uint64_t key =
+        job_key_hash(spec, runner.base_config(), runner.iterations);
+    int attempts = 0;
+    bool ok = false;
+    for (int a = 0; a < options.retries + 1; ++a) {
+      ++attempts;
+      if (!oracle.transient_fault(key, a)) {
+        ok = true;
+        break;
+      }
+    }
+    exp_attempts += static_cast<std::size_t>(attempts);
+    exp_retries += static_cast<std::size_t>(attempts - 1);
+    if (!ok) ++exp_quarantined;
+  }
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.attempts, exp_attempts);
+  EXPECT_EQ(stats.retries, exp_retries);
+  EXPECT_EQ(stats.jobs_quarantined, exp_quarantined);
+  EXPECT_EQ(engine.quarantined().size(), exp_quarantined);
+  EXPECT_GT(stats.retries, 0u);  // rate 0.5 must have bitten somewhere
+  EXPECT_GT(stats.faults_injected, 0u);
+}
+
+TEST(FaultyEngine, WithoutKeepGoingAPermanentFaultAborts) {
+  const ExperimentRunner runner = test_runner();
+  FaultPlan faults;
+  faults.permanent_rate = 1.0;
+  faults.target = "spin_kernel";
+  faults.target_procs = 4;
+  CampaignOptions options;
+  options.retries = 2;
+  options.faults = faults;
+  CampaignEngine engine(runner, options);
+  const MatrixPlan plan = runner.plan_matrix("t3dheat", test_s0(runner),
+                                             kProcs);
+  EXPECT_THROW(engine.execute(plan), CheckError);
+  EXPECT_EQ(engine.stats().jobs_failed, 1u);
+}
+
+// ---- Determinism across worker counts ------------------------------------
+
+TEST(FaultyEngine, FaultyCampaignIsIdenticalAcrossWorkerCounts) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  FaultPlan faults;
+  faults.seed = 21;
+  faults.transient_rate = 0.3;
+  faults.perturb_rate = 0.3;
+  CampaignOptions serial;
+  serial.jobs = 1;
+  serial.retries = 4;
+  serial.keep_going = true;
+  serial.faults = faults;
+  CampaignOptions wide = serial;
+  wide.jobs = 8;
+
+  CampaignEngine a(runner, serial);
+  CampaignEngine b(runner, wide);
+  const ScalToolInputs ia = a.collect("t3dheat", s0, kProcs);
+  const ScalToolInputs ib = b.collect("t3dheat", s0, kProcs);
+  expect_inputs_eq(ia, ib);
+  EXPECT_EQ(ia.notes, ib.notes);
+  EXPECT_EQ(a.stats().attempts, b.stats().attempts);
+  EXPECT_EQ(a.stats().retries, b.stats().retries);
+  EXPECT_EQ(a.stats().jobs_quarantined, b.stats().jobs_quarantined);
+  EXPECT_EQ(a.stats().faults_injected, b.stats().faults_injected);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_GT(a.stats().faults_injected, 0u);
+}
+
+// ---- Targeted quarantine and kernel substitution --------------------------
+
+TEST(FaultyEngine, QuarantinedKernelIsSubstitutedFromNearestSize) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  FaultPlan faults;
+  faults.permanent_rate = 1.0;
+  faults.target = "spin_kernel";
+  faults.target_procs = 4;
+  CampaignOptions options;
+  options.jobs = 2;
+  options.retries = 1;
+  options.keep_going = true;
+  options.faults = faults;
+  CampaignEngine engine(runner, options);
+  const ScalToolInputs degraded = engine.collect("t3dheat", s0, kProcs);
+
+  ASSERT_EQ(engine.quarantined().size(), 1u);
+  EXPECT_EQ(engine.quarantined().front().spec.workload, "spin_kernel");
+  EXPECT_EQ(engine.quarantined().front().spec.num_procs, 4);
+  EXPECT_EQ(engine.quarantined().front().attempts, 2);
+  EXPECT_EQ(engine.stats().jobs_quarantined, 1u);
+  EXPECT_NEAR(engine.stats().completed_fraction(),
+              1.0 - 1.0 / static_cast<double>(engine.stats().jobs_total),
+              1e-12);
+
+  // The kernel table is still complete: n=4 borrowed the n=2 spin record.
+  const ScalToolInputs clean = test_runner().collect("t3dheat", s0, kProcs);
+  ASSERT_EQ(degraded.kernels.size(), clean.kernels.size());
+  const KernelMeasurement& k4 = degraded.kernel(4);
+  EXPECT_EQ(k4.spin_kernel.num_procs, 4);  // re-labelled for validate()
+  EXPECT_DOUBLE_EQ(k4.spin_kernel.metrics.cpi,
+                   clean.kernel(2).spin_kernel.metrics.cpi);
+  expect_records_eq(k4.sync_kernel, clean.kernel(4).sync_kernel);
+
+  // The repair is reported, and analysis still succeeds end to end.
+  bool noted_quarantine = false, noted_substitution = false;
+  for (const std::string& note : degraded.notes) {
+    if (note.find("quarantined") != std::string::npos)
+      noted_quarantine = true;
+    if (note.find("spin kernel at n=4 substituted from n=2") !=
+        std::string::npos)
+      noted_substitution = true;
+  }
+  EXPECT_TRUE(noted_quarantine);
+  EXPECT_TRUE(noted_substitution);
+  const ScalabilityReport report = analyze(degraded);
+  bool report_says_degraded = false;
+  for (const std::string& note : report.notes)
+    if (note.find("substituted") != std::string::npos)
+      report_says_degraded = true;
+  EXPECT_TRUE(report_says_degraded);
+}
+
+// ---- Partial assembly unit tests ------------------------------------------
+
+struct PartialFixture {
+  ExperimentRunner runner = test_runner();
+  MatrixPlan plan;
+  std::vector<JobOutcome> outcomes;
+  std::vector<bool> available;
+
+  PartialFixture() {
+    plan = runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+    CampaignEngine engine(runner, {});
+    outcomes = engine.execute(plan);
+    available.assign(plan.jobs.size(), true);
+  }
+};
+
+TEST(PartialAssembly, FullAvailabilityMatchesAssembleMatrix) {
+  PartialFixture fx;
+  DegradedAssembly deg;
+  const ScalToolInputs partial =
+      assemble_matrix_partial(fx.plan, fx.outcomes, fx.available, &deg);
+  const ScalToolInputs full = assemble_matrix(fx.plan, fx.outcomes);
+  expect_inputs_eq(full, partial);
+  EXPECT_FALSE(deg.degraded());
+  EXPECT_TRUE(partial.notes.empty());
+}
+
+TEST(PartialAssembly, InteriorUniPointIsInterpolated) {
+  PartialFixture fx;
+  ASSERT_GE(fx.plan.uni_jobs.size(), 3u);
+  const std::size_t missing = fx.plan.uni_jobs[1];  // interior sweep point
+  fx.available[missing] = false;
+  DegradedAssembly deg;
+  const ScalToolInputs partial =
+      assemble_matrix_partial(fx.plan, fx.outcomes, fx.available, &deg);
+  EXPECT_EQ(deg.interpolated_runs, 1u);
+  ASSERT_EQ(deg.notes.size(), 1u);
+  EXPECT_NE(deg.notes.front().find("interpolated"), std::string::npos);
+
+  // The sweep halves sizes, so the rebuilt point sits at the log-midpoint
+  // of its neighbours: rates are their arithmetic mean.
+  const RunRecord& lo = fx.outcomes[fx.plan.uni_jobs[0]].record;
+  const RunRecord& hi = fx.outcomes[fx.plan.uni_jobs[2]].record;
+  const RunRecord& mid = partial.uni_runs[1];
+  EXPECT_EQ(mid.dataset_bytes, fx.plan.jobs[missing].dataset_bytes);
+  EXPECT_NEAR(mid.metrics.cpi, 0.5 * (lo.metrics.cpi + hi.metrics.cpi),
+              1e-9);
+  EXPECT_NEAR(mid.metrics.h2, 0.5 * (lo.metrics.h2 + hi.metrics.h2), 1e-9);
+  EXPECT_NEAR(mid.metrics.hm, 0.5 * (lo.metrics.hm + hi.metrics.hm), 1e-9);
+  // The rest of the matrix is untouched and the result still validates.
+  EXPECT_EQ(partial.uni_runs.size(), fx.plan.uni_jobs.size());
+  EXPECT_NO_THROW(partial.validate());
+}
+
+TEST(PartialAssembly, ConsecutiveMissingPointsBridgeTheGap) {
+  PartialFixture fx;
+  ASSERT_GE(fx.plan.uni_jobs.size(), 4u);
+  fx.available[fx.plan.uni_jobs[1]] = false;
+  fx.available[fx.plan.uni_jobs[2]] = false;
+  DegradedAssembly deg;
+  const ScalToolInputs partial =
+      assemble_matrix_partial(fx.plan, fx.outcomes, fx.available, &deg);
+  EXPECT_EQ(deg.interpolated_runs, 2u);
+  // Both rebuilt points interpolate across the same surviving bracket.
+  const RunRecord& lo = fx.outcomes[fx.plan.uni_jobs[0]].record;
+  const RunRecord& hi = fx.outcomes[fx.plan.uni_jobs[3]].record;
+  EXPECT_GT(partial.uni_runs[1].metrics.cpi,
+            std::min(lo.metrics.cpi, hi.metrics.cpi) - 1e-9);
+  EXPECT_LT(partial.uni_runs[2].metrics.cpi,
+            std::max(lo.metrics.cpi, hi.metrics.cpi) + 1e-9);
+}
+
+TEST(PartialAssembly, MissingBaseRunIsAHardError) {
+  PartialFixture fx;
+  fx.available[fx.plan.base_jobs[1]] = false;  // the n=2 base run
+  try {
+    assemble_matrix_partial(fx.plan, fx.outcomes, fx.available);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("base run"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=2"), std::string::npos) << what;
+    EXPECT_NE(what.find("unrecoverable"), std::string::npos) << what;
+  }
+}
+
+TEST(PartialAssembly, MissingAnchorIsAHardError) {
+  PartialFixture fx;
+  fx.available[fx.plan.uni_jobs.back()] = false;
+  try {
+    assemble_matrix_partial(fx.plan, fx.outcomes, fx.available);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("pi0 anchor"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PartialAssembly, AllKernelsOfOneKindLostIsAHardError) {
+  PartialFixture fx;
+  for (const MatrixPlan::KernelJobs& kj : fx.plan.kernel_jobs)
+    fx.available[kj.spin_job] = false;
+  try {
+    assemble_matrix_partial(fx.plan, fx.outcomes, fx.available);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("spin"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- Robust fit under replicates ------------------------------------------
+
+TEST(RobustModel, ReplicateMedianShrugsOffOnePerturbedRun) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  const ScalToolInputs clean = runner.collect("t3dheat", s0, kProcs);
+  const CpiModel reference = estimate_cpi_model(clean);
+
+  // Replicate every L2-overflowing triplet three times and wreck one
+  // replica's CPI: the median aggregation must ignore it completely.
+  ScalToolInputs replicated = clean;
+  std::vector<RunRecord> uni;
+  for (const RunRecord& r : clean.uni_runs) {
+    uni.push_back(r);
+    if (static_cast<double>(r.dataset_bytes) > 2.0 * clean.l2_bytes) {
+      RunRecord bad = r;
+      bad.metrics.cpi *= 3.0;
+      uni.push_back(bad);
+      uni.push_back(r);
+    }
+  }
+  replicated.uni_runs = std::move(uni);
+  CpiModelOptions options;
+  options.robust = true;
+  const CpiModel robust = estimate_cpi_model(replicated, options);
+  EXPECT_NEAR(robust.t2, reference.t2, 1e-9);
+  EXPECT_NEAR(robust.tm1, reference.tm1, 1e-9);
+  EXPECT_NEAR(robust.pi0, reference.pi0, 1e-9);
+  bool noted = false;
+  for (const std::string& note : robust.notes)
+    if (note.find("aggregated 3 replicate triplets") != std::string::npos)
+      noted = true;
+  EXPECT_TRUE(noted);
+}
+
+// ---- NOTE records in archives ---------------------------------------------
+
+TEST(ArchiveNotes, RoundTripAndSanitization) {
+  const ExperimentRunner runner = test_runner();
+  ScalToolInputs inputs = runner.collect("t3dheat", test_s0(runner), kProcs);
+  inputs.notes = {"plain note", "pipe | and\nnewline"};
+  std::ostringstream os;
+  write_inputs(inputs, os);
+  std::istringstream is(os.str());
+  const ScalToolInputs back = read_inputs(is);
+  ASSERT_EQ(back.notes.size(), 2u);
+  EXPECT_EQ(back.notes[0], "plain note");
+  EXPECT_EQ(back.notes[1], "pipe / and newline");
+}
+
+TEST(ArchiveNotes, AbsentNotesLeaveTheArchiveByteIdentical) {
+  const ExperimentRunner runner = test_runner();
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", test_s0(runner), kProcs);
+  std::ostringstream a, b;
+  write_inputs(inputs, a);
+  ScalToolInputs copy = inputs;
+  copy.notes.clear();
+  write_inputs(copy, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str().find("NOTE|"), std::string::npos);
+}
+
+// ---- Cache corruption recovery --------------------------------------------
+
+TEST(FaultyEngine, InjectedCacheRotIsRecoveredOnTheWarmRun) {
+  const std::string path = "/tmp/scaltool_fault_cache_rot_test.txt";
+  std::remove(path.c_str());
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  FaultPlan faults;
+  faults.cache_corrupt_rate = 1.0;  // rot every saved entry
+  CampaignOptions options;
+  options.jobs = 2;
+  options.cache_path = path;
+  options.faults = faults;
+
+  CampaignEngine cold(runner, options);
+  const ScalToolInputs first = cold.collect("t3dheat", s0, kProcs);
+
+  // The rot happened after save: the published file exists but its ENTRY
+  // payloads are garbled. A warm campaign must recover by re-running.
+  EXPECT_NE(slurp(path).find('#'), std::string::npos);
+  CampaignEngine warm(runner, options);
+  const ScalToolInputs second = warm.collect("t3dheat", s0, kProcs);
+  expect_inputs_eq(first, second);
+  EXPECT_EQ(warm.stats().jobs_run + warm.stats().jobs_cached,
+            warm.stats().jobs_total);
+  EXPECT_GT(warm.stats().jobs_run, 0u);  // at least one entry was lost
+  EXPECT_EQ(warm.stats().cache_recovery_events,
+            warm.stats().cache_entries_corrupt);
+}
+
+// ---- Byte-identity with faults disabled -----------------------------------
+
+TEST(FaultyEngine, ResilienceOptionsAloneKeepArchivesByteIdentical) {
+  const std::string serial_path = "/tmp/scaltool_fault_serial_archive.txt";
+  const std::string engine_path = "/tmp/scaltool_fault_engine_archive.txt";
+  std::ostringstream os;
+  ASSERT_EQ(cli::run_command({"collect", "t3dheat", "--size=10xL2",
+                              "--max-procs=4", "--iters=2", "--jobs=1",
+                              "--out=" + serial_path},
+                             os),
+            0);
+  // Retries + keep-going engaged, but no fault plan: nothing ever fails,
+  // so the archive must be byte-identical to the serial baseline.
+  ASSERT_EQ(cli::run_command({"collect", "t3dheat", "--size=10xL2",
+                              "--max-procs=4", "--iters=2", "--jobs=8",
+                              "--retries=3", "--keep-going",
+                              "--out=" + engine_path},
+                             os),
+            0);
+  const std::string serial = slurp(serial_path);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, slurp(engine_path));
+  std::remove(serial_path.c_str());
+  std::remove(engine_path.c_str());
+}
+
+// ---- CLI exit codes --------------------------------------------------------
+
+TEST(FaultyCli, DegradedCollectExitsThreeAndReportsRepairs) {
+  const std::string out = "/tmp/scaltool_fault_degraded_archive.txt";
+  std::remove(out.c_str());
+  std::ostringstream os;
+  const int rc = cli::run_command(
+      {"collect", "t3dheat", "--size=10xL2", "--max-procs=4", "--iters=2",
+       "--jobs=2", "--retries=1", "--keep-going",
+       "--faults=permanent=1,target=spin_kernel,target-procs=4",
+       "--out=" + out},
+      os);
+  EXPECT_EQ(rc, 3);
+  EXPECT_NE(os.str().find("degraded:"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("quarantined"), std::string::npos) << os.str();
+
+  // The archive carries the provenance, so analyzing it is degraded too —
+  // and the report lists the repairs.
+  std::ostringstream analyze_os;
+  EXPECT_EQ(cli::run_command({"analyze", out, "--iters=2"}, analyze_os), 3);
+  EXPECT_NE(analyze_os.str().find("substituted"), std::string::npos)
+      << analyze_os.str();
+  std::remove(out.c_str());
+}
+
+TEST(FaultyCli, HardFailureExitsOne) {
+  std::ostringstream os;
+  const int rc = cli::run_command(
+      {"collect", "t3dheat", "--size=10xL2", "--max-procs=2", "--iters=2",
+       "--retries=1", "--keep-going",
+       "--faults=permanent=1,target=t3dheat,target-procs=2",
+       "--out=/tmp/scaltool_fault_never_written.txt"},
+      os);
+  EXPECT_EQ(rc, 1);  // a lost base run cannot be repaired
+  EXPECT_NE(os.str().find("unrecoverable"), std::string::npos) << os.str();
+}
+
+TEST(FaultyCli, HelpDocumentsResilienceFlagsAndExitCodes) {
+  std::ostringstream os;
+  cli::print_help(os);
+  for (const char* needle :
+       {"--retries", "--keep-going", "--faults", "--robust-fit",
+        "--backoff-ms", "exit codes", "degraded"})
+    EXPECT_NE(os.str().find(needle), std::string::npos) << needle;
+}
+
+// ---- Acceptance drill ------------------------------------------------------
+
+// ISSUE acceptance: seeded 20% transient fault rate plus 5% perturbation on
+// t3dheat; collection with keep-going and 3 retries completes, and the
+// analyzed CPI breakdown differs from the fault-free analysis by < 5%.
+TEST(FaultAcceptance, NoisyCampaignStaysWithinFivePercent) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  const ScalToolInputs clean = runner.collect("t3dheat", s0, kProcs);
+
+  FaultPlan faults;
+  faults.seed = 42;
+  faults.transient_rate = 0.2;
+  faults.perturb_rate = 0.05;
+  CampaignOptions options;
+  options.jobs = 4;
+  options.retries = 3;
+  options.keep_going = true;
+  options.faults = faults;
+  CampaignEngine engine(runner, options);
+  const ScalToolInputs noisy = engine.collect("t3dheat", s0, kProcs);
+  EXPECT_GT(engine.stats().faults_injected, 0u);
+
+  AnalyzeOptions robust;
+  robust.cpi.robust = true;
+  const ScalabilityReport truth = analyze(clean);
+  const ScalabilityReport report = analyze(noisy, robust);
+  ASSERT_EQ(report.points.size(), truth.points.size());
+  const auto within = [](double got, double want, const char* what, int n) {
+    const double rel = std::abs(got - want) / std::max(std::abs(want), 1e-12);
+    EXPECT_LT(rel, 0.05) << what << " at n=" << n << ": " << got << " vs "
+                         << want;
+  };
+  for (std::size_t i = 0; i < truth.points.size(); ++i) {
+    const BottleneckPoint& t = truth.points[i];
+    const BottleneckPoint& p = report.points[i];
+    within(p.cpi_base, t.cpi_base, "cpi_base", t.n);
+    within(p.base_cycles, t.base_cycles, "base_cycles", t.n);
+    within(p.cycles_no_l2lim, t.cycles_no_l2lim, "cycles_no_l2lim", t.n);
+    within(p.cycles_no_l2lim_no_mp, t.cycles_no_l2lim_no_mp,
+           "cycles_no_l2lim_no_mp", t.n);
+  }
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -159,5 +159,106 @@ TEST_P(InterpEnvelopeTest, StaysWithinEnvelope) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InterpEnvelopeTest, ::testing::Range(1, 11));
 
+// ---- Degenerate designs are named, not anonymous -------------------------
+
+TEST(LeastSquares, NamesAnAllZeroPredictorColumn) {
+  // Column 1 is identically zero — a dead counter group.
+  std::vector<std::vector<double>> rows{{1, 0}, {2, 0}, {3, 0}};
+  std::vector<double> y{2, 4, 6};
+  try {
+    least_squares(rows, y);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("identically zero"), std::string::npos) << what;
+  }
+}
+
+TEST(LeastSquares, NamesACollinearPredictorColumn) {
+  // Column 1 = 2 × column 0: XᵀX is singular at the second pivot.
+  std::vector<std::vector<double>> rows{{1, 2}, {2, 4}, {3, 6}};
+  std::vector<double> y{1, 2, 3};
+  try {
+    least_squares(rows, y);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("collinear"), std::string::npos) << what;
+  }
+}
+
+// ---- median ---------------------------------------------------------------
+
+TEST(Median, OddEvenAndSingleton) {
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW(median(std::vector<double>{}), CheckError);
+}
+
+// ---- Robust fit -----------------------------------------------------------
+
+TEST(RobustFit, RejectsASingleGrossOutlier) {
+  // y = 2·x exactly, except one wrecked observation.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 10; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    y.push_back(2.0 * i);
+  }
+  y[4] = 100.0;  // gross outlier at index 4
+  const RobustLsqFit robust = robust_least_squares(rows, y);
+  EXPECT_NEAR(robust.fit.coef[0], 2.0, 1e-9);
+  ASSERT_EQ(robust.rejected.size(), 1u);
+  EXPECT_EQ(robust.rejected.front(), 4u);
+  EXPECT_GE(robust.rounds, 1);
+}
+
+TEST(RobustFit, CleanDataRejectsNothingAndMatchesPlainFit) {
+  Rng rng(321);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) {
+    const double a = 0.1 + rng.next_double();
+    const double b = 0.1 + rng.next_double();
+    rows.push_back({a, b});
+    // Mild uniform noise, no outliers.
+    y.push_back(3.0 * a + 5.0 * b + 0.01 * (rng.next_double() - 0.5));
+  }
+  const LsqFit plain = least_squares(rows, y);
+  const RobustLsqFit robust = robust_least_squares(rows, y);
+  EXPECT_TRUE(robust.rejected.empty());
+  EXPECT_DOUBLE_EQ(robust.fit.coef[0], plain.coef[0]);
+  EXPECT_DOUBLE_EQ(robust.fit.coef[1], plain.coef[1]);
+}
+
+TEST(RobustFit, NeverRejectsBelowTheFloor) {
+  // Three points, one predictor: floor is k+1 = 2 survivors, so at most
+  // one rejection no matter how wild the data.
+  std::vector<std::vector<double>> rows{{1.0}, {2.0}, {3.0}};
+  std::vector<double> y{2.0, 50.0, 6.0};
+  RobustFitOptions options;
+  options.outlier_threshold = 0.5;  // aggressive
+  const RobustLsqFit robust = robust_least_squares(rows, y, options);
+  EXPECT_LE(robust.rejected.size(), 1u);
+}
+
+TEST(RobustFit, MinPointsOptionIsHonoured) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 8; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    y.push_back(2.0 * i);
+  }
+  y[2] = 40.0;
+  y[6] = -30.0;
+  RobustFitOptions options;
+  options.min_points = 7;  // allows only one rejection
+  const RobustLsqFit robust = robust_least_squares(rows, y, options);
+  EXPECT_LE(robust.rejected.size(), 1u);
+}
+
 }  // namespace
 }  // namespace scaltool

@@ -4,12 +4,16 @@
 // garbage with CheckError — never crash, hang or silently accept.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/check.hpp"
 #include "apps/apps.hpp"
 #include "common/rng.hpp"
+#include "engine/campaign.hpp"
+#include "engine/run_cache.hpp"
 #include "machine/dsm_machine.hpp"
 #include "core/scaltool.hpp"
 #include "runner/archive.hpp"
@@ -87,6 +91,97 @@ TEST_P(TraceFuzzTest, SingleByteMutationsAreHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzzTest, ::testing::Range(1, 9));
+
+// ---- Multi-byte corruption and truncation --------------------------------
+
+// Harsher than the single-byte property: flip up to 16 bytes at once, or
+// truncate the file mid-record. Same contract — parse to valid inputs or
+// throw, never crash or accept garbage.
+class ArchiveHeavyFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchiveHeavyFuzzTest, MultiByteCorruptionAndTruncationAreHandled) {
+  static const std::string pristine = [] {
+    std::ostringstream os;
+    write_inputs(small_inputs(), os);
+    return os.str();
+  }();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string mutated = pristine;
+    if (trial % 3 == 0) {
+      // Truncate at an arbitrary byte (possibly mid-line, mid-number).
+      mutated.resize(1 + rng.next_below(mutated.size()));
+    } else {
+      const std::size_t flips = 2 + rng.next_below(15);
+      for (std::size_t f = 0; f < flips; ++f)
+        mutated[rng.next_below(mutated.size())] =
+            static_cast<char>(rng.next_below(256));
+    }
+    std::istringstream is(mutated);
+    try {
+      const ScalToolInputs parsed = read_inputs(is);
+      ASSERT_NO_THROW(parsed.validate());
+    } catch (const std::exception&) {
+      // Rejection is the expected outcome for most mutations.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveHeavyFuzzTest, ::testing::Range(1, 9));
+
+// The run cache has a stronger contract than the archive reader: any
+// corruption or truncation is tolerated at entry granularity — loading
+// never throws, and every entry that does load is internally consistent.
+class RunCacheFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunCacheFuzzTest, CorruptionAndTruncationNeverAbortLoading) {
+  static const std::string cache_path = [] {
+    const std::string path = "/tmp/scaltool_runcache_fuzz_pristine.txt";
+    std::remove(path.c_str());
+    ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+    runner.iterations = 2;
+    const MatrixPlan plan = runner.plan_matrix(
+        "t3dheat", 10 * runner.base_config().l2.size_bytes,
+        std::vector<int>{1, 2});
+    CampaignOptions options;
+    options.cache_path = path;
+    CampaignEngine engine(runner, options);
+    (void)engine.execute(plan);
+    return path;
+  }();
+  static const std::string pristine = [] {
+    std::ifstream is(cache_path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+  }();
+  ASSERT_FALSE(pristine.empty());
+
+  const std::string mutated_path = "/tmp/scaltool_runcache_fuzz_mut.txt";
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2862933555777941757ULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string mutated = pristine;
+    if (trial % 3 == 0) {
+      mutated.resize(1 + rng.next_below(mutated.size()));
+    } else {
+      const std::size_t flips = 2 + rng.next_below(15);
+      for (std::size_t f = 0; f < flips; ++f)
+        mutated[rng.next_below(mutated.size())] =
+            static_cast<char>(rng.next_below(256));
+    }
+    {
+      std::ofstream os(mutated_path, std::ios::trunc);
+      os << mutated;
+    }
+    // Constructing the cache performs the tolerant load; it must never
+    // throw, and the survivors must be sane.
+    RunCache cache(mutated_path);
+    EXPECT_LE(cache.size(), cache.loaded_entries());
+  }
+  std::remove(mutated_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunCacheFuzzTest, ::testing::Range(1, 9));
 
 // ---- Report rendering content -------------------------------------------
 
