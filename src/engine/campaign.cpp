@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <exception>
 #include <future>
 #include <mutex>
@@ -135,7 +136,7 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
         if (faultable) {
           if (const int ms = injector_->stall_ms(key, attempt))
             std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-          ST_CHECK_MSG(!injector_->permanent_fault(key),
+          ST_CHECK_MSG(!injector_->permanent_fault(key, attempt),
                        "injected permanent fault");
           ST_CHECK_MSG(!injector_->transient_fault(key, attempt),
                        "injected transient fault");
@@ -159,9 +160,14 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
         os << describe_spec(spec) << ": attempt " << attempt + 1 << "/"
            << max_attempts << " failed — " << last_error;
         log_event(os.str());
-        if (attempt + 1 < max_attempts && options_.backoff_ms > 0)
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              options_.backoff_ms << attempt));
+        if (attempt + 1 < max_attempts && options_.backoff_ms > 0) {
+          // Exponent clamped so arbitrary --retries cannot overflow the
+          // shift (the doubling saturates, it never wraps negative).
+          const std::int64_t delay_ms =
+              static_cast<std::int64_t>(options_.backoff_ms)
+              << std::min(attempt, 20);
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        }
       }
     }
     // All attempts exhausted.

@@ -35,9 +35,38 @@ double rate_field(const std::string& key, const std::string& value) {
   } catch (const std::exception&) {
     pos = std::string::npos;
   }
-  ST_CHECK_MSG(pos == value.size() && v >= 0.0 && v <= 1.0,
+  ST_CHECK_MSG(!value.empty() && pos == value.size() && v >= 0.0 && v <= 1.0,
                "fault plan: " << key << "=" << value
                               << " is not a rate in [0, 1]");
+  return v;
+}
+
+std::uint64_t u64_field(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  ST_CHECK_MSG(!value.empty() && value.find('-') == std::string::npos &&
+                   pos == value.size(),
+               "fault plan: " << key << "=" << value
+                              << " is not an unsigned integer");
+  return v;
+}
+
+int int_field(const std::string& key, const std::string& value, int min) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  ST_CHECK_MSG(!value.empty() && pos == value.size() && v >= min,
+               "fault plan: " << key << "=" << value
+                              << " is not an integer >= " << min);
   return v;
 }
 
@@ -60,7 +89,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
     if (key == "seed") {
-      plan.seed = std::stoull(value);
+      plan.seed = u64_field(key, value);
     } else if (key == "transient") {
       plan.transient_rate = rate_field(key, value);
     } else if (key == "permanent") {
@@ -68,8 +97,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (key == "stall") {
       plan.stall_rate = rate_field(key, value);
     } else if (key == "stall-ms") {
-      plan.stall_ms = std::stoi(value);
-      ST_CHECK_MSG(plan.stall_ms >= 0, "fault plan: stall-ms must be >= 0");
+      plan.stall_ms = int_field(key, value, 0);
     } else if (key == "perturb") {
       plan.perturb_rate = rate_field(key, value);
     } else if (key == "perturb-mag") {
@@ -81,9 +109,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (key == "target") {
       plan.target = value;
     } else if (key == "target-procs") {
-      plan.target_procs = std::stoi(value);
+      plan.target_procs = int_field(key, value, 0);
     } else if (key == "target-bytes") {
-      plan.target_bytes = static_cast<std::size_t>(std::stoull(value));
+      plan.target_bytes = static_cast<std::size_t>(u64_field(key, value));
     } else {
       ST_CHECK_MSG(false, "fault plan: unknown key \"" << key
                           << "\" (see scaltool --help)");
@@ -130,10 +158,10 @@ double FaultInjector::draw(std::uint64_t key, int attempt,
   return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
-bool FaultInjector::permanent_fault(std::uint64_t key) const {
+bool FaultInjector::permanent_fault(std::uint64_t key, int attempt) const {
   if (plan_.permanent_rate <= 0.0) return false;
   const bool hit = draw(key, 0, kTagPermanent) < plan_.permanent_rate;
-  if (hit) ++permanent_;
+  if (hit && attempt == 0) ++permanent_;
   return hit;
 }
 

@@ -84,8 +84,10 @@ class FaultInjector {
   /// Target filter: does the plan apply to this job at all?
   bool applies_to(const RunSpec& spec) const;
 
-  /// Per-job decision: this job fails on every attempt.
-  bool permanent_fault(std::uint64_t key) const;
+  /// Per-job decision: this job fails on every attempt. The decision
+  /// ignores `attempt`; it only scopes the tally, which counts the fault
+  /// once per job (on attempt 0) rather than once per retry.
+  bool permanent_fault(std::uint64_t key, int attempt = 0) const;
 
   /// Per-attempt decision (attempt is 0-based): this attempt fails but a
   /// retry may succeed. Tallies the injected fault.

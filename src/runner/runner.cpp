@@ -207,8 +207,8 @@ RunRecord interpolate_uni_record(const RunSpec& spec, const RunRecord& lo,
   r.metrics.l1_hitr = lerp(lo.metrics.l1_hitr, hi.metrics.l1_hitr);
   r.metrics.l2_hitr = lerp(lo.metrics.l2_hitr, hi.metrics.l2_hitr);
   r.metrics.mem_frac = lerp(lo.metrics.mem_frac, hi.metrics.mem_frac);
-  r.metrics.instructions = geo(lo.metrics.instructions,
-                               hi.metrics.instructions);
+  r.metrics.instructions = geo(std::max(lo.metrics.instructions, 1.0),
+                               std::max(hi.metrics.instructions, 1.0));
   r.metrics.cycles = r.metrics.cpi * r.metrics.instructions;
   r.metrics.store_to_shared = geo(std::max(lo.metrics.store_to_shared, 1.0),
                                   std::max(hi.metrics.store_to_shared, 1.0));
@@ -262,22 +262,34 @@ ScalToolInputs assemble_matrix_partial(const MatrixPlan& plan,
                                        "cannot be anchored without it");
   }
 
-  // Interior sweep points interpolate between surviving neighbours
-  // (uni_jobs is sorted by descending data-set size; both ends are
-  // guaranteed available by the checks above).
+  // Missing interior sweep points interpolate between surviving
+  // neighbours (uni_jobs is sorted by descending data-set size). The
+  // small end is anchored by the check above and the s0 point is a base
+  // run, but calibration points larger than s0 have no guaranteed larger
+  // neighbour: when one is lost it is dropped — honestly shrinking the
+  // overflow fit — rather than extrapolated.
   for (std::size_t p = 0; p < plan.uni_jobs.size(); ++p) {
     const std::size_t j = plan.uni_jobs[p];
+    const RunSpec& spec = plan.jobs[j];
     if (available[j]) {
       inputs.uni_runs.push_back(outcomes[j].record);
       continue;
     }
-    // Both ends of the sweep are guaranteed available (s0 is a base run,
-    // the smallest point is the anchor), so these scans terminate.
-    std::size_t lo = p - 1;
-    while (!available[plan.uni_jobs[lo]]) --lo;
+    std::size_t lo = p;
+    while (lo > 0 && !available[plan.uni_jobs[lo - 1]]) --lo;
+    if (lo == 0) {
+      ++deg.dropped_points;
+      std::ostringstream os;
+      os << "uni run (" << spec.workload << ", s=" << spec.dataset_bytes
+         << ") dropped: no larger surviving point to interpolate from";
+      deg.notes.push_back(os.str());
+      continue;
+    }
+    --lo;
+    // The smallest point is guaranteed available (anchor check), so this
+    // scan terminates.
     std::size_t hi = p + 1;
     while (!available[plan.uni_jobs[hi]]) ++hi;
-    const RunSpec& spec = plan.jobs[j];
     inputs.uni_runs.push_back(interpolate_uni_record(
         spec, outcomes[plan.uni_jobs[lo]].record,
         outcomes[plan.uni_jobs[hi]].record));

@@ -73,10 +73,12 @@ ScalToolInputs assemble_matrix(const MatrixPlan& plan,
 /// How a partial assembly degraded, and what it did about it.
 struct DegradedAssembly {
   std::size_t interpolated_runs = 0;   ///< uni sweep points rebuilt
+  std::size_t dropped_points = 0;      ///< uni sweep points lost outright
   std::size_t substituted_kernels = 0; ///< kernel records borrowed across n
   std::vector<std::string> notes;      ///< one line per repair
   bool degraded() const {
-    return interpolated_runs > 0 || substituted_kernels > 0;
+    return interpolated_runs > 0 || dropped_points > 0 ||
+           substituted_kernels > 0;
   }
 };
 
@@ -88,6 +90,8 @@ struct DegradedAssembly {
 ///     likewise unrecoverable;
 ///   - any other missing uniprocessor sweep point is interpolated between
 ///     its surviving neighbours (Sec. 2.4.1 interpolates this very curve);
+///     a calibration point above s0 with no larger surviving neighbour is
+///     dropped instead of extrapolated;
 ///   - a missing kernel record is substituted from the nearest machine
 ///     size that still has one.
 /// Every repair is reported in `degraded` and in the result's notes.

@@ -105,6 +105,16 @@ TEST(FaultPlan, RejectsGarbage) {
   EXPECT_THROW(FaultPlan::parse("transient=-0.1"), CheckError);
   EXPECT_THROW(FaultPlan::parse("transient=abc"), CheckError);
   EXPECT_THROW(FaultPlan::parse("noequals"), CheckError);
+  // Integer fields must reject non-numbers, trailing garbage, and signs —
+  // as CheckError with the offending key, not a raw std:: exception.
+  EXPECT_THROW(FaultPlan::parse("seed=abc"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("seed=12xy"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("seed=-1"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("seed="), CheckError);
+  EXPECT_THROW(FaultPlan::parse("stall-ms=abc"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("stall-ms=-5"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("target-procs=4x"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("target-bytes=1e3"), CheckError);
 }
 
 TEST(FaultInjector, DecisionsArePureInTheirInputs) {
@@ -127,6 +137,17 @@ TEST(FaultInjector, DecisionsArePureInTheirInputs) {
   for (std::uint64_t key = 1; key <= 64 && !any_diff; ++key)
     any_diff = a.permanent_fault(key) != c.permanent_fault(key);
   EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, PermanentFaultTalliesOncePerJob) {
+  FaultPlan plan;
+  plan.permanent_rate = 1.0;
+  const FaultInjector inj(plan);
+  // The engine queries once per attempt; only attempt 0 may tally, so a
+  // retried permanent fault still counts as one injected fault.
+  for (int attempt = 0; attempt < 4; ++attempt)
+    EXPECT_TRUE(inj.permanent_fault(7, attempt));
+  EXPECT_EQ(inj.counts().permanent, 1u);
 }
 
 TEST(FaultInjector, TargetFilterMatches) {
@@ -384,6 +405,36 @@ TEST(PartialAssembly, MissingAnchorIsAHardError) {
     EXPECT_NE(std::string(e.what()).find("pi0 anchor"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(PartialAssembly, MissingLargestCalibrationPointIsDropped) {
+  // With s0 = 4xL2 the calibration schedule appends a 6xL2 point, so the
+  // largest sweep point is *not* a base run and can be quarantined. It has
+  // no larger surviving neighbour to interpolate from; the assembly must
+  // drop it (and say so) rather than read out of bounds.
+  ExperimentRunner runner = test_runner();
+  const std::size_t s0 = 4 * runner.base_config().l2.size_bytes;
+  const MatrixPlan plan = runner.plan_matrix("t3dheat", s0, kProcs);
+  ASSERT_GT(plan.jobs[plan.uni_jobs.front()].dataset_bytes, s0);
+  CampaignEngine engine(runner, {});
+  const std::vector<JobOutcome> outcomes = engine.execute(plan);
+  std::vector<bool> available(plan.jobs.size(), true);
+  available[plan.uni_jobs.front()] = false;
+
+  DegradedAssembly deg;
+  const ScalToolInputs partial =
+      assemble_matrix_partial(plan, outcomes, available, &deg);
+  EXPECT_EQ(deg.dropped_points, 1u);
+  EXPECT_EQ(deg.interpolated_runs, 0u);
+  EXPECT_TRUE(deg.degraded());
+  ASSERT_EQ(deg.notes.size(), 1u);
+  EXPECT_NE(deg.notes.front().find("dropped"), std::string::npos);
+  // The sweep shrinks by exactly the lost point; the survivor set still
+  // starts at s0 and validates end to end.
+  EXPECT_EQ(partial.uni_runs.size(), plan.uni_jobs.size() - 1);
+  EXPECT_EQ(partial.uni_runs.front().dataset_bytes, s0);
+  EXPECT_NO_THROW(partial.validate());
+  EXPECT_NO_THROW(analyze(partial));
 }
 
 TEST(PartialAssembly, AllKernelsOfOneKindLostIsAHardError) {
