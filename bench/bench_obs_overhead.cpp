@@ -1,0 +1,90 @@
+// Telemetry overhead gate: the cached-campaign path (every job a cache
+// hit — the worst case for relative overhead, since the jobs themselves
+// are nearly free) is timed with telemetry disabled and enabled. The
+// bench takes the minimum over several warm passes per mode to shed
+// scheduler noise, and fails loudly (exit 1) when the enabled path costs
+// more than 5% over the disabled one — with a small absolute floor so a
+// microsecond-scale wobble on a fast machine cannot flake the gate.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "common/table.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
+#include "obs/telemetry.hpp"
+
+namespace scaltool::bench {
+namespace {
+
+constexpr const char* kCachePath = "/tmp/scaltool_bench_obs_cache.txt";
+constexpr int kMaxProcs = 8;
+constexpr int kPasses = 7;
+constexpr double kMaxOverheadPct = 5.0;
+// Below this absolute delta the 5% rule is noise, not signal.
+constexpr double kNoiseFloorSeconds = 0.02;
+
+int run() {
+  const ExperimentRunner runner = make_runner();
+  const std::size_t s0 = runner.base_config().l2.size_bytes;
+  const std::vector<int> procs = default_proc_counts(kMaxProcs);
+  CampaignOptions options;
+  options.jobs = 4;
+  options.cache_path = kCachePath;
+
+  const auto collect_pass = [&] {
+    EngineStats stats;
+    (void)run_matrix_parallel(runner, "compute_kernel", s0, procs, options,
+                              &stats);
+  };
+
+  std::cout << "# obs overhead: compute_kernel, s0 = " << format_bytes(s0)
+            << ", procs 1.." << kMaxProcs << ", " << kPasses
+            << " warm passes per mode\n";
+  std::remove(kCachePath);
+  collect_pass();  // cold pass: populate the cache
+
+  double off = 1e300;
+  for (int i = 0; i < kPasses; ++i)
+    off = std::min(off, timed_seconds(collect_pass));
+
+  double on = 1e300;
+  for (int i = 0; i < kPasses; ++i) {
+    obs::enable();  // fresh session per pass: the trace never accumulates
+    on = std::min(on, timed_seconds(collect_pass));
+    obs::disable();
+  }
+  std::remove(kCachePath);
+
+  const double delta = on - off;
+  const double overhead_pct = off > 0.0 ? 100.0 * delta / off : 0.0;
+  const bool fail =
+      overhead_pct > kMaxOverheadPct && delta > kNoiseFloorSeconds;
+
+  Table table("Telemetry overhead (warm cache, min of passes)");
+  table.header({"mode", "wall_s"});
+  table.add_row({"disabled", Table::cell(off, 4)});
+  table.add_row({"enabled", Table::cell(on, 4)});
+  table.print(std::cout, /*with_csv=*/true);
+  std::cout << "{\"bench\":\"obs_overhead\",\"disabled_s\":" << off
+            << ",\"enabled_s\":" << on << ",\"overhead_pct\":"
+            << overhead_pct << ",\"pass\":" << (fail ? "false" : "true")
+            << "}\n";
+  if (fail) {
+    std::cout << "FAIL: enabled telemetry costs " << overhead_pct
+              << "% over disabled (budget " << kMaxOverheadPct << "%, "
+              << delta << " s over the " << kNoiseFloorSeconds
+              << " s noise floor)\n";
+    return 1;
+  }
+  std::cout << "PASS: enabled telemetry costs " << overhead_pct
+            << "% over disabled (budget " << kMaxOverheadPct << "%)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace scaltool::bench
+
+int main() { return scaltool::bench::run(); }

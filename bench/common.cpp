@@ -10,6 +10,7 @@
 #include "apps/apps.hpp"
 #include "common/ascii_chart.hpp"
 #include "common/check.hpp"
+#include "common/monotime.hpp"
 #include "engine/campaign.hpp"
 #include "engine/engine_stats.hpp"
 
@@ -47,6 +48,12 @@ int bench_jobs() {
 std::string bench_cache_path() {
   if (const char* env = std::getenv("SCALTOOL_BENCH_CACHE")) return env;
   return "scaltool-bench-cache.txt";
+}
+
+double timed_seconds(const std::function<void()>& fn) {
+  const Stopwatch timer;
+  fn();
+  return timer.seconds();
 }
 
 ScalToolInputs collect_app(const std::string& app, int max_procs) {

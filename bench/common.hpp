@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "core/scaltool.hpp"
@@ -39,6 +40,10 @@ int bench_jobs();
 /// defaulting to "scaltool-bench-cache.txt" in the working directory.
 /// Set it to the empty string to disable the cache.
 std::string bench_cache_path();
+
+/// Wall-clock seconds of one call, on the shared monotonic clock
+/// (common/monotime.hpp) — the one timing idiom for every bench binary.
+double timed_seconds(const std::function<void()>& fn);
 
 /// Collects the full measurement matrix for an application through the
 /// campaign engine (parallel workers + persistent run cache); prints a

@@ -10,6 +10,9 @@
 #include "common/check.hpp"
 #include "core/scaltool.hpp"
 #include "engine/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "runner/archive.hpp"
 #include "runner/runner.hpp"
 #include "trace/trace_io.hpp"
@@ -78,6 +81,48 @@ bool engine_engaged(const CampaignOptions& options) {
   return options.jobs > 1 || !options.cache_path.empty() ||
          options.retries > 0 || options.keep_going ||
          options.faults.enabled();
+}
+
+/// Telemetry options shared by collect/analyze/whatif. Telemetry stays off
+/// unless one of --trace-out/--metrics-out/--obs asks for it, so the default
+/// paths (and their output bytes) are untouched.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool table = false;
+
+  bool engaged() const {
+    return !trace_out.empty() || !metrics_out.empty() || table;
+  }
+};
+
+ObsOptions obs_from(const Args& args) {
+  ObsOptions options;
+  options.trace_out = args.get("trace-out", "");
+  options.metrics_out = args.get("metrics-out", "");
+  options.table = args.has("obs");
+  if (options.engaged()) obs::enable();
+  return options;
+}
+
+/// Flushes the telemetry a command gathered: trace and metrics files first,
+/// then the human summary. Disables telemetry so a later command in the same
+/// process starts from a clean registry.
+void finish_obs(const ObsOptions& options, std::ostream& os) {
+  if (!options.engaged()) return;
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::instance().snapshot();
+  if (!options.trace_out.empty()) {
+    obs::write_text_file(options.trace_out, obs::chrome_trace_json());
+    os << "trace written to " << options.trace_out
+       << " (open in chrome://tracing or Perfetto)\n";
+  }
+  if (!options.metrics_out.empty()) {
+    obs::write_text_file(options.metrics_out, obs::metrics_json(snap));
+    os << "metrics written to " << options.metrics_out << "\n";
+  }
+  if (options.table)
+    for (const Table& table : obs::metrics_tables(snap)) table.print(os);
+  obs::disable();
 }
 
 /// Collects the matrix, through the campaign engine when --jobs/--cache/
@@ -172,6 +217,7 @@ int cmd_collect(const Args& args, std::ostream& os) {
   const std::string out = args.get("out", "");
   ST_CHECK_MSG(!app.empty() && !out.empty(),
                "usage: scaltool collect <app> --out=FILE");
+  const ObsOptions obs_options = obs_from(args);
   const ExperimentRunner runner = runner_from(args);
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
@@ -185,6 +231,7 @@ int cmd_collect(const Args& args, std::ostream& os) {
      << inputs.uni_runs.size() << " uniprocessor runs and "
      << inputs.kernels.size() << " kernel pairs for " << app << " (s0 = "
      << format_bytes(s0) << ") into " << out << "\n";
+  finish_obs(obs_options, os);
   return degraded ? 3 : 0;
 }
 
@@ -192,6 +239,7 @@ int cmd_analyze(const Args& args, std::ostream& os) {
   const std::string target = args.positional(1, "");
   ST_CHECK_MSG(!target.empty(),
                "usage: scaltool analyze <app|archive> [--sharing]");
+  const ObsOptions obs_options = obs_from(args);
   const ExperimentRunner runner = runner_from(args);
   AnalyzeOptions options;
   options.model_sharing = args.has("sharing");
@@ -209,6 +257,7 @@ int cmd_analyze(const Args& args, std::ostream& os) {
   breakdown_table(report).print(os);
   if (chart) chart_curves(report, os);
   if (!inputs.validation.empty()) validation_table(report, inputs).print(os);
+  finish_obs(obs_options, os);
   return degraded ? 3 : 0;
 }
 
@@ -216,6 +265,7 @@ int cmd_whatif(const Args& args, std::ostream& os) {
   const std::string target = args.positional(1, "");
   ST_CHECK_MSG(!target.empty(),
                "usage: scaltool whatif <app|archive> --l2x=K ...");
+  const ObsOptions obs_options = obs_from(args);
   const ExperimentRunner runner = runner_from(args);
   WhatIfParams params;
   params.l2_scale_k = args.get_double("l2x", 1.0);
@@ -237,6 +287,7 @@ int cmd_whatif(const Args& args, std::ostream& os) {
           "(pass --l2x, --tm-scale, --t2-scale, --tsyn-scale or "
           "--pi0-scale)\n";
   whatif_table(what_if(report, inputs, params), "CLI scenario").print(os);
+  finish_obs(obs_options, os);
   return degraded ? 3 : 0;
 }
 
@@ -256,6 +307,16 @@ int cmd_region(const Args& args, std::ostream& os) {
   const ScalabilityReport report = analyze(inputs);
   os << model_summary(report) << "\n";
   breakdown_table(report).print(os);
+  return 0;
+}
+
+int cmd_stats(const Args& args, std::ostream& os) {
+  const std::string path = args.positional(1, "");
+  ST_CHECK_MSG(!path.empty(), "usage: scaltool stats <metrics.json>");
+  warn_unused(args, os);
+  const obs::MetricsSnapshot snap =
+      obs::parse_metrics_json(obs::read_text_file(path));
+  for (const Table& table : obs::metrics_tables(snap)) table.print(os);
   return 0;
 }
 
@@ -318,6 +379,8 @@ void print_help(std::ostream& os) {
         "  whatif <app|archive>         Sec. 2.6 predictions\n"
         "      [--l2x=K --tm-scale=F --t2-scale=F --tsyn-scale=F\n"
         "       --pi0-scale=F --robust-fit --jobs=N --cache=FILE]\n"
+        "  stats <metrics.json>         pretty-print an exported metrics\n"
+        "                               file (see --metrics-out)\n"
         "  region <app> <region>        segment-level analysis\n"
         "  record <app> --out=FILE      capture an address trace\n"
         "      [--procs=N --size=S --iters=I]\n"
@@ -354,6 +417,13 @@ void print_help(std::ostream& os) {
         "                   cache-corrupt, target, target-procs,\n"
         "                   target-bytes)\n"
         "\n"
+        "telemetry (collect/analyze/whatif; off unless requested):\n"
+        "  --trace-out=FILE    write a Chrome trace_event JSON timeline\n"
+        "                      (open in chrome://tracing or Perfetto)\n"
+        "  --metrics-out=FILE  write the metric registry as stable JSON\n"
+        "                      (pretty-print later with `scaltool stats`)\n"
+        "  --obs               print the metric summary tables\n"
+        "\n"
         "exit codes:\n"
         "  0  success\n"
         "  1  hard failure (unrecoverable run, bad arguments, I/O error)\n"
@@ -378,6 +448,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     if (command == "collect") return cmd_collect(args, os);
     if (command == "analyze") return cmd_analyze(args, os);
     if (command == "whatif") return cmd_whatif(args, os);
+    if (command == "stats") return cmd_stats(args, os);
     if (command == "region") return cmd_region(args, os);
     if (command == "record") return cmd_record(args, os);
     if (command == "replay") return cmd_replay(args, os);

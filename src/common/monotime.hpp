@@ -1,0 +1,45 @@
+// Monotonic-clock helpers: one steady_clock wrapper for every wall/busy
+// measurement in the tree.
+//
+// The campaign engine, the telemetry layer and the bench harness all time
+// things; routing them through one wrapper keeps the clock choice (steady,
+// never system) and the seconds conversion in a single place.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace scaltool {
+
+struct MonoClock {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static TimePoint now() { return std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since `t0` (fractional).
+  static double seconds_since(TimePoint t0) {
+    return std::chrono::duration<double>(now() - t0).count();
+  }
+
+  /// Nanoseconds since the clock's (unspecified, monotonic) epoch. Useful
+  /// where a time point must be stored in an atomic integer.
+  static std::int64_t nanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Started-at-construction elapsed timer.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(MonoClock::now()) {}
+
+  double seconds() const { return MonoClock::seconds_since(t0_); }
+  void restart() { t0_ = MonoClock::now(); }
+
+ private:
+  MonoClock::TimePoint t0_;
+};
+
+}  // namespace scaltool

@@ -12,18 +12,16 @@
 
 #include "apps/apps.hpp"
 #include "common/check.hpp"
+#include "common/monotime.hpp"
 #include "engine/thread_pool.hpp"
 #include "machine/dsm_machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "trace/registry.hpp"
 
 namespace scaltool {
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 std::string describe_spec(const RunSpec& spec) {
   std::ostringstream os;
@@ -49,8 +47,14 @@ CampaignEngine::CampaignEngine(const ExperimentRunner& runner,
 ScalToolInputs CampaignEngine::collect(const std::string& workload,
                                        std::size_t s0,
                                        std::span<const int> proc_counts) {
-  const MatrixPlan plan = runner_.plan_matrix(workload, s0, proc_counts);
+  const MatrixPlan plan = [&] {
+    obs::Span span("campaign.plan", "engine");
+    span.arg("workload", workload).arg("s0", s0);
+    return runner_.plan_matrix(workload, s0, proc_counts);
+  }();
   const std::vector<JobOutcome> outcomes = execute(plan);
+  obs::Span join_span("campaign.join", "engine");
+  join_span.arg("quarantined", quarantined_.size());
   if (quarantined_.empty()) return assemble_matrix(plan, outcomes);
 
   std::vector<bool> available(plan.jobs.size(), true);
@@ -95,7 +99,13 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   stats_.cache_recovery_events = cache_.corrupt_entries();
   quarantined_.clear();
   events_.clear();
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span exec_span("campaign.execute", "engine");
+  exec_span.arg("app", plan.app)
+      .arg("jobs", plan.jobs.size())
+      .arg("workers", options_.jobs);
+  obs::Histogram& job_seconds =
+      obs::MetricRegistry::instance().histogram("engine.job_seconds");
+  const Stopwatch wall;
 
   std::vector<JobOutcome> outcomes(plan.jobs.size());
   std::mutex mu;  // guards stats counters, the event log and on_run
@@ -111,7 +121,12 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
     const RunSpec& spec = plan.jobs[i];
     const std::uint64_t key =
         job_key_hash(spec, runner_.base_config(), runner_.iterations);
+    obs::Span job_span("job", "engine");
+    job_span.arg("workload", spec.workload)
+        .arg("bytes", spec.dataset_bytes)
+        .arg("procs", spec.num_procs);
     if (std::optional<JobOutcome> hit = cache_.find(key, spec)) {
+      job_span.arg("source", "cache");
       outcomes[i] = std::move(*hit);
       std::lock_guard<std::mutex> lock(mu);
       ++stats_.jobs_cached;
@@ -131,11 +146,14 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
           options_.on_run(os.str());
         }
       }
-      const auto job_t0 = std::chrono::steady_clock::now();
+      const Stopwatch job_timer;
       try {
         if (faultable) {
-          if (const int ms = injector_->stall_ms(key, attempt))
+          if (const int ms = injector_->stall_ms(key, attempt)) {
+            obs::Span stall_span("job.stall", "fault");
+            stall_span.arg("ms", ms);
             std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+          }
           ST_CHECK_MSG(!injector_->permanent_fault(key, attempt),
                        "injected permanent fault");
           ST_CHECK_MSG(!injector_->transient_fault(key, attempt),
@@ -147,7 +165,9 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
           if (!injected.empty())
             log_event(describe_spec(spec) + ": " + injected);
         }
-        const double took = seconds_since(job_t0);
+        const double took = job_timer.seconds();
+        job_seconds.observe(took);
+        job_span.arg("source", "run").arg("attempts", attempt + 1);
         cache_.insert(key, spec, out);
         outcomes[i] = std::move(out);
         std::lock_guard<std::mutex> lock(mu);
@@ -166,6 +186,8 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
           const std::int64_t delay_ms =
               static_cast<std::int64_t>(options_.backoff_ms)
               << std::min(attempt, 20);
+          obs::Span backoff_span("job.backoff", "engine");
+          backoff_span.arg("ms", delay_ms).arg("attempt", attempt + 1);
           std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
         }
       }
@@ -177,6 +199,7 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
          << (max_attempts == 1 ? " attempt" : " attempts") << " — "
          << last_error;
       log_event(os.str());
+      obs::instant("job.quarantine", "engine");
       std::lock_guard<std::mutex> lock(mu);
       ++stats_.jobs_quarantined;
       quarantined_.push_back({i, spec, max_attempts, last_error});
@@ -207,13 +230,16 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
     }
   }
 
-  stats_.wall_seconds = seconds_since(t0);
+  stats_.wall_seconds = wall.seconds();
   if (injector_) stats_.faults_injected = injector_->counts().total();
   cache_.save();
   // Disk-rot injection happens after the save so the *next* campaign — or
   // the warm pass of this one — exercises the loader's recovery path.
   if (injector_ && !options_.cache_path.empty())
     injector_->corrupt_cache_file(options_.cache_path);
+  // Publish before a possible rethrow so the metrics export reflects even
+  // a failed campaign.
+  publish_engine_stats(stats_);
   if (first_error) std::rethrow_exception(first_error);
   // Keep quarantined jobs sorted by plan index: worker completion order is
   // nondeterministic, the journal should not be.

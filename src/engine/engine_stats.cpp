@@ -4,10 +4,15 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace scaltool {
 
 double EngineStats::utilization() const {
-  if (wall_seconds <= 0.0 || workers <= 0) return 0.0;
+  if (workers <= 0) return 0.0;
+  // A zero wall clock (empty or instantaneous campaign) would divide to
+  // NaN/inf; define it as fully busy when work ran, idle otherwise.
+  if (wall_seconds <= 0.0) return busy_seconds > 0.0 ? 1.0 : 0.0;
   return std::clamp(busy_seconds / (wall_seconds * workers), 0.0, 1.0);
 }
 
@@ -55,6 +60,28 @@ std::string engine_stats_line(const EngineStats& s) {
      << " s, utilization " << std::setprecision(0)
      << 100.0 * s.utilization() << "%";
   return os.str();
+}
+
+void publish_engine_stats(const EngineStats& s) {
+  if (!obs::enabled()) return;
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  reg.counter("engine.jobs_total").set(s.jobs_total);
+  reg.counter("engine.jobs_run").set(s.jobs_run);
+  reg.counter("engine.jobs_cached").set(s.jobs_cached);
+  reg.counter("engine.jobs_failed").set(s.jobs_failed);
+  reg.counter("engine.jobs_quarantined").set(s.jobs_quarantined);
+  reg.counter("engine.attempts").set(s.attempts);
+  reg.counter("engine.retries").set(s.retries);
+  reg.counter("engine.faults_injected").set(s.faults_injected);
+  reg.counter("engine.cache_entries_loaded").set(s.cache_entries_loaded);
+  reg.counter("engine.cache_entries_corrupt").set(s.cache_entries_corrupt);
+  reg.counter("engine.cache_recovery_events").set(s.cache_recovery_events);
+  reg.gauge("engine.workers").set(s.workers);
+  reg.gauge("engine.wall_seconds").set(s.wall_seconds);
+  reg.gauge("engine.busy_seconds").set(s.busy_seconds);
+  reg.gauge("engine.utilization").set(s.utilization());
+  reg.gauge("engine.cache_hit_rate").set(s.cache_hit_rate());
+  reg.gauge("engine.completed_fraction").set(s.completed_fraction());
 }
 
 }  // namespace scaltool

@@ -31,7 +31,10 @@ struct EngineStats {
   /// re-running the job instead of aborting.
   std::size_t cache_recovery_events = 0;
 
-  /// busy / (wall x workers), clamped to [0, 1].
+  /// busy / (wall x workers), clamped to [0, 1]. Degenerate cases are
+  /// well-defined: no workers means no utilization (0); a campaign whose
+  /// wall clock rounded to zero was fully busy (1) if any work ran and
+  /// idle (0) otherwise.
   double utilization() const;
 
   /// jobs_cached / jobs_total (0 when the campaign was empty).
@@ -47,5 +50,11 @@ Table engine_stats_table(const EngineStats& stats);
 
 /// Compact banner line: "engine: 17 jobs (4 run, 13 cached, 0 failed) ...".
 std::string engine_stats_line(const EngineStats& stats);
+
+/// Mirrors the stats into the obs MetricRegistry (`engine.*` counters and
+/// gauges), overwriting whatever a previous campaign published. The CLI
+/// banner and the `--metrics-out` export both read from this one struct,
+/// so they can never disagree. No-op while telemetry is disabled.
+void publish_engine_stats(const EngineStats& stats);
 
 }  // namespace scaltool

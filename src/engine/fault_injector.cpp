@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "runner/archive.hpp"
 
 namespace scaltool {
@@ -68,6 +69,14 @@ int int_field(const std::string& key, const std::string& value, int min) {
                "fault plan: " << key << "=" << value
                               << " is not an integer >= " << min);
   return v;
+}
+
+/// Tallies an injected fault of one kind in the obs registry, alongside
+/// the injector's own atomic counts (which always run, telemetry or not).
+void count_fault(const char* kind) {
+  obs::MetricRegistry::instance()
+      .counter(std::string("fault.") + kind)
+      .add();
 }
 
 }  // namespace
@@ -161,14 +170,20 @@ double FaultInjector::draw(std::uint64_t key, int attempt,
 bool FaultInjector::permanent_fault(std::uint64_t key, int attempt) const {
   if (plan_.permanent_rate <= 0.0) return false;
   const bool hit = draw(key, 0, kTagPermanent) < plan_.permanent_rate;
-  if (hit && attempt == 0) ++permanent_;
+  if (hit && attempt == 0) {
+    ++permanent_;
+    count_fault("permanent");
+  }
   return hit;
 }
 
 bool FaultInjector::transient_fault(std::uint64_t key, int attempt) const {
   if (plan_.transient_rate <= 0.0) return false;
   const bool hit = draw(key, attempt, kTagTransient) < plan_.transient_rate;
-  if (hit) ++transient_;
+  if (hit) {
+    ++transient_;
+    count_fault("transient");
+  }
   return hit;
 }
 
@@ -176,6 +191,7 @@ int FaultInjector::stall_ms(std::uint64_t key, int attempt) const {
   if (plan_.stall_rate <= 0.0 || plan_.stall_ms <= 0) return 0;
   if (draw(key, attempt, kTagStall) >= plan_.stall_rate) return 0;
   ++stalls_;
+  count_fault("stall");
   return plan_.stall_ms;
 }
 
@@ -193,6 +209,7 @@ std::string FaultInjector::perturb(std::uint64_t key,
     d.cycles *= 1.0 + eps;
     outcome.record.execution_cycles *= 1.0 + eps;
     ++perturbed_;
+    count_fault("perturb");
     what << "counters perturbed by " << 100.0 * eps << "%";
   }
   if (plan_.drop_rate > 0.0 && draw(key, 0, kTagDrop) < plan_.drop_rate) {
@@ -202,6 +219,7 @@ std::string FaultInjector::perturb(std::uint64_t key,
     d.h2 = 0.0;
     d.hm = 0.0;
     ++dropped_;
+    count_fault("drop");
     if (what.tellp() > 0) what << "; ";
     what << "cache-event counter group dropped";
   }
@@ -233,6 +251,9 @@ std::size_t FaultInjector::corrupt_cache_file(const std::string& path) const {
     ++corrupted;
   }
   if (corrupted > 0) {
+    obs::MetricRegistry::instance()
+        .counter("fault.cache_corrupt")
+        .add(corrupted);
     std::ofstream os(path, std::ios::trunc);
     ST_CHECK_MSG(os.good(), "cannot rewrite " << path << " for corruption");
     for (const std::string& line : lines) os << line << '\n';

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "runner/archive.hpp"
 
 namespace scaltool {
@@ -88,15 +90,28 @@ std::size_t RunCache::corrupt_entries() const {
 
 std::optional<JobOutcome> RunCache::find(std::uint64_t key,
                                          const RunSpec& spec) const {
+  static obs::Counter& hits =
+      obs::MetricRegistry::instance().counter("cache.hit");
+  static obs::Counter& misses =
+      obs::MetricRegistry::instance().counter("cache.miss");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end()) {
+    misses.add();
+    return std::nullopt;
+  }
   const Entry& e = it->second;
   if (e.spec.workload != spec.workload ||
       e.spec.dataset_bytes != spec.dataset_bytes ||
-      e.spec.num_procs != spec.num_procs)
+      e.spec.num_procs != spec.num_procs) {
+    misses.add();
     return std::nullopt;  // hash collision or stale descriptor
-  if (spec.want_validation && !e.has_validation) return std::nullopt;
+  }
+  if (spec.want_validation && !e.has_validation) {
+    misses.add();
+    return std::nullopt;
+  }
+  hits.add();
   return e.outcome;
 }
 
@@ -108,6 +123,7 @@ void RunCache::insert(std::uint64_t key, const RunSpec& spec,
 
 void RunCache::load() {
   if (path_.empty()) return;
+  obs::Span span("cache.open", "cache");
   std::ifstream is(path_);
   if (!is.good()) return;  // no cache yet: start cold
 
@@ -164,11 +180,19 @@ void RunCache::load() {
       ++i;
     }
   }
+  span.arg("loaded", loaded_).arg("corrupt", corrupt_);
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  reg.counter("cache.entries_loaded").add(loaded_);
+  // Every corrupt entry is a recovery event: the campaign re-runs the job
+  // instead of aborting on the rotten record.
+  reg.counter("cache.recovery_events").add(corrupt_);
 }
 
 void RunCache::save() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (path_.empty()) return;
+  obs::Span span("cache.save", "cache");
+  span.arg("entries", entries_.size());
   // The temp name is unique per process so concurrent campaigns sharing a
   // cache file never interleave writes into the same temp; whichever
   // rename() lands last wins atomically, and a crash mid-write leaves the

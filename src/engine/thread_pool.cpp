@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "common/monotime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
 namespace scaltool {
 
 ThreadPool::ThreadPool(int num_threads, std::size_t max_queued) {
@@ -25,11 +29,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> call) {
   {
+    // Registered once; the references stay valid across registry resets.
+    static obs::Histogram& submit_wait =
+        obs::MetricRegistry::instance().histogram("pool.submit_wait_seconds");
+    static obs::Counter& submitted =
+        obs::MetricRegistry::instance().counter("pool.tasks_submitted");
     std::unique_lock<std::mutex> lock(mu_);
-    queue_changed_.wait(lock, [this] {
-      return shutting_down_ || queue_.size() < max_queued_;
-    });
+    if (obs::enabled()) {
+      // Backpressure visibility: how long producers block on a full queue.
+      const Stopwatch wait;
+      queue_changed_.wait(lock, [this] {
+        return shutting_down_ || queue_.size() < max_queued_;
+      });
+      submit_wait.observe(wait.seconds());
+    } else {
+      queue_changed_.wait(lock, [this] {
+        return shutting_down_ || queue_.size() < max_queued_;
+      });
+    }
     ST_CHECK_MSG(!shutting_down_, "submit on a shutting-down thread pool");
+    submitted.add();
     queue_.push_back(std::move(call));
   }
   // One condition variable serves workers and blocked producers alike, so
@@ -49,7 +68,13 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     queue_changed_.notify_all();
-    call();
+    static obs::Counter& executed =
+        obs::MetricRegistry::instance().counter("pool.tasks_executed");
+    {
+      obs::Span span("pool.task", "pool");
+      call();
+    }
+    executed.add();
   }
 }
 

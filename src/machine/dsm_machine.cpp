@@ -4,6 +4,9 @@
 #include <bit>
 #include <cmath>
 
+#include "common/monotime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sync/barrier_model.hpp"
 
 namespace scaltool {
@@ -149,6 +152,8 @@ void DsmMachine::validate_coherence() const {
 }
 
 RunResult DsmMachine::run(Workload& workload, const WorkloadParams& params) {
+  obs::Span span("machine.run", "sim");
+  const Stopwatch timer;
   reset();
   in_setup_ = true;
   workload.setup(*this, params, config_.num_procs);
@@ -167,6 +172,23 @@ RunResult DsmMachine::run(Workload& workload, const WorkloadParams& params) {
   result.execution_cycles = counters_.execution_time();
   result.accumulated_cycles =
       counters_.aggregate().get(EventId::kCycles);
+  if (span.active()) {
+    // Attach the run's phase identity and a counter-set snapshot, so a
+    // trace alone tells what this simulation was and what it cost.
+    const DerivedMetrics d = result.counters.derived();
+    span.arg("workload", result.workload)
+        .arg("bytes", result.dataset_bytes)
+        .arg("procs", result.num_procs)
+        .arg("instructions", d.instructions)
+        .arg("cycles", d.cycles)
+        .arg("cpi", d.cpi)
+        .arg("l1_hitr", d.l1_hitr)
+        .arg("l2_hitr", d.l2_hitr)
+        .arg("execution_cycles", result.execution_cycles);
+    obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+    reg.histogram("sim.run_seconds").observe(timer.seconds());
+    reg.counter("sim.runs").add();
+  }
   return result;
 }
 

@@ -1,0 +1,183 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace scaltool::obs {
+
+namespace {
+
+constexpr const char* kMetricsSchema = "scaltool-metrics";
+constexpr int kMetricsVersion = 1;
+
+void append_trace_args(std::ostream& os, const std::vector<TraceArg>& args) {
+  if (args.empty()) return;
+  os << ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(a.key) << "\":";
+    if (a.numeric)
+      os << a.value;  // already a valid JSON number token
+    else
+      os << '"' << json_escape(a.value) << '"';
+  }
+  os << '}';
+}
+
+void append_event(std::ostream& os, int tid, const TraceEvent& e,
+                  bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+     << json_escape(e.category) << "\",\"ph\":\"" << e.phase << "\",\"ts\":"
+     << std::fixed << std::setprecision(3) << e.ts_us
+     << std::defaultfloat << ",\"pid\":0,\"tid\":" << tid;
+  if (e.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+  append_trace_args(os, e.args);
+  os << '}';
+}
+
+void append_histogram(std::ostream& os, const HistogramData& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+     << ",\"min\":" << json_number(h.min) << ",\"max\":"
+     << json_number(h.max) << ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"le\":";
+    if (i < h.bounds.size())
+      os << json_number(h.bounds[i]);
+    else
+      os << "\"+inf\"";
+    os << ",\"count\":" << h.bucket_counts[i] << '}';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<ThreadTrace> threads = collect_trace();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Metadata first: a process name and one thread_name per thread, so the
+  // viewer labels lanes even before the first real event.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"scaltool\"}}";
+  bool first = false;
+  for (const ThreadTrace& t : threads)
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << t.tid << ",\"args\":{\"name\":\"thread-" << t.tid << "\"}}";
+  for (const ThreadTrace& t : threads)
+    for (const TraceEvent& e : t.events) append_event(os, t.tid, e, first);
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n\"schema\":\"" << kMetricsSchema << "\",\n\"version\":"
+     << kMetricsVersion << ",\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(name) << "\":" << v;
+    first = false;
+  }
+  os << (first ? "" : "\n") << "},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(name)
+       << "\":" << json_number(v);
+    first = false;
+  }
+  os << (first ? "" : "\n") << "},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(name) << "\":";
+    append_histogram(os, h);
+    first = false;
+  }
+  os << (first ? "" : "\n") << "}\n}\n";
+  return os.str();
+}
+
+MetricsSnapshot parse_metrics_json(const std::string& text) {
+  const JsonValue doc = json_parse(text);
+  ST_CHECK_MSG(doc.is_object() && doc.has("schema") &&
+                   doc.at("schema").as_string() == kMetricsSchema,
+               "not a " << kMetricsSchema << " JSON document");
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : doc.at("counters").as_object())
+    snap.counters[name] = static_cast<std::uint64_t>(v.as_number());
+  for (const auto& [name, v] : doc.at("gauges").as_object())
+    snap.gauges[name] = v.as_number();
+  for (const auto& [name, v] : doc.at("histograms").as_object()) {
+    HistogramData h;
+    h.count = static_cast<std::uint64_t>(v.at("count").as_number());
+    h.sum = v.at("sum").as_number();
+    h.min = v.at("min").as_number();
+    h.max = v.at("max").as_number();
+    for (const JsonValue& b : v.at("buckets").as_array()) {
+      h.bucket_counts.push_back(
+          static_cast<std::uint64_t>(b.at("count").as_number()));
+      const JsonValue& le = b.at("le");
+      if (le.is_number()) h.bounds.push_back(le.as_number());
+      // the "+inf" overflow bucket contributes a count but no bound
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+std::vector<Table> metrics_tables(const MetricsSnapshot& snap) {
+  std::vector<Table> tables;
+  if (!snap.counters.empty()) {
+    Table t("Counters");
+    t.header({"counter", "value"});
+    for (const auto& [name, v] : snap.counters)
+      t.add_row({name, Table::cell(v)});
+    tables.push_back(std::move(t));
+  }
+  if (!snap.gauges.empty()) {
+    Table t("Gauges");
+    t.header({"gauge", "value"});
+    for (const auto& [name, v] : snap.gauges)
+      t.add_row({name, Table::cell(v, 6)});
+    tables.push_back(std::move(t));
+  }
+  if (!snap.histograms.empty()) {
+    Table t("Histograms");
+    t.header({"histogram", "count", "mean", "min", "max", "p50", "p95"});
+    for (const auto& [name, h] : snap.histograms)
+      t.add_row({name, Table::cell(h.count), Table::cell(h.mean(), 6),
+                 Table::cell(h.min, 6), Table::cell(h.max, 6),
+                 Table::cell(h.quantile(0.50), 6),
+                 Table::cell(h.quantile(0.95), 6)});
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::trunc);
+  ST_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  os << content;
+  os.flush();
+  ST_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream is(path);
+  ST_CHECK_MSG(is.good(), "cannot open " << path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace scaltool::obs

@@ -1,0 +1,43 @@
+// Telemetry exporters: Chrome trace_event JSON, machine-readable metrics
+// JSON (with a parser for `scaltool stats`), and human Table summaries.
+//
+// Both JSON formats are stable-ordered — metrics by name, trace events by
+// (tid, recording order) with per-thread non-decreasing timestamps — so
+// tests can diff structure and dashboards can diff content.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/metrics.hpp"
+
+namespace scaltool::obs {
+
+/// Renders everything recorded since enable() as Chrome trace_event JSON
+/// (load in chrome://tracing or https://ui.perfetto.dev). Emits process
+/// and per-thread metadata, then each thread's events in order.
+std::string chrome_trace_json();
+
+/// Stable machine-readable rendering of a metrics snapshot:
+/// {"schema":"scaltool-metrics","version":1,"counters":{...},
+///  "gauges":{...},"histograms":{...}} with keys sorted.
+std::string metrics_json(const MetricsSnapshot& snap);
+
+/// Parses metrics_json output back. Throws CheckError on malformed input
+/// or a wrong schema tag.
+MetricsSnapshot parse_metrics_json(const std::string& text);
+
+/// Human summary: a counters table, a gauges table and a histograms table
+/// (count/mean/min/max plus estimated p50/p95). Empty sections are
+/// omitted.
+std::vector<Table> metrics_tables(const MetricsSnapshot& snap);
+
+/// Writes `content` to `path` (truncating). Throws CheckError on I/O
+/// failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Reads a whole file. Throws CheckError when it cannot be opened.
+std::string read_text_file(const std::string& path);
+
+}  // namespace scaltool::obs

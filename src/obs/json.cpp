@@ -1,0 +1,261 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool::obs {
+
+bool JsonValue::as_bool() const {
+  ST_CHECK_MSG(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  ST_CHECK_MSG(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  ST_CHECK_MSG(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  ST_CHECK_MSG(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  ST_CHECK_MSG(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  ST_CHECK_MSG(it != obj.end(), "JSON object has no member \"" << key << "\"");
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return is_object() && object_.count(key) > 0;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    ST_CHECK_MSG(pos_ == text_.size(),
+                 "trailing garbage after JSON document at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    ST_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    ST_CHECK_MSG(peek() == c, "expected '" << c << "' at offset " << pos_
+                                           << ", found '" << text_[pos_]
+                                           << "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        ST_CHECK_MSG(consume_literal("true"), "bad literal at " << pos_);
+        return JsonValue(true);
+      case 'f':
+        ST_CHECK_MSG(consume_literal("false"), "bad literal at " << pos_);
+        return JsonValue(false);
+      case 'n':
+        ST_CHECK_MSG(consume_literal("null"), "bad literal at " << pos_);
+        return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      ST_CHECK_MSG(peek() == '"', "object key must be a string at " << pos_);
+      std::string key = parse_string();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      ST_CHECK_MSG(pos_ < text_.size(), "unterminated escape in JSON string");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          ST_CHECK_MSG(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our own exporters; decode them as-is).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          ST_CHECK_MSG(false, "unknown escape \\" << esc << " in JSON string");
+      }
+    }
+    ST_CHECK_MSG(false, "unterminated JSON string");
+    return out;  // unreachable
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    ST_CHECK_MSG(pos_ > start, "expected a JSON value at offset " << start);
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    ST_CHECK_MSG(end && *end == '\0', "malformed JSON number \"" << token
+                                                                << "\"");
+    return JsonValue(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    std::ostringstream os;
+    os << '"' << (std::isnan(v) ? "nan" : (v > 0 ? "+inf" : "-inf")) << '"';
+    return os.str();
+  }
+  std::ostringstream os;
+  os << std::setprecision(15) << v;
+  return os.str();
+}
+
+}  // namespace scaltool::obs

@@ -1,0 +1,71 @@
+// Minimal JSON value, parser and string escaping.
+//
+// The telemetry exporters emit Chrome trace_event and metrics JSON; the
+// `scaltool stats` subcommand and the observability tests read them back.
+// This is a deliberately small recursive-descent parser for that loop —
+// complete enough for any well-formed JSON document, with CheckError on
+// malformed input — not a general serialization framework.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scaltool::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; CheckError when the kind does not match.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; CheckError when absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Throws CheckError on malformed input.
+JsonValue json_parse(const std::string& text);
+
+/// Escapes a string for embedding between JSON double quotes.
+std::string json_escape(const std::string& s);
+
+/// Formats a double as a JSON number token. Non-finite values (which JSON
+/// cannot represent) become quoted strings, so output always parses.
+std::string json_number(double v);
+
+}  // namespace scaltool::obs

@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace scaltool::obs {
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    seen += bucket_counts[i];
+    if (seen >= target)
+      return i < bounds.size() ? bounds[i] : max;  // overflow bucket: max
+  }
+  return max;
+}
+
+std::vector<double> Histogram::default_time_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_time_bounds() : std::move(bounds)),
+      counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // min/max via CAS: contention is rare (observations are per job / per
+  // run, not per simulated access).
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.bucket_counts.reserve(counts_.size());
+  for (const auto& c : counts_)
+    d.bucket_counts.push_back(c.load(std::memory_order_relaxed));
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  if (d.count > 0) {
+    d.min = min_.load(std::memory_order_relaxed);
+    d.max = max_.load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->data();
+  return snap;
+}
+
+}  // namespace scaltool::obs

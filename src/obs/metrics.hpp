@@ -1,0 +1,131 @@
+// Metric registry: named counters, gauges and fixed-bucket histograms
+// with lock-free hot-path updates.
+//
+// Registration (name lookup) takes a mutex and should happen once per
+// call site — cache the returned reference; references stay valid for
+// the process lifetime, across MetricRegistry::reset(). Updates are O(1)
+// relaxed atomics and record nothing while telemetry is disabled (the
+// hot path is then a single relaxed flag load).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace scaltool::obs {
+
+/// Monotonically increasing tally.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Overwrites the value — for folding an externally maintained tally
+  /// (e.g. EngineStats) into the registry, so the two cannot disagree.
+  void set(std::uint64_t n) {
+    if (enabled()) v_.store(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Exported state of one histogram. `bucket_counts` has bounds.size()+1
+/// entries; the last is the overflow (> bounds.back()) bucket. min/max
+/// are meaningful only when count > 0.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Upper-bound estimate of quantile q in [0,1] from the bucket counts.
+  double quantile(double q) const;
+};
+
+/// Fixed-bucket histogram. Bucket bounds are frozen at registration;
+/// observations update atomic per-bucket counts plus count/sum/min/max,
+/// all lock-free.
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bounds; an implicit overflow bucket
+  /// catches everything above the last. Empty means default_time_bounds().
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  HistogramData data() const;
+  void reset();
+
+  /// Decade buckets from 1 µs to 100 s — the default for span-shaped
+  /// "seconds" observations.
+  static std::vector<double> default_time_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Stable-ordered snapshot of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+class MetricRegistry {
+ public:
+  /// The process-wide registry every instrumentation site writes to.
+  static MetricRegistry& instance();
+
+  /// Find-or-create by name (mutex-guarded: cold path, cache the ref).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is honoured only on first registration of `name`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Zeroes every value but keeps all registrations, so references
+  /// handed out earlier stay valid.
+  void reset();
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace scaltool::obs

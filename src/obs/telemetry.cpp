@@ -1,0 +1,153 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/monotime.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace scaltool::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's append-only event buffer. The mutex is uncontended on the
+/// hot path (only the owning thread records); export locks it briefly
+/// after workers are joined. Sinks are never destroyed, so the
+/// thread_local pointer below can never dangle.
+struct ThreadSink {
+  int tid = 0;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  double last_ts_us = 0.0;
+};
+
+struct TraceBuffer {
+  std::mutex mu;  ///< guards `sinks` (registration and export)
+  std::vector<std::unique_ptr<ThreadSink>> sinks;
+  /// Session epoch as MonoClock nanos, atomic so recording threads can
+  /// read it without the registration lock.
+  std::atomic<std::int64_t> t0_nanos{MonoClock::nanos()};
+};
+
+TraceBuffer& buffer() {
+  static TraceBuffer* b = new TraceBuffer;  // intentionally leaked: sinks
+  return *b;                                // outlive every worker thread
+}
+
+thread_local ThreadSink* t_sink = nullptr;
+
+ThreadSink* current_sink() {
+  if (t_sink == nullptr) {
+    TraceBuffer& b = buffer();
+    std::lock_guard<std::mutex> lock(b.mu);
+    auto sink = std::make_unique<ThreadSink>();
+    sink->tid = static_cast<int>(b.sinks.size());
+    t_sink = sink.get();
+    b.sinks.push_back(std::move(sink));
+  }
+  return t_sink;
+}
+
+double session_now_us() {
+  const std::int64_t t0 = buffer().t0_nanos.load(std::memory_order_relaxed);
+  return static_cast<double>(MonoClock::nanos() - t0) * 1e-3;
+}
+
+/// Appends one event to `sink`, clamping its timestamp non-decreasing.
+void record(ThreadSink* sink, TraceEvent event) {
+  std::lock_guard<std::mutex> lock(sink->mu);
+  event.ts_us = std::max(session_now_us(), sink->last_ts_us);
+  sink->last_ts_us = event.ts_us;
+  sink->events.push_back(std::move(event));
+}
+
+}  // namespace
+
+void enable() {
+  TraceBuffer& b = buffer();
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    for (const auto& sink : b.sinks) {
+      std::lock_guard<std::mutex> sink_lock(sink->mu);
+      sink->events.clear();
+      sink->last_ts_us = 0.0;
+    }
+    b.t0_nanos.store(MonoClock::nanos(), std::memory_order_relaxed);
+  }
+  MetricRegistry::instance().reset();
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() {
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+std::vector<ThreadTrace> collect_trace() {
+  TraceBuffer& b = buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  std::vector<ThreadTrace> out;
+  for (const auto& sink : b.sinks) {
+    std::lock_guard<std::mutex> sink_lock(sink->mu);
+    if (sink->events.empty()) continue;
+    out.push_back(ThreadTrace{sink->tid, sink->events});
+  }
+  return out;  // sinks are in tid order already
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!enabled()) return;
+  name_ = name;
+  category_ = category;
+  ThreadSink* sink = current_sink();
+  sink_ = sink;
+  record(sink, TraceEvent{name, category, 'B', 0.0, {}});
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  record(static_cast<ThreadSink*>(sink_),
+         TraceEvent{name_, category_, 'E', 0.0, std::move(args_)});
+}
+
+Span& Span::arg(const char* key, const char* value) {
+  if (sink_) args_.push_back(TraceArg{key, value, false});
+  return *this;
+}
+
+Span& Span::arg(const char* key, const std::string& value) {
+  if (sink_) args_.push_back(TraceArg{key, value, false});
+  return *this;
+}
+
+Span& Span::arg(const char* key, double value) {
+  if (!sink_) return *this;
+  args_.push_back(TraceArg{key, json_number(value), true});
+  return *this;
+}
+
+Span& Span::arg_int(const char* key, std::int64_t value) {
+  if (!sink_) return *this;
+  args_.push_back(TraceArg{key, std::to_string(value), true});
+  return *this;
+}
+
+Span& Span::arg_uint(const char* key, std::uint64_t value) {
+  if (!sink_) return *this;
+  args_.push_back(TraceArg{key, std::to_string(value), true});
+  return *this;
+}
+
+void instant(const char* name, const char* category) {
+  if (!enabled()) return;
+  record(current_sink(), TraceEvent{name, category, 'i', 0.0, {}});
+}
+
+}  // namespace scaltool::obs

@@ -1,0 +1,120 @@
+// Process-wide telemetry: the enable flag, RAII spans, and the per-thread
+// trace buffers behind the Chrome trace_event export.
+//
+// Design (ScALPEL's rule: the monitor must cost less than what it
+// observes):
+//  - One process-wide atomic enable flag, off by default. Every hot-path
+//    entry point checks it first with a relaxed load, so disabled
+//    telemetry costs one predicted branch and allocates nothing.
+//  - Spans record begin/end ("B"/"E") pairs into a per-thread sink: a
+//    thread only ever appends to its own buffer, so recording takes an
+//    uncontended per-sink mutex (contended only during export, which runs
+//    after workers are joined). Sinks are assigned small stable thread
+//    ids in registration order and live for the process lifetime, so a
+//    cached pointer can never dangle.
+//  - Timestamps come from MonoClock (steady) relative to the session
+//    start and are clamped non-decreasing per thread, so an exported
+//    trace is stable-ordered and every viewer's sort is deterministic.
+//
+// Lifecycle: obs::enable() starts a fresh session (clears the trace,
+// zeroes the metric registry, restamps t0); obs::disable() stops
+// recording but keeps the data for export. Neither may be called while
+// spans are open.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace scaltool::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True while telemetry records. Relaxed load: safe on any hot path.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts a fresh telemetry session: clears all recorded trace events,
+/// zeroes every metric in the registry, restamps the trace epoch.
+void enable();
+
+/// Stops recording; recorded data stays available for export.
+void disable();
+
+/// One key=value annotation on a trace event. Numeric values are exported
+/// as JSON numbers, everything else as strings.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// One Chrome trace_event record. `name`/`category` are static strings
+/// (string literals at every call site), so recording never copies them.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  char phase = 'i';  ///< 'B' begin, 'E' end, 'i' instant
+  double ts_us = 0.0;
+  std::vector<TraceArg> args;
+};
+
+/// Everything one thread recorded, in recording order (ts non-decreasing).
+struct ThreadTrace {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// Snapshot of every thread's events, ordered by tid; empty threads are
+/// skipped. Safe to call while disabled; call after workers are joined.
+std::vector<ThreadTrace> collect_trace();
+
+/// RAII scoped timer: records a 'B' event at construction and the
+/// matching 'E' (carrying the attached args) at destruction. When
+/// telemetry is disabled the constructor returns immediately and the
+/// object allocates nothing.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "app");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key=value argument, exported on the span's 'E' event.
+  /// All overloads are no-ops (and allocation-free) on an inactive span.
+  Span& arg(const char* key, const char* value);
+  Span& arg(const char* key, const std::string& value);
+  Span& arg(const char* key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Span& arg(const char* key, T value) {
+    if (!sink_) return *this;
+    if constexpr (std::is_signed_v<T>)
+      return arg_int(key, static_cast<std::int64_t>(value));
+    else
+      return arg_uint(key, static_cast<std::uint64_t>(value));
+  }
+
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  Span& arg_int(const char* key, std::int64_t value);
+  Span& arg_uint(const char* key, std::uint64_t value);
+
+  void* sink_ = nullptr;  ///< opaque ThreadSink*; null when inactive
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::vector<TraceArg> args_;
+};
+
+/// Records a zero-duration instant event ('i').
+void instant(const char* name, const char* category = "app");
+
+}  // namespace scaltool::obs

@@ -9,6 +9,7 @@
 #include "apps/apps.hpp"
 #include "apps/kernels.hpp"
 #include "common/check.hpp"
+#include "obs/telemetry.hpp"
 #include "tools/speedshop.hpp"
 #include "trace/registry.hpp"
 
@@ -61,6 +62,10 @@ WorkloadParams ExperimentRunner::params_for(std::size_t dataset_bytes) const {
 RunResult ExperimentRunner::run_full(Workload& workload,
                                      std::size_t dataset_bytes,
                                      int num_procs) const {
+  obs::Span span("runner.run", "runner");
+  span.arg("workload", workload.name())
+      .arg("bytes", dataset_bytes)
+      .arg("procs", num_procs);
   if (on_run) {
     std::ostringstream os;
     os << workload.name() << " s=" << dataset_bytes << " p=" << num_procs;
@@ -378,6 +383,8 @@ ScalToolInputs ExperimentRunner::collect(
     const std::function<std::unique_ptr<Workload>()>& factory,
     const std::string& label, std::size_t s0,
     std::span<const int> proc_counts) const {
+  obs::Span span("runner.collect", "runner");
+  span.arg("app", label).arg("s0", s0);
   ST_CHECK(!proc_counts.empty());
   ST_CHECK_MSG(proc_counts.front() == 1,
                "the measurement matrix must include a 1-processor run");

@@ -1,0 +1,466 @@
+// Unit tests: observability — metric registry exactness under threads,
+// span nesting and trace export validity, the disabled hot path allocating
+// nothing, and the engine metrics agreeing with EngineStats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "runner/runner.hpp"
+#include "trace/registry.hpp"
+
+// Counting global operator new: the disabled-telemetry hot path must not
+// allocate, and this is the only way to prove it.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace scaltool {
+namespace {
+
+/// RAII telemetry session so a failing test cannot leak an enabled flag
+/// into the next one.
+struct ObsSession {
+  ObsSession() { obs::enable(); }
+  ~ObsSession() { obs::disable(); }
+};
+
+ExperimentRunner test_runner() {
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  return runner;
+}
+
+std::string temp_path(const std::string& tail) {
+  return "/tmp/scaltool_test_obs_" + tail;
+}
+
+// ---- MetricRegistry ----------------------------------------------------
+
+TEST(Metrics, CounterConcurrencyIsExact) {
+  ObsSession session;
+  obs::Counter& counter =
+      obs::MetricRegistry::instance().counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) *
+                                 kPerThread);
+}
+
+TEST(Metrics, HistogramConcurrencyIsExact) {
+  ObsSession session;
+  obs::Histogram& hist = obs::MetricRegistry::instance().histogram(
+      "test.hist_concurrent", {1.0, 2.0, 4.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.observe(static_cast<double>(t % 4) + 0.5);
+    });
+  for (std::thread& t : threads) t.join();
+  const obs::HistogramData data = hist.data();
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) *
+                              kPerThread;
+  EXPECT_EQ(data.count, total);
+  std::uint64_t in_buckets = 0;
+  for (const std::uint64_t c : data.bucket_counts) in_buckets += c;
+  EXPECT_EQ(in_buckets, total);
+  EXPECT_DOUBLE_EQ(data.min, 0.5);
+  EXPECT_DOUBLE_EQ(data.max, 3.5);
+}
+
+TEST(Metrics, ResetKeepsReferencesValid) {
+  obs::Counter& counter =
+      obs::MetricRegistry::instance().counter("test.reset_ref");
+  {
+    ObsSession session;
+    counter.add(5);
+    EXPECT_EQ(counter.value(), 5u);
+  }
+  // A new session zeroes the value; the old reference still works.
+  ObsSession session;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(2);
+  EXPECT_EQ(counter.value(), 2u);
+}
+
+TEST(Metrics, DisabledUpdatesAreIgnored) {
+  {
+    ObsSession wipe;  // start from zero
+  }
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  obs::Counter& counter = reg.counter("test.disabled");
+  obs::Gauge& gauge = reg.gauge("test.disabled_gauge");
+  obs::Histogram& hist = reg.histogram("test.disabled_hist");
+  ASSERT_FALSE(obs::enabled());
+  counter.add(10);
+  gauge.set(3.5);
+  hist.observe(1.0);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.data().count, 0u);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles) {
+  ObsSession session;
+  obs::Histogram& hist = obs::MetricRegistry::instance().histogram(
+      "test.buckets", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 50; ++i) hist.observe(0.5);    // <= 1
+  for (int i = 0; i < 30; ++i) hist.observe(5.0);    // <= 10
+  for (int i = 0; i < 15; ++i) hist.observe(50.0);   // <= 100
+  for (int i = 0; i < 5; ++i) hist.observe(1000.0);  // overflow
+  const obs::HistogramData data = hist.data();
+  ASSERT_EQ(data.bucket_counts.size(), 4u);
+  EXPECT_EQ(data.bucket_counts[0], 50u);
+  EXPECT_EQ(data.bucket_counts[1], 30u);
+  EXPECT_EQ(data.bucket_counts[2], 15u);
+  EXPECT_EQ(data.bucket_counts[3], 5u);
+  EXPECT_EQ(data.count, 100u);
+  // p50 lands in the first bucket, p95 in the third.
+  EXPECT_LE(data.quantile(0.5), 1.0);
+  EXPECT_LE(data.quantile(0.95), 100.0);
+  EXPECT_GT(data.quantile(0.95), 10.0);
+  EXPECT_DOUBLE_EQ(data.max, 1000.0);
+}
+
+// ---- Spans and the trace buffer ----------------------------------------
+
+TEST(Spans, NestingProducesBalancedOrderedEvents) {
+  ObsSession session;
+  {
+    obs::Span outer("outer", "test");
+    outer.arg("k", "v");
+    {
+      obs::Span inner("inner", "test");
+      inner.arg("n", 42);
+    }
+    obs::instant("tick", "test");
+  }
+  obs::disable();
+  const std::vector<obs::ThreadTrace> trace = obs::collect_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  const std::vector<obs::TraceEvent>& events = trace[0].events;
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_STREQ(events[3].name, "tick");
+  EXPECT_EQ(events[3].phase, 'i');
+  EXPECT_STREQ(events[4].name, "outer");
+  EXPECT_EQ(events[4].phase, 'E');
+  // Timestamps are non-decreasing within the thread.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  // Args ride on the 'E' events.
+  ASSERT_EQ(events[2].args.size(), 1u);
+  EXPECT_EQ(events[2].args[0].key, "n");
+  EXPECT_EQ(events[2].args[0].value, "42");
+  EXPECT_TRUE(events[2].args[0].numeric);
+  ASSERT_EQ(events[4].args.size(), 1u);
+  EXPECT_EQ(events[4].args[0].value, "v");
+  EXPECT_FALSE(events[4].args[0].numeric);
+}
+
+TEST(Spans, EnableStartsAFreshSession) {
+  {
+    ObsSession first;
+    obs::Span span("stale", "test");
+  }
+  ObsSession second;
+  { obs::Span span("fresh", "test"); }
+  obs::disable();
+  const std::vector<obs::ThreadTrace> trace = obs::collect_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  ASSERT_EQ(trace[0].events.size(), 2u);
+  EXPECT_STREQ(trace[0].events[0].name, "fresh");
+}
+
+TEST(Spans, ChromeTraceJsonIsValidAndBalanced) {
+  ObsSession session;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 10; ++i) {
+        obs::Span span("work", "test");
+        span.arg("i", i);
+        obs::Span nested("step", "test");
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  obs::disable();
+
+  const obs::JsonValue doc = obs::json_parse(obs::chrome_trace_json());
+  const obs::JsonValue::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  bool process_meta = false;
+  std::map<double, int> depth;         // tid -> open span depth
+  std::map<double, double> last_ts;    // tid -> last timestamp
+  for (const obs::JsonValue& e : events) {
+    const std::string phase = e.at("ph").as_string();
+    if (phase == "M") {
+      if (e.at("name").as_string() == "process_name") process_meta = true;
+      continue;
+    }
+    const double tid = e.at("tid").as_number();
+    const double ts = e.at("ts").as_number();
+    ASSERT_TRUE(phase == "B" || phase == "E" || phase == "i");
+    if (phase == "B") ++depth[tid];
+    if (phase == "E") {
+      --depth[tid];
+      ASSERT_GE(depth[tid], 0) << "E without a matching B on tid " << tid;
+    }
+    if (last_ts.count(tid))
+      EXPECT_GE(ts, last_ts[tid]) << "timestamps regressed on tid " << tid;
+    last_ts[tid] = ts;
+  }
+  EXPECT_TRUE(process_meta);
+  for (const auto& [tid, d] : depth)
+    EXPECT_EQ(d, 0) << "unbalanced spans on tid " << tid;
+}
+
+TEST(Spans, DisabledHotPathAllocatesNothing) {
+  // Registration allocates (string keys), so fetch the references first.
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  obs::Counter& counter = reg.counter("test.noalloc_counter");
+  obs::Histogram& hist = reg.histogram("test.noalloc_hist");
+  ASSERT_FALSE(obs::enabled());
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span span("noalloc", "test");
+    span.arg("k", "v").arg("n", i).arg("d", 1.5);
+    counter.add();
+    hist.observe(0.001);
+    obs::instant("noalloc.tick", "test");
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before) << "disabled telemetry allocated "
+                           << after - before << " times";
+}
+
+// ---- EngineStats -------------------------------------------------------
+
+TEST(EngineStats, UtilizationDegenerateCases) {
+  EngineStats s;
+  s.workers = 0;
+  s.wall_seconds = 1.0;
+  s.busy_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);  // no workers: define as idle
+
+  s.workers = 4;
+  s.wall_seconds = 0.0;
+  s.busy_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);  // nothing ran
+
+  s.busy_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(s.utilization(), 1.0);  // instantaneous but busy
+
+  s.wall_seconds = 1.0;
+  s.busy_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.5);
+
+  s.busy_seconds = 100.0;  // inconsistent inputs must clamp, not exceed 1
+  EXPECT_LE(s.utilization(), 1.0);
+}
+
+TEST(EngineStats, PublishedMetricsMatchTheStruct) {
+  ObsSession session;
+  const ExperimentRunner runner = test_runner();
+  const std::vector<int> procs{1, 2, 4};
+  CampaignOptions options;
+  options.jobs = 2;
+  EngineStats stats;
+  (void)run_matrix_parallel(runner, "compute_kernel",
+                            runner.base_config().l2.size_bytes, procs,
+                            options, &stats);
+  obs::disable();
+
+  const obs::MetricsSnapshot snap =
+      obs::MetricRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("engine.jobs_total"), stats.jobs_total);
+  EXPECT_EQ(snap.counters.at("engine.jobs_run"), stats.jobs_run);
+  EXPECT_EQ(snap.counters.at("engine.jobs_cached"), stats.jobs_cached);
+  EXPECT_EQ(snap.counters.at("engine.jobs_failed"), stats.jobs_failed);
+  EXPECT_EQ(snap.counters.at("engine.jobs_quarantined"),
+            stats.jobs_quarantined);
+  EXPECT_EQ(snap.counters.at("engine.attempts"), stats.attempts);
+  EXPECT_EQ(snap.counters.at("engine.retries"), stats.retries);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("engine.utilization"),
+                   stats.utilization());
+  EXPECT_DOUBLE_EQ(snap.gauges.at("engine.wall_seconds"),
+                   stats.wall_seconds);
+  // Every executed (non-cached) job lands one job_seconds observation.
+  EXPECT_EQ(snap.histograms.at("engine.job_seconds").count, stats.jobs_run);
+  // The pool executed one task per job.
+  EXPECT_EQ(snap.counters.at("pool.tasks_submitted"), stats.jobs_total);
+  EXPECT_EQ(snap.counters.at("pool.tasks_executed"), stats.jobs_total);
+  // The simulator ran once per executed job.
+  EXPECT_EQ(snap.counters.at("sim.runs"), stats.jobs_run);
+}
+
+// ---- Export round trip -------------------------------------------------
+
+TEST(Export, MetricsJsonRoundTrips) {
+  ObsSession session;
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  reg.counter("rt.counter").add(7);
+  reg.gauge("rt.gauge").set(2.25);
+  obs::Histogram& hist = reg.histogram("rt.hist", {1.0, 2.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+  hist.observe(99.0);
+  obs::disable();
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricsSnapshot back =
+      obs::parse_metrics_json(obs::metrics_json(snap));
+  EXPECT_EQ(back.counters.at("rt.counter"), 7u);
+  EXPECT_DOUBLE_EQ(back.gauges.at("rt.gauge"), 2.25);
+  const obs::HistogramData& h = back.histograms.at("rt.hist");
+  EXPECT_EQ(h.count, 3u);
+  ASSERT_EQ(h.bucket_counts.size(), 3u);
+  EXPECT_EQ(h.bucket_counts[0], 1u);
+  EXPECT_EQ(h.bucket_counts[1], 1u);
+  EXPECT_EQ(h.bucket_counts[2], 1u);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 99.0);
+  EXPECT_DOUBLE_EQ(h.sum, 101.0);
+}
+
+TEST(Export, ParseRejectsForeignJson) {
+  EXPECT_THROW(obs::parse_metrics_json("{\"schema\":\"other\"}"),
+               CheckError);
+  EXPECT_THROW(obs::parse_metrics_json("not json"), CheckError);
+}
+
+// ---- CLI ---------------------------------------------------------------
+
+TEST(Cli, CollectWritesTraceAndMetrics) {
+  const std::string trace_path = temp_path("trace.json");
+  const std::string metrics_path = temp_path("metrics.json");
+  const std::string out_path = temp_path("archive.txt");
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  std::ostringstream os;
+  const int rc = cli::run_command(
+      {"collect", "compute_kernel", "--out=" + out_path, "--size=1xL2",
+       "--max-procs=4", "--iters=1", "--jobs=2",
+       "--trace-out=" + trace_path, "--metrics-out=" + metrics_path},
+      os);
+  ASSERT_EQ(rc, 0) << os.str();
+  EXPECT_FALSE(obs::enabled()) << "the command must disable telemetry";
+
+  // The trace parses and contains the campaign spans.
+  const obs::JsonValue trace =
+      obs::json_parse(obs::read_text_file(trace_path));
+  const obs::JsonValue::Array& events = trace.at("traceEvents").as_array();
+  bool saw_plan = false, saw_job = false, saw_machine = false;
+  for (const obs::JsonValue& e : events) {
+    const std::string name = e.at("name").as_string();
+    if (name == "campaign.plan") saw_plan = true;
+    if (name == "job") saw_job = true;
+    if (name == "machine.run") saw_machine = true;
+  }
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_machine);
+
+  // The metrics parse and agree with the engine's own banner tallies.
+  const obs::MetricsSnapshot snap =
+      obs::parse_metrics_json(obs::read_text_file(metrics_path));
+  EXPECT_EQ(snap.counters.at("engine.jobs_total"),
+            snap.counters.at("engine.jobs_run") +
+                snap.counters.at("engine.jobs_cached") +
+                snap.counters.at("engine.jobs_quarantined"));
+  EXPECT_GT(snap.counters.at("sim.runs"), 0u);
+
+  // `scaltool stats` renders the exported file.
+  std::ostringstream stats_os;
+  EXPECT_EQ(cli::run_command({"stats", metrics_path}, stats_os), 0);
+  EXPECT_NE(stats_os.str().find("engine.jobs_total"), std::string::npos);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, StatsRejectsMissingFile) {
+  std::ostringstream os;
+  EXPECT_EQ(cli::run_command({"stats", "/nonexistent/metrics.json"}, os), 1);
+}
+
+TEST(Cli, TelemetryDoesNotChangeTheArchive) {
+  const std::string plain = temp_path("plain_archive.txt");
+  const std::string traced = temp_path("traced_archive.txt");
+  const std::string trace_path = temp_path("side_trace.json");
+
+  std::ostringstream os1, os2;
+  ASSERT_EQ(cli::run_command({"collect", "compute_kernel",
+                              "--out=" + plain, "--size=1xL2",
+                              "--max-procs=2", "--iters=1"},
+                             os1),
+            0);
+  ASSERT_EQ(cli::run_command({"collect", "compute_kernel",
+                              "--out=" + traced, "--size=1xL2",
+                              "--max-procs=2", "--iters=1",
+                              "--trace-out=" + trace_path},
+                             os2),
+            0);
+
+  std::ifstream a(plain), b(traced);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str()) << "telemetry changed the archive bytes";
+
+  std::remove(plain.c_str());
+  std::remove(traced.c_str());
+  std::remove(trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace scaltool
