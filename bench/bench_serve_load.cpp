@@ -1,0 +1,190 @@
+// Analysis-service load benchmark: closed-loop clients against the
+// in-process AnalysisService, batched (shared run cache + single-flight)
+// vs unbatched, plus an overload phase against a tight admission queue.
+//
+// The workload is the batcher's home turf: every request is a what-if over
+// the same (app, machine-config) matrix with a different scaling factor,
+// so the answers differ — no result-cache shortcut; the result cache is
+// disabled outright for honesty — while the underlying sweep is shared.
+// Batched, the campaign is simulated once and every other request replays
+// it; unbatched, each request pays for its own campaign. Reported:
+// throughput and p50/p99 latency per mode, the batched/unbatched
+// throughput ratio (the acceptance bar is >= 2x at 8 clients), and the
+// overload phase's shed count with the p99 of the requests that did run.
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "common/monotime.hpp"
+#include "common/table.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace scaltool::bench {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 4;
+
+/// The shared-sweep mix: one collection signature, distinct answers.
+serve::Request whatif_request(int index) {
+  serve::Request req;
+  req.op = "whatif";
+  req.args = {"swim",      "--size=2xL2",
+              "--max-procs=4", "--iters=2",
+              "--l2x=" + std::to_string(2 + index % 7)};
+  return req;
+}
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;  ///< completed requests only
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  serve::ServiceStats stats;
+};
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t at = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  return values[at];
+}
+
+/// Closed loop: every client fires its next request the moment the
+/// previous one resolves. Offered load = clients / service latency.
+LoadResult drive(const serve::ServiceOptions& options, int clients,
+                 int requests_per_client) {
+  serve::AnalysisService service(options);
+  std::mutex mu;
+  LoadResult result;
+  const Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Stopwatch timer;
+        const serve::Response r =
+            service.call(whatif_request(c * requests_per_client + i));
+        const double seconds = timer.seconds();
+        std::lock_guard<std::mutex> lock(mu);
+        if (r.status == serve::Status::kOverloaded) {
+          ++result.shed;
+        } else {
+          ++result.completed;
+          result.latencies.push_back(seconds);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds = wall.seconds();
+  service.shutdown();
+  result.stats = service.stats();
+  return result;
+}
+
+void report(const char* mode, const LoadResult& r, Table* table) {
+  const double throughput =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(r.completed) / r.wall_seconds
+          : 0.0;
+  table->add_row({mode, Table::cell(static_cast<double>(r.completed)),
+                  Table::cell(static_cast<double>(r.shed)),
+                  Table::cell(throughput),
+                  Table::cell(percentile(r.latencies, 0.50), 3),
+                  Table::cell(percentile(r.latencies, 0.99), 3),
+                  Table::cell(static_cast<double>(r.stats.simulator_runs)),
+                  Table::cell(
+                      static_cast<double>(r.stats.cache_served_runs))});
+  std::cout << "{\"bench\":\"serve_load\",\"mode\":\"" << mode
+            << "\",\"completed\":" << r.completed << ",\"shed\":" << r.shed
+            << ",\"throughput_rps\":" << throughput
+            << ",\"p50_s\":" << percentile(r.latencies, 0.50)
+            << ",\"p99_s\":" << percentile(r.latencies, 0.99)
+            << ",\"simulator_runs\":" << r.stats.simulator_runs
+            << ",\"cache_served_runs\":" << r.stats.cache_served_runs
+            << "}\n";
+}
+
+int run() {
+  std::cout << "# serve load: " << kClients << " closed-loop clients x "
+            << kRequestsPerClient
+            << " what-if requests over one shared sweep\n";
+
+  serve::ServiceOptions base;
+  base.workers = bench_jobs();
+  base.max_queue = 64;
+  base.result_cache_entries = 0;  // no rendered-bytes shortcut
+
+  Table table("Analysis service under load");
+  table.header({"mode", "completed", "shed", "rps", "p50_s", "p99_s",
+                "sim_runs", "cached_runs"});
+
+  serve::ServiceOptions batched = base;
+  batched.batching = true;
+  const LoadResult with_batching =
+      drive(batched, kClients, kRequestsPerClient);
+  report("batched", with_batching, &table);
+
+  serve::ServiceOptions unbatched = base;
+  unbatched.batching = false;
+  const LoadResult without_batching =
+      drive(unbatched, kClients, kRequestsPerClient);
+  report("unbatched", without_batching, &table);
+
+  // Overload: same client count against one worker and four seats. The
+  // interesting number is the p99 of the requests that DID run — bounded
+  // because queueing time is capped by the admission bound, not growing
+  // with offered load.
+  serve::ServiceOptions tight = base;
+  tight.batching = true;
+  tight.workers = 1;
+  tight.max_queue = 4;
+  const LoadResult overloaded =
+      drive(tight, kClients, kRequestsPerClient);
+  report("overload", overloaded, &table);
+
+  table.print(std::cout, /*with_csv=*/true);
+
+  const double batched_rps =
+      with_batching.wall_seconds > 0.0
+          ? static_cast<double>(with_batching.completed) /
+                with_batching.wall_seconds
+          : 0.0;
+  const double unbatched_rps =
+      without_batching.wall_seconds > 0.0
+          ? static_cast<double>(without_batching.completed) /
+                without_batching.wall_seconds
+          : 0.0;
+  const double ratio =
+      unbatched_rps > 0.0 ? batched_rps / unbatched_rps : 0.0;
+  const double p99_ratio =
+      percentile(with_batching.latencies, 0.99) > 0.0
+          ? percentile(overloaded.latencies, 0.99) /
+                percentile(with_batching.latencies, 0.99)
+          : 0.0;
+  std::cout << "{\"bench\":\"serve_load_summary\",\"batched_over_unbatched\":"
+            << ratio << ",\"overload_p99_over_saturation_p99\":" << p99_ratio
+            << "}\n";
+  std::cout << "batching speedup at " << kClients << " clients: " << ratio
+            << "x (acceptance bar: >= 2x)\n";
+  if (ratio < 2.0) {
+    std::cout << "WARNING: batched throughput below the 2x bar\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scaltool::bench
+
+int main() { return scaltool::bench::run(); }

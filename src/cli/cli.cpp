@@ -1,190 +1,33 @@
 #include "cli/cli.hpp"
 
-#include <fstream>
+#include <cstdint>
+#include <iostream>
 #include <ostream>
 #include <utility>
 
 #include "apps/apps.hpp"
 #include "cli/args.hpp"
-#include "common/ascii_chart.hpp"
 #include "common/check.hpp"
 #include "core/scaltool.hpp"
-#include "engine/campaign.hpp"
+#include "engine/fault_injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
-#include "obs/telemetry.hpp"
-#include "runner/archive.hpp"
 #include "runner/runner.hpp"
-#include "trace/trace_io.hpp"
+#include "serve/exec.hpp"
+#include "serve/service.hpp"
+#include "serve/transport.hpp"
 #include "tools/perfex.hpp"
 #include "tools/region_report.hpp"
 #include "tools/speedshop.hpp"
 #include "tools/ssusage.hpp"
+#include "trace/trace_io.hpp"
 
 namespace scaltool::cli {
 
 namespace {
 
-MachineConfig machine_from(const Args& args) {
-  MachineConfig cfg = MachineConfig::origin2000_scaled(1);
-  const std::string topo = args.get("topology", "hypercube");
-  if (topo == "hypercube") {
-    cfg.network.topology = TopologyKind::kBristledHypercube;
-  } else if (topo == "crossbar") {
-    cfg.network.topology = TopologyKind::kCrossbar;
-  } else if (topo == "ring") {
-    cfg.network.topology = TopologyKind::kRing;
-  } else if (topo == "mesh2d") {
-    cfg.network.topology = TopologyKind::kMesh2D;
-  } else {
-    ST_CHECK_MSG(false, "unknown --topology=" << topo);
-  }
-  cfg.l2.size_bytes =
-      args.get_size("l2-size", cfg.l2.size_bytes, cfg.l2.size_bytes);
-  if (args.has("msi")) cfg.exclusive_state = false;
-  cfg.tlb_entries = args.get_int("tlb", cfg.tlb_entries);
-  cfg.validate();
-  return cfg;
-}
-
-ExperimentRunner runner_from(const Args& args) {
-  register_standard_workloads();
-  ExperimentRunner runner(machine_from(args));
-  runner.iterations = args.get_int("iters", runner.iterations);
-  return runner;
-}
-
-bool is_archive(const std::string& target) {
-  std::ifstream is(target);
-  if (!is.good()) return false;
-  std::string head;
-  std::getline(is, head);
-  return head.rfind("scaltool-inputs", 0) == 0;
-}
-
-/// Campaign-engine options shared by collect/analyze/whatif. --jobs=1
-/// without --cache keeps the original serial path (and output) untouched.
-CampaignOptions engine_from(const Args& args) {
-  CampaignOptions options;
-  options.jobs = args.get_int("jobs", 1);
-  ST_CHECK_MSG(options.jobs >= 1, "--jobs must be at least 1");
-  options.cache_path = args.get("cache", "");
-  options.retries = args.get_int("retries", 0);
-  options.backoff_ms = args.get_int("backoff-ms", 0);
-  options.keep_going = args.has("keep-going");
-  const std::string faults = args.get("faults", "");
-  if (!faults.empty()) options.faults = FaultPlan::parse(faults);
-  return options;
-}
-
-bool engine_engaged(const CampaignOptions& options) {
-  return options.jobs > 1 || !options.cache_path.empty() ||
-         options.retries > 0 || options.keep_going ||
-         options.faults.enabled();
-}
-
-/// Telemetry options shared by collect/analyze/whatif. Telemetry stays off
-/// unless one of --trace-out/--metrics-out/--obs asks for it, so the default
-/// paths (and their output bytes) are untouched.
-struct ObsOptions {
-  std::string trace_out;
-  std::string metrics_out;
-  bool table = false;
-
-  bool engaged() const {
-    return !trace_out.empty() || !metrics_out.empty() || table;
-  }
-};
-
-ObsOptions obs_from(const Args& args) {
-  ObsOptions options;
-  options.trace_out = args.get("trace-out", "");
-  options.metrics_out = args.get("metrics-out", "");
-  options.table = args.has("obs");
-  if (options.engaged()) obs::enable();
-  return options;
-}
-
-/// Flushes the telemetry a command gathered: trace and metrics files first,
-/// then the human summary. Disables telemetry so a later command in the same
-/// process starts from a clean registry.
-void finish_obs(const ObsOptions& options, std::ostream& os) {
-  if (!options.engaged()) return;
-  const obs::MetricsSnapshot snap = obs::MetricRegistry::instance().snapshot();
-  if (!options.trace_out.empty()) {
-    obs::write_text_file(options.trace_out, obs::chrome_trace_json());
-    os << "trace written to " << options.trace_out
-       << " (open in chrome://tracing or Perfetto)\n";
-  }
-  if (!options.metrics_out.empty()) {
-    obs::write_text_file(options.metrics_out, obs::metrics_json(snap));
-    os << "metrics written to " << options.metrics_out << "\n";
-  }
-  if (options.table)
-    for (const Table& table : obs::metrics_tables(snap)) table.print(os);
-  obs::disable();
-}
-
-/// Collects the matrix, through the campaign engine when --jobs/--cache/
-/// --retries/--keep-going/--faults ask for it; the engine path prints its
-/// metrics plus the retry/quarantine journal, and reports via `degraded`
-/// whether the result was assembled from a partial matrix (exit code 3).
-ScalToolInputs collect_matrix(const Args& args,
-                              const ExperimentRunner& runner,
-                              const std::string& app, std::size_t s0,
-                              int max_procs, std::ostream& os,
-                              bool* degraded = nullptr) {
-  const CampaignOptions options = engine_from(args);
-  const std::vector<int> counts = default_proc_counts(max_procs);
-  if (!engine_engaged(options)) return runner.collect(app, s0, counts);
-  CampaignEngine engine(runner, options);
-  ScalToolInputs inputs = engine.collect(app, s0, counts);
-  os << engine_stats_line(engine.stats()) << "\n";
-  engine_stats_table(engine.stats()).print(os);
-  for (const std::string& event : engine.events())
-    os << "event: " << event << "\n";
-  for (const std::string& note : inputs.notes)
-    os << "degraded: " << note << "\n";
-  if (degraded && !inputs.notes.empty()) *degraded = true;
-  return inputs;
-}
-
-/// The analyze/whatif commands accept either a saved archive or an app
-/// name (collected on the fly). An archive that carries degradation notes
-/// (it was assembled from a faulty campaign) marks the run degraded too.
-ScalToolInputs inputs_from(const Args& args, const std::string& target,
-                           const ExperimentRunner& runner, std::ostream& os,
-                           bool* degraded = nullptr) {
-  if (is_archive(target)) {
-    (void)engine_from(args);  // marks the engine options as consumed
-    ScalToolInputs inputs = load_inputs(target);
-    if (degraded && !inputs.notes.empty()) *degraded = true;
-    return inputs;
-  }
-  const std::size_t l2 = runner.base_config().l2.size_bytes;
-  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
-  const int max_procs = args.get_int("max-procs", 32);
-  return collect_matrix(args, runner, target, s0, max_procs, os, degraded);
-}
-
-void warn_unused(const Args& args, std::ostream& os) {
-  for (const std::string& key : args.unused())
-    os << "warning: unrecognized option --" << key << "\n";
-}
-
-void chart_curves(const ScalabilityReport& report, std::ostream& os) {
-  std::vector<std::pair<double, double>> base, no_l2, no_mp;
-  for (const BottleneckPoint& p : report.points) {
-    base.emplace_back(p.n, p.base_cycles / 1e6);
-    no_l2.emplace_back(p.n, p.cycles_no_l2lim / 1e6);
-    no_mp.emplace_back(p.n, p.cycles_no_l2lim_no_mp / 1e6);
-  }
-  AsciiChart chart(56, 14);
-  chart.add_series('B', "Base (Mcycles)", std::move(base));
-  chart.add_series('o', "Base - L2Lim", std::move(no_l2));
-  chart.add_series('.', "Base - L2Lim - MP", std::move(no_mp));
-  os << chart.render();
-}
+/// Reported by --version; bump alongside the project() version.
+constexpr const char* kVersion = "0.4.0";
 
 int cmd_list(std::ostream& os) {
   register_standard_workloads();
@@ -197,12 +40,12 @@ int cmd_list(std::ostream& os) {
 int cmd_run(const Args& args, std::ostream& os) {
   const std::string app = args.positional(1, "");
   ST_CHECK_MSG(!app.empty(), "usage: scaltool run <app> [--procs=N ...]");
-  const ExperimentRunner runner = runner_from(args);
+  const ExperimentRunner runner = serve::runner_from(args);
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 4 * l2, l2);
   const int procs = args.get_int("procs", 8);
   const bool per_proc = args.has("per-proc");
-  warn_unused(args, os);
+  serve::warn_unused(args, os);
 
   const RunResult result = runner.run_full(app, s0, procs);
   os << perfex_report(result, per_proc);
@@ -212,95 +55,16 @@ int cmd_run(const Args& args, std::ostream& os) {
   return 0;
 }
 
-int cmd_collect(const Args& args, std::ostream& os) {
-  const std::string app = args.positional(1, "");
-  const std::string out = args.get("out", "");
-  ST_CHECK_MSG(!app.empty() && !out.empty(),
-               "usage: scaltool collect <app> --out=FILE");
-  const ObsOptions obs_options = obs_from(args);
-  const ExperimentRunner runner = runner_from(args);
-  const std::size_t l2 = runner.base_config().l2.size_bytes;
-  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
-  const int max_procs = args.get_int("max-procs", 32);
-  bool degraded = false;
-  const ScalToolInputs inputs =
-      collect_matrix(args, runner, app, s0, max_procs, os, &degraded);
-  warn_unused(args, os);
-  save_inputs(inputs, out);
-  os << "collected " << inputs.base_runs.size() << " base runs, "
-     << inputs.uni_runs.size() << " uniprocessor runs and "
-     << inputs.kernels.size() << " kernel pairs for " << app << " (s0 = "
-     << format_bytes(s0) << ") into " << out << "\n";
-  finish_obs(obs_options, os);
-  return degraded ? 3 : 0;
-}
-
-int cmd_analyze(const Args& args, std::ostream& os) {
-  const std::string target = args.positional(1, "");
-  ST_CHECK_MSG(!target.empty(),
-               "usage: scaltool analyze <app|archive> [--sharing]");
-  const ObsOptions obs_options = obs_from(args);
-  const ExperimentRunner runner = runner_from(args);
-  AnalyzeOptions options;
-  options.model_sharing = args.has("sharing");
-  options.cpi.robust = args.has("robust-fit");
-  const bool chart = args.has("chart");
-  bool degraded = false;
-  const ScalToolInputs inputs = inputs_from(args, target, runner, os,
-                                            &degraded);
-  warn_unused(args, os);
-
-  const ScalabilityReport report = analyze(inputs, options);
-  if (!report.model.fit_rejected.empty()) degraded = true;
-  os << model_summary(report) << "\n";
-  speedup_table(inputs).print(os);
-  breakdown_table(report).print(os);
-  if (chart) chart_curves(report, os);
-  if (!inputs.validation.empty()) validation_table(report, inputs).print(os);
-  finish_obs(obs_options, os);
-  return degraded ? 3 : 0;
-}
-
-int cmd_whatif(const Args& args, std::ostream& os) {
-  const std::string target = args.positional(1, "");
-  ST_CHECK_MSG(!target.empty(),
-               "usage: scaltool whatif <app|archive> --l2x=K ...");
-  const ObsOptions obs_options = obs_from(args);
-  const ExperimentRunner runner = runner_from(args);
-  WhatIfParams params;
-  params.l2_scale_k = args.get_double("l2x", 1.0);
-  params.tm_scale = args.get_double("tm-scale", 1.0);
-  params.t2_scale = args.get_double("t2-scale", 1.0);
-  params.tsyn_scale = args.get_double("tsyn-scale", 1.0);
-  params.pi0_scale = args.get_double("pi0-scale", 1.0);
-  AnalyzeOptions options;
-  options.cpi.robust = args.has("robust-fit");
-  bool degraded = false;
-  const ScalToolInputs inputs = inputs_from(args, target, runner, os,
-                                            &degraded);
-  warn_unused(args, os);
-
-  const ScalabilityReport report = analyze(inputs, options);
-  if (!report.model.fit_rejected.empty()) degraded = true;
-  if (params.is_identity())
-    os << "note: no parameter changed; showing the identity scenario "
-          "(pass --l2x, --tm-scale, --t2-scale, --tsyn-scale or "
-          "--pi0-scale)\n";
-  whatif_table(what_if(report, inputs, params), "CLI scenario").print(os);
-  finish_obs(obs_options, os);
-  return degraded ? 3 : 0;
-}
-
 int cmd_region(const Args& args, std::ostream& os) {
   const std::string app = args.positional(1, "");
   const std::string region = args.positional(2, "");
   ST_CHECK_MSG(!app.empty() && !region.empty(),
                "usage: scaltool region <app> <region>");
-  const ExperimentRunner runner = runner_from(args);
+  const ExperimentRunner runner = serve::runner_from(args);
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 16);
-  warn_unused(args, os);
+  serve::warn_unused(args, os);
 
   const ScalToolInputs inputs =
       runner.collect_region(app, region, s0, default_proc_counts(max_procs));
@@ -313,7 +77,7 @@ int cmd_region(const Args& args, std::ostream& os) {
 int cmd_stats(const Args& args, std::ostream& os) {
   const std::string path = args.positional(1, "");
   ST_CHECK_MSG(!path.empty(), "usage: scaltool stats <metrics.json>");
-  warn_unused(args, os);
+  serve::warn_unused(args, os);
   const obs::MetricsSnapshot snap =
       obs::parse_metrics_json(obs::read_text_file(path));
   for (const Table& table : obs::metrics_tables(snap)) table.print(os);
@@ -325,11 +89,11 @@ int cmd_record(const Args& args, std::ostream& os) {
   const std::string out = args.get("out", "");
   ST_CHECK_MSG(!app.empty() && !out.empty(),
                "usage: scaltool record <app> --out=FILE");
-  const ExperimentRunner runner = runner_from(args);
+  const ExperimentRunner runner = serve::runner_from(args);
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 4 * l2, l2);
   const int procs = args.get_int("procs", 8);
-  warn_unused(args, os);
+  serve::warn_unused(args, os);
 
   RecordingWorkload recorder(WorkloadRegistry::instance().create(app));
   runner.run_full(recorder, s0, procs);
@@ -345,8 +109,8 @@ int cmd_replay(const Args& args, std::ostream& os) {
   const std::string path = args.positional(1, "");
   ST_CHECK_MSG(!path.empty(),
                "usage: scaltool replay <tracefile> [machine overrides]");
-  const ExperimentRunner runner = runner_from(args);
-  warn_unused(args, os);
+  const ExperimentRunner runner = serve::runner_from(args);
+  serve::warn_unused(args, os);
 
   Trace trace = load_trace(path);
   const std::size_t bytes = trace.dataset_bytes;
@@ -356,6 +120,112 @@ int cmd_replay(const Args& args, std::ostream& os) {
   os << perfex_report(result);
   os << speedshop_report(result);
   return 0;
+}
+
+int cmd_serve(const Args& args, std::ostream& os) {
+  serve::ServiceOptions options;
+  options.workers = args.get_int("workers", options.workers);
+  options.engine_jobs = args.get_int("jobs", options.engine_jobs);
+  options.max_queue = static_cast<std::size_t>(args.get_int("queue", 64));
+  options.result_cache_entries =
+      static_cast<std::size_t>(args.get_int("result-cache", 256));
+  options.batching = !args.has("no-batch");
+  options.run_cache_path = args.get("cache", "");
+  options.retries = args.get_int("retries", 0);
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) options.faults = FaultPlan::parse(faults);
+  const std::string socket = args.get("socket", "");
+  const bool stdio = args.has("stdio");
+  ST_CHECK_MSG(stdio || !socket.empty(),
+               "usage: scaltool serve --socket=PATH | --stdio [options]");
+  ST_CHECK_MSG(!(stdio && !socket.empty()),
+               "--socket and --stdio are mutually exclusive");
+  serve::warn_unused(args, os);
+
+  serve::AnalysisService service(options);
+  if (stdio) {
+    // Stdio mode keeps stdout a pure NDJSON response stream: no banner,
+    // no shutdown summary.
+    serve::serve_lines(std::cin, os, service);
+    service.shutdown();
+    return 0;
+  }
+  serve::SocketServer server(service, socket);
+  os << "scaltool serve: listening on " << socket
+     << " (EOF on stdin drains and stops)\n";
+  os.flush();
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server.stop();
+  service.shutdown();
+  os << "scaltool serve: drained; stats " << service.stats().to_json()
+     << "\n";
+  return 0;
+}
+
+/// The request client works on the raw token list: everything that is not
+/// one of its own options is forwarded verbatim as the op and its
+/// arguments, so `scaltool request analyze swim --size=2xL2` never
+/// re-parses (or worse, consumes) the op's options.
+int cmd_request(const std::vector<std::string>& argv, std::ostream& os) {
+  std::string socket;
+  std::string id;
+  bool has_id = false;
+  std::int64_t deadline_ms = 0;
+  std::vector<std::string> forwarded;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& tok = argv[i];
+    if (tok.rfind("--socket=", 0) == 0) {
+      socket = tok.substr(9);
+    } else if (tok.rfind("--deadline-ms=", 0) == 0) {
+      const std::string value = tok.substr(14);
+      ST_CHECK_MSG(!value.empty() && value.size() <= 12 &&
+                       value.find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "--deadline-ms needs a non-negative integer");
+      deadline_ms = std::stoll(value);
+    } else if (tok.rfind("--id=", 0) == 0) {
+      id = tok.substr(5);
+      has_id = true;
+    } else {
+      forwarded.push_back(tok);
+    }
+  }
+  ST_CHECK_MSG(!forwarded.empty(),
+               "usage: scaltool request [--socket=PATH] [--deadline-ms=T] "
+               "[--id=ID] <op> [op options]");
+
+  serve::Request request;
+  request.op = forwarded.front();
+  request.args.assign(forwarded.begin() + 1, forwarded.end());
+  request.deadline_ms = deadline_ms;
+  if (has_id) request.id = obs::JsonValue(id);
+
+  serve::Response response;
+  if (!socket.empty()) {
+    response = serve::socket_call(socket, request);
+  } else {
+    // No server: run the request against an in-process one-shot service,
+    // which keeps `scaltool request` usable (and testable) stand-alone.
+    serve::AnalysisService service;
+    response = service.call(std::move(request));
+    service.shutdown();
+  }
+
+  if (!response.stats_json.empty()) {
+    os << response.stats_json << "\n";
+  } else {
+    os << response.output;  // CLI-equivalent bytes, verbatim
+  }
+  if (!response.error.empty()) os << "error: " << response.error << "\n";
+  if (response.status == serve::Status::kOverloaded)
+    os << "error: the service shed the request (overloaded)\n";
+  if (response.status == serve::Status::kShuttingDown)
+    os << "error: the service is shutting down\n";
+  if (response.status == serve::Status::kDeadlineExceeded)
+    os << "error: deadline exceeded\n";
+  return response.exit_code;
 }
 
 }  // namespace
@@ -386,6 +256,19 @@ void print_help(std::ostream& os) {
         "      [--procs=N --size=S --iters=I]\n"
         "  replay <tracefile>           trace-driven run (honours the\n"
         "                               machine overrides below)\n"
+        "  serve --socket=PATH|--stdio  long-running analysis service:\n"
+        "                               newline-delimited JSON requests in,\n"
+        "                               one response line each (DESIGN.md\n"
+        "                               §10); EOF on stdin drains and stops\n"
+        "      [--workers=N --jobs=N --queue=N --result-cache=N --no-batch\n"
+        "       --cache=FILE --retries=N --faults=SPEC]\n"
+        "  request [--socket=PATH] <op> [op options]\n"
+        "                               send one request (analyze, whatif,\n"
+        "                               collect, stats, ping) to a running\n"
+        "                               server — or, without --socket, to an\n"
+        "                               in-process one-shot service — and\n"
+        "                               print the response output verbatim\n"
+        "      [--deadline-ms=T --id=ID]\n"
         "\n"
         "machine overrides (all commands):\n"
         "  --topology=hypercube|crossbar|ring|mesh2d\n"
@@ -431,13 +314,25 @@ void print_help(std::ostream& os) {
         "  3  completed, but degraded: the result was assembled from a\n"
         "     partial matrix (quarantined runs, interpolated points,\n"
         "     substituted kernels) or the robust fit rejected outliers\n"
+        "  4  unavailable: the service shed the request (overloaded) or\n"
+        "     is shutting down\n"
+        "  5  deadline exceeded before the request finished\n"
         "\n"
-        "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n";
+        "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n"
+        "`scaltool --version` prints the version.\n";
 }
 
 int run_command(const std::vector<std::string>& argv, std::ostream& os) {
   try {
+    // `request` forwards raw tokens to the op, so it dispatches before the
+    // option parser gets a chance to claim them.
+    if (!argv.empty() && argv.front() == "request")
+      return cmd_request(argv, os);
     const Args args(argv);
+    if (args.has("version")) {
+      os << "scaltool " << kVersion << "\n";
+      return 0;
+    }
     const std::string command = args.positional(0, "help");
     if (command == "help" || args.has("help")) {
       print_help(os);
@@ -445,13 +340,14 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     }
     if (command == "list") return cmd_list(os);
     if (command == "run") return cmd_run(args, os);
-    if (command == "collect") return cmd_collect(args, os);
-    if (command == "analyze") return cmd_analyze(args, os);
-    if (command == "whatif") return cmd_whatif(args, os);
+    if (command == "collect") return serve::exec_collect(args, os);
+    if (command == "analyze") return serve::exec_analyze(args, os);
+    if (command == "whatif") return serve::exec_whatif(args, os);
     if (command == "stats") return cmd_stats(args, os);
     if (command == "region") return cmd_region(args, os);
     if (command == "record") return cmd_record(args, os);
     if (command == "replay") return cmd_replay(args, os);
+    if (command == "serve") return cmd_serve(args, os);
     os << "unknown command: " << command << "\n\n";
     print_help(os);
     return 2;

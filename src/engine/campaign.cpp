@@ -34,12 +34,15 @@ std::string describe_spec(const RunSpec& spec) {
 
 CampaignEngine::CampaignEngine(const ExperimentRunner& runner,
                                CampaignOptions options)
-    : runner_(runner),
-      options_(std::move(options)),
-      cache_(options_.cache_path) {
+    : runner_(runner), options_(std::move(options)) {
   ST_CHECK_MSG(options_.jobs >= 1, "the engine needs at least one worker");
   ST_CHECK_MSG(options_.retries >= 0, "--retries must be >= 0");
   ST_CHECK_MSG(options_.backoff_ms >= 0, "--backoff-ms must be >= 0");
+  ST_CHECK_MSG(!(options_.shared_cache && !options_.cache_path.empty()),
+               "a shared run cache and --cache are mutually exclusive");
+  cache_ = options_.shared_cache
+               ? options_.shared_cache
+               : std::make_shared<RunCache>(options_.cache_path);
   if (options_.faults.enabled())
     injector_ = std::make_unique<FaultInjector>(options_.faults);
 }
@@ -94,9 +97,9 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   stats_ = EngineStats{};
   stats_.workers = options_.jobs;
   stats_.jobs_total = plan.jobs.size();
-  stats_.cache_entries_loaded = cache_.loaded_entries();
-  stats_.cache_entries_corrupt = cache_.corrupt_entries();
-  stats_.cache_recovery_events = cache_.corrupt_entries();
+  stats_.cache_entries_loaded = cache_->loaded_entries();
+  stats_.cache_entries_corrupt = cache_->corrupt_entries();
+  stats_.cache_recovery_events = cache_->corrupt_entries();
   quarantined_.clear();
   events_.clear();
   obs::Span exec_span("campaign.execute", "engine");
@@ -119,13 +122,19 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   const int max_attempts = options_.retries + 1;
   const auto run_one = [&](std::size_t i) {
     const RunSpec& spec = plan.jobs[i];
+    // Cooperative cancellation: a fired deadline stops new jobs before
+    // they touch the simulator; jobs already running finish normally.
+    if (options_.cancelled && options_.cancelled()) {
+      obs::instant("job.cancelled", "engine");
+      throw CampaignCancelled(describe_spec(spec) + ": campaign cancelled");
+    }
     const std::uint64_t key =
         job_key_hash(spec, runner_.base_config(), runner_.iterations);
     obs::Span job_span("job", "engine");
     job_span.arg("workload", spec.workload)
         .arg("bytes", spec.dataset_bytes)
         .arg("procs", spec.num_procs);
-    if (std::optional<JobOutcome> hit = cache_.find(key, spec)) {
+    if (std::optional<JobOutcome> hit = cache_->find(key, spec)) {
       job_span.arg("source", "cache");
       outcomes[i] = std::move(*hit);
       std::lock_guard<std::mutex> lock(mu);
@@ -168,7 +177,7 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
         const double took = job_timer.seconds();
         job_seconds.observe(took);
         job_span.arg("source", "run").arg("attempts", attempt + 1);
-        cache_.insert(key, spec, out);
+        cache_->insert(key, spec, out);
         outcomes[i] = std::move(out);
         std::lock_guard<std::mutex> lock(mu);
         ++stats_.jobs_run;
@@ -232,7 +241,7 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
 
   stats_.wall_seconds = wall.seconds();
   if (injector_) stats_.faults_injected = injector_->counts().total();
-  cache_.save();
+  cache_->save();
   // Disk-rot injection happens after the save so the *next* campaign — or
   // the warm pass of this one — exercises the loader's recovery path.
   if (injector_ && !options_.cache_path.empty())

@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,26 @@ struct CampaignOptions {
   FaultPlan faults;
   /// Progress callback (one line per simulator run); invoked serialized.
   std::function<void(const std::string&)> on_run;
+  /// Memoize into this externally owned cache instead of constructing one.
+  /// The analysis service shares a single RunCache across concurrent
+  /// campaigns so identical sweep points are simulated once; RunCache is
+  /// internally synchronized. Mutually exclusive with `cache_path`.
+  std::shared_ptr<RunCache> shared_cache;
+  /// Cooperative cancellation: polled before each job starts. Once it
+  /// returns true no further job begins and execute() throws
+  /// CampaignCancelled after in-flight jobs finish. Backoff sleeps and a
+  /// job already inside the simulator are not interrupted — cancellation
+  /// latency is one job, not one cycle. The service maps a request
+  /// deadline onto this hook.
+  std::function<bool()> cancelled;
+};
+
+/// Thrown (out of execute/collect) when CampaignOptions::cancelled fired.
+/// Deliberately not a CheckError: cancellation is an external decision,
+/// not a broken contract, and callers dispatch on the distinction.
+class CampaignCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// One job the engine gave up on (after all retries).
@@ -85,7 +106,7 @@ class CampaignEngine {
   std::vector<JobOutcome> execute(const MatrixPlan& plan);
 
   const ExperimentRunner& runner() const { return runner_; }
-  RunCache& cache() { return cache_; }
+  RunCache& cache() { return *cache_; }
 
   /// Metrics of the most recent collect()/execute() call.
   const EngineStats& stats() const { return stats_; }
@@ -105,7 +126,7 @@ class CampaignEngine {
 
   ExperimentRunner runner_;  // by value: the engine outlives CLI temporaries
   CampaignOptions options_;
-  RunCache cache_;
+  std::shared_ptr<RunCache> cache_;  // options_.shared_cache or owned
   std::unique_ptr<FaultInjector> injector_;  // null when faults are off
   EngineStats stats_;
   std::vector<QuarantinedJob> quarantined_;

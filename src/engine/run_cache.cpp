@@ -88,6 +88,21 @@ std::size_t RunCache::corrupt_entries() const {
   return corrupt_;
 }
 
+std::uint64_t RunCache::find_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_hits_;
+}
+
+std::uint64_t RunCache::find_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_misses_;
+}
+
+std::uint64_t RunCache::inserts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inserts_;
+}
+
 std::optional<JobOutcome> RunCache::find(std::uint64_t key,
                                          const RunSpec& spec) const {
   static obs::Counter& hits =
@@ -98,6 +113,7 @@ std::optional<JobOutcome> RunCache::find(std::uint64_t key,
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     misses.add();
+    ++find_misses_;
     return std::nullopt;
   }
   const Entry& e = it->second;
@@ -105,19 +121,23 @@ std::optional<JobOutcome> RunCache::find(std::uint64_t key,
       e.spec.dataset_bytes != spec.dataset_bytes ||
       e.spec.num_procs != spec.num_procs) {
     misses.add();
+    ++find_misses_;
     return std::nullopt;  // hash collision or stale descriptor
   }
   if (spec.want_validation && !e.has_validation) {
     misses.add();
+    ++find_misses_;
     return std::nullopt;
   }
   hits.add();
+  ++find_hits_;
   return e.outcome;
 }
 
 void RunCache::insert(std::uint64_t key, const RunSpec& spec,
                       const JobOutcome& outcome, bool has_validation) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++inserts_;
   entries_[key] = Entry{spec, outcome, has_validation};
 }
 

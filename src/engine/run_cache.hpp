@@ -52,6 +52,12 @@ class RunCache {
   std::size_t loaded_entries() const;
   /// Corrupt entries (or an unreadable whole file) skipped at load.
   std::size_t corrupt_entries() const;
+  /// Lifetime find() hits/misses and insert() calls. For a cache shared
+  /// across campaigns (the analysis service) inserts count the distinct
+  /// simulator runs actually performed and hits the runs replayed.
+  std::uint64_t find_hits() const;
+  std::uint64_t find_misses() const;
+  std::uint64_t inserts() const;
 
   /// Cache lookup. Misses when the key is absent, when the stored
   /// descriptor disagrees with `spec` (hash collision or stale entry), or
@@ -80,6 +86,9 @@ class RunCache {
   std::map<std::uint64_t, Entry> entries_;
   std::size_t loaded_ = 0;
   std::size_t corrupt_ = 0;
+  mutable std::uint64_t find_hits_ = 0;   ///< find() is logically const
+  mutable std::uint64_t find_misses_ = 0;
+  std::uint64_t inserts_ = 0;
 };
 
 }  // namespace scaltool

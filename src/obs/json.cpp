@@ -48,6 +48,11 @@ bool JsonValue::has(const std::string& key) const {
 
 namespace {
 
+/// Hard cap on container nesting. The parser reads untrusted bytes (the
+/// analysis service's wire requests, user-supplied metrics files), so a
+/// thousand-bracket line must fail with CheckError, not blow the stack.
+constexpr int kMaxDepth = 128;
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -105,7 +110,18 @@ class Parser {
     }
   }
 
+  /// Guards one level of container nesting for the enclosing scope.
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth_(depth) {
+      ST_CHECK_MSG(++depth_ <= kMaxDepth,
+                   "JSON nested deeper than " << kMaxDepth << " levels");
+    }
+    ~DepthGuard() { --depth_; }
+    int& depth_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(depth_);
     expect('{');
     JsonValue::Object obj;
     if (peek() == '}') {
@@ -116,7 +132,11 @@ class Parser {
       ST_CHECK_MSG(peek() == '"', "object key must be a string at " << pos_);
       std::string key = parse_string();
       expect(':');
-      obj.emplace(std::move(key), parse_value());
+      // Duplicate keys are silently dropped by most parsers — which turns
+      // "last writer wins" into parser-dependent behaviour. Reject them.
+      const bool inserted =
+          obj.emplace(std::move(key), parse_value()).second;
+      ST_CHECK_MSG(inserted, "duplicate JSON object key at offset " << pos_);
       if (peek() == ',') {
         ++pos_;
         continue;
@@ -127,6 +147,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(depth_);
     expect('[');
     JsonValue::Array arr;
     if (peek() == ']') {
@@ -167,8 +188,22 @@ class Parser {
         case 't': out.push_back('\t'); break;
         case 'u': {
           ST_CHECK_MSG(pos_ + 4 <= text_.size(), "truncated \\u escape");
-          const unsigned code = static_cast<unsigned>(
-              std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') {
+              digit = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              ST_CHECK_MSG(false, "bad hex digit '" << h
+                                                    << "' in \\u escape");
+            }
+            code = code * 16 + digit;
+          }
           pos_ += 4;
           // UTF-8 encode the BMP code point (surrogate pairs are not
           // produced by our own exporters; decode them as-is).
@@ -208,11 +243,16 @@ class Parser {
     const double v = std::strtod(token.c_str(), &end);
     ST_CHECK_MSG(end && *end == '\0', "malformed JSON number \"" << token
                                                                 << "\"");
+    // strtod turns an overflowing literal (say 1e999) into inf; letting
+    // that through would silently corrupt any arithmetic downstream.
+    ST_CHECK_MSG(std::isfinite(v),
+                 "JSON number \"" << token << "\" overflows a double");
     return JsonValue(v);
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

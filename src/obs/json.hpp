@@ -1,10 +1,14 @@
 // Minimal JSON value, parser and string escaping.
 //
 // The telemetry exporters emit Chrome trace_event and metrics JSON; the
-// `scaltool stats` subcommand and the observability tests read them back.
-// This is a deliberately small recursive-descent parser for that loop —
-// complete enough for any well-formed JSON document, with CheckError on
-// malformed input — not a general serialization framework.
+// `scaltool stats` subcommand, the observability tests and the analysis
+// service's wire protocol read JSON back. This is a deliberately small
+// recursive-descent parser for that loop — complete enough for any
+// well-formed JSON document, with CheckError on malformed input — not a
+// general serialization framework. Because the service feeds it untrusted
+// bytes, the parser is hardened: nesting is capped (so deep input cannot
+// blow the stack), duplicate object keys, malformed \u escapes and
+// overflowing number literals are all rejected with CheckError.
 #pragma once
 
 #include <cstddef>

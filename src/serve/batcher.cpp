@@ -1,0 +1,77 @@
+#include "serve/batcher.hpp"
+
+#include "cli/args.hpp"
+#include "serve/exec.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+/// Options that change which simulator runs a collection performs (or how
+/// they are seeded). Everything else — --sharing, --chart, --l2x,
+/// --robust-fit — only changes the analysis over the same matrix.
+const char* kCollectionKeys[] = {"size", "max-procs", "iters",  "topology",
+                                 "l2-size", "msi",    "tlb"};
+
+/// Engine options make a request run its own campaign its own way; its
+/// output depends on that campaign (stats lines), so it must not share.
+bool engages_engine(const Args& args) {
+  return args.get("jobs", "1") != "1" || !args.get("cache", "").empty() ||
+         args.get("retries", "0") != "0" || args.has("keep-going") ||
+         !args.get("faults", "").empty();
+}
+
+}  // namespace
+
+Batcher::Batcher(bool enabled, const std::string& run_cache_path)
+    : enabled_(enabled),
+      run_cache_(enabled ? std::make_shared<RunCache>(run_cache_path)
+                         : nullptr) {}
+
+std::uint64_t Batcher::signature(const Request& request) const {
+  if (!enabled_) return 0;
+  if (request.op != "analyze" && request.op != "whatif" &&
+      request.op != "collect")
+    return 0;
+  // The command grammar puts the target at positional 1 (after the op).
+  std::vector<std::string> tokens;
+  tokens.reserve(request.args.size() + 1);
+  tokens.push_back(request.op);
+  tokens.insert(tokens.end(), request.args.begin(), request.args.end());
+  Args args(tokens);
+  const std::string target = args.positional(1, "");
+  if (target.empty() || is_archive(target)) return 0;
+  if (engages_engine(args)) return 0;
+  std::uint64_t h = fnv1a(kFnvBasis, target);
+  for (const char* key : kCollectionKeys) h = fnv1a(h, args.get(key, ""));
+  return h == 0 ? 1 : h;
+}
+
+Batcher::Flight Batcher::enter(std::uint64_t sig) {
+  if (sig == 0) return Flight{};
+  std::shared_ptr<std::mutex> gate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gates_[sig];
+    if (!slot) slot = std::make_shared<std::mutex>();
+    gate = slot;
+  }
+  std::unique_lock<std::mutex> held(*gate, std::try_to_lock);
+  if (!held.owns_lock()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++coalesced_;
+    }
+    held.lock();
+  }
+  // gates_ never erases entries, so the mutex the returned lock refers to
+  // outlives every Flight (one small mutex per distinct signature).
+  return Flight{std::move(held)};
+}
+
+std::uint64_t Batcher::coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
+
+}  // namespace scaltool::serve

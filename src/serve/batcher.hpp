@@ -1,0 +1,80 @@
+// Request batcher: one campaign per (app, machine-config) however many
+// clients ask.
+//
+// Two cooperating mechanisms implement coalescing without ever touching
+// output bytes:
+//
+//   1. A service-wide shared RunCache threaded under every served command
+//      (ExecHooks::shared_cache). The campaign engine keys jobs by content
+//      hash, so the uniprocessor sweep shared by eight concurrent
+//      `analyze swim` requests — or by an `analyze` and a `whatif` of the
+//      same matrix — is simulated exactly once; later requests replay it
+//      from the cache and only pay for their own rendering.
+//
+//   2. A single-flight gate per collection signature. Without it, N
+//      concurrent identical requests would all miss the still-cold cache
+//      and all simulate (a cache stampede). enter() admits one flight per
+//      signature; the followers block until the leader has populated the
+//      cache, then execute as pure cache replays.
+//
+// The signature hashes exactly the ingredients that determine the
+// measurement matrix: target app, data-set size, processor counts,
+// iterations, and the machine overrides. Archive targets (no simulation)
+// and requests that engage the engine themselves (their campaign is their
+// own business) are unbatchable: signature 0, no gate, no shared cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/run_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace scaltool::serve {
+
+class Batcher {
+ public:
+  /// `run_cache_path` optionally persists the shared cache across server
+  /// restarts (empty = in-memory). Disabled keeps every request isolated,
+  /// for A/B measurement (bench_serve_load).
+  explicit Batcher(bool enabled, const std::string& run_cache_path = "");
+
+  bool enabled() const { return enabled_; }
+
+  /// The shared run cache; null when batching is disabled.
+  const std::shared_ptr<RunCache>& run_cache() const { return run_cache_; }
+
+  /// Collection signature of a request; 0 = unbatchable.
+  std::uint64_t signature(const Request& request) const;
+
+  /// Holds the single-flight slot for one signature (RAII).
+  class Flight {
+   public:
+    Flight() = default;
+    explicit Flight(std::unique_lock<std::mutex> lock)
+        : lock_(std::move(lock)) {}
+
+   private:
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Blocks while another flight with the same signature is in progress.
+  /// Signature 0 returns an empty (non-blocking) flight.
+  Flight enter(std::uint64_t sig);
+
+  /// Flights that found their gate held (a direct count of coalesced
+  /// campaigns).
+  std::uint64_t coalesced() const;
+
+ private:
+  const bool enabled_;
+  std::shared_ptr<RunCache> run_cache_;  ///< null when disabled
+  mutable std::mutex mu_;                ///< guards gates_ and coalesced_
+  std::map<std::uint64_t, std::shared_ptr<std::mutex>> gates_;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace scaltool::serve

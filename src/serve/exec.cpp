@@ -1,0 +1,286 @@
+#include "serve/exec.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "common/ascii_chart.hpp"
+#include "common/check.hpp"
+#include "core/scaltool.hpp"
+#include "engine/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "runner/archive.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+/// Campaign-engine options shared by collect/analyze/whatif. --jobs=1
+/// without --cache keeps the original serial path (and output) untouched.
+CampaignOptions engine_from(const Args& args) {
+  CampaignOptions options;
+  options.jobs = args.get_int("jobs", 1);
+  ST_CHECK_MSG(options.jobs >= 1, "--jobs must be at least 1");
+  options.cache_path = args.get("cache", "");
+  options.retries = args.get_int("retries", 0);
+  options.backoff_ms = args.get_int("backoff-ms", 0);
+  options.keep_going = args.has("keep-going");
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) options.faults = FaultPlan::parse(faults);
+  return options;
+}
+
+bool engine_engaged(const CampaignOptions& options) {
+  return options.jobs > 1 || !options.cache_path.empty() ||
+         options.retries > 0 || options.keep_going ||
+         options.faults.enabled();
+}
+
+/// Telemetry options shared by collect/analyze/whatif. Telemetry stays off
+/// unless one of --trace-out/--metrics-out/--obs asks for it, so the default
+/// paths (and their output bytes) are untouched. Inside the service the
+/// keys are still consumed (no spurious "unrecognized option" warnings)
+/// but never engage the process-wide registry.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool table = false;
+  bool allowed = true;
+
+  bool engaged() const {
+    return allowed &&
+           (!trace_out.empty() || !metrics_out.empty() || table);
+  }
+};
+
+ObsOptions obs_from(const Args& args, const ExecHooks& hooks) {
+  ObsOptions options;
+  options.trace_out = args.get("trace-out", "");
+  options.metrics_out = args.get("metrics-out", "");
+  options.table = args.has("obs");
+  options.allowed = !hooks.service;
+  if (options.engaged()) obs::enable();
+  return options;
+}
+
+/// Flushes the telemetry a command gathered: trace and metrics files first,
+/// then the human summary. Disables telemetry so a later command in the same
+/// process starts from a clean registry.
+void finish_obs(const ObsOptions& options, std::ostream& os) {
+  if (!options.engaged()) return;
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::instance().snapshot();
+  if (!options.trace_out.empty()) {
+    obs::write_text_file(options.trace_out, obs::chrome_trace_json());
+    os << "trace written to " << options.trace_out
+       << " (open in chrome://tracing or Perfetto)\n";
+  }
+  if (!options.metrics_out.empty()) {
+    obs::write_text_file(options.metrics_out, obs::metrics_json(snap));
+    os << "metrics written to " << options.metrics_out << "\n";
+  }
+  if (options.table)
+    for (const Table& table : obs::metrics_tables(snap)) table.print(os);
+  obs::disable();
+}
+
+/// Collects the matrix, through the campaign engine when --jobs/--cache/
+/// --retries/--keep-going/--faults ask for it; that engine path prints its
+/// metrics plus the retry/quarantine journal, and reports via `degraded`
+/// whether the result was assembled from a partial matrix (exit code 3).
+/// When only the *hooks* engage the engine (the service's batching, its
+/// deadline, its fault drill), the campaign runs quietly: bit-identical
+/// results, not one extra output byte.
+ScalToolInputs collect_matrix(const Args& args, const ExecHooks& hooks,
+                              const ExperimentRunner& runner,
+                              const std::string& app, std::size_t s0,
+                              int max_procs, std::ostream& os,
+                              bool* degraded = nullptr) {
+  CampaignOptions options = engine_from(args);
+  const std::vector<int> counts = default_proc_counts(max_procs);
+  if (engine_engaged(options)) {
+    options.cancelled = hooks.cancelled;  // deadlines apply regardless
+    CampaignEngine engine(runner, options);
+    ScalToolInputs inputs = engine.collect(app, s0, counts);
+    os << engine_stats_line(engine.stats()) << "\n";
+    engine_stats_table(engine.stats()).print(os);
+    for (const std::string& event : engine.events())
+      os << "event: " << event << "\n";
+    for (const std::string& note : inputs.notes)
+      os << "degraded: " << note << "\n";
+    if (degraded && !inputs.notes.empty()) *degraded = true;
+    return inputs;
+  }
+  if (!hooks.engaged()) return runner.collect(app, s0, counts);
+  options.jobs = hooks.jobs;
+  options.shared_cache = hooks.shared_cache;
+  options.cancelled = hooks.cancelled;
+  options.faults = hooks.faults;
+  options.retries = hooks.retries;
+  CampaignEngine engine(runner, options);
+  ScalToolInputs inputs = engine.collect(app, s0, counts);
+  if (degraded && !inputs.notes.empty()) *degraded = true;
+  return inputs;
+}
+
+/// The analyze/whatif commands accept either a saved archive or an app
+/// name (collected on the fly). An archive that carries degradation notes
+/// (it was assembled from a faulty campaign) marks the run degraded too.
+ScalToolInputs inputs_from(const Args& args, const ExecHooks& hooks,
+                           const std::string& target,
+                           const ExperimentRunner& runner, std::ostream& os,
+                           bool* degraded = nullptr) {
+  if (is_archive(target)) {
+    (void)engine_from(args);  // marks the engine options as consumed
+    ScalToolInputs inputs = load_inputs(target);
+    if (degraded && !inputs.notes.empty()) *degraded = true;
+    return inputs;
+  }
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 32);
+  return collect_matrix(args, hooks, runner, target, s0, max_procs, os,
+                        degraded);
+}
+
+void chart_curves(const ScalabilityReport& report, std::ostream& os) {
+  std::vector<std::pair<double, double>> base, no_l2, no_mp;
+  for (const BottleneckPoint& p : report.points) {
+    base.emplace_back(p.n, p.base_cycles / 1e6);
+    no_l2.emplace_back(p.n, p.cycles_no_l2lim / 1e6);
+    no_mp.emplace_back(p.n, p.cycles_no_l2lim_no_mp / 1e6);
+  }
+  AsciiChart chart(56, 14);
+  chart.add_series('B', "Base (Mcycles)", std::move(base));
+  chart.add_series('o', "Base - L2Lim", std::move(no_l2));
+  chart.add_series('.', "Base - L2Lim - MP", std::move(no_mp));
+  os << chart.render();
+}
+
+}  // namespace
+
+MachineConfig machine_from(const Args& args) {
+  MachineConfig cfg = MachineConfig::origin2000_scaled(1);
+  const std::string topo = args.get("topology", "hypercube");
+  if (topo == "hypercube") {
+    cfg.network.topology = TopologyKind::kBristledHypercube;
+  } else if (topo == "crossbar") {
+    cfg.network.topology = TopologyKind::kCrossbar;
+  } else if (topo == "ring") {
+    cfg.network.topology = TopologyKind::kRing;
+  } else if (topo == "mesh2d") {
+    cfg.network.topology = TopologyKind::kMesh2D;
+  } else {
+    ST_CHECK_MSG(false, "unknown --topology=" << topo);
+  }
+  cfg.l2.size_bytes =
+      args.get_size("l2-size", cfg.l2.size_bytes, cfg.l2.size_bytes);
+  if (args.has("msi")) cfg.exclusive_state = false;
+  cfg.tlb_entries = args.get_int("tlb", cfg.tlb_entries);
+  cfg.validate();
+  return cfg;
+}
+
+ExperimentRunner runner_from(const Args& args) {
+  register_standard_workloads();
+  ExperimentRunner runner(machine_from(args));
+  runner.iterations = args.get_int("iters", runner.iterations);
+  return runner;
+}
+
+bool is_archive(const std::string& target) {
+  std::ifstream is(target);
+  if (!is.good()) return false;
+  std::string head;
+  std::getline(is, head);
+  return head.rfind("scaltool-inputs", 0) == 0;
+}
+
+void warn_unused(const Args& args, std::ostream& os) {
+  for (const std::string& key : args.unused())
+    os << "warning: unrecognized option --" << key << "\n";
+}
+
+int exec_collect(const Args& args, std::ostream& os, const ExecHooks& hooks) {
+  const std::string app = args.positional(1, "");
+  const std::string out = args.get("out", "");
+  ST_CHECK_MSG(!app.empty() && !out.empty(),
+               "usage: scaltool collect <app> --out=FILE");
+  const ObsOptions obs_options = obs_from(args, hooks);
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 32);
+  bool degraded = false;
+  const ScalToolInputs inputs = collect_matrix(args, hooks, runner, app, s0,
+                                               max_procs, os, &degraded);
+  warn_unused(args, os);
+  save_inputs(inputs, out);
+  os << "collected " << inputs.base_runs.size() << " base runs, "
+     << inputs.uni_runs.size() << " uniprocessor runs and "
+     << inputs.kernels.size() << " kernel pairs for " << app << " (s0 = "
+     << format_bytes(s0) << ") into " << out << "\n";
+  finish_obs(obs_options, os);
+  return degraded ? 3 : 0;
+}
+
+int exec_analyze(const Args& args, std::ostream& os, const ExecHooks& hooks) {
+  const std::string target = args.positional(1, "");
+  ST_CHECK_MSG(!target.empty(),
+               "usage: scaltool analyze <app|archive> [--sharing]");
+  const ObsOptions obs_options = obs_from(args, hooks);
+  const ExperimentRunner runner = runner_from(args);
+  AnalyzeOptions options;
+  options.model_sharing = args.has("sharing");
+  options.cpi.robust = args.has("robust-fit");
+  const bool chart = args.has("chart");
+  bool degraded = false;
+  const ScalToolInputs inputs =
+      inputs_from(args, hooks, target, runner, os, &degraded);
+  warn_unused(args, os);
+
+  const ScalabilityReport report = analyze(inputs, options);
+  if (!report.model.fit_rejected.empty()) degraded = true;
+  os << model_summary(report) << "\n";
+  speedup_table(inputs).print(os);
+  breakdown_table(report).print(os);
+  if (chart) chart_curves(report, os);
+  if (!inputs.validation.empty()) validation_table(report, inputs).print(os);
+  finish_obs(obs_options, os);
+  return degraded ? 3 : 0;
+}
+
+int exec_whatif(const Args& args, std::ostream& os, const ExecHooks& hooks) {
+  const std::string target = args.positional(1, "");
+  ST_CHECK_MSG(!target.empty(),
+               "usage: scaltool whatif <app|archive> --l2x=K ...");
+  const ObsOptions obs_options = obs_from(args, hooks);
+  const ExperimentRunner runner = runner_from(args);
+  WhatIfParams params;
+  params.l2_scale_k = args.get_double("l2x", 1.0);
+  params.tm_scale = args.get_double("tm-scale", 1.0);
+  params.t2_scale = args.get_double("t2-scale", 1.0);
+  params.tsyn_scale = args.get_double("tsyn-scale", 1.0);
+  params.pi0_scale = args.get_double("pi0-scale", 1.0);
+  AnalyzeOptions options;
+  options.cpi.robust = args.has("robust-fit");
+  bool degraded = false;
+  const ScalToolInputs inputs =
+      inputs_from(args, hooks, target, runner, os, &degraded);
+  warn_unused(args, os);
+
+  const ScalabilityReport report = analyze(inputs, options);
+  if (!report.model.fit_rejected.empty()) degraded = true;
+  if (params.is_identity())
+    os << "note: no parameter changed; showing the identity scenario "
+          "(pass --l2x, --tm-scale, --t2-scale, --tsyn-scale or "
+          "--pi0-scale)\n";
+  whatif_table(what_if(report, inputs, params), "CLI scenario").print(os);
+  finish_obs(obs_options, os);
+  return degraded ? 3 : 0;
+}
+
+}  // namespace scaltool::serve

@@ -1,0 +1,75 @@
+// Shared command cores for collect/analyze/whatif.
+//
+// The CLI and the analysis service must produce byte-identical output for
+// the same command, so both call these functions: cli.cpp's subcommands
+// are thin wrappers, and the service threads its serving machinery — the
+// shared run cache that implements batching, the deadline predicate, the
+// serve-level fault drill — through ExecHooks without touching a single
+// output byte. Hooks engage the campaign engine *quietly*: the engine's
+// results are bit-identical to the serial runner (test_engine), and none
+// of its stats lines are printed unless the command line itself asked for
+// the engine (--jobs/--cache/--retries/--keep-going/--faults).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "cli/args.hpp"
+#include "engine/fault_injector.hpp"
+#include "engine/run_cache.hpp"
+#include "machine/machine_config.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool::serve {
+
+/// What the analysis service injects under a command's execution.
+struct ExecHooks {
+  /// Shared run cache: identical sweep points across requests are
+  /// simulated once. Null leaves each command to its own devices.
+  std::shared_ptr<RunCache> shared_cache;
+  /// Deadline predicate handed to CampaignOptions::cancelled.
+  std::function<bool()> cancelled;
+  /// Serve-level fault drill applied to served campaigns (ignored when
+  /// the request's own args engage the engine with their own plan).
+  FaultPlan faults;
+  /// Retries for service-driven campaigns (same semantics as --retries).
+  int retries = 0;
+  /// Worker threads for service-driven campaigns.
+  int jobs = 1;
+  /// True inside the service: global telemetry options in the request
+  /// (--trace-out/--metrics-out/--obs) are parsed but not engaged, since
+  /// process-wide telemetry belongs to the operator, not to wire clients.
+  bool service = false;
+
+  /// Whether the hooks force the (quiet) engine path.
+  bool engaged() const {
+    return shared_cache != nullptr || static_cast<bool>(cancelled) ||
+           faults.enabled() || retries > 0 || jobs > 1;
+  }
+};
+
+/// Machine/runner construction from the common CLI options
+/// (--topology/--l2-size/--msi/--tlb, --iters).
+MachineConfig machine_from(const Args& args);
+ExperimentRunner runner_from(const Args& args);
+
+/// True when `target` names a readable scaltool input archive.
+bool is_archive(const std::string& target);
+
+/// Prints one warning line per provided-but-never-queried option.
+void warn_unused(const Args& args, std::ostream& os);
+
+/// The collect/analyze/whatif command cores. Identical to the historical
+/// cli.cpp implementations; return the process exit code (0 ok, 3
+/// degraded) and throw CheckError on hard failure, CampaignCancelled when
+/// hooks.cancelled fired mid-campaign.
+int exec_collect(const Args& args, std::ostream& os,
+                 const ExecHooks& hooks = {});
+int exec_analyze(const Args& args, std::ostream& os,
+                 const ExecHooks& hooks = {});
+int exec_whatif(const Args& args, std::ostream& os,
+                const ExecHooks& hooks = {});
+
+}  // namespace scaltool::serve

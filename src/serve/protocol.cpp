@@ -1,0 +1,235 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+using obs::JsonValue;
+
+const char* kOps[] = {"analyze", "whatif", "collect", "stats", "ping"};
+
+bool known_op(const std::string& op) {
+  for (const char* candidate : kOps)
+    if (op == candidate) return true;
+  return false;
+}
+
+/// Serializes the restricted id domain (null / number / string).
+std::string id_token(const JsonValue& id) {
+  switch (id.kind()) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kNumber: return obs::json_number(id.as_number());
+    case JsonValue::Kind::kString:
+      return "\"" + obs::json_escape(id.as_string()) + "\"";
+    default:
+      ST_CHECK_MSG(false, "request id must be null, a number or a string");
+  }
+}
+
+std::int64_t checked_int(const JsonValue& v, const char* field) {
+  ST_CHECK_MSG(v.is_number(), "\"" << field << "\" must be a number");
+  const double d = v.as_number();
+  ST_CHECK_MSG(std::isfinite(d) && d >= 0 && d <= 9.0e15 &&
+                   d == std::floor(d),
+               "\"" << field << "\" must be a non-negative integer");
+  return static_cast<std::int64_t>(d);
+}
+
+/// Options whose served output depends on server or filesystem state, so
+/// caching the rendered bytes would be a lie.
+bool uncacheable_option(const std::string& token) {
+  static const char* kKeys[] = {
+      "--jobs",    "--cache",      "--retries", "--backoff-ms",
+      "--keep-going", "--faults",  "--trace-out", "--metrics-out",
+      "--obs",     "--out",
+  };
+  for (const char* key : kKeys) {
+    const std::string k(key);
+    if (token == k || token.rfind(k + "=", 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kDegraded: return "degraded";
+    case Status::kError: return "error";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kShuttingDown: return "shutting_down";
+  }
+  return "error";
+}
+
+namespace {
+
+Status status_from_name(const std::string& name) {
+  for (const Status s :
+       {Status::kOk, Status::kDegraded, Status::kError, Status::kOverloaded,
+        Status::kDeadlineExceeded, Status::kShuttingDown})
+    if (name == status_name(s)) return s;
+  ST_CHECK_MSG(false, "unknown response status \"" << name << "\"");
+}
+
+/// Re-serializes a parsed value (object keys come back sorted; the stats
+/// payload is a flat counter object, so that is harmless).
+void write_json(const JsonValue& v, std::ostream& os) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: os << "null"; return;
+    case JsonValue::Kind::kBool: os << (v.as_bool() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber: os << obs::json_number(v.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      os << '"' << obs::json_escape(v.as_string()) << '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      const JsonValue::Array& items = v.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) os << ',';
+        write_json(items[i], os);
+      }
+      os << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << obs::json_escape(key) << "\":";
+        write_json(value, os);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const JsonValue doc = obs::json_parse(line);
+  ST_CHECK_MSG(doc.is_object(), "request must be a JSON object");
+  Request req;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "id") {
+      ST_CHECK_MSG(value.is_null() || value.is_number() || value.is_string(),
+                   "request id must be null, a number or a string");
+      req.id = value;
+    } else if (key == "op") {
+      ST_CHECK_MSG(value.is_string(), "\"op\" must be a string");
+      req.op = value.as_string();
+    } else if (key == "args") {
+      ST_CHECK_MSG(value.is_array(), "\"args\" must be an array of strings");
+      for (const JsonValue& tok : value.as_array()) {
+        ST_CHECK_MSG(tok.is_string(), "\"args\" must contain only strings");
+        req.args.push_back(tok.as_string());
+      }
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = checked_int(value, "deadline_ms");
+    } else {
+      ST_CHECK_MSG(false, "unknown request field \"" << key << "\"");
+    }
+  }
+  ST_CHECK_MSG(!req.op.empty(), "request is missing \"op\"");
+  ST_CHECK_MSG(known_op(req.op), "unknown op \"" << req.op
+                                                 << "\" (use analyze, "
+                                                    "whatif, collect, stats "
+                                                    "or ping)");
+  return req;
+}
+
+std::string serialize_request(const Request& request) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_token(request.id) << ",\"op\":\""
+     << obs::json_escape(request.op) << "\",\"args\":[";
+  for (std::size_t i = 0; i < request.args.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << obs::json_escape(request.args[i]) << '"';
+  }
+  os << ']';
+  if (request.deadline_ms > 0)
+    os << ",\"deadline_ms\":" << request.deadline_ms;
+  os << '}';
+  return os.str();
+}
+
+std::string serialize_response(const Response& response) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_token(response.id) << ",\"status\":\""
+     << status_name(response.status)
+     << "\",\"exit_code\":" << response.exit_code
+     << ",\"cached\":" << (response.cached ? "true" : "false")
+     << ",\"output\":\"" << obs::json_escape(response.output) << '"';
+  if (!response.error.empty())
+    os << ",\"error\":\"" << obs::json_escape(response.error) << '"';
+  if (!response.stats_json.empty()) os << ",\"stats\":" << response.stats_json;
+  os << '}';
+  return os.str();
+}
+
+Response parse_response(const std::string& line) {
+  const JsonValue doc = obs::json_parse(line);
+  ST_CHECK_MSG(doc.is_object(), "response must be a JSON object");
+  Response r;
+  r.id = doc.at("id");
+  r.status = status_from_name(doc.at("status").as_string());
+  r.exit_code = static_cast<int>(doc.at("exit_code").as_number());
+  r.cached = doc.at("cached").as_bool();
+  r.output = doc.at("output").as_string();
+  if (doc.has("error")) r.error = doc.at("error").as_string();
+  if (doc.has("stats")) {
+    std::ostringstream os;
+    write_json(doc.at("stats"), os);
+    r.stats_json = os.str();
+  }
+  return r;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= 0xFFu;  // field separator, so ("ab","c") != ("a","bc")
+  h *= 1099511628211ULL;
+  return h;
+}
+
+std::uint64_t request_hash(const Request& request) {
+  if (request.op != "analyze" && request.op != "whatif") return 0;
+  std::uint64_t h = fnv1a(kFnvBasis, request.op);
+  std::string target;
+  for (const std::string& tok : request.args) {
+    if (uncacheable_option(tok)) return 0;
+    if (target.empty() && tok.rfind("--", 0) != 0) target = tok;
+    h = fnv1a(h, tok);
+  }
+  // An archive target is stamped with its content so a rewritten archive
+  // invalidates every cached answer derived from it (DESIGN.md §10).
+  if (!target.empty()) {
+    std::ifstream is(target, std::ios::binary);
+    if (is.good()) {
+      std::ostringstream buffer;
+      buffer << is.rdbuf();
+      const std::string bytes = buffer.str();
+      h = fnv1a(h, std::to_string(bytes.size()));
+      h = fnv1a(h, bytes);
+    }
+  }
+  return h == 0 ? 1 : h;  // 0 is the "uncacheable" sentinel
+}
+
+}  // namespace scaltool::serve

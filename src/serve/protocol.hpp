@@ -1,0 +1,87 @@
+// Wire protocol of the analysis service (DESIGN.md §10).
+//
+// Transport-agnostic newline-delimited JSON: one request object per line
+// in, one response object per line out. A request names a CLI subcommand
+// (`op`) plus its argument tokens, so "the equivalent one-shot CLI run"
+// is well-defined — the service's `output` field carries exactly the
+// bytes `scaltool <op> <args...>` would have printed.
+//
+//   request  = {"id": <null|number|string>, "op": "analyze"|"whatif"|
+//               "collect"|"stats"|"ping", "args": [<string>...],
+//               "deadline_ms": <number>}          (id/args/deadline optional)
+//   response = {"id": ..., "status": "ok"|"degraded"|"error"|"overloaded"|
+//               "deadline_exceeded"|"shutting_down", "exit_code": N,
+//               "cached": bool, "output": "...", "error"?: "...",
+//               "stats"?: {...}}
+//
+// Parsing is strict — unknown fields, wrong types and malformed JSON are
+// rejected with CheckError (the transport turns that into an `error`
+// response) — because this is the one layer that reads untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace scaltool::serve {
+
+/// Request status of a response envelope. Order is stable wire ABI.
+enum class Status {
+  kOk,                ///< executed, exit code 0
+  kDegraded,          ///< executed, degraded result (CLI exit code 3)
+  kError,             ///< hard failure; `error` carries the message
+  kOverloaded,        ///< shed by admission control, never executed
+  kDeadlineExceeded,  ///< deadline fired before or during execution
+  kShuttingDown,      ///< submitted after drain began, never executed
+};
+
+/// Wire name of a status ("ok", "overloaded", ...).
+const char* status_name(Status status);
+
+struct Request {
+  /// Echoed verbatim into the response; only null, number or string.
+  obs::JsonValue id;
+  std::string op;
+  std::vector<std::string> args;
+  /// Relative deadline in milliseconds from receipt; 0 = none.
+  std::int64_t deadline_ms = 0;
+};
+
+struct Response {
+  obs::JsonValue id;
+  Status status = Status::kOk;
+  /// The exit code the equivalent CLI run would return (0/1/3); requests
+  /// that never executed carry the server-mode codes (4 unavailable,
+  /// 5 deadline exceeded).
+  int exit_code = 0;
+  bool cached = false;  ///< served from the result cache
+  std::string output;   ///< CLI-equivalent bytes
+  std::string error;    ///< non-empty iff status == kError
+  std::string stats_json;  ///< raw JSON object, set for op == "stats"
+};
+
+/// Parses one request line. CheckError on malformed JSON, unknown or
+/// ill-typed fields, or an unknown op.
+Request parse_request(const std::string& line);
+
+/// Single-line JSON serializations (no interior newlines).
+std::string serialize_request(const Request& request);
+std::string serialize_response(const Response& response);
+
+/// Parses a response line back (for clients and tests).
+Response parse_response(const std::string& line);
+
+/// Canonical result-cache key. 0 means uncacheable: ops with side effects
+/// (collect) or no payload (stats/ping), engine/telemetry options whose
+/// output depends on server state, or an archive target that does not
+/// exist. An existing archive target is stamped with its size and content
+/// hash, so rewriting the archive invalidates every cached answer for it.
+std::uint64_t request_hash(const Request& request);
+
+/// FNV-1a, the tree-wide idiom for content keys.
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s);
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+}  // namespace scaltool::serve

@@ -1,0 +1,48 @@
+#include "serve/queue.hpp"
+
+#include "common/check.hpp"
+
+namespace scaltool::serve {
+
+RequestQueue::RequestQueue(std::size_t max_depth) : max_depth_(max_depth) {
+  ST_CHECK_MSG(max_depth_ >= 1, "the request queue needs a depth of >= 1");
+}
+
+bool RequestQueue::push(QueuedRequest&& item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= max_depth_) return false;
+    items_.push_back(std::move(item));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<QueuedRequest> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  QueuedRequest item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace scaltool::serve

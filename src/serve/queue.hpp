@@ -1,0 +1,61 @@
+// Bounded admission queue of the analysis service.
+//
+// Admission control is the first of the service's two backpressure
+// mechanisms (the second is the engine thread pool's bounded task queue):
+// a request either gets a seat in a fixed-depth FIFO or is shed with an
+// explicit `overloaded` response — queueing time is never allowed to grow
+// without bound, which is what keeps p99 latency finite at overload
+// (bench_serve_load measures exactly this).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "common/monotime.hpp"
+#include "serve/protocol.hpp"
+
+namespace scaltool::serve {
+
+/// One admitted request plus its bookkeeping.
+struct QueuedRequest {
+  Request request;
+  MonoClock::TimePoint enqueued;
+  MonoClock::TimePoint deadline;  ///< TimePoint::max() when none
+  std::promise<Response> promise;
+
+  bool expired() const { return MonoClock::now() > deadline; }
+};
+
+class RequestQueue {
+ public:
+  /// `max_depth` >= 1 is the admission bound.
+  explicit RequestQueue(std::size_t max_depth);
+
+  /// Seats the request. Returns false — without blocking — when the queue
+  /// is full or closed; the caller sheds.
+  bool push(QueuedRequest&& item);
+
+  /// Blocks for the next request; nullopt once closed *and* drained,
+  /// which is the workers' exit signal.
+  std::optional<QueuedRequest> pop();
+
+  /// Stops admission; queued requests still drain through pop().
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  const std::size_t max_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<QueuedRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace scaltool::serve

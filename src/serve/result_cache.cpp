@@ -1,0 +1,47 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+namespace scaltool::serve {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<CachedResult> ResultCache::find(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find_if(lru_.begin(), lru_.end(),
+                               [key](const Entry& e) { return e.first == key; });
+  if (key == 0 || it == lru_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it);  // promote to MRU
+  ++hits_;
+  return lru_.front().second;
+}
+
+void ResultCache::insert(std::uint64_t key, CachedResult result) {
+  if (key == 0 || capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find_if(lru_.begin(), lru_.end(),
+                               [key](const Entry& e) { return e.first == key; });
+  if (it != lru_.end()) lru_.erase(it);
+  lru_.emplace_front(key, std::move(result));
+  while (lru_.size() > capacity_) lru_.pop_back();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace scaltool::serve

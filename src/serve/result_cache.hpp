@@ -1,0 +1,55 @@
+// LRU result cache: rendered responses keyed by canonical request hash.
+//
+// Layered *above* the persistent run cache: the run cache memoizes
+// simulator runs (the expensive substrate shared by many different
+// requests), this cache memoizes the final rendered bytes of one exact
+// request. Every entry is deterministic — request_hash() refuses anything
+// whose output could depend on server state — so a hit is byte-identical
+// to a fresh execution by construction. Capacity 0 disables the cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace scaltool::serve {
+
+/// The cached portion of a response: everything except the per-request
+/// envelope fields (id, cached) that must never be replayed.
+struct CachedResult {
+  Status status = Status::kOk;
+  int exit_code = 0;
+  std::string output;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  /// Lookup; a hit is promoted to most-recently-used.
+  std::optional<CachedResult> find(std::uint64_t key);
+
+  /// Inserts or refreshes; evicts the least-recently-used entry beyond
+  /// capacity. Key 0 (uncacheable) is ignored.
+  void insert(std::uint64_t key, CachedResult result);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  using Entry = std::pair<std::uint64_t, CachedResult>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace scaltool::serve

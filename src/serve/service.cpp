@@ -1,0 +1,287 @@
+#include "serve/service.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "cli/args.hpp"
+#include "common/check.hpp"
+#include "engine/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/exec.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+/// Server-mode exit codes (README exit-code table).
+constexpr int kExitUnavailable = 4;       ///< overloaded or shutting down
+constexpr int kExitDeadlineExceeded = 5;
+
+Response immediate(const obs::JsonValue& id, Status status) {
+  Response r;
+  r.id = id;
+  r.status = status;
+  r.exit_code = status == Status::kDeadlineExceeded ? kExitDeadlineExceeded
+                                                    : kExitUnavailable;
+  return r;
+}
+
+std::future<Response> ready(Response r) {
+  std::promise<Response> promise;
+  promise.set_value(std::move(r));
+  return promise.get_future();
+}
+
+}  // namespace
+
+std::string ServiceStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"accepted\":" << accepted << ",\"shed\":" << shed
+     << ",\"rejected_closed\":" << rejected_closed
+     << ",\"completed\":" << completed << ",\"errors\":" << errors
+     << ",\"deadline_missed\":" << deadline_missed
+     << ",\"result_cache_hits\":" << result_cache_hits
+     << ",\"result_cache_misses\":" << result_cache_misses
+     << ",\"coalesced_campaigns\":" << coalesced_campaigns
+     << ",\"simulator_runs\":" << simulator_runs
+     << ",\"cache_served_runs\":" << cache_served_runs
+     << ",\"queue_depth\":" << queue_depth << "}";
+  return os.str();
+}
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.max_queue),
+      batcher_(options_.batching, options_.run_cache_path),
+      results_(options_.result_cache_entries) {
+  ST_CHECK_MSG(options_.workers >= 1, "the service needs >= 1 worker");
+  ST_CHECK_MSG(options_.engine_jobs >= 1, "--jobs must be at least 1");
+  ST_CHECK_MSG(options_.retries >= 0, "--retries must be >= 0");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+AnalysisService::~AnalysisService() { shutdown(); }
+
+std::future<Response> AnalysisService::submit(Request request) {
+  obs::MetricRegistry::instance().counter("serve.requests").add();
+  if (queue_.closed()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_closed;
+    return ready(immediate(request.id, Status::kShuttingDown));
+  }
+  QueuedRequest item;
+  item.enqueued = MonoClock::now();
+  item.deadline = request.deadline_ms > 0
+                      ? item.enqueued +
+                            std::chrono::milliseconds(request.deadline_ms)
+                      : MonoClock::TimePoint::max();
+  item.request = std::move(request);
+  std::future<Response> future = item.promise.get_future();
+  const obs::JsonValue id = item.request.id;
+  if (!queue_.push(std::move(item))) {
+    const bool closed = queue_.closed();
+    obs::MetricRegistry::instance().counter("serve.shed").add();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (closed)
+        ++stats_.rejected_closed;
+      else
+        ++stats_.shed;
+    }
+    return ready(immediate(id, closed ? Status::kShuttingDown
+                                      : Status::kOverloaded));
+  }
+  obs::MetricRegistry::instance()
+      .gauge("serve.queue_depth")
+      .set(static_cast<double>(queue_.depth()));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.accepted;
+  return future;
+}
+
+Response AnalysisService::call(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void AnalysisService::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.close();
+    for (std::thread& worker : workers_) worker.join();
+    if (const std::shared_ptr<RunCache>& cache = batcher_.run_cache();
+        cache && !cache->path().empty())
+      cache->save();  // persist the shared runs across server restarts
+    publish_obs();
+  });
+}
+
+ServiceStats AnalysisService::stats() const {
+  ServiceStats snap;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snap = stats_;
+  }
+  snap.coalesced_campaigns = batcher_.coalesced();
+  snap.result_cache_hits = results_.hits();
+  snap.result_cache_misses = results_.misses();
+  if (const std::shared_ptr<RunCache>& cache = batcher_.run_cache()) {
+    snap.simulator_runs = cache->inserts();
+    snap.cache_served_runs = cache->find_hits();
+  }
+  snap.queue_depth = queue_.depth();
+  return snap;
+}
+
+void AnalysisService::publish_obs() const {
+  const ServiceStats snap = stats();
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  reg.counter("serve.accepted").set(snap.accepted);
+  reg.counter("serve.completed").set(snap.completed);
+  reg.counter("serve.errors").set(snap.errors);
+  reg.counter("serve.deadline_missed").set(snap.deadline_missed);
+  reg.counter("serve.result_cache_hits").set(snap.result_cache_hits);
+  reg.counter("serve.coalesced_campaigns").set(snap.coalesced_campaigns);
+  reg.counter("serve.simulator_runs").set(snap.simulator_runs);
+}
+
+void AnalysisService::worker_loop() {
+  while (std::optional<QueuedRequest> item = queue_.pop()) {
+    obs::MetricRegistry::instance()
+        .gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_.depth()));
+    std::promise<Response> promise = std::move(item->promise);
+    Response response = process(std::move(*item));
+    promise.set_value(std::move(response));
+  }
+}
+
+Response AnalysisService::process(QueuedRequest item) {
+  obs::Span span("request", "serve");
+  span.arg("op", item.request.op);
+  obs::MetricRegistry::instance()
+      .histogram("serve.queue_seconds")
+      .observe(MonoClock::seconds_since(item.enqueued));
+  const Request& req = item.request;
+  Response r;
+  r.id = req.id;
+
+  if (req.op == "ping") {
+    r.output = "pong\n";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    return r;
+  }
+  if (req.op == "stats") {
+    r.stats_json = stats().to_json();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    return r;
+  }
+
+  if (item.expired()) {
+    span.arg("outcome", "deadline");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deadline_missed;
+    return immediate(req.id, Status::kDeadlineExceeded);
+  }
+
+  const std::uint64_t key = request_hash(req);
+  if (std::optional<CachedResult> hit = results_.find(key)) {
+    span.arg("outcome", "cached");
+    r.status = hit->status;
+    r.exit_code = hit->exit_code;
+    r.output = std::move(hit->output);
+    r.cached = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    return r;
+  }
+
+  // Single-flight: while another worker runs the same collection, block
+  // here; by the time the gate opens the shared run cache is warm.
+  const std::uint64_t sig = batcher_.signature(req);
+  const Batcher::Flight flight = batcher_.enter(sig);
+  if (item.expired()) {
+    span.arg("outcome", "deadline");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deadline_missed;
+    return immediate(req.id, Status::kDeadlineExceeded);
+  }
+  if (std::optional<CachedResult> hit = results_.find(key)) {
+    span.arg("outcome", "cached");
+    r.status = hit->status;
+    r.exit_code = hit->exit_code;
+    r.output = std::move(hit->output);
+    r.cached = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    return r;
+  }
+
+  Response executed = execute(req, item.deadline);
+  if ((executed.status == Status::kOk ||
+       executed.status == Status::kDegraded)) {
+    results_.insert(key, CachedResult{executed.status, executed.exit_code,
+                                      executed.output});
+  }
+  span.arg("outcome", status_name(executed.status));
+  return executed;
+}
+
+Response AnalysisService::execute(const Request& req,
+                                  MonoClock::TimePoint deadline) {
+  Response r;
+  r.id = req.id;
+
+  std::vector<std::string> tokens;
+  tokens.reserve(req.args.size() + 1);
+  tokens.push_back(req.op);
+  tokens.insert(tokens.end(), req.args.begin(), req.args.end());
+
+  ExecHooks hooks;
+  hooks.service = true;
+  hooks.shared_cache = batcher_.run_cache();
+  hooks.jobs = options_.engine_jobs;
+  hooks.faults = options_.faults;
+  hooks.retries = options_.retries;
+  if (deadline != MonoClock::TimePoint::max())
+    hooks.cancelled = [deadline] { return MonoClock::now() > deadline; };
+
+  std::ostringstream os;
+  const Stopwatch timer;
+  try {
+    const Args args(tokens);
+    int rc = 1;
+    if (req.op == "analyze") {
+      rc = exec_analyze(args, os, hooks);
+    } else if (req.op == "whatif") {
+      rc = exec_whatif(args, os, hooks);
+    } else {
+      rc = exec_collect(args, os, hooks);
+    }
+    r.status = rc == 0 ? Status::kOk : Status::kDegraded;
+    r.exit_code = rc;
+    r.output = os.str();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+  } catch (const CampaignCancelled&) {
+    r = immediate(req.id, Status::kDeadlineExceeded);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deadline_missed;
+  } catch (const std::exception& e) {
+    r.status = Status::kError;
+    r.exit_code = 1;
+    r.output = os.str();
+    r.error = e.what();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+  }
+  obs::MetricRegistry::instance()
+      .histogram("serve.exec_seconds")
+      .observe(timer.seconds());
+  return r;
+}
+
+}  // namespace scaltool::serve

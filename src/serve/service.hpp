@@ -1,0 +1,114 @@
+// The analysis service: a long-running, batched request server over the
+// Scal-Tool engine (DESIGN.md §10).
+//
+// Serving pipeline per request:
+//
+//   submit() ── admission (bounded queue; full ⇒ `overloaded`, closed ⇒
+//   `shutting_down`) ── worker pops ── deadline pre-check ── result-cache
+//   lookup ── batcher single-flight ── exec_* with the shared run cache
+//   and the deadline-as-cancellation hook ── result-cache fill ── promise.
+//
+// Responses always resolve: every accepted request's future is fulfilled
+// exactly once, including through shutdown() — drain means "stop
+// admitting, finish everything seated", which is what the drain test
+// pins. Output bytes are produced by the same command cores as the CLI
+// (serve/exec.hpp), so a served `analyze`/`whatif` answer is byte-
+// identical to the equivalent one-shot run.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/fault_injector.hpp"
+#include "serve/batcher.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/result_cache.hpp"
+
+namespace scaltool::serve {
+
+struct ServiceOptions {
+  /// Worker threads executing requests (campaigns may nest engine_jobs
+  /// more inside the campaign engine).
+  int workers = 2;
+  /// Worker threads per service-driven campaign (CampaignOptions::jobs).
+  int engine_jobs = 1;
+  /// Admission bound: requests beyond this depth are shed.
+  std::size_t max_queue = 64;
+  /// Result-cache capacity in entries; 0 disables it.
+  std::size_t result_cache_entries = 256;
+  /// Batching (shared run cache + single-flight); off isolates requests.
+  bool batching = true;
+  /// Optional on-disk persistence for the shared run cache.
+  std::string run_cache_path;
+  /// Fault drill applied to every service-driven campaign (--faults on
+  /// `scaltool serve`); a failing campaign yields an `error` response.
+  FaultPlan faults;
+  /// Retries for service-driven campaigns.
+  int retries = 0;
+};
+
+/// Monotonic service counters (exported by the `stats` op and folded into
+/// the obs registry under serve.* when telemetry is enabled).
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;            ///< rejected by admission control
+  std::uint64_t rejected_closed = 0; ///< submitted after drain began
+  std::uint64_t completed = 0;       ///< ok + degraded
+  std::uint64_t errors = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t result_cache_misses = 0;
+  std::uint64_t coalesced_campaigns = 0;
+  std::uint64_t simulator_runs = 0;    ///< shared-cache inserts = real runs
+  std::uint64_t cache_served_runs = 0; ///< shared-cache hits = replays
+  std::size_t queue_depth = 0;        ///< snapshot, not monotonic
+
+  /// One-line JSON object (stable key order) for the `stats` op.
+  std::string to_json() const;
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions options = {});
+  ~AnalysisService();  ///< graceful drain
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Thread-safe. The returned future always resolves; shed and
+  /// post-shutdown submissions resolve immediately.
+  std::future<Response> submit(Request request);
+
+  /// submit() + get(): the one-shot client path.
+  Response call(Request request);
+
+  /// Stops admission, drains every accepted request, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Response process(QueuedRequest item);
+  Response execute(const Request& request,
+                   MonoClock::TimePoint deadline);
+  void worker_loop();
+  void publish_obs() const;
+
+  ServiceOptions options_;
+  RequestQueue queue_;
+  Batcher batcher_;
+  ResultCache results_;
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace scaltool::serve

@@ -1,0 +1,241 @@
+#include "serve/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/telemetry.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+/// Minimal bidirectional streambuf over a connected socket. Writes use
+/// send(MSG_NOSIGNAL) so a client hanging up mid-response surfaces as a
+/// stream error, not a fatal SIGPIPE.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_.data(), in_.data(), in_.data());
+    setp(out_.data(), out_.data() + out_.size());
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::recv(fd_, in_.data(), in_.size(), 0);
+    if (n <= 0) return traits_type::eof();
+    setg(in_.data(), in_.data(), in_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!flush_buffer()) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_buffer() ? 0 : -1; }
+
+ private:
+  bool flush_buffer() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p),
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      p += n;
+    }
+    setp(out_.data(), out_.data() + out_.size());
+    return true;
+  }
+
+  int fd_;
+  std::array<char, 4096> in_;
+  std::array<char, 4096> out_;
+};
+
+sockaddr_un socket_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ST_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+               "socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Response error_response(const std::string& message) {
+  Response r;
+  r.status = Status::kError;
+  r.exit_code = 1;
+  r.error = message;
+  return r;
+}
+
+std::future<Response> ready(Response r) {
+  std::promise<Response> promise;
+  promise.set_value(std::move(r));
+  return promise.get_future();
+}
+
+}  // namespace
+
+void serve_lines(std::istream& in, std::ostream& out,
+                 AnalysisService& service) {
+  std::mutex mu;
+  std::condition_variable pending_ready;
+  std::deque<std::future<Response>> pending;
+  bool reader_done = false;
+
+  // The reader (this thread) submits as fast as lines arrive; the writer
+  // resolves futures strictly in arrival order, so responses come back in
+  // request order no matter how the workers finish.
+  std::thread writer([&] {
+    for (;;) {
+      std::future<Response> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        pending_ready.wait(lock,
+                           [&] { return !pending.empty() || reader_done; });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      out << serialize_response(next.get()) << '\n';
+      out.flush();
+      if (!out.good()) return;  // client hung up; drop the rest
+    }
+  });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keep-alive noise
+    std::future<Response> future;
+    try {
+      future = service.submit(parse_request(line));
+    } catch (const std::exception& e) {
+      future = ready(error_response(e.what()));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(std::move(future));
+    }
+    pending_ready.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    reader_done = true;
+  }
+  pending_ready.notify_one();
+  writer.join();
+}
+
+SocketServer::SocketServer(AnalysisService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {
+  ST_CHECK_MSG(!path_.empty(), "--socket needs a path");
+  const sockaddr_un addr = socket_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ST_CHECK_MSG(listen_fd_ >= 0, "cannot create a unix socket");
+  ::unlink(path_.c_str());  // a stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ST_CHECK_MSG(false, "cannot listen on " << path_ << ": " << err);
+  }
+  obs::instant("serve.listen", "serve");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener shut down (or hard error): stop
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] {
+        FdStreamBuf buf(fd);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        serve_lines(in, out, service_);
+        ::close(fd);
+      });
+    }
+  }
+}
+
+void SocketServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds.swap(conn_fds_);
+    threads.swap(conn_threads_);
+  }
+  // Unblock every connection's getline; the threads close their own fds.
+  for (const int fd : fds) ::shutdown(fd, SHUT_RD);
+  for (std::thread& t : threads) t.join();
+  ::unlink(path_.c_str());
+}
+
+Response socket_call(const std::string& socket_path, const Request& request) {
+  const sockaddr_un addr = socket_address(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ST_CHECK_MSG(fd >= 0, "cannot create a unix socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ST_CHECK_MSG(false, "cannot connect to " << socket_path << ": " << err
+                                             << " (is the server running?)");
+  }
+  std::string reply;
+  {
+    FdStreamBuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    out << serialize_request(request) << '\n';
+    out.flush();
+    const bool sent = out.good();
+    if (sent) std::getline(in, reply);
+  }
+  ::close(fd);
+  ST_CHECK_MSG(!reply.empty(),
+               "server at " << socket_path << " hung up without answering");
+  return parse_response(reply);
+}
+
+}  // namespace scaltool::serve

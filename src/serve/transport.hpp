@@ -1,0 +1,63 @@
+// Transports of the analysis service: NDJSON over any iostream pair and
+// over an AF_UNIX stream socket.
+//
+// serve_lines() is the whole protocol loop — the socket server is nothing
+// but serve_lines() over a socket-backed stream per connection, and the
+// stdio mode is serve_lines(std::cin, std::cout). Requests are submitted
+// as they are read (so a pipelining client gets the full benefit of the
+// worker pool and the batcher) while responses are written strictly in
+// request order by a dedicated writer, which keeps the output stream a
+// valid NDJSON sequence without interleaving.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace scaltool::serve {
+
+/// Reads newline-delimited requests from `in` until EOF, writes one
+/// response line per request to `out` in request order. A malformed line
+/// produces an `error` response (null id) instead of tearing the
+/// connection down.
+void serve_lines(std::istream& in, std::ostream& out,
+                 AnalysisService& service);
+
+/// AF_UNIX stream-socket front end: one connection = one serve_lines()
+/// loop on its own thread. Construction binds and starts accepting;
+/// stop() (idempotent, also run by the destructor) shuts the listener
+/// and every open connection down and joins the threads. Draining the
+/// service itself is the caller's business (AnalysisService::shutdown).
+class SocketServer {
+ public:
+  SocketServer(AnalysisService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  void stop();
+
+ private:
+  void accept_loop();
+
+  AnalysisService& service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;  ///< guards conn_fds_, conn_threads_, stopping_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopping_ = false;
+};
+
+/// One round trip over a server socket: connect, send `request`, read one
+/// response line. CheckError when the server is unreachable or hangs up
+/// without answering.
+Response socket_call(const std::string& socket_path, const Request& request);
+
+}  // namespace scaltool::serve

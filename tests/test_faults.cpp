@@ -21,6 +21,8 @@
 #include "engine/run_cache.hpp"
 #include "runner/archive.hpp"
 #include "runner/runner.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
 
 namespace scaltool {
 namespace {
@@ -657,6 +659,79 @@ TEST(FaultAcceptance, NoisyCampaignStaysWithinFivePercent) {
     within(p.cycles_no_l2lim_no_mp, t.cycles_no_l2lim_no_mp,
            "cycles_no_l2lim_no_mp", t.n);
   }
+}
+
+// ---- Fault drills through the analysis service --------------------------
+
+TEST(ServeFaults, ServiceDrillYieldsWellFormedErrorResponse) {
+  serve::ServiceOptions options;
+  options.faults = FaultPlan::parse("seed=7,permanent=1");
+  serve::AnalysisService service(options);
+  serve::Request req;
+  req.op = "analyze";
+  req.args = {"swim", "--size=2xL2", "--max-procs=4", "--iters=2"};
+  const serve::Response r = service.call(std::move(req));
+  EXPECT_EQ(r.status, serve::Status::kError);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service.stats().errors, 1u);
+  // A mid-request fault must still frame as one valid response line.
+  const std::string line = serve::serialize_response(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const serve::Response back = serve::parse_response(line);
+  EXPECT_EQ(back.status, serve::Status::kError);
+  EXPECT_EQ(back.error, r.error);
+}
+
+TEST(ServeFaults, ServiceDrillWithRetriesStaysByteIdentical) {
+  // The drill injects seeded transient faults under every served campaign;
+  // with retries the runs recover to the exact fault-free values, so the
+  // served bytes must still equal the plain one-shot CLI output.
+  std::ostringstream cli_os;
+  const int cli_rc = cli::run_command(
+      {"analyze", "swim", "--size=2xL2", "--max-procs=4", "--iters=2"},
+      cli_os);
+  serve::ServiceOptions options;
+  options.faults = FaultPlan::parse("seed=7,transient=0.3");
+  options.retries = 6;
+  serve::AnalysisService service(options);
+  serve::Request req;
+  req.op = "analyze";
+  req.args = {"swim", "--size=2xL2", "--max-procs=4", "--iters=2"};
+  const serve::Response r = service.call(std::move(req));
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  EXPECT_EQ(r.exit_code, cli_rc);
+  EXPECT_EQ(r.output, cli_os.str());
+}
+
+TEST(ServeFaults, RequestLevelFaultArgsMatchCli) {
+  // A request may carry its own --faults/--retries: it then runs its own
+  // loud campaign exactly as the CLI would. The engine stats carry wall-
+  // clock timing, so the comparison starts at the deterministic analysis
+  // section; the fault journal ahead of it must exist on both sides.
+  const std::vector<std::string> args = {
+      "swim", "--size=2xL2", "--max-procs=4", "--iters=2",
+      "--retries=4", "--keep-going", "--faults=seed=11,transient=0.4"};
+  std::ostringstream cli_os;
+  std::vector<std::string> argv = {"analyze"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  const int cli_rc = cli::run_command(argv, cli_os);
+
+  serve::AnalysisService service;
+  serve::Request req;
+  req.op = "analyze";
+  req.args = args;
+  const serve::Response r = service.call(std::move(req));
+  EXPECT_EQ(r.exit_code, cli_rc);
+
+  const std::string marker = "Scal-Tool model for";
+  const std::size_t cli_at = cli_os.str().find(marker);
+  const std::size_t served_at = r.output.find(marker);
+  ASSERT_NE(cli_at, std::string::npos);
+  ASSERT_NE(served_at, std::string::npos);
+  EXPECT_EQ(r.output.substr(served_at), cli_os.str().substr(cli_at));
+  EXPECT_NE(r.output.find("engine:"), std::string::npos);
+  EXPECT_NE(cli_os.str().find("engine:"), std::string::npos);
 }
 
 }  // namespace

@@ -462,5 +462,92 @@ TEST(Cli, TelemetryDoesNotChangeTheArchive) {
   std::remove(trace_path.c_str());
 }
 
+// ---- JSON parser hardening ----------------------------------------------
+//
+// The parser reads untrusted bytes (the analysis service's wire requests,
+// user-supplied metrics files): hostile input must fail with CheckError —
+// never crash, hang, or silently mis-parse.
+
+TEST(JsonFuzz, DeepNestingRejectedNotStackOverflow) {
+  std::string deep_arrays(4096, '[');
+  EXPECT_THROW(obs::json_parse(deep_arrays), CheckError);
+
+  std::string closed(2048, '[');
+  closed += std::string(2048, ']');
+  EXPECT_THROW(obs::json_parse(closed), CheckError);
+
+  std::string objects;
+  for (int i = 0; i < 2048; ++i) objects += "{\"k\":";
+  EXPECT_THROW(obs::json_parse(objects), CheckError);
+
+  // Nesting below the cap still parses.
+  std::string shallow = std::string(64, '[') + std::string(64, ']');
+  EXPECT_TRUE(obs::json_parse(shallow).is_array());
+}
+
+TEST(JsonFuzz, TruncatedAndMalformedEscapes) {
+  EXPECT_THROW(obs::json_parse("\"\\u"), CheckError);
+  EXPECT_THROW(obs::json_parse("\"\\u12\""), CheckError);
+  EXPECT_THROW(obs::json_parse("\"\\uZZZZ\""), CheckError);
+  EXPECT_THROW(obs::json_parse("\"\\u 123\""), CheckError);
+  EXPECT_THROW(obs::json_parse("\"\\q\""), CheckError);
+  EXPECT_THROW(obs::json_parse("\"\\"), CheckError);
+  EXPECT_THROW(obs::json_parse("\"unterminated"), CheckError);
+  EXPECT_EQ(obs::json_parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(obs::json_parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+}
+
+TEST(JsonFuzz, HugeNumbersRejectedInsteadOfInf) {
+  EXPECT_THROW(obs::json_parse("1e999"), CheckError);
+  EXPECT_THROW(obs::json_parse("-1e999"), CheckError);
+  EXPECT_THROW(obs::json_parse("[1, 2, 1e400]"), CheckError);
+  // Large but representable values still parse exactly.
+  EXPECT_DOUBLE_EQ(obs::json_parse("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(obs::json_parse("1e-999").as_number(), 0.0);  // underflow
+}
+
+TEST(JsonFuzz, DuplicateObjectKeysRejected) {
+  EXPECT_THROW(obs::json_parse("{\"a\":1,\"a\":2}"), CheckError);
+  EXPECT_THROW(obs::json_parse("{\"a\":1,\"b\":{\"c\":1,\"c\":2}}"),
+               CheckError);
+  EXPECT_EQ(obs::json_parse("{\"a\":1,\"b\":2}").as_object().size(), 2u);
+}
+
+TEST(JsonFuzz, SeededMutationsOnlyEverThrowCheckError) {
+  const std::string seedDoc =
+      "{\"name\":\"cache.hit\",\"value\":12,\"tags\":[\"a\",\"b\"],"
+      "\"nested\":{\"p50\":0.5,\"ok\":true,\"none\":null}}";
+  // Deterministic xorshift so a failure reproduces; mutate bytes, truncate
+  // and splice, and demand the parser either succeeds or throws CheckError.
+  std::uint64_t state = 0x5EEDCAFEF00DULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::string doc = seedDoc;
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = next() % doc.size();
+      switch (next() % 3) {
+        case 0: doc[at] = static_cast<char>(next() % 256); break;
+        case 1: doc = doc.substr(0, at); break;               // truncate
+        case 2: doc.insert(at, 1, "{}[]\",:0\\"[next() % 9]); break;
+      }
+      if (doc.empty()) doc = "x";
+    }
+    try {
+      (void)obs::json_parse(doc);
+    } catch (const CheckError&) {
+      // expected for mangled input
+    } catch (const std::exception& e) {
+      FAIL() << "non-CheckError escaped the parser for input: " << doc
+             << " (" << e.what() << ")";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace scaltool

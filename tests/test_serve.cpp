@@ -1,0 +1,481 @@
+// Unit tests: the analysis service — wire-protocol strictness, admission
+// control and load shedding, deadlines, single-flight batching over the
+// shared run cache, the LRU result cache, both transports, and the
+// headline guarantee that a served analyze/whatif is byte-identical to
+// the equivalent one-shot CLI run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "serve/batcher.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/service.hpp"
+#include "serve/transport.hpp"
+
+namespace scaltool::serve {
+namespace {
+
+/// A small but real analysis: a handful of simulator runs, fast enough to
+/// repeat in every test that needs a campaign behind the request.
+const std::vector<std::string> kSmallAnalyze = {
+    "swim", "--size=2xL2", "--max-procs=4", "--iters=2"};
+
+Request make_request(std::string op, std::vector<std::string> args = {},
+                     std::int64_t deadline_ms = 0) {
+  Request req;
+  req.op = std::move(op);
+  req.args = std::move(args);
+  req.deadline_ms = deadline_ms;
+  return req;
+}
+
+int run_cli(const std::vector<std::string>& args, std::string* out) {
+  std::ostringstream os;
+  const int rc = cli::run_command(args, os);
+  *out = os.str();
+  return rc;
+}
+
+std::vector<std::string> analyze_argv() {
+  std::vector<std::string> argv = {"analyze"};
+  argv.insert(argv.end(), kSmallAnalyze.begin(), kSmallAnalyze.end());
+  return argv;
+}
+
+// ---- Protocol -----------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrip) {
+  Request req = make_request("analyze", {"swim", "--size=2xL2"}, 1500);
+  req.id = obs::JsonValue(std::string("req-7"));
+  const Request back = parse_request(serialize_request(req));
+  EXPECT_EQ(back.op, "analyze");
+  EXPECT_EQ(back.args, req.args);
+  EXPECT_EQ(back.deadline_ms, 1500);
+  EXPECT_EQ(back.id.as_string(), "req-7");
+}
+
+TEST(Protocol, ParseRejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("not json"), CheckError);
+  EXPECT_THROW(parse_request("[1,2]"), CheckError);  // not an object
+  EXPECT_THROW(parse_request("{\"op\":\"analyze\",\"surprise\":1}"),
+               CheckError);  // unknown field
+  EXPECT_THROW(parse_request("{\"op\":\"frobnicate\"}"), CheckError);
+  EXPECT_THROW(parse_request("{\"args\":[\"x\"]}"), CheckError);  // no op
+  EXPECT_THROW(parse_request("{\"op\":\"ping\",\"args\":[1]}"),
+               CheckError);  // non-string arg
+  EXPECT_THROW(parse_request("{\"op\":\"ping\",\"id\":[1]}"),
+               CheckError);  // id must be null/number/string
+  EXPECT_THROW(parse_request("{\"op\":\"ping\",\"deadline_ms\":-5}"),
+               CheckError);
+  EXPECT_THROW(parse_request("{\"op\":\"ping\",\"deadline_ms\":1.5}"),
+               CheckError);
+}
+
+TEST(Protocol, ResponseRoundTripKeepsEveryField) {
+  Response r;
+  r.id = obs::JsonValue(3.0);
+  r.status = Status::kError;
+  r.exit_code = 1;
+  r.cached = true;
+  r.output = "line one\nline \"two\"\n";
+  r.error = "boom";
+  r.stats_json = "{\"accepted\":2}";
+  const Response back = parse_response(serialize_response(r));
+  EXPECT_EQ(back.id.as_number(), 3.0);
+  EXPECT_EQ(back.status, Status::kError);
+  EXPECT_EQ(back.exit_code, 1);
+  EXPECT_TRUE(back.cached);
+  EXPECT_EQ(back.output, r.output);
+  EXPECT_EQ(back.error, "boom");
+  EXPECT_EQ(back.stats_json, "{\"accepted\":2}");
+}
+
+TEST(Protocol, SerializedLinesStaySingleLine) {
+  Response r;
+  r.output = "a\nb\nc\n";
+  const std::string line = serialize_response(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Protocol, RequestHashCacheabilityRules) {
+  const Request cacheable = make_request("analyze", kSmallAnalyze);
+  EXPECT_NE(request_hash(cacheable), 0u);
+  EXPECT_EQ(request_hash(cacheable), request_hash(cacheable));
+
+  Request other = cacheable;
+  other.args.push_back("--sharing");
+  EXPECT_NE(request_hash(other), request_hash(cacheable));
+
+  // Side effects and server-state-dependent output are uncacheable.
+  EXPECT_EQ(request_hash(make_request("collect", {"swim", "--out=x"})), 0u);
+  EXPECT_EQ(request_hash(make_request("stats")), 0u);
+  EXPECT_EQ(request_hash(make_request("ping")), 0u);
+  EXPECT_EQ(request_hash(make_request("analyze", {"swim", "--jobs=2"})), 0u);
+  EXPECT_EQ(request_hash(make_request("analyze", {"swim", "--obs"})), 0u);
+}
+
+TEST(Protocol, RequestHashStampsArchiveContent) {
+  const std::string path =
+      "/tmp/scaltool_hash_probe_" + std::to_string(::getpid()) + ".txt";
+  { std::ofstream(path) << "version one\n"; }
+  const std::uint64_t h1 =
+      request_hash(make_request("analyze", {path, "--iters=2"}));
+  { std::ofstream(path) << "version two, different bytes\n"; }
+  const std::uint64_t h2 =
+      request_hash(make_request("analyze", {path, "--iters=2"}));
+  std::remove(path.c_str());
+  EXPECT_NE(h1, 0u);
+  EXPECT_NE(h2, 0u);
+  EXPECT_NE(h1, h2);  // rewriting the target invalidates cached answers
+}
+
+// ---- ResultCache --------------------------------------------------------
+
+TEST(ResultCacheTest, LruEvictsOldestAndPromotesHits) {
+  ResultCache cache(2);
+  cache.insert(1, CachedResult{Status::kOk, 0, "one"});
+  cache.insert(2, CachedResult{Status::kOk, 0, "two"});
+  ASSERT_TRUE(cache.find(1).has_value());  // promotes 1 over 2
+  cache.insert(3, CachedResult{Status::kOk, 0, "three"});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.find(2).has_value());  // 2 was least recently used
+  EXPECT_TRUE(cache.find(1).has_value());
+  EXPECT_EQ(cache.find(3)->output, "three");
+  EXPECT_GE(cache.hits(), 3u);
+  EXPECT_GE(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, CapacityZeroDisablesAndKeyZeroIgnored) {
+  ResultCache cache(0);
+  cache.insert(1, CachedResult{Status::kOk, 0, "x"});
+  EXPECT_FALSE(cache.find(1).has_value());
+  ResultCache enabled(4);
+  enabled.insert(0, CachedResult{Status::kOk, 0, "x"});
+  EXPECT_EQ(enabled.size(), 0u);
+}
+
+// ---- RequestQueue -------------------------------------------------------
+
+TEST(RequestQueueTest, FifoAndBoundedAdmission) {
+  RequestQueue queue(2);
+  QueuedRequest a;
+  a.request = make_request("ping");
+  QueuedRequest b;
+  b.request = make_request("stats");
+  QueuedRequest c;
+  c.request = make_request("ping");
+  EXPECT_TRUE(queue.push(std::move(a)));
+  EXPECT_TRUE(queue.push(std::move(b)));
+  EXPECT_FALSE(queue.push(std::move(c)));  // full: shed, never block
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.pop()->request.op, "ping");
+  EXPECT_EQ(queue.pop()->request.op, "stats");
+}
+
+TEST(RequestQueueTest, CloseDrainsThenSignalsExit) {
+  RequestQueue queue(4);
+  QueuedRequest a;
+  a.request = make_request("ping");
+  EXPECT_TRUE(queue.push(std::move(a)));
+  queue.close();
+  QueuedRequest late;
+  late.request = make_request("ping");
+  EXPECT_FALSE(queue.push(std::move(late)));  // closed: no admission
+  EXPECT_TRUE(queue.pop().has_value());       // seated work still drains
+  EXPECT_FALSE(queue.pop().has_value());      // then the exit signal
+}
+
+// ---- Service: fast ops and error paths ----------------------------------
+
+TEST(Service, PingAndStatsFastPaths) {
+  AnalysisService service;
+  const Response pong = service.call(make_request("ping"));
+  EXPECT_EQ(pong.status, Status::kOk);
+  EXPECT_EQ(pong.output, "pong\n");
+  const Response stats = service.call(make_request("stats"));
+  EXPECT_EQ(stats.status, Status::kOk);
+  EXPECT_NE(stats.stats_json.find("\"accepted\":"), std::string::npos);
+}
+
+TEST(Service, ExecutionErrorYieldsWellFormedErrorResponse) {
+  AnalysisService service;
+  const Response r =
+      service.call(make_request("analyze", {"no_such_app", "--iters=2"}));
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_FALSE(r.error.empty());
+  // The envelope itself survives the trip through the wire format.
+  const Response back = parse_response(serialize_response(r));
+  EXPECT_EQ(back.status, Status::kError);
+  EXPECT_EQ(back.error, r.error);
+}
+
+TEST(Service, SubmitAfterShutdownIsRejected) {
+  AnalysisService service;
+  service.shutdown();
+  const Response r = service.call(make_request("ping"));
+  EXPECT_EQ(r.status, Status::kShuttingDown);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_EQ(service.stats().rejected_closed, 1u);
+}
+
+// ---- Service: byte-identity with the one-shot CLI -----------------------
+
+TEST(Service, ServedAnalyzeMatchesCliByteForByte) {
+  std::string expected;
+  const int expected_rc = run_cli(analyze_argv(), &expected);
+
+  AnalysisService service;
+  const Response r = service.call(make_request("analyze", kSmallAnalyze));
+  EXPECT_EQ(r.output, expected);
+  EXPECT_EQ(r.exit_code, expected_rc);
+  EXPECT_EQ(r.status, Status::kOk);
+}
+
+TEST(Service, ServedWhatifMatchesCliByteForByte) {
+  const std::vector<std::string> args = {"swim", "--size=2xL2",
+                                         "--max-procs=4", "--iters=2",
+                                         "--l2x=2"};
+  std::string expected;
+  std::vector<std::string> argv = {"whatif"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  const int expected_rc = run_cli(argv, &expected);
+
+  AnalysisService service;
+  const Response r = service.call(make_request("whatif", args));
+  EXPECT_EQ(r.output, expected);
+  EXPECT_EQ(r.exit_code, expected_rc);
+}
+
+TEST(Service, ConcurrentClientsAllGetIdenticalBytes) {
+  std::string expected;
+  run_cli(analyze_argv(), &expected);
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.result_cache_entries = 0;  // force every request to execute
+  AnalysisService service(options);
+
+  constexpr int kClients = 8;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kClients);
+  for (int i = 0; i < kClients; ++i)
+    futures.push_back(service.submit(make_request("analyze", kSmallAnalyze)));
+  for (std::future<Response>& f : futures) {
+    const Response r = f.get();
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.output, expected);
+  }
+
+  // Batching: eight executions, one campaign's worth of simulator runs.
+  const ServiceStats stats = service.stats();
+  AnalysisService single;
+  single.call(make_request("analyze", kSmallAnalyze));
+  const std::uint64_t one_campaign = single.stats().simulator_runs;
+  EXPECT_GT(one_campaign, 0u);
+  EXPECT_EQ(stats.simulator_runs, one_campaign);
+  EXPECT_GT(stats.cache_served_runs, 0u);  // followers replayed the cache
+}
+
+TEST(Service, AnalyzeThenWhatifShareTheSweep) {
+  AnalysisService service;
+  service.call(make_request("analyze", kSmallAnalyze));
+  const std::uint64_t runs_after_analyze = service.stats().simulator_runs;
+  std::vector<std::string> whatif_args = kSmallAnalyze;
+  whatif_args.push_back("--l2x=2");
+  const Response r = service.call(make_request("whatif", whatif_args));
+  EXPECT_EQ(r.status, Status::kOk);
+  // The whatif needs the same measurement matrix: zero new simulator runs.
+  EXPECT_EQ(service.stats().simulator_runs, runs_after_analyze);
+}
+
+TEST(Service, ResultCacheServesRepeatVerbatim) {
+  AnalysisService service;
+  const Response first = service.call(make_request("analyze", kSmallAnalyze));
+  const Response again = service.call(make_request("analyze", kSmallAnalyze));
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.output, first.output);
+  EXPECT_EQ(service.stats().result_cache_hits, 1u);
+}
+
+// ---- Service: admission control, deadlines, drain -----------------------
+
+TEST(Service, OverloadShedsWithExplicitResponses) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_queue = 1;
+  AnalysisService service(options);
+
+  // One request occupies the worker, one holds the only seat; the rest of
+  // the flood must be shed without blocking.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 12; ++i)
+    futures.push_back(service.submit(make_request("analyze", kSmallAnalyze)));
+  int ok = 0;
+  int shed = 0;
+  for (std::future<Response>& f : futures) {
+    const Response r = f.get();
+    if (r.status == Status::kOverloaded) {
+      ++shed;
+      EXPECT_EQ(r.exit_code, 4);
+      EXPECT_TRUE(r.output.empty());
+    } else {
+      EXPECT_EQ(r.status, Status::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(service.stats().shed, static_cast<std::uint64_t>(shed));
+}
+
+TEST(Service, DeadlineInQueueReturnsDeadlineExceeded) {
+  ServiceOptions options;
+  options.workers = 1;
+  AnalysisService service(options);
+  // The first request occupies the single worker long enough for the
+  // second one's 1 ms deadline to expire while it waits in the queue.
+  std::future<Response> slow =
+      service.submit(make_request("analyze", kSmallAnalyze));
+  std::future<Response> doomed = service.submit(
+      make_request("analyze", {"fft", "--size=2xL2", "--max-procs=4",
+                               "--iters=2"},
+                   1));
+  const Response r = doomed.get();
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(r.exit_code, 5);
+  EXPECT_EQ(slow.get().status, Status::kOk);
+  EXPECT_EQ(service.stats().deadline_missed, 1u);
+}
+
+TEST(Service, DeadlineMidCampaignCancelsCooperatively) {
+  AnalysisService service;
+  // Big enough that the campaign cannot finish in 30 ms; the engine's
+  // cancellation poll turns the deadline into a response, not a hang.
+  const Response r = service.call(make_request(
+      "analyze", {"t3dheat", "--size=10xL2", "--max-procs=16"}, 30));
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(r.exit_code, 5);
+}
+
+TEST(Service, DrainLosesNoAcceptedRequest) {
+  ServiceOptions options;
+  options.workers = 2;
+  AnalysisService service(options);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(service.submit(make_request("analyze", kSmallAnalyze)));
+  service.shutdown();  // stop admitting, finish everything seated
+  for (std::future<Response>& f : futures) {
+    const Response r = f.get();
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_FALSE(r.output.empty());
+  }
+  EXPECT_EQ(service.stats().completed, 6u);
+}
+
+// ---- Transports ---------------------------------------------------------
+
+TEST(Transport, ServeLinesAnswersInOrderAndSurvivesGarbage) {
+  AnalysisService service;
+  std::istringstream in(
+      "{\"id\":1,\"op\":\"ping\"}\n"
+      "this is not json\n"
+      "\n"
+      "{\"id\":3,\"op\":\"stats\"}\n");
+  std::ostringstream out;
+  serve_lines(in, out, service);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const Response first = parse_response(line);
+  EXPECT_EQ(first.id.as_number(), 1.0);
+  EXPECT_EQ(first.output, "pong\n");
+  ASSERT_TRUE(std::getline(lines, line));
+  const Response second = parse_response(line);
+  EXPECT_EQ(second.status, Status::kError);  // the garbage line
+  EXPECT_TRUE(second.id.is_null());
+  ASSERT_TRUE(std::getline(lines, line));
+  const Response third = parse_response(line);
+  EXPECT_EQ(third.id.as_number(), 3.0);
+  EXPECT_FALSE(third.stats_json.empty());
+  EXPECT_FALSE(std::getline(lines, line));  // exactly three responses
+}
+
+TEST(Transport, SocketRoundTrip) {
+  const std::string path =
+      "/tmp/scaltool_test_" + std::to_string(::getpid()) + ".sock";
+  AnalysisService service;
+  {
+    SocketServer server(service, path);
+    Request req = make_request("ping");
+    req.id = obs::JsonValue(std::string("sock-1"));
+    const Response r = socket_call(path, req);
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.output, "pong\n");
+    EXPECT_EQ(r.id.as_string(), "sock-1");
+    const Response stats = socket_call(path, make_request("stats"));
+    EXPECT_NE(stats.stats_json.find("\"accepted\":"), std::string::npos);
+  }
+  // The server cleaned up its socket on stop().
+  EXPECT_THROW(socket_call(path, make_request("ping")), CheckError);
+}
+
+// ---- CLI integration ----------------------------------------------------
+
+TEST(CliServe, RequestWithoutSocketRunsInProcess) {
+  std::string out;
+  EXPECT_EQ(run_cli({"request", "ping"}, &out), 0);
+  EXPECT_EQ(out, "pong\n");
+}
+
+TEST(CliServe, RequestForwardsOpOptionsVerbatim) {
+  std::string expected;
+  const int expected_rc = run_cli(analyze_argv(), &expected);
+  std::string out;
+  const std::vector<std::string> op_argv = analyze_argv();
+  std::vector<std::string> argv = {"request"};
+  argv.insert(argv.end(), op_argv.begin(), op_argv.end());
+  EXPECT_EQ(run_cli(argv, &out), expected_rc);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(CliServe, RequestValidatesItsOwnOptions) {
+  std::string out;
+  EXPECT_EQ(run_cli({"request", "--deadline-ms=abc", "ping"}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_EQ(run_cli({"request"}, &out), 1);
+  EXPECT_NE(out.find("usage: scaltool request"), std::string::npos);
+}
+
+TEST(CliServe, ServeRequiresATransport) {
+  std::string out;
+  EXPECT_EQ(run_cli({"serve"}, &out), 1);
+  EXPECT_NE(out.find("--socket"), std::string::npos);
+}
+
+TEST(CliServe, VersionFlag) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--version"}, &out), 0);
+  EXPECT_EQ(out, "scaltool 0.4.0\n");
+  EXPECT_EQ(run_cli({"help"}, &out), 0);
+  EXPECT_NE(out.find("serve --socket"), std::string::npos);
+  EXPECT_NE(out.find("4  unavailable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scaltool::serve
