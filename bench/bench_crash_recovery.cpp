@@ -1,0 +1,108 @@
+// Durability cost gate (DESIGN.md §11): the write-ahead journal must be
+// close to free on the hot collect path, and a resume must be close to
+// free compared with re-collecting.
+//
+// Two measurements over the same small matrix, min-of-passes to shed
+// scheduler noise:
+//   1. collect with journaling off vs on — fails loudly (exit 1) when the
+//      journal costs more than 5% wall clock (with an absolute noise
+//      floor, like bench_obs_overhead);
+//   2. cold collect vs resume from a complete journal — reported as the
+//      speedup recovery buys, with the replay counters proving that the
+//      resumed campaign performed zero simulator runs.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "common/table.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
+
+namespace scaltool::bench {
+namespace {
+
+constexpr const char* kJournalPath = "/tmp/scaltool_bench_crash.journal";
+constexpr int kMaxProcs = 8;
+constexpr int kPasses = 5;
+constexpr double kMaxOverheadPct = 5.0;
+// Below this absolute delta the 5% rule is noise, not signal.
+constexpr double kNoiseFloorSeconds = 0.02;
+
+int run() {
+  const ExperimentRunner runner = make_runner();
+  // A matrix heavy enough that simulation, not journal I/O, sets the wall
+  // clock — the gate measures the hot collect path, not the fsync floor.
+  const std::size_t s0 = 4 * runner.base_config().l2.size_bytes;
+  const std::vector<int> procs = default_proc_counts(kMaxProcs);
+
+  EngineStats last;
+  const auto collect_pass = [&](const char* journal, bool resume) {
+    CampaignOptions options;
+    options.journal_path = journal;
+    options.resume = resume;
+    (void)run_matrix_parallel(runner, "swim", s0, procs, options, &last);
+  };
+
+  std::cout << "# crash recovery: swim, s0 = " << format_bytes(s0)
+            << ", procs 1.." << kMaxProcs << ", " << kPasses
+            << " passes per mode\n";
+
+  double off = 1e300;
+  for (int i = 0; i < kPasses; ++i)
+    off = std::min(off, timed_seconds([&] { collect_pass("", false); }));
+
+  double on = 1e300;
+  for (int i = 0; i < kPasses; ++i) {
+    std::remove(kJournalPath);  // each pass journals from scratch
+    on = std::min(on, timed_seconds([&] { collect_pass(kJournalPath,
+                                                       false); }));
+  }
+
+  // A complete journal is the best recovery case: everything replays.
+  double resumed = 1e300;
+  for (int i = 0; i < kPasses; ++i)
+    resumed = std::min(
+        resumed, timed_seconds([&] { collect_pass(kJournalPath, true); }));
+  const std::size_t replayed = last.jobs_replayed;
+  const std::size_t resimulated = last.jobs_run;
+  std::remove(kJournalPath);
+
+  const double delta = on - off;
+  const double overhead_pct = off > 0.0 ? 100.0 * delta / off : 0.0;
+  const double speedup = resumed > 0.0 ? off / resumed : 0.0;
+  const bool fail =
+      (overhead_pct > kMaxOverheadPct && delta > kNoiseFloorSeconds) ||
+      resimulated != 0;
+
+  Table table("Durability cost (min of passes)");
+  table.header({"mode", "wall_s"});
+  table.add_row({"journal off", Table::cell(off, 4)});
+  table.add_row({"journal on", Table::cell(on, 4)});
+  table.add_row({"resume (full journal)", Table::cell(resumed, 4)});
+  table.print(std::cout, /*with_csv=*/true);
+  std::cout << "{\"bench\":\"crash_recovery\",\"off_s\":" << off
+            << ",\"on_s\":" << on << ",\"resume_s\":" << resumed
+            << ",\"overhead_pct\":" << overhead_pct
+            << ",\"resume_speedup\":" << speedup
+            << ",\"replayed\":" << replayed
+            << ",\"resimulated\":" << resimulated
+            << ",\"pass\":" << (fail ? "false" : "true") << "}\n";
+  if (fail) {
+    std::cout << "FAIL: journaling costs " << overhead_pct
+              << "% (budget " << kMaxOverheadPct << "%) or the resume "
+              << "re-simulated " << resimulated << " runs\n";
+    return 1;
+  }
+  std::cout << "PASS: journaling costs " << overhead_pct << "% (budget "
+            << kMaxOverheadPct << "%); resume replayed " << replayed
+            << " runs, re-simulated none, " << speedup
+            << "x faster than a cold collect\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace scaltool::bench
+
+int main() { return scaltool::bench::run(); }

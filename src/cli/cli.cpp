@@ -1,14 +1,19 @@
 #include "cli/cli.hpp"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "apps/apps.hpp"
 #include "cli/args.hpp"
 #include "common/check.hpp"
+#include "common/interrupt.hpp"
 #include "core/scaltool.hpp"
+#include "engine/campaign.hpp"
 #include "engine/fault_injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -27,7 +32,7 @@ namespace scaltool::cli {
 namespace {
 
 /// Reported by --version; bump alongside the project() version.
-constexpr const char* kVersion = "0.4.0";
+constexpr const char* kVersion = "0.5.0";
 
 int cmd_list(std::ostream& os) {
   register_standard_workloads();
@@ -148,12 +153,15 @@ int cmd_serve(const Args& args, std::ostream& os) {
     // no shutdown summary.
     serve::serve_lines(std::cin, os, service);
     service.shutdown();
-    return 0;
+    return interrupt_requested() ? kExitInterrupted : 0;
   }
   serve::SocketServer server(service, socket);
   os << "scaltool serve: listening on " << socket
      << " (EOF on stdin drains and stops)\n";
   os.flush();
+  // SIGINT/SIGTERM interrupt the getline (handlers install without
+  // SA_RESTART), so a signal drains and stops just like EOF — but exits 6
+  // so supervisors know a restart resumes where this instance stopped.
   std::string line;
   while (std::getline(std::cin, line)) {
   }
@@ -161,7 +169,7 @@ int cmd_serve(const Args& args, std::ostream& os) {
   service.shutdown();
   os << "scaltool serve: drained; stats " << service.stats().to_json()
      << "\n";
-  return 0;
+  return interrupt_requested() ? kExitInterrupted : 0;
 }
 
 /// The request client works on the raw token list: everything that is not
@@ -173,18 +181,28 @@ int cmd_request(const std::vector<std::string>& argv, std::ostream& os) {
   std::string id;
   bool has_id = false;
   std::int64_t deadline_ms = 0;
+  std::int64_t connect_retries = 2;
+  std::int64_t retry_backoff_ms = 50;
   std::vector<std::string> forwarded;
+  const auto int_option = [](const std::string& tok, std::size_t prefix,
+                             const char* name) {
+    const std::string value = tok.substr(prefix);
+    ST_CHECK_MSG(!value.empty() && value.size() <= 12 &&
+                     value.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 name << " needs a non-negative integer");
+    return std::stoll(value);
+  };
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& tok = argv[i];
     if (tok.rfind("--socket=", 0) == 0) {
       socket = tok.substr(9);
     } else if (tok.rfind("--deadline-ms=", 0) == 0) {
-      const std::string value = tok.substr(14);
-      ST_CHECK_MSG(!value.empty() && value.size() <= 12 &&
-                       value.find_first_not_of("0123456789") ==
-                           std::string::npos,
-                   "--deadline-ms needs a non-negative integer");
-      deadline_ms = std::stoll(value);
+      deadline_ms = int_option(tok, 14, "--deadline-ms");
+    } else if (tok.rfind("--connect-retries=", 0) == 0) {
+      connect_retries = int_option(tok, 18, "--connect-retries");
+    } else if (tok.rfind("--retry-backoff-ms=", 0) == 0) {
+      retry_backoff_ms = int_option(tok, 19, "--retry-backoff-ms");
     } else if (tok.rfind("--id=", 0) == 0) {
       id = tok.substr(5);
       has_id = true;
@@ -194,17 +212,36 @@ int cmd_request(const std::vector<std::string>& argv, std::ostream& os) {
   }
   ST_CHECK_MSG(!forwarded.empty(),
                "usage: scaltool request [--socket=PATH] [--deadline-ms=T] "
-               "[--id=ID] <op> [op options]");
+               "[--id=ID] [--connect-retries=N] [--retry-backoff-ms=M] "
+               "<op> [op options]");
 
   serve::Request request;
   request.op = forwarded.front();
   request.args.assign(forwarded.begin() + 1, forwarded.end());
   request.deadline_ms = deadline_ms;
-  if (has_id) request.id = obs::JsonValue(id);
+  // A content-derived fingerprint: it seeds the retry jitter, and — when
+  // the caller supplied no id — becomes one, so every re-dial of this
+  // request presents the same identity to the server's logs and caches.
+  std::uint64_t fingerprint = serve::fnv1a(serve::kFnvBasis, request.op);
+  for (const std::string& arg : request.args)
+    fingerprint = serve::fnv1a(fingerprint, arg);
+  fingerprint =
+      serve::fnv1a(fingerprint, std::to_string(::getpid()));
+  if (has_id) {
+    request.id = obs::JsonValue(id);
+  } else if (!socket.empty()) {
+    std::ostringstream auto_id;
+    auto_id << "auto-" << std::hex << fingerprint;
+    request.id = obs::JsonValue(auto_id.str());
+  }
 
   serve::Response response;
   if (!socket.empty()) {
-    response = serve::socket_call(socket, request);
+    serve::RetryPolicy policy;
+    policy.retries = static_cast<int>(connect_retries);
+    policy.backoff_ms = static_cast<int>(retry_backoff_ms);
+    policy.seed = fingerprint;
+    response = serve::socket_call_resilient(socket, request, policy);
   } else {
     // No server: run the request against an in-process one-shot service,
     // which keeps `scaltool request` usable (and testable) stand-alone.
@@ -241,7 +278,8 @@ void print_help(std::ostream& os) {
         "      [--procs=N --size=S --iters=I --per-proc]\n"
         "  collect <app> --out=FILE     gather the measurement matrix\n"
         "      [--size=S --max-procs=N --iters=I --jobs=N --cache=FILE\n"
-        "       --retries=N --backoff-ms=M --keep-going --faults=SPEC]\n"
+        "       --retries=N --backoff-ms=M --keep-going --faults=SPEC\n"
+        "       --resume --journal=FILE --no-journal --run-timeout-ms=T]\n"
         "  analyze <app|archive>        full bottleneck report\n"
         "      [--size=S --max-procs=N --sharing --chart --robust-fit\n"
         "       --jobs=N --cache=FILE --retries=N --keep-going\n"
@@ -264,11 +302,15 @@ void print_help(std::ostream& os) {
         "       --cache=FILE --retries=N --faults=SPEC]\n"
         "  request [--socket=PATH] <op> [op options]\n"
         "                               send one request (analyze, whatif,\n"
-        "                               collect, stats, ping) to a running\n"
-        "                               server — or, without --socket, to an\n"
-        "                               in-process one-shot service — and\n"
-        "                               print the response output verbatim\n"
-        "      [--deadline-ms=T --id=ID]\n"
+        "                               collect, stats, health, ping) to a\n"
+        "                               running server — or, without\n"
+        "                               --socket, to an in-process one-shot\n"
+        "                               service — and print the response\n"
+        "                               output verbatim; an unreachable\n"
+        "                               server is re-dialed with jittered\n"
+        "                               exponential backoff\n"
+        "      [--deadline-ms=T --id=ID --connect-retries=N\n"
+        "       --retry-backoff-ms=M]\n"
         "\n"
         "machine overrides (all commands):\n"
         "  --topology=hypercube|crossbar|ring|mesh2d\n"
@@ -293,12 +335,26 @@ void print_help(std::ostream& os) {
         "                   listed in the report\n"
         "  --robust-fit     median-aggregate replicate triplets and reject\n"
         "                   residual outliers in the t2/tm fit\n"
+        "  --run-timeout-ms=T  watchdog: abandon any single run attempt\n"
+        "                   after T ms (retried/quarantined like a failure)\n"
         "  --faults=SPEC    seeded fault injection for drills, e.g.\n"
         "                   --faults=seed=7,transient=0.2,perturb=0.05\n"
         "                   (keys: seed, transient, permanent, stall,\n"
         "                   stall-ms, perturb, perturb-mag, drop,\n"
-        "                   cache-corrupt, target, target-procs,\n"
-        "                   target-bytes)\n"
+        "                   cache-corrupt, crash, target, target-procs,\n"
+        "                   target-bytes; crash=N kills the process at the\n"
+        "                   Nth run boundary — for recovery drills)\n"
+        "\n"
+        "durability (DESIGN.md §11):\n"
+        "  collect journals every completed run to <out>.journal and\n"
+        "  publishes the archive atomically; after a crash or an interrupt,\n"
+        "  rerun with --resume to replay the journal and simulate only\n"
+        "  what is missing (the finished archive is byte-identical either\n"
+        "  way, and the journal is removed on success)\n"
+        "  --resume         replay <out>.journal before simulating\n"
+        "  --journal=FILE   journal somewhere else (analyze/whatif collect\n"
+        "                   in memory, so for them the journal is opt-in)\n"
+        "  --no-journal     switch the crash safety off\n"
         "\n"
         "telemetry (collect/analyze/whatif; off unless requested):\n"
         "  --trace-out=FILE    write a Chrome trace_event JSON timeline\n"
@@ -317,6 +373,8 @@ void print_help(std::ostream& os) {
         "  4  unavailable: the service shed the request (overloaded) or\n"
         "     is shutting down\n"
         "  5  deadline exceeded before the request finished\n"
+        "  6  interrupted (SIGINT/SIGTERM), resumable: completed runs are\n"
+        "     checkpointed in the journal — rerun with --resume\n"
         "\n"
         "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n"
         "`scaltool --version` prints the version.\n";
@@ -351,6 +409,10 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     os << "unknown command: " << command << "\n\n";
     print_help(os);
     return 2;
+  } catch (const CampaignCancelled& e) {
+    os << "interrupted: " << e.what()
+       << " — completed runs are journaled; rerun with --resume\n";
+    return kExitInterrupted;
   } catch (const CheckError& e) {
     os << "error: " << e.what() << "\n";
     return 1;

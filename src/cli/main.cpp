@@ -4,8 +4,12 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "common/interrupt.hpp"
 
 int main(int argc, char** argv) {
+  // First SIGINT/SIGTERM checkpoints and exits 6 (resumable); a second
+  // one kills the process the default way.
+  scaltool::install_interrupt_handlers();
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   return scaltool::cli::run_command(args, std::cout);

@@ -1,0 +1,41 @@
+#include "common/interrupt.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+
+namespace scaltool {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_interrupt(int signum) {
+  // Second signal: the user insists. Fall back to the default disposition
+  // and re-raise so the process dies with the conventional status.
+  if (g_interrupted.exchange(true, std::memory_order_relaxed)) {
+    ::signal(signum, SIG_DFL);
+    ::raise(signum);
+  }
+}
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_interrupt;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked reads must wake up
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void reset_interrupted() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace scaltool

@@ -1,0 +1,29 @@
+// Cooperative SIGINT/SIGTERM handling (DESIGN.md §11).
+//
+// A campaign interrupted with Ctrl-C should behave like any other crash
+// the journal protects against — except cleanly: the first signal only
+// raises a flag that the engine's cancellation hook polls, so in-flight
+// runs finish, the journal stays consistent, and the process exits with
+// code 6 ("interrupted, resumable"). A second signal restores the default
+// disposition and re-raises, so an operator can always kill a wedged
+// process the ordinary way.
+#pragma once
+
+namespace scaltool {
+
+/// Exit code for "interrupted, but every completed run is journaled —
+/// rerun with --resume" (README exit-code table).
+inline constexpr int kExitInterrupted = 6;
+
+/// Installs the SIGINT/SIGTERM handlers described above. Idempotent.
+/// Installed without SA_RESTART so a signal also unblocks reads (the
+/// serve stdin loop relies on this to begin its drain).
+void install_interrupt_handlers();
+
+/// True once a signal arrived. Async-signal-safe to query anywhere.
+bool interrupt_requested();
+
+/// Clears the flag (tests, and a CLI embedding several commands).
+void reset_interrupted();
+
+}  // namespace scaltool

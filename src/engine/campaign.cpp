@@ -10,9 +10,12 @@
 #include <thread>
 #include <utility>
 
+#include <filesystem>
+
 #include "apps/apps.hpp"
 #include "common/check.hpp"
 #include "common/monotime.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/thread_pool.hpp"
 #include "machine/dsm_machine.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +41,8 @@ CampaignEngine::CampaignEngine(const ExperimentRunner& runner,
   ST_CHECK_MSG(options_.jobs >= 1, "the engine needs at least one worker");
   ST_CHECK_MSG(options_.retries >= 0, "--retries must be >= 0");
   ST_CHECK_MSG(options_.backoff_ms >= 0, "--backoff-ms must be >= 0");
+  ST_CHECK_MSG(options_.run_timeout_ms >= 0,
+               "--run-timeout-ms must be >= 0");
   ST_CHECK_MSG(!(options_.shared_cache && !options_.cache_path.empty()),
                "a shared run cache and --cache are mutually exclusive");
   cache_ = options_.shared_cache
@@ -92,8 +97,51 @@ JobOutcome CampaignEngine::execute_job(const RunSpec& spec,
   return out;
 }
 
+void CampaignEngine::prepare_journal(const MatrixPlan& plan) {
+  journal_.reset();
+  replay_.clear();
+  if (options_.journal_path.empty()) return;
+  const std::uint64_t signature =
+      matrix_signature(plan, runner_.base_config(), runner_.iterations);
+  if (options_.resume &&
+      std::filesystem::exists(options_.journal_path)) {
+    obs::Span span("journal.replay", "engine");
+    JournalReplay replay = replay_journal(options_.journal_path);
+    ST_CHECK_MSG(
+        replay.signature == signature,
+        "journal " << options_.journal_path
+                   << " was written for a different matrix; delete it or "
+                      "collect without --resume");
+    for (auto& [job, run] : replay.runs) {
+      // A record for a job the plan does not have (or whose content key
+      // moved) is stale; re-run rather than trust it.
+      if (job >= plan.jobs.size()) continue;
+      if (run.key != job_key_hash(plan.jobs[job], runner_.base_config(),
+                                  runner_.iterations))
+        continue;
+      replay_.emplace(job, std::move(run));
+    }
+    span.arg("replayed", replay_.size()).arg("dropped",
+                                             replay.records_dropped);
+    // Truncate away any torn tail before appending, so a damaged record
+    // never sits mid-file shadowing the records this campaign adds.
+    std::error_code ec;
+    const auto size =
+        std::filesystem::file_size(options_.journal_path, ec);
+    if (!ec && replay.valid_prefix_bytes < size)
+      std::filesystem::resize_file(options_.journal_path,
+                                   replay.valid_prefix_bytes, ec);
+    journal_ =
+        std::make_unique<JournalWriter>(options_.journal_path, true);
+    return;
+  }
+  journal_ = std::make_unique<JournalWriter>(options_.journal_path, false);
+  journal_->begin(signature, plan);
+}
+
 std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   register_standard_workloads();
+  prepare_journal(plan);
   stats_ = EngineStats{};
   stats_.workers = options_.jobs;
   stats_.jobs_total = plan.jobs.size();
@@ -134,8 +182,22 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
     job_span.arg("workload", spec.workload)
         .arg("bytes", spec.dataset_bytes)
         .arg("procs", spec.num_procs);
+    if (const auto replayed = replay_.find(i); replayed != replay_.end()) {
+      // Seeded from the journal: this run completed in a previous
+      // (killed) process and is never re-simulated. Its record is
+      // already on disk, so nothing is appended.
+      job_span.arg("source", "journal");
+      cache_->insert(key, spec, replayed->second.outcome,
+                     replayed->second.has_validation);
+      outcomes[i] = replayed->second.outcome;
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats_.jobs_replayed;
+      return;
+    }
     if (std::optional<JobOutcome> hit = cache_->find(key, spec)) {
       job_span.arg("source", "cache");
+      if (journal_)
+        journal_->append_run(i, key, *hit, spec.want_validation);
       outcomes[i] = std::move(*hit);
       std::lock_guard<std::mutex> lock(mu);
       ++stats_.jobs_cached;
@@ -161,7 +223,27 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
           if (const int ms = injector_->stall_ms(key, attempt)) {
             obs::Span stall_span("job.stall", "fault");
             stall_span.arg("ms", ms);
-            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            // Sliced so a hung run stays cancellable: the watchdog and
+            // the cooperative-cancellation hook are polled every
+            // millisecond of the stall instead of after it.
+            for (int slept = 0; slept < ms; ++slept) {
+              if (options_.run_timeout_ms > 0 &&
+                  job_timer.seconds() * 1000.0 >
+                      static_cast<double>(options_.run_timeout_ms)) {
+                obs::instant("job.watchdog_timeout", "engine");
+                {
+                  std::lock_guard<std::mutex> lock(mu);
+                  ++stats_.watchdog_timeouts;
+                }
+                throw std::runtime_error(
+                    "run watchdog: attempt exceeded " +
+                    std::to_string(options_.run_timeout_ms) + " ms");
+              }
+              if (options_.cancelled && options_.cancelled())
+                throw CampaignCancelled(describe_spec(spec) +
+                                        ": campaign cancelled");
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
           }
           ST_CHECK_MSG(!injector_->permanent_fault(key, attempt),
                        "injected permanent fault");
@@ -178,11 +260,19 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
         job_seconds.observe(took);
         job_span.arg("source", "run").arg("attempts", attempt + 1);
         cache_->insert(key, spec, out);
+        // Journal before announcing the run boundary: when the seeded
+        // crash fault kills the process here, the run it crashed on is
+        // already recoverable.
+        if (journal_)
+          journal_->append_run(i, key, out, spec.want_validation);
+        if (injector_) injector_->run_boundary();
         outcomes[i] = std::move(out);
         std::lock_guard<std::mutex> lock(mu);
         ++stats_.jobs_run;
         stats_.busy_seconds += took;
         return;
+      } catch (const CampaignCancelled&) {
+        throw;  // cancellation is not a failed attempt: no retry
       } catch (const std::exception& e) {
         last_error = e.what();
         std::ostringstream os;

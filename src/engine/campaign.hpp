@@ -32,6 +32,7 @@
 
 #include "engine/engine_stats.hpp"
 #include "engine/fault_injector.hpp"
+#include "engine/journal.hpp"
 #include "engine/run_cache.hpp"
 #include "runner/runner.hpp"
 
@@ -61,6 +62,20 @@ struct CampaignOptions {
   /// campaigns so identical sweep points are simulated once; RunCache is
   /// internally synchronized. Mutually exclusive with `cache_path`.
   std::shared_ptr<RunCache> shared_cache;
+  /// Write-ahead journal (DESIGN.md §11): collect() records the matrix
+  /// signature up front and appends every completed run, so a killed
+  /// campaign loses nothing but its in-flight jobs. Empty = no journal.
+  std::string journal_path;
+  /// Replay an existing journal at `journal_path` before running: runs it
+  /// carries are seeded into the outcome set (stats().jobs_replayed) and
+  /// never re-simulated. A journal for a different matrix is a CheckError.
+  /// With no journal file present the campaign simply starts fresh.
+  bool resume = false;
+  /// Per-run watchdog: an attempt that exceeds this budget is cancelled
+  /// (cooperatively — the stall injection and cancellation polls share
+  /// the same slicing) and treated as a failed attempt, so it retries or
+  /// quarantines like any other fault. 0 = no watchdog.
+  int run_timeout_ms = 0;
   /// Cooperative cancellation: polled before each job starts. Once it
   /// returns true no further job begins and execute() throws
   /// CampaignCancelled after in-flight jobs finish. Backoff sleeps and a
@@ -123,11 +138,15 @@ class CampaignEngine {
 
  private:
   JobOutcome execute_job(const RunSpec& spec, std::uint64_t key) const;
+  /// Opens/replays the journal for a plan (no-op without a journal path).
+  void prepare_journal(const MatrixPlan& plan);
 
   ExperimentRunner runner_;  // by value: the engine outlives CLI temporaries
   CampaignOptions options_;
   std::shared_ptr<RunCache> cache_;  // options_.shared_cache or owned
   std::unique_ptr<FaultInjector> injector_;  // null when faults are off
+  std::unique_ptr<JournalWriter> journal_;   // null when journaling is off
+  std::map<std::size_t, ReplayedRun> replay_;  ///< journal-seeded outcomes
   EngineStats stats_;
   std::vector<QuarantinedJob> quarantined_;
   std::vector<std::string> events_;

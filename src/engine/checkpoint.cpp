@@ -1,0 +1,121 @@
+#include "engine/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "engine/journal.hpp"
+#include "obs/metrics.hpp"
+#include "runner/archive.hpp"
+
+namespace scaltool {
+
+namespace {
+
+/// Parses the pid suffix of `name` relative to `prefix` ("<base>.tmp." or
+/// "<base>.stage."); -1 when `name` is not such a temp file.
+long temp_owner_pid(const std::string& name, const std::string& prefix) {
+  if (name.size() <= prefix.size() || name.rfind(prefix, 0) != 0) return -1;
+  const std::string suffix = name.substr(prefix.size());
+  if (suffix.find_first_not_of("0123456789") != std::string::npos) return -1;
+  try {
+    return std::stol(suffix);
+  } catch (const std::exception&) {
+    return -1;  // pid too long to be real
+  }
+}
+
+bool process_is_dead(long pid) {
+  if (pid <= 0) return false;
+  // Signal 0 probes existence without touching the process. EPERM means
+  // alive-but-not-ours; only ESRCH proves death.
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace
+
+std::string journal_path_for(const std::string& archive_path) {
+  return archive_path + ".journal";
+}
+
+std::string stage_path_for(const std::string& path) {
+  return path + ".stage." + std::to_string(::getpid());
+}
+
+std::uint32_t commit_archive(const ScalToolInputs& inputs,
+                             const std::string& path,
+                             JournalWriter* journal) {
+  std::ostringstream rendered;
+  write_inputs(inputs, rendered);
+  const std::string bytes = rendered.str();
+  const std::uint32_t crc = crc32(bytes);
+
+  const std::string stage = stage_path_for(path);
+  try {
+    {
+      const int fd = ::open(stage.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                            0644);
+      ST_CHECK_MSG(fd >= 0, "cannot stage archive at " << stage << ": "
+                                                       << std::strerror(errno));
+      const char* p = bytes.data();
+      std::size_t left = bytes.size();
+      bool ok = true;
+      while (ok && left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        ok = n > 0;
+        if (ok) {
+          p += n;
+          left -= static_cast<std::size_t>(n);
+        }
+      }
+      // The stage must be durable before the COMMIT marker claims it is.
+      ok = ok && ::fsync(fd) == 0;
+      ::close(fd);
+      ST_CHECK_MSG(ok, "staging archive at " << stage << " failed: "
+                                             << std::strerror(errno));
+    }
+    if (journal) journal->append_commit(path, bytes.size(), crc);
+    ST_CHECK_MSG(std::rename(stage.c_str(), path.c_str()) == 0,
+                 "cannot move " << stage << " into place at " << path);
+  } catch (...) {
+    std::remove(stage.c_str());  // never leave staging debris behind
+    throw;
+  }
+  return crc;
+}
+
+std::size_t reap_orphan_temps(const std::string& base_path) {
+  namespace fs = std::filesystem;
+  if (base_path.empty()) return 0;
+  std::size_t reaped = 0;
+  try {
+    const fs::path base(base_path);
+    const fs::path dir =
+        base.has_parent_path() ? base.parent_path() : fs::path(".");
+    const std::string tmp_prefix = base.filename().string() + ".tmp.";
+    const std::string stage_prefix = base.filename().string() + ".stage.";
+    std::error_code ec;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      long pid = temp_owner_pid(name, tmp_prefix);
+      if (pid < 0) pid = temp_owner_pid(name, stage_prefix);
+      if (pid < 0 || !process_is_dead(pid)) continue;
+      std::error_code rm_ec;
+      if (fs::remove(entry.path(), rm_ec)) ++reaped;
+    }
+  } catch (const std::exception&) {
+    return reaped;  // cleanup is best-effort by contract
+  }
+  if (reaped > 0)
+    obs::MetricRegistry::instance().counter("recovery.tmp_reaped").add(reaped);
+  return reaped;
+}
+
+}  // namespace scaltool

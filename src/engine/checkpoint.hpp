@@ -1,0 +1,51 @@
+// Checkpointed archive finalization and crash-debris cleanup
+// (DESIGN.md §11).
+//
+// Archive writes were already temp+rename, so a crash never published a
+// torn file — but it could leave the *old* archive in place with no
+// record that a newer one was fully staged, and it littered the directory
+// with orphaned temp files. This module closes both gaps:
+//
+//   commit_archive() renders the archive into a staging file, fsyncs it,
+//   appends the journal's COMMIT marker (size + CRC of the staged bytes),
+//   and only then renames into place — the two-phase commit. A crash
+//   before the marker resumes as if the archive was never written; a
+//   crash after it can verify the rename simply by checking the bytes.
+//
+//   reap_orphan_temps() deletes `<base>.tmp.<pid>` / `<base>.stage.<pid>`
+//   debris whose owning process is dead (the pid suffix every temp+rename
+//   writer in this tree uses), counting the reaped files in the obs
+//   registry under `recovery.tmp_reaped`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/inputs.hpp"
+
+namespace scaltool {
+
+class JournalWriter;
+
+/// Canonical journal path for an archive destination.
+std::string journal_path_for(const std::string& archive_path);
+
+/// Staging path this process would use for `path` (pid-suffixed, so
+/// concurrent writers never collide and dead writers are identifiable).
+std::string stage_path_for(const std::string& path);
+
+/// Two-phase archive publication: stage, fsync, journal COMMIT marker
+/// (when `journal` is non-null), rename. Throws CheckError on I/O
+/// failure, removing the staging file first. Returns the CRC-32 of the
+/// published bytes.
+std::uint32_t commit_archive(const ScalToolInputs& inputs,
+                             const std::string& path,
+                             JournalWriter* journal = nullptr);
+
+/// Deletes sibling `<base>.tmp.<pid>` / `<base>.stage.<pid>` files whose
+/// pid no longer names a live process. Files of live processes (including
+/// this one) are left alone. Returns the number reaped; never throws —
+/// cleanup must not break the campaign it runs ahead of.
+std::size_t reap_orphan_temps(const std::string& base_path);
+
+}  // namespace scaltool

@@ -29,13 +29,16 @@ double EngineStats::completed_fraction() const {
 
 Table engine_stats_table(const EngineStats& s) {
   Table table("Campaign engine");
-  table.header({"jobs", "run", "cached", "failed", "quarantined", "attempts",
-                "retries", "faults", "workers", "wall_s", "busy_s", "util_%",
-                "hit_%", "cache_loaded", "cache_corrupt", "cache_recovered"});
+  table.header({"jobs", "run", "cached", "replayed", "failed", "quarantined",
+                "attempts", "retries", "wdog", "faults", "workers", "wall_s",
+                "busy_s", "util_%", "hit_%", "cache_loaded", "cache_corrupt",
+                "cache_recovered"});
   table.add_row({Table::cell(s.jobs_total), Table::cell(s.jobs_run),
-                 Table::cell(s.jobs_cached), Table::cell(s.jobs_failed),
+                 Table::cell(s.jobs_cached), Table::cell(s.jobs_replayed),
+                 Table::cell(s.jobs_failed),
                  Table::cell(s.jobs_quarantined), Table::cell(s.attempts),
-                 Table::cell(s.retries), Table::cell(s.faults_injected),
+                 Table::cell(s.retries), Table::cell(s.watchdog_timeouts),
+                 Table::cell(s.faults_injected),
                  Table::cell(s.workers), Table::cell(s.wall_seconds, 3),
                  Table::cell(s.busy_seconds, 3),
                  Table::cell(100.0 * s.utilization(), 1),
@@ -50,10 +53,13 @@ std::string engine_stats_line(const EngineStats& s) {
   std::ostringstream os;
   os << "engine: " << s.jobs_total << " jobs (" << s.jobs_run << " run, "
      << s.jobs_cached << " cached, " << s.jobs_failed << " failed";
+  if (s.jobs_replayed > 0) os << ", " << s.jobs_replayed << " replayed";
   if (s.jobs_quarantined > 0) os << ", " << s.jobs_quarantined
                                  << " quarantined";
   os << ") on " << s.workers << (s.workers == 1 ? " worker" : " workers");
   if (s.retries > 0) os << ", " << s.retries << " retries";
+  if (s.watchdog_timeouts > 0)
+    os << ", " << s.watchdog_timeouts << " watchdog timeouts";
   if (s.faults_injected > 0) os << ", " << s.faults_injected
                                 << " faults injected";
   os << ", wall " << std::fixed << std::setprecision(3) << s.wall_seconds
@@ -70,6 +76,8 @@ void publish_engine_stats(const EngineStats& s) {
   reg.counter("engine.jobs_cached").set(s.jobs_cached);
   reg.counter("engine.jobs_failed").set(s.jobs_failed);
   reg.counter("engine.jobs_quarantined").set(s.jobs_quarantined);
+  reg.counter("engine.jobs_replayed").set(s.jobs_replayed);
+  reg.counter("engine.watchdog_timeouts").set(s.watchdog_timeouts);
   reg.counter("engine.attempts").set(s.attempts);
   reg.counter("engine.retries").set(s.retries);
   reg.counter("engine.faults_injected").set(s.faults_injected);

@@ -20,6 +20,11 @@ struct EngineStats {
   std::size_t jobs_cached = 0;  ///< served from the run cache
   std::size_t jobs_failed = 0;
   std::size_t jobs_quarantined = 0;  ///< permanently failing, kept-going past
+  /// Outcomes seeded from the write-ahead journal on --resume; these runs
+  /// were never re-simulated (the crash-recovery proof reads this).
+  std::size_t jobs_replayed = 0;
+  /// Attempts the per-run watchdog cancelled (--run-timeout-ms).
+  std::size_t watchdog_timeouts = 0;
   std::size_t attempts = 0;          ///< simulator attempts, incl. retries
   std::size_t retries = 0;           ///< attempts beyond each job's first
   std::size_t faults_injected = 0;   ///< by the fault injector, all kinds

@@ -1,5 +1,8 @@
 #include "engine/fault_injector.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -83,7 +86,8 @@ void count_fault(const char* kind) {
 
 bool FaultPlan::enabled() const {
   return transient_rate > 0.0 || permanent_rate > 0.0 || stall_rate > 0.0 ||
-         perturb_rate > 0.0 || drop_rate > 0.0 || cache_corrupt_rate > 0.0;
+         perturb_rate > 0.0 || drop_rate > 0.0 ||
+         cache_corrupt_rate > 0.0 || crash_at_run > 0;
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
@@ -115,6 +119,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.drop_rate = rate_field(key, value);
     } else if (key == "cache-corrupt") {
       plan.cache_corrupt_rate = rate_field(key, value);
+    } else if (key == "crash") {
+      plan.crash_at_run = int_field(key, value, 1);
     } else if (key == "target") {
       plan.target = value;
     } else if (key == "target-procs") {
@@ -140,6 +146,7 @@ std::string FaultPlan::describe() const {
     os << " perturb=" << perturb_rate << " (mag " << perturb_magnitude << ")";
   if (drop_rate > 0.0) os << " drop=" << drop_rate;
   if (cache_corrupt_rate > 0.0) os << " cache-corrupt=" << cache_corrupt_rate;
+  if (crash_at_run > 0) os << " crash=" << crash_at_run;
   if (!target.empty()) os << " target=" << target;
   if (target_procs > 0) os << " target-procs=" << target_procs;
   if (target_bytes > 0) os << " target-bytes=" << target_bytes;
@@ -224,6 +231,17 @@ std::string FaultInjector::perturb(std::uint64_t key,
     what << "cache-event counter group dropped";
   }
   return what.str();
+}
+
+void FaultInjector::run_boundary() const {
+  if (plan_.crash_at_run <= 0) return;
+  // Deterministic by construction: the engine calls this once per
+  // executed run, after the run was journaled, so "crash=N" dies with
+  // exactly N completed runs on disk whatever the worker count.
+  if (run_boundaries_.fetch_add(1) + 1 == plan_.crash_at_run) {
+    count_fault("crash");
+    ::kill(::getpid(), SIGKILL);
+  }
 }
 
 std::size_t FaultInjector::corrupt_cache_file(const std::string& path) const {

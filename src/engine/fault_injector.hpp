@@ -42,6 +42,12 @@ struct FaultPlan {
 
   double cache_corrupt_rate = 0.0; ///< per saved run-cache entry
 
+  /// Process death: SIGKILL this process at the Nth completed simulator
+  /// run (run_boundary() counts them), after the run was journaled — the
+  /// seeded, reproducible crash point the recovery harness resumes from.
+  /// 0 = never crash.
+  int crash_at_run = 0;
+
   /// Optional targeting, for reproducing a specific dead run: faults apply
   /// only to jobs whose workload name contains `target` (empty = all) and
   /// whose processor count / data-set size match (0 = any).
@@ -53,9 +59,9 @@ struct FaultPlan {
   bool enabled() const;
 
   /// Parses "key=value,key=value" with keys seed, transient, permanent,
-  /// stall, stall-ms, perturb, perturb-mag, drop, cache-corrupt, target,
-  /// target-procs, target-bytes. Throws CheckError on unknown keys or
-  /// out-of-range rates.
+  /// stall, stall-ms, perturb, perturb-mag, drop, cache-corrupt, crash,
+  /// target, target-procs, target-bytes. Throws CheckError on unknown
+  /// keys or out-of-range rates.
   static FaultPlan parse(const std::string& spec);
 
   /// Compact human-readable rendering of the nonzero knobs.
@@ -102,6 +108,11 @@ class FaultInjector {
   /// reading, like re-reading the same flaky archive.
   std::string perturb(std::uint64_t key, JobOutcome& outcome) const;
 
+  /// Marks one completed (not cached, not replayed) simulator run. When
+  /// the plan says crash_at_run == N, the Nth call SIGKILLs the process —
+  /// no atexit, no flush, the genuine article the journal must survive.
+  void run_boundary() const;
+
   /// Deterministically corrupts ENTRY records of a saved run-cache file
   /// (flips bytes inside the per-entry payload), simulating disk rot or a
   /// bad copy between machines. Returns the number of entries corrupted.
@@ -120,6 +131,7 @@ class FaultInjector {
   mutable std::atomic<std::size_t> stalls_{0};
   mutable std::atomic<std::size_t> perturbed_{0};
   mutable std::atomic<std::size_t> dropped_{0};
+  mutable std::atomic<int> run_boundaries_{0};
 };
 
 }  // namespace scaltool

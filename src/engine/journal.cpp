@@ -1,0 +1,303 @@
+#include "engine/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "engine/run_cache.hpp"
+#include "runner/archive.hpp"
+
+namespace scaltool {
+
+namespace {
+
+constexpr const char* kMagic = "scaltool-journal";
+constexpr int kJournalVersion = 1;
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= 0xFFu;  // field separator, so ("ab","c") != ("a","bc")
+  h *= 1099511628211ULL;
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::string hex32(std::uint32_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(8) << v;
+  return os.str();
+}
+
+/// Renders one record line (tag-first archive dialect) without the
+/// trailing newline, so it can be embedded as a payload suffix.
+std::string run_record_fields(const RunRecord& record) {
+  std::ostringstream os;
+  write_run_record(os, "R", record);
+  std::string line = os.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+std::string validation_record_fields(const ValidationRecord& validation) {
+  std::ostringstream os;
+  write_validation_record(os, validation);
+  std::string line = os.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::string& bytes) {
+  // IEEE 802.3 reflected polynomial, nibble-at-a-time table: small enough
+  // to build at first use, fast enough for per-record guards.
+  static const std::array<std::uint32_t, 16> kTable = [] {
+    std::array<std::uint32_t, 16> table{};
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 4; ++bit)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    const auto byte = static_cast<unsigned char>(ch);
+    crc = kTable[(crc ^ byte) & 0x0Fu] ^ (crc >> 4);
+    crc = kTable[(crc ^ (byte >> 4)) & 0x0Fu] ^ (crc >> 4);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t matrix_signature(const MatrixPlan& plan,
+                               const MachineConfig& base_config,
+                               int iterations) {
+  std::uint64_t h = fnv1a_str(1469598103934665603ULL, plan.app);
+  h = fnv1a_str(h, std::to_string(plan.s0));
+  h = fnv1a_str(h, std::to_string(plan.l2_bytes));
+  h = fnv1a_str(h, std::to_string(plan.jobs.size()));
+  // Each job key folds in the machine configuration and iteration count,
+  // so any knob that changes a counter value changes the signature.
+  for (const RunSpec& spec : plan.jobs)
+    h = fnv1a_str(h, hex64(job_key_hash(spec, base_config, iterations)));
+  return h;
+}
+
+JournalWriter::JournalWriter(std::string path, bool append)
+    : path_(std::move(path)) {
+  ST_CHECK_MSG(!path_.empty(), "the journal needs a path");
+  // When appending after a crash, a torn final record may lack its
+  // newline; writing on the same line would corrupt the first new record,
+  // so start with a separator (the dangling fragment then fails its CRC
+  // and replay drops it, as any torn record).
+  bool needs_newline = false;
+  if (append) {
+    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+    if (probe.good() && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      needs_newline = probe.get() != '\n';
+    }
+  }
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (!append) flags |= O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  ST_CHECK_MSG(fd_ >= 0, "cannot open journal " << path_ << ": "
+                                                << std::strerror(errno));
+  if (needs_newline) write_line("\n");
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::write_line(const std::string& line) {
+  // One write() per record: O_APPEND makes each line land contiguously
+  // even with every worker appending, and a crash tears at most the final
+  // record — which replay truncates away.
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    ST_CHECK_MSG(n > 0, "write to journal " << path_ << " failed: "
+                                            << std::strerror(errno));
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void JournalWriter::write_record(const std::string& payload) {
+  write_line("C|" + hex32(crc32(payload)) + "|" + payload + "\n");
+}
+
+void JournalWriter::sync() {
+  ST_CHECK_MSG(::fsync(fd_) == 0, "fsync of journal " << path_ << " failed: "
+                                                      << std::strerror(errno));
+}
+
+void JournalWriter::begin(std::uint64_t signature, const MatrixPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream header;
+  header << kMagic << '|' << kJournalVersion << '|' << hex64(signature)
+         << '\n';
+  write_line(header.str());
+  std::ostringstream meta;
+  meta << "META|" << plan.app << '|' << plan.s0 << '|' << plan.l2_bytes << '|'
+       << plan.jobs.size();
+  write_record(meta.str());
+  sync();
+}
+
+void JournalWriter::append_run(std::size_t job, std::uint64_t key,
+                               const JobOutcome& outcome,
+                               bool has_validation) {
+  std::ostringstream payload;
+  payload << "RUN|" << job << '|' << hex64(key) << '|'
+          << (has_validation ? 1 : 0) << '|'
+          << run_record_fields(outcome.record);
+  if (has_validation)
+    payload << '|' << validation_record_fields(outcome.validation);
+  std::lock_guard<std::mutex> lock(mu_);
+  write_record(payload.str());
+}
+
+void JournalWriter::append_commit(const std::string& archive_path,
+                                  std::size_t bytes,
+                                  std::uint32_t archive_crc) {
+  std::ostringstream payload;
+  payload << "COMMIT|" << archive_path << '|' << bytes << '|'
+          << hex32(archive_crc);
+  std::lock_guard<std::mutex> lock(mu_);
+  write_record(payload.str());
+  sync();
+}
+
+namespace {
+
+/// Applies one CRC-valid payload to the replay. Returns false when the
+/// payload is malformed — the caller treats that exactly like a CRC
+/// failure and truncates to the prefix before it.
+bool apply_payload(const std::string& payload, JournalReplay& replay) {
+  const std::vector<std::string> f = split_record(payload);
+  if (f.empty()) return false;
+  try {
+    if (f[0] == "META") {
+      if (f.size() != 5) return false;
+      if (!replay.app.empty()) {
+        ++replay.duplicates;
+        return true;
+      }
+      replay.app = f[1];
+      replay.s0 = static_cast<std::size_t>(std::stoull(f[2]));
+      replay.l2_bytes = static_cast<std::size_t>(std::stoull(f[3]));
+      replay.jobs_planned = static_cast<std::size_t>(std::stoull(f[4]));
+      return true;
+    }
+    if (f[0] == "RUN") {
+      // RUN|job|key|hv|R|<15 fields>[|VALID|<8 fields>]
+      if (f.size() != 20 && f.size() != 29) return false;
+      const auto job = static_cast<std::size_t>(std::stoull(f[1]));
+      ReplayedRun run;
+      run.key = std::stoull(f[2], nullptr, 16);
+      run.has_validation = f[3] == "1";
+      if (run.has_validation != (f.size() == 29)) return false;
+      const std::vector<std::string> run_fields(f.begin() + 4,
+                                                f.begin() + 20);
+      run.outcome.record = parse_run_record(run_fields);
+      if (run.has_validation) {
+        const std::vector<std::string> valid_fields(f.begin() + 20, f.end());
+        run.outcome.validation = parse_validation_record(valid_fields);
+      }
+      if (!replay.runs.emplace(job, std::move(run)).second)
+        ++replay.duplicates;  // first occurrence wins
+      return true;
+    }
+    if (f[0] == "COMMIT") {
+      if (f.size() != 4) return false;
+      replay.committed = true;
+      replay.archive_path = f[1];
+      replay.archive_bytes = static_cast<std::size_t>(std::stoull(f[2]));
+      replay.archive_crc =
+          static_cast<std::uint32_t>(std::stoul(f[3], nullptr, 16));
+      return true;
+    }
+  } catch (const std::exception&) {
+    return false;  // numeric garbage inside a record: damage, not UB
+  }
+  return false;  // unknown record tag: written by a future version
+}
+
+}  // namespace
+
+JournalReplay replay_journal(const std::string& path) {
+  std::ifstream is(path);
+  ST_CHECK_MSG(is.good(), "cannot read journal " << path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  ST_CHECK_MSG(!lines.empty(), path << " is not a scaltool journal "
+                                       "(empty file)");
+
+  JournalReplay replay;
+  {
+    const std::vector<std::string> header = split_record(lines.front());
+    ST_CHECK_MSG(header.size() == 3 && header[0] == kMagic,
+                 path << " is not a scaltool journal");
+    ST_CHECK_MSG(header[1] == std::to_string(kJournalVersion),
+                 "journal " << path << " has unsupported version "
+                            << header[1] << " (this build reads version "
+                            << kJournalVersion << ")");
+    try {
+      replay.signature = std::stoull(header[2], nullptr, 16);
+    } catch (const std::exception&) {
+      ST_CHECK_MSG(false, "journal " << path
+                                     << " has a damaged matrix signature");
+    }
+  }
+
+  // Longest valid prefix: the first damaged record ends the replay; every
+  // line from there on (including itself) is dropped and counted.
+  replay.valid_prefix_bytes = lines.front().size() + 1;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& record = lines[i];
+    bool ok = record.size() > 11 && record[0] == 'C' && record[1] == '|' &&
+              record[10] == '|';
+    std::string payload;
+    if (ok) {
+      payload = record.substr(11);
+      try {
+        const auto crc = static_cast<std::uint32_t>(
+            std::stoul(record.substr(2, 8), nullptr, 16));
+        ok = crc == crc32(payload);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (ok) ok = apply_payload(payload, replay);
+    if (!ok) {
+      replay.records_dropped = lines.size() - i;
+      break;
+    }
+    ++replay.records_ok;
+    replay.valid_prefix_bytes += record.size() + 1;
+  }
+  return replay;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,143 @@
+// Write-ahead journal of a measurement campaign (DESIGN.md §11).
+//
+// A campaign's expensive artifact is its completed runs, yet until now a
+// SIGKILL mid-campaign threw every one of them away. The journal fixes
+// that: before a campaign starts it records the matrix it is about to
+// collect (a content signature plus META line), and every completed run is
+// appended as one self-contained, CRC-guarded record the moment its
+// outcome exists. A later `collect --resume` replays the journal, seeds
+// the finished outcomes, and only simulates what is missing — producing an
+// archive byte-identical to an uninterrupted campaign.
+//
+// Format: line-oriented like every other scaltool artifact. A header
+//
+//   scaltool-journal|1|<matrix signature, hex>
+//
+// followed by records of the form `C|<crc32 hex8>|<payload>` where the
+// CRC covers exactly the payload bytes. Payloads:
+//
+//   META|<app>|<s0>|<l2_bytes>|<planned jobs>
+//   RUN|<job index>|<key hex>|<has_validation>|R|<run record>[|VALID|...]
+//   COMMIT|<archive path>|<archive bytes>|<archive crc32 hex8>
+//
+// Replay semantics are the robustness contract the hostile-input tests
+// pin: a wrong magic or version is a named CheckError (the file is not
+// ours to guess at), while a torn tail, a flipped bit or a short write
+// truncates the journal to its longest valid prefix — every record before
+// the damage is recovered, everything after is dropped and counted,
+// and the campaign simply re-runs the lost jobs. Duplicated records
+// (a crash between write and index update in some future format) keep
+// their first occurrence. Never UB on any input.
+//
+// Durability: the header and the COMMIT marker are fsync'd (they gate
+// correctness decisions), RUN records are plain O_APPEND writes — they
+// survive process death, which is the failure the crash harness injects,
+// and keep the hot-path overhead inside the ≤5% budget
+// (bench_crash_recovery gates this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace scaltool {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
+std::uint32_t crc32(const std::string& bytes);
+
+/// Content signature of a measurement matrix: the app, sizes and every
+/// job's content key (which folds in the machine configuration and the
+/// iteration count). Two campaigns share a signature exactly when their
+/// journals are interchangeable.
+std::uint64_t matrix_signature(const MatrixPlan& plan,
+                               const MachineConfig& base_config,
+                               int iterations);
+
+/// Appends records to a journal file. Thread-safe: the engine's workers
+/// append concurrently, and each record is a single O_APPEND write so
+/// lines never interleave.
+class JournalWriter {
+ public:
+  /// Opens (creating if needed) the journal at `path`. With `append`
+  /// false the file is truncated — a fresh campaign; with true, records
+  /// are added after whatever a previous (possibly killed) process left.
+  JournalWriter(std::string path, bool append);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Writes the header and META record, then fsyncs: once begin()
+  /// returns, a resume can at least identify the matrix.
+  void begin(std::uint64_t signature, const MatrixPlan& plan);
+
+  /// Appends one completed run. Not fsync'd (see file comment).
+  void append_run(std::size_t job, std::uint64_t key,
+                  const JobOutcome& outcome, bool has_validation);
+
+  /// Appends the two-phase archive commit marker, then fsyncs. A journal
+  /// whose replay carries a COMMIT says the archive at `archive_path`
+  /// was staged completely with the given size and CRC.
+  void append_commit(const std::string& archive_path, std::size_t bytes,
+                     std::uint32_t archive_crc);
+
+ private:
+  void write_line(const std::string& line);
+  void write_record(const std::string& payload);
+  void sync();
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+/// One run recovered from the journal.
+struct ReplayedRun {
+  std::uint64_t key = 0;
+  JobOutcome outcome;
+  bool has_validation = false;
+};
+
+/// Everything a valid journal prefix said.
+struct JournalReplay {
+  std::uint64_t signature = 0;
+
+  // META
+  std::string app;
+  std::size_t s0 = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t jobs_planned = 0;
+
+  /// Completed runs by plan index (first occurrence wins).
+  std::map<std::size_t, ReplayedRun> runs;
+
+  // COMMIT
+  bool committed = false;
+  std::string archive_path;
+  std::size_t archive_bytes = 0;
+  std::uint32_t archive_crc = 0;
+
+  // Replay accounting (what the resume banner and the tests report).
+  std::size_t records_ok = 0;       ///< records recovered
+  std::size_t records_dropped = 0;  ///< lines past the valid prefix
+  std::size_t duplicates = 0;       ///< re-appended records ignored
+
+  /// Byte length of the valid prefix (header + recovered records). A
+  /// resume truncates the journal here before appending, so a torn tail
+  /// record can never sit mid-file and shadow later appends.
+  std::size_t valid_prefix_bytes = 0;
+};
+
+/// Replays the journal at `path`. CheckError when the file cannot be
+/// read, is not a scaltool journal, or carries an unknown format version;
+/// any damage *after* the header truncates to the longest valid prefix
+/// instead (see the file comment).
+JournalReplay replay_journal(const std::string& path);
+
+}  // namespace scaltool

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "engine/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "runner/archive.hpp"
@@ -103,6 +104,11 @@ std::uint64_t RunCache::inserts() const {
   return inserts_;
 }
 
+std::uint64_t RunCache::unsaved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_.empty() ? 0 : unsaved_;
+}
+
 std::optional<JobOutcome> RunCache::find(std::uint64_t key,
                                          const RunSpec& spec) const {
   static obs::Counter& hits =
@@ -138,12 +144,16 @@ void RunCache::insert(std::uint64_t key, const RunSpec& spec,
                       const JobOutcome& outcome, bool has_validation) {
   std::lock_guard<std::mutex> lock(mu_);
   ++inserts_;
+  ++unsaved_;
   entries_[key] = Entry{spec, outcome, has_validation};
 }
 
 void RunCache::load() {
   if (path_.empty()) return;
   obs::Span span("cache.open", "cache");
+  // A writer that died mid-save left a pid-suffixed temp next to the
+  // cache; sweep the debris of dead processes before reading.
+  reap_orphan_temps(path_);
   std::ifstream is(path_);
   if (!is.good()) return;  // no cache yet: start cold
 
@@ -236,6 +246,7 @@ void RunCache::save() const {
     }
     ST_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
                  "cannot move " << tmp << " into place at " << path_);
+    unsaved_ = 0;  // the file now reflects every insert
   } catch (...) {
     std::remove(tmp.c_str());  // never leave temp debris behind
     throw;

@@ -59,6 +59,12 @@ class RunCache {
   std::uint64_t find_misses() const;
   std::uint64_t inserts() const;
 
+  /// Entries inserted since the last save() — how far the on-disk file
+  /// lags the in-memory state (the serve `health` verb reports this as
+  /// journal lag). Always 0 for an in-memory cache, which has no disk
+  /// state to lag.
+  std::uint64_t unsaved() const;
+
   /// Cache lookup. Misses when the key is absent, when the stored
   /// descriptor disagrees with `spec` (hash collision or stale entry), or
   /// when `spec.want_validation` and the entry has no side-band.
@@ -89,6 +95,7 @@ class RunCache {
   mutable std::uint64_t find_hits_ = 0;   ///< find() is logically const
   mutable std::uint64_t find_misses_ = 0;
   std::uint64_t inserts_ = 0;
+  mutable std::uint64_t unsaved_ = 0;  ///< save() is logically const too
 };
 
 }  // namespace scaltool

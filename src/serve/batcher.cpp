@@ -18,7 +18,9 @@ const char* kCollectionKeys[] = {"size", "max-procs", "iters",  "topology",
 bool engages_engine(const Args& args) {
   return args.get("jobs", "1") != "1" || !args.get("cache", "").empty() ||
          args.get("retries", "0") != "0" || args.has("keep-going") ||
-         !args.get("faults", "").empty();
+         !args.get("faults", "").empty() ||
+         args.get("run-timeout-ms", "0") != "0" || args.has("resume") ||
+         !args.get("journal", "").empty();
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "serve/exec.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <utility>
@@ -8,8 +9,11 @@
 #include "apps/apps.hpp"
 #include "common/ascii_chart.hpp"
 #include "common/check.hpp"
+#include "common/interrupt.hpp"
 #include "core/scaltool.hpp"
 #include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/journal.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -29,6 +33,8 @@ CampaignOptions engine_from(const Args& args) {
   options.retries = args.get_int("retries", 0);
   options.backoff_ms = args.get_int("backoff-ms", 0);
   options.keep_going = args.has("keep-going");
+  options.run_timeout_ms = args.get_int("run-timeout-ms", 0);
+  options.resume = args.has("resume");
   const std::string faults = args.get("faults", "");
   if (!faults.empty()) options.faults = FaultPlan::parse(faults);
   return options;
@@ -37,7 +43,28 @@ CampaignOptions engine_from(const Args& args) {
 bool engine_engaged(const CampaignOptions& options) {
   return options.jobs > 1 || !options.cache_path.empty() ||
          options.retries > 0 || options.keep_going ||
-         options.faults.enabled();
+         options.faults.enabled() || options.run_timeout_ms > 0 ||
+         options.resume;
+}
+
+/// The journal the command wants (DESIGN.md §11): collect journals next
+/// to its archive by default (`--no-journal` opts out, `--journal=FILE`
+/// redirects); analyze/whatif collect into memory, so their journal is
+/// opt-in. Empty = journaling off.
+std::string journal_from(const Args& args, const std::string& out) {
+  std::string journal =
+      args.get("journal", out.empty() ? "" : journal_path_for(out));
+  if (args.has("no-journal")) journal.clear();
+  return journal;
+}
+
+/// Cancellation hook every engine-driven campaign gets: the service's
+/// deadline (when present) OR'd with the process interrupt flag, so
+/// SIGINT/SIGTERM checkpoint-and-stop any campaign, served or local.
+std::function<bool()> interruptible(const std::function<bool()>& upstream) {
+  return [upstream] {
+    return interrupt_requested() || (upstream && upstream());
+  };
 }
 
 /// Telemetry options shared by collect/analyze/whatif. Telemetry stays off
@@ -98,13 +125,19 @@ ScalToolInputs collect_matrix(const Args& args, const ExecHooks& hooks,
                               const ExperimentRunner& runner,
                               const std::string& app, std::size_t s0,
                               int max_procs, std::ostream& os,
-                              bool* degraded = nullptr) {
+                              bool* degraded = nullptr,
+                              const std::string& journal = "") {
   CampaignOptions options = engine_from(args);
+  options.journal_path = journal;
   const std::vector<int> counts = default_proc_counts(max_procs);
   if (engine_engaged(options)) {
-    options.cancelled = hooks.cancelled;  // deadlines apply regardless
+    options.cancelled = interruptible(hooks.cancelled);
     CampaignEngine engine(runner, options);
     ScalToolInputs inputs = engine.collect(app, s0, counts);
+    if (options.resume)
+      os << "journal: replayed " << engine.stats().jobs_replayed << " of "
+         << engine.stats().jobs_total << " runs ("
+         << engine.stats().jobs_run << " simulated)\n";
     os << engine_stats_line(engine.stats()) << "\n";
     engine_stats_table(engine.stats()).print(os);
     for (const std::string& event : engine.events())
@@ -114,12 +147,15 @@ ScalToolInputs collect_matrix(const Args& args, const ExecHooks& hooks,
     if (degraded && !inputs.notes.empty()) *degraded = true;
     return inputs;
   }
-  if (!hooks.engaged()) return runner.collect(app, s0, counts);
-  options.jobs = hooks.jobs;
-  options.shared_cache = hooks.shared_cache;
-  options.cancelled = hooks.cancelled;
-  options.faults = hooks.faults;
-  options.retries = hooks.retries;
+  if (!hooks.engaged() && journal.empty())
+    return runner.collect(app, s0, counts);
+  if (hooks.engaged()) {
+    options.jobs = hooks.jobs;
+    options.shared_cache = hooks.shared_cache;
+    options.faults = hooks.faults;
+    options.retries = hooks.retries;
+  }
+  options.cancelled = interruptible(hooks.cancelled);
   CampaignEngine engine(runner, options);
   ScalToolInputs inputs = engine.collect(app, s0, counts);
   if (degraded && !inputs.notes.empty()) *degraded = true;
@@ -132,9 +168,11 @@ ScalToolInputs collect_matrix(const Args& args, const ExecHooks& hooks,
 ScalToolInputs inputs_from(const Args& args, const ExecHooks& hooks,
                            const std::string& target,
                            const ExperimentRunner& runner, std::ostream& os,
-                           bool* degraded = nullptr) {
+                           bool* degraded = nullptr,
+                           const std::string& journal = "") {
   if (is_archive(target)) {
-    (void)engine_from(args);  // marks the engine options as consumed
+    (void)engine_from(args);       // marks the engine options as consumed
+    (void)journal_from(args, "");  // ditto the journal options
     ScalToolInputs inputs = load_inputs(target);
     if (degraded && !inputs.notes.empty()) *degraded = true;
     return inputs;
@@ -143,7 +181,7 @@ ScalToolInputs inputs_from(const Args& args, const ExecHooks& hooks,
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 32);
   return collect_matrix(args, hooks, runner, target, s0, max_procs, os,
-                        degraded);
+                        degraded, journal);
 }
 
 void chart_curves(const ScalabilityReport& report, std::ostream& os) {
@@ -210,15 +248,26 @@ int exec_collect(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   ST_CHECK_MSG(!app.empty() && !out.empty(),
                "usage: scaltool collect <app> --out=FILE");
   const ObsOptions obs_options = obs_from(args, hooks);
+  const std::string journal = journal_from(args, out);
+  reap_orphan_temps(out);  // stage files of crashed collects
   const ExperimentRunner runner = runner_from(args);
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
   const int max_procs = args.get_int("max-procs", 32);
   bool degraded = false;
   const ScalToolInputs inputs = collect_matrix(args, hooks, runner, app, s0,
-                                               max_procs, os, &degraded);
+                                               max_procs, os, &degraded,
+                                               journal);
   warn_unused(args, os);
-  save_inputs(inputs, out);
+  if (journal.empty()) {
+    save_inputs(inputs, out);
+  } else {
+    // Two-phase publication: stage + fsync, journal the commit marker,
+    // rename. Once the archive is live the journal has served its purpose.
+    JournalWriter writer(journal, /*append=*/true);
+    commit_archive(inputs, out, &writer);
+    std::remove(journal.c_str());
+  }
   os << "collected " << inputs.base_runs.size() << " base runs, "
      << inputs.uni_runs.size() << " uniprocessor runs and "
      << inputs.kernels.size() << " kernel pairs for " << app << " (s0 = "
@@ -237,9 +286,11 @@ int exec_analyze(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   options.model_sharing = args.has("sharing");
   options.cpi.robust = args.has("robust-fit");
   const bool chart = args.has("chart");
+  const std::string journal =
+      is_archive(target) ? "" : journal_from(args, "");
   bool degraded = false;
   const ScalToolInputs inputs =
-      inputs_from(args, hooks, target, runner, os, &degraded);
+      inputs_from(args, hooks, target, runner, os, &degraded, journal);
   warn_unused(args, os);
 
   const ScalabilityReport report = analyze(inputs, options);
@@ -250,6 +301,7 @@ int exec_analyze(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   if (chart) chart_curves(report, os);
   if (!inputs.validation.empty()) validation_table(report, inputs).print(os);
   finish_obs(obs_options, os);
+  if (!journal.empty()) std::remove(journal.c_str());
   return degraded ? 3 : 0;
 }
 
@@ -267,9 +319,11 @@ int exec_whatif(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   params.pi0_scale = args.get_double("pi0-scale", 1.0);
   AnalyzeOptions options;
   options.cpi.robust = args.has("robust-fit");
+  const std::string journal =
+      is_archive(target) ? "" : journal_from(args, "");
   bool degraded = false;
   const ScalToolInputs inputs =
-      inputs_from(args, hooks, target, runner, os, &degraded);
+      inputs_from(args, hooks, target, runner, os, &degraded, journal);
   warn_unused(args, os);
 
   const ScalabilityReport report = analyze(inputs, options);
@@ -280,6 +334,7 @@ int exec_whatif(const Args& args, std::ostream& os, const ExecHooks& hooks) {
           "--pi0-scale)\n";
   whatif_table(what_if(report, inputs, params), "CLI scenario").print(os);
   finish_obs(obs_options, os);
+  if (!journal.empty()) std::remove(journal.c_str());
   return degraded ? 3 : 0;
 }
 

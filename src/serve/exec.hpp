@@ -64,7 +64,10 @@ void warn_unused(const Args& args, std::ostream& os);
 /// The collect/analyze/whatif command cores. Identical to the historical
 /// cli.cpp implementations; return the process exit code (0 ok, 3
 /// degraded) and throw CheckError on hard failure, CampaignCancelled when
-/// hooks.cancelled fired mid-campaign.
+/// hooks.cancelled fired mid-campaign — which includes SIGINT/SIGTERM once
+/// install_interrupt_handlers() has run (the CLI maps that to exit code 6).
+/// collect journals completed runs next to the archive (DESIGN.md §11) and
+/// publishes the archive in two phases; `--resume` replays that journal.
 int exec_collect(const Args& args, std::ostream& os,
                  const ExecHooks& hooks = {});
 int exec_analyze(const Args& args, std::ostream& os,

@@ -12,7 +12,8 @@ namespace {
 
 using obs::JsonValue;
 
-const char* kOps[] = {"analyze", "whatif", "collect", "stats", "ping"};
+const char* kOps[] = {"analyze", "whatif", "collect", "stats", "ping",
+                      "health"};
 
 bool known_op(const std::string& op) {
   for (const char* candidate : kOps)
@@ -47,7 +48,8 @@ bool uncacheable_option(const std::string& token) {
   static const char* kKeys[] = {
       "--jobs",    "--cache",      "--retries", "--backoff-ms",
       "--keep-going", "--faults",  "--trace-out", "--metrics-out",
-      "--obs",     "--out",
+      "--obs",     "--out",        "--journal", "--no-journal",
+      "--resume",  "--run-timeout-ms",
   };
   for (const char* key : kKeys) {
     const std::string k(key);
@@ -146,8 +148,8 @@ Request parse_request(const std::string& line) {
   ST_CHECK_MSG(!req.op.empty(), "request is missing \"op\"");
   ST_CHECK_MSG(known_op(req.op), "unknown op \"" << req.op
                                                  << "\" (use analyze, "
-                                                    "whatif, collect, stats "
-                                                    "or ping)");
+                                                    "whatif, collect, stats, "
+                                                    "health or ping)");
   return req;
 }
 

@@ -7,7 +7,7 @@
 // bytes `scaltool <op> <args...>` would have printed.
 //
 //   request  = {"id": <null|number|string>, "op": "analyze"|"whatif"|
-//               "collect"|"stats"|"ping", "args": [<string>...],
+//               "collect"|"stats"|"health"|"ping", "args": [<string>...],
 //               "deadline_ms": <number>}          (id/args/deadline optional)
 //   response = {"id": ..., "status": "ok"|"degraded"|"error"|"overloaded"|
 //               "deadline_exceeded"|"shutting_down", "exit_code": N,
@@ -59,7 +59,7 @@ struct Response {
   bool cached = false;  ///< served from the result cache
   std::string output;   ///< CLI-equivalent bytes
   std::string error;    ///< non-empty iff status == kError
-  std::string stats_json;  ///< raw JSON object, set for op == "stats"
+  std::string stats_json;  ///< raw JSON object, set for "stats"/"health"
 };
 
 /// Parses one request line. CheckError on malformed JSON, unknown or
@@ -74,7 +74,7 @@ std::string serialize_response(const Response& response);
 Response parse_response(const std::string& line);
 
 /// Canonical result-cache key. 0 means uncacheable: ops with side effects
-/// (collect) or no payload (stats/ping), engine/telemetry options whose
+/// (collect) or no payload (stats/health/ping), engine/telemetry options whose
 /// output depends on server state, or an archive target that does not
 /// exist. An existing archive target is stamped with its size and content
 /// hash, so rewriting the archive invalidates every cached answer for it.

@@ -5,6 +5,7 @@
 
 #include "cli/args.hpp"
 #include "common/check.hpp"
+#include "common/interrupt.hpp"
 #include "engine/campaign.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -134,6 +135,22 @@ ServiceStats AnalysisService::stats() const {
   return snap;
 }
 
+std::string AnalysisService::health_json() const {
+  std::uint64_t journal_lag = 0;
+  if (const std::shared_ptr<RunCache>& cache = batcher_.run_cache())
+    journal_lag = cache->unsaved();
+  std::ostringstream os;
+  os << "{\"status\":\"" << (queue_.closed() ? "draining" : "ok")
+     << "\",\"uptime_seconds\":" << obs::json_number(
+            MonoClock::seconds_since(start_))
+     << ",\"workers\":" << options_.workers
+     << ",\"queue_depth\":" << queue_.depth()
+     << ",\"queue_capacity\":" << options_.max_queue
+     << ",\"in_flight\":" << in_flight_.load()
+     << ",\"journal_lag\":" << journal_lag << "}";
+  return os.str();
+}
+
 void AnalysisService::publish_obs() const {
   const ServiceStats snap = stats();
   obs::MetricRegistry& reg = obs::MetricRegistry::instance();
@@ -152,7 +169,9 @@ void AnalysisService::worker_loop() {
         .gauge("serve.queue_depth")
         .set(static_cast<double>(queue_.depth()));
     std::promise<Response> promise = std::move(item->promise);
+    ++in_flight_;
     Response response = process(std::move(*item));
+    --in_flight_;
     promise.set_value(std::move(response));
   }
 }
@@ -175,6 +194,12 @@ Response AnalysisService::process(QueuedRequest item) {
   }
   if (req.op == "stats") {
     r.stats_json = stats().to_json();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    return r;
+  }
+  if (req.op == "health") {
+    r.stats_json = health_json();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.completed;
     return r;
@@ -267,9 +292,17 @@ Response AnalysisService::execute(const Request& req,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.completed;
   } catch (const CampaignCancelled&) {
-    r = immediate(req.id, Status::kDeadlineExceeded);
+    // A campaign stops either because its deadline fired or because the
+    // operator interrupted the server; the latter is a shutdown, not a
+    // client timeout. Completed runs are checkpointed either way.
+    const bool interrupted = interrupt_requested();
+    r = immediate(req.id, interrupted ? Status::kShuttingDown
+                                      : Status::kDeadlineExceeded);
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.deadline_missed;
+    if (interrupted)
+      ++stats_.errors;
+    else
+      ++stats_.deadline_missed;
   } catch (const std::exception& e) {
     r.status = Status::kError;
     r.exit_code = 1;

@@ -16,6 +16,7 @@
 // identical to the equivalent one-shot run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -94,6 +95,12 @@ class AnalysisService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Liveness payload for the `health` op: uptime, queue depth and
+  /// capacity, requests mid-execution, worker count, and journal lag (how
+  /// many shared-cache runs exist only in memory — what a crash right now
+  /// would have to re-simulate).
+  std::string health_json() const;
+
  private:
   Response process(QueuedRequest item);
   Response execute(const Request& request,
@@ -109,6 +116,8 @@ class AnalysisService {
   ServiceStats stats_;
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+  const MonoClock::TimePoint start_ = MonoClock::now();
+  std::atomic<int> in_flight_{0};  ///< requests currently in process()
 };
 
 }  // namespace scaltool::serve

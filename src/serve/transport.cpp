@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -209,6 +210,39 @@ void SocketServer::stop() {
   for (const int fd : fds) ::shutdown(fd, SHUT_RD);
   for (std::thread& t : threads) t.join();
   ::unlink(path_.c_str());
+}
+
+namespace {
+
+/// splitmix64 finalizer, the tree-wide cheap mixer (see derive_seed).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Response socket_call_resilient(const std::string& socket_path,
+                               const Request& request,
+                               const RetryPolicy& policy) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return socket_call(socket_path, request);
+    } catch (const CheckError&) {
+      if (attempt >= policy.retries) throw;
+    }
+    // Full jitter over an exponentially growing window: deterministic per
+    // (seed, attempt) so tests can pin it, decorrelated across clients.
+    const std::uint64_t window =
+        static_cast<std::uint64_t>(policy.backoff_ms > 0 ? policy.backoff_ms
+                                                         : 1)
+        << std::min(attempt, 10);
+    const std::uint64_t wait_ms =
+        1 + mix64(policy.seed + static_cast<std::uint64_t>(attempt)) % window;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
 }
 
 Response socket_call(const std::string& socket_path, const Request& request) {

@@ -60,4 +60,23 @@ class SocketServer {
 /// without answering.
 Response socket_call(const std::string& socket_path, const Request& request);
 
+/// Self-healing client policy: how often and how patiently to re-dial.
+struct RetryPolicy {
+  /// Re-dials after the first failed attempt (0 = plain socket_call).
+  int retries = 0;
+  /// Base backoff; attempt k waits ~ backoff_ms << k, with deterministic
+  /// jitter (derived from `seed` and k) to de-synchronize client herds.
+  int backoff_ms = 50;
+  std::uint64_t seed = 0;
+};
+
+/// socket_call with connect/hang-up retries under `policy`. Safe because a
+/// request either carries an idempotent payload (analyze/whatif/stats/
+/// health/ping) or an id the server can deduplicate on; the caller decides
+/// how many re-dials the operation tolerates. Throws the final attempt's
+/// CheckError once the policy is exhausted.
+Response socket_call_resilient(const std::string& socket_path,
+                               const Request& request,
+                               const RetryPolicy& policy);
+
 }  // namespace scaltool::serve

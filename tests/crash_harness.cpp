@@ -1,0 +1,41 @@
+#include "crash_harness.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+
+namespace scaltool::testing {
+
+bool ChildResult::exited() const { return WIFEXITED(status); }
+
+int ChildResult::exit_code() const { return WEXITSTATUS(status); }
+
+bool ChildResult::signaled() const { return WIFSIGNALED(status); }
+
+int ChildResult::term_signal() const { return WTERMSIG(status); }
+
+ChildResult run_cli_in_child(const std::vector<std::string>& argv) {
+  const pid_t pid = ::fork();
+  ST_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // The child is a throwaway process: run the command, discard its
+    // output, and leave without unwinding into the test runner.
+    std::ostringstream os;
+    int rc = 1;
+    try {
+      rc = cli::run_command(argv, os);
+    } catch (...) {
+      rc = 125;
+    }
+    ::_exit(rc);
+  }
+  ChildResult result;
+  ST_CHECK_MSG(::waitpid(pid, &result.status, 0) == pid, "waitpid failed");
+  return result;
+}
+
+}  // namespace scaltool::testing

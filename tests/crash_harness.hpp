@@ -1,0 +1,31 @@
+// Crash-injection harness for durability tests (DESIGN.md §11).
+//
+// Runs a full scaltool CLI command in a forked child so a test can watch
+// the process die for real — from a seeded `--faults=crash=N` SIGKILL or
+// any other fatal fault — and then exercise recovery from the survivor's
+// on-disk state (journal, stage files, cache temps) in the parent. The
+// child never returns through gtest: it _exit()s with the command's exit
+// code, so listeners, atexit hooks and test state stay untouched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scaltool::testing {
+
+/// What wait(2) said about the child.
+struct ChildResult {
+  int status = 0;  ///< raw waitpid status
+
+  bool exited() const;
+  int exit_code() const;  ///< meaningful only when exited()
+  bool signaled() const;
+  int term_signal() const;  ///< meaningful only when signaled()
+};
+
+/// fork()s, runs `cli::run_command(argv)` in the child (output discarded),
+/// _exit()s with its return code, and waits. Throws CheckError if the
+/// fork or wait itself fails — not if the command does.
+ChildResult run_cli_in_child(const std::vector<std::string>& argv);
+
+}  // namespace scaltool::testing

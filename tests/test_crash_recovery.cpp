@@ -1,0 +1,495 @@
+// Durability and recovery (DESIGN.md §11): the write-ahead journal, the
+// seeded crash fault, SIGINT checkpointing, orphan sweeping and the
+// self-healing request client.
+//
+// The headline test kills a real collect at seeded run boundaries with
+// SIGKILL (no cleanup, no flush beyond the journal's own appends), resumes
+// in a fresh process image, and asserts the recovered archive is
+// byte-identical to an uncrashed run with zero re-simulation of the
+// journaled prefix.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "common/interrupt.hpp"
+#include "crash_harness.hpp"
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/fault_injector.hpp"
+#include "engine/journal.hpp"
+#include "runner/archive.hpp"
+#include "serve/service.hpp"
+#include "serve/transport.hpp"
+
+namespace scaltool {
+namespace {
+
+using testing::ChildResult;
+using testing::run_cli_in_child;
+
+std::string tmp_path(const std::string& tag) {
+  return "/tmp/scaltool_crash_" + tag + "_" + std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os << bytes;
+}
+
+int run_cli(const std::vector<std::string>& args, std::string* out) {
+  std::ostringstream os;
+  const int rc = cli::run_command(args, os);
+  *out = os.str();
+  return rc;
+}
+
+/// The small-but-real campaign every durability test runs: a handful of
+/// simulator runs, a second or so end to end.
+std::vector<std::string> collect_argv(const std::string& out) {
+  return {"collect",        "swim", "--out=" + out, "--size=2xL2",
+          "--max-procs=4", "--iters=2"};
+}
+
+ExperimentRunner small_runner() {
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  return runner;
+}
+
+// ---- The headline: SIGKILL at seeded points, resume, byte-identity ------
+
+TEST(CrashRecovery, SigkillAtSeededPointsThenResumeIsByteIdentical) {
+  const std::string ref = tmp_path("ref");
+  std::string out;
+  ASSERT_EQ(run_cli(collect_argv(ref), &out), 0) << out;
+  const std::string ref_bytes = read_file(ref);
+  ASSERT_FALSE(ref_bytes.empty());
+  // A clean collect leaves no journal behind.
+  EXPECT_FALSE(std::filesystem::exists(journal_path_for(ref)));
+
+  for (const int crash_at : {1, 2, 3}) {
+    SCOPED_TRACE("crash=" + std::to_string(crash_at));
+    const std::string victim = tmp_path("k" + std::to_string(crash_at));
+    std::vector<std::string> argv = collect_argv(victim);
+    argv.push_back("--faults=crash=" + std::to_string(crash_at));
+    const ChildResult child = run_cli_in_child(argv);
+    ASSERT_TRUE(child.signaled());
+    ASSERT_EQ(child.term_signal(), SIGKILL);
+    EXPECT_FALSE(std::filesystem::exists(victim));  // never published
+    ASSERT_TRUE(std::filesystem::exists(journal_path_for(victim)));
+
+    // The journal holds exactly the crash_at runs completed before the
+    // kill — the crash fault fires only after the journal append.
+    const JournalReplay replay = replay_journal(journal_path_for(victim));
+    EXPECT_EQ(replay.runs.size(), static_cast<std::size_t>(crash_at));
+    EXPECT_FALSE(replay.committed);
+
+    std::vector<std::string> resume = collect_argv(victim);
+    resume.push_back("--resume");
+    ASSERT_EQ(run_cli(resume, &out), 0) << out;
+    EXPECT_NE(out.find("journal: replayed " + std::to_string(crash_at) +
+                       " of "),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(read_file(victim), ref_bytes);
+    EXPECT_FALSE(std::filesystem::exists(journal_path_for(victim)));
+    std::remove(victim.c_str());
+  }
+  std::remove(ref.c_str());
+}
+
+// ---- Replay counters: the journaled prefix is never re-simulated --------
+
+TEST(CrashRecovery, ResumeSimulatesOnlyTheMissingTail) {
+  const std::string journal = tmp_path("tail") + ".journal";
+  const std::string first_out = tmp_path("tail_a");
+  const std::string second_out = tmp_path("tail_b");
+  const ExperimentRunner runner = small_runner();
+  const std::size_t s0 = 2 * runner.base_config().l2.size_bytes;
+  const std::vector<int> counts = {1, 2, 4};
+
+  CampaignOptions full;
+  full.journal_path = journal;
+  CampaignEngine first(runner, full);
+  save_inputs(first.collect("swim", s0, counts), first_out);
+  const std::size_t total = first.stats().jobs_total;
+  ASSERT_GE(total, 4u);
+
+  // Amputate the last two completed runs, as if the crash had hit two run
+  // boundaries earlier.
+  std::istringstream lines(read_file(journal));
+  std::vector<std::string> kept;
+  for (std::string line; std::getline(lines, line);) kept.push_back(line);
+  std::string truncated;
+  for (std::size_t i = 0; i + 2 < kept.size(); ++i)
+    truncated += kept[i] + "\n";
+  write_file(journal, truncated);
+
+  CampaignOptions resume;
+  resume.journal_path = journal;
+  resume.resume = true;
+  CampaignEngine second(runner, resume);
+  save_inputs(second.collect("swim", s0, counts), second_out);
+  EXPECT_EQ(second.stats().jobs_replayed, total - 2);
+  EXPECT_EQ(second.stats().jobs_run, 2u);
+  EXPECT_EQ(read_file(second_out), read_file(first_out));
+
+  std::remove(journal.c_str());
+  std::remove(first_out.c_str());
+  std::remove(second_out.c_str());
+}
+
+TEST(CrashRecovery, FullJournalReplaysWithZeroSimulatorRuns) {
+  const std::string journal = tmp_path("zero") + ".journal";
+  const ExperimentRunner runner = small_runner();
+  const std::size_t s0 = 2 * runner.base_config().l2.size_bytes;
+  const std::vector<int> counts = {1, 2};
+
+  CampaignOptions full;
+  full.journal_path = journal;
+  CampaignEngine first(runner, full);
+  first.collect("swim", s0, counts);
+  const std::size_t total = first.stats().jobs_total;
+
+  CampaignOptions resume = full;
+  resume.resume = true;
+  CampaignEngine second(runner, resume);
+  second.collect("swim", s0, counts);
+  EXPECT_EQ(second.stats().jobs_replayed, total);
+  EXPECT_EQ(second.stats().jobs_run, 0u);
+  std::remove(journal.c_str());
+}
+
+TEST(CrashRecovery, ResumeRejectsAJournalForADifferentMatrix) {
+  const std::string journal = tmp_path("mismatch") + ".journal";
+  const ExperimentRunner runner = small_runner();
+  const std::size_t s0 = 2 * runner.base_config().l2.size_bytes;
+  const std::vector<int> counts = {1, 2};
+
+  CampaignOptions full;
+  full.journal_path = journal;
+  CampaignEngine first(runner, full);
+  first.collect("swim", s0, counts);
+
+  CampaignOptions resume = full;
+  resume.resume = true;
+  CampaignEngine second(runner, resume);
+  EXPECT_THROW(second.collect("fft_kernel", s0, counts), CheckError);
+  std::remove(journal.c_str());
+}
+
+// ---- Hostile journals: longest valid prefix or a named error ------------
+
+class HostileJournal : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    journal_ = tmp_path("hostile") + ".journal";
+    const ExperimentRunner runner = small_runner();
+    CampaignOptions options;
+    options.journal_path = journal_;
+    CampaignEngine engine(runner, options);
+    engine.collect("swim", 2 * runner.base_config().l2.size_bytes,
+                   std::vector<int>{1, 2});
+    total_ = engine.stats().jobs_total;
+    pristine_ = read_file(journal_);
+    ASSERT_FALSE(pristine_.empty());
+  }
+
+  void TearDown() override { std::remove(journal_.c_str()); }
+
+  std::vector<std::string> lines() const {
+    std::istringstream is(pristine_);
+    std::vector<std::string> out;
+    for (std::string line; std::getline(is, line);) out.push_back(line);
+    return out;
+  }
+
+  std::string journal_;
+  std::string pristine_;
+  std::size_t total_ = 0;
+};
+
+TEST_F(HostileJournal, TruncatedTailKeepsTheLongestValidPrefix) {
+  write_file(journal_, pristine_.substr(0, pristine_.size() - 7));
+  const JournalReplay replay = replay_journal(journal_);
+  EXPECT_EQ(replay.runs.size(), total_ - 1);  // only the torn record lost
+  EXPECT_GE(replay.records_dropped, 1u);
+  EXPECT_LT(replay.valid_prefix_bytes, pristine_.size());
+}
+
+TEST_F(HostileJournal, BitFlipStopsReplayAtTheDamagedRecord) {
+  std::vector<std::string> all = lines();
+  ASSERT_GE(all.size(), 4u);
+  // Damage the payload of the third-from-last record; its CRC no longer
+  // matches, so it and everything after it are dropped.
+  std::string& victim = all[all.size() - 3];
+  victim[victim.size() / 2] ^= 0x01;
+  std::string mutated;
+  for (const std::string& line : all) mutated += line + "\n";
+  write_file(journal_, mutated);
+  const JournalReplay replay = replay_journal(journal_);
+  EXPECT_EQ(replay.runs.size(), total_ - 3);
+  EXPECT_EQ(replay.records_dropped, 3u);
+}
+
+TEST_F(HostileJournal, DuplicatedRecordCountsOnceFirstWins) {
+  std::vector<std::string> all = lines();
+  write_file(journal_, pristine_ + all.back() + "\n");
+  const JournalReplay replay = replay_journal(journal_);
+  EXPECT_EQ(replay.runs.size(), total_);
+  EXPECT_EQ(replay.duplicates, 1u);
+  EXPECT_EQ(replay.records_dropped, 0u);
+}
+
+TEST_F(HostileJournal, UnsupportedVersionIsANamedError) {
+  std::vector<std::string> all = lines();
+  const std::string header = all.front();
+  const std::size_t bar = header.find('|');
+  const std::size_t bar2 = header.find('|', bar + 1);
+  std::string mutated = header.substr(0, bar + 1) + "99" +
+                        header.substr(bar2) + "\n";
+  for (std::size_t i = 1; i < all.size(); ++i) mutated += all[i] + "\n";
+  write_file(journal_, mutated);
+  try {
+    replay_journal(journal_);
+    FAIL() << "a future-version journal must not parse";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(HostileJournal, GarbageAndEmptyFilesAreNamedErrors) {
+  write_file(journal_, "definitely not a journal\nat all\n");
+  try {
+    replay_journal(journal_);
+    FAIL() << "garbage must not parse";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("not a scaltool journal"),
+              std::string::npos);
+  }
+  write_file(journal_, "");
+  EXPECT_THROW(replay_journal(journal_), CheckError);
+}
+
+// ---- The crash fault kind -----------------------------------------------
+
+TEST(CrashFault, ParsesDescribesAndValidates) {
+  const FaultPlan plan = FaultPlan::parse("crash=2");
+  EXPECT_EQ(plan.crash_at_run, 2);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_NE(plan.describe().find("crash=2"), std::string::npos);
+  EXPECT_THROW(FaultPlan::parse("crash=0"), CheckError);
+}
+
+// ---- Watchdog -----------------------------------------------------------
+
+TEST(Watchdog, CancelsStalledRunsAndQuarantinesThem) {
+  const ExperimentRunner runner = small_runner();
+  const std::size_t s0 = 2 * runner.base_config().l2.size_bytes;
+  CampaignOptions options;
+  // Every run stalls for a minute; the watchdog reclaims each attempt
+  // after 50 ms, so the whole matrix quarantines in well under a second
+  // per job instead of hanging for the better part of an hour.
+  options.faults = FaultPlan::parse("seed=3,stall=1,stall-ms=60000");
+  options.run_timeout_ms = 50;
+  options.keep_going = true;
+  CampaignEngine engine(runner, options);
+  const MatrixPlan plan =
+      runner.plan_matrix("swim", s0, std::vector<int>{1, 2});
+  const auto started = std::chrono::steady_clock::now();
+  engine.execute(plan);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  EXPECT_EQ(engine.stats().jobs_quarantined, plan.jobs.size());
+  EXPECT_EQ(engine.stats().watchdog_timeouts, plan.jobs.size());
+  EXPECT_LT(elapsed, 30.0);
+  ASSERT_FALSE(engine.quarantined().empty());
+  EXPECT_NE(engine.quarantined().front().error.find("watchdog"),
+            std::string::npos);
+}
+
+TEST(Watchdog, RejectsNegativeTimeout) {
+  const ExperimentRunner runner = small_runner();
+  CampaignOptions options;
+  options.run_timeout_ms = -1;
+  EXPECT_THROW(CampaignEngine(runner, options), CheckError);
+}
+
+// ---- SIGINT/SIGTERM: checkpoint and exit 6, then resume -----------------
+
+TEST(Interrupt, CollectCheckpointsExitsResumableAndResumes) {
+  install_interrupt_handlers();
+  const std::string ref = tmp_path("int_ref");
+  const std::string out_path = tmp_path("int");
+  std::string out;
+  ASSERT_EQ(run_cli(collect_argv(ref), &out), 0) << out;
+
+  reset_interrupted();
+  ::raise(SIGINT);  // first signal: flag only, polled by the campaign
+  ASSERT_TRUE(interrupt_requested());
+  EXPECT_EQ(run_cli(collect_argv(out_path), &out), kExitInterrupted);
+  EXPECT_NE(out.find("--resume"), std::string::npos) << out;
+  EXPECT_FALSE(std::filesystem::exists(out_path));
+  EXPECT_TRUE(std::filesystem::exists(journal_path_for(out_path)));
+  reset_interrupted();
+
+  std::vector<std::string> resume = collect_argv(out_path);
+  resume.push_back("--resume");
+  ASSERT_EQ(run_cli(resume, &out), 0) << out;
+  EXPECT_EQ(read_file(out_path), read_file(ref));
+  EXPECT_FALSE(std::filesystem::exists(journal_path_for(out_path)));
+  std::remove(ref.c_str());
+  std::remove(out_path.c_str());
+}
+
+// ---- Orphan temp sweeping -----------------------------------------------
+
+TEST(OrphanReap, SweepsTempsOfDeadProcessesOnly) {
+  const std::string base = tmp_path("reap");
+  write_file(base, "published artifact\n");
+
+  // Manufacture a pid that demonstrably belonged to a dead process.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  const std::string dead_tmp = base + ".tmp." + std::to_string(child);
+  const std::string dead_stage = base + ".stage." + std::to_string(child);
+  const std::string live_tmp = base + ".tmp." + std::to_string(::getpid());
+  const std::string odd_tmp = base + ".tmp.notapid";
+  for (const std::string& p : {dead_tmp, dead_stage, live_tmp, odd_tmp})
+    write_file(p, "debris");
+
+  EXPECT_EQ(reap_orphan_temps(base), 2u);
+  EXPECT_FALSE(std::filesystem::exists(dead_tmp));
+  EXPECT_FALSE(std::filesystem::exists(dead_stage));
+  EXPECT_TRUE(std::filesystem::exists(live_tmp));   // owner still alive
+  EXPECT_TRUE(std::filesystem::exists(odd_tmp));    // not ours to judge
+  EXPECT_TRUE(std::filesystem::exists(base));       // never the artifact
+  for (const std::string& p : {base, live_tmp, odd_tmp})
+    std::remove(p.c_str());
+}
+
+// ---- Two-phase archive commit -------------------------------------------
+
+TEST(TwoPhaseCommit, PublishesAtomicallyAndMarksTheJournal) {
+  const std::string archive = tmp_path("commit");
+  const std::string journal = journal_path_for(archive);
+  const ExperimentRunner runner = small_runner();
+  const std::size_t s0 = 2 * runner.base_config().l2.size_bytes;
+  const std::vector<int> counts = {1, 2};
+  const ScalToolInputs inputs = runner.collect("swim", s0, counts);
+
+  const MatrixPlan plan = runner.plan_matrix("swim", s0, counts);
+  JournalWriter writer(journal, /*append=*/false);
+  writer.begin(matrix_signature(plan, runner.base_config(),
+                                runner.iterations),
+               plan);
+  commit_archive(inputs, archive, &writer);
+  EXPECT_TRUE(std::filesystem::exists(archive));
+  // No stage file survives publication.
+  EXPECT_FALSE(
+      std::filesystem::exists(stage_path_for(archive)));
+
+  const JournalReplay replay = replay_journal(journal);
+  EXPECT_TRUE(replay.committed);
+  EXPECT_EQ(replay.archive_path, archive);
+  const std::string bytes = read_file(archive);
+  EXPECT_EQ(replay.archive_bytes, bytes.size());
+  EXPECT_EQ(replay.archive_crc, crc32(bytes));
+  std::remove(archive.c_str());
+  std::remove(journal.c_str());
+}
+
+// ---- The self-healing request client ------------------------------------
+
+TEST(ResilientClient, RedialsUntilTheServerAppears) {
+  const std::string sock = tmp_path("redial") + ".sock";
+  std::atomic<bool> done{false};
+  std::thread late_server([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    serve::AnalysisService service;
+    serve::SocketServer server(service, sock);
+    while (!done.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.stop();
+    service.shutdown();
+  });
+
+  serve::Request ping;
+  ping.op = "ping";
+  serve::RetryPolicy policy;
+  policy.retries = 30;
+  policy.backoff_ms = 20;
+  policy.seed = 7;
+  const serve::Response response =
+      serve::socket_call_resilient(sock, ping, policy);
+  EXPECT_EQ(response.status, serve::Status::kOk);
+  EXPECT_EQ(response.output, "pong\n");
+  done = true;
+  late_server.join();
+}
+
+TEST(ResilientClient, GivesUpOncePolicyIsExhausted) {
+  serve::Request ping;
+  ping.op = "ping";
+  serve::RetryPolicy policy;
+  policy.retries = 1;
+  policy.backoff_ms = 1;
+  EXPECT_THROW(serve::socket_call_resilient(
+                   tmp_path("absent") + ".sock", ping, policy),
+               CheckError);
+}
+
+// ---- The health verb ----------------------------------------------------
+
+TEST(Health, ReportsUptimeQueueAndJournalLag) {
+  serve::AnalysisService service;
+  serve::Request req;
+  req.op = "health";
+  const serve::Response response = service.call(std::move(req));
+  EXPECT_EQ(response.status, serve::Status::kOk);
+  const std::string& json = response.stats_json;
+  for (const char* field :
+       {"\"status\":\"ok\"", "\"uptime_seconds\":", "\"workers\":",
+        "\"queue_depth\":", "\"queue_capacity\":", "\"in_flight\":",
+        "\"journal_lag\":0"})
+    EXPECT_NE(json.find(field), std::string::npos) << json;
+  service.shutdown();
+}
+
+TEST(Health, IsServableThroughTheRequestClient) {
+  std::string out;
+  EXPECT_EQ(run_cli({"request", "health"}, &out), 0);
+  EXPECT_NE(out.find("\"journal_lag\":"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace scaltool
