@@ -11,7 +11,21 @@
 // throughput and p50/p99 latency per mode, the batched/unbatched
 // throughput ratio (the acceptance bar is >= 2x at 8 clients), and the
 // overload phase's shed count with the p99 of the requests that did run.
+//
+// The fleet phase compares the same closed-loop mix against one in-process
+// service, a 1-shard fleet (the routing overhead bill: AF_UNIX hop + JSON
+// + ring lookup, acceptance <= 5%) and a 4-shard fleet (acceptance >= 2x
+// the single service — hard-gated only when the host actually has >= 4
+// hardware threads; on smaller hosts the processes time-slice one core and
+// the ratio is reported as a warning instead). A final phase SIGKILLs one
+// worker mid-run: every request must still complete via ring failover, and
+// the p99 across the restart window is reported.
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <iostream>
 #include <mutex>
@@ -22,6 +36,7 @@
 #include "common.hpp"
 #include "common/monotime.hpp"
 #include "common/table.hpp"
+#include "serve/fleet/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 
@@ -115,6 +130,166 @@ void report(const char* mode, const LoadResult& r, Table* table) {
             << "}\n";
 }
 
+double throughput_of(const LoadResult& r) {
+  return r.wall_seconds > 0.0
+             ? static_cast<double>(r.completed) / r.wall_seconds
+             : 0.0;
+}
+
+/// Closed loop through the fleet front door; optionally SIGKILLs one
+/// worker once a third of the offered load has completed.
+LoadResult drive_fleet(serve::FleetOptions options, int clients,
+                       int requests_per_client, bool kill_one_worker) {
+  serve::Fleet fleet(std::move(options));
+  fleet.supervisor().wait_ready(30000);
+  std::mutex mu;
+  LoadResult result;
+  std::atomic<int> completed{0};
+  std::atomic<bool> drained{false};
+  const int offered = clients * requests_per_client;
+  std::thread chaos;
+  if (kill_one_worker) {
+    chaos = std::thread([&fleet, &completed, &drained, offered] {
+      while (completed.load() < offered / 3 && !drained.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const pid_t victim = fleet.supervisor().pid_of(0);
+      if (victim > 0) ::kill(victim, SIGKILL);
+    });
+  }
+  const Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Stopwatch timer;
+        const serve::Response r =
+            fleet.call(whatif_request(c * requests_per_client + i));
+        const double seconds = timer.seconds();
+        completed.fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        if (r.exit_code == 0) {
+          ++result.completed;
+          result.latencies.push_back(seconds);
+        } else {
+          ++result.shed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds = wall.seconds();
+  drained = true;
+  if (chaos.joinable()) chaos.join();
+  fleet.stop();
+  return result;
+}
+
+void report_fleet(const char* mode, const LoadResult& r, Table* table) {
+  table->add_row({mode, Table::cell(static_cast<double>(r.completed)),
+                  Table::cell(static_cast<double>(r.shed)),
+                  Table::cell(throughput_of(r)),
+                  Table::cell(percentile(r.latencies, 0.50), 3),
+                  Table::cell(percentile(r.latencies, 0.99), 3)});
+  std::cout << "{\"bench\":\"serve_fleet\",\"mode\":\"" << mode
+            << "\",\"completed\":" << r.completed
+            << ",\"failed\":" << r.shed
+            << ",\"throughput_rps\":" << throughput_of(r)
+            << ",\"p50_s\":" << percentile(r.latencies, 0.50)
+            << ",\"p99_s\":" << percentile(r.latencies, 0.99) << "}\n";
+}
+
+int fleet_phase() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "\n# serve fleet: one service vs 1- and 4-shard fleets ("
+            << cores << " hardware threads), then a kill-a-shard phase\n";
+
+  serve::ServiceOptions worker;
+  worker.workers = 2;
+  worker.engine_jobs = 1;
+  worker.max_queue = 64;
+  worker.result_cache_entries = 0;
+  const auto fleet_options = [&worker](int shards, const std::string& tag) {
+    serve::FleetOptions options;
+    options.supervisor.shards = shards;
+    options.supervisor.socket_dir =
+        "/tmp/scaltool_bench_fleet_" + tag + "_" + std::to_string(::getpid());
+    ::mkdir(options.supervisor.socket_dir.c_str(), 0777);
+    options.supervisor.worker = worker;
+    return options;
+  };
+
+  Table table("Fleet under load");
+  table.header({"mode", "completed", "failed", "rps", "p50_s", "p99_s"});
+
+  const LoadResult single = drive(worker, kClients, kRequestsPerClient);
+  report_fleet("single", single, &table);
+  const LoadResult one_shard =
+      drive_fleet(fleet_options(1, "one"), kClients, kRequestsPerClient,
+                  /*kill_one_worker=*/false);
+  report_fleet("fleet-1", one_shard, &table);
+  const LoadResult four_shards =
+      drive_fleet(fleet_options(4, "four"), kClients, kRequestsPerClient,
+                  /*kill_one_worker=*/false);
+  report_fleet("fleet-4", four_shards, &table);
+  const LoadResult drill =
+      drive_fleet(fleet_options(4, "drill"), kClients, kRequestsPerClient,
+                  /*kill_one_worker=*/true);
+  report_fleet("fleet-4-kill", drill, &table);
+  table.print(std::cout, /*with_csv=*/true);
+
+  const double overhead =
+      throughput_of(single) > 0.0
+          ? 1.0 - throughput_of(one_shard) / throughput_of(single)
+          : 0.0;
+  const double speedup = throughput_of(single) > 0.0
+                             ? throughput_of(four_shards) /
+                                   throughput_of(single)
+                             : 0.0;
+  const double p99_kill_over_steady =
+      percentile(four_shards.latencies, 0.99) > 0.0
+          ? percentile(drill.latencies, 0.99) /
+                percentile(four_shards.latencies, 0.99)
+          : 0.0;
+  std::cout << "{\"bench\":\"serve_fleet_summary\",\"router_overhead\":"
+            << overhead << ",\"fleet4_over_single\":" << speedup
+            << ",\"kill_p99_over_steady_p99\":" << p99_kill_over_steady
+            << ",\"hw_threads\":" << cores << "}\n";
+  std::cout << "fleet-4 speedup over single: " << speedup
+            << "x (acceptance bar: >= 2x on hosts with >= 4 hardware "
+               "threads); 1-shard routing overhead: "
+            << overhead * 100.0 << "% (bar: <= 5%)\n";
+
+  int rc = 0;
+  // Every request must survive the kill — failover is correctness, so
+  // this gate holds regardless of host size.
+  if (drill.completed != kClients * kRequestsPerClient) {
+    std::cout << "FAIL: " << drill.shed
+              << " requests lost across the worker kill\n";
+    rc = 1;
+  }
+  // The scaling and overhead bars are meaningful only when the shards can
+  // actually run in parallel; on smaller hosts they degrade to warnings.
+  if (cores >= 4) {
+    if (speedup < 2.0) {
+      std::cout << "FAIL: 4-shard fleet below the 2x bar\n";
+      rc = 1;
+    }
+    if (overhead > 0.05) {
+      std::cout << "FAIL: 1-shard routing overhead above the 5% bar\n";
+      rc = 1;
+    }
+  } else {
+    if (speedup < 2.0)
+      std::cout << "WARNING: 4-shard speedup " << speedup << "x below 2x ("
+                << cores << " hardware threads: shards time-slice)\n";
+    if (overhead > 0.05)
+      std::cout << "WARNING: routing overhead " << overhead * 100.0
+                << "% above 5% (timing noise on a small host)\n";
+  }
+  return rc;
+}
+
 int run() {
   std::cout << "# serve load: " << kClients << " closed-loop clients x "
             << kRequestsPerClient
@@ -177,11 +352,13 @@ int run() {
             << "}\n";
   std::cout << "batching speedup at " << kClients << " clients: " << ratio
             << "x (acceptance bar: >= 2x)\n";
+  int rc = 0;
   if (ratio < 2.0) {
     std::cout << "WARNING: batched throughput below the 2x bar\n";
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (fleet_phase() != 0) rc = 1;
+  return rc;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -19,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 #include "serve/exec.hpp"
+#include "serve/fleet/fleet.hpp"
 #include "serve/service.hpp"
 #include "serve/transport.hpp"
 #include "tools/perfex.hpp"
@@ -32,7 +34,7 @@ namespace scaltool::cli {
 namespace {
 
 /// Reported by --version; bump alongside the project() version.
-constexpr const char* kVersion = "0.5.0";
+constexpr const char* kVersion = "0.6.0";
 
 int cmd_list(std::ostream& os) {
   register_standard_workloads();
@@ -172,6 +174,69 @@ int cmd_serve(const Args& args, std::ostream& os) {
   return interrupt_requested() ? kExitInterrupted : 0;
 }
 
+int cmd_fleet(const Args& args, std::ostream& os) {
+  serve::FleetOptions options;
+  const std::string socket = args.get("socket", "");
+  ST_CHECK_MSG(!socket.empty(),
+               "usage: scaltool fleet --socket=PATH [--shards=N ...]");
+  options.supervisor.shards = args.get_int("shards", 4);
+  options.supervisor.socket_dir = args.get("socket-dir", socket + ".shards");
+  // Worker service knobs: the same vocabulary as `scaltool serve`, applied
+  // to every shard.
+  options.supervisor.worker.workers =
+      args.get_int("workers", options.supervisor.worker.workers);
+  options.supervisor.worker.engine_jobs =
+      args.get_int("jobs", options.supervisor.worker.engine_jobs);
+  options.supervisor.worker.max_queue =
+      static_cast<std::size_t>(args.get_int("queue", 64));
+  options.supervisor.worker.result_cache_entries =
+      static_cast<std::size_t>(args.get_int("result-cache", 256));
+  options.supervisor.worker.batching = !args.has("no-batch");
+  options.supervisor.worker.run_cache_path = args.get("cache", "");
+  options.supervisor.worker.retries = args.get_int("retries", 0);
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty())
+    options.supervisor.worker.faults = FaultPlan::parse(faults);
+  // Self-healing knobs.
+  options.supervisor.restart.backoff_ms =
+      args.get_int("restart-backoff-ms",
+                   options.supervisor.restart.backoff_ms);
+  options.supervisor.restart.max_deaths =
+      args.get_int("max-deaths", options.supervisor.restart.max_deaths);
+  options.supervisor.restart.window_ms =
+      args.get_int("death-window-ms", options.supervisor.restart.window_ms);
+  options.router.call_timeout_ms = args.get_int("call-timeout-ms", 0);
+  options.router.hedge_after_ms = args.get_int("hedge-ms", 0);
+  options.router.breaker.failure_threshold = args.get_int(
+      "breaker-failures", options.router.breaker.failure_threshold);
+  options.router.breaker.cooldown_ms =
+      args.get_int("breaker-cooldown-ms", options.router.breaker.cooldown_ms);
+  serve::warn_unused(args, os);
+
+  ::mkdir(options.supervisor.socket_dir.c_str(), 0777);  // EEXIST is fine
+
+  serve::Fleet fleet(std::move(options));
+  fleet.supervisor().wait_ready(/*timeout_ms=*/15000);
+  serve::SocketServer server(
+      [&fleet](serve::Request request) {
+        return fleet.submit(std::move(request));
+      },
+      socket);
+  os << "scaltool fleet: " << fleet.supervisor().shards()
+     << " shards behind " << socket << " (EOF on stdin drains and stops)\n";
+  os.flush();
+  // Same lifetime discipline as `scaltool serve`: EOF or a signal drains.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server.stop();
+  const bool degraded = fleet.degraded();
+  fleet.stop();
+  os << "scaltool fleet: drained; stats " << fleet.stats_json() << "\n";
+  if (interrupt_requested()) return kExitInterrupted;
+  return degraded ? serve::kExitFleetDegraded : 0;
+}
+
 /// The request client works on the raw token list: everything that is not
 /// one of its own options is forwarded verbatim as the op and its
 /// arguments, so `scaltool request analyze swim --size=2xL2` never
@@ -300,6 +365,17 @@ void print_help(std::ostream& os) {
         "                               §10); EOF on stdin drains and stops\n"
         "      [--workers=N --jobs=N --queue=N --result-cache=N --no-batch\n"
         "       --cache=FILE --retries=N --faults=SPEC]\n"
+        "  fleet --socket=PATH          self-healing serve fleet: N worker\n"
+        "                               shard processes behind one front\n"
+        "                               socket (DESIGN.md §12) — requests\n"
+        "                               are consistent-hash routed, dead\n"
+        "                               shards restart with backoff (crash\n"
+        "                               loops are benched), in-flight\n"
+        "                               collects fail over via the journal\n"
+        "      [--shards=N --socket-dir=DIR --restart-backoff-ms=M\n"
+        "       --max-deaths=K --death-window-ms=W --breaker-failures=N\n"
+        "       --breaker-cooldown-ms=M --call-timeout-ms=T --hedge-ms=H\n"
+        "       + the serve worker options above]\n"
         "  request [--socket=PATH] <op> [op options]\n"
         "                               send one request (analyze, whatif,\n"
         "                               collect, stats, health, ping) to a\n"
@@ -375,6 +451,9 @@ void print_help(std::ostream& os) {
         "  5  deadline exceeded before the request finished\n"
         "  6  interrupted (SIGINT/SIGTERM), resumable: completed runs are\n"
         "     checkpointed in the journal — rerun with --resume\n"
+        "  7  fleet degraded: the fleet served and drained, but a crash-\n"
+        "     looping shard was benched along the way (`scaltool fleet`\n"
+        "     and its health verb only)\n"
         "\n"
         "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n"
         "`scaltool --version` prints the version.\n";
@@ -406,6 +485,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     if (command == "record") return cmd_record(args, os);
     if (command == "replay") return cmd_replay(args, os);
     if (command == "serve") return cmd_serve(args, os);
+    if (command == "fleet") return cmd_fleet(args, os);
     os << "unknown command: " << command << "\n\n";
     print_help(os);
     return 2;

@@ -1,0 +1,108 @@
+#include "common/subprocess.hpp"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+bool ChildExit::exited() const { return WIFEXITED(status); }
+
+int ChildExit::exit_code() const { return WEXITSTATUS(status); }
+
+bool ChildExit::signaled() const { return WIFSIGNALED(status); }
+
+int ChildExit::term_signal() const { return WTERMSIG(status); }
+
+void close_other_fds(const std::vector<int>& keep) {
+  // /proc/self/fd is the portable-enough Linux way to enumerate without
+  // guessing at RLIMIT_NOFILE; skip the directory's own descriptor.
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return;  // nothing we can do; better to run than die
+  const int dir_fd = ::dirfd(dir);
+  std::vector<int> victims;
+  while (dirent* entry = ::readdir(dir)) {
+    char* end = nullptr;
+    const long fd = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0') continue;  // "." and ".."
+    if (fd <= 2 || fd == dir_fd) continue;
+    if (std::find(keep.begin(), keep.end(), static_cast<int>(fd)) !=
+        keep.end())
+      continue;
+    victims.push_back(static_cast<int>(fd));
+  }
+  ::closedir(dir);
+  for (const int fd : victims) ::close(fd);
+}
+
+pid_t spawn_child(const std::function<int()>& entry,
+                  const std::vector<int>& keep) {
+  const pid_t pid = ::fork();
+  ST_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    close_other_fds(keep);
+    int rc = 125;
+    try {
+      rc = entry();
+    } catch (...) {
+    }
+    ::_exit(rc);
+  }
+  return pid;
+}
+
+std::optional<ChildExit> try_reap(pid_t pid) {
+  ChildExit result;
+  const pid_t got = ::waitpid(pid, &result.status, WNOHANG);
+  if (got == 0) return std::nullopt;  // still running
+  ST_CHECK_MSG(got == pid, "waitpid(" << pid
+                                      << ") failed: " << std::strerror(errno));
+  return result;
+}
+
+ChildExit reap(pid_t pid) {
+  ChildExit result;
+  ST_CHECK_MSG(::waitpid(pid, &result.status, 0) == pid,
+               "waitpid(" << pid << ") failed: " << std::strerror(errno));
+  return result;
+}
+
+namespace {
+
+std::optional<ChildExit> poll_reap(pid_t pid, int budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  for (;;) {
+    if (std::optional<ChildExit> done = try_reap(pid)) return done;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace
+
+ChildExit reap_with_deadline(pid_t pid, int grace_ms, int term_ms) {
+  if (std::optional<ChildExit> done = poll_reap(pid, grace_ms)) return *done;
+  ::kill(pid, SIGTERM);
+  if (std::optional<ChildExit> done = poll_reap(pid, term_ms)) return *done;
+  ::kill(pid, SIGKILL);
+  return reap(pid);
+}
+
+bool pid_alive(pid_t pid) {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+}  // namespace scaltool

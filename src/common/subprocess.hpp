@@ -1,0 +1,63 @@
+// Process supervision utilities (DESIGN.md §12).
+//
+// The serve fleet runs its worker shards as real processes — a SIGKILL on
+// one must not take the front door with it — so somebody has to own the
+// fork/reap mechanics. This module is that somebody: spawn_child() forks
+// and runs a function in a child whose descriptor table is scrubbed down
+// to an explicit keep-list (a forked worker must not hold the parent's
+// listening sockets or client connections open past the parent's death),
+// and the reap helpers wrap waitpid so supervisors can poll for deaths
+// without blocking, or wait with an escalation deadline.
+//
+// The child never returns into the caller's stack: it _exit()s with the
+// entry function's return value, so gtest listeners, atexit hooks and
+// stream buffers of the parent image stay untouched (the same discipline
+// as the crash harness in tests/).
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace scaltool {
+
+/// What wait(2) said about a reaped child.
+struct ChildExit {
+  int status = 0;  ///< raw waitpid status
+
+  bool exited() const;
+  int exit_code() const;  ///< meaningful only when exited()
+  bool signaled() const;
+  int term_signal() const;  ///< meaningful only when signaled()
+};
+
+/// Closes every open descriptor except 0/1/2 and `keep`. Never throws —
+/// it runs on the child side of fork(), where unwinding is not an option.
+void close_other_fds(const std::vector<int>& keep);
+
+/// fork()s; the child scrubs its descriptors (close_other_fds with `keep`),
+/// runs `entry`, and _exit()s with its return value (125 if `entry` lets
+/// an exception escape). Returns the child pid to the parent. Throws
+/// CheckError only when fork itself fails.
+pid_t spawn_child(const std::function<int()>& entry,
+                  const std::vector<int>& keep = {});
+
+/// Non-blocking reap: nullopt while `pid` still runs, the exit status once
+/// it is collected. CheckError when `pid` is not a child of this process.
+std::optional<ChildExit> try_reap(pid_t pid);
+
+/// Blocking reap.
+ChildExit reap(pid_t pid);
+
+/// Reap with an escalation deadline: polls for `grace_ms`, then SIGTERM
+/// and polls `term_ms` more, then SIGKILL (which cannot be ignored) and a
+/// final blocking reap. The supervisor's stop path: a draining worker gets
+/// time to checkpoint, a wedged one still dies.
+ChildExit reap_with_deadline(pid_t pid, int grace_ms, int term_ms);
+
+/// True while `pid` names a live process (kill(pid, 0) semantics).
+bool pid_alive(pid_t pid);
+
+}  // namespace scaltool

@@ -1,7 +1,10 @@
 #include "engine/run_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -148,13 +151,10 @@ void RunCache::insert(std::uint64_t key, const RunSpec& spec,
   entries_[key] = Entry{spec, outcome, has_validation};
 }
 
-void RunCache::load() {
-  if (path_.empty()) return;
-  obs::Span span("cache.open", "cache");
-  // A writer that died mid-save left a pid-suffixed temp next to the
-  // cache; sweep the debris of dead processes before reading.
-  reap_orphan_temps(path_);
-  std::ifstream is(path_);
+void RunCache::merge_from_disk(const std::string& path,
+                               std::map<std::uint64_t, Entry>& into,
+                               std::size_t* loaded, std::size_t* corrupt) {
+  std::ifstream is(path);
   if (!is.good()) return;  // no cache yet: start cold
 
   std::vector<std::string> lines;
@@ -166,7 +166,7 @@ void RunCache::load() {
     const auto header = split_record(lines.front());
     if (header.size() != 2 || header[0] != kMagic ||
         header[1] != std::to_string(kVersion)) {
-      corrupt_ = 1;  // unknown file: ignore wholesale, campaign re-runs
+      if (corrupt) *corrupt += 1;  // unknown file: ignore wholesale
       return;
     }
   }
@@ -202,14 +202,23 @@ void RunCache::load() {
         e.outcome.validation = parse_validation_record(valid_fields);
         consumed = 3;
       }
-      entries_[key] = std::move(e);
-      ++loaded_;
+      into[key] = std::move(e);
+      if (loaded) *loaded += 1;
       i += consumed;
     } catch (const std::exception&) {
-      ++corrupt_;  // skip this entry; the campaign re-runs the job
+      if (corrupt) *corrupt += 1;  // skip; the campaign re-runs the job
       ++i;
     }
   }
+}
+
+void RunCache::load() {
+  if (path_.empty()) return;
+  obs::Span span("cache.open", "cache");
+  // A writer that died mid-save left a pid-suffixed temp next to the
+  // cache; sweep the debris of dead processes before reading.
+  reap_orphan_temps(path_);
+  merge_from_disk(path_, entries_, &loaded_, &corrupt_);
   span.arg("loaded", loaded_).arg("corrupt", corrupt_);
   obs::MetricRegistry& reg = obs::MetricRegistry::instance();
   reg.counter("cache.entries_loaded").add(loaded_);
@@ -218,11 +227,57 @@ void RunCache::load() {
   reg.counter("cache.recovery_events").add(corrupt_);
 }
 
+namespace {
+
+/// Advisory exclusive lock on a side file, held for a save's read-merge-
+/// rename span. Best effort: an unwritable lock file (read-only mount)
+/// degrades to the old unlocked behaviour instead of failing the save.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
 void RunCache::save() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (path_.empty()) return;
   obs::Span span("cache.save", "cache");
-  span.arg("entries", entries_.size());
+  // Writer exclusion across processes: the fleet's worker shards share
+  // one cache file, and two draining shards save at the same moment.
+  // Under the lock, union the current on-disk entries with ours (memory
+  // wins per key — our copy is at least as fresh for keys we hold), so
+  // the last writer extends the first one's work instead of erasing it.
+  FileLock file_lock(path_ + ".lock");
+  std::map<std::uint64_t, Entry> merged;
+  merge_from_disk(path_, merged, nullptr, nullptr);
+  std::size_t adopted = 0;
+  for (const auto& [key, e] : merged)
+    if (entries_.find(key) == entries_.end()) ++adopted;
+  for (const auto& [key, e] : entries_) merged[key] = e;
+  span.arg("entries", merged.size()).arg("adopted", adopted);
   // The temp name is unique per process so concurrent campaigns sharing a
   // cache file never interleave writes into the same temp; whichever
   // rename() lands last wins atomically, and a crash mid-write leaves the
@@ -233,7 +288,7 @@ void RunCache::save() const {
       std::ofstream os(tmp);
       ST_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
       os << kMagic << '|' << kVersion << '\n';
-      for (const auto& [key, e] : entries_) {
+      for (const auto& [key, e] : merged) {
         os << "ENTRY|" << std::hex << key << std::dec << '|'
            << e.spec.workload << '|' << e.spec.dataset_bytes << '|'
            << e.spec.num_procs << '|' << (e.has_validation ? 1 : 0) << '\n';

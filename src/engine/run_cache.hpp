@@ -75,7 +75,10 @@ class RunCache {
               const JobOutcome& outcome, bool has_validation = true);
 
   /// Rewrites the backing file (no-op without a path). Writes a temp file
-  /// first so a crash never leaves a half-written cache behind.
+  /// first so a crash never leaves a half-written cache behind, and runs
+  /// under an advisory flock on `<path>.lock` with a merge of the current
+  /// on-disk entries, so concurrent processes sharing one cache file
+  /// union their work instead of the last writer erasing the first's.
   void save() const;
 
  private:
@@ -84,6 +87,12 @@ class RunCache {
     JobOutcome outcome;
     bool has_validation = false;
   };
+
+  /// Tolerant parse of `path` into `into` (existing keys overwritten).
+  /// `loaded`/`corrupt` tally per-entry outcomes when non-null.
+  static void merge_from_disk(const std::string& path,
+                              std::map<std::uint64_t, Entry>& into,
+                              std::size_t* loaded, std::size_t* corrupt);
 
   void load();
 

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -74,6 +76,15 @@ void Histogram::reset() {
 
 MetricRegistry& MetricRegistry::instance() {
   static MetricRegistry registry;
+  // The fleet supervisor forks worker processes from a threaded parent.
+  // If another thread held the registry mutex at fork() the child would
+  // inherit it locked and deadlock on its first metric; the classic
+  // atfork dance (lock across the fork, unlock on both sides) makes the
+  // registry fork-safe.
+  static const int atfork_rc = ::pthread_atfork(
+      [] { instance().mu_.lock(); }, [] { instance().mu_.unlock(); },
+      [] { instance().mu_.unlock(); });
+  (void)atfork_rc;
   return registry;
 }
 

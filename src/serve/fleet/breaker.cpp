@@ -1,0 +1,115 @@
+#include "serve/fleet/breaker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool::serve {
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Config{}) {}
+
+CircuitBreaker::CircuitBreaker(Config config, NowFn now)
+    : config_(config), now_(std::move(now)) {
+  ST_CHECK_MSG(config_.failure_threshold >= 1,
+               "breaker failure threshold must be >= 1");
+  ST_CHECK_MSG(config_.cooldown_ms >= 0, "breaker cooldown must be >= 0");
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto cooled =
+          opened_at_ + std::chrono::milliseconds(config_.cooldown_ms);
+      if (now_() < cooled) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;  // this caller is the probe
+      return true;
+    }
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failures_;
+  probe_in_flight_ = false;
+  // A half-open probe failing re-opens immediately; a closed breaker
+  // opens once the consecutive run reaches the threshold.
+  if (state_ == State::kHalfOpen ||
+      failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now_();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+const char* CircuitBreaker::state_name() const {
+  return breaker_state_name(state());
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+const char* breaker_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "closed";
+}
+
+RestartPolicy::RestartPolicy() : RestartPolicy(Config{}) {}
+
+RestartPolicy::RestartPolicy(Config config) : config_(config) {
+  ST_CHECK_MSG(config_.backoff_ms >= 0, "restart backoff must be >= 0");
+  ST_CHECK_MSG(config_.max_deaths >= 1, "max restarts must be >= 1");
+  ST_CHECK_MSG(config_.window_ms >= 1, "restart window must be >= 1 ms");
+}
+
+RestartPolicy::Decision RestartPolicy::on_death(MonoClock::TimePoint now) {
+  ++deaths_;
+  const auto window = std::chrono::milliseconds(config_.window_ms);
+  while (!recent_.empty() && now - recent_.front() > window)
+    recent_.pop_front();
+  recent_.push_back(now);
+
+  Decision decision;
+  if (recent_deaths() >= config_.max_deaths) {
+    decision.bench = true;
+    return decision;
+  }
+  // Death #1 in the burst waits backoff_ms, #2 waits 2x, ... clamped. The
+  // shift count is bounded by max_deaths, itself sane-small, but clamp
+  // anyway so a hostile config cannot reach UB territory.
+  const int exponent = std::min(recent_deaths() - 1, 20);
+  const std::int64_t wait =
+      std::min(static_cast<std::int64_t>(config_.backoff_ms) << exponent,
+               static_cast<std::int64_t>(config_.max_backoff_ms));
+  decision.restart_at = now + std::chrono::milliseconds(wait);
+  return decision;
+}
+
+void RestartPolicy::on_survived_window() { recent_.clear(); }
+
+}  // namespace scaltool::serve

@@ -1,0 +1,113 @@
+// Failure-containment state machines of the serve fleet (DESIGN.md §12).
+//
+// Two small, deterministic policies that the supervisor and router consult
+// so a sick shard degrades into slightly higher latency instead of
+// user-visible errors:
+//
+//   CircuitBreaker — per-shard, closed → open after N consecutive
+//   failures (transport errors or deadline overruns), open → half-open
+//   after a cooldown, half-open admits exactly one probe whose outcome
+//   decides between closed and open again. While open, the router walks
+//   past the shard on the ring, so clients never wait out a dead socket.
+//
+//   RestartPolicy — per-worker crash accounting: each death earns an
+//   exponentially backed-off restart, and K deaths inside a sliding
+//   window bench the worker outright (crash-loop quarantine) so a binary
+//   that dies on startup cannot hot-loop the supervisor.
+//
+// Both take an injectable time source; the robustness tests drive them
+// with a fake clock and pin every transition deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "common/monotime.hpp"
+
+namespace scaltool::serve {
+
+/// Injectable time source (tests substitute a fake).
+using NowFn = std::function<MonoClock::TimePoint()>;
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    /// Consecutive failures that trip the breaker open.
+    int failure_threshold = 3;
+    /// Open -> half-open after this long without traffic.
+    int cooldown_ms = 500;
+  };
+
+  CircuitBreaker();  ///< default Config, real clock
+  explicit CircuitBreaker(Config config, NowFn now = &MonoClock::now);
+
+  /// True when a request may be sent through: closed, or open whose
+  /// cooldown elapsed (transitions to half-open and claims the single
+  /// probe slot), or half-open with the probe slot free (claims it).
+  bool allow();
+
+  /// Outcome feedback for a request that allow() admitted.
+  void record_success();
+  void record_failure();
+
+  State state() const;
+  const char* state_name() const;
+  int consecutive_failures() const;
+
+ private:
+  const Config config_;
+  const NowFn now_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int failures_ = 0;  ///< consecutive, reset by any success
+  bool probe_in_flight_ = false;
+  MonoClock::TimePoint opened_at_{};
+};
+
+/// Wire/health name of a breaker state ("closed", "open", "half_open").
+const char* breaker_state_name(CircuitBreaker::State state);
+
+class RestartPolicy {
+ public:
+  struct Config {
+    /// First restart waits this long; each further death in the current
+    /// burst doubles it (clamped to max_backoff_ms).
+    int backoff_ms = 50;
+    int max_backoff_ms = 5000;
+    /// K deaths within window_ms bench the worker.
+    int max_deaths = 3;
+    int window_ms = 10000;
+  };
+
+  RestartPolicy();  ///< default Config
+  explicit RestartPolicy(Config config);
+
+  struct Decision {
+    bool bench = false;  ///< crash loop: quarantine instead of restart
+    MonoClock::TimePoint restart_at{};  ///< meaningful when !bench
+  };
+
+  /// Records a death at `now` and decides: bench, or restart at a backed-
+  /// off time. Deterministic — same death times, same decisions.
+  Decision on_death(MonoClock::TimePoint now);
+
+  /// The worker survived a full window since its last (re)start: the
+  /// burst is over, so a future isolated crash starts from base backoff.
+  void on_survived_window();
+
+  /// Lifetime deaths recorded.
+  int deaths() const { return deaths_; }
+  /// Deaths inside the current window (the crash-loop counter).
+  int recent_deaths() const { return static_cast<int>(recent_.size()); }
+
+ private:
+  const Config config_;
+  std::deque<MonoClock::TimePoint> recent_;  ///< deaths inside the window
+  int deaths_ = 0;
+};
+
+}  // namespace scaltool::serve

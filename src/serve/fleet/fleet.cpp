@@ -1,0 +1,137 @@
+#include "serve/fleet/fleet.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+std::future<Response> ready(Response r) {
+  std::promise<Response> promise;
+  promise.set_value(std::move(r));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetOptions options)
+    : supervisor_(std::move(options.supervisor)),
+      router_(supervisor_, std::move(options.router)) {}
+
+Fleet::~Fleet() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+void Fleet::stop() { supervisor_.stop(); }
+
+bool Fleet::degraded() const { return supervisor_.benched_count() > 0; }
+
+std::future<Response> Fleet::submit(Request request) {
+  // Introspection is answered by the fleet itself: only the supervisor
+  // has the per-worker view, and these must keep working while every
+  // shard is down — that is exactly when the operator asks.
+  if (request.op == "ping") {
+    Response r;
+    r.id = request.id;
+    r.output = "pong\n";
+    return ready(std::move(r));
+  }
+  if (request.op == "health") {
+    Response r;
+    r.id = request.id;
+    r.stats_json = health_json();
+    if (degraded()) {
+      r.status = Status::kDegraded;
+      r.exit_code = kExitFleetDegraded;
+    }
+    return ready(std::move(r));
+  }
+  if (request.op == "stats") {
+    Response r;
+    r.id = request.id;
+    r.stats_json = stats_json();
+    return ready(std::move(r));
+  }
+  // Real work goes through the router on its own thread, so a pipelining
+  // front connection keeps submitting while campaigns run. Admission
+  // control stays where it was in PR 4: in each worker's bounded queue.
+  return std::async(std::launch::async,
+                    [this, request = std::move(request)]() mutable {
+                      return router_.route(request);
+                    });
+}
+
+Response Fleet::call(Request request) { return submit(std::move(request)).get(); }
+
+std::string Fleet::health_json() const {
+  const std::vector<WorkerStatus> workers = supervisor_.status();
+  std::vector<bool> live(workers.size(), false);
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    live[i] = workers[i].state == WorkerState::kLive;
+  const std::vector<double> owned = router_.ownership(live);
+
+  auto& metrics = obs::MetricRegistry::instance();
+  int live_count = 0;
+  int benched = 0;
+  std::ostringstream os;
+  os << "{\"status\":\"";
+  for (const WorkerStatus& w : workers) {
+    if (w.state == WorkerState::kLive) ++live_count;
+    if (w.state == WorkerState::kBenched) ++benched;
+  }
+  os << (benched > 0 || live_count < static_cast<int>(workers.size())
+             ? "degraded"
+             : "ok")
+     << "\",\"shards\":" << workers.size() << ",\"live\":" << live_count
+     << ",\"benched\":" << benched
+     << ",\"deaths\":" << supervisor_.deaths_total()
+     << ",\"restarts\":" << supervisor_.restarts_total()
+     << ",\"routed\":" << router_.routed()
+     << ",\"failovers\":" << router_.failovers()
+     << ",\"hedges\":" << router_.hedges() << ",\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerStatus& w = workers[i];
+    if (i > 0) os << ",";
+    os << "{\"shard\":" << w.shard << ",\"pid\":" << w.pid << ",\"state\":\""
+       << worker_state_name(w.state) << "\",\"restarts\":" << w.restarts
+       << ",\"deaths\":" << w.deaths << ",\"breaker\":\""
+       << router_.breaker_state(w.shard) << "\",\"journal_lag\":"
+       << w.journal_lag << ",\"in_flight\":" << w.in_flight
+       << ",\"keys_owned\":" << obs::json_number(owned[i]) << ",\"socket\":\""
+       << obs::json_escape(w.socket_path) << "\"}";
+    metrics.gauge("fleet.journal_lag.shard" + std::to_string(w.shard))
+        .set(static_cast<double>(w.journal_lag));
+    metrics.gauge("fleet.keys_owned.shard" + std::to_string(w.shard))
+        .set(owned[i]);
+  }
+  os << "]}";
+  metrics.gauge("fleet.workers_benched_now").set(benched);
+  return os.str();
+}
+
+std::string Fleet::stats_json() const {
+  const std::vector<WorkerStatus> workers = supervisor_.status();
+  int live_count = 0;
+  int benched = 0;
+  for (const WorkerStatus& w : workers) {
+    if (w.state == WorkerState::kLive) ++live_count;
+    if (w.state == WorkerState::kBenched) ++benched;
+  }
+  std::ostringstream os;
+  os << "{\"shards\":" << workers.size() << ",\"live\":" << live_count
+     << ",\"benched\":" << benched << ",\"routed\":" << router_.routed()
+     << ",\"failovers\":" << router_.failovers()
+     << ",\"hedges\":" << router_.hedges()
+     << ",\"deaths\":" << supervisor_.deaths_total()
+     << ",\"restarts\":" << supervisor_.restarts_total() << "}";
+  return os.str();
+}
+
+}  // namespace scaltool::serve

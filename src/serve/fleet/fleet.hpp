@@ -1,0 +1,69 @@
+// The serve fleet: supervisor + router behind one Submit-shaped front
+// door (DESIGN.md §12).
+//
+// A Fleet is what `scaltool fleet` runs: N supervised worker processes
+// behind one front socket. Requests entering submit() are answered
+// locally when they are about the fleet itself (ping, health, stats —
+// the per-worker view only the supervisor has) and routed to a worker
+// shard otherwise. The fleet is degraded — health says so and the CLI
+// exits with the dedicated code — once any shard sits benched in
+// crash-loop quarantine, because from then on the remaining shards carry
+// keyspace they were not sized for.
+#pragma once
+
+#include <future>
+#include <string>
+
+#include "serve/fleet/router.hpp"
+#include "serve/fleet/supervisor.hpp"
+
+namespace scaltool::serve {
+
+/// Exit code of `scaltool fleet` when it shuts down with a shard benched
+/// (the fleet served on, degraded). Distinct from 4 (nothing served).
+inline constexpr int kExitFleetDegraded = 7;
+
+struct FleetOptions {
+  SupervisorOptions supervisor;
+  RouterOptions router;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options);
+  ~Fleet();  ///< stop()
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// The front door (Submit-compatible, so SocketServer and serve_lines
+  /// can front it). Fleet-introspection ops resolve immediately; the rest
+  /// resolve when a worker shard answers.
+  std::future<Response> submit(Request request);
+
+  /// submit() + get(): the one-shot client path.
+  Response call(Request request);
+
+  /// Drains and reaps every worker. Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  /// True once any shard is benched.
+  bool degraded() const;
+
+  /// Fleet-wide liveness with the per-worker fields (pid, state, restart
+  /// count, breaker state, keys owned, journal lag). Also folds the
+  /// per-shard journal_lag gauges into the metric registry.
+  std::string health_json() const;
+  /// Fleet-level counters (routed, failovers, hedges, deaths, ...).
+  std::string stats_json() const;
+
+  Supervisor& supervisor() { return supervisor_; }
+  FleetRouter& router() { return router_; }
+
+ private:
+  Supervisor supervisor_;
+  FleetRouter router_;
+};
+
+}  // namespace scaltool::serve

@@ -1,0 +1,93 @@
+#include "serve/fleet/ring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+/// splitmix64 finalizer, the tree-wide cheap mixer (see derive_seed).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool is_live(const std::vector<bool>& live, int shard) {
+  return live.empty() || live[static_cast<std::size_t>(shard)];
+}
+
+}  // namespace
+
+HashRing::HashRing(int shards, int vnodes) : shards_(shards) {
+  ST_CHECK_MSG(shards >= 1, "the ring needs >= 1 shard");
+  ST_CHECK_MSG(vnodes >= 1, "the ring needs >= 1 vnode per shard");
+  points_.reserve(static_cast<std::size_t>(shards) *
+                  static_cast<std::size_t>(vnodes));
+  for (int s = 0; s < shards; ++s)
+    for (int v = 0; v < vnodes; ++v)
+      points_.push_back(
+          {mix64((static_cast<std::uint64_t>(s) << 32) ^
+                 static_cast<std::uint64_t>(v)),
+           s});
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.at != b.at ? a.at < b.at : a.shard < b.shard;
+            });
+}
+
+int HashRing::pick(std::uint64_t key, const std::vector<bool>& live) const {
+  const std::vector<int> order = pick_ordered(key, 1, live);
+  return order.empty() ? -1 : order.front();
+}
+
+std::vector<int> HashRing::pick_ordered(std::uint64_t key, int count,
+                                        const std::vector<bool>& live) const {
+  ST_CHECK_MSG(live.empty() ||
+                   live.size() == static_cast<std::size_t>(shards_),
+               "live mask size must match the shard count");
+  std::vector<int> order;
+  if (count <= 0) return order;
+  std::vector<bool> taken(static_cast<std::size_t>(shards_), false);
+  // First point clockwise from the key's position, wrapping once around.
+  const std::uint64_t at = mix64(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), at,
+                             [](const Point& p, std::uint64_t v) {
+                               return p.at < v;
+                             });
+  for (std::size_t seen = 0; seen < points_.size(); ++seen, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    const int shard = it->shard;
+    if (taken[static_cast<std::size_t>(shard)] || !is_live(live, shard))
+      continue;
+    taken[static_cast<std::size_t>(shard)] = true;
+    order.push_back(shard);
+    if (static_cast<int>(order.size()) >= count) break;
+  }
+  return order;
+}
+
+std::vector<double> HashRing::ownership(const std::vector<bool>& live) const {
+  std::vector<double> owned(static_cast<std::size_t>(shards_), 0.0);
+  // Each live point owns the arc back to the previous live point; dead
+  // points pass their arc clockwise, which is exactly what pick() does.
+  std::vector<const Point*> alive;
+  alive.reserve(points_.size());
+  for (const Point& p : points_)
+    if (is_live(live, p.shard)) alive.push_back(&p);
+  if (alive.empty()) return owned;
+  const double full = 18446744073709551616.0;  // 2^64
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const std::uint64_t prev =
+        alive[i == 0 ? alive.size() - 1 : i - 1]->at;
+    const std::uint64_t arc = alive[i]->at - prev;  // wraps mod 2^64
+    owned[static_cast<std::size_t>(alive[i]->shard)] +=
+        static_cast<double>(arc) / full;
+  }
+  return owned;
+}
+
+}  // namespace scaltool::serve

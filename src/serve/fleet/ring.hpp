@@ -1,0 +1,50 @@
+// Consistent-hash ring of the fleet router (DESIGN.md §12).
+//
+// Each shard owns many virtual points on a 64-bit ring; a request key is
+// routed to the first live point clockwise from its hash. The properties
+// the fleet leans on: (1) determinism — the same canonical request key
+// always lands on the same shard, so the per-shard run caches and the
+// single-flight batcher keep working across a multi-process fleet; and
+// (2) minimal disruption — removing a shard (death, bench) moves only the
+// keys that shard owned, onto its ring successors, instead of reshuffling
+// the whole keyspace (Corey's "applications should control sharing": no
+// shard ever takes over state it did not have to).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scaltool::serve {
+
+class HashRing {
+ public:
+  /// `shards` numbered 0..shards-1, each with `vnodes` ring points.
+  explicit HashRing(int shards, int vnodes = 64);
+
+  int shards() const { return shards_; }
+
+  /// The shard owning `key`, skipping shards marked false in `live`
+  /// (size shards(); an empty vector means all live). Returns -1 when no
+  /// live shard remains.
+  int pick(std::uint64_t key, const std::vector<bool>& live = {}) const;
+
+  /// Up to `count` distinct live shards in ring order from `key`: the
+  /// owner first, then the failover/hedge successors.
+  std::vector<int> pick_ordered(std::uint64_t key, int count,
+                                const std::vector<bool>& live = {}) const;
+
+  /// Fraction of the keyspace each shard owns among the live set (sums to
+  /// ~1.0; benched shards own 0). The `keys_owned` health field.
+  std::vector<double> ownership(const std::vector<bool>& live = {}) const;
+
+ private:
+  struct Point {
+    std::uint64_t at;
+    int shard;
+  };
+
+  int shards_ = 0;
+  std::vector<Point> points_;  ///< sorted by `at`
+};
+
+}  // namespace scaltool::serve

@@ -1,0 +1,246 @@
+#include "serve/fleet/router.hpp"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "engine/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "serve/transport.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return !path.empty() && ::stat(path.c_str(), &st) == 0;
+}
+
+std::string arg_value(const std::vector<std::string>& args,
+                      const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  for (const std::string& arg : args)
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  return "";
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  const std::string bare = "--" + flag;
+  for (const std::string& arg : args)
+    if (arg == bare || arg.rfind(bare + "=", 0) == 0) return true;
+  return false;
+}
+
+/// Reads with no side effects are safe to send twice; a hedged collect
+/// would run the campaign twice.
+bool is_idempotent(const std::string& op) { return op != "collect"; }
+
+Response unavailable_response(const Request& request, std::string why) {
+  Response response;
+  response.id = request.id;
+  response.status = Status::kError;
+  response.exit_code = 4;  // the CLI's "unavailable" code
+  response.error = std::move(why);
+  return response;
+}
+
+/// Shared scoreboard of the hedge legs. Legs run detached and own a
+/// shared_ptr to this, so a leg finishing after route() returned writes
+/// into memory that is still alive and simply goes unread.
+struct HedgeState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = 0;
+  bool have = false;
+  Response response;
+  std::string first_error;
+};
+
+}  // namespace
+
+FleetRouter::FleetRouter(Supervisor& supervisor, RouterOptions options)
+    : supervisor_(supervisor),
+      options_(std::move(options)),
+      ring_(supervisor.shards(), options_.vnodes) {
+  if (!options_.now) options_.now = &MonoClock::now;
+  breakers_.reserve(static_cast<std::size_t>(supervisor_.shards()));
+  for (int s = 0; s < supervisor_.shards(); ++s)
+    breakers_.push_back(
+        std::make_shared<CircuitBreaker>(options_.breaker, options_.now));
+}
+
+std::uint64_t FleetRouter::routing_key(const Request& request) {
+  std::uint64_t h = fnv1a(kFnvBasis, request.op);
+  for (const std::string& arg : request.args) {
+    // `--resume` is a router annotation, not identity: the retried request
+    // must land where the original would have.
+    if (arg == "--resume") continue;
+    h = fnv1a(h, arg);
+  }
+  return h;
+}
+
+Request FleetRouter::with_resume_if_journaled(const Request& request) {
+  if (request.op != "collect") return request;
+  if (has_flag(request.args, "resume") || has_flag(request.args, "no-journal"))
+    return request;
+  const std::string journal = arg_value(request.args, "journal");
+  const std::string out = arg_value(request.args, "out");
+  const std::string path =
+      !journal.empty() ? journal : (out.empty() ? "" : journal_path_for(out));
+  if (!file_exists(path)) return request;
+  Request resumed = request;
+  resumed.args.push_back("--resume");
+  return resumed;
+}
+
+Response FleetRouter::dispatch(int shard, const Request& request) {
+  return socket_call(supervisor_.socket_of(shard), request,
+                     options_.call_timeout_ms);
+}
+
+Response FleetRouter::dispatch_hedged(int primary, int backup,
+                                      const Request& request) {
+  auto state = std::make_shared<HedgeState>();
+  const auto launch = [this, state,
+                       request](int shard,
+                                std::shared_ptr<CircuitBreaker> breaker) {
+    // Resolve everything the leg needs up front — the detached thread
+    // must not touch the router or the supervisor after launch.
+    const std::string path = supervisor_.socket_of(shard);
+    const int timeout_ms = options_.call_timeout_ms;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->pending;
+    }
+    std::thread([state, breaker = std::move(breaker), path, request,
+                 timeout_ms] {
+      try {
+        Response response = socket_call(path, request, timeout_ms);
+        breaker->record_success();
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->have) {
+          state->have = true;
+          state->response = std::move(response);
+        }
+        --state->pending;
+      } catch (const CheckError& e) {
+        breaker->record_failure();
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->first_error.empty()) state->first_error = e.what();
+        --state->pending;
+      }
+      state->cv.notify_all();
+    }).detach();
+  };
+
+  launch(primary, breakers_[static_cast<std::size_t>(primary)]);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    const bool settled = state->cv.wait_for(
+        lock, std::chrono::milliseconds(options_.hedge_after_ms),
+        [&] { return state->have || state->pending == 0; });
+    if (settled) {
+      if (state->have) return state->response;
+      throw CheckError(state->first_error);  // primary failed fast
+    }
+  }
+
+  // The owner is slow. Send the duplicate if the backup's breaker lets
+  // us; the allow() outcome is honoured either way — a claimed half-open
+  // probe is always resolved by the leg's record_* call.
+  if (breakers_[static_cast<std::size_t>(backup)]->allow()) {
+    obs::MetricRegistry::instance().counter("fleet.hedges").add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++hedges_;
+    }
+    launch(backup, breakers_[static_cast<std::size_t>(backup)]);
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->have || state->pending == 0; });
+  if (state->have) return state->response;
+  throw CheckError(state->first_error);
+}
+
+Response FleetRouter::route(const Request& request) {
+  auto& metrics = obs::MetricRegistry::instance();
+  metrics.counter("fleet.requests").add(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++routed_;
+  }
+
+  const std::uint64_t key = routing_key(request);
+  const std::vector<int> order =
+      ring_.pick_ordered(key, supervisor_.shards(), supervisor_.live_mask());
+  if (order.empty())
+    return unavailable_response(request, "fleet: no live shard");
+
+  std::string last_error = "fleet: every live shard refused the request";
+  bool first_attempt = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int shard = order[i];
+    const bool hedge = options_.hedge_after_ms > 0 &&
+                       is_idempotent(request.op) && i + 1 < order.size();
+    // allow() may claim a half-open probe; every path below resolves it
+    // with a record_* (directly here, or inside the hedge leg).
+    if (!breakers_[static_cast<std::size_t>(shard)]->allow()) {
+      metrics.counter("fleet.breaker_skips").add(1);
+      continue;
+    }
+    if (!first_attempt) {
+      metrics.counter("fleet.failovers").add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failovers_;
+    }
+    first_attempt = false;
+
+    // Re-read the disk each attempt: the journal the dead owner left
+    // behind appears between its death and this failover dispatch.
+    const Request attempt = with_resume_if_journaled(request);
+    try {
+      if (hedge) return dispatch_hedged(shard, order[i + 1], attempt);
+      const Response response = dispatch(shard, attempt);
+      breakers_[static_cast<std::size_t>(shard)]->record_success();
+      return response;
+    } catch (const CheckError& e) {
+      if (!hedge)
+        breakers_[static_cast<std::size_t>(shard)]->record_failure();
+      metrics.counter("fleet.dispatch_failures").add(1);
+      last_error = std::string("fleet: shard ") + std::to_string(shard) +
+                   " failed: " + e.what();
+      continue;  // next shard in ring order
+    }
+  }
+  return unavailable_response(request, last_error);
+}
+
+const char* FleetRouter::breaker_state(int shard) const {
+  ST_CHECK_MSG(shard >= 0 && shard < static_cast<int>(breakers_.size()),
+               "shard out of range");
+  return breakers_[static_cast<std::size_t>(shard)]->state_name();
+}
+
+std::uint64_t FleetRouter::routed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routed_;
+}
+
+std::uint64_t FleetRouter::failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failovers_;
+}
+
+std::uint64_t FleetRouter::hedges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hedges_;
+}
+
+}  // namespace scaltool::serve

@@ -1,0 +1,90 @@
+// Fleet front-door routing (DESIGN.md §12).
+//
+// The router turns one fleet of worker shards into one service: every
+// request is hashed to a canonical routing key, sent to the ring owner
+// among the currently live shards, and — when the owner is dead, benched
+// or tripping its circuit breaker — failed over along the ring order.
+// For a `collect` that died mid-campaign the failover is journal-backed:
+// before re-dispatching, the router appends `--resume` when the target's
+// write-ahead journal exists, so the survivor replays the dead shard's
+// committed runs instead of re-simulating them and the final archive is
+// byte-identical to a fault-free run. Idempotent reads can optionally be
+// hedged: when the owner has not answered within a budget, a duplicate
+// goes to the next shard and the first response wins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/fleet/breaker.hpp"
+#include "serve/fleet/ring.hpp"
+#include "serve/fleet/supervisor.hpp"
+#include "serve/protocol.hpp"
+
+namespace scaltool::serve {
+
+struct RouterOptions {
+  /// Ring points per shard; more points = smoother ownership.
+  int vnodes = 64;
+  CircuitBreaker::Config breaker;
+  /// Per-dispatch socket send/receive timeout (0 = block indefinitely).
+  int call_timeout_ms = 0;
+  /// Hedge idempotent reads after this many ms without a response
+  /// (0 = hedging off). Collects are never hedged — they write.
+  int hedge_after_ms = 0;
+  /// Clock injection for breaker tests.
+  NowFn now;
+};
+
+class FleetRouter {
+ public:
+  FleetRouter(Supervisor& supervisor, RouterOptions options = {});
+
+  /// Routes one request through the fleet. Never throws for fleet-side
+  /// trouble: when every candidate shard fails, the response carries
+  /// Status::kError with the unavailable exit code (4).
+  Response route(const Request& request);
+
+  /// Canonical routing key: FNV over op + args. Deterministic, so a key
+  /// always lands on the same live shard (per-shard caches stay hot), and
+  /// distinct from request_hash, which deliberately zeroes uncacheable ops.
+  static std::uint64_t routing_key(const Request& request);
+
+  const char* breaker_state(int shard) const;
+  /// Keyspace fraction per shard among `live` — the health `keys_owned`
+  /// field, computed on the router's actual ring.
+  std::vector<double> ownership(const std::vector<bool>& live) const {
+    return ring_.ownership(live);
+  }
+  std::uint64_t routed() const;
+  std::uint64_t failovers() const;
+  std::uint64_t hedges() const;
+
+ private:
+  /// One dispatch attempt to one shard; throws CheckError on transport
+  /// failure (connect refused, hang-up, timeout).
+  Response dispatch(int shard, const Request& request);
+  /// Dispatch with a hedge: the owner gets hedge_after_ms to answer, then
+  /// a duplicate goes to `backup` and the first response wins. Throws
+  /// CheckError when both legs fail.
+  Response dispatch_hedged(int primary, int backup, const Request& request);
+  /// For a collect whose journal already exists on disk, the request the
+  /// next shard should see: the original plus `--resume`.
+  static Request with_resume_if_journaled(const Request& request);
+
+  Supervisor& supervisor_;
+  RouterOptions options_;
+  HashRing ring_;
+  /// shared_ptr so detached hedge legs can report outcomes without
+  /// touching the router.
+  std::vector<std::shared_ptr<CircuitBreaker>> breakers_;
+  mutable std::mutex mu_;  ///< guards the tallies
+  std::uint64_t routed_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t hedges_ = 0;
+};
+
+}  // namespace scaltool::serve

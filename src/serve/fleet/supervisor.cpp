@@ -1,0 +1,323 @@
+#include "serve/fleet/supervisor.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/subprocess.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/transport.hpp"
+
+namespace scaltool::serve {
+
+namespace {
+
+std::string shard_socket(const std::string& dir, int shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".sock";
+}
+
+}  // namespace
+
+const char* worker_state_name(WorkerState state) {
+  switch (state) {
+    case WorkerState::kLive:
+      return "live";
+    case WorkerState::kRestarting:
+      return "restarting";
+    case WorkerState::kBenched:
+      return "benched";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  ST_CHECK_MSG(options_.shards >= 1, "the fleet needs >= 1 shard");
+  ST_CHECK_MSG(!options_.socket_dir.empty(),
+               "the fleet needs a socket directory");
+  if (!options_.worker_entry) options_.worker_entry = &fleet_worker_main;
+
+  workers_.reserve(static_cast<std::size_t>(options_.shards));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int s = 0; s < options_.shards; ++s) {
+      workers_.emplace_back(options_.restart);
+      Worker& worker = workers_.back();
+      worker.spec.shard = s;
+      worker.spec.socket_path = shard_socket(options_.socket_dir, s);
+      worker.spec.service = options_.worker;
+      spawn_locked(worker);
+    }
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Supervisor::~Supervisor() {
+  try {
+    stop();
+  } catch (...) {
+    // A destructor cannot usefully report a reap failure.
+  }
+}
+
+void Supervisor::spawn_locked(Worker& worker) {
+  int fds[2] = {-1, -1};
+  ST_CHECK_MSG(::pipe(fds) == 0, "pipe() for the worker lifeline failed");
+  const int read_end = fds[0];
+  const WorkerSpec spec = worker.spec;
+  const auto entry = options_.worker_entry;
+  worker.pid = spawn_child(
+      [entry, spec, read_end] { return entry(spec, read_end); }, {read_end});
+  ::close(read_end);  // the child holds the only read end now
+  worker.lifeline = fds[1];
+  worker.state = WorkerState::kLive;
+  worker.spawned_at = MonoClock::now();
+  worker.health_strikes = 0;
+  worker.survived_window_noted = false;
+}
+
+void Supervisor::monitor_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      reap_and_restart_locked();
+    }
+    probe_one_health();
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.tick_ms));
+  }
+}
+
+void Supervisor::reap_and_restart_locked() {
+  auto& metrics = obs::MetricRegistry::instance();
+  const MonoClock::TimePoint now = MonoClock::now();
+  for (Worker& worker : workers_) {
+    if (worker.state == WorkerState::kLive) {
+      if (try_reap(worker.pid)) {
+        ++deaths_;
+        metrics.counter("fleet.worker_deaths").add(1);
+        worker.pid = -1;
+        if (worker.lifeline >= 0) {
+          ::close(worker.lifeline);
+          worker.lifeline = -1;
+        }
+        const RestartPolicy::Decision decision = worker.policy.on_death(now);
+        if (decision.bench) {
+          worker.state = WorkerState::kBenched;
+          metrics.counter("fleet.workers_benched").add(1);
+        } else {
+          worker.state = WorkerState::kRestarting;
+          worker.restart_at = decision.restart_at;
+        }
+      } else if (!worker.survived_window_noted &&
+                 MonoClock::seconds_since(worker.spawned_at) * 1000.0 >=
+                     static_cast<double>(options_.restart.window_ms)) {
+        // A full window without dying resets the crash-loop backoff burst.
+        worker.policy.on_survived_window();
+        worker.survived_window_noted = true;
+      }
+    } else if (worker.state == WorkerState::kRestarting &&
+               now >= worker.restart_at) {
+      spawn_locked(worker);
+      ++worker.restarts;
+      ++restarts_;
+      metrics.counter("fleet.worker_restarts").add(1);
+    }
+  }
+  int live = 0;
+  for (const Worker& worker : workers_)
+    if (worker.state == WorkerState::kLive) ++live;
+  metrics.gauge("fleet.workers_live").set(live);
+}
+
+void Supervisor::probe_one_health() {
+  std::string path;
+  pid_t pid = -1;
+  int shard = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (last_probe_ != MonoClock::TimePoint{} &&
+        MonoClock::seconds_since(last_probe_) * 1000.0 <
+            static_cast<double>(options_.health_interval_ms))
+      return;
+    for (int i = 0; i < options_.shards; ++i) {
+      const int s = (probe_cursor_ + i) % options_.shards;
+      if (workers_[static_cast<std::size_t>(s)].state == WorkerState::kLive) {
+        shard = s;
+        probe_cursor_ = s + 1;
+        path = workers_[static_cast<std::size_t>(s)].spec.socket_path;
+        pid = workers_[static_cast<std::size_t>(s)].pid;
+        break;
+      }
+    }
+    if (shard < 0) return;
+    last_probe_ = MonoClock::now();
+  }
+
+  // The round trip happens without the lock: a slow worker must not stall
+  // death detection for the rest of the fleet.
+  Request request;
+  request.op = "health";
+  bool healthy = false;
+  std::uint64_t journal_lag = 0;
+  int in_flight = 0;
+  try {
+    const Response response =
+        socket_call(path, request, options_.health_timeout_ms);
+    if (!response.stats_json.empty()) {
+      const obs::JsonValue health = obs::json_parse(response.stats_json);
+      if (health.has("journal_lag"))
+        journal_lag =
+            static_cast<std::uint64_t>(health.at("journal_lag").as_number());
+      if (health.has("in_flight"))
+        in_flight = static_cast<int>(health.at("in_flight").as_number());
+      healthy = true;
+    }
+  } catch (const CheckError&) {
+    healthy = false;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Worker& worker = workers_[static_cast<std::size_t>(shard)];
+  // The worker may have died and been respawned while we probed; only the
+  // incarnation we actually talked to gets judged.
+  if (worker.state != WorkerState::kLive || worker.pid != pid) return;
+  if (healthy) {
+    worker.health_strikes = 0;
+    worker.journal_lag = journal_lag;
+    worker.in_flight = in_flight;
+  } else if (++worker.health_strikes >= options_.health_failures_to_kill) {
+    // Alive per the kernel but not answering: wedged. Kill it and let the
+    // normal death path restart (or bench) it.
+    obs::MetricRegistry::instance().counter("fleet.health_kills").add(1);
+    ::kill(worker.pid, SIGKILL);
+    worker.health_strikes = 0;
+  }
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  if (monitor_.joinable()) monitor_.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Close every lifeline first so all workers start draining in parallel,
+  // then reap them one by one with the escalation deadline.
+  for (Worker& worker : workers_) {
+    if (worker.lifeline >= 0) {
+      ::close(worker.lifeline);
+      worker.lifeline = -1;
+    }
+  }
+  for (Worker& worker : workers_) {
+    if (worker.pid > 0) {
+      reap_with_deadline(worker.pid, options_.stop_grace_ms,
+                         options_.stop_term_ms);
+      worker.pid = -1;
+    }
+  }
+}
+
+std::string Supervisor::socket_of(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_CHECK_MSG(shard >= 0 && shard < options_.shards, "shard out of range");
+  return workers_[static_cast<std::size_t>(shard)].spec.socket_path;
+}
+
+pid_t Supervisor::pid_of(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_CHECK_MSG(shard >= 0 && shard < options_.shards, "shard out of range");
+  return workers_[static_cast<std::size_t>(shard)].pid;
+}
+
+bool Supervisor::is_live(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_CHECK_MSG(shard >= 0 && shard < options_.shards, "shard out of range");
+  return workers_[static_cast<std::size_t>(shard)].state == WorkerState::kLive;
+}
+
+std::vector<bool> Supervisor::live_mask() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<bool> mask(workers_.size(), false);
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    mask[i] = workers_[i].state == WorkerState::kLive;
+  return mask;
+}
+
+std::vector<WorkerStatus> Supervisor::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerStatus> out;
+  out.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    WorkerStatus s;
+    s.shard = worker.spec.shard;
+    s.pid = worker.pid;
+    s.state = worker.state;
+    s.restarts = worker.restarts;
+    s.deaths = worker.policy.deaths();
+    s.journal_lag = worker.journal_lag;
+    s.in_flight = worker.in_flight;
+    s.uptime_seconds = worker.state == WorkerState::kLive
+                           ? MonoClock::seconds_since(worker.spawned_at)
+                           : 0.0;
+    s.socket_path = worker.spec.socket_path;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+int Supervisor::benched_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const Worker& worker : workers_)
+    if (worker.state == WorkerState::kBenched) ++n;
+  return n;
+}
+
+std::uint64_t Supervisor::deaths_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deaths_;
+}
+
+std::uint64_t Supervisor::restarts_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restarts_;
+}
+
+bool Supervisor::wait_ready(int timeout_ms) const {
+  const MonoClock::TimePoint start = MonoClock::now();
+  for (;;) {
+    std::vector<std::string> targets;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Worker& worker : workers_)
+        if (worker.state != WorkerState::kBenched)
+          targets.push_back(worker.spec.socket_path);
+    }
+    bool all = true;
+    for (const std::string& target : targets) {
+      Request ping;
+      ping.op = "ping";
+      try {
+        socket_call(target, ping, 1000);
+      } catch (const CheckError&) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    if (MonoClock::seconds_since(start) * 1000.0 >=
+        static_cast<double>(timeout_ms))
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace scaltool::serve

@@ -1,0 +1,136 @@
+// Worker-shard supervision (DESIGN.md §12).
+//
+// The supervisor owns the fleet's process tree: it forks one worker shard
+// per ring slot (each a full analysis service listening on its own
+// AF_UNIX socket), reaps deaths, restarts the dead with the exponential
+// backoff of RestartPolicy, benches crash-loopers, and health-checks the
+// living through the PR 5 `health` verb — a worker that stops answering
+// is killed and goes through the same death/restart accounting as one
+// that crashed on its own. Everything a worker leaves on disk when it
+// dies (run journals, stage files) is the router's handoff material, not
+// the supervisor's problem: supervision is only about keeping N healthy
+// processes behind the ring.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fleet/breaker.hpp"
+#include "serve/fleet/worker.hpp"
+
+namespace scaltool::serve {
+
+struct SupervisorOptions {
+  int shards = 4;
+  /// Directory for the shard sockets (`<dir>/shard-<i>.sock`).
+  std::string socket_dir;
+  /// Service options every worker runs with (shared cache path included).
+  ServiceOptions worker;
+  RestartPolicy::Config restart;
+  /// Monitor cadence: deaths are noticed and due restarts performed on
+  /// this tick.
+  int tick_ms = 20;
+  /// One live worker is health-probed per interval, round-robin.
+  int health_interval_ms = 250;
+  int health_timeout_ms = 2000;
+  /// Consecutive failed probes before the worker is declared wedged and
+  /// killed (then restarted through the normal death path).
+  int health_failures_to_kill = 3;
+  /// stop(): drain grace before SIGTERM, then before SIGKILL.
+  int stop_grace_ms = 10000;
+  int stop_term_ms = 2000;
+  /// Test hook: what a forked worker runs. Defaults to fleet_worker_main.
+  std::function<int(const WorkerSpec&, int lifeline_fd)> worker_entry;
+};
+
+enum class WorkerState {
+  kLive,        ///< process running (as far as the last reap knew)
+  kRestarting,  ///< dead, respawn scheduled
+  kBenched,     ///< crash-loop quarantine: no more restarts
+};
+
+const char* worker_state_name(WorkerState state);
+
+/// Snapshot of one worker for health/stats reporting.
+struct WorkerStatus {
+  int shard = 0;
+  pid_t pid = -1;
+  WorkerState state = WorkerState::kLive;
+  int restarts = 0;  ///< respawns performed (first spawn not counted)
+  int deaths = 0;
+  std::uint64_t journal_lag = 0;  ///< from the last successful probe
+  int in_flight = 0;              ///< ditto
+  double uptime_seconds = 0.0;
+  std::string socket_path;
+};
+
+class Supervisor {
+ public:
+  /// Spawns every shard and starts the monitor. Throws CheckError when
+  /// the options are unusable; worker startup failures surface as deaths.
+  explicit Supervisor(SupervisorOptions options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Stops the monitor and drains every live worker (lifeline close, then
+  /// SIGTERM, then SIGKILL). Idempotent; also run by the destructor.
+  void stop();
+
+  int shards() const { return options_.shards; }
+  std::string socket_of(int shard) const;
+  pid_t pid_of(int shard) const;
+  bool is_live(int shard) const;
+  /// live()/benched mask for the ring (index = shard).
+  std::vector<bool> live_mask() const;
+  std::vector<WorkerStatus> status() const;
+  int benched_count() const;
+  std::uint64_t deaths_total() const;
+  std::uint64_t restarts_total() const;
+
+  /// Blocks until every non-benched shard answers a ping, or `timeout_ms`
+  /// elapses. Returns whether the fleet came up whole.
+  bool wait_ready(int timeout_ms) const;
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    pid_t pid = -1;
+    int lifeline = -1;  ///< write end; closing it orders a drain
+    WorkerState state = WorkerState::kLive;
+    RestartPolicy policy;
+    MonoClock::TimePoint spawned_at{};
+    MonoClock::TimePoint restart_at{};
+    int restarts = 0;
+    int health_strikes = 0;
+    std::uint64_t journal_lag = 0;
+    int in_flight = 0;
+    bool survived_window_noted = false;
+
+    explicit Worker(RestartPolicy::Config config) : policy(config) {}
+  };
+
+  void spawn_locked(Worker& worker);
+  void monitor_loop();
+  void reap_and_restart_locked();
+  void probe_one_health();
+
+  SupervisorOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Worker> workers_;
+  std::thread monitor_;
+  bool stopping_ = false;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t restarts_ = 0;
+  int probe_cursor_ = 0;
+  MonoClock::TimePoint last_probe_{};
+};
+
+}  // namespace scaltool::serve

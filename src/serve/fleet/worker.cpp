@@ -1,0 +1,37 @@
+#include "serve/fleet/worker.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/interrupt.hpp"
+#include "serve/transport.hpp"
+
+namespace scaltool::serve {
+
+int fleet_worker_main(const WorkerSpec& spec, int lifeline_fd) {
+  // The parent's interrupt flag (if any) is this process's inherited
+  // state, not its history; start clean so a drain is really a drain.
+  reset_interrupted();
+  install_interrupt_handlers();
+
+  AnalysisService service(spec.service);
+  SocketServer server(service, spec.socket_path);
+
+  // Block on the lifeline: a byte or EOF is the stop order, EINTR is a
+  // signal (the handlers install without SA_RESTART exactly so this read
+  // unblocks).
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(lifeline_fd, &byte, 1);
+    if (n >= 0) break;  // stop order (byte) or supervisor death (EOF)
+    if (errno == EINTR && !interrupt_requested()) continue;
+    break;  // interrupted, or the lifeline itself broke: drain
+  }
+
+  server.stop();
+  service.shutdown();
+  return interrupt_requested() ? kExitInterrupted : 0;
+}
+
+}  // namespace scaltool::serve

@@ -1,0 +1,31 @@
+// Entry point of one forked worker shard (DESIGN.md §12).
+//
+// A worker is a full analysis service (PR 4) plus a socket front end on
+// its own AF_UNIX path, living in a child process the supervisor forked.
+// Its lifetime is governed by a lifeline pipe: the worker blocks reading
+// the pipe after startup, and EOF — the supervisor closed the write end,
+// deliberately or by dying — triggers a graceful drain. SIGTERM (the
+// supervisor escalating a stop) interrupts the same read and drains too,
+// with the interrupt flag turning in-flight campaigns into journaled
+// checkpoints, so a stopped worker never loses committed work.
+#pragma once
+
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace scaltool::serve {
+
+/// Everything a worker needs to know, fixed before the fork.
+struct WorkerSpec {
+  int shard = 0;
+  std::string socket_path;
+  ServiceOptions service;
+};
+
+/// Runs the worker until its lifeline reports EOF or a signal arrives;
+/// returns the process exit code (0 drained clean, 6 interrupted).
+/// Call only on the child side of fork() — it assumes it owns the process.
+int fleet_worker_main(const WorkerSpec& spec, int lifeline_fd);
+
+}  // namespace scaltool::serve

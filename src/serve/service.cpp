@@ -1,5 +1,7 @@
 #include "serve/service.hpp"
 
+#include <unistd.h>
+
 #include <sstream>
 #include <utility>
 
@@ -141,7 +143,8 @@ std::string AnalysisService::health_json() const {
     journal_lag = cache->unsaved();
   std::ostringstream os;
   os << "{\"status\":\"" << (queue_.closed() ? "draining" : "ok")
-     << "\",\"uptime_seconds\":" << obs::json_number(
+     << "\",\"pid\":" << ::getpid()
+     << ",\"uptime_seconds\":" << obs::json_number(
             MonoClock::seconds_since(start_))
      << ",\"workers\":" << options_.workers
      << ",\"queue_depth\":" << queue_.depth()

@@ -1,17 +1,17 @@
 #include "serve/transport.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <array>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <istream>
 #include <ostream>
-#include <streambuf>
 #include <utility>
 
 #include "common/check.hpp"
@@ -19,55 +19,50 @@
 
 namespace scaltool::serve {
 
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_.data(), in_.data(), in_.data());
+  setp(out_.data(), out_.data() + out_.size());
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::recv(fd_, in_.data(), in_.size(), 0);
+  } while (n < 0 && errno == EINTR);  // a signal is not end-of-stream
+  if (n <= 0) return traits_type::eof();
+  setg(in_.data(), in_.data(), in_.data() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_buffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_buffer() ? 0 : -1; }
+
+bool FdStreamBuf::flush_buffer() {
+  // Short writes loop until every byte is out; EINTR retries the same
+  // span. Either way a protocol line reaches the peer whole or the write
+  // fails for real — never a silent truncation mid-line.
+  const char* p = pbase();
+  while (p < pptr()) {
+    const ssize_t n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p),
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    p += n;
+  }
+  setp(out_.data(), out_.data() + out_.size());
+  return true;
+}
+
 namespace {
-
-/// Minimal bidirectional streambuf over a connected socket. Writes use
-/// send(MSG_NOSIGNAL) so a client hanging up mid-response surfaces as a
-/// stream error, not a fatal SIGPIPE.
-class FdStreamBuf : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) {
-    setg(in_.data(), in_.data(), in_.data());
-    setp(out_.data(), out_.data() + out_.size());
-  }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::recv(fd_, in_.data(), in_.size(), 0);
-    if (n <= 0) return traits_type::eof();
-    setg(in_.data(), in_.data(), in_.data() + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (!flush_buffer()) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return flush_buffer() ? 0 : -1; }
-
- private:
-  bool flush_buffer() {
-    const char* p = pbase();
-    while (p < pptr()) {
-      const ssize_t n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p),
-                               MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      p += n;
-    }
-    setp(out_.data(), out_.data() + out_.size());
-    return true;
-  }
-
-  int fd_;
-  std::array<char, 4096> in_;
-  std::array<char, 4096> out_;
-};
 
 sockaddr_un socket_address(const std::string& path) {
   sockaddr_un addr{};
@@ -94,8 +89,7 @@ std::future<Response> ready(Response r) {
 
 }  // namespace
 
-void serve_lines(std::istream& in, std::ostream& out,
-                 AnalysisService& service) {
+void serve_lines(std::istream& in, std::ostream& out, const Submit& submit) {
   std::mutex mu;
   std::condition_variable pending_ready;
   std::deque<std::future<Response>> pending;
@@ -126,7 +120,7 @@ void serve_lines(std::istream& in, std::ostream& out,
     if (line.empty()) continue;  // blank lines are keep-alive noise
     std::future<Response> future;
     try {
-      future = service.submit(parse_request(line));
+      future = submit(parse_request(line));
     } catch (const std::exception& e) {
       future = ready(error_response(e.what()));
     }
@@ -144,9 +138,17 @@ void serve_lines(std::istream& in, std::ostream& out,
   writer.join();
 }
 
-SocketServer::SocketServer(AnalysisService& service, std::string socket_path)
-    : service_(service), path_(std::move(socket_path)) {
+void serve_lines(std::istream& in, std::ostream& out,
+                 AnalysisService& service) {
+  serve_lines(in, out, [&service](Request request) {
+    return service.submit(std::move(request));
+  });
+}
+
+SocketServer::SocketServer(Submit submit, std::string socket_path)
+    : submit_(std::move(submit)), path_(std::move(socket_path)) {
   ST_CHECK_MSG(!path_.empty(), "--socket needs a path");
+  ST_CHECK_MSG(static_cast<bool>(submit_), "the socket server needs a sink");
   const sockaddr_un addr = socket_address(path_);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ST_CHECK_MSG(listen_fd_ >= 0, "cannot create a unix socket");
@@ -163,11 +165,21 @@ SocketServer::SocketServer(AnalysisService& service, std::string socket_path)
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+SocketServer::SocketServer(AnalysisService& service, std::string socket_path)
+    : SocketServer(
+          [&service](Request request) {
+            return service.submit(std::move(request));
+          },
+          std::move(socket_path)) {}
+
 SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::accept_loop() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd;
+    do {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
     if (fd < 0) return;  // listener shut down (or hard error): stop
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -180,7 +192,7 @@ void SocketServer::accept_loop() {
         FdStreamBuf buf(fd);
         std::istream in(&buf);
         std::ostream out(&buf);
-        serve_lines(in, out, service_);
+        serve_lines(in, out, submit_);
         ::close(fd);
       });
     }
@@ -245,10 +257,22 @@ Response socket_call_resilient(const std::string& socket_path,
   }
 }
 
-Response socket_call(const std::string& socket_path, const Request& request) {
+Response socket_call(const std::string& socket_path, const Request& request,
+                     int timeout_ms) {
   const sockaddr_un addr = socket_address(socket_path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ST_CHECK_MSG(fd >= 0, "cannot create a unix socket");
+  if (timeout_ms > 0) {
+    // Kernel-enforced per-syscall budget: recv/send return EAGAIN when it
+    // expires, which the stream layer reports as end-of-stream and this
+    // function turns into the no-answer CheckError below. A wedged server
+    // (accepting but never responding) therefore cannot wedge its caller.
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const std::string err = std::strerror(errno);

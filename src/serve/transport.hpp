@@ -8,9 +8,18 @@
 // worker pool and the batcher) while responses are written strictly in
 // request order by a dedicated writer, which keeps the output stream a
 // valid NDJSON sequence without interleaving.
+//
+// Both are generic over a Submit sink, so the same loop fronts a local
+// AnalysisService (one process, PR 4) and the fleet router (many worker
+// processes, DESIGN.md §12) without either knowing the difference.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <future>
 #include <iosfwd>
+#include <streambuf>
 #include <string>
 
 #include "serve/protocol.hpp"
@@ -18,10 +27,40 @@
 
 namespace scaltool::serve {
 
+/// A request sink: accepts one request, promises one response. The
+/// analysis service's submit() and the fleet router's route() both fit.
+using Submit = std::function<std::future<Response>(Request)>;
+
+/// Minimal bidirectional streambuf over a connected socket. Writes use
+/// send(MSG_NOSIGNAL) so a client hanging up mid-response surfaces as a
+/// stream error, not a fatal SIGPIPE. Reads and writes retry on EINTR and
+/// writes finish short sends, so a signal (SIGALRM, the interrupt
+/// handlers, a supervisor's health probe racing a SIGTERM) never corrupts
+/// or truncates a protocol line — the EINTR drill in the serve tests pins
+/// this. Exposed here (not an implementation detail) exactly so that
+/// drill can aim signals at a pinned-down buffer.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_buffer();
+
+  int fd_;
+  std::array<char, 4096> in_;
+  std::array<char, 4096> out_;
+};
+
 /// Reads newline-delimited requests from `in` until EOF, writes one
 /// response line per request to `out` in request order. A malformed line
 /// produces an `error` response (null id) instead of tearing the
 /// connection down.
+void serve_lines(std::istream& in, std::ostream& out, const Submit& submit);
 void serve_lines(std::istream& in, std::ostream& out,
                  AnalysisService& service);
 
@@ -29,9 +68,11 @@ void serve_lines(std::istream& in, std::ostream& out,
 /// loop on its own thread. Construction binds and starts accepting;
 /// stop() (idempotent, also run by the destructor) shuts the listener
 /// and every open connection down and joins the threads. Draining the
-/// service itself is the caller's business (AnalysisService::shutdown).
+/// sink behind `submit` is the caller's business (AnalysisService::
+/// shutdown, Fleet::stop).
 class SocketServer {
  public:
+  SocketServer(Submit submit, std::string socket_path);
   SocketServer(AnalysisService& service, std::string socket_path);
   ~SocketServer();
 
@@ -45,7 +86,7 @@ class SocketServer {
  private:
   void accept_loop();
 
-  AnalysisService& service_;
+  Submit submit_;
   std::string path_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
@@ -56,9 +97,12 @@ class SocketServer {
 };
 
 /// One round trip over a server socket: connect, send `request`, read one
-/// response line. CheckError when the server is unreachable or hangs up
-/// without answering.
-Response socket_call(const std::string& socket_path, const Request& request);
+/// response line. CheckError when the server is unreachable, hangs up
+/// without answering, or (timeout_ms > 0) takes longer than `timeout_ms`
+/// to accept the request bytes or produce the response — the supervisor's
+/// wedged-worker detector.
+Response socket_call(const std::string& socket_path, const Request& request,
+                     int timeout_ms = 0);
 
 /// Self-healing client policy: how often and how patiently to re-dial.
 struct RetryPolicy {

@@ -1,0 +1,674 @@
+// Self-healing fleet suite (DESIGN.md §12).
+//
+// Unit layers first — the consistent-hash ring, the circuit breaker and
+// the restart policy are pure state machines driven here with fixed keys
+// and a fake clock, so every transition is pinned deterministically. Then
+// the transport hardening drills (a SIGALRM storm against FdStreamBuf, a
+// mute server against socket_call's timeout), the cross-process run-cache
+// merge, and live supervision: a SIGKILLed worker is restarted, a worker
+// that dies on startup is benched and the fleet reports itself degraded.
+//
+// The headline is the kill-a-shard chaos drill: a collect is issued
+// through the fleet front door, the ring owner is SIGKILLed once its
+// write-ahead journal holds a seeded number of committed runs, and the
+// test asserts the request still completes — resumed on a ring survivor
+// from the dead shard's journal, with the journaled prefix replayed (not
+// re-simulated) and the final archive byte-identical to a fault-free run.
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "common/monotime.hpp"
+#include "common/subprocess.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/journal.hpp"
+#include "engine/run_cache.hpp"
+#include "obs/json.hpp"
+#include "serve/fleet/breaker.hpp"
+#include "serve/fleet/fleet.hpp"
+#include "serve/fleet/ring.hpp"
+#include "serve/fleet/router.hpp"
+#include "serve/fleet/supervisor.hpp"
+#include "serve/fleet/worker.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace scaltool {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string tmp_path(const std::string& tag) {
+  return "/tmp/scaltool_fleet_" + tag + "_" + std::to_string(::getpid());
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+int run_cli(const std::vector<std::string>& args, std::string* out = nullptr) {
+  std::ostringstream os;
+  const int rc = cli::run_command(args, os);
+  if (out != nullptr) *out = os.str();
+  return rc;
+}
+
+serve::Request make_request(std::string op, std::vector<std::string> args) {
+  serve::Request req;
+  req.id = obs::JsonValue(1.0);
+  req.op = std::move(op);
+  req.args = std::move(args);
+  return req;
+}
+
+/// Small but real worker configuration every fleet test shares.
+serve::SupervisorOptions small_supervisor(int shards,
+                                          const std::string& socket_dir) {
+  ::mkdir(socket_dir.c_str(), 0777);
+  serve::SupervisorOptions options;
+  options.shards = shards;
+  options.socket_dir = socket_dir;
+  options.worker.workers = 2;  // one seat stays free for health probes
+  options.worker.engine_jobs = 1;
+  options.worker.result_cache_entries = 0;
+  options.restart.backoff_ms = 10;
+  options.restart.max_deaths = 3;
+  options.restart.window_ms = 60000;
+  options.tick_ms = 5;
+  options.health_interval_ms = 200;
+  options.health_timeout_ms = 10000;  // a busy worker is not a wedged worker
+  options.stop_grace_ms = 5000;
+  options.stop_term_ms = 2000;
+  return options;
+}
+
+// ---- HashRing ----------------------------------------------------------
+
+std::uint64_t ring_key(int i) {
+  return static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL + 1;
+}
+
+TEST(HashRing, DeterministicAndInRange) {
+  const serve::HashRing ring(4);
+  const serve::HashRing twin(4);
+  for (int i = 0; i < 256; ++i) {
+    const int shard = ring.pick(ring_key(i));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, twin.pick(ring_key(i)));
+  }
+  EXPECT_EQ(ring.pick(7, {false, false, false, false}), -1);
+}
+
+TEST(HashRing, PickOrderedWalksDistinctLiveShards) {
+  const serve::HashRing ring(4);
+  for (int i = 0; i < 64; ++i) {
+    const std::vector<int> order = ring.pick_ordered(ring_key(i), 4);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], ring.pick(ring_key(i)));
+    EXPECT_EQ(std::set<int>(order.begin(), order.end()).size(), 4u);
+    // When the owner dies, its keys land exactly on its ring successor.
+    std::vector<bool> live(4, true);
+    live[static_cast<std::size_t>(order[0])] = false;
+    EXPECT_EQ(ring.pick(ring_key(i), live), order[1]);
+  }
+}
+
+TEST(HashRing, DeathMovesOnlyTheDeadShardsKeys) {
+  const serve::HashRing ring(4);
+  constexpr int kDead = 2;
+  std::vector<bool> live(4, true);
+  live[kDead] = false;
+  int moved = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int before = ring.pick(ring_key(i));
+    const int after = ring.pick(ring_key(i), live);
+    if (before != kDead) {
+      EXPECT_EQ(after, before) << "key " << i << " moved needlessly";
+    } else {
+      EXPECT_NE(after, kDead);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);  // the dead shard owned something
+}
+
+TEST(HashRing, OwnershipSumsToOneAndDeadShardsOwnNothing) {
+  const serve::HashRing ring(4);
+  const std::vector<double> all = ring.ownership();
+  double sum = 0.0;
+  for (const double f : all) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  const std::vector<double> down = ring.ownership({true, false, true, true});
+  EXPECT_EQ(down[1], 0.0);
+  EXPECT_NEAR(down[0] + down[2] + down[3], 1.0, 1e-9);
+}
+
+// ---- CircuitBreaker (fake clock) ---------------------------------------
+
+struct FakeClock {
+  MonoClock::TimePoint now{};
+  serve::NowFn fn() {
+    return [this] { return now; };
+  }
+  void advance_ms(int ms) { now += std::chrono::milliseconds(ms); }
+};
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  FakeClock clock;
+  serve::CircuitBreaker breaker({.failure_threshold = 3, .cooldown_ms = 500},
+                                clock.fn());
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kClosed);
+  }
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // third consecutive: trips
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  // A success along the way resets the consecutive count.
+  FakeClock clock2;
+  serve::CircuitBreaker healthy({.failure_threshold = 3, .cooldown_ms = 500},
+                                clock2.fn());
+  healthy.record_failure();
+  healthy.record_failure();
+  healthy.record_success();
+  healthy.record_failure();
+  healthy.record_failure();
+  EXPECT_EQ(healthy.state(), serve::CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsOneProbeWhoseOutcomeDecides) {
+  FakeClock clock;
+  serve::CircuitBreaker breaker({.failure_threshold = 1, .cooldown_ms = 100},
+                                clock.fn());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+  clock.advance_ms(99);
+  EXPECT_FALSE(breaker.allow());  // still cooling
+  clock.advance_ms(2);
+  EXPECT_TRUE(breaker.allow());  // the single half-open probe
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // probe slot taken
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+
+  // And the unlucky path: the probe fails, the breaker re-opens at once.
+  breaker.record_failure();
+  clock.advance_ms(101);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_STREQ(breaker.state_name(), "open");
+}
+
+// ---- RestartPolicy (fake clock) ----------------------------------------
+
+TEST(RestartPolicy, BackoffDoublesPerDeathInBurstAndClamps) {
+  serve::RestartPolicy policy({.backoff_ms = 50,
+                               .max_backoff_ms = 120,
+                               .max_deaths = 10,
+                               .window_ms = 60000});
+  MonoClock::TimePoint t{};
+  const auto d1 = policy.on_death(t);
+  EXPECT_FALSE(d1.bench);
+  EXPECT_EQ(d1.restart_at - t, 50ms);
+  t += 10ms;
+  const auto d2 = policy.on_death(t);
+  EXPECT_EQ(d2.restart_at - t, 100ms);
+  t += 10ms;
+  const auto d3 = policy.on_death(t);  // 200ms clamped to the cap
+  EXPECT_EQ(d3.restart_at - t, 120ms);
+  EXPECT_EQ(policy.deaths(), 3);
+}
+
+TEST(RestartPolicy, BenchesAtMaxDeathsWithinWindow) {
+  serve::RestartPolicy policy({.backoff_ms = 10,
+                               .max_backoff_ms = 1000,
+                               .max_deaths = 3,
+                               .window_ms = 1000});
+  MonoClock::TimePoint t{};
+  EXPECT_FALSE(policy.on_death(t).bench);
+  EXPECT_FALSE(policy.on_death(t + 100ms).bench);
+  EXPECT_TRUE(policy.on_death(t + 200ms).bench);
+  EXPECT_EQ(policy.recent_deaths(), 3);
+}
+
+TEST(RestartPolicy, OldDeathsFallOutOfTheWindow) {
+  serve::RestartPolicy policy({.backoff_ms = 10,
+                               .max_backoff_ms = 1000,
+                               .max_deaths = 3,
+                               .window_ms = 1000});
+  MonoClock::TimePoint t{};
+  EXPECT_FALSE(policy.on_death(t).bench);
+  // 2s later the first death is ancient history: a new pair is only a
+  // burst of two, and its first member restarts at base backoff again.
+  const auto late = policy.on_death(t + 2000ms);
+  EXPECT_FALSE(late.bench);
+  EXPECT_EQ(late.restart_at - (t + 2000ms), 10ms);
+  EXPECT_FALSE(policy.on_death(t + 2100ms).bench);
+  EXPECT_TRUE(policy.on_death(t + 2200ms).bench);
+}
+
+TEST(RestartPolicy, SurvivedWindowResetsTheBurst) {
+  serve::RestartPolicy policy({.backoff_ms = 10,
+                               .max_backoff_ms = 1000,
+                               .max_deaths = 3,
+                               .window_ms = 1000});
+  MonoClock::TimePoint t{};
+  policy.on_death(t);
+  policy.on_death(t + 10ms);
+  policy.on_survived_window();
+  EXPECT_EQ(policy.recent_deaths(), 0);
+  const auto next = policy.on_death(t + 20ms);
+  EXPECT_FALSE(next.bench);
+  EXPECT_EQ(next.restart_at - (t + 20ms), 10ms);  // base backoff again
+  EXPECT_EQ(policy.deaths(), 3);                  // lifetime count survives
+}
+
+// ---- Transport hardening -----------------------------------------------
+
+void sigalrm_noop(int) {}
+
+// A storm of non-SA_RESTART SIGALRMs against both ends of a socket while a
+// payload much larger than the 4 KiB buffer crosses it: every recv/send in
+// FdStreamBuf eats EINTR and finishes short writes, so the line arrives
+// intact. Without the retry loops this reads as a torn stream.
+TEST(TransportHardening, FdStreamBufSurvivesSignalStorm) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int sndbuf = 4096;  // keep the writer blocking, in signal range
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof sndbuf);
+
+  struct sigaction action {};
+  action.sa_handler = sigalrm_noop;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction saved {};
+  ASSERT_EQ(::sigaction(SIGALRM, &action, &saved), 0);
+
+  const std::string payload(256 * 1024, 'x');
+  std::atomic<bool> done{false};
+  const pthread_t reader_thread = ::pthread_self();
+  std::thread writer([&] {
+    serve::FdStreamBuf buf(fds[0]);
+    std::ostream os(&buf);
+    os << payload << "\n" << std::flush;
+    ::shutdown(fds[0], SHUT_WR);
+  });
+  std::thread pepper([&, writer_thread = writer.native_handle()] {
+    for (int i = 0; i < 2000 && !done.load(); ++i) {
+      ::pthread_kill(writer_thread, SIGALRM);
+      ::pthread_kill(reader_thread, SIGALRM);
+      std::this_thread::sleep_for(200us);
+    }
+  });
+
+  serve::FdStreamBuf buf(fds[1]);
+  std::istream is(&buf);
+  std::string line;
+  const bool got = static_cast<bool>(std::getline(is, line));
+  done = true;
+  pepper.join();
+  writer.join();
+  ::sigaction(SIGALRM, &saved, nullptr);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_TRUE(got);
+  ASSERT_EQ(line.size(), payload.size());
+  EXPECT_EQ(line, payload);
+}
+
+// A server that accepts the connection bytes but never answers must not
+// hang the caller forever: socket_call's timeout turns the silence into a
+// CheckError (the supervisor's wedged-worker detector rides on this).
+TEST(TransportHardening, SocketCallTimesOutOnAMuteServer) {
+  const std::string path = tmp_path("mute") + ".sock";
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);  // listen, never accept, never answer
+
+  const MonoClock::TimePoint t0 = MonoClock::now();
+  EXPECT_THROW(serve::socket_call(path, make_request("ping", {}), 200),
+               CheckError);
+  EXPECT_LT(MonoClock::seconds_since(t0), 30.0);
+  ::close(fd);
+  ::unlink(path.c_str());
+}
+
+// ---- RunCache: cross-process merge under flock -------------------------
+
+RunSpec cache_spec() { return {"swim", 1 << 20, 4, false}; }
+
+JobOutcome cache_outcome(std::uint64_t key) {
+  JobOutcome out;
+  out.record.workload = "swim";
+  out.record.dataset_bytes = 1 << 20;
+  out.record.num_procs = 4;
+  out.record.execution_cycles = static_cast<double>(key);
+  return out;
+}
+
+// Two processes hammer one cache file with interleaved insert+save rounds
+// on disjoint keys. Merge-on-save under the advisory lock must union the
+// work: a last-writer-wins save would erase the sibling's entries.
+TEST(RunCacheSharing, ConcurrentSavesFromTwoProcessesMerge) {
+  const std::string path = tmp_path("cache") + ".txt";
+  ::unlink(path.c_str());
+  ::unlink((path + ".lock").c_str());
+
+  constexpr int kRounds = 20;
+  const auto writer = [&path](std::uint64_t base) {
+    return [&path, base]() -> int {
+      for (int i = 0; i < kRounds; ++i) {
+        // A fresh cache per round maximizes read-merge-write interleaving.
+        RunCache cache(path);
+        const std::uint64_t key = base + static_cast<std::uint64_t>(i);
+        cache.insert(key, cache_spec(), cache_outcome(key));
+        cache.save();
+      }
+      return 0;
+    };
+  };
+  const pid_t a = spawn_child(writer(1000), {});
+  const pid_t b = spawn_child(writer(2000), {});
+  const ChildExit ra = reap(a);
+  const ChildExit rb = reap(b);
+  ASSERT_TRUE(ra.exited());
+  ASSERT_TRUE(rb.exited());
+  EXPECT_EQ(ra.exit_code(), 0);
+  EXPECT_EQ(rb.exit_code(), 0);
+
+  RunCache merged(path);
+  EXPECT_EQ(merged.corrupt_entries(), 0u);
+  EXPECT_EQ(merged.loaded_entries(), 2u * kRounds);
+  for (const std::uint64_t base : {1000u, 2000u})
+    for (int i = 0; i < kRounds; ++i) {
+      const std::uint64_t key = base + static_cast<std::uint64_t>(i);
+      const auto hit = merged.find(key, cache_spec());
+      ASSERT_TRUE(hit.has_value()) << "lost entry " << key;
+      EXPECT_DOUBLE_EQ(hit->record.execution_cycles,
+                       static_cast<double>(key));
+    }
+  ::unlink(path.c_str());
+  ::unlink((path + ".lock").c_str());
+}
+
+// ---- Supervisor --------------------------------------------------------
+
+TEST(Supervisor, RestartsASigkilledWorker) {
+  serve::Supervisor supervisor(small_supervisor(2, tmp_path("sup_restart")));
+  ASSERT_TRUE(supervisor.wait_ready(30000));
+  const pid_t victim = supervisor.pid_of(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  const MonoClock::TimePoint t0 = MonoClock::now();
+  while ((supervisor.pid_of(0) == victim || !supervisor.is_live(0)) &&
+         MonoClock::seconds_since(t0) < 30.0)
+    std::this_thread::sleep_for(5ms);
+  EXPECT_NE(supervisor.pid_of(0), victim);
+  EXPECT_TRUE(supervisor.is_live(0));
+  EXPECT_GE(supervisor.deaths_total(), 1u);
+  EXPECT_GE(supervisor.restarts_total(), 1u);
+  // The restarted incarnation rebinds the same socket and serves.
+  ASSERT_TRUE(supervisor.wait_ready(30000));
+  const serve::Response pong =
+      serve::socket_call(supervisor.socket_of(0), make_request("ping", {}));
+  EXPECT_EQ(pong.output, "pong\n");
+
+  const std::vector<serve::WorkerStatus> status = supervisor.status();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_EQ(status[0].restarts, 1);
+  EXPECT_EQ(status[0].deaths, 1);
+  EXPECT_EQ(status[1].restarts, 0);
+  supervisor.stop();
+}
+
+// ---- Fleet front door --------------------------------------------------
+
+TEST(Fleet, IntrospectionIsAnsweredLocallyAndWorkRoutes) {
+  serve::FleetOptions options;
+  options.supervisor = small_supervisor(2, tmp_path("fleet_front"));
+  serve::Fleet fleet(options);
+  ASSERT_TRUE(fleet.supervisor().wait_ready(30000));
+
+  const serve::Response pong = fleet.call(make_request("ping", {}));
+  EXPECT_EQ(pong.output, "pong\n");
+  EXPECT_EQ(pong.exit_code, 0);
+
+  // A routed analyze answers with the exact CLI bytes.
+  const std::vector<std::string> matrix = {"swim", "--size=2xL2",
+                                           "--max-procs=4", "--iters=2"};
+  std::string direct;
+  std::vector<std::string> cli_args = {"analyze"};
+  cli_args.insert(cli_args.end(), matrix.begin(), matrix.end());
+  ASSERT_EQ(run_cli(cli_args, &direct), 0);
+  const serve::Response routed = fleet.call(make_request("analyze", matrix));
+  EXPECT_EQ(routed.exit_code, 0);
+  EXPECT_EQ(routed.status, serve::Status::kOk);
+  EXPECT_EQ(routed.output, direct);
+
+  const serve::Response health = fleet.call(make_request("health", {}));
+  EXPECT_EQ(health.exit_code, 0);
+  const obs::JsonValue doc = obs::json_parse(health.stats_json);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_EQ(doc.at("shards").as_number(), 2.0);
+  EXPECT_EQ(doc.at("live").as_number(), 2.0);
+  const auto& workers = doc.at("workers").as_array();
+  ASSERT_EQ(workers.size(), 2u);
+  double keys = 0.0;
+  for (const obs::JsonValue& w : workers) {
+    EXPECT_GT(w.at("pid").as_number(), 0.0);
+    EXPECT_EQ(w.at("state").as_string(), "live");
+    EXPECT_EQ(w.at("breaker").as_string(), "closed");
+    EXPECT_GT(w.at("keys_owned").as_number(), 0.0);
+    EXPECT_GE(w.at("journal_lag").as_number(), 0.0);
+    keys += w.at("keys_owned").as_number();
+  }
+  EXPECT_NEAR(keys, 1.0, 1e-6);
+
+  const serve::Response stats = fleet.call(make_request("stats", {}));
+  const obs::JsonValue s = obs::json_parse(stats.stats_json);
+  EXPECT_GE(s.at("routed").as_number(), 1.0);
+  EXPECT_EQ(s.at("benched").as_number(), 0.0);
+  fleet.stop();
+}
+
+TEST(Fleet, HedgedReadStillAnswersExactly) {
+  serve::FleetOptions options;
+  options.supervisor = small_supervisor(2, tmp_path("fleet_hedge"));
+  options.router.hedge_after_ms = 1;  // force the hedge to fire
+  serve::Fleet fleet(options);
+  ASSERT_TRUE(fleet.supervisor().wait_ready(30000));
+
+  const std::vector<std::string> matrix = {"swim", "--size=2xL2",
+                                           "--max-procs=4", "--iters=2"};
+  std::string direct;
+  ASSERT_EQ(run_cli({"analyze", "swim", "--size=2xL2", "--max-procs=4",
+                     "--iters=2"},
+                    &direct),
+            0);
+  const serve::Response routed = fleet.call(make_request("analyze", matrix));
+  EXPECT_EQ(routed.exit_code, 0);
+  EXPECT_EQ(routed.output, direct);  // either leg, identical bytes
+  EXPECT_GE(fleet.router().hedges(), 1u);
+  fleet.stop();
+}
+
+TEST(Fleet, CrashLoopingShardIsBenchedAndFleetReportsDegraded) {
+  serve::FleetOptions options;
+  options.supervisor = small_supervisor(2, tmp_path("fleet_bench"));
+  options.supervisor.restart.backoff_ms = 1;
+  options.supervisor.worker_entry = [](const serve::WorkerSpec& spec,
+                                       int lifeline_fd) {
+    if (spec.shard == 0) return 1;  // dies on startup: a crash loop
+    return serve::fleet_worker_main(spec, lifeline_fd);
+  };
+  serve::Fleet fleet(options);
+
+  const MonoClock::TimePoint t0 = MonoClock::now();
+  while (fleet.supervisor().benched_count() < 1 &&
+         MonoClock::seconds_since(t0) < 30.0)
+    std::this_thread::sleep_for(5ms);
+  ASSERT_EQ(fleet.supervisor().benched_count(), 1);
+  EXPECT_TRUE(fleet.degraded());
+  EXPECT_FALSE(fleet.supervisor().live_mask()[0]);
+  ASSERT_TRUE(fleet.supervisor().wait_ready(30000));  // the survivor serves
+
+  const serve::Response health = fleet.call(make_request("health", {}));
+  EXPECT_EQ(health.status, serve::Status::kDegraded);
+  EXPECT_EQ(health.exit_code, serve::kExitFleetDegraded);
+  const obs::JsonValue doc = obs::json_parse(health.stats_json);
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  EXPECT_EQ(doc.at("benched").as_number(), 1.0);
+  const auto& workers = doc.at("workers").as_array();
+  EXPECT_EQ(workers[0].at("state").as_string(), "benched");
+  EXPECT_EQ(workers[0].at("keys_owned").as_number(), 0.0);
+  EXPECT_EQ(workers[1].at("state").as_string(), "live");
+  EXPECT_NEAR(workers[1].at("keys_owned").as_number(), 1.0, 1e-6);
+
+  // The surviving shard carries the whole keyspace: work still lands.
+  const serve::Response routed = fleet.call(make_request(
+      "analyze", {"swim", "--size=2xL2", "--max-procs=4", "--iters=2"}));
+  EXPECT_EQ(routed.exit_code, 0);
+  fleet.stop();
+}
+
+// ---- The kill-a-shard chaos drill --------------------------------------
+
+/// Journaled-run count of a possibly mid-write journal; 0 when the file
+/// is absent or not yet parseable past the header.
+std::size_t journaled_runs(const std::string& journal) {
+  if (!file_exists(journal)) return 0;
+  try {
+    return replay_journal(journal).runs.size();
+  } catch (const CheckError&) {
+    return 0;  // header still in flight
+  }
+}
+
+// The acceptance drill: SIGKILL the ring owner of a collect mid-campaign,
+// at three seeded points measured in journaled runs. The router must fail
+// the request over to a ring survivor with `--resume`, the survivor must
+// replay the dead shard's journaled prefix instead of re-simulating it,
+// and the archive must come out byte-identical to a fault-free run.
+TEST(FleetDrill, KillAShardMidCollectResumesOnASurvivor) {
+  const std::vector<std::string> matrix = {"swim", "--size=2xL2",
+                                           "--max-procs=8", "--iters=2"};
+  const std::string ref_out = tmp_path("drill_ref") + ".archive";
+  std::vector<std::string> ref_args = {"collect"};
+  ref_args.insert(ref_args.end(), matrix.begin(), matrix.end());
+  ref_args.push_back("--out=" + ref_out);
+  ASSERT_EQ(run_cli(ref_args), 0);
+  const std::string ref_bytes = read_file(ref_out);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  for (const int crash_at : {1, 2, 3}) {
+    SCOPED_TRACE("crash_at=" + std::to_string(crash_at));
+    const std::string tag = "drill" + std::to_string(crash_at);
+    // A fresh fleet per seeded point: four cold worker processes, so the
+    // only way to skip simulation is the dead shard's journal.
+    serve::FleetOptions options;
+    options.supervisor = small_supervisor(4, tmp_path(tag + "_sockets"));
+    serve::Fleet fleet(options);
+    ASSERT_TRUE(fleet.supervisor().wait_ready(30000));
+
+    const std::string out = tmp_path(tag) + ".archive";
+    ::unlink(out.c_str());
+    std::vector<std::string> args = matrix;
+    args.push_back("--out=" + out);
+    const serve::Request request = make_request("collect", args);
+    const std::string journal = journal_path_for(out);
+    ::unlink(journal.c_str());
+
+    // The ring is deterministic, so the owner — the shard to murder — is
+    // known before dispatch.
+    const serve::HashRing ring(4, options.router.vnodes);
+    const int owner =
+        ring.pick(serve::FleetRouter::routing_key(request));
+    const pid_t victim = fleet.supervisor().pid_of(owner);
+    ASSERT_GT(victim, 0);
+
+    std::future<serve::Response> pending = fleet.submit(request);
+    bool armed = false;
+    const MonoClock::TimePoint t0 = MonoClock::now();
+    while (MonoClock::seconds_since(t0) < 120.0) {
+      if (journaled_runs(journal) >= static_cast<std::size_t>(crash_at)) {
+        armed = true;
+        break;
+      }
+      if (pending.wait_for(0s) == std::future_status::ready) break;
+      std::this_thread::sleep_for(200us);
+    }
+    ASSERT_TRUE(armed) << "campaign finished before the drill could fire";
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    const serve::Response response = pending.get();
+    EXPECT_EQ(response.status, serve::Status::kOk) << response.error;
+    EXPECT_EQ(response.exit_code, 0);
+    EXPECT_GE(fleet.router().failovers(), 1u);
+
+    // The survivor resumed from the dead shard's journal: the journaled
+    // prefix was replayed, not re-simulated.
+    const auto at = response.output.find("journal: replayed ");
+    ASSERT_NE(at, std::string::npos) << response.output;
+    std::size_t replayed = 0, total = 0, simulated = 0;
+    ASSERT_EQ(std::sscanf(response.output.c_str() + at,
+                          "journal: replayed %zu of %zu runs (%zu simulated)",
+                          &replayed, &total, &simulated),
+              3)
+        << response.output;
+    EXPECT_GE(replayed, static_cast<std::size_t>(crash_at));
+    EXPECT_LE(replayed + simulated, total);
+    EXPECT_GT(total, 0u);
+
+    // Byte-identical archive, journal retired on commit.
+    EXPECT_EQ(read_file(out), ref_bytes);
+    EXPECT_FALSE(file_exists(journal));
+    fleet.stop();
+    ::unlink(out.c_str());
+  }
+  ::unlink(ref_out.c_str());
+}
+
+}  // namespace
+}  // namespace scaltool

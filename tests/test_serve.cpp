@@ -471,10 +471,12 @@ TEST(CliServe, ServeRequiresATransport) {
 TEST(CliServe, VersionFlag) {
   std::string out;
   EXPECT_EQ(run_cli({"--version"}, &out), 0);
-  EXPECT_EQ(out, "scaltool 0.5.0\n");
+  EXPECT_EQ(out, "scaltool 0.6.0\n");
   EXPECT_EQ(run_cli({"help"}, &out), 0);
   EXPECT_NE(out.find("serve --socket"), std::string::npos);
+  EXPECT_NE(out.find("fleet --socket"), std::string::npos);
   EXPECT_NE(out.find("4  unavailable"), std::string::npos);
+  EXPECT_NE(out.find("7  fleet degraded"), std::string::npos);
 }
 
 }  // namespace
