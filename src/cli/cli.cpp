@@ -3,10 +3,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "apps/apps.hpp"
@@ -18,6 +20,8 @@
 #include "engine/fault_injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_merge.hpp"
 #include "runner/runner.hpp"
 #include "serve/exec.hpp"
 #include "serve/fleet/fleet.hpp"
@@ -34,7 +38,7 @@ namespace scaltool::cli {
 namespace {
 
 /// Reported by --version; bump alongside the project() version.
-constexpr const char* kVersion = "0.6.0";
+constexpr const char* kVersion = "0.7.0";
 
 int cmd_list(std::ostream& os) {
   register_standard_workloads();
@@ -82,12 +86,72 @@ int cmd_region(const Args& args, std::ostream& os) {
 }
 
 int cmd_stats(const Args& args, std::ostream& os) {
+  const std::string socket = args.get("socket", "");
   const std::string path = args.positional(1, "");
-  ST_CHECK_MSG(!path.empty(), "usage: scaltool stats <metrics.json>");
+  const bool prometheus = args.has("prometheus");
+  const bool follow = args.has("follow");
+  const int interval_ms = args.get_int("interval-ms", 2000);
+  const int iterations = args.get_int("iterations", 0);
+  ST_CHECK_MSG(!path.empty() || !socket.empty(),
+               "usage: scaltool stats <metrics.json> | --socket=PATH "
+               "[--prometheus] [--follow --interval-ms=T --iterations=N]");
+  ST_CHECK_MSG(socket.empty() || path.empty(),
+               "--socket and a metrics file are mutually exclusive");
+  ST_CHECK_MSG(!follow || !socket.empty(),
+               "--follow needs --socket (a file does not change underneath)");
+  ST_CHECK_MSG(interval_ms >= 1, "--interval-ms must be >= 1");
   serve::warn_unused(args, os);
-  const obs::MetricsSnapshot snap =
-      obs::parse_metrics_json(obs::read_text_file(path));
-  for (const Table& table : obs::metrics_tables(snap)) table.print(os);
+
+  const auto fetch = [&socket, &path] {
+    if (socket.empty())
+      return obs::parse_metrics_json(obs::read_text_file(path));
+    serve::Request request;
+    request.op = "metrics";
+    const serve::Response response = serve::socket_call(socket, request, 5000);
+    ST_CHECK_MSG(!response.stats_json.empty(),
+                 "the server returned no metrics payload");
+    return obs::parse_metrics_json(response.stats_json);
+  };
+  const auto render = [prometheus, &os](const obs::MetricsSnapshot& snap) {
+    if (prometheus)
+      os << obs::prometheus_text(snap);
+    else
+      for (const Table& table : obs::metrics_tables(snap)) table.print(os);
+  };
+
+  if (!follow) {
+    render(fetch());
+    return 0;
+  }
+  // Live watching: re-scrape on a cadence until the iteration budget (0 =
+  // forever) runs out or a signal terminates the process.
+  for (int i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      os << "\n";
+    }
+    render(fetch());
+    os.flush();
+  }
+  return 0;
+}
+
+int cmd_trace_merge(const Args& args, std::ostream& os) {
+  const std::string out = args.get("out", "");
+  ST_CHECK_MSG(!out.empty(),
+               "usage: scaltool trace-merge --out=FILE <trace.json>...");
+  std::vector<obs::NamedTrace> traces;
+  for (std::size_t i = 1;; ++i) {
+    const std::string path = args.positional(i, "");
+    if (path.empty()) break;
+    traces.push_back(obs::NamedTrace{path, obs::read_text_file(path)});
+  }
+  ST_CHECK_MSG(!traces.empty(),
+               "trace-merge needs at least one input trace");
+  serve::warn_unused(args, os);
+  obs::write_text_file(out, obs::merge_chrome_traces(traces));
+  os << "merged " << traces.size() << " trace"
+     << (traces.size() == 1 ? "" : "s") << " into " << out << "\n";
   return 0;
 }
 
@@ -211,10 +275,20 @@ int cmd_fleet(const Args& args, std::ostream& os) {
       "breaker-failures", options.router.breaker.failure_threshold);
   options.router.breaker.cooldown_ms =
       args.get_int("breaker-cooldown-ms", options.router.breaker.cooldown_ms);
+  // Observability (DESIGN.md §13): --obs turns on fleet-wide tracing and
+  // metrics, --trace-out implies it and also writes the merged timeline
+  // at drain, --fdr arms the per-shard crash flight recorder.
+  const std::string trace_out = args.get("trace-out", "");
+  const bool obs_on = args.has("obs") || !trace_out.empty();
+  const bool fdr_on = args.has("fdr");
+  options.supervisor.worker_obs = obs_on;
+  options.supervisor.worker_fdr = fdr_on;
+  options.supervisor.scrape_metrics = obs_on || fdr_on;
   serve::warn_unused(args, os);
 
   ::mkdir(options.supervisor.socket_dir.c_str(), 0777);  // EEXIST is fine
 
+  if (obs_on) obs::enable();  // the front door records fleet.request spans
   serve::Fleet fleet(std::move(options));
   fleet.supervisor().wait_ready(/*timeout_ms=*/15000);
   serve::SocketServer server(
@@ -232,6 +306,15 @@ int cmd_fleet(const Args& args, std::ostream& os) {
   server.stop();
   const bool degraded = fleet.degraded();
   fleet.stop();
+  if (obs_on) obs::disable();
+  if (!trace_out.empty()) {
+    try {
+      fleet.write_merged_trace(trace_out);
+      os << "scaltool fleet: merged trace written to " << trace_out << "\n";
+    } catch (const CheckError& e) {
+      os << "scaltool fleet: trace merge failed: " << e.what() << "\n";
+    }
+  }
   os << "scaltool fleet: drained; stats " << fleet.stats_json() << "\n";
   if (interrupt_requested()) return kExitInterrupted;
   return degraded ? serve::kExitFleetDegraded : 0;
@@ -353,7 +436,14 @@ void print_help(std::ostream& os) {
         "      [--l2x=K --tm-scale=F --t2-scale=F --tsyn-scale=F\n"
         "       --pi0-scale=F --robust-fit --jobs=N --cache=FILE]\n"
         "  stats <metrics.json>         pretty-print an exported metrics\n"
-        "                               file (see --metrics-out)\n"
+        "                               file (see --metrics-out), or scrape\n"
+        "                               a live server's registry\n"
+        "      [--socket=PATH --prometheus --follow --interval-ms=T\n"
+        "       --iterations=N]\n"
+        "  trace-merge --out=FILE <trace.json>...\n"
+        "                               fuse per-process Chrome traces into\n"
+        "                               one timeline (lanes per process,\n"
+        "                               clocks rebased; DESIGN.md §13)\n"
         "  region <app> <region>        segment-level analysis\n"
         "  record <app> --out=FILE      capture an address trace\n"
         "      [--procs=N --size=S --iters=I]\n"
@@ -375,10 +465,20 @@ void print_help(std::ostream& os) {
         "      [--shards=N --socket-dir=DIR --restart-backoff-ms=M\n"
         "       --max-deaths=K --death-window-ms=W --breaker-failures=N\n"
         "       --breaker-cooldown-ms=M --call-timeout-ms=T --hedge-ms=H\n"
+        "       --obs --trace-out=FILE --fdr\n"
         "       + the serve worker options above]\n"
+        "      --obs            fleet-wide tracing + metrics scraping; each\n"
+        "                       request is tagged with a trace_id minted at\n"
+        "                       the front door and followed across shards\n"
+        "      --trace-out=FILE write the merged fleet timeline at drain\n"
+        "                       (implies --obs; open in Perfetto)\n"
+        "      --fdr            per-shard crash flight recorder: a dead\n"
+        "                       shard leaves <socket>.postmortem.txt with\n"
+        "                       its last events and in-flight request ids\n"
         "  request [--socket=PATH] <op> [op options]\n"
         "                               send one request (analyze, whatif,\n"
-        "                               collect, stats, health, ping) to a\n"
+        "                               collect, stats, health, metrics,\n"
+        "                               ping) to a\n"
         "                               running server — or, without\n"
         "                               --socket, to an in-process one-shot\n"
         "                               service — and print the response\n"
@@ -481,6 +581,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     if (command == "analyze") return serve::exec_analyze(args, os);
     if (command == "whatif") return serve::exec_whatif(args, os);
     if (command == "stats") return cmd_stats(args, os);
+    if (command == "trace-merge") return cmd_trace_merge(args, os);
     if (command == "region") return cmd_region(args, os);
     if (command == "record") return cmd_record(args, os);
     if (command == "replay") return cmd_replay(args, os);

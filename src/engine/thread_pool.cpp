@@ -70,10 +70,9 @@ void ThreadPool::worker_loop() {
     queue_changed_.notify_all();
     static obs::Counter& executed =
         obs::MetricRegistry::instance().counter("pool.tasks_executed");
-    {
-      obs::Span span("pool.task", "pool");
-      call();
-    }
+    // The pool.task span is recorded by the submit() wrapper (it runs
+    // under the submitter's trace context); here we only count.
+    call();
     executed.add();
   }
 }

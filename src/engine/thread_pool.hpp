@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/telemetry.hpp"
 
 namespace scaltool {
 
@@ -46,7 +47,14 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<Result()>>(
         std::forward<Fn>(fn));
     std::future<Result> future = task->get_future();
-    enqueue([task] { (*task)(); });
+    // Capture the submitter's trace context so the task's spans carry the
+    // same trace_id the originating request did (DESIGN.md §13). The
+    // pool.task span lives here, inside the scope, for the same reason.
+    enqueue([task, ctx = obs::current_trace()]() mutable {
+      obs::TraceScope scope(std::move(ctx));
+      obs::Span span("pool.task", "pool");
+      (*task)();
+    });
     return future;
   }
 

@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -19,7 +20,15 @@ void append_trace_args(std::ostream& os, const std::vector<TraceArg>& args) {
   if (args.empty()) return;
   os << ",\"args\":{";
   bool first = true;
-  for (const TraceArg& a : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const TraceArg& a = args[i];
+    // Last occurrence of a key wins (the auto-attached trace_id loses to
+    // an explicit span arg); the strict parser rejects duplicate keys, so
+    // emitting both would make the trace unmergeable.
+    bool superseded = false;
+    for (std::size_t j = i + 1; j < args.size() && !superseded; ++j)
+      superseded = args[j].key == a.key;
+    if (superseded) continue;
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(a.key) << "\":";
@@ -31,14 +40,14 @@ void append_trace_args(std::ostream& os, const std::vector<TraceArg>& args) {
   os << '}';
 }
 
-void append_event(std::ostream& os, int tid, const TraceEvent& e,
-                  bool& first) {
+void append_event(std::ostream& os, std::int64_t pid, int tid,
+                  const TraceEvent& e, bool& first) {
   if (!first) os << ",\n";
   first = false;
   os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
      << json_escape(e.category) << "\",\"ph\":\"" << e.phase << "\",\"ts\":"
      << std::fixed << std::setprecision(3) << e.ts_us
-     << std::defaultfloat << ",\"pid\":0,\"tid\":" << tid;
+     << std::defaultfloat << ",\"pid\":" << pid << ",\"tid\":" << tid;
   if (e.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
   append_trace_args(os, e.args);
   os << '}';
@@ -62,48 +71,96 @@ void append_histogram(std::ostream& os, const HistogramData& h) {
 
 }  // namespace
 
-std::string chrome_trace_json() {
+std::string chrome_trace_json() { return chrome_trace_json(TraceProcessInfo{}); }
+
+std::string chrome_trace_json(const TraceProcessInfo& info) {
   const std::vector<ThreadTrace> threads = collect_trace();
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"pid\":" << info.pid
+     << ",\"process_name\":\"" << json_escape(info.process_name)
+     << "\",\"t0_nanos\":" << session_t0_nanos() << "},\"traceEvents\":[\n";
   // Metadata first: a process name and one thread_name per thread, so the
   // viewer labels lanes even before the first real event.
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-        "\"args\":{\"name\":\"scaltool\"}}";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << info.pid
+     << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(info.process_name)
+     << "\"}}";
   bool first = false;
   for (const ThreadTrace& t : threads)
-    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
-       << t.tid << ",\"args\":{\"name\":\"thread-" << t.tid << "\"}}";
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << info.pid
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\"thread-" << t.tid
+       << "\"}}";
   for (const ThreadTrace& t : threads)
-    for (const TraceEvent& e : t.events) append_event(os, t.tid, e, first);
+    for (const TraceEvent& e : t.events)
+      append_event(os, info.pid, t.tid, e, first);
   os << "\n]}\n";
   return os.str();
 }
 
-std::string metrics_json(const MetricsSnapshot& snap) {
+std::string metrics_json(const MetricsSnapshot& snap, bool compact) {
+  // In compact mode the document must be a single physical line — it is
+  // embedded raw in the NDJSON wire protocol's stats_json field.
+  const char* nl = compact ? "" : "\n";
+  const char* indent = compact ? "" : "  ";
   std::ostringstream os;
-  os << "{\n\"schema\":\"" << kMetricsSchema << "\",\n\"version\":"
-     << kMetricsVersion << ",\n\"counters\":{";
+  os << "{" << nl << "\"schema\":\"" << kMetricsSchema << "\"," << nl
+     << "\"version\":" << kMetricsVersion << "," << nl << "\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : snap.counters) {
-    os << (first ? "\n" : ",\n") << "  \"" << json_escape(name) << "\":" << v;
+    os << (first ? nl : (compact ? "," : ",\n")) << indent << "\""
+       << json_escape(name) << "\":" << v;
     first = false;
   }
-  os << (first ? "" : "\n") << "},\n\"gauges\":{";
+  os << (first ? "" : nl) << "}," << nl << "\"gauges\":{";
   first = true;
   for (const auto& [name, v] : snap.gauges) {
-    os << (first ? "\n" : ",\n") << "  \"" << json_escape(name)
-       << "\":" << json_number(v);
+    os << (first ? nl : (compact ? "," : ",\n")) << indent << "\""
+       << json_escape(name) << "\":" << json_number(v);
     first = false;
   }
-  os << (first ? "" : "\n") << "},\n\"histograms\":{";
+  os << (first ? "" : nl) << "}," << nl << "\"histograms\":{";
   first = true;
   for (const auto& [name, h] : snap.histograms) {
-    os << (first ? "\n" : ",\n") << "  \"" << json_escape(name) << "\":";
+    os << (first ? nl : (compact ? "," : ",\n")) << indent << "\""
+       << json_escape(name) << "\":";
     append_histogram(os, h);
     first = false;
   }
-  os << (first ? "" : "\n") << "}\n}\n";
+  os << (first ? "" : nl) << "}" << nl << "}" << nl;
+  return os.str();
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  const auto sanitize = [](const std::string& name) {
+    std::string out = "scaltool_";
+    for (const char c : name)
+      out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    return out;
+  };
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string p = sanitize(name) + "_total";
+    os << "# TYPE " << p << " counter\n" << p << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string p = sanitize(name);
+    os << "# TYPE " << p << " gauge\n" << p << ' ' << json_number(v) << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = sanitize(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      os << p << "_bucket{le=\"";
+      if (i < h.bounds.size())
+        os << json_number(h.bounds[i]);
+      else
+        os << "+Inf";
+      os << "\"} " << cumulative << '\n';
+    }
+    os << p << "_sum " << json_number(h.sum) << '\n'
+       << p << "_count " << h.count << '\n';
+  }
   return os.str();
 }
 

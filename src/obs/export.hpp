@@ -6,6 +6,7 @@
 // tests can diff structure and dashboards can diff content.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,15 +15,33 @@
 
 namespace scaltool::obs {
 
+/// Identity stamped into an exported trace so trace-merge can label its
+/// lane and rebase its clock (DESIGN.md §13).
+struct TraceProcessInfo {
+  std::int64_t pid = 0;
+  std::string process_name = "scaltool";
+};
+
 /// Renders everything recorded since enable() as Chrome trace_event JSON
 /// (load in chrome://tracing or https://ui.perfetto.dev). Emits process
-/// and per-thread metadata, then each thread's events in order.
+/// and per-thread metadata, then each thread's events in order. The
+/// document carries an "otherData" block ({pid, process_name, t0_nanos})
+/// so merge_chrome_traces can put several processes on one time axis.
 std::string chrome_trace_json();
+std::string chrome_trace_json(const TraceProcessInfo& info);
 
 /// Stable machine-readable rendering of a metrics snapshot:
 /// {"schema":"scaltool-metrics","version":1,"counters":{...},
-///  "gauges":{...},"histograms":{...}} with keys sorted.
-std::string metrics_json(const MetricsSnapshot& snap);
+///  "gauges":{...},"histograms":{...}} with keys sorted. With
+/// compact=true the document is a single line (no newlines at all), so it
+/// can ride inside the NDJSON wire protocol's `stats_json` field.
+std::string metrics_json(const MetricsSnapshot& snap, bool compact = false);
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot. Metric names
+/// are sanitized (`scaltool_` prefix, non-alphanumerics become `_`);
+/// counters get `_total`, histograms emit cumulative `_bucket{le="..."}`
+/// series plus `_sum` and `_count`.
+std::string prometheus_text(const MetricsSnapshot& snap);
 
 /// Parses metrics_json output back. Throws CheckError on malformed input
 /// or a wrong schema tag.

@@ -1,0 +1,291 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/monotime.hpp"
+
+namespace scaltool::obs {
+
+namespace detail {
+std::atomic<FlightRecorder*> g_flight_recorder{nullptr};
+}  // namespace detail
+
+namespace {
+
+constexpr char kMagic[16] = "scaltool-fdr";
+constexpr std::uint32_t kVersion = 1;
+
+/// File header, one per ring. The magic is written after the geometry, so
+/// a crash during creation leaves a file salvage rejects cleanly.
+struct FdrHeader {
+  char magic[16];
+  std::uint32_t version;
+  std::uint32_t slot_size;
+  std::uint32_t slot_count;
+  std::uint32_t reserved;
+  std::int64_t pid;
+  std::int64_t created_nanos;
+  std::atomic<std::uint64_t> cursor;  ///< total appends ever
+  char pad[128 - 16 - 4 * 4 - 8 - 8 - 8];
+};
+static_assert(sizeof(FdrHeader) == 128, "header layout is wire format");
+
+/// One fixed-width event slot. `seq` (claim + 1) is written last with
+/// release order; 0 marks an unwritten or torn slot.
+struct FdrSlot {
+  std::atomic<std::uint64_t> seq;
+  std::int64_t ts_nanos;
+  char phase;
+  char name[47];
+  char category[24];
+  char detail[40];
+};
+static_assert(sizeof(FdrSlot) == 128, "slot layout is wire format");
+
+void copy_field(char* dst, std::size_t cap, const char* src) noexcept {
+  if (src == nullptr) src = "";
+  std::size_t n = 0;
+  while (n + 1 < cap && src[n] != '\0') {
+    dst[n] = src[n];
+    ++n;
+  }
+  dst[n] = '\0';
+}
+
+std::string field_string(const char* src, std::size_t cap) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::find(src, src + cap, '\0') - src);
+  return std::string(src, n);
+}
+
+std::once_flag g_atfork_once;
+
+void register_atfork_uninstall() {
+  std::call_once(g_atfork_once, [] {
+    // A forked child inherits the parent's MAP_SHARED ring; writing into
+    // it from two processes would interleave garbage. The child starts
+    // with no recorder and installs its own.
+    ::pthread_atfork(nullptr, nullptr, [] {
+      detail::g_flight_recorder.store(nullptr, std::memory_order_relaxed);
+    });
+  });
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string path, std::uint32_t slot_count)
+    : path_(std::move(path)), slot_count_(slot_count) {
+  ST_CHECK_MSG(slot_count_ >= 8 && slot_count_ <= (1u << 24),
+               "flight recorder needs between 8 and 2^24 slots");
+  fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  ST_CHECK_MSG(fd_ >= 0, "cannot create flight-recorder ring " << path_);
+  map_size_ = sizeof(FdrHeader) +
+              static_cast<std::size_t>(slot_count_) * sizeof(FdrSlot);
+  if (::ftruncate(fd_, static_cast<off_t>(map_size_)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ST_CHECK_MSG(false, "cannot size flight-recorder ring " << path_);
+  }
+  map_ = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                0);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    ::close(fd_);
+    fd_ = -1;
+    ST_CHECK_MSG(false, "cannot map flight-recorder ring " << path_);
+  }
+  auto* header = static_cast<FdrHeader*>(map_);
+  // ftruncate zero-filled everything; write the geometry, then the magic
+  // last, so a crash mid-creation never yields a half-valid header.
+  header->version = kVersion;
+  header->slot_size = sizeof(FdrSlot);
+  header->slot_count = slot_count_;
+  header->pid = static_cast<std::int64_t>(::getpid());
+  header->created_nanos = MonoClock::nanos();
+  header->cursor.store(0, std::memory_order_relaxed);
+  std::memcpy(header->magic, kMagic, sizeof(header->magic));
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (installed_flight_recorder() == this) uninstall_flight_recorder();
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FlightRecorder::append(char phase, const char* name,
+                            const char* category,
+                            const char* detail) noexcept {
+  auto* header = static_cast<FdrHeader*>(map_);
+  const std::uint64_t claim =
+      header->cursor.fetch_add(1, std::memory_order_relaxed);
+  auto* slots = reinterpret_cast<FdrSlot*>(static_cast<char*>(map_) +
+                                           sizeof(FdrHeader));
+  FdrSlot& slot = slots[claim % slot_count_];
+  // Invalidate first: a reader (or a crash) between here and the final
+  // store sees seq == 0 and drops the slot instead of mixing old and new.
+  slot.seq.store(0, std::memory_order_release);
+  slot.ts_nanos = MonoClock::nanos();
+  slot.phase = phase;
+  copy_field(slot.name, sizeof(slot.name), name);
+  copy_field(slot.category, sizeof(slot.category), category);
+  copy_field(slot.detail, sizeof(slot.detail), detail);
+  slot.seq.store(claim + 1, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::appended() const {
+  return static_cast<const FdrHeader*>(map_)->cursor.load(
+      std::memory_order_relaxed);
+}
+
+void install_flight_recorder(FlightRecorder* recorder) {
+  register_atfork_uninstall();
+  detail::g_flight_recorder.store(recorder, std::memory_order_release);
+}
+
+void uninstall_flight_recorder() {
+  detail::g_flight_recorder.store(nullptr, std::memory_order_release);
+}
+
+void flight_record(char phase, const char* name, const char* category,
+                   const std::string& detail) {
+  if (FlightRecorder* recorder = installed_flight_recorder())
+    recorder->append(phase, name, category, detail.c_str());
+}
+
+FdrReport salvage_flight_record(const std::string& path) {
+  FdrReport report;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    report.error = "cannot open " + path;
+    return report;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < sizeof(FdrHeader)) {
+    ::close(fd);
+    report.error = path + " is too small to be a flight-recorder ring";
+    return report;
+  }
+  std::vector<char> bytes(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::pread(fd, bytes.data() + off, bytes.size() - off,
+                static_cast<off_t>(off));
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (off < bytes.size()) {
+    report.error = "short read on " + path;
+    return report;
+  }
+
+  FdrHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(header.magic)) != 0) {
+    report.error = path + " has no flight-recorder magic";
+    return report;
+  }
+  if (header.version != kVersion || header.slot_size != sizeof(FdrSlot)) {
+    report.error = path + " has an unsupported ring version or slot size";
+    return report;
+  }
+  const std::uint64_t slot_count = header.slot_count;
+  if (slot_count == 0 ||
+      bytes.size() < sizeof(FdrHeader) + slot_count * sizeof(FdrSlot)) {
+    report.error = path + " is truncated";
+    return report;
+  }
+  report.valid = true;
+  report.pid = header.pid;
+  report.appended = header.cursor.load(std::memory_order_relaxed);
+
+  const std::uint64_t expected_filled = std::min(report.appended, slot_count);
+  for (std::uint64_t i = 0; i < slot_count; ++i) {
+    FdrSlot slot;
+    std::memcpy(&slot, bytes.data() + sizeof(FdrHeader) + i * sizeof(FdrSlot),
+                sizeof(slot));
+    const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    if (seq == 0) {
+      // Unwritten (ring not yet full) or torn mid-write.
+      if (i < expected_filled) ++report.torn;
+      continue;
+    }
+    // Consistency: the sequence must map back to this slot and be no newer
+    // than the cursor — anything else is a lapped or corrupt slot.
+    if ((seq - 1) % slot_count != i || seq > report.appended) {
+      ++report.torn;
+      continue;
+    }
+    FdrEvent event;
+    event.seq = seq;
+    event.ts_nanos = slot.ts_nanos;
+    event.phase = slot.phase;
+    event.name = field_string(slot.name, sizeof(slot.name));
+    event.category = field_string(slot.category, sizeof(slot.category));
+    event.detail = field_string(slot.detail, sizeof(slot.detail));
+    report.events.push_back(std::move(event));
+  }
+  std::sort(report.events.begin(), report.events.end(),
+            [](const FdrEvent& a, const FdrEvent& b) { return a.seq < b.seq; });
+  report.recovered = report.events.size();
+
+  // A "req" begin with no later matching end is a request the writer took
+  // to the grave. Ends without a visible begin (begin rotated out of the
+  // ring) are ignored.
+  std::vector<std::string> open;
+  for (const FdrEvent& event : report.events) {
+    if (event.name != "req") continue;
+    if (event.phase == 'B') {
+      open.push_back(event.detail);
+    } else if (event.phase == 'E') {
+      const auto it = std::find(open.begin(), open.end(), event.detail);
+      if (it != open.end()) open.erase(it);
+    }
+  }
+  report.in_flight = std::move(open);
+  return report;
+}
+
+std::string post_mortem_text(const FdrReport& report, int shard,
+                             std::int64_t pid, const std::string& cause,
+                             std::uint64_t journal_lag, std::size_t tail) {
+  std::ostringstream os;
+  os << "scaltool post-mortem: shard " << shard << " pid " << pid << "\n"
+     << "cause: " << cause << "\n"
+     << "journal_lag: " << journal_lag
+     << " (runs a resume must re-simulate at most)\n";
+  if (!report.valid) {
+    os << "flight recorder: unavailable (" << report.error << ")\n";
+    return os.str();
+  }
+  os << "flight recorder: " << report.appended << " events appended, "
+     << report.recovered << " recovered, " << report.torn << " torn\n";
+  os << "in-flight requests: " << report.in_flight.size() << "\n";
+  for (const std::string& request : report.in_flight)
+    os << "  in-flight: " << request << "\n";
+  const std::size_t n = report.events.size();
+  const std::size_t from = n > tail ? n - tail : 0;
+  os << "last " << (n - from) << " events (oldest first):\n";
+  for (std::size_t i = from; i < n; ++i) {
+    const FdrEvent& event = report.events[i];
+    os << "  #" << event.seq << " " << event.phase << " " << event.category
+       << "/" << event.name;
+    if (!event.detail.empty()) os << " [" << event.detail << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scaltool::obs

@@ -1,0 +1,123 @@
+// Crash flight recorder (DESIGN.md §13): a fixed-size lock-free ring of
+// recent span/request events, mmapped MAP_SHARED to a file so the bytes
+// survive the process — including a SIGKILL mid-write.
+//
+// Hot-path contract:
+//  - append() is wait-free: one relaxed fetch_add claims a slot, plain
+//    stores fill it, and the slot's sequence word is written LAST with
+//    release order. A crash between the claim and the final store leaves
+//    the slot's sequence at 0, which salvage treats as "torn, drop" — so
+//    the recovered prefix always parses.
+//  - The installed-recorder check in the telemetry hooks is one relaxed
+//    atomic load; with no recorder installed the hot path allocates
+//    nothing and touches no shared state.
+//  - A writer lapped by slot_count concurrent appends can tear a slot;
+//    that slot fails the salvage consistency check (sequence vs position)
+//    and is dropped, never misparsed. Size the ring so lapping within one
+//    append is absurd (the default keeps the last 4096 events, 512 KiB).
+//
+// Fork safety: the supervisor forks workers from threaded parents. A
+// child inheriting the parent's MAP_SHARED ring must not write into it,
+// so the first install registers a pthread_atfork child handler that
+// uninstalls the recorder on the child side; workers then install their
+// own ring after the fork.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scaltool::obs {
+
+class FlightRecorder;
+
+namespace detail {
+extern std::atomic<FlightRecorder*> g_flight_recorder;
+}  // namespace detail
+
+/// One event salvaged from a ring.
+struct FdrEvent {
+  std::uint64_t seq = 0;     ///< global append number, 1-based
+  std::int64_t ts_nanos = 0; ///< MonoClock nanos at append time
+  char phase = 'i';          ///< 'B' begin, 'E' end, 'i' instant
+  std::string name;
+  std::string category;
+  std::string detail;        ///< trace id, or "id=... op=..." for requests
+};
+
+/// Everything salvage recovered from a ring file.
+struct FdrReport {
+  bool valid = false;     ///< header parsed; events below are trustworthy
+  std::string error;      ///< why valid is false
+  std::int64_t pid = 0;   ///< writer pid recorded at ring creation
+  std::uint64_t appended = 0;   ///< total events ever appended (cursor)
+  std::uint64_t recovered = 0;  ///< slots salvaged below
+  std::uint64_t torn = 0;       ///< slots dropped as torn or overwritten
+  std::vector<FdrEvent> events; ///< oldest first, by sequence
+  /// Details of "req" begin events with no matching end — the requests
+  /// that were mid-execution when the writer died.
+  std::vector<std::string> in_flight;
+};
+
+/// The mmapped ring. Create one per process that should leave evidence;
+/// install it to route the Span/instant telemetry hooks into it.
+class FlightRecorder {
+ public:
+  static constexpr std::uint32_t kDefaultSlots = 4096;
+
+  /// Creates (truncating) and maps the ring file. CheckError on I/O
+  /// failure or a silly geometry.
+  explicit FlightRecorder(std::string path,
+                          std::uint32_t slot_count = kDefaultSlots);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Wait-free, never throws, never allocates. Strings are truncated to
+  /// the fixed slot fields. Null pointers are treated as "".
+  void append(char phase, const char* name, const char* category,
+              const char* detail) noexcept;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t appended() const;
+
+ private:
+  std::string path_;
+  std::uint32_t slot_count_ = 0;
+  void* map_ = nullptr;     ///< whole mapping (header + slots)
+  std::size_t map_size_ = 0;
+  int fd_ = -1;
+};
+
+/// Routes the telemetry hooks into `recorder` (nullptr uninstalls). The
+/// caller keeps ownership and must uninstall before destroying it.
+void install_flight_recorder(FlightRecorder* recorder);
+void uninstall_flight_recorder();
+
+/// The installed recorder (relaxed load — safe on any hot path).
+inline FlightRecorder* installed_flight_recorder() {
+  return detail::g_flight_recorder.load(std::memory_order_relaxed);
+}
+
+/// Records one event through the installed recorder, if any. The hook the
+/// analysis service uses for request begin/end markers.
+void flight_record(char phase, const char* name, const char* category,
+                   const std::string& detail);
+
+/// Parses a ring file left by a (possibly dead) writer. Never throws:
+/// an unreadable or corrupt file comes back with valid=false and the
+/// reason in `error`; torn slots are counted and skipped.
+FdrReport salvage_flight_record(const std::string& path);
+
+/// Renders the post-mortem the supervisor writes when it reaps a dead
+/// worker: cause of death, journal lag, in-flight request ids and the
+/// last `tail` events.
+std::string post_mortem_text(const FdrReport& report, int shard,
+                             std::int64_t pid, const std::string& cause,
+                             std::uint64_t journal_lag,
+                             std::size_t tail = 16);
+
+}  // namespace scaltool::obs

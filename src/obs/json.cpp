@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -261,30 +263,117 @@ JsonValue json_parse(const std::string& text) {
   return Parser(text).parse_document();
 }
 
+namespace {
+
+void append_u_escape(std::string& out, unsigned char byte) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<int>(byte));
+  out += buf;
+}
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (truncated sequence, overlong
+/// encoding, surrogate, or a code point above U+10FFFF).
+std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t len;
+  std::uint32_t cp;
+  if (b0 < 0x80) return 1;
+  if ((b0 & 0xE0) == 0xC0) { len = 2; cp = b0 & 0x1F; }
+  else if ((b0 & 0xF0) == 0xE0) { len = 3; cp = b0 & 0x0F; }
+  else if ((b0 & 0xF8) == 0xF0) { len = 4; cp = b0 & 0x07; }
+  else return 0;  // continuation byte or 0xF8..0xFF lead
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (byte(i + k) & 0x3F);
+  }
+  static constexpr std::uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMinForLen[len]) return 0;           // overlong encoding
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;   // UTF-16 surrogate
+  if (cp > 0x10FFFF) return 0;                  // beyond Unicode
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream os;
-          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-             << static_cast<int>(static_cast<unsigned char>(c));
-          out += os.str();
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      append_u_escape(out, byte);
+      ++i;
+      continue;
+    }
+    if (byte < 0x80) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass through only well-formed UTF-8. Anything else (span
+    // args can carry arbitrary bytes) is escaped byte-by-byte as \u00XX so
+    // the output always re-parses; the original byte value survives
+    // legibly even though the string is no longer byte-identical.
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {
+      append_u_escape(out, byte);
+      ++i;
+    } else {
+      out.append(s, i, len);
+      i += len;
     }
   }
   return out;
+}
+
+std::string json_serialize(const JsonValue& value) {
+  std::ostringstream os;
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return value.as_bool() ? "true" : "false";
+    case JsonValue::Kind::kNumber: return json_number(value.as_number());
+    case JsonValue::Kind::kString:
+      return "\"" + json_escape(value.as_string()) + "\"";
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const JsonValue& element : value.as_array()) {
+        if (!first) os << ',';
+        first = false;
+        os << json_serialize(element);
+      }
+      os << ']';
+      return os.str();
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, element] : value.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(key) << "\":" << json_serialize(element);
+      }
+      os << '}';
+      return os.str();
+    }
+  }
+  return "null";  // unreachable
 }
 
 std::string json_number(double v) {

@@ -65,8 +65,15 @@ class JsonValue {
 /// rejected). Throws CheckError on malformed input.
 JsonValue json_parse(const std::string& text);
 
-/// Escapes a string for embedding between JSON double quotes.
+/// Escapes a string for embedding between JSON double quotes. Well-formed
+/// UTF-8 passes through; invalid bytes (overlong encodings, surrogates,
+/// stray continuation bytes) are escaped as \u00XX so the output always
+/// re-parses — escaping never throws, whatever the input bytes.
 std::string json_escape(const std::string& s);
+
+/// Serializes a JsonValue back to compact JSON (no whitespace; object keys
+/// in map order, so output is deterministic). Round-trips with json_parse.
+std::string json_serialize(const JsonValue& value);
 
 /// Formats a double as a JSON number token. Non-finite values (which JSON
 /// cannot represent) become quoted strings, so output always parses.

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace scaltool::obs {
 
 double HistogramData::quantile(double q) const {
@@ -72,6 +74,53 @@ void Histogram::reset() {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+}
+
+HistogramData merge_histograms(const HistogramData& a, const HistogramData& b) {
+  // An empty side (no observations, no frozen bounds) is the identity —
+  // this is what makes the merge associative when some shards have not
+  // yet observed a histogram the others have.
+  if (a.count == 0 && a.bounds.empty()) return b;
+  if (b.count == 0 && b.bounds.empty()) return a;
+  ST_CHECK_MSG(a.bounds == b.bounds,
+               "cannot merge histograms with different bucket bounds");
+  HistogramData out = a;
+  if (out.bucket_counts.size() < b.bucket_counts.size())
+    out.bucket_counts.resize(b.bucket_counts.size(), 0);
+  for (std::size_t i = 0; i < b.bucket_counts.size(); ++i)
+    out.bucket_counts[i] += b.bucket_counts[i];
+  out.count += b.count;
+  out.sum += b.sum;
+  // min/max carry no information on a count==0 side.
+  if (a.count == 0) {
+    out.min = b.min;
+    out.max = b.max;
+  } else if (b.count > 0) {
+    out.min = std::min(a.min, b.min);
+    out.max = std::max(a.max, b.max);
+  }
+  return out;
+}
+
+void merge_snapshot_into(MetricsSnapshot& acc, const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) acc.counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    const auto [it, inserted] = acc.gauges.emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    const auto it = acc.histograms.find(name);
+    if (it == acc.histograms.end())
+      acc.histograms.emplace(name, h);
+    else
+      it->second = merge_histograms(it->second, h);
+  }
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
+  MetricsSnapshot acc;
+  for (const MetricsSnapshot& snap : snaps) merge_snapshot_into(acc, snap);
+  return acc;
 }
 
 MetricRegistry& MetricRegistry::instance() {

@@ -103,6 +103,21 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramData> histograms;
 };
 
+/// Folds histogram `b` into `a` (DESIGN.md §13): bucket counts, count and
+/// sum add elementwise; min/max take the extremes (respecting count == 0
+/// sides, whose min/max carry no information). An empty-count `a` with no
+/// buckets is the merge identity. Histograms with differing bucket bounds
+/// cannot be merged — CheckError.
+HistogramData merge_histograms(const HistogramData& a, const HistogramData& b);
+
+/// Folds `other` into `acc` with per-kind semantics: counters sum (totals
+/// across processes), gauges take the max (a level, where "worst shard"
+/// is the operative answer), histograms merge via merge_histograms.
+void merge_snapshot_into(MetricsSnapshot& acc, const MetricsSnapshot& other);
+
+/// Merges many snapshots (empty input merges to an empty snapshot).
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps);
+
 class MetricRegistry {
  public:
   /// The process-wide registry every instrumentation site writes to.

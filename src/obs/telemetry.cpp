@@ -1,12 +1,16 @@
 #include "obs/telemetry.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "common/monotime.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -43,6 +47,7 @@ TraceBuffer& buffer() {
 }
 
 thread_local ThreadSink* t_sink = nullptr;
+thread_local TraceContext t_trace;
 
 ThreadSink* current_sink() {
   if (t_sink == nullptr) {
@@ -90,6 +95,38 @@ void disable() {
   detail::g_enabled.store(false, std::memory_order_release);
 }
 
+std::int64_t session_t0_nanos() {
+  return buffer().t0_nanos.load(std::memory_order_relaxed);
+}
+
+const TraceContext& current_trace() { return t_trace; }
+
+TraceScope::TraceScope(TraceContext context) : saved_(std::move(t_trace)) {
+  t_trace = std::move(context);
+}
+
+TraceScope::~TraceScope() { t_trace = std::move(saved_); }
+
+std::string mint_trace_id(const char* prefix) {
+  static std::atomic<std::uint64_t> sequence{0};
+  // FNV-mix pid, a monotonic timestamp and a process-wide sequence so ids
+  // are unique across the fleet's processes and across restarts.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(::getpid()));
+  mix(static_cast<std::uint64_t>(MonoClock::nanos()));
+  mix(sequence.fetch_add(1, std::memory_order_relaxed));
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(prefix) + "-" + hex;
+}
+
 std::vector<ThreadTrace> collect_trace() {
   TraceBuffer& b = buffer();
   std::lock_guard<std::mutex> lock(b.mu);
@@ -103,15 +140,31 @@ std::vector<ThreadTrace> collect_trace() {
 }
 
 Span::Span(const char* name, const char* category) {
-  if (!enabled()) return;
+  FlightRecorder* recorder = installed_flight_recorder();
+  if (!enabled() && recorder == nullptr) return;
   name_ = name;
   category_ = category;
-  ThreadSink* sink = current_sink();
-  sink_ = sink;
-  record(sink, TraceEvent{name, category, 'B', 0.0, {}});
+  if (enabled()) {
+    ThreadSink* sink = current_sink();
+    sink_ = sink;
+    // Tag the span with the ambient trace context so a merged fleet trace
+    // can follow one request across processes. Stored as a leading arg:
+    // the exporter keeps the LAST occurrence per key, so an explicit
+    // span->arg("trace_id", ...) still wins.
+    const TraceContext& ctx = current_trace();
+    if (ctx.active()) args_.push_back(TraceArg{"trace_id", ctx.trace_id, false});
+    record(sink, TraceEvent{name, category, 'B', 0.0, {}});
+  }
+  if (recorder != nullptr) {
+    fdr_ = recorder;
+    recorder->append('B', name, category, current_trace().trace_id.c_str());
+  }
 }
 
 Span::~Span() {
+  if (fdr_ != nullptr)
+    static_cast<FlightRecorder*>(fdr_)->append(
+        'E', name_, category_, current_trace().trace_id.c_str());
   if (sink_ == nullptr) return;
   record(static_cast<ThreadSink*>(sink_),
          TraceEvent{name_, category_, 'E', 0.0, std::move(args_)});
@@ -146,6 +199,8 @@ Span& Span::arg_uint(const char* key, std::uint64_t value) {
 }
 
 void instant(const char* name, const char* category) {
+  if (FlightRecorder* recorder = installed_flight_recorder())
+    recorder->append('i', name, category, current_trace().trace_id.c_str());
   if (!enabled()) return;
   record(current_sink(), TraceEvent{name, category, 'i', 0.0, {}});
 }

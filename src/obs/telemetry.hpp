@@ -46,6 +46,44 @@ void enable();
 /// Stops recording; recorded data stays available for export.
 void disable();
 
+/// MonoClock nanos of the current session epoch (restamped by enable()).
+/// Exported traces embed it so cross-process timelines can be rebased onto
+/// one axis — steady_clock is machine-wide monotonic on Linux.
+std::int64_t session_t0_nanos();
+
+/// Ambient per-thread trace identity (DESIGN.md §13). A request minted at
+/// the fleet front door carries its trace_id through the wire protocol;
+/// the serving thread installs it with a TraceScope, and every Span
+/// recorded under that scope tags its 'E' event with a `trace_id` arg, so
+/// a merged fleet trace shows one request end to end.
+struct TraceContext {
+  std::string trace_id;
+  std::string parent_span;
+
+  bool active() const { return !trace_id.empty(); }
+};
+
+/// The calling thread's current trace context (empty when none installed).
+const TraceContext& current_trace();
+
+/// RAII installer for the thread's trace context: saves the previous
+/// context and restores it on destruction, so nested scopes compose.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext context);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Mints a process-unique trace id ("<prefix>-<16 hex>") from pid, a
+/// monotonic timestamp and a process-wide sequence number.
+std::string mint_trace_id(const char* prefix = "t");
+
 /// One key=value annotation on a trace event. Numeric values are exported
 /// as JSON numbers, everything else as strings.
 struct TraceArg {
@@ -109,6 +147,7 @@ class Span {
   Span& arg_uint(const char* key, std::uint64_t value);
 
   void* sink_ = nullptr;  ///< opaque ThreadSink*; null when inactive
+  void* fdr_ = nullptr;   ///< opaque FlightRecorder*; null when none installed
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   std::vector<TraceArg> args_;

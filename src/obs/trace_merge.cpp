@@ -1,0 +1,98 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace scaltool::obs {
+
+namespace {
+
+struct ParsedTrace {
+  std::string process_name;
+  std::int64_t t0_nanos = 0;
+  std::vector<JsonValue> events;
+};
+
+ParsedTrace parse_input(const NamedTrace& input) {
+  const JsonValue doc = json_parse(input.json);
+  ST_CHECK_MSG(doc.is_object() && doc.has("traceEvents"),
+               "trace for \"" << input.label
+                              << "\" is not a Chrome trace document");
+  ParsedTrace out;
+  out.process_name = input.label;
+  if (doc.has("otherData")) {
+    const JsonValue& other = doc.at("otherData");
+    if (other.has("process_name"))
+      out.process_name = other.at("process_name").as_string();
+    if (other.has("t0_nanos"))
+      out.t0_nanos = static_cast<std::int64_t>(other.at("t0_nanos").as_number());
+  }
+  out.events = doc.at("traceEvents").as_array();
+  return out;
+}
+
+}  // namespace
+
+std::string merge_chrome_traces(const std::vector<NamedTrace>& traces) {
+  ST_CHECK_MSG(!traces.empty(), "trace-merge needs at least one input trace");
+  std::vector<ParsedTrace> inputs;
+  inputs.reserve(traces.size());
+  for (const NamedTrace& t : traces) inputs.push_back(parse_input(t));
+
+  // Rebase every input onto the earliest session epoch. Inputs without an
+  // epoch (t0_nanos == 0, pre-§13 traces) keep their own timestamps.
+  std::int64_t min_t0 = 0;
+  for (const ParsedTrace& in : inputs)
+    if (in.t0_nanos > 0 && (min_t0 == 0 || in.t0_nanos < min_t0))
+      min_t0 = in.t0_nanos;
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&os, &first](const JsonValue& event) {
+    if (!first) os << ",\n";
+    first = false;
+    os << json_serialize(event);
+  };
+
+  for (std::size_t index = 0; index < inputs.size(); ++index) {
+    const ParsedTrace& in = inputs[index];
+    const double out_pid = static_cast<double>(index + 1);
+    const double offset_us =
+        in.t0_nanos > 0 ? static_cast<double>(in.t0_nanos - min_t0) * 1e-3
+                        : 0.0;
+
+    JsonValue::Object meta;
+    meta["name"] = JsonValue(std::string("process_name"));
+    meta["ph"] = JsonValue(std::string("M"));
+    meta["pid"] = JsonValue(out_pid);
+    meta["tid"] = JsonValue(0.0);
+    JsonValue::Object meta_args;
+    meta_args["name"] = JsonValue(in.process_name);
+    meta["args"] = JsonValue(std::move(meta_args));
+    emit(JsonValue(std::move(meta)));
+
+    for (const JsonValue& event : in.events) {
+      JsonValue::Object fields = event.as_object();
+      // Drop each input's own process_name meta — the lane is renamed
+      // above; keep thread_name metas so thread lanes stay labeled.
+      const auto name_it = fields.find("name");
+      if (name_it != fields.end() && name_it->second.is_string() &&
+          name_it->second.as_string() == "process_name")
+        continue;
+      fields["pid"] = JsonValue(out_pid);
+      const auto ts_it = fields.find("ts");
+      if (ts_it != fields.end() && ts_it->second.is_number())
+        ts_it->second = JsonValue(ts_it->second.as_number() + offset_us);
+      emit(JsonValue(std::move(fields)));
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace scaltool::obs

@@ -1,0 +1,28 @@
+// Fuses per-process Chrome traces into one fleet timeline (DESIGN.md §13).
+//
+// Each process exports its own trace with chrome_trace_json(info); the
+// document's "otherData" block carries the process's pid, display name and
+// session epoch (MonoClock nanos). Because steady_clock is machine-wide
+// monotonic on Linux, subtracting the earliest epoch puts every process's
+// timestamps on one shared axis; merge then assigns each input a distinct
+// deterministic pid lane (input order, 1-based) and regenerates the
+// process_name metadata so viewers label the lanes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scaltool::obs {
+
+/// One input trace: the JSON document plus a fallback label used when the
+/// document predates the "otherData" identity block.
+struct NamedTrace {
+  std::string label;
+  std::string json;
+};
+
+/// Merges Chrome trace documents into one. Throws CheckError on an empty
+/// input list or an input that is not a Chrome trace document.
+std::string merge_chrome_traces(const std::vector<NamedTrace>& traces);
+
+}  // namespace scaltool::obs

@@ -1,10 +1,17 @@
 #include "serve/fleet/fleet.hpp"
 
+#include <unistd.h>
+
 #include <sstream>
 #include <utility>
 
+#include "common/check.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_merge.hpp"
 
 namespace scaltool::serve {
 
@@ -20,7 +27,9 @@ std::future<Response> ready(Response r) {
 
 Fleet::Fleet(FleetOptions options)
     : supervisor_(std::move(options.supervisor)),
-      router_(supervisor_, std::move(options.router)) {}
+      router_(supervisor_, std::move(options.router)),
+      obs_on_(supervisor_.options().worker_obs ||
+              supervisor_.options().worker_fdr) {}
 
 Fleet::~Fleet() {
   try {
@@ -59,11 +68,36 @@ std::future<Response> Fleet::submit(Request request) {
     r.stats_json = stats_json();
     return ready(std::move(r));
   }
+  if (request.op == "metrics") {
+    // The fleet-level aggregate: every shard's scraped snapshot folded
+    // together, plus this process's own registry (fleet.* counters).
+    Response r;
+    r.id = request.id;
+    obs::MetricsSnapshot merged = supervisor_.scraped_metrics();
+    obs::merge_snapshot_into(merged,
+                             obs::MetricRegistry::instance().snapshot());
+    r.stats_json = obs::metrics_json(merged, /*compact=*/true);
+    return ready(std::move(r));
+  }
+  // Mint the distributed-tracing identity at the front door (DESIGN.md
+  // §13): the id rides the wire into the shard, whose spans then tag the
+  // same request. Only when telemetry is on somewhere — the fully
+  // disabled path stays allocation-free.
+  if (request.trace_id.empty() &&
+      (obs_on_ || obs::enabled() ||
+       obs::installed_flight_recorder() != nullptr)) {
+    request.trace_id = obs::mint_trace_id();
+    request.parent_span = "fleet.request";
+  }
   // Real work goes through the router on its own thread, so a pipelining
   // front connection keeps submitting while campaigns run. Admission
   // control stays where it was in PR 4: in each worker's bounded queue.
   return std::async(std::launch::async,
                     [this, request = std::move(request)]() mutable {
+                      obs::TraceScope scope(obs::TraceContext{
+                          request.trace_id, request.parent_span});
+                      obs::Span span("fleet.request", "fleet");
+                      span.arg("op", request.op);
                       return router_.route(request);
                     });
 }
@@ -114,6 +148,26 @@ std::string Fleet::health_json() const {
   os << "]}";
   metrics.gauge("fleet.workers_benched_now").set(benched);
   return os.str();
+}
+
+void Fleet::write_merged_trace(const std::string& out_path) const {
+  std::vector<obs::NamedTrace> traces;
+  traces.push_back(obs::NamedTrace{
+      "front-door",
+      obs::chrome_trace_json(obs::TraceProcessInfo{
+          static_cast<std::int64_t>(::getpid()), "front-door"})});
+  for (int shard = 0; shard < supervisor_.shards(); ++shard) {
+    const std::string path = supervisor_.trace_path_of(shard);
+    if (path.empty()) continue;
+    try {
+      traces.push_back(obs::NamedTrace{"shard-" + std::to_string(shard),
+                                       obs::read_text_file(path)});
+    } catch (const CheckError&) {
+      // A shard that died without draining leaves no trace file; its
+      // events are simply absent from the merged timeline.
+    }
+  }
+  obs::write_text_file(out_path, obs::merge_chrome_traces(traces));
 }
 
 std::string Fleet::stats_json() const {

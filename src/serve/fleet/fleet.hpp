@@ -58,12 +58,19 @@ class Fleet {
   /// Fleet-level counters (routed, failovers, hedges, deaths, ...).
   std::string stats_json() const;
 
+  /// Merges the front door's own Chrome trace with every shard's
+  /// drain-time trace (`<socket>.trace.json`, present after stop()) into
+  /// one timeline and writes it to `out_path`. Requires worker_obs;
+  /// shards whose trace file is missing (e.g. SIGKILLed) are skipped.
+  void write_merged_trace(const std::string& out_path) const;
+
   Supervisor& supervisor() { return supervisor_; }
   FleetRouter& router() { return router_; }
 
  private:
   Supervisor supervisor_;
   FleetRouter router_;
+  bool obs_on_ = false;  ///< worker_obs || worker_fdr at construction
 };
 
 }  // namespace scaltool::serve

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "engine/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/transport.hpp"
 
 namespace scaltool::serve {
@@ -170,6 +171,8 @@ Response FleetRouter::dispatch_hedged(int primary, int backup,
 }
 
 Response FleetRouter::route(const Request& request) {
+  obs::Span span("fleet.route", "fleet");
+  span.arg("op", request.op);
   auto& metrics = obs::MetricRegistry::instance();
   metrics.counter("fleet.requests").add(1);
   {

@@ -8,6 +8,8 @@
 
 #include "common/check.hpp"
 #include "common/subprocess.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/transport.hpp"
@@ -18,6 +20,14 @@ namespace {
 
 std::string shard_socket(const std::string& dir, int shard) {
   return dir + "/shard-" + std::to_string(shard) + ".sock";
+}
+
+std::string death_cause(const ChildExit& exit) {
+  if (exit.exited())
+    return "exited with code " + std::to_string(exit.exit_code());
+  if (exit.signaled())
+    return "killed by signal " + std::to_string(exit.term_signal());
+  return "unknown wait status";
 }
 
 }  // namespace
@@ -50,6 +60,11 @@ Supervisor::Supervisor(SupervisorOptions options)
       worker.spec.shard = s;
       worker.spec.socket_path = shard_socket(options_.socket_dir, s);
       worker.spec.service = options_.worker;
+      worker.spec.enable_obs = options_.worker_obs;
+      if (options_.worker_obs)
+        worker.spec.trace_path = worker.spec.socket_path + ".trace.json";
+      if (options_.worker_fdr)
+        worker.spec.fdr_path = worker.spec.socket_path + ".fdr";
       spawn_locked(worker);
     }
   }
@@ -78,6 +93,13 @@ void Supervisor::spawn_locked(Worker& worker) {
   worker.spawned_at = MonoClock::now();
   worker.health_strikes = 0;
   worker.survived_window_noted = false;
+  // Probe-derived fields describe an incarnation, not a shard: a fresh
+  // process has no journal lag, no in-flight work and no scraped metrics,
+  // and health must never report the dead incarnation's numbers.
+  worker.journal_lag = 0;
+  worker.in_flight = 0;
+  worker.scraped = obs::MetricsSnapshot{};
+  worker.have_scrape = false;
 }
 
 void Supervisor::monitor_loop() {
@@ -97,9 +119,10 @@ void Supervisor::reap_and_restart_locked() {
   const MonoClock::TimePoint now = MonoClock::now();
   for (Worker& worker : workers_) {
     if (worker.state == WorkerState::kLive) {
-      if (try_reap(worker.pid)) {
+      if (const std::optional<ChildExit> exit = try_reap(worker.pid)) {
         ++deaths_;
         metrics.counter("fleet.worker_deaths").add(1);
+        write_post_mortem_locked(worker, death_cause(*exit));
         worker.pid = -1;
         if (worker.lifeline >= 0) {
           ::close(worker.lifeline);
@@ -132,6 +155,24 @@ void Supervisor::reap_and_restart_locked() {
   for (const Worker& worker : workers_)
     if (worker.state == WorkerState::kLive) ++live;
   metrics.gauge("fleet.workers_live").set(live);
+}
+
+void Supervisor::write_post_mortem_locked(const Worker& worker,
+                                          const std::string& cause) {
+  if (worker.spec.fdr_path.empty()) return;
+  // Best-effort forensics: a salvage or write failure must never break
+  // the reap/restart path that keeps the fleet serving.
+  try {
+    const obs::FdrReport report =
+        obs::salvage_flight_record(worker.spec.fdr_path);
+    obs::write_text_file(
+        worker.spec.socket_path + ".postmortem.txt",
+        obs::post_mortem_text(report, worker.spec.shard,
+                              static_cast<std::int64_t>(worker.pid), cause,
+                              worker.journal_lag));
+    obs::MetricRegistry::instance().counter("fleet.post_mortems").add(1);
+  } catch (const std::exception&) {
+  }
 }
 
 void Supervisor::probe_one_health() {
@@ -182,6 +223,25 @@ void Supervisor::probe_one_health() {
     healthy = false;
   }
 
+  // Metrics scraping rides the health cadence: one extra round trip to the
+  // same (healthy) worker, still without the lock.
+  obs::MetricsSnapshot scraped;
+  bool have_scrape = false;
+  if (healthy && options_.scrape_metrics) {
+    Request metrics_request;
+    metrics_request.op = "metrics";
+    try {
+      const Response response =
+          socket_call(path, metrics_request, options_.health_timeout_ms);
+      if (!response.stats_json.empty()) {
+        scraped = obs::parse_metrics_json(response.stats_json);
+        have_scrape = true;
+      }
+    } catch (const CheckError&) {
+      // A failed scrape is not a health strike; try again next round.
+    }
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   Worker& worker = workers_[static_cast<std::size_t>(shard)];
   // The worker may have died and been respawned while we probed; only the
@@ -191,6 +251,10 @@ void Supervisor::probe_one_health() {
     worker.health_strikes = 0;
     worker.journal_lag = journal_lag;
     worker.in_flight = in_flight;
+    if (have_scrape) {
+      worker.scraped = std::move(scraped);
+      worker.have_scrape = true;
+    }
   } else if (++worker.health_strikes >= options_.health_failures_to_kill) {
     // Alive per the kernel but not answering: wedged. Kill it and let the
     // normal death path restart (or bench) it.
@@ -289,6 +353,27 @@ std::uint64_t Supervisor::deaths_total() const {
 std::uint64_t Supervisor::restarts_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return restarts_;
+}
+
+obs::MetricsSnapshot Supervisor::scraped_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::MetricsSnapshot acc;
+  for (const Worker& worker : workers_)
+    if (worker.have_scrape) obs::merge_snapshot_into(acc, worker.scraped);
+  return acc;
+}
+
+std::string Supervisor::trace_path_of(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_CHECK_MSG(shard >= 0 && shard < options_.shards, "shard out of range");
+  return workers_[static_cast<std::size_t>(shard)].spec.trace_path;
+}
+
+std::string Supervisor::post_mortem_path_of(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_CHECK_MSG(shard >= 0 && shard < options_.shards, "shard out of range");
+  return workers_[static_cast<std::size_t>(shard)].spec.socket_path +
+         ".postmortem.txt";
 }
 
 bool Supervisor::wait_ready(int timeout_ms) const {

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/fleet/breaker.hpp"
 #include "serve/fleet/worker.hpp"
 
@@ -45,6 +46,16 @@ struct SupervisorOptions {
   /// stop(): drain grace before SIGTERM, then before SIGKILL.
   int stop_grace_ms = 10000;
   int stop_term_ms = 2000;
+  /// Fleet observability (DESIGN.md §13), all off by default.
+  /// worker_obs: workers record spans/metrics and export a Chrome trace
+  /// to `<socket>.trace.json` at drain. worker_fdr: workers keep a crash
+  /// flight-recorder ring at `<socket>.fdr`; the supervisor salvages it
+  /// when reaping a death and writes `<socket>.postmortem.txt`.
+  /// scrape_metrics: the health probe piggybacks a `metrics` call and the
+  /// supervisor folds shard snapshots into a fleet-level aggregate.
+  bool worker_obs = false;
+  bool worker_fdr = false;
+  bool scrape_metrics = false;
   /// Test hook: what a forked worker runs. Defaults to fleet_worker_main.
   std::function<int(const WorkerSpec&, int lifeline_fd)> worker_entry;
 };
@@ -85,6 +96,8 @@ class Supervisor {
   void stop();
 
   int shards() const { return options_.shards; }
+  /// Options are frozen at construction; reading them needs no lock.
+  const SupervisorOptions& options() const { return options_; }
   std::string socket_of(int shard) const;
   pid_t pid_of(int shard) const;
   bool is_live(int shard) const;
@@ -98,6 +111,16 @@ class Supervisor {
   /// Blocks until every non-benched shard answers a ping, or `timeout_ms`
   /// elapses. Returns whether the fleet came up whole.
   bool wait_ready(int timeout_ms) const;
+
+  /// Fleet-level aggregate of the last scraped per-shard metric snapshots
+  /// (counters sum, gauges max, histograms merge). Empty until the first
+  /// scrape lands; requires scrape_metrics.
+  obs::MetricsSnapshot scraped_metrics() const;
+
+  /// Where shard `shard` writes its drain-time Chrome trace (empty when
+  /// worker_obs is off) and where its post-mortem lands after a death.
+  std::string trace_path_of(int shard) const;
+  std::string post_mortem_path_of(int shard) const;
 
  private:
   struct Worker {
@@ -113,6 +136,10 @@ class Supervisor {
     std::uint64_t journal_lag = 0;
     int in_flight = 0;
     bool survived_window_noted = false;
+    /// Last scraped metrics snapshot (scrape_metrics only); cleared on
+    /// respawn with the other probe-derived fields.
+    obs::MetricsSnapshot scraped;
+    bool have_scrape = false;
 
     explicit Worker(RestartPolicy::Config config) : policy(config) {}
   };
@@ -120,6 +147,8 @@ class Supervisor {
   void spawn_locked(Worker& worker);
   void monitor_loop();
   void reap_and_restart_locked();
+  void write_post_mortem_locked(const Worker& worker,
+                                const std::string& cause);
   void probe_one_health();
 
   SupervisorOptions options_;

@@ -3,8 +3,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <memory>
 
 #include "common/interrupt.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/transport.hpp"
 
 namespace scaltool::serve {
@@ -14,6 +18,19 @@ int fleet_worker_main(const WorkerSpec& spec, int lifeline_fd) {
   // state, not its history; start clean so a drain is really a drain.
   reset_interrupted();
   install_interrupt_handlers();
+
+  if (spec.enable_obs) obs::enable();
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!spec.fdr_path.empty()) {
+    try {
+      recorder = std::make_unique<obs::FlightRecorder>(spec.fdr_path);
+      obs::install_flight_recorder(recorder.get());
+    } catch (const std::exception&) {
+      // A ring we cannot create (full disk, bad dir) must never stop the
+      // shard from serving; it just dies without leaving evidence.
+      recorder.reset();
+    }
+  }
 
   AnalysisService service(spec.service);
   SocketServer server(service, spec.socket_path);
@@ -31,6 +48,21 @@ int fleet_worker_main(const WorkerSpec& spec, int lifeline_fd) {
 
   server.stop();
   service.shutdown();
+  if (spec.enable_obs) {
+    obs::disable();
+    if (!spec.trace_path.empty()) {
+      try {
+        obs::write_text_file(
+            spec.trace_path,
+            obs::chrome_trace_json(obs::TraceProcessInfo{
+                static_cast<std::int64_t>(::getpid()),
+                "shard-" + std::to_string(spec.shard)}));
+      } catch (const std::exception&) {
+        // Trace export is best-effort on the drain path.
+      }
+    }
+  }
+  obs::uninstall_flight_recorder();
   return interrupt_requested() ? kExitInterrupted : 0;
 }
 

@@ -21,6 +21,13 @@ struct WorkerSpec {
   int shard = 0;
   std::string socket_path;
   ServiceOptions service;
+  /// Observability (DESIGN.md §13), all off by default. With enable_obs
+  /// the worker records spans/metrics and writes its Chrome trace to
+  /// trace_path at drain; with a non-empty fdr_path it keeps a crash
+  /// flight-recorder ring there for the supervisor to salvage.
+  bool enable_obs = false;
+  std::string trace_path;
+  std::string fdr_path;
 };
 
 /// Runs the worker until its lifeline reports EOF or a signal arrives;

@@ -13,7 +13,7 @@ namespace {
 using obs::JsonValue;
 
 const char* kOps[] = {"analyze", "whatif", "collect", "stats", "ping",
-                      "health"};
+                      "health", "metrics"};
 
 bool known_op(const std::string& op) {
   for (const char* candidate : kOps)
@@ -141,6 +141,12 @@ Request parse_request(const std::string& line) {
       }
     } else if (key == "deadline_ms") {
       req.deadline_ms = checked_int(value, "deadline_ms");
+    } else if (key == "trace_id") {
+      ST_CHECK_MSG(value.is_string(), "\"trace_id\" must be a string");
+      req.trace_id = value.as_string();
+    } else if (key == "parent_span") {
+      ST_CHECK_MSG(value.is_string(), "\"parent_span\" must be a string");
+      req.parent_span = value.as_string();
     } else {
       ST_CHECK_MSG(false, "unknown request field \"" << key << "\"");
     }
@@ -149,7 +155,8 @@ Request parse_request(const std::string& line) {
   ST_CHECK_MSG(known_op(req.op), "unknown op \"" << req.op
                                                  << "\" (use analyze, "
                                                     "whatif, collect, stats, "
-                                                    "health or ping)");
+                                                    "health, metrics or "
+                                                    "ping)");
   return req;
 }
 
@@ -164,6 +171,11 @@ std::string serialize_request(const Request& request) {
   os << ']';
   if (request.deadline_ms > 0)
     os << ",\"deadline_ms\":" << request.deadline_ms;
+  if (!request.trace_id.empty())
+    os << ",\"trace_id\":\"" << obs::json_escape(request.trace_id) << '"';
+  if (!request.parent_span.empty())
+    os << ",\"parent_span\":\"" << obs::json_escape(request.parent_span)
+       << '"';
   os << '}';
   return os.str();
 }

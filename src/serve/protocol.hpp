@@ -7,8 +7,10 @@
 // bytes `scaltool <op> <args...>` would have printed.
 //
 //   request  = {"id": <null|number|string>, "op": "analyze"|"whatif"|
-//               "collect"|"stats"|"health"|"ping", "args": [<string>...],
-//               "deadline_ms": <number>}          (id/args/deadline optional)
+//               "collect"|"stats"|"health"|"metrics"|"ping",
+//               "args": [<string>...], "deadline_ms": <number>,
+//               "trace_id": "...", "parent_span": "..."}
+//              (id/args/deadline/trace fields optional)
 //   response = {"id": ..., "status": "ok"|"degraded"|"error"|"overloaded"|
 //               "deadline_exceeded"|"shutting_down", "exit_code": N,
 //               "cached": bool, "output": "...", "error"?: "...",
@@ -47,6 +49,12 @@ struct Request {
   std::vector<std::string> args;
   /// Relative deadline in milliseconds from receipt; 0 = none.
   std::int64_t deadline_ms = 0;
+  /// Distributed-tracing identity (DESIGN.md §13), minted at the fleet
+  /// front door and carried into the shard so its spans tag the same
+  /// request. Both optional; excluded from request_hash (the cached
+  /// answer is identical whoever traced the asking).
+  std::string trace_id;
+  std::string parent_span;
 };
 
 struct Response {
@@ -59,7 +67,7 @@ struct Response {
   bool cached = false;  ///< served from the result cache
   std::string output;   ///< CLI-equivalent bytes
   std::string error;    ///< non-empty iff status == kError
-  std::string stats_json;  ///< raw JSON object, set for "stats"/"health"
+  std::string stats_json;  ///< raw JSON object, set for "stats"/"health"/"metrics"
 };
 
 /// Parses one request line. CheckError on malformed JSON, unknown or

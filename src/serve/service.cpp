@@ -9,6 +9,9 @@
 #include "common/check.hpp"
 #include "common/interrupt.hpp"
 #include "engine/campaign.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/exec.hpp"
@@ -35,6 +38,44 @@ std::future<Response> ready(Response r) {
   promise.set_value(std::move(r));
   return promise.get_future();
 }
+
+/// The fixed-width tag a request leaves in the flight recorder — enough
+/// to name the victims in a post-mortem ("id=7 op=collect").
+std::string request_tag(const Request& req) {
+  std::string id;
+  switch (req.id.kind()) {
+    case obs::JsonValue::Kind::kNumber:
+      id = obs::json_number(req.id.as_number());
+      break;
+    case obs::JsonValue::Kind::kString:
+      id = req.id.as_string();
+      break;
+    default:
+      id = "null";
+  }
+  return "id=" + id + " op=" + req.op;
+}
+
+/// Brackets a request's execution with "req" begin/end markers in the
+/// flight recorder, so salvage can tell which requests were in flight
+/// when the process died.
+class FdrRequestGuard {
+ public:
+  explicit FdrRequestGuard(const Request& req) {
+    if (obs::installed_flight_recorder() == nullptr) return;
+    tag_ = request_tag(req);
+    obs::flight_record('B', "req", "serve", tag_);
+  }
+  ~FdrRequestGuard() {
+    if (!tag_.empty()) obs::flight_record('E', "req", "serve", tag_);
+  }
+
+  FdrRequestGuard(const FdrRequestGuard&) = delete;
+  FdrRequestGuard& operator=(const FdrRequestGuard&) = delete;
+
+ private:
+  std::string tag_;
+};
 
 }  // namespace
 
@@ -180,12 +221,27 @@ void AnalysisService::worker_loop() {
 }
 
 Response AnalysisService::process(QueuedRequest item) {
+  const Request& req = item.request;
+  // Install the request's trace identity for the whole execution: every
+  // span recorded on this thread (and, via ThreadPool propagation, on
+  // engine workers) tags itself with the trace_id. Untraced requests get
+  // a locally minted id so the trace is still followable — but only when
+  // some telemetry is on, keeping the fully-disabled path allocation-free.
+  obs::TraceContext ctx;
+  if (!req.trace_id.empty()) {
+    ctx.trace_id = req.trace_id;
+    ctx.parent_span = req.parent_span;
+  } else if (obs::enabled() ||
+             obs::installed_flight_recorder() != nullptr) {
+    ctx.trace_id = obs::mint_trace_id("local");
+  }
+  obs::TraceScope trace_scope(std::move(ctx));
+  FdrRequestGuard fdr_guard(req);
   obs::Span span("request", "serve");
-  span.arg("op", item.request.op);
+  span.arg("op", req.op);
   obs::MetricRegistry::instance()
       .histogram("serve.queue_seconds")
       .observe(MonoClock::seconds_since(item.enqueued));
-  const Request& req = item.request;
   Response r;
   r.id = req.id;
 
@@ -203,6 +259,16 @@ Response AnalysisService::process(QueuedRequest item) {
   }
   if (req.op == "health") {
     r.stats_json = health_json();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    return r;
+  }
+  if (req.op == "metrics") {
+    // Fold the service tallies into the registry, then hand out the full
+    // snapshot. Compact: the document rides inside one NDJSON line.
+    publish_obs();
+    r.stats_json = obs::metrics_json(
+        obs::MetricRegistry::instance().snapshot(), /*compact=*/true);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.completed;
     return r;

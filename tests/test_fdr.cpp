@@ -1,0 +1,292 @@
+// Unit tests: the crash flight recorder — ring round trip, wrap and torn
+// slots, survival of a SIGKILL mid-write (the whole point), fork safety of
+// the installed-recorder hook, concurrent appends, and the post-mortem
+// rendering the supervisor writes after a reap.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
+
+namespace scaltool {
+namespace {
+
+std::string temp_path(const std::string& tail) {
+  return "/tmp/scaltool_test_fdr_" + std::to_string(::getpid()) + "_" + tail;
+}
+
+/// RAII ring file cleanup.
+struct RingFile {
+  explicit RingFile(std::string tail) : path(temp_path(std::move(tail))) {
+    std::remove(path.c_str());
+  }
+  ~RingFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(FlightRecorder, RoundTripsEventsInOrder) {
+  RingFile ring("roundtrip.fdr");
+  {
+    obs::FlightRecorder recorder(ring.path, 64);
+    recorder.append('B', "req", "serve", "id=7 op=collect");
+    recorder.append('B', "job", "engine", "t-abc");
+    recorder.append('E', "job", "engine", "t-abc");
+    recorder.append('i', "tick", "test", "");
+    EXPECT_EQ(recorder.appended(), 4u);
+  }
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(report.pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(report.appended, 4u);
+  EXPECT_EQ(report.torn, 0u);
+  ASSERT_EQ(report.events.size(), 4u);
+  EXPECT_EQ(report.events[0].seq, 1u);
+  EXPECT_EQ(report.events[0].phase, 'B');
+  EXPECT_EQ(report.events[0].name, "req");
+  EXPECT_EQ(report.events[0].category, "serve");
+  EXPECT_EQ(report.events[0].detail, "id=7 op=collect");
+  EXPECT_EQ(report.events[3].phase, 'i');
+  // Sequences strictly ascend and timestamps never regress.
+  for (std::size_t i = 1; i < report.events.size(); ++i) {
+    EXPECT_EQ(report.events[i].seq, report.events[i - 1].seq + 1);
+    EXPECT_GE(report.events[i].ts_nanos, report.events[i - 1].ts_nanos);
+  }
+  // The unmatched "req" begin is reported as in flight.
+  ASSERT_EQ(report.in_flight.size(), 1u);
+  EXPECT_EQ(report.in_flight[0], "id=7 op=collect");
+}
+
+TEST(FlightRecorder, WrapKeepsOnlyTheNewestEvents) {
+  RingFile ring("wrap.fdr");
+  constexpr std::uint32_t kSlots = 16;
+  {
+    obs::FlightRecorder recorder(ring.path, kSlots);
+    for (int i = 0; i < 50; ++i) {
+      const std::string detail = "n=" + std::to_string(i);
+      recorder.append('i', "tick", "test", detail.c_str());
+    }
+  }
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(report.appended, 50u);
+  EXPECT_EQ(report.recovered, static_cast<std::uint64_t>(kSlots));
+  ASSERT_EQ(report.events.size(), static_cast<std::size_t>(kSlots));
+  // Exactly the last kSlots appends survive, oldest first.
+  EXPECT_EQ(report.events.front().seq, 50u - kSlots + 1);
+  EXPECT_EQ(report.events.back().seq, 50u);
+  EXPECT_EQ(report.events.back().detail, "n=49");
+}
+
+TEST(FlightRecorder, TruncatesLongStringsInsteadOfOverflowing) {
+  RingFile ring("truncate.fdr");
+  const std::string long_name(300, 'n');
+  const std::string long_detail(300, 'd');
+  {
+    obs::FlightRecorder recorder(ring.path, 8);
+    recorder.append('B', long_name.c_str(), "cat", long_detail.c_str());
+    recorder.append('i', nullptr, nullptr, nullptr);  // nulls are ""
+  }
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  ASSERT_EQ(report.events.size(), 2u);
+  EXPECT_FALSE(report.events[0].name.empty());
+  EXPECT_LT(report.events[0].name.size(), long_name.size());
+  EXPECT_LT(report.events[0].detail.size(), long_detail.size());
+  EXPECT_EQ(report.events[0].name,
+            long_name.substr(0, report.events[0].name.size()));
+  EXPECT_EQ(report.events[1].name, "");
+}
+
+TEST(FlightRecorder, SalvageRejectsGarbageWithoutThrowing) {
+  RingFile ring("garbage.fdr");
+  EXPECT_FALSE(obs::salvage_flight_record(ring.path).valid);  // no file
+
+  obs::write_text_file(ring.path, "this is not a ring file");
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  EXPECT_FALSE(report.valid);
+  EXPECT_FALSE(report.error.empty());
+
+  // A header-sized file of zeros: no magic.
+  obs::write_text_file(ring.path, std::string(4096, '\0'));
+  EXPECT_FALSE(obs::salvage_flight_record(ring.path).valid);
+}
+
+TEST(FlightRecorder, SurvivesSigkillMidWriteWithParseablePrefix) {
+  RingFile ring("sigkill.fdr");
+  // The child appends as fast as it can; the parent SIGKILLs it somewhere
+  // mid-stream. Whatever landed in the MAP_SHARED file must salvage as a
+  // valid, internally consistent prefix — torn slots dropped, never
+  // misparsed.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: write forever until killed.
+    try {
+      obs::FlightRecorder recorder(ring.path, 256);
+      recorder.append('B', "req", "serve", "id=13 op=collect");
+      for (std::uint64_t i = 0;; ++i) {
+        const std::string detail = "n=" + std::to_string(i);
+        recorder.append('i', "spin", "test", detail.c_str());
+      }
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  // Parent: wait for the ring to show real traffic, then kill without
+  // warning.
+  for (int spin = 0; spin < 2000; ++spin) {
+    std::ifstream probe(ring.path, std::ios::binary | std::ios::ate);
+    if (probe.good() && probe.tellg() > 0) {
+      const obs::FdrReport peek = obs::salvage_flight_record(ring.path);
+      if (peek.valid && peek.appended > 512) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_GT(report.appended, 0u);
+  EXPECT_GT(report.recovered, 0u);
+  // Every recovered event is internally consistent: ascending unique
+  // sequences, no sequence above the claimed append count.
+  for (std::size_t i = 0; i < report.events.size(); ++i) {
+    EXPECT_LE(report.events[i].seq, report.appended + 1);
+    if (i > 0) EXPECT_GT(report.events[i].seq, report.events[i - 1].seq);
+  }
+  // The request the child had open when it died shows as in flight
+  // unless the ring wrapped past it.
+  if (report.events.front().seq == 1)
+    EXPECT_EQ(report.in_flight.size(), 1u);
+}
+
+TEST(FlightRecorder, ForkedChildDoesNotInheritTheInstalledRing) {
+  RingFile ring("fork.fdr");
+  auto recorder = std::make_unique<obs::FlightRecorder>(ring.path, 64);
+  obs::install_flight_recorder(recorder.get());
+  obs::flight_record('i', "parent", "test", "before-fork");
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The atfork handler must have uninstalled the recorder: writes from
+    // the child land nowhere near the parent's MAP_SHARED ring.
+    const bool clean = obs::installed_flight_recorder() == nullptr;
+    obs::flight_record('i', "child", "test", "after-fork");
+    ::_exit(clean ? 0 : 7);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "child still saw the parent's flight recorder";
+
+  obs::uninstall_flight_recorder();
+  recorder.reset();
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].name, "parent");
+}
+
+TEST(FlightRecorder, ConcurrentAppendsAllRecovered) {
+  RingFile ring("concurrent.fdr");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  {
+    // Ring sized comfortably above the total so no append is lapped.
+    obs::FlightRecorder recorder(ring.path, 4096);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&recorder, t] {
+        const std::string detail = "thread=" + std::to_string(t);
+        for (int i = 0; i < kPerThread; ++i)
+          recorder.append('i', "spin", "test", detail.c_str());
+      });
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(recorder.appended(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+  }
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  EXPECT_EQ(report.torn, 0u);
+  EXPECT_EQ(report.recovered,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(FlightRecorder, SpanHooksRecordWithoutTelemetryEnabled) {
+  RingFile ring("hooks.fdr");
+  auto recorder = std::make_unique<obs::FlightRecorder>(ring.path, 64);
+  obs::install_flight_recorder(recorder.get());
+  ASSERT_FALSE(obs::enabled());
+  {
+    obs::TraceScope scope(obs::TraceContext{"t-hook", "parent"});
+    obs::Span span("work", "test");
+    obs::instant("tick", "test");
+  }
+  obs::uninstall_flight_recorder();
+  recorder.reset();
+
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+  ASSERT_EQ(report.events.size(), 3u);
+  EXPECT_EQ(report.events[0].phase, 'B');
+  EXPECT_EQ(report.events[0].name, "work");
+  EXPECT_EQ(report.events[0].detail, "t-hook");  // trace id rides along
+  EXPECT_EQ(report.events[1].phase, 'i');
+  EXPECT_EQ(report.events[2].phase, 'E');
+  EXPECT_EQ(report.events[2].name, "work");
+}
+
+TEST(FlightRecorder, PostMortemNamesTheInFlightRequest) {
+  RingFile ring("postmortem.fdr");
+  {
+    obs::FlightRecorder recorder(ring.path, 64);
+    recorder.append('B', "req", "serve", "id=42 op=collect");
+    recorder.append('B', "job", "engine", "t-pm");
+    recorder.append('E', "job", "engine", "t-pm");
+  }
+  const obs::FdrReport report = obs::salvage_flight_record(ring.path);
+  ASSERT_TRUE(report.valid) << report.error;
+
+  const std::string text =
+      obs::post_mortem_text(report, /*shard=*/3, /*pid=*/1234,
+                            "killed by signal 9", /*journal_lag=*/5);
+  EXPECT_NE(text.find("shard 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("1234"), std::string::npos) << text;
+  EXPECT_NE(text.find("killed by signal 9"), std::string::npos) << text;
+  EXPECT_NE(text.find("id=42 op=collect"), std::string::npos) << text;
+  EXPECT_NE(text.find("job"), std::string::npos) << text;
+}
+
+TEST(FlightRecorder, PostMortemOnInvalidReportStillRenders) {
+  obs::FdrReport bad;
+  bad.valid = false;
+  bad.error = "ring file unreadable";
+  const std::string text =
+      obs::post_mortem_text(bad, /*shard=*/0, /*pid=*/99, "exited with code 1",
+                            /*journal_lag=*/0);
+  EXPECT_NE(text.find("exited with code 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("ring file unreadable"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace scaltool

@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -41,7 +42,9 @@
 #include "engine/checkpoint.hpp"
 #include "engine/journal.hpp"
 #include "engine/run_cache.hpp"
+#include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/fleet/breaker.hpp"
 #include "serve/fleet/fleet.hpp"
 #include "serve/fleet/ring.hpp"
@@ -463,6 +466,83 @@ TEST(Supervisor, RestartsASigkilledWorker) {
   supervisor.stop();
 }
 
+/// Worker stand-in for the stale-health drill: incarnation 1 reports a
+/// seeded journal_lag through the health verb; every later incarnation
+/// answers health with an empty payload (the probe treats that as
+/// unhealthy and never updates the probe-derived fields), so a non-zero
+/// lag after a respawn can only be incarnation 1's stale value.
+int lag_reporting_worker(const serve::WorkerSpec& spec, int lifeline_fd,
+                         const std::string& counter_path) {
+  int incarnation = 1;
+  {
+    std::ifstream in(counter_path);
+    std::string line;
+    while (std::getline(in, line)) ++incarnation;
+  }
+  { std::ofstream(counter_path, std::ios::app) << "spawn\n"; }
+
+  serve::SocketServer server(
+      [incarnation](serve::Request req) {
+        serve::Response r;
+        r.id = req.id;
+        if (req.op == "ping") r.output = "pong\n";
+        if (req.op == "health" && incarnation == 1)
+          r.stats_json = "{\"journal_lag\":7,\"in_flight\":1}";
+        std::promise<serve::Response> p;
+        p.set_value(std::move(r));
+        return p.get_future();
+      },
+      spec.socket_path);
+  char byte = 0;
+  (void)::read(lifeline_fd, &byte, 1);
+  server.stop();
+  return 0;
+}
+
+TEST(Supervisor, RespawnResetsProbeDerivedHealthFields) {
+  const std::string counter = tmp_path("lag_counter");
+  ::unlink(counter.c_str());
+  serve::SupervisorOptions options =
+      small_supervisor(1, tmp_path("lag_sockets"));
+  options.health_interval_ms = 20;
+  options.health_timeout_ms = 2000;
+  options.health_failures_to_kill = 1000000;  // unhealthy != wedged here
+  options.worker_entry = [counter](const serve::WorkerSpec& spec,
+                                   int lifeline_fd) {
+    return lag_reporting_worker(spec, lifeline_fd, counter);
+  };
+  serve::Supervisor supervisor(options);
+  ASSERT_TRUE(supervisor.wait_ready(30000));
+
+  // Incarnation 1's probe lands: the stale values to beat.
+  MonoClock::TimePoint t0 = MonoClock::now();
+  while (supervisor.status()[0].journal_lag != 7 &&
+         MonoClock::seconds_since(t0) < 30.0)
+    std::this_thread::sleep_for(2ms);
+  ASSERT_EQ(supervisor.status()[0].journal_lag, 7u);
+  EXPECT_EQ(supervisor.status()[0].in_flight, 1);
+
+  const pid_t victim = supervisor.pid_of(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  t0 = MonoClock::now();
+  while ((supervisor.pid_of(0) == victim || !supervisor.is_live(0)) &&
+         MonoClock::seconds_since(t0) < 30.0)
+    std::this_thread::sleep_for(2ms);
+  ASSERT_TRUE(supervisor.is_live(0));
+
+  // Probe-derived fields describe an incarnation, not a shard: the
+  // respawned worker starts from a clean slate...
+  EXPECT_EQ(supervisor.status()[0].journal_lag, 0u);
+  EXPECT_EQ(supervisor.status()[0].in_flight, 0);
+  // ...and stays clean across later (unhealthy) probe cycles.
+  std::this_thread::sleep_for(200ms);
+  EXPECT_EQ(supervisor.status()[0].journal_lag, 0u);
+  EXPECT_EQ(supervisor.status()[0].in_flight, 0);
+  supervisor.stop();
+  ::unlink(counter.c_str());
+}
+
 // ---- Fleet front door --------------------------------------------------
 
 TEST(Fleet, IntrospectionIsAnsweredLocallyAndWorkRoutes) {
@@ -573,6 +653,89 @@ TEST(Fleet, CrashLoopingShardIsBenchedAndFleetReportsDegraded) {
   fleet.stop();
 }
 
+// The acceptance test for distributed tracing (DESIGN.md §13): one
+// collect through a 2-shard obs-enabled fleet produces a single merged
+// Chrome trace with a front-door lane and one lane per shard, and every
+// span of the request — front-door submit, shard-side request, each
+// engine job — carries the request's trace_id.
+TEST(Fleet, CollectThroughObsFleetMergesIntoOneTaggedTimeline) {
+  serve::FleetOptions options;
+  options.supervisor = small_supervisor(2, tmp_path("fleet_e2e"));
+  options.supervisor.worker_obs = true;
+  options.supervisor.worker_fdr = true;
+  options.supervisor.scrape_metrics = true;
+  obs::enable();  // the front-door process records its own spans
+  serve::Fleet fleet(options);
+  ASSERT_TRUE(fleet.supervisor().wait_ready(30000));
+
+  const std::string out = tmp_path("fleet_e2e") + ".archive";
+  ::unlink(out.c_str());
+  serve::Request request = make_request(
+      "collect",
+      {"swim", "--size=2xL2", "--max-procs=4", "--iters=2", "--out=" + out});
+  request.trace_id = "t-e2e";
+  request.parent_span = "test";
+  const serve::Response response = fleet.call(request);
+  EXPECT_EQ(response.exit_code, 0) << response.error;
+
+  // Drain the workers (they export their traces on the way down), then
+  // merge everything into one timeline.
+  fleet.stop();
+  obs::disable();
+  const std::string merged_path = tmp_path("fleet_e2e_trace") + ".json";
+  fleet.write_merged_trace(merged_path);
+
+  const obs::JsonValue doc =
+      obs::json_parse(obs::read_text_file(merged_path));
+  const obs::JsonValue::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  std::map<double, std::string> lane;  // merged pid -> process name
+  std::set<std::string> tagged_names;  // span names seen with t-e2e
+  int jobs_total = 0, jobs_tagged = 0;
+  for (const obs::JsonValue& e : events) {
+    if (e.at("ph").as_string() == "M") {
+      if (e.at("name").as_string() == "process_name")
+        lane[e.at("pid").as_number()] =
+            e.at("args").as_object().at("name").as_string();
+      continue;
+    }
+    if (e.at("ph").as_string() != "E") continue;
+    const std::string name = e.at("name").as_string();
+    bool tagged = false;
+    if (e.has("args")) {
+      const obs::JsonValue::Object& args = e.at("args").as_object();
+      const auto it = args.find("trace_id");
+      tagged = it != args.end() && it->second.as_string() == "t-e2e";
+    }
+    if (tagged) tagged_names.insert(name);
+    if (name == "job") {
+      ++jobs_total;
+      if (tagged) ++jobs_tagged;
+    }
+  }
+
+  // One lane per process, named.
+  std::set<std::string> lanes;
+  for (const auto& [pid, name] : lane) lanes.insert(name);
+  EXPECT_TRUE(lanes.count("front-door")) << "missing front-door lane";
+  EXPECT_TRUE(lanes.count("shard-0"));
+  EXPECT_TRUE(lanes.count("shard-1"));
+
+  // The request is traceable end to end under one id: through the front
+  // door, across the wire into the owning shard, down into every engine
+  // job of the campaign.
+  EXPECT_TRUE(tagged_names.count("fleet.request")) << "front door untagged";
+  EXPECT_TRUE(tagged_names.count("request")) << "shard side untagged";
+  EXPECT_TRUE(tagged_names.count("job")) << "engine jobs untagged";
+  ASSERT_GT(jobs_total, 0);
+  EXPECT_EQ(jobs_tagged, jobs_total)
+      << "some engine jobs lost the request's trace id";
+
+  ::unlink(out.c_str());
+  ::unlink(merged_path.c_str());
+}
+
 // ---- The kill-a-shard chaos drill --------------------------------------
 
 /// Journaled-run count of a possibly mid-write journal; 0 when the file
@@ -609,6 +772,9 @@ TEST(FleetDrill, KillAShardMidCollectResumesOnASurvivor) {
     // only way to skip simulation is the dead shard's journal.
     serve::FleetOptions options;
     options.supervisor = small_supervisor(4, tmp_path(tag + "_sockets"));
+    // Workers keep a flight-recorder ring: the supervisor must produce a
+    // post-mortem naming the murdered request.
+    options.supervisor.worker_fdr = true;
     serve::Fleet fleet(options);
     ASSERT_TRUE(fleet.supervisor().wait_ready(30000));
 
@@ -664,8 +830,23 @@ TEST(FleetDrill, KillAShardMidCollectResumesOnASurvivor) {
     // Byte-identical archive, journal retired on commit.
     EXPECT_EQ(read_file(out), ref_bytes);
     EXPECT_FALSE(file_exists(journal));
+
+    // The supervisor salvaged the victim's ring on reap: a post-mortem
+    // exists and names the collect that was in flight when it died.
+    const std::string post_mortem =
+        fleet.supervisor().post_mortem_path_of(owner);
+    const MonoClock::TimePoint pm0 = MonoClock::now();
+    while (!file_exists(post_mortem) && MonoClock::seconds_since(pm0) < 10.0)
+      std::this_thread::sleep_for(5ms);
+    ASSERT_TRUE(file_exists(post_mortem)) << post_mortem;
+    const std::string forensics = read_file(post_mortem);
+    EXPECT_NE(forensics.find("killed by signal 9"), std::string::npos)
+        << forensics;
+    EXPECT_NE(forensics.find("in-flight: id=1 op=collect"), std::string::npos)
+        << forensics;
     fleet.stop();
     ::unlink(out.c_str());
+    ::unlink(post_mortem.c_str());
   }
   ::unlink(ref_out.c_str());
 }

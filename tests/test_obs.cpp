@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <new>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -18,10 +20,12 @@
 #include "common/check.hpp"
 #include "engine/campaign.hpp"
 #include "engine/engine_stats.hpp"
+#include "engine/thread_pool.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_merge.hpp"
 #include "runner/runner.hpp"
 #include "trace/registry.hpp"
 
@@ -460,6 +464,368 @@ TEST(Cli, TelemetryDoesNotChangeTheArchive) {
   std::remove(plain.c_str());
   std::remove(traced.c_str());
   std::remove(trace_path.c_str());
+}
+
+// ---- Trace context and propagation (DESIGN.md §13) ----------------------
+
+TEST(Tracing, MintedIdsAreUniqueAndPrefixed) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string id = obs::mint_trace_id("front");
+    EXPECT_EQ(id.rfind("front-", 0), 0u) << id;
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate trace id " << id;
+  }
+}
+
+TEST(Tracing, TraceScopeNestsAndRestores) {
+  EXPECT_FALSE(obs::current_trace().active());
+  {
+    obs::TraceScope outer(obs::TraceContext{"t-outer", "root"});
+    EXPECT_EQ(obs::current_trace().trace_id, "t-outer");
+    {
+      obs::TraceScope inner(obs::TraceContext{"t-inner", "mid"});
+      EXPECT_EQ(obs::current_trace().trace_id, "t-inner");
+      EXPECT_EQ(obs::current_trace().parent_span, "mid");
+    }
+    EXPECT_EQ(obs::current_trace().trace_id, "t-outer");
+  }
+  EXPECT_FALSE(obs::current_trace().active());
+}
+
+TEST(Tracing, SpansTagTheAmbientTraceId) {
+  ObsSession session;
+  {
+    obs::TraceScope scope(obs::TraceContext{"t-tag", "parent"});
+    obs::Span span("tagged", "test");
+  }
+  { obs::Span span("untagged", "test"); }
+  obs::disable();
+  const std::vector<obs::ThreadTrace> trace = obs::collect_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  const std::vector<obs::TraceEvent>& events = trace[0].events;
+  ASSERT_EQ(events.size(), 4u);
+  // "tagged" E carries the trace_id arg; "untagged" E carries none.
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].key, "trace_id");
+  EXPECT_EQ(events[1].args[0].value, "t-tag");
+  EXPECT_TRUE(events[3].args.empty());
+}
+
+TEST(Tracing, ThreadPoolPropagatesTheSubmitterContext) {
+  ObsSession session;
+  {
+    ThreadPool pool(2);
+    obs::TraceScope scope(obs::TraceContext{"t-pool", "submitter"});
+    std::vector<std::future<std::string>> futures;
+    for (int i = 0; i < 4; ++i)
+      futures.push_back(pool.submit(
+          [] { return obs::current_trace().trace_id; }));
+    for (std::future<std::string>& f : futures)
+      EXPECT_EQ(f.get(), "t-pool");
+  }
+  obs::disable();
+  // Every pool.task span recorded on the worker threads is tagged too.
+  int tagged = 0;
+  for (const obs::ThreadTrace& t : obs::collect_trace())
+    for (const obs::TraceEvent& e : t.events)
+      if (e.phase == 'E' && std::string(e.name) == "pool.task")
+        for (const obs::TraceArg& a : e.args)
+          if (a.key == "trace_id" && a.value == "t-pool") ++tagged;
+  EXPECT_EQ(tagged, 4);
+}
+
+TEST(Tracing, DuplicateArgKeysKeepTheLastValue) {
+  ObsSession session;
+  {
+    obs::TraceScope scope(obs::TraceContext{"t-dup", ""});
+    obs::Span span("dup", "test");
+    // Explicit trace_id arg supersedes the ambient one the span added.
+    span.arg("trace_id", "explicit-wins");
+    span.arg("k", "first");
+    span.arg("k", "second");
+  }
+  obs::disable();
+  const obs::JsonValue doc = obs::json_parse(obs::chrome_trace_json());
+  bool checked = false;
+  for (const obs::JsonValue& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "E") continue;
+    if (e.at("name").as_string() != "dup") continue;
+    const obs::JsonValue::Object& args = e.at("args").as_object();
+    EXPECT_EQ(args.at("trace_id").as_string(), "explicit-wins");
+    EXPECT_EQ(args.at("k").as_string(), "second");
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+// ---- Exporter escaping (satellite: control bytes in span args) ----------
+
+TEST(Tracing, HostileArgBytesSurviveTheExportRoundTrip) {
+  ObsSession session;
+  {
+    obs::Span span("hostile", "test");
+    span.arg("ctrl", std::string("a\x01\x02\n\tb"));
+    span.arg("invalid_utf8", std::string("x\xFF\xFEy"));
+    span.arg("overlong", std::string("\xC0\xAF"));       // overlong '/'
+    span.arg("surrogate", std::string("\xED\xA0\x80"));  // U+D800
+    span.arg("truncated", std::string("\xE2\x82"));      // cut-off €
+    span.arg("valid", std::string("caf\xC3\xA9 \xE2\x82\xAC"));
+  }
+  obs::disable();
+  // The merge path parses exported traces with the strict obs parser: a
+  // hostile byte that breaks json_parse would break trace-merge.
+  const std::string json = obs::chrome_trace_json();
+  const obs::JsonValue doc = obs::json_parse(json);
+  bool found = false;
+  for (const obs::JsonValue& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "E") continue;
+    if (e.at("name").as_string() != "hostile") continue;
+    const obs::JsonValue::Object& args = e.at("args").as_object();
+    // Control characters in valid UTF-8 round-trip exactly.
+    EXPECT_EQ(args.at("ctrl").as_string(), "a\x01\x02\n\tb");
+    EXPECT_EQ(args.at("valid").as_string(), "caf\xC3\xA9 \xE2\x82\xAC");
+    // Invalid bytes were escaped as \u00XX, so they parse back as the
+    // corresponding Latin-1 code points — lossy but never CheckError.
+    EXPECT_FALSE(args.at("invalid_utf8").as_string().empty());
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tracing, JsonEscapeProducesStrictlyParseableStrings) {
+  // Every single-byte string must escape to something the strict parser
+  // accepts — including all 128 non-ASCII bytes standing alone.
+  for (int b = 1; b < 256; ++b) {
+    const std::string raw(1, static_cast<char>(b));
+    const std::string doc = "\"" + obs::json_escape(raw) + "\"";
+    try {
+      (void)obs::json_parse(doc).as_string();
+    } catch (const CheckError& e) {
+      FAIL() << "byte 0x" << std::hex << b << " escaped to unparseable "
+             << doc << " (" << e.what() << ")";
+    }
+  }
+}
+
+// ---- Metric merge semantics (DESIGN.md §13) -----------------------------
+
+namespace {
+
+obs::HistogramData make_hist(std::vector<double> bounds,
+                             std::vector<std::uint64_t> buckets,
+                             double min_v, double max_v) {
+  obs::HistogramData h;
+  h.bounds = std::move(bounds);
+  h.bucket_counts = std::move(buckets);
+  for (const std::uint64_t c : h.bucket_counts) h.count += c;
+  h.min = min_v;
+  h.max = max_v;
+  h.sum = min_v + max_v;  // any value works: merge only requires additivity
+  return h;
+}
+
+}  // namespace
+
+TEST(Merge, HistogramsMergeElementwise) {
+  const obs::HistogramData a = make_hist({1.0, 2.0}, {3, 2, 1}, 0.5, 9.0);
+  const obs::HistogramData b = make_hist({1.0, 2.0}, {1, 0, 4}, 0.25, 50.0);
+  const obs::HistogramData m = obs::merge_histograms(a, b);
+  ASSERT_EQ(m.bucket_counts.size(), 3u);
+  EXPECT_EQ(m.bucket_counts[0], 4u);
+  EXPECT_EQ(m.bucket_counts[1], 2u);
+  EXPECT_EQ(m.bucket_counts[2], 5u);
+  EXPECT_EQ(m.count, 11u);
+  EXPECT_DOUBLE_EQ(m.sum, a.sum + b.sum);
+  EXPECT_DOUBLE_EQ(m.min, 0.25);
+  EXPECT_DOUBLE_EQ(m.max, 50.0);
+}
+
+TEST(Merge, EmptyHistogramIsTheIdentity) {
+  const obs::HistogramData a = make_hist({1.0, 2.0}, {3, 2, 1}, 0.5, 9.0);
+  const obs::HistogramData empty;
+  const obs::HistogramData left = obs::merge_histograms(empty, a);
+  const obs::HistogramData right = obs::merge_histograms(a, empty);
+  for (const obs::HistogramData* m : {&left, &right}) {
+    EXPECT_EQ(m->count, a.count);
+    EXPECT_EQ(m->bucket_counts, a.bucket_counts);
+    EXPECT_DOUBLE_EQ(m->min, a.min);
+    EXPECT_DOUBLE_EQ(m->max, a.max);
+  }
+}
+
+TEST(Merge, HistogramMergeIsAssociative) {
+  const obs::HistogramData a = make_hist({1.0}, {3, 1}, 0.5, 9.0);
+  const obs::HistogramData b = make_hist({1.0}, {1, 4}, 0.25, 50.0);
+  const obs::HistogramData c = make_hist({1.0}, {0, 2}, 2.0, 3.0);
+  const obs::HistogramData left =
+      obs::merge_histograms(obs::merge_histograms(a, b), c);
+  const obs::HistogramData right =
+      obs::merge_histograms(a, obs::merge_histograms(b, c));
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.bucket_counts, right.bucket_counts);
+  EXPECT_DOUBLE_EQ(left.sum, right.sum);
+  EXPECT_DOUBLE_EQ(left.min, right.min);
+  EXPECT_DOUBLE_EQ(left.max, right.max);
+}
+
+TEST(Merge, MismatchedBoundsAreRejected) {
+  const obs::HistogramData a = make_hist({1.0, 2.0}, {1, 1, 1}, 1.0, 2.0);
+  const obs::HistogramData b = make_hist({1.0, 4.0}, {1, 1, 1}, 1.0, 2.0);
+  EXPECT_THROW(obs::merge_histograms(a, b), CheckError);
+}
+
+TEST(Merge, SnapshotFoldSumsCountersAndMaxesGauges) {
+  obs::MetricsSnapshot s0;
+  s0.counters["requests"] = 10;
+  s0.counters["only_in_s0"] = 3;
+  s0.gauges["lag"] = 2.0;
+  s0.histograms["lat"] = make_hist({1.0}, {2, 0}, 0.5, 0.9);
+  obs::MetricsSnapshot s1;
+  s1.counters["requests"] = 5;
+  s1.gauges["lag"] = 7.0;
+  s1.gauges["only_in_s1"] = 1.5;
+  s1.histograms["lat"] = make_hist({1.0}, {0, 3}, 2.0, 8.0);
+
+  const obs::MetricsSnapshot m = obs::merge_snapshots({s0, s1});
+  EXPECT_EQ(m.counters.at("requests"), 15u);
+  EXPECT_EQ(m.counters.at("only_in_s0"), 3u);
+  EXPECT_DOUBLE_EQ(m.gauges.at("lag"), 7.0);  // max: the worst shard
+  EXPECT_DOUBLE_EQ(m.gauges.at("only_in_s1"), 1.5);
+  EXPECT_EQ(m.histograms.at("lat").count, 5u);
+  EXPECT_DOUBLE_EQ(m.histograms.at("lat").max, 8.0);
+
+  EXPECT_TRUE(obs::merge_snapshots({}).counters.empty());
+}
+
+// ---- Compact metrics JSON and Prometheus exposition ---------------------
+
+TEST(Export, CompactMetricsJsonIsOneLineAndEquivalent) {
+  ObsSession session;
+  obs::MetricRegistry& reg = obs::MetricRegistry::instance();
+  reg.counter("compact.counter").add(3);
+  reg.histogram("compact.hist", {1.0}).observe(0.5);
+  obs::disable();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const std::string compact = obs::metrics_json(snap, /*compact=*/true);
+  EXPECT_EQ(compact.find('\n'), std::string::npos)
+      << "compact metrics JSON must fit one NDJSON line";
+  const obs::MetricsSnapshot back = obs::parse_metrics_json(compact);
+  EXPECT_EQ(back.counters.at("compact.counter"), 3u);
+  EXPECT_EQ(back.histograms.at("compact.hist").count, 1u);
+}
+
+TEST(Export, PrometheusTextExposesEveryKind) {
+  obs::MetricsSnapshot snap;
+  snap.counters["serve.requests"] = 12;
+  snap.gauges["fleet.journal_lag.shard0"] = 4.0;
+  snap.histograms["job.seconds"] = make_hist({0.1, 1.0}, {5, 3, 2}, 0.01, 7.0);
+
+  const std::string text = obs::prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE scaltool_serve_requests_total counter"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("scaltool_serve_requests_total 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scaltool_fleet_journal_lag_shard0 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("scaltool_fleet_journal_lag_shard0 4"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(text.find("scaltool_job_seconds_bucket{le=\"0.1\"} 5"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("scaltool_job_seconds_bucket{le=\"1\"} 8"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("scaltool_job_seconds_bucket{le=\"+Inf\"} 10"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("scaltool_job_seconds_count 10"), std::string::npos);
+  // Exposition format: every line ends with \n, no blank lines between
+  // families' samples.
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// ---- Trace merge (DESIGN.md §13) ----------------------------------------
+
+namespace {
+
+/// Exports the current (disabled) trace buffer as `name` with `pid`.
+std::string export_as(const std::string& name, std::int64_t pid) {
+  return obs::chrome_trace_json(obs::TraceProcessInfo{pid, name});
+}
+
+}  // namespace
+
+TEST(TraceMerge, AssignsLanesAndRebasesClocks) {
+  // Two "processes" recorded sequentially in this one test process: the
+  // second session's epoch is later, so after rebasing its events must
+  // land at larger absolute timestamps than the first's.
+  obs::enable();
+  { obs::Span span("early", "test"); }
+  obs::disable();
+  const std::string first = export_as("front-door", 100);
+
+  obs::enable();
+  { obs::Span span("late", "test"); }
+  obs::disable();
+  const std::string second = export_as("shard-0", 200);
+
+  const std::string merged = obs::merge_chrome_traces(
+      {{"front-door", first}, {"shard-0", second}});
+  const obs::JsonValue doc = obs::json_parse(merged);
+  const obs::JsonValue::Array& events = doc.at("traceEvents").as_array();
+
+  std::map<std::string, double> lane;       // process_name -> merged pid
+  std::map<std::string, double> begin_ts;   // span name -> merged ts
+  for (const obs::JsonValue& e : events) {
+    if (e.at("ph").as_string() == "M") {
+      if (e.at("name").as_string() == "process_name")
+        lane[e.at("args").as_object().at("name").as_string()] =
+            e.at("pid").as_number();
+      continue;
+    }
+    if (e.at("ph").as_string() == "B")
+      begin_ts[e.at("name").as_string()] = e.at("ts").as_number();
+  }
+  // Lanes: deterministic pids by input order, names preserved.
+  ASSERT_EQ(lane.size(), 2u);
+  EXPECT_DOUBLE_EQ(lane.at("front-door"), 1.0);
+  EXPECT_DOUBLE_EQ(lane.at("shard-0"), 2.0);
+  // Clock rebase: the later session's span sits later on the shared axis.
+  ASSERT_TRUE(begin_ts.count("early"));
+  ASSERT_TRUE(begin_ts.count("late"));
+  EXPECT_GT(begin_ts.at("late"), begin_ts.at("early"));
+}
+
+TEST(TraceMerge, RejectsNonTraceInput) {
+  EXPECT_THROW(obs::merge_chrome_traces({}), CheckError);
+  EXPECT_THROW(obs::merge_chrome_traces({{"x", "not json"}}), CheckError);
+  EXPECT_THROW(obs::merge_chrome_traces({{"x", "{\"no_events\":1}"}}),
+               CheckError);
+}
+
+TEST(Cli, TraceMergeCommandFusesFiles) {
+  obs::enable();
+  { obs::Span span("piece", "test"); }
+  obs::disable();
+  const std::string in1 = temp_path("merge_in1.json");
+  const std::string in2 = temp_path("merge_in2.json");
+  const std::string out = temp_path("merge_out.json");
+  obs::write_text_file(in1, export_as("alpha", 11));
+  obs::write_text_file(in2, export_as("beta", 22));
+
+  std::ostringstream os;
+  ASSERT_EQ(cli::run_command(
+                {"trace-merge", "--out=" + out, in1, in2}, os), 0)
+      << os.str();
+  EXPECT_NE(os.str().find("merged 2 traces"), std::string::npos);
+  const obs::JsonValue doc = obs::json_parse(obs::read_text_file(out));
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+
+  // Error paths: no inputs, missing --out.
+  std::ostringstream err;
+  EXPECT_NE(cli::run_command({"trace-merge", "--out=" + out}, err), 0);
+  EXPECT_NE(cli::run_command({"trace-merge", in1}, err), 0);
+
+  std::remove(in1.c_str());
+  std::remove(in2.c_str());
+  std::remove(out.c_str());
 }
 
 // ---- JSON parser hardening ----------------------------------------------

@@ -17,6 +17,9 @@
 
 #include "cli/cli.hpp"
 #include "common/check.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/batcher.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
@@ -141,6 +144,32 @@ TEST(Protocol, RequestHashStampsArchiveContent) {
   EXPECT_NE(h1, h2);  // rewriting the target invalidates cached answers
 }
 
+TEST(Protocol, TraceFieldsRideTheWireButNotTheHash) {
+  Request req = make_request("analyze", kSmallAnalyze);
+  req.trace_id = "t-0123456789abcdef";
+  req.parent_span = "fleet.request";
+  const std::string line = serialize_request(req);
+  const Request back = parse_request(line);
+  EXPECT_EQ(back.trace_id, "t-0123456789abcdef");
+  EXPECT_EQ(back.parent_span, "fleet.request");
+
+  // Tracing is identity, not content: the same analysis under a different
+  // trace id must hit the same cache entry.
+  Request untraced = make_request("analyze", kSmallAnalyze);
+  EXPECT_EQ(request_hash(req), request_hash(untraced));
+
+  // Requests without the fields serialize without them (wire
+  // compatibility with pre-tracing clients).
+  EXPECT_EQ(serialize_request(untraced).find("trace_id"), std::string::npos);
+}
+
+TEST(Protocol, MetricsIsAKnownOp) {
+  const Request req = parse_request("{\"op\":\"metrics\"}");
+  EXPECT_EQ(req.op, "metrics");
+  // Server-state-dependent: never cacheable.
+  EXPECT_EQ(request_hash(req), 0u);
+}
+
 // ---- ResultCache --------------------------------------------------------
 
 TEST(ResultCacheTest, LruEvictsOldestAndPromotesHits) {
@@ -220,6 +249,30 @@ TEST(Service, ExecutionErrorYieldsWellFormedErrorResponse) {
   const Response back = parse_response(serialize_response(r));
   EXPECT_EQ(back.status, Status::kError);
   EXPECT_EQ(back.error, r.error);
+}
+
+TEST(Service, MetricsVerbReturnsAParseableSnapshot) {
+  // Counter publication is gated on the telemetry flag; the scrape path
+  // always runs with it on (fleet --obs).
+  obs::enable();
+  Response r;
+  {
+    AnalysisService service;
+    (void)service.call(make_request("ping"));
+    r = service.call(make_request("metrics"));
+  }
+  obs::disable();
+  EXPECT_EQ(r.status, Status::kOk);
+  // The payload is one NDJSON-safe line and parses as a metrics snapshot.
+  EXPECT_EQ(r.stats_json.find('\n'), std::string::npos);
+  const obs::MetricsSnapshot snap = obs::parse_metrics_json(r.stats_json);
+  EXPECT_GE(snap.counters.at("serve.accepted"), 1u);
+  // The payload survives the wire round trip (the envelope re-serializes
+  // embedded JSON, so compare parsed content, not bytes).
+  const Response back = parse_response(serialize_response(r));
+  const obs::MetricsSnapshot again = obs::parse_metrics_json(back.stats_json);
+  EXPECT_EQ(again.counters, snap.counters);
+  EXPECT_EQ(again.gauges, snap.gauges);
 }
 
 TEST(Service, SubmitAfterShutdownIsRejected) {
@@ -471,7 +524,7 @@ TEST(CliServe, ServeRequiresATransport) {
 TEST(CliServe, VersionFlag) {
   std::string out;
   EXPECT_EQ(run_cli({"--version"}, &out), 0);
-  EXPECT_EQ(out, "scaltool 0.6.0\n");
+  EXPECT_EQ(out, "scaltool 0.7.0\n");
   EXPECT_EQ(run_cli({"help"}, &out), 0);
   EXPECT_NE(out.find("serve --socket"), std::string::npos);
   EXPECT_NE(out.find("fleet --socket"), std::string::npos);
