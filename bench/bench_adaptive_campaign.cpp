@@ -1,0 +1,123 @@
+// Adaptive-vs-full campaign gate: for each of the paper's three
+// applications, the adaptive planner must land on the full-matrix model —
+// every probe the stopping rule watches within its tolerance of the
+// answer the complete Table 3 matrix gives — while scheduling at most
+// 60% of the matrix. Run as a hard gate in CI: any app that misses
+// either bound fails the binary.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "common/table.hpp"
+#include "core/whatif.hpp"
+#include "engine/campaign.hpp"
+#include "engine/engine_stats.hpp"
+#include "plan/planner.hpp"
+
+namespace scaltool::bench {
+namespace {
+
+constexpr int kMaxProcs = 32;
+constexpr double kTolerance = 0.10;
+constexpr double kRunBudget = 0.60;  ///< of the full matrix
+
+/// The planner's probe metric: relative for answers above 1, absolute
+/// below (the same formula its stopping rule applies between steps).
+double probe_delta(double a, double b) {
+  return std::fabs(a - b) / std::max(1.0, std::fabs(b));
+}
+
+struct ProbeSet {
+  double t2 = 0.0, tm1 = 0.0, pi0 = 0.0;
+  double l2x2 = 0.0, l2x4 = 0.0;  ///< what-if speed ratios at max n
+};
+
+ProbeSet probes_of(const ScalToolInputs& inputs) {
+  const ScalabilityReport report = analyze(inputs);
+  ProbeSet p;
+  p.t2 = report.model.t2;
+  p.tm1 = report.model.tm1;
+  p.pi0 = report.model.pi0;
+  const int last = report.points.back().n;
+  for (double k : {2.0, 4.0}) {
+    WhatIfParams params;
+    params.l2_scale_k = k;
+    const double ratio =
+        what_if(report, inputs, params).point(last).speed_ratio;
+    (k == 2.0 ? p.l2x2 : p.l2x4) = ratio;
+  }
+  return p;
+}
+
+int run() {
+  std::cout << "# adaptive campaign gate: <= " << (kRunBudget * 100)
+            << "% of the matrix, every probe within " << kTolerance
+            << " of the full-matrix answer\n";
+  Table table("Adaptive vs full campaign (tolerance " +
+              std::to_string(kTolerance) + ")");
+  table.header({"app", "runs_full", "runs_adaptive", "used_%", "picks",
+                "stop", "max_probe_delta", "gate"});
+  int failures = 0;
+
+  for (const std::string app : {"t3dheat", "hydro2d", "swim"}) {
+    const AppSpec spec = spec_for(app);
+    const ExperimentRunner runner = make_runner();
+    const std::size_t s0 = s0_for(spec);
+
+    // The reference: the complete Table 3 matrix.
+    const ProbeSet full = probes_of(collect_app(app, kMaxProcs));
+
+    // The contender: same machine, same grid, adaptive schedule. The
+    // shared bench cache only saves wall time — runs_used counts every
+    // scheduled job, cached or not.
+    CampaignOptions engine_options;
+    engine_options.jobs = bench_jobs();
+    engine_options.cache_path = bench_cache_path();
+    plan::PlannerOptions planner_options;
+    planner_options.tolerance = kTolerance;
+    plan::AdaptivePlanner planner(runner, engine_options, planner_options);
+    const plan::PlannerResult result =
+        planner.run(app, s0, default_proc_counts(kMaxProcs));
+    const ProbeSet adaptive = probes_of(result.inputs);
+
+    const double used =
+        static_cast<double>(result.runs_used) / result.runs_total;
+    double delta = probe_delta(adaptive.t2, full.t2);
+    delta = std::max(delta, probe_delta(adaptive.tm1, full.tm1));
+    delta = std::max(delta, probe_delta(adaptive.pi0, full.pi0));
+    delta = std::max(delta, probe_delta(adaptive.l2x2, full.l2x2));
+    delta = std::max(delta, probe_delta(adaptive.l2x4, full.l2x4));
+
+    const bool pass = used <= kRunBudget && delta <= kTolerance;
+    if (!pass) ++failures;
+    table.add_row({app, Table::cell(result.runs_total),
+                   Table::cell(result.runs_used), Table::cell(100.0 * used),
+                   Table::cell(result.steps),
+                   plan::stop_reason_name(result.stop), Table::cell(delta),
+                   pass ? "PASS" : "FAIL"});
+    std::cout << "{\"bench\":\"adaptive_campaign\",\"app\":\"" << app
+              << "\",\"runs_full\":" << result.runs_total
+              << ",\"runs_adaptive\":" << result.runs_used
+              << ",\"used_frac\":" << used << ",\"picks\":" << result.steps
+              << ",\"max_probe_delta\":" << delta
+              << ",\"pass\":" << (pass ? "true" : "false") << "}\n";
+  }
+
+  table.print(std::cout, /*with_csv=*/true);
+  if (failures > 0) {
+    std::cout << "FAIL: " << failures
+              << " app(s) missed the adaptive-campaign gate\n";
+    return 1;
+  }
+  std::cout << "PASS: adaptive campaigns matched the full matrix on all "
+               "three apps within budget\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace scaltool::bench
+
+int main() { return scaltool::bench::run(); }

@@ -38,7 +38,7 @@ namespace scaltool::cli {
 namespace {
 
 /// Reported by --version; bump alongside the project() version.
-constexpr const char* kVersion = "0.7.0";
+constexpr const char* kVersion = "0.8.0";
 
 int cmd_list(std::ostream& os) {
   register_standard_workloads();
@@ -427,7 +427,18 @@ void print_help(std::ostream& os) {
         "  collect <app> --out=FILE     gather the measurement matrix\n"
         "      [--size=S --max-procs=N --iters=I --jobs=N --cache=FILE\n"
         "       --retries=N --backoff-ms=M --keep-going --faults=SPEC\n"
-        "       --resume --journal=FILE --no-journal --run-timeout-ms=T]\n"
+        "       --resume --journal=FILE --no-journal --run-timeout-ms=T\n"
+        "       --adaptive --tolerance=T --max-runs=N]\n"
+        "      --adaptive runs the core of the grid (base series, pi0\n"
+        "      anchor, fit calibration, kernel endpoints) and then buys\n"
+        "      one run at a time by expected CI shrinkage, stopping once\n"
+        "      the what-if answers are stable within --tolerance (default\n"
+        "      0.05) or --max-runs is hit; decisions are archived as\n"
+        "      NOTE|PLAN| records and --resume replays them exactly\n"
+        "  plan <app>                   print the adaptive schedule (grid\n"
+        "                               partition, core, candidate pool)\n"
+        "                               without simulating anything\n"
+        "      [--size=S --max-procs=N --tolerance=T --max-runs=N]\n"
         "  analyze <app|archive>        full bottleneck report\n"
         "      [--size=S --max-procs=N --sharing --chart --robust-fit\n"
         "       --jobs=N --cache=FILE --retries=N --keep-going\n"
@@ -554,6 +565,12 @@ void print_help(std::ostream& os) {
         "  7  fleet degraded: the fleet served and drained, but a crash-\n"
         "     looping shard was benched along the way (`scaltool fleet`\n"
         "     and its health verb only)\n"
+        "  8  tolerance unreachable: collect --adaptive hit --max-runs\n"
+        "     before the what-if answers stabilized; the archive is still\n"
+        "     published (honestly annotated) and the journal is kept, so\n"
+        "     rerunning with --resume and a higher budget loses nothing\n"
+        "     (asking for a budget below the mandatory core is a hard\n"
+        "     failure, exit 1, before anything runs)\n"
         "\n"
         "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n"
         "`scaltool --version` prints the version.\n";
@@ -578,6 +595,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     if (command == "list") return cmd_list(os);
     if (command == "run") return cmd_run(args, os);
     if (command == "collect") return serve::exec_collect(args, os);
+    if (command == "plan") return serve::exec_plan(args, os);
     if (command == "analyze") return serve::exec_analyze(args, os);
     if (command == "whatif") return serve::exec_whatif(args, os);
     if (command == "stats") return cmd_stats(args, os);

@@ -98,11 +98,20 @@ JobOutcome CampaignEngine::execute_job(const RunSpec& spec,
 }
 
 void CampaignEngine::prepare_journal(const MatrixPlan& plan) {
-  journal_.reset();
-  replay_.clear();
-  if (options_.journal_path.empty()) return;
+  if (options_.journal_path.empty()) {
+    journal_.reset();
+    replay_.clear();
+    return;
+  }
   const std::uint64_t signature =
       matrix_signature(plan, runner_.base_config(), runner_.iterations);
+  // The adaptive planner executes one batch per call against the same
+  // plan; the journal (and the replay seed a --resume loaded) must span
+  // all of them, so an already-open journal for this matrix is kept.
+  if (journal_ && journal_signature_ == signature) return;
+  journal_.reset();
+  replay_.clear();
+  journal_signature_ = signature;
   if (options_.resume &&
       std::filesystem::exists(options_.journal_path)) {
     obs::Span span("journal.replay", "engine");
@@ -139,7 +148,12 @@ void CampaignEngine::prepare_journal(const MatrixPlan& plan) {
   journal_->begin(signature, plan);
 }
 
-std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
+std::vector<JobOutcome> CampaignEngine::execute(
+    const MatrixPlan& plan, const std::vector<bool>* selected) {
+  ST_CHECK_MSG(selected == nullptr || selected->size() == plan.jobs.size(),
+               "job-selection mask does not match the plan: "
+                   << (selected ? selected->size() : 0) << " vs "
+                   << plan.jobs.size());
   register_standard_workloads();
   prepare_journal(plan);
   stats_ = EngineStats{};
@@ -170,6 +184,14 @@ std::vector<JobOutcome> CampaignEngine::execute(const MatrixPlan& plan) {
   const int max_attempts = options_.retries + 1;
   const auto run_one = [&](std::size_t i) {
     const RunSpec& spec = plan.jobs[i];
+    if (selected && !(*selected)[i]) {
+      // The planner decided this grid point is not (yet) worth paying
+      // for: no simulator, no cache traffic, no journal record — the
+      // point simply does not exist this batch.
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats_.planned_skipped;
+      return;
+    }
     // Cooperative cancellation: a fired deadline stops new jobs before
     // they touch the simulator; jobs already running finish normally.
     if (options_.cancelled && options_.cancelled()) {

@@ -118,7 +118,17 @@ class CampaignEngine {
   /// quarantines it (its outcome slot stays default-constructed, see
   /// quarantined()), otherwise the engine finishes the remaining jobs and
   /// rethrows the first error.
-  std::vector<JobOutcome> execute(const MatrixPlan& plan);
+  ///
+  /// `selected` (parallel to plan.jobs, or null = everything) is the
+  /// adaptive planner's job mask: an unselected job is never simulated,
+  /// never touches the cache or the journal, and is counted as
+  /// stats().planned_skipped — the stats identity becomes
+  /// total = run + cached + replayed + quarantined + planned_skipped.
+  /// Successive execute() calls with the same plan keep appending to the
+  /// same journal (the planner runs one batch per call), so a resumed
+  /// adaptive campaign replays every batch it already paid for.
+  std::vector<JobOutcome> execute(const MatrixPlan& plan,
+                                  const std::vector<bool>* selected = nullptr);
 
   const ExperimentRunner& runner() const { return runner_; }
   RunCache& cache() { return *cache_; }
@@ -146,6 +156,7 @@ class CampaignEngine {
   std::shared_ptr<RunCache> cache_;  // options_.shared_cache or owned
   std::unique_ptr<FaultInjector> injector_;  // null when faults are off
   std::unique_ptr<JournalWriter> journal_;   // null when journaling is off
+  std::uint64_t journal_signature_ = 0;  ///< matrix the open journal is for
   std::map<std::size_t, ReplayedRun> replay_;  ///< journal-seeded outcomes
   EngineStats stats_;
   std::vector<QuarantinedJob> quarantined_;

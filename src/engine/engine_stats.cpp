@@ -17,8 +17,10 @@ double EngineStats::utilization() const {
 }
 
 double EngineStats::cache_hit_rate() const {
-  if (jobs_total == 0) return 0.0;
-  return static_cast<double>(jobs_cached) / static_cast<double>(jobs_total);
+  const std::size_t eligible =
+      jobs_total > planned_skipped ? jobs_total - planned_skipped : 0;
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(jobs_cached) / static_cast<double>(eligible);
 }
 
 double EngineStats::completed_fraction() const {
@@ -30,13 +32,14 @@ double EngineStats::completed_fraction() const {
 Table engine_stats_table(const EngineStats& s) {
   Table table("Campaign engine");
   table.header({"jobs", "run", "cached", "replayed", "failed", "quarantined",
-                "attempts", "retries", "wdog", "faults", "workers", "wall_s",
-                "busy_s", "util_%", "hit_%", "cache_loaded", "cache_corrupt",
-                "cache_recovered"});
+                "skipped", "attempts", "retries", "wdog", "faults", "workers",
+                "wall_s", "busy_s", "util_%", "hit_%", "cache_loaded",
+                "cache_corrupt", "cache_recovered"});
   table.add_row({Table::cell(s.jobs_total), Table::cell(s.jobs_run),
                  Table::cell(s.jobs_cached), Table::cell(s.jobs_replayed),
                  Table::cell(s.jobs_failed),
-                 Table::cell(s.jobs_quarantined), Table::cell(s.attempts),
+                 Table::cell(s.jobs_quarantined),
+                 Table::cell(s.planned_skipped), Table::cell(s.attempts),
                  Table::cell(s.retries), Table::cell(s.watchdog_timeouts),
                  Table::cell(s.faults_injected),
                  Table::cell(s.workers), Table::cell(s.wall_seconds, 3),
@@ -56,6 +59,8 @@ std::string engine_stats_line(const EngineStats& s) {
   if (s.jobs_replayed > 0) os << ", " << s.jobs_replayed << " replayed";
   if (s.jobs_quarantined > 0) os << ", " << s.jobs_quarantined
                                  << " quarantined";
+  if (s.planned_skipped > 0)
+    os << ", " << s.planned_skipped << " skipped by plan";
   os << ") on " << s.workers << (s.workers == 1 ? " worker" : " workers");
   if (s.retries > 0) os << ", " << s.retries << " retries";
   if (s.watchdog_timeouts > 0)
@@ -77,6 +82,7 @@ void publish_engine_stats(const EngineStats& s) {
   reg.counter("engine.jobs_failed").set(s.jobs_failed);
   reg.counter("engine.jobs_quarantined").set(s.jobs_quarantined);
   reg.counter("engine.jobs_replayed").set(s.jobs_replayed);
+  reg.counter("engine.planned_skipped").set(s.planned_skipped);
   reg.counter("engine.watchdog_timeouts").set(s.watchdog_timeouts);
   reg.counter("engine.attempts").set(s.attempts);
   reg.counter("engine.retries").set(s.retries);

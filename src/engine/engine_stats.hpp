@@ -23,6 +23,11 @@ struct EngineStats {
   /// Outcomes seeded from the write-ahead journal on --resume; these runs
   /// were never re-simulated (the crash-recovery proof reads this).
   std::size_t jobs_replayed = 0;
+  /// Grid points the adaptive planner deliberately left unexecuted (the
+  /// job-selection mask). Skipped jobs never touch the simulator, cache
+  /// or journal; with them the accounting identity is
+  /// total = run + cached + replayed + quarantined + planned_skipped.
+  std::size_t planned_skipped = 0;
   /// Attempts the per-run watchdog cancelled (--run-timeout-ms).
   std::size_t watchdog_timeouts = 0;
   std::size_t attempts = 0;          ///< simulator attempts, incl. retries
@@ -42,7 +47,8 @@ struct EngineStats {
   /// idle (0) otherwise.
   double utilization() const;
 
-  /// jobs_cached / jobs_total (0 when the campaign was empty).
+  /// jobs_cached over the jobs that could have hit the cache (planner-
+  /// skipped jobs never ask it); 0 when nothing was eligible.
   double cache_hit_rate() const;
 
   /// (jobs_total − quarantined) / jobs_total: how much of the matrix

@@ -1,0 +1,84 @@
+#include "math/confidence.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace scaltool {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double OlsInference::leverage(std::span<const double> x) const {
+  ST_CHECK(x.size() == predictors);
+  double acc = 0.0;
+  for (std::size_t a = 0; a < predictors; ++a) {
+    double row = 0.0;
+    for (std::size_t b = 0; b < predictors; ++b)
+      row += xtx_inv[a * predictors + b] * x[b];
+    acc += x[a] * row;
+  }
+  return acc;
+}
+
+std::vector<double> invert_normal_matrix(std::vector<double> xtx,
+                                         std::size_t k) {
+  ST_CHECK(xtx.size() == k * k);
+  // Column-by-column solve against the identity; solve_linear already
+  // carries the partial pivoting and the singularity check.
+  std::vector<double> inv(k * k, 0.0);
+  for (std::size_t col = 0; col < k; ++col) {
+    std::vector<double> e(k, 0.0);
+    e[col] = 1.0;
+    const std::vector<double> x = solve_linear(xtx, std::move(e), k);
+    for (std::size_t r = 0; r < k; ++r) inv[r * k + col] = x[r];
+  }
+  return inv;
+}
+
+OlsInference infer_least_squares(const std::vector<std::vector<double>>& rows,
+                                 const LsqFit& fit) {
+  ST_CHECK(!rows.empty());
+  const std::size_t m = rows.size();
+  const std::size_t k = rows.front().size();
+  ST_CHECK(fit.coef.size() == k);
+  ST_CHECK(fit.residuals.size() == m);
+
+  OlsInference inf;
+  inf.observations = m;
+  inf.predictors = k;
+  inf.dof = m > k ? m - k : 0;
+
+  std::vector<double> xtx(k * k, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    ST_CHECK(rows[i].size() == k);
+    for (std::size_t a = 0; a < k; ++a)
+      for (std::size_t b = 0; b < k; ++b)
+        xtx[a * k + b] += rows[i][a] * rows[i][b];
+  }
+  inf.xtx_inv = invert_normal_matrix(std::move(xtx), k);
+
+  double rss = 0.0;
+  for (const double r : fit.residuals) rss += r * r;
+  inf.sigma2 = inf.dof > 0 ? rss / static_cast<double>(inf.dof) : kInf;
+
+  inf.se.resize(k);
+  inf.ci95.resize(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    if (inf.dof == 0) {
+      inf.se[a] = kInf;
+      inf.ci95[a] = kInf;
+      continue;
+    }
+    // Numerical round-off can push a diagonal element a hair negative on
+    // an interpolating-to-machine-precision design; clamp, never sqrt(-0).
+    const double var = std::max(0.0, inf.sigma2 * inf.xtx_inv[a * k + a]);
+    inf.se[a] = std::sqrt(var);
+    inf.ci95[a] = 1.96 * inf.se[a];
+  }
+  return inf;
+}
+
+}  // namespace scaltool

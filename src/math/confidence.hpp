@@ -1,0 +1,63 @@
+// Closed-form inference for the no-intercept OLS fits (DESIGN.md §14).
+//
+// The adaptive campaign planner needs to know not just the fitted
+// latencies (t2, tm) but how certain they are: a run is only worth
+// simulating if it shrinks that uncertainty. Under the standard OLS
+// error model the coefficient covariance is
+//
+//     cov(coef) = σ² (XᵀX)⁻¹      with  σ² = RSS / (m − k),
+//
+// which is exact given the normal equations the least_squares core
+// already forms. We report per-coefficient standard errors, 95%
+// confidence half-widths (normal approximation, 1.96·se — the planner
+// compares widths against each other and against a tolerance, so the
+// small-sample t correction buys nothing), and the leverage form
+// xᵀ(XᵀX)⁻¹x a D-optimal acquisition policy scores candidate runs with.
+//
+// Degenerate designs are first-class: with m == k the fit interpolates
+// (zero residual degrees of freedom) and every interval is infinite —
+// "we know nothing about the noise yet" — rather than zero or NaN.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "math/least_squares.hpp"
+
+namespace scaltool {
+
+/// Inference over one least-squares fit.
+struct OlsInference {
+  std::size_t observations = 0;  ///< m
+  std::size_t predictors = 0;    ///< k
+  /// Residual degrees of freedom, m − k (0 for an interpolating fit).
+  std::size_t dof = 0;
+  /// Residual variance estimate RSS / dof; +inf when dof == 0.
+  double sigma2 = 0.0;
+  /// Per-coefficient standard errors; +inf when dof == 0.
+  std::vector<double> se;
+  /// 95% confidence half-widths, 1.96 · se.
+  std::vector<double> ci95;
+  /// (XᵀX)⁻¹, row-major k×k — the design information the acquisition
+  /// policy reads (leverage of a candidate row).
+  std::vector<double> xtx_inv;
+
+  /// Leverage xᵀ(XᵀX)⁻¹x of a candidate predictor row: proportional to
+  /// the variance a prediction at x carries, and to how much adding the
+  /// row would improve the design.
+  double leverage(std::span<const double> x) const;
+};
+
+/// Inverts the symmetric positive-definite k×k matrix XᵀX accumulated from
+/// `rows` (row-major result). Throws CheckError on a singular design,
+/// naming the offending column like least_squares does.
+std::vector<double> invert_normal_matrix(std::vector<double> xtx,
+                                         std::size_t k);
+
+/// Closed-form inference for `fit = least_squares(rows, y)`. The fit's
+/// residuals supply the RSS, so callers never recompute them; rows must be
+/// the exact design the fit was produced from.
+OlsInference infer_least_squares(const std::vector<std::vector<double>>& rows,
+                                 const LsqFit& fit);
+
+}  // namespace scaltool

@@ -52,6 +52,29 @@ LsqFit least_squares(const std::vector<std::vector<double>>& rows,
   const std::size_t m = rows.size();
   const std::size_t k = rows.front().size();
   ST_CHECK_MSG(k >= 1, "need at least one predictor");
+  for (const auto& row : rows) ST_CHECK(row.size() == k);
+
+  // Normal equations: (XᵀX) coef = Xᵀy.
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += rows[i][a] * y[i];
+      for (std::size_t b = 0; b < k; ++b) xtx[a * k + b] += rows[i][a] * rows[i][b];
+    }
+  }
+  return least_squares_from_normal(std::move(xtx), std::move(xty), rows, y);
+}
+
+LsqFit least_squares_from_normal(std::vector<double> xtx,
+                                 std::vector<double> xty,
+                                 const std::vector<std::vector<double>>& rows,
+                                 std::span<const double> y) {
+  ST_CHECK(!rows.empty());
+  const std::size_t m = rows.size();
+  const std::size_t k = xty.size();
+  ST_CHECK(xtx.size() == k * k);
+  ST_CHECK_MSG(k >= 1, "need at least one predictor");
   ST_CHECK_MSG(m >= k, "need at least as many observations (" << m
                        << ") as predictors (" << k << ")");
   ST_CHECK(y.size() == m);
@@ -68,15 +91,6 @@ LsqFit least_squares(const std::vector<std::vector<double>>& rows,
                  << " observations (dead or dropped counter?)");
   }
 
-  // Normal equations: (XᵀX) coef = Xᵀy.
-  std::vector<double> xtx(k * k, 0.0);
-  std::vector<double> xty(k, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t a = 0; a < k; ++a) {
-      xty[a] += rows[i][a] * y[i];
-      for (std::size_t b = 0; b < k; ++b) xtx[a * k + b] += rows[i][a] * rows[i][b];
-    }
-  }
   // Collinearity check on a scratch copy of XᵀX: find the first column
   // whose pivot collapses and name it, so a degenerate fit (e.g. h2 ∝ hm
   // after a fault zeroed part of a counter group) is a diagnosable error.

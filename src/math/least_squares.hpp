@@ -38,6 +38,20 @@ std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
 LsqFit least_squares(const std::vector<std::vector<double>>& rows,
                      std::span<const double> y);
 
+/// The second half of least_squares(): solves the no-intercept OLS from
+/// pre-accumulated normal equations XᵀX (row-major k×k, k = xty.size())
+/// and Xᵀy, with `rows`/`y` supplying the design checks (dead column,
+/// collinearity) and residual diagnostics. least_squares() forms the sums
+/// and delegates here; the adaptive planner's incremental fitter
+/// (src/plan) maintains the sums across one-at-a-time additions and
+/// delegates here too, which is why its refits agree with the one-shot
+/// fit to machine precision — the accumulated sums are the same numbers,
+/// added in the same order.
+LsqFit least_squares_from_normal(std::vector<double> xtx,
+                                 std::vector<double> xty,
+                                 const std::vector<std::vector<double>>& rows,
+                                 std::span<const double> y);
+
 /// Convenience for the model's two-predictor fit (Eq. 3):
 /// y ≈ h2·t2 + hm·tm. Returns {t2, tm} in `coef`.
 LsqFit fit_two_latencies(std::span<const double> h2, std::span<const double> hm,

@@ -1,0 +1,288 @@
+#include "plan/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool::plan {
+
+namespace {
+
+double lg(double v) { return std::log2(v); }
+
+int kind_rank(CandidateKind k) {
+  switch (k) {
+    case CandidateKind::kUniOverflow: return 0;
+    case CandidateKind::kUniInterior: return 1;
+    case CandidateKind::kKernelPair: return 2;
+  }
+  return 3;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;  // default 6 significant digits; "inf" for infinities
+  return os.str();
+}
+
+}  // namespace
+
+std::string candidate_label(CandidateKind kind, std::size_t bytes,
+                            int num_procs) {
+  std::ostringstream os;
+  switch (kind) {
+    case CandidateKind::kUniOverflow:
+      os << "uni:" << bytes << "B(overflow)";
+      break;
+    case CandidateKind::kUniInterior:
+      os << "uni:" << bytes << "B";
+      break;
+    case CandidateKind::kKernelPair:
+      os << "kernels:n=" << num_procs;
+      break;
+  }
+  return os.str();
+}
+
+CampaignGrid partition_grid(const MatrixPlan& plan, double overflow_factor) {
+  ST_CHECK_MSG(!plan.jobs.empty(), "empty matrix plan");
+  ST_CHECK_MSG(!plan.uni_jobs.empty(), "plan has no uniprocessor sweep");
+  CampaignGrid grid;
+  std::set<std::size_t> core;
+
+  for (std::size_t j : plan.base_jobs) core.insert(j);
+  // The pi0 anchor: smallest sweep size (the sweep is descending).
+  core.insert(plan.uni_jobs.back());
+
+  const double threshold =
+      overflow_factor * static_cast<double>(plan.l2_bytes);
+  const auto overflows = [&](std::size_t j) {
+    return static_cast<double>(plan.jobs[j].dataset_bytes) > threshold;
+  };
+  // Eq. 3 needs two L2-overflowing triplets; (s0, 1) — a base job — is
+  // one whenever s0 overflows. Promote the largest remaining overflow
+  // point so the fit is estimable right after the core.
+  std::size_t overflow_in_core = 0;
+  for (std::size_t j : plan.uni_jobs)
+    if (core.count(j) && overflows(j)) ++overflow_in_core;
+  for (std::size_t j : plan.uni_jobs) {  // descending size
+    if (overflow_in_core >= 2) break;
+    if (core.count(j) || !overflows(j)) continue;
+    core.insert(j);
+    grid.core_uni_extra.push_back(j);
+    ++overflow_in_core;
+  }
+
+  // Kernel endpoints: the synthesis of a skipped machine size
+  // interpolates in log2(n), so the smallest and largest n > 1 must be
+  // measured (they are the same pair when only one size exists).
+  if (!plan.kernel_jobs.empty()) {
+    const MatrixPlan::KernelJobs& lo = plan.kernel_jobs.front();
+    const MatrixPlan::KernelJobs& hi = plan.kernel_jobs.back();
+    for (const MatrixPlan::KernelJobs* kj : {&lo, &hi}) {
+      if (core.count(kj->sync_job)) continue;
+      core.insert(kj->sync_job);
+      core.insert(kj->spin_job);
+      grid.core_kernel_ns.push_back(kj->num_procs);
+    }
+  }
+
+  grid.core_jobs.assign(core.begin(), core.end());
+
+  // Everything else is negotiable, enumerated sweep-order first.
+  for (std::size_t j : plan.uni_jobs) {
+    if (core.count(j)) continue;
+    Candidate c;
+    c.kind = overflows(j) ? CandidateKind::kUniOverflow
+                          : CandidateKind::kUniInterior;
+    c.bytes = plan.jobs[j].dataset_bytes;
+    c.jobs = {j};
+    grid.candidates.push_back(std::move(c));
+  }
+  for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs) {
+    if (core.count(kj.sync_job)) continue;
+    Candidate c;
+    c.kind = CandidateKind::kKernelPair;
+    c.num_procs = kj.num_procs;
+    c.jobs = {kj.sync_job, kj.spin_job};
+    grid.candidates.push_back(std::move(c));
+  }
+  return grid;
+}
+
+namespace {
+
+/// Scores one uniprocessor candidate from its measured neighbours on the
+/// sweep curve (sorted ascending by size).
+double score_uni(const Candidate& c, const std::vector<MeasuredUni>& uni,
+                 const OlsInference* inference, std::string* reason) {
+  ST_CHECK_MSG(!uni.empty(),
+               "no measured sweep point to score " << c.label() << " against");
+  // Neighbours below and above the candidate size.
+  const MeasuredUni* below = nullptr;
+  const MeasuredUni* above = nullptr;
+  for (const MeasuredUni& m : uni) {
+    if (m.bytes < c.bytes) below = &m;             // ascending: keeps max
+    if (m.bytes > c.bytes && !above) above = &m;   // first = min
+  }
+  const double x = lg(static_cast<double>(c.bytes));
+  double gap = 0.0;
+  double dcpi = 0.0;
+  if (below && above) {
+    gap = lg(static_cast<double>(above->bytes)) -
+          lg(static_cast<double>(below->bytes));
+    dcpi = std::abs(above->cpi - below->cpi);
+  } else {
+    // One-sided (a calibration size beyond the measured range): the
+    // curve there is pure extrapolation, so weight by twice the distance
+    // to the nearest measurement and by the curve's local slope proxy.
+    const MeasuredUni* near = below ? below : above;
+    gap = 2.0 * std::abs(x - lg(static_cast<double>(near->bytes)));
+    const MeasuredUni* second = nullptr;
+    for (const MeasuredUni& m : uni)
+      if (&m != near &&
+          (!second || std::abs(lg(static_cast<double>(m.bytes)) -
+                               lg(static_cast<double>(near->bytes))) <
+                          std::abs(lg(static_cast<double>(second->bytes)) -
+                                   lg(static_cast<double>(near->bytes)))))
+        second = &m;
+    dcpi = second ? std::abs(near->cpi - second->cpi) : near->cpi;
+  }
+  double score = gap * dcpi;
+  std::ostringstream os;
+  os << "curve gap=" << fmt(gap) << " octaves, dcpi=" << fmt(dcpi);
+
+  if (c.kind == CandidateKind::kUniOverflow) {
+    // D-optimal term: predicted triplet row (ĥ2, ĥm) interpolated on the
+    // measured curve (clamped), weighted by its design leverage and the
+    // fit's residual variance when we have one.
+    std::vector<const MeasuredUni*> sorted;
+    for (const MeasuredUni& m : uni) sorted.push_back(&m);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const MeasuredUni* a, const MeasuredUni* b) {
+                return a->bytes < b->bytes;
+              });
+    double h2 = 0.0, hm = 0.0;
+    if (c.bytes <= sorted.front()->bytes) {
+      h2 = sorted.front()->h2;
+      hm = sorted.front()->hm;
+    } else if (c.bytes >= sorted.back()->bytes) {
+      h2 = sorted.back()->h2;
+      hm = sorted.back()->hm;
+    } else {
+      for (std::size_t i = 1; i < sorted.size(); ++i) {
+        if (c.bytes > sorted[i]->bytes) continue;
+        const double x0 = lg(static_cast<double>(sorted[i - 1]->bytes));
+        const double x1 = lg(static_cast<double>(sorted[i]->bytes));
+        const double t = (x - x0) / (x1 - x0);
+        h2 = sorted[i - 1]->h2 + (sorted[i]->h2 - sorted[i - 1]->h2) * t;
+        hm = sorted[i - 1]->hm + (sorted[i]->hm - sorted[i - 1]->hm) * t;
+        break;
+      }
+    }
+    double noise = 1.0;
+    if (inference && inference->dof > 0 && std::isfinite(inference->sigma2))
+      noise = inference->sigma2;
+    const double row[2] = {h2, hm};
+    const double lev = inference ? inference->leverage(row) : 0.0;
+    const double term = noise * lev;
+    score += term;
+    os << ", leverage term=" << fmt(term);
+  }
+  *reason = os.str();
+  return score;
+}
+
+double score_kernels(const Candidate& c,
+                     const std::vector<std::pair<int, double>>& kernel_cpi,
+                     std::string* reason) {
+  const std::pair<int, double>* below = nullptr;
+  const std::pair<int, double>* above = nullptr;
+  for (const auto& m : kernel_cpi) {
+    if (m.first < c.num_procs) below = &m;
+    if (m.first > c.num_procs && !above) above = &m;
+  }
+  ST_CHECK_MSG(below || above,
+               "no measured kernel to score " << c.label() << " against");
+  double gap = 0.0;
+  double dcpi = 0.0;
+  if (below && above) {
+    gap = lg(static_cast<double>(above->first)) -
+          lg(static_cast<double>(below->first));
+    dcpi = std::abs(above->second - below->second);
+  } else {
+    const auto* near = below ? below : above;
+    gap = 2.0 * std::abs(lg(static_cast<double>(c.num_procs)) -
+                         lg(static_cast<double>(near->first)));
+    dcpi = near->second;
+  }
+  std::ostringstream os;
+  os << "cpi_syn gap=" << fmt(gap) << " octaves, dcpi=" << fmt(dcpi);
+  *reason = os.str();
+  return gap * dcpi;
+}
+
+}  // namespace
+
+std::vector<ScoredCandidate> score_candidates(
+    const std::vector<Candidate>& remaining, const ScoreContext& context) {
+  constexpr double kFocusWindow = 1.0;  // octaves around a probe size
+  std::vector<ScoredCandidate> out;
+  out.reserve(remaining.size());
+  for (const Candidate& c : remaining) {
+    ScoredCandidate sc;
+    sc.candidate = c;
+    sc.focus_distance = std::numeric_limits<double>::infinity();
+    if (c.kind == CandidateKind::kKernelPair) {
+      sc.score = score_kernels(c, context.kernel_cpi, &sc.reason);
+    } else {
+      sc.score = score_uni(c, context.uni, context.inference, &sc.reason);
+      for (double f : context.focus_lg)
+        sc.focus_distance = std::min(
+            sc.focus_distance, std::abs(lg(static_cast<double>(c.bytes)) - f));
+      if (sc.focus_distance <= kFocusWindow)
+        sc.reason = "probe focus, " + fmt(sc.focus_distance) +
+                    " octaves from an operating size; " + sc.reason;
+      else
+        sc.focus_distance = std::numeric_limits<double>::infinity();
+      if (context.fit_blocked && c.kind == CandidateKind::kUniOverflow)
+        sc.reason = "fit degenerate, calibration first; " + sc.reason;
+    }
+    out.push_back(std::move(sc));
+  }
+  // Priority bands: fit-unblocking calibration (only while the fit is
+  // degenerate, smallest size first), then probe focus nearest an
+  // operating size, then everything else by expected CI shrinkage.
+  const auto band = [&context](const ScoredCandidate& sc) {
+    if (context.fit_blocked &&
+        sc.candidate.kind == CandidateKind::kUniOverflow)
+      return 0;
+    return std::isfinite(sc.focus_distance) ? 1 : 2;
+  };
+  std::sort(out.begin(), out.end(),
+            [&band](const ScoredCandidate& a, const ScoredCandidate& b) {
+              const int ba = band(a);
+              const int bb = band(b);
+              if (ba != bb) return ba < bb;
+              if (ba == 0 && a.candidate.bytes != b.candidate.bytes)
+                return a.candidate.bytes < b.candidate.bytes;
+              if (a.focus_distance != b.focus_distance)
+                return a.focus_distance < b.focus_distance;
+              if (a.score != b.score) return a.score > b.score;
+              const int ra = kind_rank(a.candidate.kind);
+              const int rb = kind_rank(b.candidate.kind);
+              if (ra != rb) return ra < rb;
+              if (a.candidate.bytes != b.candidate.bytes)
+                return a.candidate.bytes > b.candidate.bytes;
+              if (a.candidate.num_procs != b.candidate.num_procs)
+                return a.candidate.num_procs < b.candidate.num_procs;
+              return a.candidate.jobs.front() < b.candidate.jobs.front();
+            });
+  return out;
+}
+
+}  // namespace scaltool::plan

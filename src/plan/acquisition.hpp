@@ -1,0 +1,120 @@
+// Acquisition policy of the adaptive campaign planner (DESIGN.md §14).
+//
+// The Table 3 measurement matrix is a (data-set size × processor count)
+// grid; the planner treats collecting it as active learning. This module
+// answers two questions deterministically:
+//
+//  - partition_grid: which jobs are *core* — the base series, the pi0
+//    anchor, enough L2-overflowing calibration to make the Eq. 3 fit
+//    estimable, and the kernel endpoints the synthesis interpolates
+//    between — and which are *candidates* the policy may or may not buy.
+//
+//  - score_candidates: how much is each not-yet-run candidate expected to
+//    shrink the model's uncertainty? Uniprocessor points are scored by
+//    the sweep-curve reading they would pin down (log2-size gap between
+//    their measured neighbours × the CPI change across it); points that
+//    would join the Eq. 3 fit add a D-optimal term — residual variance ×
+//    leverage x̂ᵀ(XᵀX)⁻¹x̂ of the predicted triplet row — so calibration
+//    runs win while the fit is noisy. Kernel pairs are scored by the
+//    cpi_syn curve gap they would split. Uniprocessor points within an
+//    octave of a size the what-if probes read the curve at (the largest
+//    machine's per-processor data set and its probe-scaled variants) are
+//    *probe focus* and outrank everything else, nearest first — answer
+//    uncertainty is dominated by unmeasured curve at the operating
+//    point, not by curve gaps the questions never touch. Ties break on a
+//    fixed total order (kind, size, processor count, job index), so two
+//    planners fed the same outcomes pick the same run — the property
+//    --resume leans on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/confidence.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool::plan {
+
+enum class CandidateKind {
+  kUniOverflow,  ///< uni point that joins the t2/tm fit (> factor × L2)
+  kUniInterior,  ///< uni sweep point inside the curve
+  kKernelPair,   ///< sync + spin kernels at one machine size
+};
+
+std::string candidate_label(CandidateKind kind, std::size_t bytes,
+                            int num_procs);
+
+struct Candidate {
+  CandidateKind kind = CandidateKind::kUniInterior;
+  std::size_t bytes = 0;  ///< uni kinds
+  int num_procs = 0;      ///< kernel kind
+  std::vector<std::size_t> jobs;  ///< plan job indices this pick buys
+
+  std::string label() const {
+    return candidate_label(kind, bytes, num_procs);
+  }
+};
+
+/// The grid split into the mandatory prefix and the optional remainder.
+struct CampaignGrid {
+  std::vector<std::size_t> core_jobs;       ///< ascending job index
+  std::vector<std::size_t> core_uni_extra;  ///< calibration jobs in core
+  std::vector<int> core_kernel_ns;          ///< kernel endpoint sizes
+  std::vector<Candidate> candidates;        ///< deterministic order
+};
+
+/// Splits a matrix plan. Core: every base job, the pi0 anchor, the
+/// largest not-yet-core L2-overflowing uni point (so the two-predictor
+/// fit is estimable after the core alone — s0 itself supplies the first
+/// triplet), and the kernel pairs at the smallest and largest n > 1.
+CampaignGrid partition_grid(const MatrixPlan& plan, double overflow_factor);
+
+/// One measured uniprocessor sweep point.
+struct MeasuredUni {
+  std::size_t bytes = 0;
+  double cpi = 0.0;
+  double h2 = 0.0;
+  double hm = 0.0;
+};
+
+/// Everything the scorer may read. All fields reflect *measured* runs
+/// only — scoring never peeks at outcomes a candidate would produce.
+struct ScoreContext {
+  std::vector<MeasuredUni> uni;                   ///< any order
+  std::vector<std::pair<int, double>> kernel_cpi; ///< (n, cpi_syn)
+  /// Inference of the current Eq. 3 fit; null (or dof == 0) drops the
+  /// leverage term's noise scale to 1, keeping scores finite.
+  const OlsInference* inference = nullptr;
+  /// log2 of the sweep sizes the what-if probes read the curve at: the
+  /// per-processor data set of the largest machine (s0 / n_max) and its
+  /// probe-scaled variants (s0 / n_max / k). Uniprocessor candidates
+  /// within one octave of any of these are *probe focus*: they pin the
+  /// part of the curve the answers are computed from, so they rank ahead
+  /// of every other candidate, nearest first. Empty disables focusing.
+  std::vector<double> focus_lg;
+  /// True while the Eq. 3 fit is degenerate on the runs bought so far
+  /// (e.g. every measured overflow triplet has an identically-zero
+  /// predictor column). Then there is no model and no probe answers at
+  /// all, so overflow calibration candidates outrank even probe focus —
+  /// smallest size first, nearest the overflow boundary, where the L2
+  /// still catches part of the working set and the column gets contrast.
+  bool fit_blocked = false;
+};
+
+struct ScoredCandidate {
+  Candidate candidate;
+  double score = 0.0;
+  /// Octaves to the nearest probe-focus size; infinity when the
+  /// candidate is not in focus (or focusing is disabled).
+  double focus_distance = 0.0;
+  std::string reason;  ///< deterministic, for PLAN records and --explain
+};
+
+/// Scores and ranks (best first, total order). Throws CheckError when a
+/// candidate has no measured neighbour at all to judge it by — the core
+/// guarantees that never happens in a planner-built grid.
+std::vector<ScoredCandidate> score_candidates(
+    const std::vector<Candidate>& remaining, const ScoreContext& context);
+
+}  // namespace scaltool::plan

@@ -1,0 +1,242 @@
+#include "plan/fitter.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace scaltool::plan {
+
+IncrementalFitter::IncrementalFitter(std::size_t predictors)
+    : k_(predictors),
+      xtx_(predictors * predictors, 0.0),
+      xty_(predictors, 0.0),
+      xsum_(predictors, 0.0) {
+  ST_CHECK_MSG(k_ >= 1, "need at least one predictor");
+}
+
+void IncrementalFitter::add(std::vector<double> x, double y) {
+  ST_CHECK(x.size() == k_);
+  // Element order matches least_squares' accumulation loop exactly (xty
+  // before the xtx row), so the sums are bit-identical to the one-shot
+  // fit over the same rows in the same order.
+  for (std::size_t a = 0; a < k_; ++a) {
+    xty_[a] += x[a] * y;
+    for (std::size_t b = 0; b < k_; ++b) xtx_[a * k_ + b] += x[a] * x[b];
+    xsum_[a] += x[a];
+  }
+  rows_.push_back(std::move(x));
+  y_.push_back(y);
+}
+
+void IncrementalFitter::update(std::size_t index, std::vector<double> x,
+                               double y) {
+  ST_CHECK(index < rows_.size());
+  ST_CHECK(x.size() == k_);
+  const std::vector<double>& old = rows_[index];
+  const double old_y = y_[index];
+  for (std::size_t a = 0; a < k_; ++a) {
+    xty_[a] -= old[a] * old_y;
+    for (std::size_t b = 0; b < k_; ++b) xtx_[a * k_ + b] -= old[a] * old[b];
+    xsum_[a] -= old[a];
+  }
+  for (std::size_t a = 0; a < k_; ++a) {
+    xty_[a] += x[a] * y;
+    for (std::size_t b = 0; b < k_; ++b) xtx_[a * k_ + b] += x[a] * x[b];
+    xsum_[a] += x[a];
+  }
+  rows_[index] = std::move(x);
+  y_[index] = y;
+}
+
+std::vector<double> IncrementalFitter::shifted(double y_shift) const {
+  std::vector<double> out(y_.size());
+  for (std::size_t i = 0; i < y_.size(); ++i) out[i] = y_[i] - y_shift;
+  return out;
+}
+
+LsqFit IncrementalFitter::fit(double y_shift) const {
+  std::vector<double> xty = xty_;
+  if (y_shift != 0.0)
+    for (std::size_t a = 0; a < k_; ++a) xty[a] -= y_shift * xsum_[a];
+  return least_squares_from_normal(xtx_, std::move(xty), rows_,
+                                   shifted(y_shift));
+}
+
+RobustLsqFit IncrementalFitter::fit_robust(const RobustFitOptions& options,
+                                           double y_shift) const {
+  return robust_least_squares(rows_, shifted(y_shift), options);
+}
+
+OlsInference IncrementalFitter::inference(const LsqFit& fit) const {
+  return infer_least_squares(rows_, fit);
+}
+
+ModelTracker::ModelTracker(std::size_t l2_bytes, CpiModelOptions options)
+    : l2_bytes_(l2_bytes), options_(options) {
+  ST_CHECK_MSG(l2_bytes_ > 0, "L2 capacity is zero");
+}
+
+namespace {
+double median_of(std::vector<double> v) { return median(std::move(v)); }
+}  // namespace
+
+void ModelTracker::add_uni_run(const RunRecord& run) {
+  ST_CHECK_MSG(run.num_procs == 1, "tracker fed a multiprocessor run");
+  ++runs_seen_;
+  dirty_ = true;
+  // Strictly-smaller keeps the first record seen at the minimum size, the
+  // same run std::min_element picks for smallest_uni_run().
+  if (!anchor_ || run.dataset_bytes < anchor_->dataset_bytes) anchor_ = run;
+  if (static_cast<double>(run.dataset_bytes) <=
+      options_.overflow_factor * static_cast<double>(l2_bytes_))
+    return;
+
+  std::vector<Triplet>& reps = replicates_[run.dataset_bytes];
+  reps.push_back(
+      {run.metrics.h2, run.metrics.hm, run.metrics.cpi});
+  if (reps.size() == 1) {
+    row_of_[run.dataset_bytes] = fitter_.size();
+    fitter_.add({reps.front().h2, reps.front().hm}, reps.front().cpi);
+    return;
+  }
+  // A new replicate moves the size's median triplet: replace its row.
+  std::vector<double> h2s, hms, cpis;
+  h2s.reserve(reps.size());
+  hms.reserve(reps.size());
+  cpis.reserve(reps.size());
+  for (const Triplet& t : reps) {
+    h2s.push_back(t.h2);
+    hms.push_back(t.hm);
+    cpis.push_back(t.cpi);
+  }
+  fitter_.update(row_of_.at(run.dataset_bytes),
+                 {median_of(std::move(h2s)), median_of(std::move(hms))},
+                 median_of(std::move(cpis)));
+}
+
+const ModelEstimate& ModelTracker::estimate() {
+  if (!dirty_) return estimate_;
+  dirty_ = false;
+  estimate_ = ModelEstimate{};
+  estimate_.triplets = fitter_.size();
+  if (!anchor_) {
+    estimate_.status = "no pi0 anchor run yet";
+    return estimate_;
+  }
+  estimate_.pi0_initial = anchor_->metrics.cpi;
+  if (fitter_.size() < 2) {
+    std::ostringstream os;
+    os << "need at least two L2-overflowing triplets; have "
+       << fitter_.size();
+    estimate_.status = os.str();
+    return estimate_;
+  }
+  if (fitter_.size() < 3)
+    estimate_.notes.push_back(
+        "only two L2-overflowing triplets; t2/tm fit has no redundancy");
+
+  try {
+    // Eq. 2 ↔ Eq. 3 fixed point, exactly as estimate_cpi_model iterates it.
+    double pi0 = estimate_.pi0_initial;
+    LsqFit fit;
+    std::vector<std::size_t> rejected;
+    for (int iter = 0; iter < options_.max_refine_iterations; ++iter) {
+      if (options_.robust) {
+        RobustLsqFit rf = fitter_.fit_robust(options_.robust_fit, pi0);
+        fit = std::move(rf.fit);
+        rejected = std::move(rf.rejected);
+      } else {
+        fit = fitter_.fit(pi0);
+        rejected.clear();
+      }
+      estimate_.t2.value = fit.coef[0];
+      estimate_.tm1.value = fit.coef[1];
+      estimate_.fit_r2 = fit.r2;
+      estimate_.refine_iterations = iter + 1;
+      const double pi0_next = estimate_.pi0_initial -
+                              anchor_->metrics.h2 * estimate_.t2.value -
+                              anchor_->metrics.hm * estimate_.tm1.value;
+      if (std::abs(pi0_next - pi0) <=
+          options_.convergence_tol * (1.0 + pi0)) {
+        pi0 = pi0_next;
+        break;
+      }
+      pi0 = pi0_next;
+    }
+    if (pi0 <= 0.0) {
+      std::ostringstream os;
+      os << "pi0 estimate collapsed to " << pi0;
+      estimate_.status = os.str();
+      return estimate_;
+    }
+    estimate_.pi0.value = pi0;
+
+    // Inference over the design the final fit actually used.
+    if (!rejected.empty()) {
+      std::vector<std::vector<double>> surviving;
+      std::vector<bool> drop(fitter_.size(), false);
+      for (std::size_t i : rejected) drop[i] = true;
+      for (std::size_t i = 0; i < fitter_.size(); ++i)
+        if (!drop[i]) surviving.push_back(fitter_.rows()[i]);
+      estimate_.inference = infer_least_squares(surviving, fit);
+      for (const auto& [bytes, reps] : replicates_) {
+        (void)reps;
+        if (drop[row_of_.at(bytes)]) estimate_.rejected_sizes.push_back(bytes);
+      }
+    } else {
+      estimate_.inference = fitter_.inference(fit);
+    }
+    estimate_.dof = estimate_.inference.dof;
+    estimate_.t2.se = estimate_.inference.se[0];
+    estimate_.t2.ci95 = estimate_.inference.ci95[0];
+    estimate_.tm1.se = estimate_.inference.se[1];
+    estimate_.tm1.ci95 = estimate_.inference.ci95[1];
+
+    // Delta method through Eq. 2: pi0 = pi0_init − h2a·t2 − hma·tm1, so
+    // var(pi0) = g Σ gᵀ with g = (h2a, hma) — the leverage form again.
+    if (estimate_.inference.dof > 0) {
+      const double g[2] = {anchor_->metrics.h2, anchor_->metrics.hm};
+      const double var =
+          estimate_.inference.sigma2 * estimate_.inference.leverage(g);
+      estimate_.pi0.se = std::sqrt(std::max(0.0, var));
+      estimate_.pi0.ci95 = 1.96 * estimate_.pi0.se;
+    }
+
+    if (estimate_.t2.value < 0.0) {
+      estimate_.notes.push_back("fitted t2 was negative; clamped to 0");
+      estimate_.t2.value = 0.0;
+    }
+    if (estimate_.tm1.value <= estimate_.t2.value)
+      estimate_.notes.push_back(
+          "fitted tm(1) does not exceed t2 — triplets may not overflow the "
+          "L2");
+    estimate_.ok = true;
+  } catch (const CheckError& e) {
+    estimate_.status = e.what();
+  }
+  return estimate_;
+}
+
+ParameterEstimate ModelTracker::tm_at(const RunRecord& base_run) {
+  const ModelEstimate& est = estimate();
+  ST_CHECK_MSG(est.ok, "tm_at before the model is estimable: " << est.status);
+  if (base_run.metrics.hm <= 0.0) return est.tm1;  // carried forward
+  ParameterEstimate out;
+  out.value = (base_run.metrics.cpi - est.pi0.value -
+               base_run.metrics.h2 * est.t2.value) /
+              base_run.metrics.hm;
+  if (est.inference.dof > 0) {
+    // tm(n) is linear in (t2, tm1) once pi0 is substituted out via Eq. 2:
+    // gradient g = ((h2a − h2n)/hmn, hma/hmn).
+    const double g[2] = {
+        (anchor_->metrics.h2 - base_run.metrics.h2) / base_run.metrics.hm,
+        anchor_->metrics.hm / base_run.metrics.hm};
+    const double var = est.inference.sigma2 * est.inference.leverage(g);
+    out.se = std::sqrt(std::max(0.0, var));
+    out.ci95 = 1.96 * out.se;
+  }
+  return out;
+}
+
+}  // namespace scaltool::plan

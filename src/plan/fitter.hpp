@@ -1,0 +1,149 @@
+// Incremental model refit for the adaptive campaign planner (DESIGN.md
+// §14).
+//
+// The planner picks one grid point at a time, so after every batch it
+// needs the (t2, tm) fit — and the confidence intervals on it — refreshed
+// without re-reading the whole campaign. Two layers provide that:
+//
+//  - IncrementalFitter maintains the normal-equation sums (XᵀX, Xᵀy) of a
+//    no-intercept OLS across one-at-a-time additions and replacements,
+//    then delegates the solve to least_squares_from_normal — the same
+//    numbers the one-shot least_squares() accumulates, added in the same
+//    order, so the two agree to machine precision (test_plan pins 1e-9).
+//    A response shift (y − pi0) is applied analytically via the column
+//    sums, so the Eq. 2 ↔ Eq. 3 fixed point never rebuilds the sums.
+//
+//  - ModelTracker is the model-level wrapper: it ingests uniprocessor
+//    RunRecords as the engine completes them, keeps the pi0 anchor and
+//    the replicate-median aggregation per data-set size (replacing the
+//    affected fitter row when a new replicate moves a median), and
+//    reruns the Eq. 2 ↔ Eq. 3 iteration of estimate_cpi_model on demand,
+//    annotated with closed-form confidence intervals (math/confidence).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cpi_model.hpp"
+#include "core/inputs.hpp"
+#include "math/confidence.hpp"
+#include "math/least_squares.hpp"
+
+namespace scaltool::plan {
+
+class IncrementalFitter {
+ public:
+  explicit IncrementalFitter(std::size_t predictors = 2);
+
+  /// Appends one observation; O(k²).
+  void add(std::vector<double> x, double y);
+
+  /// Replaces observation `index` (downdate + update of the sums). The
+  /// replicate-median aggregation uses this when a fresh replicate moves
+  /// a size's median triplet.
+  void update(std::size_t index, std::vector<double> x, double y);
+
+  std::size_t size() const { return rows_.size(); }
+  std::size_t predictors() const { return k_; }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  const std::vector<double>& responses() const { return y_; }
+
+  /// Solves the accumulated normal equations for the fit of
+  /// y − y_shift ≈ X·coef. Throws CheckError exactly like least_squares
+  /// on degenerate designs (dead column, collinearity, m < k).
+  LsqFit fit(double y_shift = 0.0) const;
+
+  /// MAD-rejecting fit over the stored design (the surviving subset
+  /// changes per call, so this replays robust_least_squares rather than
+  /// the sums; rejection indices refer to this fitter's rows).
+  RobustLsqFit fit_robust(const RobustFitOptions& options = {},
+                          double y_shift = 0.0) const;
+
+  /// Closed-form inference for a fit() result over the full design.
+  OlsInference inference(const LsqFit& fit) const;
+
+ private:
+  std::vector<double> shifted(double y_shift) const;
+
+  std::size_t k_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> y_;
+  std::vector<double> xtx_;   // k×k accumulated XᵀX
+  std::vector<double> xty_;   // accumulated Xᵀy
+  std::vector<double> xsum_;  // column sums Xᵀ1, for the response shift
+};
+
+/// One fitted parameter with its uncertainty. Until the design has
+/// residual degrees of freedom the intervals are infinite, never zero.
+struct ParameterEstimate {
+  double value = 0.0;
+  double se = std::numeric_limits<double>::infinity();
+  double ci95 = std::numeric_limits<double>::infinity();
+};
+
+/// The tracker's view of the CPI model after the runs seen so far.
+struct ModelEstimate {
+  /// False until the campaign has an anchor plus two L2-overflowing
+  /// triplets and the fit succeeds; `status` then says what is missing.
+  bool ok = false;
+  std::string status;
+
+  double pi0_initial = 0.0;  ///< Lubeck anchor CPI (biased)
+  ParameterEstimate pi0;     ///< unbiased Eq. 2 estimate, delta-method CI
+  ParameterEstimate t2;
+  ParameterEstimate tm1;
+  double fit_r2 = 0.0;
+  int refine_iterations = 0;
+  std::size_t triplets = 0;  ///< aggregated sizes in the Eq. 3 fit
+  std::size_t dof = 0;       ///< residual degrees of freedom of that fit
+  std::vector<std::size_t> rejected_sizes;  ///< robust-fit rejections
+  std::vector<std::string> notes;
+  /// Inference over the (t2, tm1) fit; meaningful when ok.
+  OlsInference inference;
+};
+
+class ModelTracker {
+ public:
+  explicit ModelTracker(std::size_t l2_bytes, CpiModelOptions options = {});
+
+  /// Ingests one completed uniprocessor run (any size; only runs
+  /// overflowing overflow_factor × L2 join the fit, the smallest becomes
+  /// the pi0 anchor — the same rules as estimate_cpi_model).
+  void add_uni_run(const RunRecord& run);
+
+  std::size_t runs_seen() const { return runs_seen_; }
+  std::size_t triplets() const { return fitter_.size(); }
+  bool has_anchor() const { return anchor_.has_value(); }
+
+  /// The model after the runs seen so far; refits lazily. Values agree
+  /// with estimate_cpi_model over the same runs to 1e-9 (test_plan).
+  const ModelEstimate& estimate();
+
+  /// Raw (unfloored) tm(n) backed out of a base run via Eq. 1, with a
+  /// delta-method confidence interval through the (t2, tm1) covariance.
+  /// A run without L2 misses carries tm(1) forward, like the model does.
+  ParameterEstimate tm_at(const RunRecord& base_run);
+
+ private:
+  struct Triplet {
+    double h2 = 0.0, hm = 0.0, cpi = 0.0;
+  };
+
+  std::size_t l2_bytes_;
+  CpiModelOptions options_;
+  std::optional<RunRecord> anchor_;
+  /// Replicates per L2-overflowing size, descending size like the sweep.
+  std::map<std::size_t, std::vector<Triplet>, std::greater<std::size_t>>
+      replicates_;
+  std::map<std::size_t, std::size_t> row_of_;  ///< size → fitter row
+  IncrementalFitter fitter_{2};
+  std::size_t runs_seen_ = 0;
+  bool dirty_ = true;
+  ModelEstimate estimate_;
+};
+
+}  // namespace scaltool::plan

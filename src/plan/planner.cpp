@@ -1,0 +1,477 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/whatif.hpp"
+#include "plan/fitter.hpp"
+
+namespace scaltool::plan {
+
+namespace {
+
+double lg(double v) { return std::log2(v); }
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;  // default 6 significant digits; deterministic, no locale
+  return os.str();
+}
+
+std::string fmt_list(const std::vector<double>& values) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ",";
+    os << fmt(values[i]);
+  }
+  return os.str();
+}
+
+/// Linear interpolation of a whole kernel RunRecord in log2(n).
+RunRecord interpolate_kernel_record(const RunRecord& lo, const RunRecord& hi,
+                                    int n) {
+  const double t = (lg(static_cast<double>(n)) -
+                    lg(static_cast<double>(lo.num_procs))) /
+                   (lg(static_cast<double>(hi.num_procs)) -
+                    lg(static_cast<double>(lo.num_procs)));
+  const auto lerp = [t](double a, double b) { return a + (b - a) * t; };
+  // Counts that scale multiplicatively with the machine size (work and
+  // synchronization events roughly double per doubling of n) interpolate
+  // geometrically; rates and CPIs interpolate linearly.
+  const auto geo = [&](double a, double b) {
+    if (a > 0.0 && b > 0.0) return std::exp(lerp(std::log(a), std::log(b)));
+    return lerp(a, b);
+  };
+  RunRecord r = lo;
+  r.num_procs = n;
+  DerivedMetrics& m = r.metrics;
+  m.cpi = lerp(lo.metrics.cpi, hi.metrics.cpi);
+  m.h2 = lerp(lo.metrics.h2, hi.metrics.h2);
+  m.hm = lerp(lo.metrics.hm, hi.metrics.hm);
+  m.l1_hitr = lerp(lo.metrics.l1_hitr, hi.metrics.l1_hitr);
+  m.l2_hitr = lerp(lo.metrics.l2_hitr, hi.metrics.l2_hitr);
+  m.mem_frac = lerp(lo.metrics.mem_frac, hi.metrics.mem_frac);
+  m.instructions = geo(lo.metrics.instructions, hi.metrics.instructions);
+  m.store_to_shared = geo(lo.metrics.store_to_shared,
+                          hi.metrics.store_to_shared);
+  m.interventions = geo(lo.metrics.interventions, hi.metrics.interventions);
+  m.invalidations = geo(lo.metrics.invalidations, hi.metrics.invalidations);
+  m.cycles = m.cpi * m.instructions;
+  r.execution_cycles = m.cycles / static_cast<double>(n);
+  return r;
+}
+
+/// log2 of the sweep sizes the probe answers are read at: the largest
+/// machine's per-processor data set and its what-if-scaled variants.
+std::vector<double> probe_focus_lg(const MatrixPlan& plan,
+                                   std::span<const int> proc_counts,
+                                   const std::vector<double>& l2_probes) {
+  int n_max = 1;
+  for (int n : proc_counts) n_max = std::max(n_max, n);
+  const double op = static_cast<double>(plan.s0) / n_max;
+  std::vector<double> out{lg(op)};
+  for (double k : l2_probes) out.push_back(lg(op / k));
+  return out;
+}
+
+}  // namespace
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kExhausted: return "exhausted";
+    case StopReason::kMaxRuns: return "max-runs";
+  }
+  return "unknown";
+}
+
+ScalToolInputs assemble_adaptive(const MatrixPlan& plan,
+                                 std::span<const JobOutcome> outcomes,
+                                 const std::vector<bool>& ran) {
+  ST_CHECK(outcomes.size() == plan.jobs.size());
+  ST_CHECK(ran.size() == plan.jobs.size());
+  ScalToolInputs in;
+  in.app = plan.app;
+  in.s0 = plan.s0;
+  in.l2_bytes = plan.l2_bytes;
+
+  for (std::size_t j : plan.base_jobs) {
+    ST_CHECK_MSG(ran[j], "adaptive assembly: base run (s0, n="
+                             << plan.jobs[j].num_procs
+                             << ") missing — unrecoverable");
+    in.base_runs.push_back(outcomes[j].record);
+    in.validation.push_back(outcomes[j].validation);
+  }
+  ST_CHECK_MSG(ran[plan.uni_jobs.back()],
+               "adaptive assembly: pi0 anchor (uni s="
+                   << plan.jobs[plan.uni_jobs.back()].dataset_bytes
+                   << " B) missing — unrecoverable");
+
+  std::vector<std::size_t> dropped;
+  for (std::size_t j : plan.uni_jobs) {
+    if (ran[j])
+      in.uni_runs.push_back(outcomes[j].record);
+    else
+      dropped.push_back(plan.jobs[j].dataset_bytes);
+  }
+  if (!dropped.empty()) {
+    std::ostringstream os;
+    os << "PLAN|skipped|uni sweep points not simulated:";
+    for (std::size_t i = 0; i < dropped.size(); ++i)
+      os << (i ? "," : " ") << dropped[i];
+    in.notes.push_back(os.str());
+  }
+
+  // Kernels: measured where we have them, log2(n)-interpolated between
+  // the nearest measured machine sizes where we do not (the core pins
+  // both endpoints, so interior sizes always have two neighbours).
+  std::map<int, KernelMeasurement> measured;
+  for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs) {
+    // A pair with one half quarantined counts as unmeasured: kernels are
+    // only ever consumed together.
+    if (!ran[kj.sync_job] || !ran[kj.spin_job]) continue;
+    KernelMeasurement k;
+    k.num_procs = kj.num_procs;
+    k.sync_kernel = outcomes[kj.sync_job].record;
+    k.spin_kernel = outcomes[kj.spin_job].record;
+    measured[kj.num_procs] = std::move(k);
+  }
+  for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs) {
+    const int n = kj.num_procs;
+    const auto it = measured.find(n);
+    if (it != measured.end()) {
+      in.kernels.push_back(it->second);
+      continue;
+    }
+    const KernelMeasurement* lo = nullptr;
+    const KernelMeasurement* hi = nullptr;
+    for (const auto& [np, k] : measured) {
+      if (np < n) lo = &k;
+      if (np > n && !hi) hi = &k;
+    }
+    ST_CHECK_MSG(lo || hi, "adaptive assembly: no measured kernel pair to "
+                           "synthesize n=" << n << " from");
+    KernelMeasurement synth;
+    synth.num_procs = n;
+    std::ostringstream note;
+    if (lo && hi) {
+      synth.sync_kernel =
+          interpolate_kernel_record(lo->sync_kernel, hi->sync_kernel, n);
+      synth.spin_kernel =
+          interpolate_kernel_record(lo->spin_kernel, hi->spin_kernel, n);
+      note << "PLAN|synth|kernel pair at n=" << n
+           << " interpolated in log2(n) from n=" << lo->num_procs
+           << " and n=" << hi->num_procs;
+    } else {
+      const KernelMeasurement* near = lo ? lo : hi;
+      synth.sync_kernel = near->sync_kernel;
+      synth.spin_kernel = near->spin_kernel;
+      synth.sync_kernel.num_procs = n;
+      synth.spin_kernel.num_procs = n;
+      note << "PLAN|synth|kernel pair at n=" << n << " substituted from n="
+           << near->num_procs << " (no neighbour on the other side)";
+    }
+    in.notes.push_back(note.str());
+    in.kernels.push_back(std::move(synth));
+  }
+  in.validate();
+  return in;
+}
+
+AdaptivePlanner::AdaptivePlanner(const ExperimentRunner& runner,
+                                 CampaignOptions engine_options,
+                                 PlannerOptions options)
+    : engine_(runner, std::move(engine_options)),
+      options_(std::move(options)) {
+  ST_CHECK_MSG(options_.tolerance >= 0.0, "tolerance must be non-negative");
+  ST_CHECK_MSG(!options_.l2_probes.empty(), "need at least one what-if probe");
+}
+
+PlannerResult AdaptivePlanner::run(const std::string& app, std::size_t s0,
+                                   std::span<const int> proc_counts) {
+  const MatrixPlan plan = engine_.runner().plan_matrix(app, s0, proc_counts);
+  const CampaignGrid grid =
+      partition_grid(plan, options_.analyze.cpi.overflow_factor);
+
+  PlannerResult result;
+  result.runs_total = plan.jobs.size();
+  ST_CHECK_MSG(
+      options_.max_runs == 0 || options_.max_runs >= grid.core_jobs.size(),
+      "--max-runs=" << options_.max_runs << " is below the "
+                    << grid.core_jobs.size()
+                    << " mandatory core runs (base series, pi0 anchor, fit "
+                       "calibration, kernel endpoints)");
+
+  std::vector<JobOutcome> outcomes(plan.jobs.size());
+  std::vector<bool> ran(plan.jobs.size(), false);
+  std::vector<bool> attempted(plan.jobs.size(), false);
+  EngineStats agg;
+  agg.jobs_total = plan.jobs.size();
+  ModelTracker tracker(plan.l2_bytes, options_.analyze.cpi);
+  std::vector<std::string> plan_notes;
+
+  // Executes one batch through the engine (skipping jobs a previous batch
+  // already paid for) and folds outcomes, stats and the tracker forward.
+  const auto run_batch = [&](const std::vector<std::size_t>& jobs) {
+    std::vector<bool> mask(plan.jobs.size(), false);
+    for (std::size_t j : jobs)
+      if (!attempted[j]) mask[j] = true;
+    std::vector<JobOutcome> batch = engine_.execute(plan, &mask);
+    const EngineStats& s = engine_.stats();
+    agg.workers = s.workers;
+    agg.jobs_run += s.jobs_run;
+    agg.jobs_cached += s.jobs_cached;
+    agg.jobs_failed += s.jobs_failed;
+    agg.jobs_replayed += s.jobs_replayed;
+    agg.jobs_quarantined += s.jobs_quarantined;
+    agg.watchdog_timeouts += s.watchdog_timeouts;
+    agg.attempts += s.attempts;
+    agg.retries += s.retries;
+    agg.faults_injected += s.faults_injected;
+    agg.wall_seconds += s.wall_seconds;
+    agg.busy_seconds += s.busy_seconds;
+    agg.cache_entries_loaded = s.cache_entries_loaded;
+    agg.cache_entries_corrupt = s.cache_entries_corrupt;
+    agg.cache_recovery_events = s.cache_recovery_events;
+    for (const std::string& e : engine_.events()) result.events.push_back(e);
+
+    std::vector<bool> quarantined(plan.jobs.size(), false);
+    for (const QuarantinedJob& q : engine_.quarantined())
+      quarantined[q.job] = true;
+    for (std::size_t j = 0; j < mask.size(); ++j) {
+      if (!mask[j]) continue;
+      attempted[j] = true;
+      if (quarantined[j]) continue;
+      outcomes[j] = std::move(batch[j]);
+      ran[j] = true;
+    }
+    // Feed the tracker new sweep runs in sweep order (deterministic
+    // whatever order the workers finished in).
+    for (std::size_t j : plan.uni_jobs)
+      if (mask[j] && ran[j]) tracker.add_uni_run(outcomes[j].record);
+  };
+
+  const auto runs_used = [&]() {
+    return static_cast<std::size_t>(
+        std::count(attempted.begin(), attempted.end(), true));
+  };
+
+  // What-if probe answers at the largest machine size: the questions the
+  // model exists to answer, watched for inter-step stability. Until the
+  // runs bought so far support the model at all (a two-triplet core can
+  // be degenerate — e.g. both calibration points past the size where the
+  // L2 stops hitting), there are no answers yet: the planner keeps
+  // buying, and the acquisition order reaches for the fit-improving
+  // points first.
+  const auto evaluate = [&]() -> std::optional<std::vector<double>> {
+    // A failed assembly (lost base run or pi0 anchor) stays fatal — no
+    // amount of further buying repairs the mandatory core.
+    const ScalToolInputs inputs = assemble_adaptive(plan, outcomes, ran);
+    try {
+      const ScalabilityReport report = analyze(inputs, options_.analyze);
+      const BottleneckPoint& last = report.points.back();
+      std::vector<double> answers;
+      for (double k : options_.l2_probes) {
+        WhatIfParams params;
+        params.l2_scale_k = k;
+        answers.push_back(
+            what_if(report, inputs, params).point(last.n).speed_ratio);
+      }
+      answers.push_back(last.l2lim_cost() / last.base_cycles);
+      answers.push_back(last.mp_cost() / last.base_cycles);
+      return answers;
+    } catch (const CheckError&) {
+      return std::nullopt;
+    }
+  };
+
+  const auto model_summary = [&]() {
+    std::ostringstream os;
+    const ModelEstimate& est = tracker.estimate();
+    if (!est.ok) {
+      os << "model=unavailable(" << est.status << ")";
+      return os.str();
+    }
+    os << "t2=" << fmt(est.t2.value) << "|t2_ci=" << fmt(est.t2.ci95)
+       << "|tm1=" << fmt(est.tm1.value) << "|tm1_ci=" << fmt(est.tm1.ci95)
+       << "|pi0=" << fmt(est.pi0.value) << "|pi0_ci=" << fmt(est.pi0.ci95)
+       << "|triplets=" << est.triplets << "|dof=" << est.dof;
+    return os.str();
+  };
+
+  {
+    std::ostringstream os;
+    os << "PLAN|policy=ci-shrink|tolerance=" << fmt(options_.tolerance)
+       << "|max-runs=" << options_.max_runs << "|grid=" << plan.jobs.size()
+       << "|core=" << grid.core_jobs.size() << "|probes=";
+    for (std::size_t i = 0; i < options_.l2_probes.size(); ++i)
+      os << (i ? "," : "") << "l2x" << fmt(options_.l2_probes[i]);
+    plan_notes.push_back(os.str());
+  }
+
+  run_batch(grid.core_jobs);
+  std::optional<std::vector<double>> prev = evaluate();
+  {
+    std::ostringstream os;
+    os << "PLAN|step=0|pick=core|runs=" << runs_used() << "|"
+       << model_summary() << "|answers="
+       << (prev ? fmt_list(*prev) : std::string("unavailable"));
+    plan_notes.push_back(os.str());
+  }
+
+  std::vector<bool> bought(grid.candidates.size(), false);
+  for (;;) {
+    std::vector<Candidate> remaining;
+    for (std::size_t i = 0; i < grid.candidates.size(); ++i)
+      if (!bought[i]) remaining.push_back(grid.candidates[i]);
+    if (remaining.empty()) {
+      result.stop = StopReason::kExhausted;
+      break;
+    }
+
+    ScoreContext ctx;
+    ctx.focus_lg = probe_focus_lg(plan, proc_counts, options_.l2_probes);
+    for (std::size_t j : plan.uni_jobs)
+      if (ran[j])
+        ctx.uni.push_back({plan.jobs[j].dataset_bytes,
+                           outcomes[j].record.metrics.cpi,
+                           outcomes[j].record.metrics.h2,
+                           outcomes[j].record.metrics.hm});
+    for (const MatrixPlan::KernelJobs& kj : plan.kernel_jobs)
+      if (ran[kj.sync_job])
+        ctx.kernel_cpi.push_back(
+            {kj.num_procs, outcomes[kj.sync_job].record.metrics.cpi});
+    const ModelEstimate& est = tracker.estimate();
+    if (est.ok && est.inference.dof > 0) ctx.inference = &est.inference;
+    // A degenerate fit on ≥ 2 triplets (not merely "too few points yet")
+    // means nothing downstream is computable until calibration improves.
+    ctx.fit_blocked = !est.ok && est.triplets >= 2;
+
+    const std::vector<ScoredCandidate> scored =
+        score_candidates(remaining, ctx);
+    const ScoredCandidate& best = scored.front();
+    std::size_t cost = 0;
+    for (std::size_t j : best.candidate.jobs)
+      if (!attempted[j]) ++cost;
+    if (options_.max_runs != 0 && runs_used() + cost > options_.max_runs) {
+      std::ostringstream os;
+      os << "PLAN|budget|next pick " << best.candidate.label() << " costs "
+         << cost << " runs but only " << options_.max_runs - runs_used()
+         << " remain of --max-runs=" << options_.max_runs;
+      plan_notes.push_back(os.str());
+      result.stop = StopReason::kMaxRuns;
+      break;
+    }
+
+    // Mark bought before executing so a quarantined pick is not retried
+    // forever.
+    for (std::size_t i = 0; i < grid.candidates.size(); ++i)
+      if (!bought[i] &&
+          grid.candidates[i].jobs == best.candidate.jobs)
+        bought[i] = true;
+
+    run_batch(best.candidate.jobs);
+    ++result.steps;
+    const std::optional<std::vector<double>> answers = evaluate();
+    // No comparable pair of answers yet means no evidence of stability:
+    // an infinite delta keeps the loop buying.
+    double delta = std::numeric_limits<double>::infinity();
+    if (answers && prev) {
+      delta = 0.0;
+      for (std::size_t i = 0; i < answers->size(); ++i)
+        delta = std::max(delta, std::abs((*answers)[i] - (*prev)[i]) /
+                                    std::max(1.0, std::abs((*prev)[i])));
+    }
+    result.final_delta = delta;
+    {
+      std::ostringstream os;
+      os << "PLAN|step=" << result.steps << "|pick="
+         << best.candidate.label() << "|score=" << fmt(best.score) << " ("
+         << best.reason << ")|runs=" << runs_used() << "|"
+         << model_summary() << "|answers="
+         << (answers ? fmt_list(*answers) : std::string("unavailable"))
+         << "|delta=" << fmt(delta);
+      plan_notes.push_back(os.str());
+    }
+    if (answers) prev = answers;
+    if (delta <= options_.tolerance) {
+      result.stop = StopReason::kConverged;
+      break;
+    }
+  }
+
+  result.runs_used = runs_used();
+  {
+    std::ostringstream os;
+    os << "PLAN|stop=" << stop_reason_name(result.stop) << "|runs="
+       << result.runs_used << "/" << result.runs_total
+       << "|steps=" << result.steps
+       << "|delta=" << fmt(result.final_delta);
+    plan_notes.push_back(os.str());
+  }
+
+  result.inputs = assemble_adaptive(plan, outcomes, ran);
+  result.inputs.notes.insert(result.inputs.notes.begin(), plan_notes.begin(),
+                             plan_notes.end());
+
+  agg.planned_skipped =
+      agg.jobs_total - (agg.jobs_run + agg.jobs_cached + agg.jobs_replayed +
+                        agg.jobs_quarantined);
+  result.stats = agg;
+  return result;
+}
+
+std::string explain_plan(const ExperimentRunner& runner,
+                         const std::string& app, std::size_t s0,
+                         std::span<const int> proc_counts,
+                         const PlannerOptions& options) {
+  const MatrixPlan plan = runner.plan_matrix(app, s0, proc_counts);
+  const CampaignGrid grid =
+      partition_grid(plan, options.analyze.cpi.overflow_factor);
+  std::ostringstream os;
+  os << "adaptive plan: " << plan.app << ", s0 = " << plan.s0
+     << " B, procs";
+  for (int n : proc_counts) os << " " << n;
+  os << "\n";
+  os << "grid: " << plan.jobs.size() << " jobs = " << grid.core_jobs.size()
+     << " core + " << grid.candidates.size() << " candidate picks\n";
+  os << "core (scheduled unconditionally):\n";
+  os << "  base (s0, n) series: " << plan.base_jobs.size() << " runs\n";
+  os << "  uni s=" << plan.jobs[plan.uni_jobs.back()].dataset_bytes
+     << " B (pi0 anchor)\n";
+  for (std::size_t j : grid.core_uni_extra)
+    os << "  uni s=" << plan.jobs[j].dataset_bytes
+       << " B (t2/tm fit calibration)\n";
+  for (int n : grid.core_kernel_ns)
+    os << "  sync+spin kernels at n=" << n << " (synthesis endpoint)\n";
+  os << "candidates (probe-focus sweep points first, then best expected "
+        "CI shrinkage):\n";
+  const std::vector<double> focus =
+      probe_focus_lg(plan, proc_counts, options.l2_probes);
+  for (const Candidate& c : grid.candidates) {
+    os << "  " << c.label();
+    if (c.kind != CandidateKind::kKernelPair) {
+      double d = std::numeric_limits<double>::infinity();
+      for (double f : focus)
+        d = std::min(d, std::abs(lg(static_cast<double>(c.bytes)) - f));
+      if (d <= 1.0) os << "  (probe focus)";
+    }
+    os << "\n";
+  }
+  os << "stopping: what-if probes";
+  for (std::size_t i = 0; i < options.l2_probes.size(); ++i)
+    os << (i ? "," : "") << " l2x" << fmt(options.l2_probes[i]);
+  os << " and cost fractions at max n stable within tolerance "
+     << fmt(options.tolerance);
+  if (options.max_runs != 0)
+    os << "; at most " << options.max_runs << " runs";
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace scaltool::plan

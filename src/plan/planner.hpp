@@ -1,0 +1,110 @@
+// The adaptive campaign planner (DESIGN.md §14): active run selection
+// with incremental refit and confidence-driven stopping.
+//
+// A full Table 3 campaign simulates every (size × procs) grid point; most
+// of them barely move the model. The planner instead drives the campaign
+// engine one batch at a time: the mandatory core first (base series, pi0
+// anchor, fit calibration, kernel endpoints), then repeatedly the single
+// candidate the acquisition policy scores highest — refitting the model
+// incrementally after each batch — until the answers the model exists to
+// give (what-if predictions at the largest machine size) stop moving
+// between consecutive picks by more than --tolerance, the grid runs dry,
+// or --max-runs is hit.
+//
+// Everything the planner decides is a deterministic function of the run
+// outcomes, and runs are deterministic in their spec; so a campaign
+// killed mid-flight and resumed from its journal replays the same
+// decisions, buys the same runs, and produces a byte-identical archive
+// (test_crash_recovery drills this with SIGKILL). Provenance: every
+// decision is recorded as a "PLAN|" note in the assembled inputs, which
+// collect persists as NOTE records in the archive.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.hpp"
+#include "engine/campaign.hpp"
+#include "plan/acquisition.hpp"
+#include "runner/runner.hpp"
+
+namespace scaltool::plan {
+
+struct PlannerOptions {
+  /// Stop once no what-if probe answer moved by more than this fraction
+  /// across the latest pick (relative for answers above 1, absolute for
+  /// the cost fractions below it).
+  double tolerance = 0.05;
+  /// Hard budget on scheduled runs, core included; 0 = the whole grid.
+  /// A budget below the core size is an upfront CheckError. Hitting the
+  /// budget before converging is StopReason::kMaxRuns (CLI exit code 8).
+  std::size_t max_runs = 0;
+  /// L2-scaling what-if probes (capacity multipliers) watched for
+  /// stability, alongside the L2Lim and MP cost fractions at max n.
+  std::vector<double> l2_probes = {2.0, 4.0};
+  /// Analysis options; `analyze.cpi` also sets the overflow factor the
+  /// grid partition and the incremental fitter share.
+  AnalyzeOptions analyze;
+};
+
+enum class StopReason {
+  kConverged,  ///< probe answers stable within tolerance
+  kExhausted,  ///< every candidate bought (equivalent to the full matrix)
+  kMaxRuns,    ///< budget hit before convergence
+};
+const char* stop_reason_name(StopReason reason);
+
+struct PlannerResult {
+  ScalToolInputs inputs;  ///< adaptive assembly; notes carry "PLAN|" lines
+  EngineStats stats;      ///< aggregated over every batch
+  StopReason stop = StopReason::kExhausted;
+  std::size_t runs_used = 0;   ///< jobs scheduled (run/cached/replayed/quar.)
+  std::size_t runs_total = 0;  ///< the full matrix, for the savings ratio
+  std::size_t steps = 0;       ///< adaptive picks beyond the core
+  double final_delta = 0.0;    ///< last inter-step probe movement
+  std::vector<std::string> events;  ///< engine events, batch order
+};
+
+class AdaptivePlanner {
+ public:
+  AdaptivePlanner(const ExperimentRunner& runner,
+                  CampaignOptions engine_options, PlannerOptions options);
+
+  /// Runs the adaptive campaign. Engine semantics (cache, journal,
+  /// resume, faults, cancellation) are exactly CampaignEngine's — the
+  /// planner only chooses masks. Throws CheckError when max_runs is
+  /// below the core, or when a quarantined core job makes the assembly
+  /// unrecoverable; CampaignCancelled propagates.
+  PlannerResult run(const std::string& app, std::size_t s0,
+                    std::span<const int> proc_counts);
+
+  CampaignEngine& engine() { return engine_; }
+
+ private:
+  CampaignEngine engine_;
+  PlannerOptions options_;
+};
+
+/// Joins the outcomes of the jobs that actually ran (`ran`, parallel to
+/// plan.jobs): base runs and the pi0 anchor are mandatory (CheckError
+/// names a missing one), skipped uniprocessor sweep points are dropped —
+/// never fabricated — and a skipped kernel pair is synthesized by
+/// interpolating its measured neighbours in log2(n) (cpi linearly,
+/// instruction-like counts geometrically, cycles = cpi × instructions).
+/// Every synthesis and the dropped-point list land in the result's notes
+/// with the "PLAN|" prefix.
+ScalToolInputs assemble_adaptive(const MatrixPlan& plan,
+                                 std::span<const JobOutcome> outcomes,
+                                 const std::vector<bool>& ran);
+
+/// `scaltool plan`: the schedule a campaign would follow, without
+/// simulating anything — grid partition, core listing, candidate pool,
+/// stopping rule.
+std::string explain_plan(const ExperimentRunner& runner,
+                         const std::string& app, std::size_t s0,
+                         std::span<const int> proc_counts,
+                         const PlannerOptions& options);
+
+}  // namespace scaltool::plan

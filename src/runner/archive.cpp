@@ -133,9 +133,11 @@ void write_inputs(const ScalToolInputs& inputs, std::ostream& os) {
   for (const std::string& note : inputs.notes) {
     std::string clean = note;
     for (char& c : clean) {
-      if (c == '|') c = '/';   // '|' is the field separator
       if (c == '\n') c = ' ';  // records are line-oriented
     }
+    // The reader takes the whole rest of the line as the payload, so the
+    // field separator may appear verbatim — the planner's "PLAN|..."
+    // provenance notes round-trip exactly.
     os << "NOTE|" << clean << '\n';
   }
 }

@@ -17,6 +17,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+#include "plan/planner.hpp"
 #include "runner/archive.hpp"
 
 namespace scaltool::serve {
@@ -174,7 +175,12 @@ ScalToolInputs inputs_from(const Args& args, const ExecHooks& hooks,
     (void)engine_from(args);       // marks the engine options as consumed
     (void)journal_from(args, "");  // ditto the journal options
     ScalToolInputs inputs = load_inputs(target);
-    if (degraded && !inputs.notes.empty()) *degraded = true;
+    // "PLAN|" notes are the adaptive planner's provenance, not damage: an
+    // adaptive archive is a first-class result, so only repair notes
+    // (quarantines, interpolations, substitutions) mark it degraded.
+    if (degraded)
+      for (const std::string& note : inputs.notes)
+        if (note.rfind("PLAN|", 0) != 0) *degraded = true;
     return inputs;
   }
   const std::size_t l2 = runner.base_config().l2.size_bytes;
@@ -182,6 +188,91 @@ ScalToolInputs inputs_from(const Args& args, const ExecHooks& hooks,
   const int max_procs = args.get_int("max-procs", 32);
   return collect_matrix(args, hooks, runner, target, s0, max_procs, os,
                         degraded, journal);
+}
+
+/// Planner options from the adaptive flags (--tolerance/--max-runs plus
+/// the analysis knobs the probes share with analyze).
+plan::PlannerOptions planner_from(const Args& args) {
+  plan::PlannerOptions options;
+  options.tolerance = args.get_double("tolerance", 0.05);
+  ST_CHECK_MSG(options.tolerance >= 0.0, "--tolerance must be non-negative");
+  const int max_runs = args.get_int("max-runs", 0);
+  ST_CHECK_MSG(max_runs >= 0, "--max-runs must be non-negative");
+  options.max_runs = static_cast<std::size_t>(max_runs);
+  options.analyze.model_sharing = args.has("sharing");
+  options.analyze.cpi.robust = args.has("robust-fit");
+  return options;
+}
+
+/// `collect --adaptive`: the planner drives the engine one batch at a
+/// time instead of executing the whole matrix. Shares collect's journal,
+/// two-phase archive publication and resume semantics; on kMaxRuns the
+/// journal survives so a rerun with a higher budget picks up every run
+/// already paid for.
+int collect_adaptive(const Args& args, std::ostream& os,
+                     const ExecHooks& hooks, const std::string& app,
+                     const std::string& out, const std::string& journal) {
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 32);
+  CampaignOptions options = engine_from(args);
+  options.journal_path = journal;
+  if (!engine_engaged(options) && hooks.engaged()) {
+    options.jobs = hooks.jobs;
+    options.shared_cache = hooks.shared_cache;
+    options.faults = hooks.faults;
+    options.retries = hooks.retries;
+  }
+  options.cancelled = interruptible(hooks.cancelled);
+  plan::AdaptivePlanner planner(runner, std::move(options),
+                                planner_from(args));
+  const plan::PlannerResult result =
+      planner.run(app, s0, default_proc_counts(max_procs));
+  warn_unused(args, os);
+
+  if (args.has("resume"))
+    os << "journal: replayed " << result.stats.jobs_replayed << " of "
+       << result.stats.jobs_total << " runs (" << result.stats.jobs_run
+       << " simulated)\n";
+  os << "adaptive: scheduled " << result.runs_used << " of "
+     << result.runs_total << " matrix runs (" << result.steps
+     << " adaptive picks, stop: " << plan::stop_reason_name(result.stop)
+     << ")\n";
+  os << engine_stats_line(result.stats) << "\n";
+  engine_stats_table(result.stats).print(os);
+  publish_engine_stats(result.stats);  // aggregate overrides the last batch
+  for (const std::string& event : result.events)
+    os << "event: " << event << "\n";
+  bool degraded = false;
+  for (const std::string& note : result.inputs.notes) {
+    if (note.rfind("PLAN|", 0) == 0) {
+      os << "plan: " << note << "\n";
+    } else {
+      os << "degraded: " << note << "\n";
+      degraded = true;
+    }
+  }
+
+  if (journal.empty()) {
+    save_inputs(result.inputs, out);
+  } else {
+    JournalWriter writer(journal, /*append=*/true);
+    commit_archive(result.inputs, out, &writer);
+    if (result.stop != plan::StopReason::kMaxRuns)
+      std::remove(journal.c_str());
+  }
+  os << "collected " << result.inputs.base_runs.size() << " base runs, "
+     << result.inputs.uni_runs.size() << " uniprocessor runs and "
+     << result.inputs.kernels.size() << " kernel pairs for " << app
+     << " (s0 = " << format_bytes(s0) << ") into " << out << "\n";
+  if (result.stop == plan::StopReason::kMaxRuns) {
+    os << "adaptive: tolerance " << args.get_double("tolerance", 0.05)
+       << " unreachable within --max-runs=" << args.get_int("max-runs", 0)
+       << "; journal kept — rerun with --resume and a higher budget\n";
+    return kExitToleranceUnreachable;
+  }
+  return degraded ? 3 : 0;
 }
 
 void chart_curves(const ScalabilityReport& report, std::ostream& os) {
@@ -250,6 +341,11 @@ int exec_collect(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   const ObsOptions obs_options = obs_from(args, hooks);
   const std::string journal = journal_from(args, out);
   reap_orphan_temps(out);  // stage files of crashed collects
+  if (args.has("adaptive")) {
+    const int rc = collect_adaptive(args, os, hooks, app, out, journal);
+    finish_obs(obs_options, os);
+    return rc;
+  }
   const ExperimentRunner runner = runner_from(args);
   const std::size_t l2 = runner.base_config().l2.size_bytes;
   const std::size_t s0 = args.get_size("size", 10 * l2, l2);
@@ -274,6 +370,23 @@ int exec_collect(const Args& args, std::ostream& os, const ExecHooks& hooks) {
      << format_bytes(s0) << ") into " << out << "\n";
   finish_obs(obs_options, os);
   return degraded ? 3 : 0;
+}
+
+int exec_plan(const Args& args, std::ostream& os, const ExecHooks& hooks) {
+  (void)hooks;  // planning runs nothing, so there is nothing to hook
+  const std::string app = args.positional(1, "");
+  ST_CHECK_MSG(!app.empty(),
+               "usage: scaltool plan <app> [--size=BYTES] [--max-procs=N] "
+               "[--tolerance=T] [--max-runs=N]");
+  (void)args.has("explain");  // accepted; explaining is all this command does
+  const ExperimentRunner runner = runner_from(args);
+  const std::size_t l2 = runner.base_config().l2.size_bytes;
+  const std::size_t s0 = args.get_size("size", 10 * l2, l2);
+  const int max_procs = args.get_int("max-procs", 32);
+  os << plan::explain_plan(runner, app, s0, default_proc_counts(max_procs),
+                           planner_from(args));
+  warn_unused(args, os);
+  return 0;
 }
 
 int exec_analyze(const Args& args, std::ostream& os, const ExecHooks& hooks) {

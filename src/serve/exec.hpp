@@ -24,6 +24,13 @@
 
 namespace scaltool::serve {
 
+/// Exit code of `collect --adaptive` when --max-runs was exhausted before
+/// the what-if probe answers stabilized within --tolerance. The archive
+/// is still published (core complete, honestly annotated) and the journal
+/// is kept, so rerunning with a higher budget resumes instead of
+/// re-simulating. Documented beside codes 0–7 in `scaltool help`.
+inline constexpr int kExitToleranceUnreachable = 8;
+
 /// What the analysis service injects under a command's execution.
 struct ExecHooks {
   /// Shared run cache: identical sweep points across requests are
@@ -74,5 +81,10 @@ int exec_analyze(const Args& args, std::ostream& os,
                  const ExecHooks& hooks = {});
 int exec_whatif(const Args& args, std::ostream& os,
                 const ExecHooks& hooks = {});
+
+/// `scaltool plan <app>`: prints the adaptive campaign schedule (grid
+/// partition, core, candidate pool, stopping rule) without simulating
+/// anything. Serves the `plan` op on the wire too.
+int exec_plan(const Args& args, std::ostream& os, const ExecHooks& hooks = {});
 
 }  // namespace scaltool::serve

@@ -12,8 +12,8 @@ namespace {
 
 using obs::JsonValue;
 
-const char* kOps[] = {"analyze", "whatif", "collect", "stats", "ping",
-                      "health", "metrics"};
+const char* kOps[] = {"analyze", "whatif", "collect", "plan", "stats",
+                      "ping", "health", "metrics"};
 
 bool known_op(const std::string& op) {
   for (const char* candidate : kOps)

@@ -352,6 +352,8 @@ Response AnalysisService::execute(const Request& req,
       rc = exec_analyze(args, os, hooks);
     } else if (req.op == "whatif") {
       rc = exec_whatif(args, os, hooks);
+    } else if (req.op == "plan") {
+      rc = exec_plan(args, os, hooks);
     } else {
       rc = exec_collect(args, os, hooks);
     }

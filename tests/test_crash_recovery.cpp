@@ -121,6 +121,52 @@ TEST(CrashRecovery, SigkillAtSeededPointsThenResumeIsByteIdentical) {
   std::remove(ref.c_str());
 }
 
+// ---- Adaptive campaigns crash and resume like full ones ------------------
+
+TEST(CrashRecovery, AdaptiveSigkillThenResumeIsByteIdenticalZeroResim) {
+  // The planner's decisions are a deterministic function of run outcomes,
+  // so a SIGKILLed adaptive campaign resumed from its journal must buy
+  // the same picks and publish the same bytes — replaying, never
+  // re-simulating, the runs it already paid for.
+  const auto adaptive_argv = [](const std::string& out) {
+    return std::vector<std::string>{
+        "collect",      "t3dheat",       "--adaptive", "--out=" + out,
+        "--size=10xL2", "--max-procs=4", "--iters=2",  "--tolerance=0.10"};
+  };
+  const std::string ref = tmp_path("adaptive_ref");
+  std::string out;
+  ASSERT_EQ(run_cli(adaptive_argv(ref), &out), 0) << out;
+  const std::string ref_bytes = read_file(ref);
+  ASSERT_NE(ref_bytes.find("NOTE|PLAN|"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(journal_path_for(ref)));
+
+  // crash=3 dies inside the mandatory core batch; crash=10 dies during
+  // the adaptive picks beyond it (the core is 9 jobs at this geometry).
+  for (const int crash_at : {3, 10}) {
+    SCOPED_TRACE("crash=" + std::to_string(crash_at));
+    const std::string victim = tmp_path("adk" + std::to_string(crash_at));
+    std::vector<std::string> argv = adaptive_argv(victim);
+    argv.push_back("--faults=crash=" + std::to_string(crash_at));
+    const ChildResult child = run_cli_in_child(argv);
+    ASSERT_TRUE(child.signaled());
+    ASSERT_EQ(child.term_signal(), SIGKILL);
+    EXPECT_FALSE(std::filesystem::exists(victim));
+    ASSERT_TRUE(std::filesystem::exists(journal_path_for(victim)));
+
+    std::vector<std::string> resume = adaptive_argv(victim);
+    resume.push_back("--resume");
+    ASSERT_EQ(run_cli(resume, &out), 0) << out;
+    EXPECT_NE(out.find("journal: replayed " + std::to_string(crash_at) +
+                       " of "),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(read_file(victim), ref_bytes);
+    EXPECT_FALSE(std::filesystem::exists(journal_path_for(victim)));
+    std::remove(victim.c_str());
+  }
+  std::remove(ref.c_str());
+}
+
 // ---- Replay counters: the journaled prefix is never re-simulated --------
 
 TEST(CrashRecovery, ResumeSimulatesOnlyTheMissingTail) {

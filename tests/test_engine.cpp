@@ -401,6 +401,45 @@ TEST(CampaignEngine, CorruptCacheEntryJustReRuns) {
   std::remove(path.c_str());
 }
 
+TEST(CampaignEngine, PlannerMaskSkipsJobsWithExactAccounting) {
+  const std::string path = "/tmp/scaltool_engine_mask_test.txt";
+  std::remove(path.c_str());
+  const ExperimentRunner runner = test_runner();
+  const MatrixPlan plan =
+      runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+  ASSERT_GT(plan.uni_jobs.size(), 3u);
+
+  // Leave two interior sweep points unselected, like the planner would.
+  std::vector<bool> selected(plan.jobs.size(), true);
+  selected[plan.uni_jobs[1]] = false;
+  selected[plan.uni_jobs[2]] = false;
+
+  CampaignOptions options;
+  options.cache_path = path;
+  {
+    CampaignEngine engine(runner, options);
+    engine.execute(plan, &selected);
+    const EngineStats& s = engine.stats();
+    EXPECT_EQ(s.planned_skipped, 2u);
+    EXPECT_EQ(s.jobs_run, plan.jobs.size() - 2);
+    // The extended accounting identity, exactly.
+    EXPECT_EQ(s.jobs_total, s.jobs_run + s.jobs_cached + s.jobs_replayed +
+                                s.jobs_quarantined + s.planned_skipped);
+  }
+  // A skipped job never touched the cache: rerunning the full matrix over
+  // the same cache file hits for every executed job and simulates exactly
+  // the two the mask withheld.
+  {
+    CampaignEngine engine(runner, options);
+    engine.execute(plan);
+    const EngineStats& s = engine.stats();
+    EXPECT_EQ(s.planned_skipped, 0u);
+    EXPECT_EQ(s.jobs_cached, plan.jobs.size() - 2);
+    EXPECT_EQ(s.jobs_run, 2u);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CampaignEngine, FailedJobRethrowsAfterFinishing) {
   const ExperimentRunner runner = test_runner();
   CampaignEngine engine(runner, {});

@@ -499,7 +499,7 @@ TEST(ArchiveNotes, RoundTripAndSanitization) {
   const ScalToolInputs back = read_inputs(is);
   ASSERT_EQ(back.notes.size(), 2u);
   EXPECT_EQ(back.notes[0], "plain note");
-  EXPECT_EQ(back.notes[1], "pipe / and newline");
+  EXPECT_EQ(back.notes[1], "pipe | and newline");
 }
 
 TEST(ArchiveNotes, AbsentNotesLeaveTheArchiveByteIdentical) {

@@ -1,0 +1,636 @@
+// Unit tests: the adaptive campaign planner — the incremental fitter
+// agreeing with the one-shot least-squares core to 1e-9 (including MAD
+// rejection and degenerate designs), the grid partition and deterministic
+// acquisition order, the planner's stopping/budget/stats semantics, and
+// the adaptive surface through the CLI and the analysis service.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "core/bottleneck.hpp"
+#include "core/cpi_model.hpp"
+#include "engine/campaign.hpp"
+#include "math/least_squares.hpp"
+#include "plan/acquisition.hpp"
+#include "plan/fitter.hpp"
+#include "plan/planner.hpp"
+#include "runner/archive.hpp"
+#include "runner/runner.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace scaltool::plan {
+namespace {
+
+ExperimentRunner test_runner() {
+  register_standard_workloads();
+  ExperimentRunner runner(MachineConfig::origin2000_scaled(1));
+  runner.iterations = 2;
+  return runner;
+}
+
+const std::vector<int> kProcs{1, 2, 4};
+
+std::size_t test_s0(const ExperimentRunner& runner) {
+  return 10 * runner.base_config().l2.size_bytes;
+}
+
+std::string tmp_path(const std::string& name) {
+  return "/tmp/st_plan_" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+int run_cli(const std::vector<std::string>& args, std::string* out) {
+  std::ostringstream os;
+  const int rc = cli::run_command(args, os);
+  *out = os.str();
+  return rc;
+}
+
+// ---- Synthetic inputs ---------------------------------------------------
+//
+// A hand-built measurement set with known (pi0, t2, tm) lets the fitter
+// tests control replicates, outliers and collinearity exactly, with no
+// simulator in the loop.
+
+constexpr std::size_t kSynthL2 = 64 * 1024;
+
+RunRecord synth_uni(std::size_t bytes, double cpi, double h2, double hm) {
+  RunRecord r;
+  r.workload = "synthetic";
+  r.dataset_bytes = bytes;
+  r.num_procs = 1;
+  r.metrics.cpi = cpi;
+  r.metrics.h2 = h2;
+  r.metrics.hm = hm;
+  r.metrics.l1_hitr = 0.95;
+  r.metrics.l2_hitr = 0.5;
+  r.metrics.mem_frac = 0.3;
+  r.metrics.instructions = 1e6;
+  r.metrics.cycles = cpi * 1e6;
+  r.execution_cycles = r.metrics.cycles;
+  return r;
+}
+
+/// Four L2-overflowing triplets on an exact cpi = 1 + 10·h2 + 60·hm
+/// plane plus a small pi0 anchor; uni_runs descending like the sweep.
+ScalToolInputs synth_inputs() {
+  ScalToolInputs in;
+  in.app = "synthetic";
+  in.l2_bytes = kSynthL2;
+  in.s0 = 32 * kSynthL2;
+  const double pi0 = 1.0, t2 = 10.0, tm = 60.0;
+  const std::size_t sizes[] = {32 * kSynthL2, 16 * kSynthL2, 8 * kSynthL2,
+                               4 * kSynthL2};
+  const double h2s[] = {0.020, 0.018, 0.015, 0.011};
+  const double hms[] = {0.010, 0.007, 0.005, 0.004};
+  for (int i = 0; i < 4; ++i)
+    in.uni_runs.push_back(synth_uni(sizes[i], pi0 + t2 * h2s[i] + tm * hms[i],
+                                    h2s[i], hms[i]));
+  in.uni_runs.push_back(synth_uni(1024, 1.2, 0.001, 0.0));  // pi0 anchor
+  in.base_runs.push_back(in.uni_runs.front());
+  return in;
+}
+
+void feed(ModelTracker& tracker, const ScalToolInputs& in) {
+  for (const RunRecord& r : in.uni_runs) tracker.add_uni_run(r);
+}
+
+void expect_model_agrees(const ModelEstimate& est, const CpiModel& model,
+                         double tol = 1e-9) {
+  ASSERT_TRUE(est.ok) << est.status;
+  EXPECT_NEAR(est.pi0_initial, model.pi0_initial, tol);
+  EXPECT_NEAR(est.pi0.value, model.pi0, tol);
+  EXPECT_NEAR(est.t2.value, model.t2, tol);
+  EXPECT_NEAR(est.tm1.value, model.tm1, tol);
+  EXPECT_NEAR(est.fit_r2, model.fit_r2, tol);
+  EXPECT_EQ(est.refine_iterations, model.refine_iterations);
+  EXPECT_EQ(est.rejected_sizes, model.fit_rejected);
+}
+
+// ---- IncrementalFitter --------------------------------------------------
+
+TEST(IncrementalFitter, AgreesWithOneShotAtEveryPrefix) {
+  // Deterministic, non-degenerate 2-predictor design.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) {
+    const double a = 0.5 + 0.13 * i, b = 2.0 - 0.07 * i * i / 10.0;
+    rows.push_back({a, b});
+    y.push_back(3.0 * a - 1.5 * b + 0.01 * ((i * 7) % 5));
+  }
+  IncrementalFitter fitter(2);
+  for (std::size_t m = 0; m < rows.size(); ++m) {
+    fitter.add(rows[m], y[m]);
+    if (m + 1 < 2) continue;
+    const std::vector<std::vector<double>> prefix(rows.begin(),
+                                                  rows.begin() + m + 1);
+    const LsqFit one_shot =
+        least_squares(prefix, std::span<const double>(y.data(), m + 1));
+    const LsqFit inc = fitter.fit();
+    ASSERT_EQ(inc.coef.size(), one_shot.coef.size());
+    for (std::size_t c = 0; c < inc.coef.size(); ++c)
+      EXPECT_NEAR(inc.coef[c], one_shot.coef[c], 1e-9);
+    EXPECT_NEAR(inc.r2, one_shot.r2, 1e-9);
+    EXPECT_NEAR(inc.max_abs_residual, one_shot.max_abs_residual, 1e-9);
+  }
+}
+
+TEST(IncrementalFitter, UpdateMatchesRebuiltDesign) {
+  std::vector<std::vector<double>> rows = {
+      {1.0, 0.5}, {2.0, 1.1}, {3.0, 0.2}, {4.0, 2.4}, {5.0, 1.9}};
+  std::vector<double> y = {1.1, 2.3, 2.9, 5.2, 5.8};
+  IncrementalFitter fitter(2);
+  for (std::size_t i = 0; i < rows.size(); ++i) fitter.add(rows[i], y[i]);
+  // Replace the middle observation (what a moved replicate median does).
+  rows[2] = {3.1, 0.9};
+  y[2] = 3.4;
+  fitter.update(2, rows[2], y[2]);
+  const LsqFit one_shot = least_squares(rows, y);
+  const LsqFit inc = fitter.fit();
+  for (std::size_t c = 0; c < inc.coef.size(); ++c)
+    EXPECT_NEAR(inc.coef[c], one_shot.coef[c], 1e-9);
+  EXPECT_NEAR(inc.r2, one_shot.r2, 1e-9);
+}
+
+TEST(IncrementalFitter, ResponseShiftMatchesShiftedOneShot) {
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 0.5}, {2.0, 1.1}, {3.0, 0.2}, {4.0, 2.4}};
+  const std::vector<double> y = {2.1, 3.3, 3.9, 6.2};
+  const double shift = 1.25;
+  IncrementalFitter fitter(2);
+  for (std::size_t i = 0; i < rows.size(); ++i) fitter.add(rows[i], y[i]);
+  std::vector<double> shifted = y;
+  for (double& v : shifted) v -= shift;
+  const LsqFit one_shot = least_squares(rows, shifted);
+  const LsqFit inc = fitter.fit(shift);
+  for (std::size_t c = 0; c < inc.coef.size(); ++c)
+    EXPECT_NEAR(inc.coef[c], one_shot.coef[c], 1e-12);
+  EXPECT_NEAR(inc.r2, one_shot.r2, 1e-12);
+  // Zero shift is the plain path, bit for bit.
+  const LsqFit plain = least_squares(rows, y);
+  const LsqFit inc0 = fitter.fit();
+  for (std::size_t c = 0; c < inc0.coef.size(); ++c)
+    EXPECT_DOUBLE_EQ(inc0.coef[c], plain.coef[c]);
+}
+
+TEST(IncrementalFitter, RobustFitAgreesIncludingMadRejection) {
+  // Exact plane plus one gross outlier: with enough clean points the MAD
+  // criterion rejects index 3 in both paths and the surviving fits match.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 8; ++i) {
+    rows.push_back({0.008 + 0.002 * i, 0.002 + 0.0015 * i});
+    y.push_back(10.0 * rows.back()[0] + 60.0 * rows.back()[1]);
+  }
+  y[3] += 2.0;
+  IncrementalFitter fitter(2);
+  for (std::size_t i = 0; i < rows.size(); ++i) fitter.add(rows[i], y[i]);
+  const RobustLsqFit one_shot = robust_least_squares(rows, y);
+  const RobustLsqFit inc = fitter.fit_robust();
+  EXPECT_EQ(inc.rejected, one_shot.rejected);
+  EXPECT_EQ(inc.rounds, one_shot.rounds);
+  ASSERT_FALSE(one_shot.rejected.empty());
+  EXPECT_EQ(one_shot.rejected.front(), 3u);
+  ASSERT_EQ(inc.fit.coef.size(), one_shot.fit.coef.size());
+  for (std::size_t c = 0; c < inc.fit.coef.size(); ++c)
+    EXPECT_NEAR(inc.fit.coef[c], one_shot.fit.coef[c], 1e-9);
+}
+
+TEST(IncrementalFitter, DegenerateDesignsThrowLikeOneShot) {
+  // Underdetermined: one observation, two predictors.
+  IncrementalFitter under(2);
+  under.add({1.0, 2.0}, 1.0);
+  EXPECT_THROW(under.fit(), CheckError);
+  // Collinear: second column is 2× the first.
+  IncrementalFitter collinear(2);
+  collinear.add({1.0, 2.0}, 1.0);
+  collinear.add({2.0, 4.0}, 2.0);
+  collinear.add({3.0, 6.0}, 3.1);
+  EXPECT_THROW(collinear.fit(), CheckError);
+  // Dead column: predictor 1 never loads.
+  IncrementalFitter dead(2);
+  dead.add({1.0, 0.0}, 1.0);
+  dead.add({2.0, 0.0}, 2.0);
+  dead.add({3.0, 0.0}, 3.1);
+  EXPECT_THROW(dead.fit(), CheckError);
+}
+
+TEST(IncrementalFitter, InferenceReportsInfiniteIntervalsAtZeroDof) {
+  IncrementalFitter fitter(2);
+  fitter.add({1.0, 0.5}, 1.0);
+  fitter.add({2.0, 1.7}, 2.2);
+  const LsqFit fit = fitter.fit();
+  const OlsInference inf = fitter.inference(fit);
+  EXPECT_EQ(inf.dof, 0u);
+  for (double se : inf.se) EXPECT_TRUE(std::isinf(se));
+  for (double ci : inf.ci95) EXPECT_TRUE(std::isinf(ci));
+}
+
+// ---- ModelTracker -------------------------------------------------------
+
+TEST(ModelTracker, AgreesWithEstimateOnCollectedInputs) {
+  const ExperimentRunner runner = test_runner();
+  const ScalToolInputs inputs =
+      runner.collect("t3dheat", test_s0(runner), kProcs);
+  const CpiModel model = estimate_cpi_model(inputs);
+
+  ModelTracker tracker(inputs.l2_bytes);
+  feed(tracker, inputs);
+  expect_model_agrees(tracker.estimate(), model);
+
+  // tm(n) backed out of a multiprocessor base run via Eq. 1 matches the
+  // same arithmetic done by hand with the fitted parameters (the model's
+  // own tm map applies the monotone floor, which the tracker reports raw).
+  const ModelEstimate& est = tracker.estimate();
+  const RunRecord& base4 = inputs.base_run(4);
+  const double expected =
+      (base4.metrics.cpi - est.pi0.value - base4.metrics.h2 * est.t2.value) /
+      base4.metrics.hm;
+  EXPECT_NEAR(tracker.tm_at(base4).value, expected, 1e-9);
+  EXPECT_GT(est.triplets, 1u);
+}
+
+TEST(ModelTracker, ReplicateMedianMatchesEstimate) {
+  ScalToolInputs in = synth_inputs();
+  // Two extra replicates; consecutive equal sizes, like a real sweep log.
+  RunRecord rep16 = in.uni_runs[1];
+  rep16.metrics.cpi *= 1.03;
+  rep16.metrics.h2 *= 0.98;
+  in.uni_runs.insert(in.uni_runs.begin() + 2, rep16);
+  RunRecord rep4 = in.uni_runs[4];
+  rep4.metrics.cpi *= 0.97;
+  in.uni_runs.insert(in.uni_runs.begin() + 5, rep4);
+
+  const CpiModel model = estimate_cpi_model(in);
+  ModelTracker tracker(in.l2_bytes);
+  feed(tracker, in);
+  expect_model_agrees(tracker.estimate(), model);
+}
+
+TEST(ModelTracker, RobustRejectionMatchesEstimate) {
+  // Eight exact triplets (plenty for the MAD criterion), an anchor that
+  // makes the Eq. 2 fixed point land on pi0 = 1 exactly, and one
+  // corrupted run: both paths must reject the same size.
+  ScalToolInputs in;
+  in.app = "synthetic";
+  in.l2_bytes = kSynthL2;
+  in.s0 = 40 * kSynthL2;
+  const double pi0 = 1.0, t2 = 10.0, tm = 60.0;
+  for (int i = 0; i < 8; ++i) {
+    const double h2 = 0.008 + 0.002 * i, hm = 0.002 + 0.0015 * i;
+    in.uni_runs.push_back(synth_uni((40 - 4 * i) * kSynthL2,
+                                    pi0 + t2 * h2 + tm * hm, h2, hm));
+  }
+  in.uni_runs[3].metrics.cpi += 2.0;  // the outlier
+  in.uni_runs.push_back(
+      synth_uni(1024, pi0 + t2 * 0.001, 0.001, 0.0));  // anchor
+  in.base_runs.push_back(in.uni_runs.front());
+
+  CpiModelOptions options;
+  options.robust = true;
+  const CpiModel model = estimate_cpi_model(in, options);
+  ASSERT_FALSE(model.fit_rejected.empty());
+  EXPECT_EQ(model.fit_rejected.front(), in.uni_runs[3].dataset_bytes);
+
+  ModelTracker tracker(in.l2_bytes, options);
+  feed(tracker, in);
+  expect_model_agrees(tracker.estimate(), model);
+}
+
+TEST(ModelTracker, ReportsMissingPiecesThenDegeneracy) {
+  ModelTracker tracker(kSynthL2);
+  EXPECT_FALSE(tracker.estimate().ok);  // nothing seen yet
+  tracker.add_uni_run(synth_uni(1024, 1.2, 0.001, 0.0));
+  EXPECT_FALSE(tracker.estimate().ok);  // anchor alone
+  // Two collinear triplets (hm = 2·h2): present but unfittable.
+  tracker.add_uni_run(synth_uni(8 * kSynthL2, 1.5, 0.010, 0.020));
+  tracker.add_uni_run(synth_uni(4 * kSynthL2, 1.4, 0.008, 0.016));
+  const ModelEstimate& est = tracker.estimate();
+  EXPECT_FALSE(est.ok);
+  EXPECT_FALSE(est.status.empty());
+}
+
+TEST(ModelTracker, ZeroDofFitHasInfiniteIntervals) {
+  ModelTracker tracker(kSynthL2);
+  tracker.add_uni_run(synth_uni(1024, 1.2, 0.001, 0.0));
+  tracker.add_uni_run(synth_uni(8 * kSynthL2, 1.8, 0.020, 0.010));
+  tracker.add_uni_run(synth_uni(4 * kSynthL2, 1.45, 0.015, 0.005));
+  ModelEstimate est = tracker.estimate();
+  ASSERT_TRUE(est.ok) << est.status;
+  EXPECT_EQ(est.dof, 0u);
+  EXPECT_TRUE(std::isinf(est.t2.ci95));
+  EXPECT_TRUE(std::isinf(est.tm1.ci95));
+}
+
+// ---- Acquisition --------------------------------------------------------
+
+TEST(Acquisition, PartitionCoversTheGridExactlyOnce) {
+  const ExperimentRunner runner = test_runner();
+  const MatrixPlan plan =
+      runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+  const CampaignGrid grid = partition_grid(plan, 2.0);
+
+  std::set<std::size_t> seen;
+  for (std::size_t j : grid.core_jobs) EXPECT_TRUE(seen.insert(j).second);
+  for (const Candidate& c : grid.candidates)
+    for (std::size_t j : c.jobs) EXPECT_TRUE(seen.insert(j).second);
+  EXPECT_EQ(seen.size(), plan.jobs.size());
+
+  // The core holds everything the assembly cannot lose: the base series,
+  // the pi0 anchor, and both kernel-synthesis endpoints.
+  const std::set<std::size_t> core(grid.core_jobs.begin(),
+                                   grid.core_jobs.end());
+  for (std::size_t j : plan.base_jobs) EXPECT_TRUE(core.count(j));
+  EXPECT_TRUE(core.count(plan.uni_jobs.back()));
+  ASSERT_FALSE(plan.kernel_jobs.empty());
+  EXPECT_TRUE(core.count(plan.kernel_jobs.front().sync_job));
+  EXPECT_TRUE(core.count(plan.kernel_jobs.back().spin_job));
+}
+
+TEST(Acquisition, ScoringIsATotalOrderIndependentOfInputOrder) {
+  const ExperimentRunner runner = test_runner();
+  const MatrixPlan plan =
+      runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+  const CampaignGrid grid = partition_grid(plan, 2.0);
+  ASSERT_GT(grid.candidates.size(), 1u);
+
+  ScoreContext context;
+  // A sparse measured state: the endpoints only, no fit yet.
+  context.uni.push_back({plan.jobs[plan.uni_jobs.front()].dataset_bytes,
+                         2.0, 0.02, 0.01});
+  context.uni.push_back({plan.jobs[plan.uni_jobs.back()].dataset_bytes,
+                         1.2, 0.001, 0.0});
+  context.kernel_cpi = {{2, 1.5}, {4, 1.8}};
+
+  const std::vector<ScoredCandidate> ranked =
+      score_candidates(grid.candidates, context);
+  std::vector<Candidate> reversed(grid.candidates.rbegin(),
+                                  grid.candidates.rend());
+  const std::vector<ScoredCandidate> ranked2 =
+      score_candidates(reversed, context);
+  ASSERT_EQ(ranked.size(), ranked2.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].candidate.label(), ranked2[i].candidate.label());
+    EXPECT_DOUBLE_EQ(ranked[i].score, ranked2[i].score);
+  }
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+}
+
+// ---- Planner ------------------------------------------------------------
+
+TEST(Planner, ConvergesBelowTheFullMatrixWithExactAccounting) {
+  const ExperimentRunner runner = test_runner();
+  PlannerOptions options;
+  options.tolerance = 0.10;
+  AdaptivePlanner planner(runner, CampaignOptions{}, options);
+  const PlannerResult result =
+      planner.run("t3dheat", test_s0(runner), kProcs);
+
+  EXPECT_EQ(result.stop, StopReason::kConverged);
+  EXPECT_LT(result.runs_used, result.runs_total);
+  EXPECT_GT(result.steps, 0u);
+
+  // Satellite: the extended stats identity, exactly.
+  const EngineStats& s = result.stats;
+  EXPECT_EQ(s.jobs_total, result.runs_total);
+  EXPECT_EQ(s.jobs_total, s.jobs_run + s.jobs_cached + s.jobs_replayed +
+                              s.jobs_quarantined + s.planned_skipped);
+  EXPECT_EQ(s.planned_skipped, result.runs_total - result.runs_used);
+
+  // Provenance: the assembly narrates the whole campaign as PLAN notes.
+  int plan_notes = 0;
+  for (const std::string& note : result.inputs.notes)
+    if (note.rfind("PLAN|", 0) == 0) ++plan_notes;
+  EXPECT_GE(plan_notes, 3);  // header, step 0, stop at minimum
+  EXPECT_NO_THROW(result.inputs.validate());
+  EXPECT_NO_THROW(analyze(result.inputs));
+}
+
+TEST(Planner, DecisionsAreDeterministic) {
+  const ExperimentRunner runner = test_runner();
+  const std::string a = tmp_path("det_a.sct"), b = tmp_path("det_b.sct");
+  PlannerOptions options;
+  options.tolerance = 0.10;
+  for (const std::string& path : {a, b}) {
+    AdaptivePlanner planner(runner, CampaignOptions{}, options);
+    save_inputs(planner.run("t3dheat", test_s0(runner), kProcs).inputs,
+                path);
+  }
+  EXPECT_EQ(slurp(a), slurp(b));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(Planner, BudgetAtCoreStopsWithMaxRuns) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  const MatrixPlan plan = runner.plan_matrix("t3dheat", s0, kProcs);
+  const std::size_t core = partition_grid(plan, 2.0).core_jobs.size();
+
+  PlannerOptions options;
+  options.tolerance = 0.0;  // unreachable
+  options.max_runs = core;  // room for the core, not one pick more
+  AdaptivePlanner planner(runner, CampaignOptions{}, options);
+  const PlannerResult result = planner.run("t3dheat", s0, kProcs);
+  EXPECT_EQ(result.stop, StopReason::kMaxRuns);
+  EXPECT_EQ(result.runs_used, core);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_NO_THROW(result.inputs.validate());
+}
+
+TEST(Planner, BudgetBelowCoreIsAnUpfrontError) {
+  const ExperimentRunner runner = test_runner();
+  PlannerOptions options;
+  options.max_runs = 2;
+  AdaptivePlanner planner(runner, CampaignOptions{}, options);
+  EXPECT_THROW(planner.run("t3dheat", test_s0(runner), kProcs), CheckError);
+}
+
+TEST(Planner, AssemblyWithEverythingRanMatchesSerialCollect) {
+  // An adaptive campaign that ends up buying the whole grid must hand
+  // back exactly what the serial collect would have: the assembly adds
+  // nothing but provenance.
+  const ExperimentRunner runner = test_runner();
+  const std::size_t s0 = test_s0(runner);
+  const MatrixPlan plan = runner.plan_matrix("t3dheat", s0, kProcs);
+  CampaignEngine engine(runner, CampaignOptions{});
+  const std::vector<JobOutcome> outcomes = engine.execute(plan);
+  const ScalToolInputs adaptive = assemble_adaptive(
+      plan, outcomes, std::vector<bool>(plan.jobs.size(), true));
+
+  const ScalToolInputs serial = runner.collect("t3dheat", s0, kProcs);
+  ASSERT_EQ(adaptive.uni_runs.size(), serial.uni_runs.size());
+  ASSERT_EQ(adaptive.base_runs.size(), serial.base_runs.size());
+  ASSERT_EQ(adaptive.kernels.size(), serial.kernels.size());
+  for (std::size_t i = 0; i < serial.uni_runs.size(); ++i) {
+    EXPECT_EQ(adaptive.uni_runs[i].dataset_bytes,
+              serial.uni_runs[i].dataset_bytes);
+    EXPECT_DOUBLE_EQ(adaptive.uni_runs[i].metrics.cpi,
+                     serial.uni_runs[i].metrics.cpi);
+  }
+  for (std::size_t i = 0; i < serial.kernels.size(); ++i)
+    EXPECT_DOUBLE_EQ(adaptive.kernels[i].sync_kernel.metrics.cpi,
+                     serial.kernels[i].sync_kernel.metrics.cpi);
+}
+
+TEST(Planner, AssemblySynthesizesSkippedKernelPairs) {
+  const ExperimentRunner runner = test_runner();
+  const std::vector<int> procs{1, 2, 4, 8};
+  const MatrixPlan plan =
+      runner.plan_matrix("t3dheat", test_s0(runner), procs);
+  CampaignEngine engine(runner, CampaignOptions{});
+  const std::vector<JobOutcome> outcomes = engine.execute(plan);
+
+  // Drop the middle kernel pair (n = 4); endpoints n = 2 and n = 8 stay.
+  ASSERT_EQ(plan.kernel_jobs.size(), 3u);
+  std::vector<bool> ran(plan.jobs.size(), true);
+  ran[plan.kernel_jobs[1].sync_job] = false;
+  ran[plan.kernel_jobs[1].spin_job] = false;
+
+  const ScalToolInputs adaptive = assemble_adaptive(plan, outcomes, ran);
+  EXPECT_NO_THROW(adaptive.validate());
+  ASSERT_EQ(adaptive.kernels.size(), 3u);
+  const double lo = adaptive.kernel(2).sync_kernel.metrics.cpi;
+  const double mid = adaptive.kernel(4).sync_kernel.metrics.cpi;
+  const double hi = adaptive.kernel(8).sync_kernel.metrics.cpi;
+  EXPECT_GE(mid, std::min(lo, hi));
+  EXPECT_LE(mid, std::max(lo, hi));
+  bool synth_note = false;
+  for (const std::string& note : adaptive.notes)
+    synth_note |= note.rfind("PLAN|synth", 0) == 0;
+  EXPECT_TRUE(synth_note);
+}
+
+TEST(Planner, AssemblyRequiresBaseAndAnchor) {
+  const ExperimentRunner runner = test_runner();
+  const MatrixPlan plan =
+      runner.plan_matrix("t3dheat", test_s0(runner), kProcs);
+  CampaignEngine engine(runner, CampaignOptions{});
+  const std::vector<JobOutcome> outcomes = engine.execute(plan);
+
+  std::vector<bool> no_base(plan.jobs.size(), true);
+  no_base[plan.base_jobs[1]] = false;
+  EXPECT_THROW(assemble_adaptive(plan, outcomes, no_base), CheckError);
+
+  std::vector<bool> no_anchor(plan.jobs.size(), true);
+  no_anchor[plan.uni_jobs.back()] = false;
+  EXPECT_THROW(assemble_adaptive(plan, outcomes, no_anchor), CheckError);
+}
+
+TEST(Planner, ExplainListsGridAndStoppingRule) {
+  const ExperimentRunner runner = test_runner();
+  const std::string text = explain_plan(runner, "t3dheat", test_s0(runner),
+                                        kProcs, PlannerOptions{});
+  EXPECT_NE(text.find("adaptive plan: t3dheat"), std::string::npos);
+  EXPECT_NE(text.find("core (scheduled unconditionally):"),
+            std::string::npos);
+  EXPECT_NE(text.find("pi0 anchor"), std::string::npos);
+  EXPECT_NE(text.find("candidates (probe-focus sweep points first"),
+            std::string::npos);
+  EXPECT_NE(text.find("stopping: what-if probes"), std::string::npos);
+}
+
+// ---- CLI and service surface --------------------------------------------
+
+TEST(AdaptiveCli, CollectAdaptiveArchivesPlanProvenance) {
+  const std::string out = tmp_path("adaptive.sct");
+  std::string text;
+  const int rc = run_cli({"collect", "t3dheat", "--adaptive", "--out=" + out,
+                          "--size=10xL2", "--max-procs=4", "--iters=2",
+                          "--tolerance=0.10", "--no-journal"},
+                         &text);
+  EXPECT_EQ(rc, 0) << text;
+  EXPECT_NE(text.find("adaptive: scheduled"), std::string::npos);
+  EXPECT_NE(text.find("plan: PLAN|"), std::string::npos);
+  const std::string archive = slurp(out);
+  EXPECT_NE(archive.find("NOTE|PLAN|"), std::string::npos);
+
+  // PLAN notes are provenance, not degradation: the archive analyzes
+  // cleanly (exit 0, not the degraded-inputs exit 3).
+  std::string analyze_text;
+  EXPECT_EQ(run_cli({"analyze", out}, &analyze_text), 0)
+      << analyze_text;
+  std::remove(out.c_str());
+}
+
+TEST(AdaptiveCli, ToleranceUnreachableExitsEightAndKeepsTheJournal) {
+  const ExperimentRunner runner = test_runner();
+  const std::size_t core =
+      partition_grid(
+          runner.plan_matrix("t3dheat", test_s0(runner), kProcs), 2.0)
+          .core_jobs.size();
+  const std::string out = tmp_path("budget.sct");
+  const std::string journal = out + ".journal";
+  const std::vector<std::string> base_args = {
+      "collect", "t3dheat",     "--adaptive",    "--out=" + out,
+      "--size=10xL2", "--max-procs=4", "--iters=2"};
+
+  std::vector<std::string> capped = base_args;
+  capped.push_back("--tolerance=0");
+  capped.push_back("--max-runs=" + std::to_string(core));
+  std::string text;
+  EXPECT_EQ(run_cli(capped, &text), 8) << text;
+  EXPECT_NE(text.find("tolerance"), std::string::npos);
+  EXPECT_NE(text.find("--resume"), std::string::npos);
+  EXPECT_NE(slurp(journal).find("RUN|"), std::string::npos)
+      << "journal must survive a kMaxRuns stop";
+  EXPECT_NE(slurp(out).find("NOTE|PLAN|"), std::string::npos)
+      << "the archive is still published";
+
+  // A rerun with a real tolerance and --resume replays every run the
+  // capped campaign paid for and finishes without re-simulating them.
+  std::vector<std::string> resumed = base_args;
+  resumed.push_back("--tolerance=0.10");
+  resumed.push_back("--resume");
+  EXPECT_EQ(run_cli(resumed, &text), 0) << text;
+  EXPECT_NE(text.find("journal: replayed " + std::to_string(core)),
+            std::string::npos)
+      << text;
+  std::remove(out.c_str());
+  std::remove(journal.c_str());
+}
+
+TEST(AdaptiveServe, PlanAndAdaptiveCollectAreServable) {
+  serve::AnalysisService service;
+  serve::Request plan_req;
+  plan_req.op = "plan";
+  plan_req.args = {"t3dheat", "--size=10xL2", "--max-procs=4"};
+  const serve::Response plan_resp = service.submit(plan_req).get();
+  EXPECT_EQ(plan_resp.status, serve::Status::kOk) << plan_resp.error;
+  EXPECT_NE(plan_resp.output.find("adaptive plan: t3dheat"),
+            std::string::npos);
+
+  const std::string out = tmp_path("served.sct");
+  serve::Request collect_req;
+  collect_req.op = "collect";
+  collect_req.args = {"t3dheat",      "--adaptive",    "--out=" + out,
+                      "--size=10xL2", "--max-procs=4", "--iters=2",
+                      "--tolerance=0.10", "--no-journal"};
+  const serve::Response resp = service.submit(collect_req).get();
+  EXPECT_EQ(resp.status, serve::Status::kOk) << resp.error;
+  EXPECT_NE(resp.output.find("adaptive: scheduled"), std::string::npos);
+  EXPECT_NE(slurp(out).find("NOTE|PLAN|"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace scaltool::plan
