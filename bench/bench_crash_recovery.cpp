@@ -9,7 +9,11 @@
 //      floor, like bench_obs_overhead);
 //   2. cold collect vs resume from a complete journal — reported as the
 //      speedup recovery buys, with the replay counters proving that the
-//      resumed campaign performed zero simulator runs.
+//      resumed campaign performed zero simulator runs;
+//   3. the storage-environment seam (DESIGN.md §15) — the same journaled
+//      collect with a passthrough FaultyEnv installed (counts every
+//      syscall, injects nothing) — fails loudly when the indirection
+//      costs more than 2% over the plain run.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -19,6 +23,7 @@
 #include "common/table.hpp"
 #include "engine/campaign.hpp"
 #include "engine/engine_stats.hpp"
+#include "io/env.hpp"
 
 namespace scaltool::bench {
 namespace {
@@ -27,7 +32,10 @@ constexpr const char* kJournalPath = "/tmp/scaltool_bench_crash.journal";
 constexpr int kMaxProcs = 8;
 constexpr int kPasses = 5;
 constexpr double kMaxOverheadPct = 5.0;
-// Below this absolute delta the 5% rule is noise, not signal.
+// The Env virtual-dispatch seam must stay near-free: one relaxed atomic
+// load plus a vtable call per storage syscall.
+constexpr double kMaxEnvOverheadPct = 2.0;
+// Below this absolute delta the percentage rules are noise, not signal.
 constexpr double kNoiseFloorSeconds = 0.02;
 
 int run() {
@@ -60,6 +68,17 @@ int run() {
                                                        false); }));
   }
 
+  // Same journaled collect, but every storage syscall rides through an
+  // installed FaultyEnv with an empty plan: full counting, no injection.
+  double seamed = 1e300;
+  for (int i = 0; i < kPasses; ++i) {
+    std::remove(kJournalPath);
+    io::FaultyEnv passthrough{io::IoFaultPlan{}};
+    io::ScopedEnv scope(&passthrough);
+    seamed = std::min(seamed, timed_seconds([&] { collect_pass(kJournalPath,
+                                                               false); }));
+  }
+
   // A complete journal is the best recovery case: everything replays.
   double resumed = 1e300;
   for (int i = 0; i < kPasses; ++i)
@@ -71,33 +90,43 @@ int run() {
 
   const double delta = on - off;
   const double overhead_pct = off > 0.0 ? 100.0 * delta / off : 0.0;
+  const double env_delta = seamed - on;
+  const double env_pct = on > 0.0 ? 100.0 * env_delta / on : 0.0;
   const double speedup = resumed > 0.0 ? off / resumed : 0.0;
-  const bool fail =
-      (overhead_pct > kMaxOverheadPct && delta > kNoiseFloorSeconds) ||
-      resimulated != 0;
+  const bool journal_fail =
+      overhead_pct > kMaxOverheadPct && delta > kNoiseFloorSeconds;
+  const bool env_fail =
+      env_pct > kMaxEnvOverheadPct && env_delta > kNoiseFloorSeconds;
+  const bool fail = journal_fail || env_fail || resimulated != 0;
 
   Table table("Durability cost (min of passes)");
   table.header({"mode", "wall_s"});
   table.add_row({"journal off", Table::cell(off, 4)});
   table.add_row({"journal on", Table::cell(on, 4)});
+  table.add_row({"journal on + env seam", Table::cell(seamed, 4)});
   table.add_row({"resume (full journal)", Table::cell(resumed, 4)});
   table.print(std::cout, /*with_csv=*/true);
   std::cout << "{\"bench\":\"crash_recovery\",\"off_s\":" << off
-            << ",\"on_s\":" << on << ",\"resume_s\":" << resumed
+            << ",\"on_s\":" << on << ",\"env_s\":" << seamed
+            << ",\"resume_s\":" << resumed
             << ",\"overhead_pct\":" << overhead_pct
+            << ",\"env_overhead_pct\":" << env_pct
             << ",\"resume_speedup\":" << speedup
             << ",\"replayed\":" << replayed
             << ",\"resimulated\":" << resimulated
             << ",\"pass\":" << (fail ? "false" : "true") << "}\n";
   if (fail) {
-    std::cout << "FAIL: journaling costs " << overhead_pct
-              << "% (budget " << kMaxOverheadPct << "%) or the resume "
-              << "re-simulated " << resimulated << " runs\n";
+    std::cout << "FAIL: journaling costs " << overhead_pct << "% (budget "
+              << kMaxOverheadPct << "%), the storage-env seam costs "
+              << env_pct << "% (budget " << kMaxEnvOverheadPct
+              << "%), or the resume re-simulated " << resimulated
+              << " runs\n";
     return 1;
   }
   std::cout << "PASS: journaling costs " << overhead_pct << "% (budget "
-            << kMaxOverheadPct << "%); resume replayed " << replayed
-            << " runs, re-simulated none, " << speedup
+            << kMaxOverheadPct << "%); env seam costs " << env_pct
+            << "% (budget " << kMaxEnvOverheadPct << "%); resume replayed "
+            << replayed << " runs, re-simulated none, " << speedup
             << "x faster than a cold collect\n";
   return 0;
 }

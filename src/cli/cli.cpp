@@ -14,10 +14,13 @@
 #include "apps/apps.hpp"
 #include "cli/args.hpp"
 #include "common/check.hpp"
+#include "common/exit_codes.hpp"
 #include "common/interrupt.hpp"
 #include "core/scaltool.hpp"
 #include "engine/campaign.hpp"
 #include "engine/fault_injector.hpp"
+#include "engine/fsck.hpp"
+#include "io/env.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -38,7 +41,23 @@ namespace scaltool::cli {
 namespace {
 
 /// Reported by --version; bump alongside the project() version.
-constexpr const char* kVersion = "0.8.0";
+constexpr const char* kVersion = "0.9.0";
+
+/// `scaltool fsck <path> [--repair] [--json]`: integrity-check one
+/// artifact (archive/journal/cache, auto-detected). Exit 0 when clean,
+/// 3 when findings were reported (repaired or not), 1 when the damage is
+/// fatal — unreadable, unrecognizable, or a corrupt archive left in place.
+int cmd_fsck(const Args& args, std::ostream& os) {
+  const std::string path = args.positional(1, "");
+  ST_CHECK_MSG(!path.empty(), "fsck needs a file: scaltool fsck <path>");
+  const FsckReport report = fsck_file(path, args.has("repair"));
+  if (args.has("json"))
+    os << report.to_json() << "\n";
+  else
+    report.print(os);
+  if (report.fatal) return kExitHardFailure;
+  return report.clean() ? kExitOk : kExitDegraded;
+}
 
 int cmd_list(std::ostream& os) {
   register_standard_workloads();
@@ -455,6 +474,16 @@ void print_help(std::ostream& os) {
         "                               fuse per-process Chrome traces into\n"
         "                               one timeline (lanes per process,\n"
         "                               clocks rebased; DESIGN.md §13)\n"
+        "  fsck <path>                  integrity-check an archive,\n"
+        "                               journal or run cache (kind auto-\n"
+        "                               detected): per-record CRCs, the\n"
+        "                               whole-file SUM footer, and the\n"
+        "                               journal↔archive COMMIT state\n"
+        "                               (DESIGN.md §15)\n"
+        "      --repair    truncate torn journal tails, drop corrupt cache\n"
+        "                  entries, quarantine archives that fail their\n"
+        "                  checksum (collect --resume republishes them)\n"
+        "      --json      machine-readable findings on one line\n"
         "  region <app> <region>        segment-level analysis\n"
         "  record <app> --out=FILE      capture an address trace\n"
         "      [--procs=N --size=S --iters=I]\n"
@@ -531,6 +560,13 @@ void print_help(std::ostream& os) {
         "                   cache-corrupt, crash, target, target-procs,\n"
         "                   target-bytes; crash=N kills the process at the\n"
         "                   Nth run boundary — for recovery drills)\n"
+        "                   storage kinds (DESIGN.md §15) fire at the Nth\n"
+        "                   matching syscall on the durability paths:\n"
+        "                   enospc=N, eio=N (writes fail from the Nth on),\n"
+        "                   short-write=N (one write lands half its bytes),\n"
+        "                   torn-rename=N (a publish rename tears),\n"
+        "                   fsync-drop=N (fsync lies from the Nth on),\n"
+        "                   emfile=N (opens fail: fd exhaustion)\n"
         "\n"
         "durability (DESIGN.md §11):\n"
         "  collect journals every completed run to <out>.journal and\n"
@@ -549,29 +585,12 @@ void print_help(std::ostream& os) {
         "  --metrics-out=FILE  write the metric registry as stable JSON\n"
         "                      (pretty-print later with `scaltool stats`)\n"
         "  --obs               print the metric summary tables\n"
-        "\n"
-        "exit codes:\n"
-        "  0  success\n"
-        "  1  hard failure (unrecoverable run, bad arguments, I/O error)\n"
-        "  2  unknown command\n"
-        "  3  completed, but degraded: the result was assembled from a\n"
-        "     partial matrix (quarantined runs, interpolated points,\n"
-        "     substituted kernels) or the robust fit rejected outliers\n"
-        "  4  unavailable: the service shed the request (overloaded) or\n"
-        "     is shutting down\n"
-        "  5  deadline exceeded before the request finished\n"
-        "  6  interrupted (SIGINT/SIGTERM), resumable: completed runs are\n"
-        "     checkpointed in the journal — rerun with --resume\n"
-        "  7  fleet degraded: the fleet served and drained, but a crash-\n"
-        "     looping shard was benched along the way (`scaltool fleet`\n"
-        "     and its health verb only)\n"
-        "  8  tolerance unreachable: collect --adaptive hit --max-runs\n"
-        "     before the what-if answers stabilized; the archive is still\n"
-        "     published (honestly annotated) and the journal is kept, so\n"
-        "     rerunning with --resume and a higher budget loses nothing\n"
-        "     (asking for a budget below the mandatory core is a hard\n"
-        "     failure, exit 1, before anything runs)\n"
-        "\n"
+        "\n";
+  // The 0–9 table renders from the one source of truth
+  // (common/exit_codes.*), so --help, the README and the code can never
+  // disagree about what a code means.
+  print_exit_code_help(os);
+  os << "\n"
         "sizes accept bytes, KiB/MiB, or xL2 (e.g. --size=10xL2).\n"
         "`scaltool --version` prints the version.\n";
 }
@@ -599,6 +618,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     if (command == "analyze") return serve::exec_analyze(args, os);
     if (command == "whatif") return serve::exec_whatif(args, os);
     if (command == "stats") return cmd_stats(args, os);
+    if (command == "fsck") return cmd_fsck(args, os);
     if (command == "trace-merge") return cmd_trace_merge(args, os);
     if (command == "region") return cmd_region(args, os);
     if (command == "record") return cmd_record(args, os);
@@ -612,6 +632,15 @@ int run_command(const std::vector<std::string>& argv, std::ostream& os) {
     os << "interrupted: " << e.what()
        << " — completed runs are journaled; rerun with --resume\n";
     return kExitInterrupted;
+  } catch (const io::StorageError& e) {
+    // Before the generic CheckError handler: a storage fault on a
+    // durability path gets the dedicated code and the recovery hint —
+    // everything completed so far is journaled.
+    os << "storage fault: " << e.what()
+       << " — completed runs are journaled; free space or fix the disk, "
+          "then rerun with --resume (scaltool fsck verifies the "
+          "artifacts)\n";
+    return kExitStorageFault;
   } catch (const CheckError& e) {
     os << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,45 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace scaltool {
+
+namespace {
+
+// Nibble-at-a-time table: small enough to build at first use, fast enough
+// for per-record guards and whole-file footers.
+const std::array<std::uint32_t, 16>& crc_table() {
+  static const std::array<std::uint32_t, 16> kTable = [] {
+    std::array<std::uint32_t, 16> table{};
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 4; ++bit)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const std::string& bytes) {
+  const auto& table = crc_table();
+  for (const char ch : bytes) {
+    const auto byte = static_cast<unsigned char>(ch);
+    state = table[(state ^ byte) & 0x0Fu] ^ (state >> 4);
+    state = table[(state ^ (byte >> 4)) & 0x0Fu] ^ (state >> 4);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(const std::string& bytes) {
+  return crc32_final(crc32_update(crc32_init(), bytes));
+}
+
+}  // namespace scaltool

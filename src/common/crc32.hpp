@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial).
+//
+// One checksum for every integrity guard in the tree: per-record journal
+// CRCs, the two-phase commit's archive CRC, and the whole-file SUM
+// footers that archive/cache writers append (DESIGN.md §15). Lived in the
+// journal until the footer work needed it below the engine layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scaltool {
+
+/// CRC-32 over `bytes`.
+std::uint32_t crc32(const std::string& bytes);
+
+/// Extends a running CRC with more bytes. Start from `crc32_init()` and
+/// finish with `crc32_final()`; crc32(s) == crc32_final(crc32_update(
+/// crc32_init(), s)). Lets readers checksum a file line by line.
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, const std::string& bytes);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace scaltool

@@ -1,0 +1,56 @@
+#include "common/exit_codes.hpp"
+
+#include <array>
+
+namespace scaltool {
+
+namespace {
+
+constexpr std::array<ExitCodeInfo, 10> kTable{{
+    {kExitOk, "success", "the command completed"},
+    {kExitHardFailure, "hard failure",
+     "bad arguments, unreadable archive, a run that failed every attempt"},
+    {kExitUnknownCommand, "unknown command", "unknown command or flag"},
+    {kExitDegraded, "degraded",
+     "completed, but assembled from a partial matrix or a robust fit that "
+     "rejected outliers; archive NOTE records carry the provenance"},
+    {kExitUnavailable, "unavailable",
+     "the service shed the request: admission queue full or shutting down"},
+    {kExitDeadlineExceeded, "deadline exceeded",
+     "the request deadline expired before or during the campaign"},
+    {kExitInterrupted, "interrupted",
+     "SIGINT/SIGTERM checkpoint-and-exit: completed runs are journaled; "
+     "rerun with --resume to continue"},
+    {kExitFleetDegraded, "fleet degraded",
+     "the fleet served and drained, but a shard was benched (crash loop or "
+     "storage exhaustion); the health output names the cause"},
+    {kExitToleranceUnreachable, "tolerance unreachable",
+     "--adaptive hit --max-runs before the what-if answers stabilized; "
+     "archive published, journal kept for a wider rerun"},
+    {kExitStorageFault, "storage fault",
+     "ENOSPC/EIO/fd exhaustion on a durability path: the campaign "
+     "checkpointed to its journal and stopped; free space or fix the disk, "
+     "then rerun with --resume (scaltool fsck verifies the artifacts)"},
+}};
+
+}  // namespace
+
+const ExitCodeInfo* exit_code_table() { return kTable.data(); }
+
+std::size_t exit_code_count() { return kTable.size(); }
+
+void print_exit_code_help(std::ostream& os) {
+  os << "exit codes:\n";
+  for (const ExitCodeInfo& info : kTable) {
+    os << "  " << info.code << "  " << info.name << ": " << info.description
+       << "\n";
+  }
+}
+
+const char* exit_code_name(int code) {
+  for (const ExitCodeInfo& info : kTable)
+    if (info.code == code) return info.name;
+  return "unknown";
+}
+
+}  // namespace scaltool

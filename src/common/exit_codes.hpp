@@ -1,0 +1,62 @@
+// The one source of truth for process exit codes (DESIGN.md §15).
+//
+// Exit codes accreted across PRs 2–10 (degraded results, service shed,
+// interrupts, fleet quarantine, adaptive budgets, storage faults) and were
+// documented in three places that could drift. This header is now the only
+// place a code is assigned, and exit_code_help() renders the table that
+// `scaltool --help` and the README reference — adding a code without a
+// description is a compile error.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+namespace scaltool {
+
+inline constexpr int kExitOk = 0;
+/// Unrecoverable failure: bad arguments, a run that failed every attempt,
+/// an I/O error outside the checkpointed storage paths.
+inline constexpr int kExitHardFailure = 1;
+inline constexpr int kExitUnknownCommand = 2;
+/// Completed, but the result was assembled from a partial matrix or the
+/// robust fit rejected outliers (PR 2).
+inline constexpr int kExitDegraded = 3;
+/// Service shed the request (overloaded) or is shutting down (PR 4).
+inline constexpr int kExitUnavailable = 4;
+inline constexpr int kExitDeadlineExceeded = 5;
+/// SIGINT/SIGTERM checkpoint-and-exit: completed runs are journaled, a
+/// rerun with --resume loses nothing (PR 5).
+inline constexpr int kExitInterrupted = 6;
+/// The fleet served and drained, but a crash-looping or storage-starved
+/// shard was benched along the way (PR 6).
+inline constexpr int kExitFleetDegraded = 7;
+/// collect --adaptive hit --max-runs before the what-if answers
+/// stabilized; the archive is published and the journal kept (PR 9).
+inline constexpr int kExitToleranceUnreachable = 8;
+/// Storage fault (ENOSPC/EIO/short storage) on a durability path: the
+/// campaign checkpointed to its journal and stopped instead of aborting
+/// or silently truncating — free space / fix the disk and rerun with
+/// --resume (DESIGN.md §15).
+inline constexpr int kExitStorageFault = 9;
+
+/// One row of the exit-code table.
+struct ExitCodeInfo {
+  int code;
+  const char* name;         ///< stable short human name ("fleet degraded")
+  const char* description;  ///< the --help / README wording
+};
+
+/// All assigned exit codes, ascending. Terminated by sentinel semantics of
+/// exit_code_count().
+const ExitCodeInfo* exit_code_table();
+std::size_t exit_code_count();
+
+/// Renders the canonical "exit codes:" help section (two-space indent,
+/// wrapped continuation lines) — the text `scaltool --help` prints.
+void print_exit_code_help(std::ostream& os);
+
+/// Name for one code ("success", "storage fault", ...); "unknown" when
+/// the code is not in the table.
+const char* exit_code_name(int code);
+
+}  // namespace scaltool

@@ -9,11 +9,9 @@
 // process the ordinary way.
 #pragma once
 
-namespace scaltool {
+#include "common/exit_codes.hpp"  // kExitInterrupted lives in the table now
 
-/// Exit code for "interrupted, but every completed run is journaled —
-/// rerun with --resume" (README exit-code table).
-inline constexpr int kExitInterrupted = 6;
+namespace scaltool {
 
 /// Installs the SIGINT/SIGTERM handlers described above. Idempotent.
 /// Installed without SA_RESTART so a signal also unblocks reads (the

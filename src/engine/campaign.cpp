@@ -17,6 +17,7 @@
 #include "common/monotime.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/thread_pool.hpp"
+#include "io/env.hpp"
 #include "machine/dsm_machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -295,6 +296,11 @@ std::vector<JobOutcome> CampaignEngine::execute(
         return;
       } catch (const CampaignCancelled&) {
         throw;  // cancellation is not a failed attempt: no retry
+      } catch (const io::StorageError&) {
+        // A full or dying disk is not a flaky run: retrying the job burns
+        // simulation time against a fault that needs an operator. Stop
+        // the campaign; completed runs are journaled for --resume.
+        throw;
       } catch (const std::exception& e) {
         last_error = e.what();
         std::ostringstream os;

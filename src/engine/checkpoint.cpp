@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "engine/journal.hpp"
+#include "io/env.hpp"
 #include "obs/metrics.hpp"
 #include "runner/archive.hpp"
 
@@ -58,32 +59,91 @@ std::uint32_t commit_archive(const ScalToolInputs& inputs,
   const std::uint32_t crc = crc32(bytes);
 
   const std::string stage = stage_path_for(path);
+  io::Env& env = io::Env::instance();
   try {
     {
-      const int fd = ::open(stage.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
-                            0644);
-      ST_CHECK_MSG(fd >= 0, "cannot stage archive at " << stage << ": "
-                                                       << std::strerror(errno));
-      const char* p = bytes.data();
-      std::size_t left = bytes.size();
-      bool ok = true;
-      while (ok && left > 0) {
-        const ssize_t n = ::write(fd, p, left);
-        ok = n > 0;
-        if (ok) {
-          p += n;
-          left -= static_cast<std::size_t>(n);
-        }
+      const int fd = env.open(stage.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                              0644);
+      if (fd < 0) {
+        const int err = errno;
+        std::ostringstream os;
+        os << "cannot stage archive at " << stage << ": "
+           << std::strerror(err);
+        if (io::is_storage_errno(err)) throw io::StorageError(os.str(), err);
+        ST_CHECK_MSG(false, os.str());
       }
-      // The stage must be durable before the COMMIT marker claims it is.
-      ok = ok && ::fsync(fd) == 0;
-      ::close(fd);
-      ST_CHECK_MSG(ok, "staging archive at " << stage << " failed: "
-                                             << std::strerror(errno));
+      try {
+        io::write_all(env, fd, bytes.data(), bytes.size(),
+                      "staged archive " + stage);
+        // The stage must be durable before the COMMIT marker claims it is.
+        if (env.fsync(fd) != 0) {
+          const int err = errno;
+          throw io::StorageError("fsync of staged archive " + stage +
+                                     " failed: " + std::strerror(err),
+                                 err);
+        }
+      } catch (...) {
+        env.close(fd);
+        throw;
+      }
+      // close() is the last chance for a deferred-allocation filesystem
+      // (NFS, btrfs under quota) to report that the staged bytes never
+      // actually landed — a close error here means the archive the COMMIT
+      // marker would describe does not exist.
+      if (env.close(fd) != 0) {
+        const int err = errno;
+        throw io::StorageError("close of staged archive " + stage +
+                                   " failed: " + std::strerror(err),
+                               err);
+      }
     }
     if (journal) journal->append_commit(path, bytes.size(), crc);
-    ST_CHECK_MSG(std::rename(stage.c_str(), path.c_str()) == 0,
+    ST_CHECK_MSG(env.rename(stage.c_str(), path.c_str()) == 0,
                  "cannot move " << stage << " into place at " << path);
+    // rename() made the entry visible; syncing the parent directory makes
+    // it durable — without this the classic temp+rename still loses the
+    // file on power cut (the directory update sat in cache).
+    io::fsync_parent_dir(env, path);
+    // Read back what rename() actually published and hold it against the
+    // staged bytes. A rename that tore (crashed copy across filesystems,
+    // buggy overlay, injected torn-rename) is the one failure mode the
+    // stage-side fsync/close checks cannot see, and it is exactly the
+    // "silently corrupt archive" this module exists to rule out: without
+    // the read-back the command would report success and delete the
+    // journal, leaving the corruption as the only survivor.
+    {
+      const int fd = env.open(path.c_str(), O_RDONLY, 0);
+      if (fd < 0) {
+        const int err = errno;
+        throw io::StorageError("published archive " + path +
+                                   " vanished after rename: " +
+                                   std::strerror(err),
+                               err);
+      }
+      std::string readback;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = env.read(fd, buf, sizeof buf);
+        if (n < 0) {
+          const int err = errno;
+          env.close(fd);
+          throw io::StorageError("read-back of published archive " + path +
+                                     " failed: " + std::strerror(err),
+                                 err);
+        }
+        if (n == 0) break;
+        readback.append(buf, static_cast<std::size_t>(n));
+      }
+      env.close(fd);
+      if (readback.size() != bytes.size() || crc32(readback) != crc)
+        throw io::StorageError(
+            "published archive " + path + " does not match the staged bytes (" +
+                std::to_string(readback.size()) + " of " +
+                std::to_string(bytes.size()) +
+                " bytes on disk): the publish tore; the journal is kept, "
+                "rerun with --resume",
+            EIO);
+    }
   } catch (...) {
     std::remove(stage.c_str());  // never leave staging debris behind
     throw;

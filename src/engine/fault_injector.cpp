@@ -87,7 +87,7 @@ void count_fault(const char* kind) {
 bool FaultPlan::enabled() const {
   return transient_rate > 0.0 || permanent_rate > 0.0 || stall_rate > 0.0 ||
          perturb_rate > 0.0 || drop_rate > 0.0 ||
-         cache_corrupt_rate > 0.0 || crash_at_run > 0;
+         cache_corrupt_rate > 0.0 || crash_at_run > 0 || io.enabled();
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
@@ -127,6 +127,18 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.target_procs = int_field(key, value, 0);
     } else if (key == "target-bytes") {
       plan.target_bytes = static_cast<std::size_t>(u64_field(key, value));
+    } else if (key == "enospc") {
+      plan.io.enospc_at = u64_field(key, value);
+    } else if (key == "eio") {
+      plan.io.eio_at = u64_field(key, value);
+    } else if (key == "short-write") {
+      plan.io.short_write_at = u64_field(key, value);
+    } else if (key == "torn-rename") {
+      plan.io.torn_rename_at = u64_field(key, value);
+    } else if (key == "fsync-drop") {
+      plan.io.fsync_drop_at = u64_field(key, value);
+    } else if (key == "emfile") {
+      plan.io.emfile_at = u64_field(key, value);
     } else {
       ST_CHECK_MSG(false, "fault plan: unknown key \"" << key
                           << "\" (see scaltool --help)");
@@ -150,6 +162,7 @@ std::string FaultPlan::describe() const {
   if (!target.empty()) os << " target=" << target;
   if (target_procs > 0) os << " target-procs=" << target_procs;
   if (target_bytes > 0) os << " target-bytes=" << target_bytes;
+  if (io.enabled()) os << ' ' << io.describe();
   return os.str();
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/env.hpp"
 #include "runner/runner.hpp"
 
 namespace scaltool {
@@ -55,13 +56,21 @@ struct FaultPlan {
   int target_procs = 0;
   std::size_t target_bytes = 0;
 
+  /// Storage-fault schedule for the io::Env layer (DESIGN.md §15): each
+  /// knob is a 1-based syscall index, not a rate — `enospc=3` means the
+  /// third durability write and every later one fails with ENOSPC. The
+  /// command cores install a FaultyEnv with this plan for the command's
+  /// lifetime when any knob is set.
+  io::IoFaultPlan io;
+
   /// True when any fault kind has a nonzero rate.
   bool enabled() const;
 
   /// Parses "key=value,key=value" with keys seed, transient, permanent,
   /// stall, stall-ms, perturb, perturb-mag, drop, cache-corrupt, crash,
-  /// target, target-procs, target-bytes. Throws CheckError on unknown
-  /// keys or out-of-range rates.
+  /// target, target-procs, target-bytes, plus the storage kinds enospc,
+  /// eio, short-write, torn-rename, fsync-drop, emfile (syscall indices).
+  /// Throws CheckError on unknown keys or out-of-range rates.
   static FaultPlan parse(const std::string& spec);
 
   /// Compact human-readable rendering of the nonzero knobs.

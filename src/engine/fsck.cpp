@@ -1,0 +1,454 @@
+#include "engine/fsck.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/crc32.hpp"
+#include "engine/journal.hpp"
+#include "engine/run_cache.hpp"
+#include "obs/json.hpp"
+#include "runner/archive.hpp"
+
+namespace scaltool {
+
+namespace {
+
+/// Whole file as bytes; false when unreadable.
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  std::ostringstream os;
+  os << is.rdbuf();
+  out = os.str();
+  return true;
+}
+
+void add(FsckReport& report, std::string code, std::string detail,
+         bool repaired = false) {
+  report.findings.push_back(
+      FsckFinding{std::move(code), std::move(detail), repaired});
+}
+
+/// Splits on '\n', keeping byte offsets honest: `line_start` of entry i
+/// is the offset of that line's first byte in the file.
+struct Lines {
+  std::vector<std::string> text;
+  std::vector<std::size_t> start;
+};
+
+Lines split_lines(const std::string& bytes) {
+  Lines lines;
+  std::size_t pos = 0;
+  while (pos <= bytes.size()) {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < bytes.size()) {
+        lines.text.push_back(bytes.substr(pos));
+        lines.start.push_back(pos);
+      }
+      break;
+    }
+    lines.text.push_back(bytes.substr(pos, nl - pos));
+    lines.start.push_back(pos);
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+/// Parses the hex8 payload of a "SUM|xxxxxxxx" line; false on garbage.
+bool parse_sum(const std::string& line, std::uint32_t& out) {
+  const auto fields = split_record(line);
+  if (fields.size() != 2 || fields[1].size() != 8) return false;
+  try {
+    std::size_t pos = 0;
+    out = static_cast<std::uint32_t>(std::stoul(fields[1], &pos, 16));
+    return pos == fields[1].size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string hex8(std::uint32_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(8) << v;
+  return os.str();
+}
+
+void check_archive(const std::string& path, const std::string& bytes,
+                   bool repair, FsckReport& report) {
+  const Lines lines = split_lines(bytes);
+  // Locate the first SUM line; everything before it is the checksummed
+  // body, anything after it is appended garbage.
+  std::size_t sum_index = lines.text.size();
+  for (std::size_t i = 0; i < lines.text.size(); ++i) {
+    if (lines.text[i].rfind("SUM|", 0) == 0) {
+      sum_index = i;
+      break;
+    }
+  }
+
+  bool body_trustworthy = true;
+  if (sum_index == lines.text.size()) {
+    // Pre-footer archive (or the footer was torn off with the tail — the
+    // CRC cannot tell the difference, which is why the journal's COMMIT
+    // marker exists). Verify the body parses; add the footer on repair.
+    bool parses = true;
+    std::string parse_error;
+    try {
+      std::istringstream is(bytes);
+      read_inputs(is);
+    } catch (const std::exception& e) {
+      parses = false;
+      parse_error = e.what();
+    }
+    if (!parses) {
+      // A torn publish usually lands here: the tail (and with it the SUM
+      // footer) is gone and some record is cut mid-line. The data cannot
+      // be reconstructed from this file, so the repair is the same as for
+      // a footer mismatch — quarantine it so collect --resume republishes
+      // from the journal instead of trusting the damage.
+      bool repaired = false;
+      if (repair) {
+        std::error_code ec;
+        std::filesystem::rename(path, path + ".corrupt", ec);
+        repaired = !ec;
+      }
+      report.fatal = !repaired;
+      add(report, "archive.unparseable",
+          parse_error +
+              (repaired ? " — quarantined to " + path +
+                              ".corrupt; rerun collect --resume to republish"
+                        : " — rerun with --repair to quarantine, then "
+                          "collect --resume"),
+          repaired);
+      return;
+    }
+    bool repaired = false;
+    if (repair) {
+      std::istringstream is(bytes);
+      save_inputs(read_inputs(is), path);
+      repaired = true;
+    }
+    add(report, "archive.footer-missing",
+        "no SUM footer; body parses cleanly" +
+            std::string(repaired ? "; footer written" : ""),
+        repaired);
+    return;
+  }
+
+  const std::string body = bytes.substr(0, lines.start[sum_index]);
+  std::uint32_t stored = 0;
+  if (!parse_sum(lines.text[sum_index], stored)) {
+    report.fatal = true;
+    add(report, "archive.footer-malformed", lines.text[sum_index]);
+    body_trustworthy = false;
+  } else if (const std::uint32_t actual = crc32(body); actual != stored) {
+    // The bytes are not what the writer published. Guessing a fix would
+    // manufacture measurement data; the only safe move is to get the file
+    // out of the way so the journal-backed recovery path republishes.
+    body_trustworthy = false;
+    bool repaired = false;
+    if (repair) {
+      std::error_code ec;
+      std::filesystem::rename(path, path + ".corrupt", ec);
+      repaired = !ec;
+    }
+    report.fatal = !repaired;
+    add(report, "archive.footer-mismatch",
+        "SUM footer says " + hex8(stored) + ", contents hash to " +
+            hex8(actual) +
+            (repaired ? "; quarantined to " + path +
+                            ".corrupt — rerun collect --resume to republish"
+                      : "; rerun with --repair to quarantine, then "
+                        "collect --resume"),
+        repaired);
+  }
+
+  if (bytes.back() != '\n' && sum_index == lines.text.size() - 1) {
+    // Only the footer's own terminator is missing: everything the CRC
+    // covers survived and the torn byte is the final newline itself.
+    // Restoring it is a pure reconstruction, no guessing involved.
+    bool repaired = false;
+    if (repair && body_trustworthy) {
+      std::ofstream os(path, std::ios::binary | std::ios::app);
+      os << '\n';
+      repaired = os.good();
+    }
+    add(report, "archive.torn-newline",
+        "the SUM footer is not newline-terminated (tail torn mid-line)" +
+            std::string(repaired ? "; newline restored" : ""),
+        repaired);
+  }
+
+  if (sum_index + 1 < lines.text.size()) {
+    // Bytes after the footer: appended after publication, never covered
+    // by the checksum. Truncating back to the footer is always safe.
+    bool repaired = false;
+    if (repair && body_trustworthy) {
+      std::error_code ec;
+      std::filesystem::resize_file(
+          path, lines.start[sum_index] + lines.text[sum_index].size() + 1,
+          ec);
+      repaired = !ec;
+    }
+    add(report, "archive.trailing-garbage",
+        std::to_string(lines.text.size() - sum_index - 1) +
+            " line(s) after the SUM footer" +
+            (repaired ? "; truncated" : ""),
+        repaired);
+  }
+
+  if (body_trustworthy) {
+    try {
+      std::istringstream is(body);
+      read_inputs(is);
+    } catch (const std::exception& e) {
+      // Checksum matches but the records do not parse: the file was
+      // written by a damaged writer, not damaged at rest. Nothing to
+      // repair from here.
+      report.fatal = true;
+      add(report, "archive.unparseable", e.what());
+    }
+  }
+}
+
+void check_journal(const std::string& path, const std::string& bytes,
+                   bool repair, FsckReport& report) {
+  if (!bytes.empty() && bytes.back() != '\n') {
+    // A record torn mid-append. Even when its CRC happens to verify, the
+    // writer never finished the line; the WAL contract (any suffix may be
+    // dropped) makes truncating it the safe repair — it costs at most one
+    // re-run on resume.
+    const std::size_t last_nl = bytes.find_last_of('\n');
+    const std::size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+    bool repaired = false;
+    if (repair) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, keep, ec);
+      repaired = !ec;
+    }
+    add(report, "journal.torn-tail",
+        "final record is not newline-terminated (torn mid-append)" +
+            std::string(repaired ? "; truncated to " + std::to_string(keep) +
+                                       " bytes"
+                                 : ""),
+        repaired);
+  }
+
+  JournalReplay replay;
+  try {
+    replay = replay_journal(path);
+  } catch (const std::exception& e) {
+    report.fatal = true;
+    add(report, "journal.unreadable", e.what());
+    return;
+  }
+
+  if (replay.records_dropped > 0) {
+    // The torn tail every crash can leave. Truncating to the longest
+    // valid prefix is exactly what a resume does in memory; doing it on
+    // disk makes the file self-consistent for every later reader.
+    bool repaired = false;
+    if (repair) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, replay.valid_prefix_bytes, ec);
+      repaired = !ec;
+    }
+    add(report, "journal.torn-tail",
+        std::to_string(replay.records_dropped) +
+            " damaged line(s) after " + std::to_string(replay.records_ok) +
+            " valid record(s)" +
+            (repaired ? "; truncated to " +
+                            std::to_string(replay.valid_prefix_bytes) +
+                            " bytes"
+                      : ""),
+        repaired);
+  }
+
+  if (replay.duplicates > 0) {
+    add(report, "journal.duplicate-records",
+        std::to_string(replay.duplicates) +
+            " duplicate record(s); replay keeps first occurrences",
+        /*repaired=*/true);  // replay semantics already neutralize these
+  }
+
+  if (!replay.committed) return;
+
+  // COMMIT reconciliation: the journal swears an archive of exactly these
+  // bytes was staged. Hold the file on disk to that.
+  std::string archive_bytes;
+  if (!slurp(replay.archive_path, archive_bytes)) {
+    add(report, "journal.commit-unpublished",
+        "COMMIT names " + replay.archive_path +
+            " (" + std::to_string(replay.archive_bytes) +
+            " bytes) but the file is missing — rerun collect --resume to "
+            "republish from the journal");
+    return;
+  }
+  const std::uint32_t actual = crc32(archive_bytes);
+  if (archive_bytes.size() == replay.archive_bytes &&
+      actual == replay.archive_crc)
+    return;  // published archive is byte-exact
+  bool repaired = false;
+  if (repair) {
+    std::error_code ec;
+    std::filesystem::rename(replay.archive_path,
+                            replay.archive_path + ".corrupt", ec);
+    repaired = !ec;
+  }
+  report.fatal = !repaired;
+  std::ostringstream detail;
+  detail << "COMMIT recorded " << replay.archive_bytes << " bytes, crc "
+         << hex8(replay.archive_crc) << "; " << replay.archive_path
+         << " holds " << archive_bytes.size() << " bytes, crc "
+         << hex8(actual)
+         << (repaired ? " — quarantined to " + replay.archive_path +
+                            ".corrupt; rerun collect --resume to republish"
+                      : " — rerun with --repair to quarantine, then "
+                        "collect --resume");
+  add(report, "journal.commit-mismatch", detail.str(), repaired);
+}
+
+void check_cache(const std::string& path, const std::string& bytes,
+                 bool repair, FsckReport& report) {
+  // Footer first: the tolerant loader cannot see single-bit rot inside a
+  // numeric field (the value still parses), but the SUM line can.
+  const Lines lines = split_lines(bytes);
+  std::size_t sum_index = lines.text.size();
+  for (std::size_t i = 0; i < lines.text.size(); ++i) {
+    if (lines.text[i].rfind("SUM|", 0) == 0) {
+      sum_index = i;
+      break;
+    }
+  }
+  bool footer_mismatch = false;
+  if (sum_index == lines.text.size()) {
+    add(report, "cache.footer-missing",
+        "no SUM footer (pre-footer cache file)");
+  } else {
+    std::uint32_t stored = 0;
+    const std::string body = bytes.substr(0, lines.start[sum_index]);
+    if (!parse_sum(lines.text[sum_index], stored) ||
+        crc32(body) != stored) {
+      footer_mismatch = true;
+      add(report, "cache.footer-mismatch",
+          "cache bytes do not match their SUM footer");
+    }
+  }
+
+  if (bytes.back() != '\n')
+    add(report, "cache.torn-newline",
+        "the final line is not newline-terminated (tail torn mid-line)");
+
+  // Entry-granular tolerance: count what the loader would drop.
+  RunCache probe(path);
+  if (probe.corrupt_entries() > 0) {
+    add(report, "cache.corrupt-entries",
+        std::to_string(probe.corrupt_entries()) +
+            " corrupt entr" +
+            (probe.corrupt_entries() == 1 ? "y" : "ies") + ", " +
+            std::to_string(probe.loaded_entries()) + " valid");
+  }
+
+  if (report.findings.empty() || !repair) return;
+
+  // Repair policy. When the loader can SEE the damage (corrupt entries),
+  // dropping exactly those entries explains the footer mismatch, and the
+  // rewrite keeps every entry that verified under a fresh footer. A
+  // footer mismatch with zero visibly corrupt entries is the dangerous
+  // case — rot inside a numeric field that still parses, invisible to
+  // the tolerant loader — and there the only safe repair is to discard
+  // the memo wholesale (always safe: the campaign re-runs the jobs).
+  const bool discard = footer_mismatch && probe.corrupt_entries() == 0;
+  if (discard) {
+    std::remove(path.c_str());
+  } else {
+    probe.save();
+  }
+  for (FsckFinding& f : report.findings) {
+    f.repaired = true;
+    f.detail += discard ? "; cache discarded (jobs will re-run)"
+                        : "; cache rewritten with valid entries";
+  }
+}
+
+}  // namespace
+
+bool FsckReport::fully_repaired() const {
+  if (fatal || findings.empty()) return false;
+  for (const FsckFinding& f : findings)
+    if (!f.repaired) return false;
+  return true;
+}
+
+std::string FsckReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"path\":\"" << obs::json_escape(path) << "\",\"kind\":\"" << kind
+     << "\",\"clean\":" << (clean() ? "true" : "false")
+     << ",\"fatal\":" << (fatal ? "true" : "false") << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const FsckFinding& f = findings[i];
+    if (i > 0) os << ',';
+    os << "{\"code\":\"" << obs::json_escape(f.code) << "\",\"detail\":\""
+       << obs::json_escape(f.detail)
+       << "\",\"repaired\":" << (f.repaired ? "true" : "false") << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void FsckReport::print(std::ostream& os) const {
+  os << "fsck " << path << " (" << kind << "): ";
+  if (clean()) {
+    os << "clean\n";
+    return;
+  }
+  os << findings.size() << " finding(s)" << (fatal ? ", FATAL" : "")
+     << "\n";
+  for (const FsckFinding& f : findings) {
+    os << "  [" << (f.repaired ? "repaired" : "found") << "] " << f.code
+       << ": " << f.detail << "\n";
+  }
+}
+
+FsckReport fsck_file(const std::string& path, bool repair) {
+  FsckReport report;
+  report.path = path;
+  report.kind = "unknown";
+
+  std::string bytes;
+  if (!slurp(path, bytes)) {
+    report.fatal = true;
+    add(report, "unreadable", "cannot open " + path);
+    return report;
+  }
+  if (bytes.empty()) {
+    report.fatal = true;
+    add(report, "empty", "zero-byte file");
+    return report;
+  }
+
+  const std::string first_line = bytes.substr(0, bytes.find('\n'));
+  if (first_line.rfind("scaltool-inputs|", 0) == 0) {
+    report.kind = "archive";
+    check_archive(path, bytes, repair, report);
+  } else if (first_line.rfind("scaltool-journal|", 0) == 0) {
+    report.kind = "journal";
+    check_journal(path, bytes, repair, report);
+  } else if (first_line.rfind("scaltool-runcache|", 0) == 0) {
+    report.kind = "cache";
+    check_cache(path, bytes, repair, report);
+  } else {
+    report.fatal = true;
+    add(report, "unknown-format",
+        "header line is not a scaltool artifact: " +
+            first_line.substr(0, 64));
+  }
+  return report;
+}
+
+}  // namespace scaltool

@@ -1,0 +1,68 @@
+// Integrity checker and self-repair for scaltool's on-disk artifacts
+// (DESIGN.md §15).
+//
+// `scaltool fsck <path>` answers the question every storage fault leaves
+// behind: *can the bytes on disk still be trusted?* It recognizes the
+// three durable artifact kinds by their header line — counter archives
+// (`scaltool-inputs`), campaign journals (`scaltool-journal`) and run
+// caches (`scaltool-runcache`) — verifies their per-record CRCs and
+// whole-file SUM footers end to end, reconciles a journal's COMMIT marker
+// against the archive it describes, and (with repair enabled) performs
+// the repairs that are safe to automate:
+//
+//   journal   torn tail        → truncate to the longest valid prefix
+//   cache     corrupt entries  → rewrite keeping only the valid ones
+//   cache     missing footer   → rewrite with a fresh SUM line
+//   archive   missing footer   → rewrite the (verified) body with one
+//   archive   commit mismatch  → quarantine to `<path>.corrupt` so the
+//                                next `collect --resume` republishes
+//
+// What fsck never does is guess: an archive whose footer mismatches its
+// bytes is evidence of damage, and the repair is to get it out of the
+// way of the journal-backed recovery path, not to patch the checksum.
+// Findings are machine-readable (stable `code` slugs, JSON rendering) so
+// CI chaos jobs can assert on them.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scaltool {
+
+/// One integrity finding. `code` is a stable slug ("journal.torn-tail",
+/// "archive.footer-mismatch", ...), `repaired` says whether this run
+/// fixed it.
+struct FsckFinding {
+  std::string code;
+  std::string detail;
+  bool repaired = false;
+};
+
+struct FsckReport {
+  std::string path;
+  std::string kind;  ///< "archive" | "journal" | "cache" | "unknown"
+  bool fatal = false;  ///< unreadable, unrecognizable, or damage fsck
+                       ///  cannot make safe (even with repair enabled)
+  std::vector<FsckFinding> findings;
+
+  /// No findings and nothing fatal: the artifact verifies end to end.
+  bool clean() const { return findings.empty() && !fatal; }
+  /// Findings present but every one repaired (and nothing fatal).
+  bool fully_repaired() const;
+
+  /// One-object JSON rendering (stable keys: path, kind, fatal, clean,
+  /// findings[{code, detail, repaired}]).
+  std::string to_json() const;
+  /// Human-readable rendering, one line per finding.
+  void print(std::ostream& os) const;
+};
+
+/// Checks the artifact at `path`, auto-detecting its kind from the header
+/// line. With `repair` true, performs the safe repairs listed in the file
+/// comment and marks the findings repaired. Never throws on damaged
+/// content — damage is the subject matter, reported in the result; only
+/// programming errors escape.
+FsckReport fsck_file(const std::string& path, bool repair);
+
+}  // namespace scaltool

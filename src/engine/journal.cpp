@@ -3,7 +3,6 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -13,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "engine/run_cache.hpp"
+#include "io/env.hpp"
 #include "runner/archive.hpp"
 
 namespace scaltool {
@@ -64,28 +64,6 @@ std::string validation_record_fields(const ValidationRecord& validation) {
 
 }  // namespace
 
-std::uint32_t crc32(const std::string& bytes) {
-  // IEEE 802.3 reflected polynomial, nibble-at-a-time table: small enough
-  // to build at first use, fast enough for per-record guards.
-  static const std::array<std::uint32_t, 16> kTable = [] {
-    std::array<std::uint32_t, 16> table{};
-    for (std::uint32_t i = 0; i < 16; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 4; ++bit)
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      table[i] = c;
-    }
-    return table;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char ch : bytes) {
-    const auto byte = static_cast<unsigned char>(ch);
-    crc = kTable[(crc ^ byte) & 0x0Fu] ^ (crc >> 4);
-    crc = kTable[(crc ^ (byte >> 4)) & 0x0Fu] ^ (crc >> 4);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
 std::uint64_t matrix_signature(const MatrixPlan& plan,
                                const MachineConfig& base_config,
                                int iterations) {
@@ -117,29 +95,29 @@ JournalWriter::JournalWriter(std::string path, bool append)
   }
   int flags = O_WRONLY | O_CREAT | O_APPEND;
   if (!append) flags |= O_TRUNC;
-  fd_ = ::open(path_.c_str(), flags, 0644);
-  ST_CHECK_MSG(fd_ >= 0, "cannot open journal " << path_ << ": "
-                                                << std::strerror(errno));
+  fd_ = io::Env::instance().open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    const int err = errno;
+    std::ostringstream os;
+    os << "cannot open journal " << path_ << ": " << std::strerror(err);
+    if (io::is_storage_errno(err)) throw io::StorageError(os.str(), err);
+    ST_CHECK_MSG(false, os.str());
+  }
   if (needs_newline) write_line("\n");
 }
 
 JournalWriter::~JournalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) io::Env::instance().close(fd_);
 }
 
 void JournalWriter::write_line(const std::string& line) {
   // One write() per record: O_APPEND makes each line land contiguously
   // even with every worker appending, and a crash tears at most the final
-  // record — which replay truncates away.
-  const char* p = line.data();
-  std::size_t left = line.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd_, p, left);
-    ST_CHECK_MSG(n > 0, "write to journal " << path_ << " failed: "
-                                            << std::strerror(errno));
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
+  // record — which replay truncates away. A failed or zero write throws
+  // StorageError: a journal that silently lost a record would defeat the
+  // resume guarantee, so the campaign checkpoints and stops instead.
+  io::write_all(io::Env::instance(), fd_, line.data(), line.size(),
+                "journal " + path_);
 }
 
 void JournalWriter::write_record(const std::string& payload) {
@@ -147,8 +125,11 @@ void JournalWriter::write_record(const std::string& payload) {
 }
 
 void JournalWriter::sync() {
-  ST_CHECK_MSG(::fsync(fd_) == 0, "fsync of journal " << path_ << " failed: "
-                                                      << std::strerror(errno));
+  if (io::Env::instance().fsync(fd_) != 0) {
+    const int err = errno;
+    throw io::StorageError(
+        "fsync of journal " + path_ + " failed: " + std::strerror(err), err);
+  }
 }
 
 void JournalWriter::begin(std::uint64_t signature, const MatrixPlan& plan) {

@@ -42,12 +42,10 @@
 #include <mutex>
 #include <string>
 
+#include "common/crc32.hpp"  // crc32() moved to common for the SUM footers
 #include "runner/runner.hpp"
 
 namespace scaltool {
-
-/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
-std::uint32_t crc32(const std::string& bytes);
 
 /// Content signature of a measurement matrix: the app, sizes and every
 /// job's content key (which folds in the machine configuration and the

@@ -6,13 +6,16 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/crc32.hpp"
 #include "engine/checkpoint.hpp"
+#include "io/env.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "runner/archive.hpp"
@@ -22,7 +25,18 @@ namespace scaltool {
 namespace {
 
 constexpr const char* kMagic = "scaltool-runcache";
-constexpr int kVersion = 1;
+// v2 added the per-entry CRC (7th ENTRY field, covering the ENTRY core
+// plus its RUN/VALID lines): a flipped byte anywhere in an entry — even in
+// a free-text field no parser could reject — flags exactly that entry
+// corrupt instead of loading rotten data or discarding the whole file.
+constexpr int kVersion = 2;
+
+/// Lowercase 8-digit hex rendering of a CRC, matching the SUM footer.
+std::string crc_hex8(std::uint32_t crc) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(8) << crc;
+  return os.str();
+}
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -179,28 +193,57 @@ void RunCache::merge_from_disk(const std::string& path,
       continue;
     }
     try {
-      ST_CHECK_MSG(fields.size() == 6, "ENTRY with " << fields.size()
+      ST_CHECK_MSG(fields.size() == 7, "ENTRY with " << fields.size()
                                                      << " fields");
       Entry e;
-      const std::uint64_t key = std::stoull(fields[1], nullptr, 16);
+      // Strict numeric parses: stoull/stoi accept any valid prefix, which
+      // would let a flipped byte mid-field truncate the value silently
+      // instead of flagging the entry corrupt.
+      std::size_t pos = 0;
+      const std::uint64_t key = std::stoull(fields[1], &pos, 16);
+      ST_CHECK_MSG(pos == fields[1].size(), "ENTRY key is not hex");
       e.spec.workload = fields[2];
-      e.spec.dataset_bytes = static_cast<std::size_t>(std::stoull(fields[3]));
-      e.spec.num_procs = std::stoi(fields[4]);
+      e.spec.dataset_bytes =
+          static_cast<std::size_t>(std::stoull(fields[3], &pos));
+      ST_CHECK_MSG(pos == fields[3].size(), "ENTRY size is not numeric");
+      e.spec.num_procs = std::stoi(fields[4], &pos);
+      ST_CHECK_MSG(pos == fields[4].size(), "ENTRY procs is not numeric");
       e.has_validation = fields[5] == "1";
 
       ST_CHECK_MSG(i + 1 < lines.size(), "ENTRY without a RUN record");
       const auto run_fields = split_record(lines[i + 1]);
       ST_CHECK_MSG(!run_fields.empty() && run_fields[0] == "RUN",
                    "ENTRY not followed by a RUN record");
-      e.outcome.record = parse_run_record(run_fields);
-      std::size_t consumed = 2;
-      if (e.has_validation) {
+      const std::size_t consumed = e.has_validation ? 3 : 2;
+      if (e.has_validation)
         ST_CHECK_MSG(i + 2 < lines.size(), "ENTRY without its VALID record");
+      // Verify the per-entry CRC before trusting any payload field: it
+      // covers the ENTRY core (fields 0–5) and the RUN/VALID lines, so a
+      // garble anywhere in the group rejects the whole group.
+      {
+        const std::uint32_t stored = static_cast<std::uint32_t>(
+            std::stoul(fields[6], &pos, 16));
+        ST_CHECK_MSG(pos == fields[6].size(), "ENTRY crc is not hex");
+        std::string group;
+        for (std::size_t f = 0; f < 6; ++f) {
+          if (f) group += '|';
+          group += fields[f];
+        }
+        group += '\n';
+        group += lines[i + 1];
+        group += '\n';
+        if (e.has_validation) {
+          group += lines[i + 2];
+          group += '\n';
+        }
+        ST_CHECK_MSG(crc32(group) == stored, "ENTRY crc mismatch");
+      }
+      e.outcome.record = parse_run_record(run_fields);
+      if (e.has_validation) {
         const auto valid_fields = split_record(lines[i + 2]);
         ST_CHECK_MSG(!valid_fields.empty() && valid_fields[0] == "VALID",
                      "ENTRY not followed by its VALID record");
         e.outcome.validation = parse_validation_record(valid_fields);
-        consumed = 3;
       }
       into[key] = std::move(e);
       if (loaded) *loaded += 1;
@@ -230,33 +273,45 @@ void RunCache::load() {
 namespace {
 
 /// Advisory exclusive lock on a side file, held for a save's read-merge-
-/// rename span. Best effort: an unwritable lock file (read-only mount)
-/// degrades to the old unlocked behaviour instead of failing the save.
+/// rename span. Routed through the storage environment so the emfile
+/// drill can exhaust it; every error path closes the fd it opened (the fd
+/// leak that used to hide here is exactly what that drill catches).
 class FileLock {
  public:
   explicit FileLock(const std::string& path) {
-    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
-    if (fd_ < 0) return;
+    io::Env& env = io::Env::instance();
+    fd_ = env.open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      reason_ = std::string("lock file unavailable: ") +
+                std::strerror(errno);
+      return;
+    }
     int rc;
     do {
-      rc = ::flock(fd_, LOCK_EX);
+      rc = env.flock(fd_, LOCK_EX);
     } while (rc != 0 && errno == EINTR);
     if (rc != 0) {
-      ::close(fd_);
+      reason_ = std::string("flock failed: ") + std::strerror(errno);
+      env.close(fd_);
       fd_ = -1;
     }
   }
   ~FileLock() {
     if (fd_ >= 0) {
-      ::flock(fd_, LOCK_UN);
-      ::close(fd_);
+      io::Env& env = io::Env::instance();
+      env.flock(fd_, LOCK_UN);
+      env.close(fd_);
     }
   }
   FileLock(const FileLock&) = delete;
   FileLock& operator=(const FileLock&) = delete;
 
+  bool locked() const { return fd_ >= 0; }
+  const std::string& reason() const { return reason_; }
+
  private:
   int fd_ = -1;
+  std::string reason_;
 };
 
 }  // namespace
@@ -271,6 +326,19 @@ void RunCache::save() const {
   // wins per key — our copy is at least as fresh for keys we hold), so
   // the last writer extends the first one's work instead of erasing it.
   FileLock file_lock(path_ + ".lock");
+  if (!file_lock.locked()) {
+    // Without the lock a read-merge-rename could erase a concurrent
+    // writer's entries, so degrade to memory-only: keep serving from RAM,
+    // leave the file alone, and say so — the save provenance note and the
+    // counter make the degradation observable instead of silent.
+    save_note_ = "cache save degraded to memory-only (" +
+                 file_lock.reason() + ")";
+    span.arg("skipped", 1);
+    obs::MetricRegistry::instance()
+        .counter("cache.save_skipped_lock")
+        .add();
+    return;
+  }
   std::map<std::uint64_t, Entry> merged;
   merge_from_disk(path_, merged, nullptr, nullptr);
   std::size_t adopted = 0;
@@ -278,32 +346,74 @@ void RunCache::save() const {
     if (entries_.find(key) == entries_.end()) ++adopted;
   for (const auto& [key, e] : entries_) merged[key] = e;
   span.arg("entries", merged.size()).arg("adopted", adopted);
-  // The temp name is unique per process so concurrent campaigns sharing a
+  // Render in memory, then write through the storage environment. The
+  // temp name is unique per process so concurrent campaigns sharing a
   // cache file never interleave writes into the same temp; whichever
   // rename() lands last wins atomically, and a crash mid-write leaves the
-  // published file untouched.
+  // published file untouched. The trailing SUM line checksums the whole
+  // body: the tolerant loader skips it (any stray non-ENTRY line is
+  // debris to it), but `scaltool fsck` verifies it end to end.
+  std::ostringstream body;
+  body << kMagic << '|' << kVersion << '\n';
+  for (const auto& [key, e] : merged) {
+    std::ostringstream core;
+    core << "ENTRY|" << std::hex << key << std::dec << '|'
+         << e.spec.workload << '|' << e.spec.dataset_bytes << '|'
+         << e.spec.num_procs << '|' << (e.has_validation ? 1 : 0);
+    std::ostringstream payload;
+    write_run_record(payload, "RUN", e.outcome.record);
+    if (e.has_validation)
+      write_validation_record(payload, e.outcome.validation);
+    // The entry CRC covers core + payload; the loader re-derives it the
+    // same way, so any flipped byte in the group rejects the group.
+    body << core.str() << '|'
+         << crc_hex8(crc32(core.str() + '\n' + payload.str())) << '\n'
+         << payload.str();
+  }
+  const std::string bytes_body = body.str();
+  std::ostringstream footer;
+  footer << "SUM|" << std::hex << std::setfill('0') << std::setw(8)
+         << crc32(bytes_body) << '\n';
+  const std::string bytes = bytes_body + footer.str();
+
   const std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+  io::Env& env = io::Env::instance();
   try {
-    {
-      std::ofstream os(tmp);
-      ST_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
-      os << kMagic << '|' << kVersion << '\n';
-      for (const auto& [key, e] : merged) {
-        os << "ENTRY|" << std::hex << key << std::dec << '|'
-           << e.spec.workload << '|' << e.spec.dataset_bytes << '|'
-           << e.spec.num_procs << '|' << (e.has_validation ? 1 : 0) << '\n';
-        write_run_record(os, "RUN", e.outcome.record);
-        if (e.has_validation)
-          write_validation_record(os, e.outcome.validation);
-      }
-      os.flush();
-      ST_CHECK_MSG(os.good(), "write to " << tmp << " failed");
+    const int fd = env.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      throw io::StorageError(
+          "cannot open " + tmp + " for writing: " + std::strerror(errno),
+          errno);
     }
-    ST_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
-                 "cannot move " << tmp << " into place at " << path_);
+    try {
+      io::write_all(env, fd, bytes.data(), bytes.size(), tmp);
+    } catch (...) {
+      env.close(fd);
+      throw;
+    }
+    if (env.close(fd) != 0) {
+      throw io::StorageError(
+          "close of " + tmp + " failed: " + std::strerror(errno), errno);
+    }
+    if (env.rename(tmp.c_str(), path_.c_str()) != 0) {
+      throw io::StorageError("cannot move " + tmp + " into place at " +
+                                 path_ + ": " + std::strerror(errno),
+                             errno);
+    }
     unsaved_ = 0;  // the file now reflects every insert
-  } catch (...) {
+    save_note_.clear();
+  } catch (const io::StorageError& e) {
+    // The cache is an optimization: a campaign whose results are safely
+    // journaled must not fail because the *memo file* could not be
+    // rewritten on a full disk. Keep the entries in memory (unsaved_
+    // still counts them), note the degradation, and move on.
     std::remove(tmp.c_str());  // never leave temp debris behind
+    save_note_ = std::string("cache save failed, entries kept in memory "
+                             "only (") +
+                 e.what() + ")";
+    obs::MetricRegistry::instance().counter("cache.save_failed").add();
+  } catch (...) {
+    std::remove(tmp.c_str());
     throw;
   }
 }

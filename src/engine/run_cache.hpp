@@ -79,7 +79,21 @@ class RunCache {
   /// under an advisory flock on `<path>.lock` with a merge of the current
   /// on-disk entries, so concurrent processes sharing one cache file
   /// union their work instead of the last writer erasing the first's.
+  /// Degrades instead of throwing on storage trouble: a failed flock or a
+  /// failed write keeps the entries in memory (unsaved() still counts
+  /// them), records a provenance note readable via save_note(), and
+  /// bumps `cache.save_skipped_lock` / `cache.save_failed` — the cache is
+  /// an optimization, and must never sink a campaign whose results are
+  /// already journaled.
   void save() const;
+
+  /// Provenance of the most recent save(): empty after a clean save, a
+  /// human-readable degradation note ("memory-only", "save failed")
+  /// otherwise.
+  std::string save_note() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return save_note_;
+  }
 
  private:
   struct Entry {
@@ -105,6 +119,7 @@ class RunCache {
   mutable std::uint64_t find_misses_ = 0;
   std::uint64_t inserts_ = 0;
   mutable std::uint64_t unsaved_ = 0;  ///< save() is logically const too
+  mutable std::string save_note_;      ///< last save's degradation note
 };
 
 }  // namespace scaltool

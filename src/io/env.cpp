@@ -1,0 +1,213 @@
+#include "io/env.hpp"
+
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace scaltool::io {
+
+namespace {
+
+Env& default_env() {
+  static Env env;
+  return env;
+}
+
+std::atomic<Env*> g_override{nullptr};
+
+}  // namespace
+
+int Env::open(const char* path, int flags, mode_t mode) {
+  return ::open(path, flags, mode);
+}
+
+ssize_t Env::read(int fd, void* buf, std::size_t count) {
+  return ::read(fd, buf, count);
+}
+
+ssize_t Env::write(int fd, const void* buf, std::size_t count) {
+  return ::write(fd, buf, count);
+}
+
+int Env::fsync(int fd) { return ::fsync(fd); }
+
+int Env::close(int fd) { return ::close(fd); }
+
+int Env::rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int Env::flock(int fd, int operation) { return ::flock(fd, operation); }
+
+int Env::unlink(const char* path) { return ::unlink(path); }
+
+Env& Env::instance() {
+  Env* env = g_override.load(std::memory_order_relaxed);
+  return env != nullptr ? *env : default_env();
+}
+
+Env* install_env(Env* env) {
+  return g_override.exchange(env, std::memory_order_relaxed);
+}
+
+bool is_storage_errno(int err) {
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+    case EIO:
+    case EMFILE:
+    case ENFILE:
+    case EFBIG:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void write_all(Env& env, int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t left = size;
+  while (left > 0) {
+    const ssize_t n = env.write(fd, data, left);
+    if (n <= 0) {
+      // write() returning 0 has no errno worth reporting; name it anyway
+      // so the error is never "Success".
+      const int err = n == 0 ? EIO : errno;
+      std::ostringstream os;
+      os << "write to " << path << " failed: "
+         << (n == 0 ? "wrote 0 bytes" : std::strerror(err));
+      throw StorageError(os.str(), err);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_parent_dir(Env& env, const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = env.open(dir.c_str(), O_RDONLY, 0);
+  if (fd < 0) return;  // can't open the directory: nothing to strengthen
+  const int rc = env.fsync(fd);
+  const int err = errno;
+  env.close(fd);
+  if (rc != 0 && (err == EIO || err == ENOSPC || err == EDQUOT)) {
+    std::ostringstream os;
+    os << "fsync of directory " << dir << " failed: " << std::strerror(err);
+    throw StorageError(os.str(), err);
+  }
+  // EINVAL/ENOTSUP/EROFS and friends: the filesystem cannot sync a
+  // directory handle; temp+rename is still as durable as it ever was.
+}
+
+std::string IoFaultPlan::describe() const {
+  std::ostringstream os;
+  auto item = [&os](const char* key, std::uint64_t at) {
+    if (at == 0) return;
+    if (os.tellp() > 0) os << ' ';
+    os << key << '=' << at;
+  };
+  item("enospc", enospc_at);
+  item("eio", eio_at);
+  item("short-write", short_write_at);
+  item("torn-rename", torn_rename_at);
+  item("fsync-drop", fsync_drop_at);
+  item("emfile", emfile_at);
+  return os.str();
+}
+
+int FaultyEnv::open(const char* path, int flags, mode_t mode) {
+  const std::uint64_t n = opens_.fetch_add(1) + 1;
+  if (plan_.emfile_at != 0 && n >= plan_.emfile_at) {
+    ++injected_;
+    errno = EMFILE;
+    return -1;
+  }
+  return Env::open(path, flags, mode);
+}
+
+ssize_t FaultyEnv::write(int fd, const void* buf, std::size_t count) {
+  const std::uint64_t n = writes_.fetch_add(1) + 1;
+  if (plan_.enospc_at != 0 && n >= plan_.enospc_at) {
+    ++injected_;
+    errno = ENOSPC;
+    return -1;
+  }
+  if (plan_.eio_at != 0 && n >= plan_.eio_at) {
+    ++injected_;
+    errno = EIO;
+    return -1;
+  }
+  if (plan_.short_write_at == n && count > 1) {
+    // One-shot: half the bytes land. A correct caller loops and the data
+    // still arrives intact; a caller that trusted one write() truncates.
+    ++injected_;
+    return Env::write(fd, buf, count / 2);
+  }
+  return Env::write(fd, buf, count);
+}
+
+int FaultyEnv::fsync(int fd) {
+  const std::uint64_t n = fsyncs_.fetch_add(1) + 1;
+  if (plan_.fsync_drop_at != 0 && n >= plan_.fsync_drop_at) {
+    // The lying fsync: reports success, syncs nothing. Invisible until a
+    // torn rename or power cut exposes it — which is the point.
+    ++injected_;
+    return 0;
+  }
+  return Env::fsync(fd);
+}
+
+int FaultyEnv::rename(const char* from, const char* to) {
+  const std::uint64_t n = renames_.fetch_add(1) + 1;
+  if (plan_.torn_rename_at != n) return Env::rename(from, to);
+  // Torn publication: the destination appears with only a prefix of the
+  // source bytes (the page cache the lying fsync never flushed), the
+  // source vanishes, and rename() reports success — the crash-mid-publish
+  // failure that whole-file checksums and fsck exist to catch. Base-class
+  // (real) syscalls throughout so the surgery itself is never re-faulted.
+  ++injected_;
+  std::vector<char> bytes;
+  {
+    const int src = Env::open(from, O_RDONLY, 0);
+    if (src < 0) return Env::rename(from, to);  // nothing to tear
+    char buf[4096];
+    ssize_t got;
+    while ((got = Env::read(src, buf, sizeof buf)) > 0)
+      bytes.insert(bytes.end(), buf, buf + got);
+    Env::close(src);
+  }
+  const std::size_t keep = bytes.size() - bytes.size() / 3;
+  const int dst = Env::open(to, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (dst >= 0) {
+    std::size_t off = 0;
+    while (off < keep) {
+      const ssize_t put = Env::write(dst, bytes.data() + off, keep - off);
+      if (put <= 0) break;
+      off += static_cast<std::size_t>(put);
+    }
+    Env::close(dst);
+  }
+  Env::unlink(from);
+  return 0;
+}
+
+IoFaultCounts FaultyEnv::counts() const {
+  IoFaultCounts c;
+  c.opens = opens_.load();
+  c.writes = writes_.load();
+  c.fsyncs = fsyncs_.load();
+  c.renames = renames_.load();
+  c.injected = injected_.load();
+  return c;
+}
+
+}  // namespace scaltool::io

@@ -1,0 +1,181 @@
+// Syscall-level storage environment with deterministic fault injection
+// (DESIGN.md §15).
+//
+// Every durability path in this tree — the WAL journal, the two-phase
+// archive commit, the flock'd run-cache save, the telemetry exporters —
+// used to call open/write/fsync/rename directly, which made ENOSPC, EIO,
+// short writes, torn renames, lying fsyncs and fd exhaustion untestable
+// hypotheticals. io::Env is the seam that fixes that: a process-wide
+// environment object whose virtual methods default to the real syscalls,
+// and a FaultyEnv subclass that injects a *seeded, counted* storage-fault
+// schedule (the `--faults=enospc=3,...` grammar) at exact syscall indices.
+//
+// The contract the fault drills pin: with any FaultyEnv schedule
+// installed, a campaign either finishes with a byte-identical archive
+// (after recovery/resume) or stops with a named StorageError that maps to
+// exit code 9 and a journaled checkpoint — never a silently corrupt or
+// truncated artifact.
+//
+// Design notes:
+//   - Env::instance() is one relaxed atomic load; the default env's
+//     methods are direct syscall forwarders, so the indirection costs one
+//     virtual dispatch per I/O call. bench_crash_recovery gates the
+//     end-to-end overhead at ≤2%.
+//   - Installation is process-global (campaign workers and fleet shards
+//     all write through it), not thread-local: a shard that runs out of
+//     disk is out of disk on every thread.
+//   - Only the *durability* paths route through Env. Read paths and
+//     scratch I/O keep their ifstream habits — corrupt reads are already
+//     covered by the hostile-input suites, and the failure this layer
+//     models is losing data we promised to keep.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace scaltool::io {
+
+/// A named storage failure on a durability path: the disk (real or
+/// injected) refused bytes we promised to keep. Derives from CheckError so
+/// legacy catch-sites still treat it as a hard error, but the CLI and
+/// service map it to the dedicated exit code 9 with a recovery hint.
+class StorageError : public CheckError {
+ public:
+  StorageError(const std::string& what, int error_number)
+      : CheckError(what), errno_(error_number) {}
+
+  /// The errno that surfaced the fault (ENOSPC, EIO, EMFILE, ...); 0 when
+  /// the failure has no errno (e.g. a rename that lied).
+  int error_number() const { return errno_; }
+
+ private:
+  int errno_;
+};
+
+/// The storage environment: real syscalls by default, overridable per
+/// call for fault injection. All methods keep the POSIX contract exactly
+/// (return values, errno), so call sites read like the syscalls they wrap.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual int open(const char* path, int flags, mode_t mode);
+  virtual ssize_t read(int fd, void* buf, std::size_t count);
+  virtual ssize_t write(int fd, const void* buf, std::size_t count);
+  virtual int fsync(int fd);
+  virtual int close(int fd);
+  virtual int rename(const char* from, const char* to);
+  virtual int flock(int fd, int operation);
+  virtual int unlink(const char* path);
+
+  /// The currently installed environment (the default real-syscall Env
+  /// unless a FaultyEnv was installed). One relaxed atomic load.
+  static Env& instance();
+};
+
+/// Installs `env` process-wide (nullptr restores the default real-syscall
+/// environment). Returns the previously installed override (nullptr when
+/// the default was active). Not thread-safe against concurrent I/O on the
+/// old env — install before the campaign starts, as ScopedEnv does.
+Env* install_env(Env* env);
+
+/// RAII installation for a command's or a test's lifetime. A null env is
+/// a no-op, so `ScopedEnv guard(maybe_faulty())` reads naturally.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(Env* env)
+      : installed_(env != nullptr),
+        previous_(installed_ ? install_env(env) : nullptr) {}
+  ~ScopedEnv() {
+    if (installed_) install_env(previous_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  bool installed_;
+  Env* previous_;
+};
+
+/// True when `err` names a storage/resource-exhaustion condition that the
+/// graceful-degradation policy owns (ENOSPC, EDQUOT, EIO, EMFILE, ENFILE,
+/// EFBIG). Other errnos (bad path, permissions) stay ordinary CheckErrors:
+/// they are operator mistakes, not a disk giving out mid-campaign.
+bool is_storage_errno(int err);
+
+/// Writes all of `data` to `fd` through `env`, looping over short writes.
+/// Throws StorageError naming `path` on any write failure — including a
+/// write() that returns 0, which a hostile filesystem can produce.
+void write_all(Env& env, int fd, const char* data, std::size_t size,
+               const std::string& path);
+
+/// fsyncs the directory containing `path`, making a just-renamed entry
+/// durable across power loss (the classic missing half of temp+rename).
+/// Filesystems that cannot fsync a directory (EINVAL/ENOTSUP/EBADF on
+/// some network mounts) are tolerated silently; a real storage error
+/// (EIO/ENOSPC) throws StorageError.
+void fsync_parent_dir(Env& env, const std::string& path);
+
+/// Deterministic storage-fault schedule: each kind fires at (and, for the
+/// sticky kinds, after) the Nth matching syscall, 1-based; 0 = never.
+/// Counts are per-FaultyEnv-instance, so a schedule is reproducible by
+/// construction — no RNG, the syscall index *is* the seed.
+struct IoFaultPlan {
+  std::uint64_t enospc_at = 0;      ///< sticky: Nth write() onward → ENOSPC
+  std::uint64_t eio_at = 0;         ///< sticky: Nth write() onward → EIO
+  std::uint64_t short_write_at = 0; ///< one-shot: Nth write() lands half
+  std::uint64_t torn_rename_at = 0; ///< one-shot: Nth rename() publishes a
+                                    ///  truncated prefix then "succeeds"
+  std::uint64_t fsync_drop_at = 0;  ///< sticky: Nth fsync() onward lies
+                                    ///  (returns 0, syncs nothing)
+  std::uint64_t emfile_at = 0;      ///< sticky: Nth open() onward → EMFILE
+
+  bool enabled() const {
+    return enospc_at || eio_at || short_write_at || torn_rename_at ||
+           fsync_drop_at || emfile_at;
+  }
+
+  /// Compact rendering of the nonzero knobs ("" when none).
+  std::string describe() const;
+};
+
+/// What a FaultyEnv saw and did — the drill assertions read these.
+struct IoFaultCounts {
+  std::uint64_t opens = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t injected = 0;  ///< faults actually delivered
+};
+
+/// Env that counts syscalls and injects the plan's faults at the chosen
+/// indices. With an empty plan it is a pure pass-through counter — which
+/// is exactly what bench_crash_recovery installs to price the seam.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(IoFaultPlan plan) : plan_(plan) {}
+
+  int open(const char* path, int flags, mode_t mode) override;
+  ssize_t write(int fd, const void* buf, std::size_t count) override;
+  int fsync(int fd) override;
+  int rename(const char* from, const char* to) override;
+
+  const IoFaultPlan& plan() const { return plan_; }
+  IoFaultCounts counts() const;
+
+ private:
+  IoFaultPlan plan_;
+  std::atomic<std::uint64_t> opens_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> renames_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace scaltool::io

@@ -1,11 +1,16 @@
 #include "obs/export.hpp"
 
+#include <fcntl.h>
+
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "io/env.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 
@@ -222,11 +227,41 @@ std::vector<Table> metrics_tables(const MetricsSnapshot& snap) {
 }
 
 void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream os(path, std::ios::trunc);
-  ST_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
-  os << content;
-  os.flush();
-  ST_CHECK_MSG(os.good(), "write to " << path << " failed");
+  io::Env& env = io::Env::instance();
+  const int fd =
+      env.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    if (io::is_storage_errno(err))
+      throw io::StorageError(
+          "cannot open " + path + " for writing: " + std::strerror(err), err);
+    ST_CHECK_MSG(false, "cannot open " << path << " for writing: "
+                                       << std::strerror(err));
+  }
+  try {
+    io::write_all(env, fd, content.data(), content.size(), path);
+  } catch (...) {
+    env.close(fd);
+    throw;
+  }
+  if (env.close(fd) != 0) {
+    const int err = errno;
+    throw io::StorageError("close of " + path + " failed: " +
+                               std::strerror(err),
+                           err);
+  }
+}
+
+bool try_write_text_file(const std::string& path, const std::string& content) {
+  try {
+    write_text_file(path, content);
+    return true;
+  } catch (const std::exception&) {
+    // Telemetry is an observer, never a participant: a full disk costs the
+    // export, not the campaign. The drop itself is observable.
+    MetricRegistry::instance().counter("obs.dropped_writes").add(1);
+    return false;
+  }
 }
 
 std::string read_text_file(const std::string& path) {

@@ -52,9 +52,16 @@ MetricsSnapshot parse_metrics_json(const std::string& text);
 /// omitted.
 std::vector<Table> metrics_tables(const MetricsSnapshot& snap);
 
-/// Writes `content` to `path` (truncating). Throws CheckError on I/O
-/// failure.
+/// Writes `content` to `path` (truncating), through the process io::Env
+/// so storage-fault drills cover telemetry exports too. Throws
+/// io::StorageError when the disk is the problem (ENOSPC/EIO/...),
+/// CheckError otherwise.
 void write_text_file(const std::string& path, const std::string& content);
+
+/// Best-effort variant for writers that must degrade rather than fail the
+/// work they observe: returns false on any failure and counts the drop in
+/// the `obs.dropped_writes` counter.
+bool try_write_text_file(const std::string& path, const std::string& content);
 
 /// Reads a whole file. Throws CheckError when it cannot be opened.
 std::string read_text_file(const std::string& path);

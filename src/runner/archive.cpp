@@ -1,11 +1,17 @@
 #include "runner/archive.hpp"
 
+#include <fcntl.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/crc32.hpp"
+#include "io/env.hpp"
 
 namespace scaltool {
 
@@ -117,19 +123,25 @@ ValidationRecord parse_validation_record(
 
 void write_inputs(const ScalToolInputs& inputs, std::ostream& os) {
   inputs.validate();
-  os << kMagic << '|' << kVersion << '|' << inputs.app << '|' << inputs.s0
-     << '|' << inputs.l2_bytes << '\n';
-  for (const RunRecord& r : inputs.base_runs) write_run_record(os, "BASE", r);
-  for (const RunRecord& r : inputs.uni_runs) write_run_record(os, "UNI", r);
+  // Render into a buffer first: the SUM footer is a CRC-32 over every
+  // byte that precedes it, so a hostile filesystem (or a torn rename)
+  // cannot truncate or flip the file without the reader noticing.
+  std::ostringstream body;
+  body << kMagic << '|' << kVersion << '|' << inputs.app << '|' << inputs.s0
+       << '|' << inputs.l2_bytes << '\n';
+  for (const RunRecord& r : inputs.base_runs)
+    write_run_record(body, "BASE", r);
+  for (const RunRecord& r : inputs.uni_runs) write_run_record(body, "UNI", r);
   for (const KernelMeasurement& k : inputs.kernels) {
-    write_run_record(os, "SYNCK", k.sync_kernel);
-    write_run_record(os, "SPINK", k.spin_kernel);
+    write_run_record(body, "SYNCK", k.sync_kernel);
+    write_run_record(body, "SPINK", k.spin_kernel);
   }
   for (const ValidationRecord& v : inputs.validation)
-    write_validation_record(os, v);
+    write_validation_record(body, v);
   // Degradation provenance travels with the data: an archive assembled from
   // a faulty campaign says so. Written only when present, so fault-free
-  // archives stay byte-identical to version-2 files without notes.
+  // archives stay byte-identical (modulo the footer) to files without
+  // notes.
   for (const std::string& note : inputs.notes) {
     std::string clean = note;
     for (char& c : clean) {
@@ -138,16 +150,41 @@ void write_inputs(const ScalToolInputs& inputs, std::ostream& os) {
     // The reader takes the whole rest of the line as the payload, so the
     // field separator may appear verbatim — the planner's "PLAN|..."
     // provenance notes round-trip exactly.
-    os << "NOTE|" << clean << '\n';
+    body << "NOTE|" << clean << '\n';
   }
+  const std::string bytes = body.str();
+  os << bytes << "SUM|" << std::hex << std::setfill('0') << std::setw(8)
+     << crc32(bytes) << std::dec << std::setfill(' ') << '\n';
 }
 
 void save_inputs(const ScalToolInputs& inputs, const std::string& path) {
-  std::ofstream os(path);
-  ST_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
-  write_inputs(inputs, os);
-  os.flush();
-  ST_CHECK_MSG(os.good(), "write to " << path << " failed");
+  // Rendered in memory, written through the storage environment: archive
+  // bytes are a durability promise, so every write and the close are
+  // checked (an ofstream would swallow a failing close) and the fault
+  // drills can exercise this path like any other writer.
+  std::ostringstream rendered;
+  write_inputs(inputs, rendered);
+  const std::string bytes = rendered.str();
+  io::Env& env = io::Env::instance();
+  const int fd = env.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    std::ostringstream msg;
+    msg << "cannot open " << path << " for writing: " << std::strerror(err);
+    if (io::is_storage_errno(err)) throw io::StorageError(msg.str(), err);
+    ST_CHECK_MSG(false, msg.str());
+  }
+  try {
+    io::write_all(env, fd, bytes.data(), bytes.size(), path);
+  } catch (...) {
+    env.close(fd);
+    throw;
+  }
+  if (env.close(fd) != 0) {
+    const int err = errno;
+    throw io::StorageError(
+        "close of " + path + " failed: " + std::strerror(err), err);
+  }
 }
 
 ScalToolInputs read_inputs(std::istream& is) {
@@ -163,9 +200,42 @@ ScalToolInputs read_inputs(std::istream& is) {
   inputs.s0 = to_size(header[3]);
   inputs.l2_bytes = to_size(header[4]);
 
+  // Whole-file integrity: a SUM footer, when present, carries the CRC-32
+  // of every byte before it. Verified incrementally as lines stream past;
+  // files without a footer (pre-footer archives, hand-built fixtures) are
+  // still accepted — the footer is a guarantee, not a gate.
+  std::uint32_t crc_state = crc32_update(crc32_init(), line + "\n");
+  bool footer_seen = false;
+
   KernelMeasurement pending_kernel;
   bool have_sync = false;
   while (std::getline(is, line)) {
+    ST_CHECK_MSG(!footer_seen,
+                 "archive records after the SUM footer (appended after "
+                 "publication?)");
+    if (line.rfind("SUM|", 0) == 0) {
+      const auto fields = split_record(line);
+      ST_CHECK_MSG(fields.size() == 2, "malformed SUM footer");
+      std::uint32_t stored = 0;
+      try {
+        std::size_t pos = 0;
+        stored =
+            static_cast<std::uint32_t>(std::stoul(fields[1], &pos, 16));
+        ST_CHECK(pos == fields[1].size());
+      } catch (const std::exception&) {
+        ST_CHECK_MSG(false, "malformed SUM footer checksum " << fields[1]);
+      }
+      const std::uint32_t actual = crc32_final(crc_state);
+      ST_CHECK_MSG(stored == actual,
+                   "archive failed its whole-file checksum (SUM footer says "
+                       << fields[1] << ", contents hash to " << std::hex
+                       << actual << std::dec
+                       << ") — the file was modified or torn after "
+                          "publication; `scaltool fsck` can diagnose it");
+      footer_seen = true;
+      continue;
+    }
+    crc_state = crc32_update(crc_state, line + "\n");
     if (line.empty()) continue;
     const auto fields = split_record(line);
     ST_CHECK_MSG(!fields.empty(), "blank record");

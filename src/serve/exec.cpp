@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "engine/campaign.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/journal.hpp"
+#include "io/env.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -39,6 +41,33 @@ CampaignOptions engine_from(const Args& args) {
   const std::string faults = args.get("faults", "");
   if (!faults.empty()) options.faults = FaultPlan::parse(faults);
   return options;
+}
+
+/// Process-wide storage-fault injection for the duration of one command
+/// (DESIGN.md §15). When the --faults spec (or the service's drill plan)
+/// arms a syscall-level kind, every durability write the command performs
+/// — journal appends, two-phase archive commits, run-cache saves,
+/// telemetry exports — goes through one shared FaultyEnv so syscall
+/// indices count deterministically across the whole command. Default
+/// construction (no io kinds armed) is a no-op.
+class StorageFaultScope {
+ public:
+  explicit StorageFaultScope(const io::IoFaultPlan& plan)
+      : env_(plan.enabled() ? std::make_unique<io::FaultyEnv>(plan)
+                            : nullptr),
+        scope_(env_.get()) {}
+
+ private:
+  std::unique_ptr<io::FaultyEnv> env_;
+  io::ScopedEnv scope_;
+};
+
+/// The io-fault plan a command should run under: its own --faults spec
+/// when present, else whatever drill the service hooks carry.
+io::IoFaultPlan io_plan_from(const Args& args, const ExecHooks& hooks) {
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) return FaultPlan::parse(faults).io;
+  return hooks.faults.io;
 }
 
 bool engine_engaged(const CampaignOptions& options) {
@@ -97,18 +126,28 @@ ObsOptions obs_from(const Args& args, const ExecHooks& hooks) {
 
 /// Flushes the telemetry a command gathered: trace and metrics files first,
 /// then the human summary. Disables telemetry so a later command in the same
-/// process starts from a clean registry.
+/// process starts from a clean registry. Exports are best-effort: by the
+/// time they run the campaign's results are safe (or safely journaled), and
+/// a disk too full for a trace must not turn a finished analysis into a
+/// failure — the drop is warned about and counted (obs.dropped_writes).
 void finish_obs(const ObsOptions& options, std::ostream& os) {
   if (!options.engaged()) return;
   const obs::MetricsSnapshot snap = obs::MetricRegistry::instance().snapshot();
   if (!options.trace_out.empty()) {
-    obs::write_text_file(options.trace_out, obs::chrome_trace_json());
-    os << "trace written to " << options.trace_out
-       << " (open in chrome://tracing or Perfetto)\n";
+    if (obs::try_write_text_file(options.trace_out, obs::chrome_trace_json()))
+      os << "trace written to " << options.trace_out
+         << " (open in chrome://tracing or Perfetto)\n";
+    else
+      os << "warning: trace export to " << options.trace_out
+         << " failed; telemetry dropped, results unaffected\n";
   }
   if (!options.metrics_out.empty()) {
-    obs::write_text_file(options.metrics_out, obs::metrics_json(snap));
-    os << "metrics written to " << options.metrics_out << "\n";
+    if (obs::try_write_text_file(options.metrics_out,
+                                 obs::metrics_json(snap)))
+      os << "metrics written to " << options.metrics_out << "\n";
+    else
+      os << "warning: metrics export to " << options.metrics_out
+         << " failed; telemetry dropped, results unaffected\n";
   }
   if (options.table)
     for (const Table& table : obs::metrics_tables(snap)) table.print(os);
@@ -338,6 +377,7 @@ int exec_collect(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   const std::string out = args.get("out", "");
   ST_CHECK_MSG(!app.empty() && !out.empty(),
                "usage: scaltool collect <app> --out=FILE");
+  const StorageFaultScope storage_faults(io_plan_from(args, hooks));
   const ObsOptions obs_options = obs_from(args, hooks);
   const std::string journal = journal_from(args, out);
   reap_orphan_temps(out);  // stage files of crashed collects
@@ -393,6 +433,7 @@ int exec_analyze(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   const std::string target = args.positional(1, "");
   ST_CHECK_MSG(!target.empty(),
                "usage: scaltool analyze <app|archive> [--sharing]");
+  const StorageFaultScope storage_faults(io_plan_from(args, hooks));
   const ObsOptions obs_options = obs_from(args, hooks);
   const ExperimentRunner runner = runner_from(args);
   AnalyzeOptions options;
@@ -422,6 +463,7 @@ int exec_whatif(const Args& args, std::ostream& os, const ExecHooks& hooks) {
   const std::string target = args.positional(1, "");
   ST_CHECK_MSG(!target.empty(),
                "usage: scaltool whatif <app|archive> --l2x=K ...");
+  const StorageFaultScope storage_faults(io_plan_from(args, hooks));
   const ObsOptions obs_options = obs_from(args, hooks);
   const ExperimentRunner runner = runner_from(args);
   WhatIfParams params;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cli/args.hpp"
+#include "common/exit_codes.hpp"
 #include "engine/fault_injector.hpp"
 #include "engine/run_cache.hpp"
 #include "machine/machine_config.hpp"
@@ -27,9 +28,9 @@ namespace scaltool::serve {
 /// Exit code of `collect --adaptive` when --max-runs was exhausted before
 /// the what-if probe answers stabilized within --tolerance. The archive
 /// is still published (core complete, honestly annotated) and the journal
-/// is kept, so rerunning with a higher budget resumes instead of
-/// re-simulating. Documented beside codes 0–7 in `scaltool help`.
-inline constexpr int kExitToleranceUnreachable = 8;
+/// is kept. Value lives in the exit-code table; alias keeps the serve
+/// namespace spelling.
+using scaltool::kExitToleranceUnreachable;
 
 /// What the analysis service injects under a command's execution.
 struct ExecHooks {

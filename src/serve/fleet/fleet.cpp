@@ -134,7 +134,10 @@ std::string Fleet::health_json() const {
     const WorkerStatus& w = workers[i];
     if (i > 0) os << ",";
     os << "{\"shard\":" << w.shard << ",\"pid\":" << w.pid << ",\"state\":\""
-       << worker_state_name(w.state) << "\",\"restarts\":" << w.restarts
+       << worker_state_name(w.state) << "\"";
+    if (!w.bench_cause.empty())
+      os << ",\"cause\":\"" << obs::json_escape(w.bench_cause) << "\"";
+    os << ",\"restarts\":" << w.restarts
        << ",\"deaths\":" << w.deaths << ",\"breaker\":\""
        << router_.breaker_state(w.shard) << "\",\"journal_lag\":"
        << w.journal_lag << ",\"in_flight\":" << w.in_flight

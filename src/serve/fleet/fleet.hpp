@@ -14,6 +14,7 @@
 #include <future>
 #include <string>
 
+#include "common/exit_codes.hpp"
 #include "serve/fleet/router.hpp"
 #include "serve/fleet/supervisor.hpp"
 
@@ -21,7 +22,9 @@ namespace scaltool::serve {
 
 /// Exit code of `scaltool fleet` when it shuts down with a shard benched
 /// (the fleet served on, degraded). Distinct from 4 (nothing served).
-inline constexpr int kExitFleetDegraded = 7;
+/// The value lives in the exit-code table; this alias keeps the serve
+/// namespace spelling (`serve::kExitFleetDegraded`) the tests pin.
+using scaltool::kExitFleetDegraded;
 
 struct FleetOptions {
   SupervisorOptions supervisor;

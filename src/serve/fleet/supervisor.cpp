@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/exit_codes.hpp"
 #include "common/subprocess.hpp"
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
@@ -90,6 +91,7 @@ void Supervisor::spawn_locked(Worker& worker) {
   ::close(read_end);  // the child holds the only read end now
   worker.lifeline = fds[1];
   worker.state = WorkerState::kLive;
+  worker.bench_cause.clear();
   worker.spawned_at = MonoClock::now();
   worker.health_strikes = 0;
   worker.survived_window_noted = false;
@@ -128,10 +130,21 @@ void Supervisor::reap_and_restart_locked() {
           ::close(worker.lifeline);
           worker.lifeline = -1;
         }
+        // A worker that exits with the storage-fault code is telling us
+        // its disk is full or dying. Respawning it onto the same disk is
+        // a crash loop by construction, so it skips the backoff ladder
+        // and goes straight to quarantine with a named cause; the ring
+        // fails its keys over to shards whose disks still work.
+        const bool storage_fault =
+            exit->exited() && exit->exit_code() == kExitStorageFault;
         const RestartPolicy::Decision decision = worker.policy.on_death(now);
-        if (decision.bench) {
+        if (storage_fault || decision.bench) {
           worker.state = WorkerState::kBenched;
+          worker.bench_cause =
+              storage_fault ? "storage-exhausted" : "crash-loop";
           metrics.counter("fleet.workers_benched").add(1);
+          if (storage_fault)
+            metrics.counter("fleet.workers_benched_storage").add(1);
         } else {
           worker.state = WorkerState::kRestarting;
           worker.restart_at = decision.restart_at;
@@ -165,12 +178,12 @@ void Supervisor::write_post_mortem_locked(const Worker& worker,
   try {
     const obs::FdrReport report =
         obs::salvage_flight_record(worker.spec.fdr_path);
-    obs::write_text_file(
-        worker.spec.socket_path + ".postmortem.txt",
-        obs::post_mortem_text(report, worker.spec.shard,
-                              static_cast<std::int64_t>(worker.pid), cause,
-                              worker.journal_lag));
-    obs::MetricRegistry::instance().counter("fleet.post_mortems").add(1);
+    if (obs::try_write_text_file(
+            worker.spec.socket_path + ".postmortem.txt",
+            obs::post_mortem_text(report, worker.spec.shard,
+                                  static_cast<std::int64_t>(worker.pid), cause,
+                                  worker.journal_lag)))
+      obs::MetricRegistry::instance().counter("fleet.post_mortems").add(1);
   } catch (const std::exception&) {
   }
 }
@@ -332,6 +345,7 @@ std::vector<WorkerStatus> Supervisor::status() const {
                            ? MonoClock::seconds_since(worker.spawned_at)
                            : 0.0;
     s.socket_path = worker.spec.socket_path;
+    s.bench_cause = worker.bench_cause;
     out.push_back(std::move(s));
   }
   return out;

@@ -63,7 +63,7 @@ struct SupervisorOptions {
 enum class WorkerState {
   kLive,        ///< process running (as far as the last reap knew)
   kRestarting,  ///< dead, respawn scheduled
-  kBenched,     ///< crash-loop quarantine: no more restarts
+  kBenched,     ///< quarantined: no more restarts (see bench_cause)
 };
 
 const char* worker_state_name(WorkerState state);
@@ -79,6 +79,11 @@ struct WorkerStatus {
   int in_flight = 0;              ///< ditto
   double uptime_seconds = 0.0;
   std::string socket_path;
+  /// Why a benched worker is benched — "crash-loop" (RestartPolicy gave
+  /// up) or "storage-exhausted" (the worker exited with the storage-fault
+  /// code; restarting it onto the same full disk would be a crash loop by
+  /// construction). Empty while not benched.
+  std::string bench_cause;
 };
 
 class Supervisor {
@@ -133,6 +138,7 @@ class Supervisor {
     MonoClock::TimePoint restart_at{};
     int restarts = 0;
     int health_strikes = 0;
+    std::string bench_cause;
     std::uint64_t journal_lag = 0;
     int in_flight = 0;
     bool survived_window_noted = false;

@@ -51,15 +51,13 @@ int fleet_worker_main(const WorkerSpec& spec, int lifeline_fd) {
   if (spec.enable_obs) {
     obs::disable();
     if (!spec.trace_path.empty()) {
-      try {
-        obs::write_text_file(
-            spec.trace_path,
-            obs::chrome_trace_json(obs::TraceProcessInfo{
-                static_cast<std::int64_t>(::getpid()),
-                "shard-" + std::to_string(spec.shard)}));
-      } catch (const std::exception&) {
-        // Trace export is best-effort on the drain path.
-      }
+      // Trace export is best-effort on the drain path: a full disk costs
+      // the trace (counted in obs.dropped_writes), never the drain.
+      obs::try_write_text_file(
+          spec.trace_path,
+          obs::chrome_trace_json(obs::TraceProcessInfo{
+              static_cast<std::int64_t>(::getpid()),
+              "shard-" + std::to_string(spec.shard)}));
     }
   }
   obs::uninstall_flight_recorder();

@@ -7,8 +7,10 @@
 
 #include "cli/args.hpp"
 #include "common/check.hpp"
+#include "common/exit_codes.hpp"
 #include "common/interrupt.hpp"
 #include "engine/campaign.hpp"
+#include "io/env.hpp"
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
@@ -19,10 +21,6 @@
 namespace scaltool::serve {
 
 namespace {
-
-/// Server-mode exit codes (README exit-code table).
-constexpr int kExitUnavailable = 4;       ///< overloaded or shutting down
-constexpr int kExitDeadlineExceeded = 5;
 
 Response immediate(const obs::JsonValue& id, Status status) {
   Response r;
@@ -374,6 +372,17 @@ Response AnalysisService::execute(const Request& req,
       ++stats_.errors;
     else
       ++stats_.deadline_missed;
+  } catch (const io::StorageError& e) {
+    // The disk under this shard refused a durability write. The campaign
+    // checkpointed to its journal; the dedicated exit code tells the
+    // client (and the fleet supervisor, via the worker's exit status)
+    // that a resume after freeing space loses nothing.
+    r.status = Status::kError;
+    r.exit_code = kExitStorageFault;
+    r.output = os.str();
+    r.error = e.what();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
   } catch (const std::exception& e) {
     r.status = Status::kError;
     r.exit_code = 1;

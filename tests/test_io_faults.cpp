@@ -1,0 +1,586 @@
+// Hostile-storage drills (DESIGN.md §15): the io::Env fault-injection
+// seam, the storage exit-code contract, scaltool fsck's detect/repair
+// matrix, and the graceful-degradation paths (cache memory-only saves,
+// best-effort telemetry exports, fleet storage quarantine).
+//
+// The headline property these tests pin: with ANY seeded storage-fault
+// schedule installed, a collect either finishes with an archive
+// byte-identical to the unfaulted run (possibly after --resume) or stops
+// with exit code 9 and a journaled checkpoint — never a silently corrupt
+// artifact.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "common/check.hpp"
+#include "common/exit_codes.hpp"
+#include "common/types.hpp"
+#include "engine/fault_injector.hpp"
+#include "engine/fsck.hpp"
+#include "engine/run_cache.hpp"
+#include "io/env.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "serve/fleet/supervisor.hpp"
+
+namespace scaltool {
+namespace {
+
+std::string tmp_path(const std::string& tag) {
+  return "/tmp/scaltool_iofault_" + tag + "_" + std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << bytes;
+}
+
+int run_cli(const std::vector<std::string>& args, std::string* out) {
+  std::ostringstream os;
+  const int rc = cli::run_command(args, os);
+  if (out) *out = os.str();
+  return rc;
+}
+
+/// The small-but-real campaign the storage drills run (same shape as the
+/// crash-recovery suite): a handful of simulator runs, ~a second.
+std::vector<std::string> collect_argv(const std::string& out) {
+  return {"collect",       "swim", "--out=" + out, "--size=2xL2",
+          "--max-procs=4", "--iters=2"};
+}
+
+/// A clean reference archive, collected once per fixture call site.
+std::string reference_archive(const std::string& tag) {
+  const std::string out = tmp_path(tag + "_ref");
+  std::remove(out.c_str());
+  std::string text;
+  EXPECT_EQ(run_cli(collect_argv(out), &text), 0) << text;
+  return out;
+}
+
+// ---- FaultPlan grammar -------------------------------------------------
+
+TEST(IoFaultPlan, ParsesAllStorageKinds) {
+  const FaultPlan plan = FaultPlan::parse(
+      "enospc=3,eio=2,short-write=1,torn-rename=4,fsync-drop=5,emfile=6");
+  EXPECT_EQ(plan.io.enospc_at, 3u);
+  EXPECT_EQ(plan.io.eio_at, 2u);
+  EXPECT_EQ(plan.io.short_write_at, 1u);
+  EXPECT_EQ(plan.io.torn_rename_at, 4u);
+  EXPECT_EQ(plan.io.fsync_drop_at, 5u);
+  EXPECT_EQ(plan.io.emfile_at, 6u);
+  EXPECT_TRUE(plan.io.enabled());
+  EXPECT_TRUE(plan.enabled());
+  const std::string desc = plan.describe();
+  EXPECT_NE(desc.find("enospc=3"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("torn-rename=4"), std::string::npos) << desc;
+}
+
+TEST(IoFaultPlan, RejectsMalformedIndices) {
+  EXPECT_THROW(FaultPlan::parse("enospc=-1"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("eio=three"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("short-write="), CheckError);
+}
+
+TEST(IoFaultPlan, StorageKindsAloneEngageTheEngine) {
+  const FaultPlan plan = FaultPlan::parse("enospc=1");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.transient_rate, 0.0);
+}
+
+// ---- FaultyEnv syscall semantics ----------------------------------------
+
+TEST(FaultyEnv, EnospcIsStickyFromTheNthWrite) {
+  const std::string path = tmp_path("sticky");
+  io::IoFaultPlan plan;
+  plan.enospc_at = 2;
+  io::FaultyEnv env(plan);
+  const int fd = env.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env.write(fd, "a", 1), 1);
+  errno = 0;
+  EXPECT_EQ(env.write(fd, "b", 1), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  errno = 0;
+  EXPECT_EQ(env.write(fd, "c", 1), -1);  // sticky: the disk stays full
+  EXPECT_EQ(errno, ENOSPC);
+  env.close(fd);
+  EXPECT_EQ(env.counts().writes, 3u);
+  EXPECT_EQ(env.counts().injected, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultyEnv, ShortWriteLandsHalfOnceThenRecovers) {
+  const std::string path = tmp_path("short");
+  io::IoFaultPlan plan;
+  plan.short_write_at = 1;
+  io::FaultyEnv env(plan);
+  const int fd = env.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env.write(fd, "abcdef", 6), 3);  // one-shot half write
+  EXPECT_EQ(env.write(fd, "def", 3), 3);     // back to normal
+  env.close(fd);
+  EXPECT_EQ(read_file(path), "abcdef");
+  std::remove(path.c_str());
+}
+
+TEST(FaultyEnv, WriteAllRidesOutShortWrites) {
+  const std::string path = tmp_path("writeall");
+  io::IoFaultPlan plan;
+  plan.short_write_at = 1;
+  io::FaultyEnv env(plan);
+  const int fd = env.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const std::string bytes(1000, 'x');
+  io::write_all(env, fd, bytes.data(), bytes.size(), path);
+  env.close(fd);
+  EXPECT_EQ(read_file(path), bytes);  // the loop absorbed the short write
+  std::remove(path.c_str());
+}
+
+TEST(FaultyEnv, EmfileIsStickyOnOpen) {
+  io::IoFaultPlan plan;
+  plan.emfile_at = 1;
+  io::FaultyEnv env(plan);
+  errno = 0;
+  EXPECT_LT(env.open(tmp_path("emfile").c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC, 0644),
+            0);
+  EXPECT_EQ(errno, EMFILE);
+  EXPECT_EQ(env.counts().injected, 1u);
+}
+
+TEST(FaultyEnv, FsyncDropLiesWithoutFailing) {
+  const std::string path = tmp_path("fsyncdrop");
+  io::IoFaultPlan plan;
+  plan.fsync_drop_at = 1;
+  io::FaultyEnv env(plan);
+  const int fd = env.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(env.fsync(fd), 0);  // "success" that synced nothing
+  env.close(fd);
+  EXPECT_EQ(env.counts().fsyncs, 1u);
+  EXPECT_EQ(env.counts().injected, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultyEnv, TornRenamePublishesAPrefixAndEatsTheSource) {
+  const std::string src = tmp_path("torn_src");
+  const std::string dst = tmp_path("torn_dst");
+  write_file(src, std::string(300, 'z'));
+  io::IoFaultPlan plan;
+  plan.torn_rename_at = 1;
+  io::FaultyEnv env(plan);
+  EXPECT_EQ(env.rename(src.c_str(), dst.c_str()), 0);  // claims success
+  EXPECT_FALSE(std::filesystem::exists(src));
+  const std::string published = read_file(dst);
+  EXPECT_GT(published.size(), 0u);
+  EXPECT_LT(published.size(), 300u);  // the tail is gone
+  std::remove(dst.c_str());
+}
+
+TEST(IoEnv, StorageErrnoClassification) {
+  EXPECT_TRUE(io::is_storage_errno(ENOSPC));
+  EXPECT_TRUE(io::is_storage_errno(EIO));
+  EXPECT_TRUE(io::is_storage_errno(EMFILE));
+  EXPECT_FALSE(io::is_storage_errno(ENOENT));  // operator mistake
+  EXPECT_FALSE(io::is_storage_errno(EACCES));  // permissions, not a disk
+}
+
+// ---- The hard guarantee: faulted collects are never silently corrupt ----
+
+TEST(StorageDrill, EnospcMidCollectCheckpointsThenResumesByteIdentical) {
+  const std::string ref = reference_archive("enospc");
+  const std::string out = tmp_path("enospc_out");
+  std::remove(out.c_str());
+  std::remove((out + ".journal").c_str());
+
+  std::vector<std::string> argv = collect_argv(out);
+  argv.push_back("--faults=enospc=4");
+  std::string text;
+  EXPECT_EQ(run_cli(argv, &text), kExitStorageFault) << text;
+  EXPECT_NE(text.find("storage fault"), std::string::npos) << text;
+  EXPECT_NE(text.find("--resume"), std::string::npos) << text;
+  EXPECT_FALSE(std::filesystem::exists(out));  // nothing half-published
+  EXPECT_TRUE(std::filesystem::exists(out + ".journal"));
+
+  std::vector<std::string> resume = collect_argv(out);
+  resume.push_back("--resume");
+  EXPECT_EQ(run_cli(resume, &text), 0) << text;
+  EXPECT_EQ(read_file(out), read_file(ref));
+
+  std::remove(out.c_str());
+  std::remove(ref.c_str());
+}
+
+TEST(StorageDrill, TornRenameIsCaughtAtPublishNeverSilent) {
+  const std::string ref = reference_archive("torn");
+  const std::string out = tmp_path("torn_out");
+  std::remove(out.c_str());
+  std::remove((out + ".journal").c_str());
+  std::remove((out + ".corrupt").c_str());
+
+  std::vector<std::string> argv = collect_argv(out);
+  argv.push_back("--faults=torn-rename=1");
+  std::string text;
+  // The read-back after rename sees the torn publish: exit 9, journal kept.
+  EXPECT_EQ(run_cli(argv, &text), kExitStorageFault) << text;
+  EXPECT_NE(text.find("does not match the staged bytes"), std::string::npos)
+      << text;
+  EXPECT_TRUE(std::filesystem::exists(out + ".journal"));
+
+  // fsck sees the damage and (with --repair) quarantines it out of the
+  // recovery path's way.
+  const FsckReport before = fsck_file(out, /*repair=*/false);
+  EXPECT_FALSE(before.clean());
+  const FsckReport repaired = fsck_file(out, /*repair=*/true);
+  EXPECT_TRUE(repaired.fully_repaired()) << repaired.to_json();
+  EXPECT_TRUE(std::filesystem::exists(out + ".corrupt"));
+  EXPECT_FALSE(std::filesystem::exists(out));
+
+  std::vector<std::string> resume = collect_argv(out);
+  resume.push_back("--resume");
+  EXPECT_EQ(run_cli(resume, &text), 0) << text;
+  EXPECT_EQ(read_file(out), read_file(ref));
+
+  std::remove(out.c_str());
+  std::remove((out + ".corrupt").c_str());
+  std::remove(ref.c_str());
+}
+
+TEST(StorageDrill, FdExhaustionMapsToTheStorageExitCode) {
+  const std::string out = tmp_path("emfile_out");
+  std::remove(out.c_str());
+  std::vector<std::string> argv = collect_argv(out);
+  argv.push_back("--faults=emfile=1");
+  std::string text;
+  EXPECT_EQ(run_cli(argv, &text), kExitStorageFault) << text;
+  EXPECT_NE(text.find("storage fault"), std::string::npos) << text;
+  std::remove((out + ".journal").c_str());
+}
+
+TEST(StorageDrill, NonStorageErrnoStaysAnOrdinaryHardFailure) {
+  std::string text;
+  // ENOENT on the journal path is a typo'd path, not a dying disk: the
+  // degradation machinery must not claim it.
+  const int rc = run_cli({"collect", "swim",
+                          "--out=/nonexistent_dir_scaltool/x.st",
+                          "--size=2xL2", "--max-procs=4", "--iters=2"},
+                         &text);
+  EXPECT_EQ(rc, kExitHardFailure) << text;
+}
+
+// ---- Telemetry degradation ----------------------------------------------
+
+TEST(TelemetryDegrade, TryWriteCountsDropsInsteadOfThrowing) {
+  EXPECT_FALSE(
+      obs::try_write_text_file("/nonexistent_dir_scaltool/t.json", "x"));
+  const std::string good = tmp_path("obs_ok");
+  EXPECT_TRUE(obs::try_write_text_file(good, "x"));
+  EXPECT_EQ(read_file(good), "x");
+  std::remove(good.c_str());
+}
+
+TEST(TelemetryDegrade, AnalyzeSurvivesAFailedMetricsExport) {
+  const std::string ref = reference_archive("obs");
+  std::string text;
+  const int rc = run_cli({"analyze", ref,
+                          "--metrics-out=/nonexistent_dir_scaltool/m.json"},
+                         &text);
+  EXPECT_EQ(rc, 0) << text;  // the analysis is intact
+  EXPECT_NE(text.find("warning: metrics export"), std::string::npos) << text;
+  EXPECT_NE(text.find("results unaffected"), std::string::npos) << text;
+  std::remove(ref.c_str());
+}
+
+// ---- Run-cache degradation ----------------------------------------------
+
+/// Env whose flock always refuses: what a cache shared with a wedged
+/// holder looks like.
+class FlockRefusingEnv : public io::Env {
+ public:
+  int flock(int fd, int operation) override {
+    (void)fd;
+    (void)operation;
+    errno = EWOULDBLOCK;
+    return -1;
+  }
+};
+
+TEST(CacheDegrade, FailedFlockDegradesToMemoryOnlyWithoutLeakingFds) {
+  const std::string path = tmp_path("cache_lock");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  FlockRefusingEnv env;
+  io::ScopedEnv guard(&env);
+
+  RunCache cache(path);
+  cache.insert(1, {"swim", 1_MiB, 4, false}, JobOutcome{});
+  const long fds_before = std::distance(
+      std::filesystem::directory_iterator("/proc/self/fd"),
+      std::filesystem::directory_iterator{});
+  for (int i = 0; i < 64; ++i) cache.save();
+  const long fds_after = std::distance(
+      std::filesystem::directory_iterator("/proc/self/fd"),
+      std::filesystem::directory_iterator{});
+  EXPECT_EQ(fds_before, fds_after);  // the .lock fd is closed on failure
+  EXPECT_FALSE(std::filesystem::exists(path));  // nothing half-saved
+  EXPECT_NE(cache.save_note().find("memory-only"), std::string::npos)
+      << cache.save_note();
+  EXPECT_EQ(cache.unsaved(), 1u);  // the entry still wants a disk
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(CacheDegrade, StorageFaultDuringSaveKeepsEntriesInMemory) {
+  const std::string path = tmp_path("cache_enospc");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  io::IoFaultPlan plan;
+  plan.enospc_at = 1;
+  io::FaultyEnv env(plan);
+  io::ScopedEnv guard(&env);
+
+  RunCache cache(path);
+  cache.insert(1, {"swim", 1_MiB, 4, false}, JobOutcome{});
+  cache.save();  // must not throw: the cache is an optimization
+  EXPECT_NE(cache.save_note().find("save failed"), std::string::npos)
+      << cache.save_note();
+  EXPECT_EQ(cache.unsaved(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::remove((path + ".lock").c_str());
+}
+
+// ---- fsck: detect and repair over hostile files -------------------------
+
+TEST(Fsck, CleanArtifactsVerifyCleanEndToEnd) {
+  const std::string ref = reference_archive("fsck_clean");
+  const FsckReport report = fsck_file(ref, /*repair=*/false);
+  EXPECT_TRUE(report.clean()) << report.to_json();
+  EXPECT_EQ(report.kind, "archive");
+  std::remove(ref.c_str());
+}
+
+TEST(Fsck, ArchiveBitFlipIsDetectedAndQuarantined) {
+  const std::string ref = reference_archive("fsck_flip");
+  std::string bytes = read_file(ref);
+  bytes[bytes.size() / 2] ^= 0x20;  // one flipped bit region mid-body
+  write_file(ref, bytes);
+
+  const FsckReport found = fsck_file(ref, /*repair=*/false);
+  EXPECT_FALSE(found.clean()) << found.to_json();
+
+  const FsckReport repaired = fsck_file(ref, /*repair=*/true);
+  EXPECT_TRUE(repaired.fully_repaired()) << repaired.to_json();
+  EXPECT_FALSE(std::filesystem::exists(ref));  // moved out of the way
+  EXPECT_TRUE(std::filesystem::exists(ref + ".corrupt"));
+  std::remove((ref + ".corrupt").c_str());
+}
+
+TEST(Fsck, ArchiveTrailingGarbageIsTruncatedBackToTheFooter) {
+  const std::string ref = reference_archive("fsck_tail");
+  const std::string original = read_file(ref);
+  write_file(ref, original + "JUNK|appended after publication\n");
+
+  const FsckReport found = fsck_file(ref, /*repair=*/false);
+  EXPECT_FALSE(found.clean());
+  const FsckReport repaired = fsck_file(ref, /*repair=*/true);
+  EXPECT_TRUE(repaired.fully_repaired()) << repaired.to_json();
+  EXPECT_EQ(read_file(ref), original);
+  EXPECT_TRUE(fsck_file(ref, false).clean());
+  std::remove(ref.c_str());
+}
+
+TEST(Fsck, JournalTornTailIsTruncatedToTheValidPrefix) {
+  const std::string out = tmp_path("fsck_journal");
+  const std::string journal = out + ".journal";
+  std::remove(out.c_str());
+  std::remove(journal.c_str());
+  std::vector<std::string> argv = collect_argv(out);
+  argv.push_back("--faults=eio=6");
+  std::string text;
+  ASSERT_EQ(run_cli(argv, &text), kExitStorageFault) << text;
+  ASSERT_TRUE(std::filesystem::exists(journal));
+
+  // Tear the tail the way a crash mid-append does: a half record.
+  const std::string valid = read_file(journal);
+  write_file(journal, valid + "RUN|swim|2097152|4|1.5|0.7");
+
+  const FsckReport found = fsck_file(journal, /*repair=*/false);
+  EXPECT_FALSE(found.clean());
+  bool torn = false;
+  for (const FsckFinding& f : found.findings)
+    torn |= f.code == "journal.torn-tail";
+  EXPECT_TRUE(torn) << found.to_json();
+
+  const FsckReport repaired = fsck_file(journal, /*repair=*/true);
+  EXPECT_TRUE(repaired.fully_repaired()) << repaired.to_json();
+  EXPECT_EQ(read_file(journal), valid);  // exactly the longest valid prefix
+  EXPECT_TRUE(fsck_file(journal, false).clean());
+
+  // The truncated journal still resumes into the full archive.
+  const std::string ref = reference_archive("fsck_journal2");
+  std::vector<std::string> resume = collect_argv(out);
+  resume.push_back("--resume");
+  EXPECT_EQ(run_cli(resume, &text), 0) << text;
+  EXPECT_EQ(read_file(out), read_file(ref));
+  std::remove(out.c_str());
+  std::remove(ref.c_str());
+}
+
+TEST(Fsck, CacheCorruptEntriesAreDroppedKeepingTheValid) {
+  const std::string path = tmp_path("fsck_cache");
+  std::remove(path.c_str());
+  {
+    RunCache cache(path);
+    RunSpec a{"swim", 1_MiB, 4, false};
+    RunSpec b{"fft", 2_MiB, 8, false};
+    cache.insert(1, a, JobOutcome{});
+    cache.insert(2, b, JobOutcome{});
+    cache.save();
+  }
+  // Garble one ENTRY payload; the other must survive the repair.
+  std::string bytes = read_file(path);
+  const std::size_t entry = bytes.find("ENTRY|");
+  ASSERT_NE(entry, std::string::npos);
+  bytes[entry + 8] = '#';
+  write_file(path, bytes);
+
+  const FsckReport found = fsck_file(path, /*repair=*/false);
+  EXPECT_FALSE(found.clean()) << found.to_json();
+
+  const FsckReport repaired = fsck_file(path, /*repair=*/true);
+  EXPECT_TRUE(repaired.fully_repaired()) << repaired.to_json();
+  EXPECT_TRUE(fsck_file(path, false).clean());
+  RunCache reloaded(path);
+  EXPECT_EQ(reloaded.loaded_entries(), 1u);
+  EXPECT_EQ(reloaded.corrupt_entries(), 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(Fsck, UnknownFormatAndMissingFilesAreFatalNotCrashes) {
+  const std::string junk = tmp_path("fsck_junk");
+  write_file(junk, "not a scaltool artifact\n");
+  EXPECT_TRUE(fsck_file(junk, true).fatal);
+  EXPECT_TRUE(fsck_file(tmp_path("fsck_nosuch"), true).fatal);
+  std::remove(junk.c_str());
+}
+
+// The acceptance sweep: every injected corruption across the whole byte
+// range of an archive must be detected — zero misses. Flips cover the
+// header, every record kind, the CRC fields themselves and the SUM
+// footer; truncations cover torn tails at every granularity.
+TEST(Fsck, DetectsEveryInjectedArchiveCorruption) {
+  const std::string ref = reference_archive("fsck_sweep");
+  const std::string victim = tmp_path("fsck_victim");
+  const std::string original = read_file(ref);
+  ASSERT_GT(original.size(), 64u);
+
+  std::size_t injected = 0, detected = 0;
+  // Byte flips at a prime stride so every region gets hit.
+  for (std::size_t pos = 0; pos < original.size(); pos += 97) {
+    std::string bytes = original;
+    bytes[pos] = bytes[pos] == '#' ? '@' : '#';
+    if (bytes == original) continue;
+    write_file(victim, bytes);
+    ++injected;
+    if (!fsck_file(victim, false).clean()) ++detected;
+  }
+  // Torn tails: drop the last K bytes.
+  for (std::size_t cut : {std::size_t{1}, std::size_t{7}, std::size_t{40},
+                          original.size() / 3, original.size() / 2}) {
+    write_file(victim, original.substr(0, original.size() - cut));
+    ++injected;
+    if (!fsck_file(victim, false).clean()) ++detected;
+  }
+  EXPECT_GT(injected, 10u);
+  EXPECT_EQ(detected, injected);  // 100% of the corruptions, no misses
+  std::remove(victim.c_str());
+  std::remove(ref.c_str());
+}
+
+// ---- Exit-code table: one source of truth -------------------------------
+
+TEST(ExitCodes, TableCoversZeroThroughNineUniquely) {
+  std::set<int> codes;
+  for (std::size_t i = 0; i < exit_code_count(); ++i)
+    codes.insert(exit_code_table()[i].code);
+  EXPECT_EQ(codes.size(), 10u);
+  EXPECT_EQ(*codes.begin(), 0);
+  EXPECT_EQ(*codes.rbegin(), 9);
+  EXPECT_STREQ(exit_code_name(kExitStorageFault), "storage fault");
+  EXPECT_STREQ(exit_code_name(kExitFleetDegraded), "fleet degraded");
+  EXPECT_STREQ(exit_code_name(12345), "unknown");
+}
+
+TEST(ExitCodes, HelpRendersEveryCodeFromTheTable) {
+  std::ostringstream os;
+  print_exit_code_help(os);
+  const std::string help = os.str();
+  for (std::size_t i = 0; i < exit_code_count(); ++i) {
+    const ExitCodeInfo& info = exit_code_table()[i];
+    EXPECT_NE(help.find("  " + std::to_string(info.code) + "  " + info.name),
+              std::string::npos)
+        << info.code;
+  }
+  // And the CLI --help prints exactly this section.
+  std::string text;
+  EXPECT_EQ(run_cli({"help"}, &text), 0);
+  EXPECT_NE(text.find(help), std::string::npos);
+  EXPECT_NE(text.find("9  storage fault"), std::string::npos);
+}
+
+// ---- Fleet: disk-full shards are quarantined, not crash-looped ----------
+
+TEST(FleetStorage, StorageFaultingShardIsBenchedWithNamedCause) {
+  const std::string dir = tmp_path("fleet_storage");
+  std::filesystem::create_directories(dir);
+  serve::SupervisorOptions options;
+  options.shards = 1;
+  options.socket_dir = dir;
+  options.restart.backoff_ms = 1;
+  options.restart.max_deaths = 100;  // the ladder would allow retries...
+  options.tick_ms = 5;
+  options.worker_entry = [](const serve::WorkerSpec&, int) {
+    return kExitStorageFault;  // "my disk is full", immediately
+  };
+  serve::Supervisor supervisor(options);
+
+  const MonoClock::TimePoint t0 = MonoClock::now();
+  while (supervisor.benched_count() < 1 &&
+         MonoClock::seconds_since(t0) < 30.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(supervisor.benched_count(), 1);
+
+  const std::vector<serve::WorkerStatus> status = supervisor.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].state, serve::WorkerState::kBenched);
+  EXPECT_EQ(status[0].bench_cause, "storage-exhausted");
+  // ...but the storage cause skipped the ladder: one death, no respawns
+  // against the same full disk.
+  EXPECT_EQ(status[0].restarts, 0);
+  EXPECT_EQ(supervisor.deaths_total(), 1u);
+  supervisor.stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scaltool

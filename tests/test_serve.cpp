@@ -524,7 +524,7 @@ TEST(CliServe, ServeRequiresATransport) {
 TEST(CliServe, VersionFlag) {
   std::string out;
   EXPECT_EQ(run_cli({"--version"}, &out), 0);
-  EXPECT_EQ(out, "scaltool 0.8.0\n");
+  EXPECT_EQ(out, "scaltool 0.9.0\n");
   EXPECT_EQ(run_cli({"help"}, &out), 0);
   EXPECT_NE(out.find("serve --socket"), std::string::npos);
   EXPECT_NE(out.find("fleet --socket"), std::string::npos);
